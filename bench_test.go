@@ -1,0 +1,337 @@
+// Benchmarks regenerating the paper's tables and figures (one bench per
+// table/figure; see DESIGN.md §4 for the index) plus scheduler
+// micro-benchmarks and ablations of the design choices DESIGN.md §5
+// calls out. The figure benches use reduced sweep sizes so that
+// `go test -bench=. -benchmem` finishes in minutes; cmd/lcwsbench runs
+// the full-size sweeps.
+package lcws_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"lcws"
+	"lcws/fig"
+	"lcws/pbbs"
+	"lcws/sim"
+)
+
+// ---- shared sweeps (built once; the *Sweep benches measure their cost) --
+
+var (
+	counterOnce  sync.Once
+	counterSweep *fig.CounterSweep
+
+	simOnce   sync.Once
+	simSweeps []*fig.SimSweep
+)
+
+const benchScale = pbbs.Scale(0.02)
+
+var benchWorkers = []int{2, 4}
+
+func getCounterSweep() *fig.CounterSweep {
+	counterOnce.Do(func() {
+		counterSweep = fig.RunCounterSweep(benchScale, benchWorkers,
+			[]lcws.Policy{lcws.WS, lcws.USLCWS, lcws.SignalLCWS}, 1)
+	})
+	return counterSweep
+}
+
+func getSimSweeps() []*fig.SimSweep {
+	simOnce.Do(func() {
+		for _, m := range sim.Machines {
+			simSweeps = append(simSweeps, fig.RunSimSweep(m, []int{1, 2, m.Cores / 2, m.Cores}, 17))
+		}
+	})
+	return simSweeps
+}
+
+// ---- one benchmark per table and figure --------------------------------
+
+// BenchmarkTable1Machines regenerates Table 1.
+func BenchmarkTable1Machines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		fig.Table1(&buf)
+		if buf.Len() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkCounterSweep measures the real-execution sweep feeding
+// Figures 3 and 8 (all pbbs instances × policies × worker counts).
+func BenchmarkCounterSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig.RunCounterSweep(benchScale, benchWorkers,
+			[]lcws.Policy{lcws.WS, lcws.USLCWS, lcws.SignalLCWS}, uint64(i))
+	}
+}
+
+// BenchmarkFig3Profile regenerates Figure 3 from the counter sweep.
+func BenchmarkFig3Profile(b *testing.B) {
+	cs := getCounterSweep()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := fig.Figure3(cs)
+		if len(f.Panels) != 4 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// BenchmarkFig8Profile regenerates Figure 8 from the counter sweep.
+func BenchmarkFig8Profile(b *testing.B) {
+	cs := getCounterSweep()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := fig.Figure8(cs)
+		if len(f.Panels) != 8 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// BenchmarkSimSweep measures one machine's simulator sweep (all workload
+// models × 5 policies × worker counts) feeding Figures 4–7.
+func BenchmarkSimSweep(b *testing.B) {
+	m := sim.Machines[0]
+	for i := 0; i < b.N; i++ {
+		fig.RunSimSweep(m, []int{1, 2, m.Cores}, uint64(i))
+	}
+}
+
+// BenchmarkFig4Speedup regenerates Figure 4.
+func BenchmarkFig4Speedup(b *testing.B) {
+	sw := getSimSweeps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := fig.Figure4(sw); len(f.Panels) != 3 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// BenchmarkFig5AvgSpeedup regenerates Figure 5.
+func BenchmarkFig5AvgSpeedup(b *testing.B) {
+	sw := getSimSweeps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := fig.Figure5(sw); len(f.Panels) != 3 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// BenchmarkFig6WinRate regenerates Figure 6.
+func BenchmarkFig6WinRate(b *testing.B) {
+	sw := getSimSweeps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := fig.Figure6(sw); len(f.Panels) != 3 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// BenchmarkFig7Speedup regenerates Figure 7.
+func BenchmarkFig7Speedup(b *testing.B) {
+	sw := getSimSweeps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := fig.Figure7(sw); len(f.Panels) != 3 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// BenchmarkStats51 regenerates the §5.1 statistics.
+func BenchmarkStats51(b *testing.B) {
+	sw := getSimSweeps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		fig.Stats51(&buf, sw)
+	}
+}
+
+// BenchmarkStats52 regenerates the §5.2 statistics.
+func BenchmarkStats52(b *testing.B) {
+	sw := getSimSweeps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		fig.Stats52(&buf, sw)
+	}
+}
+
+// BenchmarkStats54 regenerates the §5.4 statistics.
+func BenchmarkStats54(b *testing.B) {
+	sw := getSimSweeps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		fig.Stats54(&buf, sw)
+	}
+}
+
+// ---- scheduler micro-benchmarks ----------------------------------------
+
+func fibBench(ctx *lcws.Ctx, n int) int {
+	if n < 2 {
+		return n
+	}
+	var a, c int
+	lcws.Fork2(ctx,
+		func(ctx *lcws.Ctx) { a = fibBench(ctx, n-1) },
+		func(ctx *lcws.Ctx) { c = fibBench(ctx, n-2) },
+	)
+	return a + c
+}
+
+// BenchmarkForkJoin measures raw fork-join throughput (fib 20) per
+// policy: the per-fork scheduler overhead is exactly where LCWS removes
+// fences.
+func BenchmarkForkJoin(b *testing.B) {
+	for _, pol := range lcws.Policies {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			s := lcws.New(lcws.WithWorkers(1), lcws.WithPolicy(pol))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var got int
+				s.Run(func(ctx *lcws.Ctx) { got = fibBench(ctx, 20) })
+				if got != 6765 {
+					b.Fatal("wrong fib")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParFor measures data-parallel loop overhead per policy.
+func BenchmarkParFor(b *testing.B) {
+	for _, pol := range lcws.Policies {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			s := lcws.New(lcws.WithWorkers(2), lcws.WithPolicy(pol))
+			data := make([]int, 100_000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Run(func(ctx *lcws.Ctx) {
+					lcws.ParFor(ctx, 0, len(data), 512, func(ctx *lcws.Ctx, j int) {
+						data[j] = j * 3
+					})
+				})
+			}
+		})
+	}
+}
+
+// ---- ablation benches (DESIGN.md §5 starred choices) --------------------
+
+// BenchmarkAblationExposureMode compares the three exposure policies in
+// the simulator at the core count on the AMD32 profile: how much work is
+// made public per notification.
+func BenchmarkAblationExposureMode(b *testing.B) {
+	m, _ := sim.MachineByName("AMD32")
+	w := sim.Workloads()[0]
+	for _, pol := range []lcws.Policy{lcws.SignalLCWS, lcws.ConsLCWS, lcws.HalfLCWS} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := sim.Simulate(w.Phases, pol, m.Cores, m, 7)
+				b.ReportMetric(r.Time, "virt-cycles")
+				b.ReportMetric(float64(r.Exposures), "exposures")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSignalLatency sweeps the emulated signal-delivery
+// latency (the role the checkpoint interval plays in the real runtime):
+// task-boundary exposure (USLCWS) is the limit of infinite latency.
+func BenchmarkAblationSignalLatency(b *testing.B) {
+	base, _ := sim.MachineByName("AMD32")
+	w := sim.Workloads()[0]
+	for _, lat := range []float64{200, 2200, 22000} {
+		lat := lat
+		b.Run(fmtLatency(lat), func(b *testing.B) {
+			m := base
+			m.SignalCost = lat
+			for i := 0; i < b.N; i++ {
+				r := sim.Simulate(w.Phases, lcws.SignalLCWS, m.Cores, m, 7)
+				b.ReportMetric(r.Time, "virt-cycles")
+			}
+		})
+	}
+}
+
+func fmtLatency(l float64) string {
+	switch {
+	case l < 1000:
+		return "latency-fast"
+	case l < 10000:
+		return "latency-default"
+	default:
+		return "latency-slow"
+	}
+}
+
+// BenchmarkAblationRaceFixPop compares the original pop_bottom (used by
+// Cons) against the §4 race-fixed variant (used by Signal/Half) on the
+// real scheduler: the paper argues the fix costs only an extra decrement
+// on the empty path.
+func BenchmarkAblationRaceFixPop(b *testing.B) {
+	for _, pol := range []lcws.Policy{lcws.ConsLCWS, lcws.SignalLCWS} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			s := lcws.New(lcws.WithWorkers(1), lcws.WithPolicy(pol))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Run(func(ctx *lcws.Ctx) { fibBench(ctx, 18) })
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPollInterval sweeps the real scheduler's checkpoint
+// interval (the emulated signal-delivery latency, Options.PollEvery) on
+// an oversubscribed pool: the counters show exposure requests being
+// served promptly at small intervals and starved at huge ones.
+func BenchmarkAblationPollInterval(b *testing.B) {
+	for _, every := range []int{1, 64, 1 << 16} {
+		every := every
+		b.Run(fmt.Sprintf("poll-%d", every), func(b *testing.B) {
+			s := lcws.New(lcws.WithWorkers(4), lcws.WithPolicy(lcws.SignalLCWS),
+				lcws.WithPollEvery(every), lcws.WithYieldEvery(2))
+			data := make([]int, 40_000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Run(func(ctx *lcws.Ctx) {
+					lcws.ParFor(ctx, 0, len(data), 256, func(ctx *lcws.Ctx, j int) {
+						data[j] = j
+						ctx.Poll()
+					})
+				})
+			}
+			st := lcws.StatsOf(s)
+			b.ReportMetric(float64(st.SignalsHandled), "signals-handled")
+		})
+	}
+}
+
+// BenchmarkPollOverhead measures the checkpoint fast path that kernels
+// pay per loop iteration under the signal emulation.
+func BenchmarkPollOverhead(b *testing.B) {
+	s := lcws.New(lcws.WithWorkers(1), lcws.WithPolicy(lcws.SignalLCWS))
+	s.Run(func(ctx *lcws.Ctx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Poll()
+		}
+	})
+}

@@ -1,0 +1,81 @@
+// Command deqstress soaks the schedulers with adversarial fork-join
+// workloads (deep skew, fine grain, heavy nesting) across all policies
+// and worker counts. Run it under the race detector when hacking on the
+// deques or the scheduler core:
+//
+//	go run -race ./cmd/deqstress -seconds 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"lcws"
+)
+
+func main() {
+	var (
+		seconds = flag.Int("seconds", 10, "how long to soak")
+		maxP    = flag.Int("maxp", 8, "maximum worker count to cycle through")
+		seed    = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
+	round := 0
+	for time.Now().Before(deadline) {
+		for _, pol := range lcws.Policies {
+			p := 1 + round%*maxP
+			s := lcws.New(lcws.WithWorkers(p), lcws.WithPolicy(pol), lcws.WithSeed(*seed+uint64(round)))
+			if err := soak(s, round); err != nil {
+				fmt.Fprintf(os.Stderr, "deqstress: policy %v P=%d round %d: %v\n", pol, p, round, err)
+				os.Exit(1)
+			}
+			round++
+		}
+	}
+	fmt.Printf("deqstress: %d rounds clean\n", round)
+}
+
+// soak runs one adversarial workload mix and checks its result.
+func soak(s *lcws.Scheduler, round int) error {
+	var leafCount atomic.Int64
+	var skewSum atomic.Int64
+	const n = 3000
+	s.Run(func(ctx *lcws.Ctx) {
+		lcws.Fork2(ctx,
+			func(ctx *lcws.Ctx) {
+				// Deep left spine with tiny right tasks.
+				var spine func(ctx *lcws.Ctx, d int)
+				spine = func(ctx *lcws.Ctx, d int) {
+					if d == 0 {
+						return
+					}
+					lcws.Fork2(ctx,
+						func(ctx *lcws.Ctx) { spine(ctx, d-1) },
+						func(ctx *lcws.Ctx) { skewSum.Add(1) },
+					)
+				}
+				spine(ctx, 300)
+			},
+			func(ctx *lcws.Ctx) {
+				// Fine-grained nested loops with polls.
+				lcws.ParFor(ctx, 0, n, 1, func(ctx *lcws.Ctx, i int) {
+					leafCount.Add(1)
+					ctx.Poll()
+				})
+			},
+		)
+	})
+	if leafCount.Load() != n {
+		return fmt.Errorf("leaf count %d, want %d", leafCount.Load(), n)
+	}
+	if skewSum.Load() != 300 {
+		return fmt.Errorf("skew sum %d, want 300", skewSum.Load())
+	}
+	_ = round
+	return nil
+}

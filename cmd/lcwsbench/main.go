@@ -1,0 +1,155 @@
+// Command lcwsbench regenerates the paper's evaluation: Table 1, Figures
+// 3–8 and the §5 statistics. Counter figures (3, 8) run the real
+// schedulers over the pbbs suite; speedup figures (4–7) and statistics
+// sweep the simulator over the three Table 1 machine profiles.
+//
+// Usage:
+//
+//	lcwsbench -all                # everything, default sizes
+//	lcwsbench -fig3 -scale 0.1    # Figure 3 from a larger counter sweep
+//	lcwsbench -fig5 -csv          # Figure 5 data as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"lcws"
+	"lcws/fig"
+	"lcws/pbbs"
+	"lcws/sim"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "regenerate every table and figure")
+		table1 = flag.Bool("table1", false, "print Table 1 (machine profiles)")
+		fig3   = flag.Bool("fig3", false, "Figure 3: USLCWS vs WS counter profile (real runs)")
+		fig4   = flag.Bool("fig4", false, "Figure 4: USLCWS speedup box plots (simulated)")
+		fig5   = flag.Bool("fig5", false, "Figure 5: average speedups of all variants (simulated)")
+		fig6   = flag.Bool("fig6", false, "Figure 6: %% of configurations with speedup > 1 (simulated)")
+		fig7   = flag.Bool("fig7", false, "Figure 7: signal-based speedup box plots (simulated)")
+		fig8   = flag.Bool("fig8", false, "Figure 8: signal-based counter profile (real runs)")
+		stats  = flag.Bool("stats", false, "§5.1/§5.2/§5.4 statistics (simulated)")
+		lace   = flag.Bool("lace", false, "extension figure: Lace vs USLCWS vs Signal (simulated)")
+		multi  = flag.Bool("multiprog", false, "extension figure: slowdown under core revocation (simulated)")
+		scale  = flag.Float64("scale", 0.05, "pbbs input scale for the counter sweeps")
+		procs  = flag.String("workers", "2,4,8,16,32", "worker counts for the counter sweeps")
+		seed   = flag.Uint64("seed", 42, "seed for scheduling and simulation")
+		csv    = flag.Bool("csv", false, "emit figure data as CSV instead of text")
+		chart  = flag.Bool("chart", false, "render figures as ASCII charts instead of tables")
+	)
+	flag.Parse()
+
+	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// On hosts with fewer CPUs than the requested worker counts, raise
+	// GOMAXPROCS so worker goroutines timeshare OS threads; otherwise a
+	// busy worker can monopolize the only P and steal counters stay
+	// artificially near zero.
+	if workers, err := parseWorkers(*procs); err == nil {
+		maxW := 0
+		for _, p := range workers {
+			if p > maxW {
+				maxW = p
+			}
+		}
+		if maxW > runtime.GOMAXPROCS(0) {
+			runtime.GOMAXPROCS(maxW)
+		}
+	}
+
+	out := os.Stdout
+	emit := func(f *fig.Figure) {
+		switch {
+		case *csv:
+			f.WriteCSV(out)
+		case *chart:
+			f.RenderChart(out)
+		default:
+			f.Render(out)
+		}
+	}
+
+	if *all || *table1 {
+		fig.Table1(out)
+		fmt.Fprintln(out)
+	}
+
+	needCounters := *all || *fig3 || *fig8
+	if needCounters {
+		workers, err := parseWorkers(*procs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lcwsbench:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(out, "counter sweep: pbbs scale %g, workers %v (real executions; verified)\n\n", *scale, workers)
+		cs := fig.RunCounterSweep(pbbs.Scale(*scale), workers,
+			[]lcws.Policy{lcws.WS, lcws.USLCWS, lcws.SignalLCWS}, *seed)
+		if *all || *fig3 {
+			emit(fig.Figure3(cs))
+		}
+		if *all || *fig8 {
+			emit(fig.Figure8(cs))
+		}
+	}
+
+	needSweeps := *all || *fig4 || *fig5 || *fig6 || *fig7 || *stats || *lace
+	if needSweeps || *multi {
+		var sweeps []*fig.SimSweep
+		if needSweeps {
+			for _, m := range sim.Machines {
+				sweeps = append(sweeps, fig.RunSimSweep(m, nil, *seed))
+			}
+		}
+		if *all || *fig4 {
+			emit(fig.Figure4(sweeps))
+		}
+		if *all || *fig5 {
+			emit(fig.Figure5(sweeps))
+		}
+		if *all || *fig6 {
+			emit(fig.Figure6(sweeps))
+		}
+		if *all || *fig7 {
+			emit(fig.Figure7(sweeps))
+		}
+		if *all || *lace {
+			emit(fig.FigureLace(sweeps))
+		}
+		if *all || *multi {
+			emit(fig.FigureMultiprog(sim.Machines, *seed))
+		}
+		if *all || *stats {
+			fig.Stats51(out, sweeps)
+			fig.Stats52(out, sweeps)
+			fig.Stats54(out, sweeps)
+		}
+	}
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no worker counts in %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+// Command pbbsrun executes one benchmark configuration
+// ⟨benchmark, input, workers⟩ under a chosen scheduler, verifies the
+// result, and prints the wall time and synchronization counters —
+// the PBBS-style single-configuration driver.
+//
+// Usage:
+//
+//	pbbsrun -bench integerSort -input randomSeq_int -workers 4 -policy Signal
+//	pbbsrun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lcws"
+	"lcws/pbbs"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "benchmark name (see -list)")
+		input   = flag.String("input", "", "input instance name (see -list)")
+		workers = flag.Int("workers", 1, "number of workers (processors)")
+		policy  = flag.String("policy", "WS", "scheduler: WS, USLCWS (User), Signal, Cons, Half")
+		scale   = flag.Float64("scale", 1, "input scale factor")
+		rounds  = flag.Int("rounds", 3, "timed repetitions (reported: average)")
+		seed    = flag.Uint64("seed", 42, "victim-selection seed")
+		list    = flag.Bool("list", false, "list all benchmark instances and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, inst := range pbbs.Suite(pbbs.Scale(*scale)) {
+			fmt.Printf("%-26s %s\n", inst.Benchmark, inst.Input)
+		}
+		return
+	}
+	pol, err := lcws.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbbsrun:", err)
+		os.Exit(2)
+	}
+	inst, err := pbbs.Find(pbbs.Scale(*scale), *bench, *input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbbsrun:", err, "(use -list to enumerate)")
+		os.Exit(2)
+	}
+
+	fmt.Printf("preparing %s (scale %g)...\n", inst.Name(), *scale)
+	job := inst.Prepare()
+	s := lcws.New(lcws.WithWorkers(*workers), lcws.WithPolicy(pol), lcws.WithSeed(*seed))
+
+	// Warm-up run (also validates before timing).
+	s.Run(job.Run)
+	if err := job.Verify(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbbsrun: verification failed:", err)
+		os.Exit(1)
+	}
+	lcws.ResetStats(s)
+
+	var total time.Duration
+	for r := 0; r < *rounds; r++ {
+		start := time.Now()
+		s.Run(job.Run)
+		total += time.Since(start)
+	}
+	if err := job.Verify(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbbsrun: verification failed:", err)
+		os.Exit(1)
+	}
+	st := lcws.StatsOf(s)
+
+	fmt.Printf("⟨%s, %s, %d⟩ under %v: avg %.3f ms over %d rounds (verified)\n",
+		*bench, *input, *workers, pol, float64(total.Microseconds())/1000/float64(*rounds), *rounds)
+	fmt.Printf("  fences=%d cas=%d steals=%d/%d exposures=%d unstolen=%d signals=%d tasks=%d\n",
+		st.Fences, st.CAS, st.StealSuccesses, st.StealAttempts,
+		st.Exposures, st.ExposedNotStolen, st.SignalsSent, st.TasksExecuted)
+}

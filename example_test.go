@@ -1,0 +1,74 @@
+package lcws_test
+
+import (
+	"fmt"
+
+	"lcws"
+	"lcws/parlay"
+)
+
+// ExampleNew shows the basic scheduler lifecycle: create a pool, run a
+// fork-join computation, and read the synchronization counters.
+func ExampleNew() {
+	// One worker keeps this example deterministic: with no thieves, a
+	// split-deque scheduler performs zero synchronization operations.
+	s := lcws.New(lcws.WithWorkers(1), lcws.WithPolicy(lcws.SignalLCWS))
+	var left, right int
+	s.Run(func(ctx *lcws.Ctx) {
+		lcws.Fork2(ctx,
+			func(ctx *lcws.Ctx) { left = 20 },
+			func(ctx *lcws.Ctx) { right = 22 },
+		)
+	})
+	fmt.Println(left + right)
+	fmt.Println("fences:", lcws.StatsOf(s).Fences)
+	// Output:
+	// 42
+	// fences: 0
+}
+
+// ExampleParFor shows a data-parallel loop with an explicit grain size.
+func ExampleParFor() {
+	s := lcws.New(lcws.WithWorkers(4), lcws.WithPolicy(lcws.HalfLCWS))
+	squares := make([]int, 8)
+	s.Run(func(ctx *lcws.Ctx) {
+		lcws.ParFor(ctx, 0, len(squares), 2, func(ctx *lcws.Ctx, i int) {
+			squares[i] = i * i
+		})
+	})
+	fmt.Println(squares)
+	// Output:
+	// [0 1 4 9 16 25 36 49]
+}
+
+// ExampleParsePolicy shows converting figure labels into policies.
+func ExampleParsePolicy() {
+	for _, name := range []string{"WS", "User", "Signal", "Half"} {
+		p, err := lcws.ParsePolicy(name)
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+		fmt.Println(p)
+	}
+	// Output:
+	// WS
+	// USLCWS
+	// Signal
+	// Half
+}
+
+// Example_parlay shows the toolkit primitives composing under a
+// scheduler: tabulate, filter and reduce.
+func Example_parlay() {
+	s := lcws.New(lcws.WithWorkers(2), lcws.WithPolicy(lcws.ConsLCWS))
+	var sumOfEvenSquares uint64
+	s.Run(func(ctx *lcws.Ctx) {
+		squares := parlay.Tabulate(ctx, 10, func(i int) uint64 { return uint64(i * i) })
+		even := parlay.Filter(ctx, squares, func(v uint64) bool { return v%2 == 0 })
+		sumOfEvenSquares = parlay.Sum(ctx, even)
+	})
+	fmt.Println(sumOfEvenSquares)
+	// Output:
+	// 120
+}

@@ -1,0 +1,66 @@
+// Quickstart: fork-join and parallel-for on the lcws public API, with a
+// scheduler policy switch. Run it with different policies to compare the
+// synchronization-operation counters:
+//
+//	go run ./examples/quickstart -policy WS
+//	go run ./examples/quickstart -policy Signal -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"lcws"
+	"lcws/parlay"
+)
+
+// fib computes Fibonacci numbers the silly, fork-heavy way — the
+// classic scheduler stress test: every call below the cutoff forks two
+// children that a thief may steal.
+func fib(ctx *lcws.Ctx, n int) int {
+	if n < 2 {
+		return n
+	}
+	var a, b int
+	lcws.Fork2(ctx,
+		func(ctx *lcws.Ctx) { a = fib(ctx, n-1) },
+		func(ctx *lcws.Ctx) { b = fib(ctx, n-2) },
+	)
+	return a + b
+}
+
+func main() {
+	workers := flag.Int("workers", 4, "number of workers")
+	policy := flag.String("policy", "Signal", "WS, User, Signal, Cons or Half")
+	flag.Parse()
+
+	pol, err := lcws.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := lcws.New(lcws.WithWorkers(*workers), lcws.WithPolicy(pol))
+
+	var f25 int
+	var sum uint64
+	s.Run(func(ctx *lcws.Ctx) {
+		// 1. Plain fork-join recursion.
+		f25 = fib(ctx, 25)
+
+		// 2. Data parallelism via the parlay toolkit: sum of squares.
+		xs := parlay.Tabulate(ctx, 1_000_000, func(i int) uint64 {
+			return uint64(i) * uint64(i)
+		})
+		sum = parlay.Sum(ctx, xs)
+	})
+
+	st := lcws.StatsOf(s)
+	fmt.Printf("policy=%v workers=%d\n", pol, s.Workers())
+	fmt.Printf("fib(25) = %d\n", f25)
+	fmt.Printf("sum of first 1e6 squares = %d\n", sum)
+	fmt.Printf("scheduler counters: fences=%d cas=%d steals=%d/%d exposures=%d signals=%d tasks=%d\n",
+		st.Fences, st.CAS, st.StealSuccesses, st.StealAttempts,
+		st.Exposures, st.SignalsSent, st.TasksExecuted)
+	fmt.Println("note: under the LCWS policies the fence count stays near zero —")
+	fmt.Println("that is the paper's headline property (synchronization-free local deque access).")
+}

@@ -1,0 +1,79 @@
+// textindex builds a word-count table and an inverted index over a
+// synthetic document collection using the parallel text kernels, then
+// answers a few lookups — the invertedIndex/wordCounts benchmarks as an
+// application.
+//
+//	go run ./examples/textindex -docs 500 -policy Half
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"lcws"
+	"lcws/pbbs"
+	"lcws/workload"
+)
+
+func main() {
+	nDocs := flag.Int("docs", 400, "number of documents")
+	wordsPerDoc := flag.Int("words", 80, "approximate words per document")
+	workers := flag.Int("workers", 4, "number of workers")
+	policy := flag.String("policy", "Signal", "scheduler policy")
+	flag.Parse()
+
+	pol, err := lcws.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs := workload.Documents(99, *nDocs, *wordsPerDoc)
+
+	s := lcws.New(lcws.WithWorkers(*workers), lcws.WithPolicy(pol))
+	var counts []pbbs.WordCount
+	var index []pbbs.Posting
+	start := time.Now()
+	s.Run(func(ctx *lcws.Ctx) {
+		all := ""
+		for _, d := range docs {
+			all += d + " "
+		}
+		counts = pbbs.WordCounts(ctx, all)
+		index = pbbs.BuildInvertedIndex(ctx, docs)
+	})
+	elapsed := time.Since(start)
+
+	fmt.Printf("indexed %d documents in %s under %v (%d workers)\n",
+		len(docs), elapsed.Round(time.Millisecond), pol, *workers)
+	fmt.Printf("distinct words: %d; postings: %d\n\n", len(counts), len(index))
+
+	// Top five most frequent words.
+	top := append([]pbbs.WordCount(nil), counts...)
+	sort.Slice(top, func(i, j int) bool { return top[i].Count > top[j].Count })
+	fmt.Println("most frequent words:")
+	for i := 0; i < 5 && i < len(top); i++ {
+		fmt.Printf("  %-12s %6d occurrences\n", top[i].Word, top[i].Count)
+	}
+
+	// Look their posting lists up in the index.
+	postings := map[string][]int32{}
+	for _, p := range index {
+		postings[p.Word] = p.Docs
+	}
+	fmt.Println("\nposting lists:")
+	for i := 0; i < 3 && i < len(top); i++ {
+		w := top[i].Word
+		docsWith := postings[w]
+		show := docsWith
+		if len(show) > 8 {
+			show = show[:8]
+		}
+		fmt.Printf("  %-12s in %4d documents, first: %v\n", w, len(docsWith), show)
+	}
+
+	st := lcws.StatsOf(s)
+	fmt.Printf("\nscheduler counters: fences=%d cas=%d steals=%d exposures=%d\n",
+		st.Fences, st.CAS, st.StealSuccesses, st.Exposures)
+}

@@ -1,0 +1,160 @@
+package fig
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// chart geometry.
+const (
+	chartHeight = 16
+	chartColW   = 9 // columns per x position
+)
+
+// RenderChart writes the figure as ASCII charts: box plots render as
+// whisker columns (min–max whiskers, q1–q3 box, median marker) and series
+// panels as point charts with one symbol per series. It complements
+// Render (exact numbers) for eyeballing shapes against the paper's plots.
+func (f *Figure) RenderChart(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title)
+	for _, p := range f.Panels {
+		fmt.Fprintf(w, "\n  (%s)  [y: %s]\n", p.Title, p.YLabel)
+		if p.Boxes != nil {
+			renderBoxChart(w, &p)
+		}
+		if len(p.Series) > 0 {
+			renderSeriesChart(w, &p)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// yScale computes the panel's y range with a small margin.
+func yScale(lo, hi float64) (float64, float64) {
+	if !(hi > lo) { // equal or NaN ordering
+		hi = lo + 1
+	}
+	margin := (hi - lo) * 0.05
+	return lo - margin, hi + margin
+}
+
+// rowOf maps value v into a chart row (0 = top).
+func rowOf(v, lo, hi float64) int {
+	frac := (v - lo) / (hi - lo)
+	r := chartHeight - 1 - int(math.Round(frac*float64(chartHeight-1)))
+	if r < 0 {
+		r = 0
+	}
+	if r >= chartHeight {
+		r = chartHeight - 1
+	}
+	return r
+}
+
+func renderBoxChart(w io.Writer, p *Panel) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range p.Boxes {
+		lo = math.Min(lo, b.Min)
+		hi = math.Max(hi, b.Max)
+	}
+	lo, hi = yScale(lo, hi)
+	grid := newGrid(len(p.X))
+	for i, b := range p.Boxes {
+		col := i*chartColW + chartColW/2
+		for r := rowOf(b.Max, lo, hi); r <= rowOf(b.Min, lo, hi); r++ {
+			grid.set(r, col, '|')
+		}
+		for r := rowOf(b.Q3, lo, hi); r <= rowOf(b.Q1, lo, hi); r++ {
+			grid.set(r, col-1, '[')
+			grid.set(r, col, '#')
+			grid.set(r, col+1, ']')
+		}
+		grid.set(rowOf(b.Median, lo, hi), col, '=')
+	}
+	grid.flush(w, p, lo, hi)
+}
+
+// seriesMarks are the per-series point symbols.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '@', '%'}
+
+func renderSeriesChart(w io.Writer, p *Panel) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, v := range s.Y {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	lo, hi = yScale(lo, hi)
+	grid := newGrid(len(p.X))
+	for si, s := range p.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i, v := range s.Y {
+			col := i*chartColW + chartColW/2 + si - len(p.Series)/2
+			grid.set(rowOf(v, lo, hi), col, mark)
+		}
+	}
+	grid.flush(w, p, lo, hi)
+	legend := "    legend:"
+	for si, s := range p.Series {
+		legend += fmt.Sprintf("  %c=%s", seriesMarks[si%len(seriesMarks)], s.Label)
+	}
+	fmt.Fprintln(w, legend)
+}
+
+// textGrid is a fixed-size character canvas.
+type textGrid struct {
+	rows  [][]byte
+	width int
+}
+
+func newGrid(nx int) *textGrid {
+	width := nx * chartColW
+	g := &textGrid{width: width}
+	for r := 0; r < chartHeight; r++ {
+		g.rows = append(g.rows, []byte(strings.Repeat(" ", width)))
+	}
+	return g
+}
+
+func (g *textGrid) set(r, c int, ch byte) {
+	if r < 0 || r >= chartHeight || c < 0 || c >= g.width {
+		return
+	}
+	g.rows[r][c] = ch
+}
+
+// flush writes the canvas with a y-axis scale and the x labels.
+func (g *textGrid) flush(w io.Writer, p *Panel, lo, hi float64) {
+	for r := 0; r < chartHeight; r++ {
+		yv := hi - (hi-lo)*float64(r)/float64(chartHeight-1)
+		label := "        "
+		// Label the top, middle and bottom rows, plus the row closest
+		// to y = 1 (the speedup-parity line, drawn as dashes).
+		if r == 0 || r == chartHeight-1 || r == chartHeight/2 {
+			label = fmt.Sprintf("%8.3f", yv)
+		}
+		line := string(g.rows[r])
+		if lo < 1 && hi > 1 && r == rowOf(1, lo, hi) {
+			marked := []byte(line)
+			for c := range marked {
+				if marked[c] == ' ' {
+					marked[c] = '-'
+				}
+			}
+			line = string(marked)
+			if label == "        " {
+				label = "   1.000"
+			}
+		}
+		fmt.Fprintf(w, "  %s |%s\n", label, line)
+	}
+	xAxis := "           "
+	for _, x := range p.X {
+		xAxis += fmt.Sprintf("%-*d", chartColW, x)
+	}
+	fmt.Fprintf(w, "           %s\n", strings.Repeat("-", g.width))
+	fmt.Fprintln(w, xAxis)
+}

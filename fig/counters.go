@@ -1,0 +1,179 @@
+package fig
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"lcws"
+	"lcws/pbbs"
+)
+
+// CounterSweep holds the synchronization-operation counters of real
+// benchmark executions: one lcws.Stats per ⟨instance, policy, workers⟩.
+// It feeds Figures 3 and 8.
+type CounterSweep struct {
+	// Scale is the pbbs input scale the sweep ran at.
+	Scale pbbs.Scale
+	// Workers are the swept worker counts (the figures' x axes).
+	Workers []int
+	// Instances are the benchmark instance names, in suite order.
+	Instances []string
+	// Stats[instance][policy][workers] holds the run's counters.
+	Stats map[string]map[lcws.Policy]map[int]lcws.Stats
+}
+
+// RunCounterSweep executes every pbbs suite instance once per
+// ⟨policy, workers⟩ on the real schedulers and records the counters.
+// Verification failures panic: a profile of an incorrect run would be
+// meaningless.
+//
+// To obtain steal/exposure dynamics representative of a real multi-core
+// machine even on hosts with fewer CPUs than the requested worker
+// counts, the sweep raises GOMAXPROCS to the largest worker count for
+// its duration and runs the schedulers with task-granular cooperative
+// yielding (see lcws.WithYieldEvery).
+func RunCounterSweep(scale pbbs.Scale, workers []int, policies []lcws.Policy, seed uint64) *CounterSweep {
+	maxW := 1
+	for _, p := range workers {
+		if p > maxW {
+			maxW = p
+		}
+	}
+	if maxW > runtime.GOMAXPROCS(0) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(maxW))
+	}
+	sweep := &CounterSweep{
+		Scale:   scale,
+		Workers: workers,
+		Stats:   map[string]map[lcws.Policy]map[int]lcws.Stats{},
+	}
+	for _, inst := range pbbs.Suite(scale) {
+		name := inst.Name()
+		sweep.Instances = append(sweep.Instances, name)
+		sweep.Stats[name] = map[lcws.Policy]map[int]lcws.Stats{}
+		job := inst.Prepare()
+		for _, pol := range policies {
+			sweep.Stats[name][pol] = map[int]lcws.Stats{}
+			for _, p := range workers {
+				s := lcws.New(lcws.WithWorkers(p), lcws.WithPolicy(pol), lcws.WithSeed(seed),
+					lcws.WithYieldEvery(8))
+				s.Run(job.Run)
+				if err := job.Verify(); err != nil {
+					panic(fmt.Sprintf("fig: %s under %v with %d workers failed verification: %v", name, pol, p, err))
+				}
+				sweep.Stats[name][pol][p] = lcws.StatsOf(s)
+			}
+		}
+	}
+	sort.Strings(sweep.Instances)
+	return sweep
+}
+
+// ratioBoxes builds one Box per worker count from a per-instance ratio.
+func (cs *CounterSweep) ratioBoxes(f func(name string, p int) (float64, bool)) []Box {
+	out := make([]Box, len(cs.Workers))
+	for i, p := range cs.Workers {
+		var vals []float64
+		for _, name := range cs.Instances {
+			if v, ok := f(name, p); ok {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			vals = []float64{0}
+		}
+		out[i] = NewBox(vals)
+	}
+	return out
+}
+
+// ratio returns a/b, or (0, false) when b is zero.
+func ratio(a, b uint64) (float64, bool) {
+	if b == 0 {
+		return 0, false
+	}
+	return float64(a) / float64(b), true
+}
+
+// Figure3 reproduces the paper's Figure 3: the profile of USLCWS against
+// WS over all benchmark instances, varying the worker count — (a) memory
+// fence ratio, (b) CAS ratio, (c) successful-steal ratio, (d) fraction of
+// exposed work not stolen.
+func Figure3(cs *CounterSweep) *Figure {
+	boxPanel := func(title, ylabel string, f func(name string, p int) (float64, bool)) Panel {
+		return Panel{Title: title, XLabel: "workers", YLabel: ylabel, X: cs.Workers, Boxes: cs.ratioBoxes(f)}
+	}
+	get := func(name string, pol lcws.Policy, p int) lcws.Stats { return cs.Stats[name][pol][p] }
+	return &Figure{
+		ID:    "Figure 3",
+		Title: "Profile of USLCWS vs WS, all benchmarks (AMD32 profile)",
+		Panels: []Panel{
+			boxPanel("a: USLCWS fences / WS fences", "ratio", func(n string, p int) (float64, bool) {
+				return ratio(get(n, lcws.USLCWS, p).Fences, get(n, lcws.WS, p).Fences)
+			}),
+			boxPanel("b: USLCWS CAS / WS CAS", "ratio", func(n string, p int) (float64, bool) {
+				return ratio(get(n, lcws.USLCWS, p).CAS, get(n, lcws.WS, p).CAS)
+			}),
+			boxPanel("c: successful steals USLCWS / WS", "ratio", func(n string, p int) (float64, bool) {
+				return ratio(get(n, lcws.USLCWS, p).StealSuccesses, get(n, lcws.WS, p).StealSuccesses)
+			}),
+			boxPanel("d: exposed work not stolen (USLCWS)", "fraction", func(n string, p int) (float64, bool) {
+				st := get(n, lcws.USLCWS, p)
+				if st.Exposures == 0 {
+					return 0, false
+				}
+				return st.UnstolenFraction(), true
+			}),
+		},
+	}
+}
+
+// Figure8 reproduces the paper's Figure 8: the profile of the
+// signal-based LCWS implementation against WS (panels a–d) and against
+// USLCWS (panels e–h), varying the worker count.
+func Figure8(cs *CounterSweep) *Figure {
+	boxPanel := func(title, ylabel string, f func(name string, p int) (float64, bool)) Panel {
+		return Panel{Title: title, XLabel: "workers", YLabel: ylabel, X: cs.Workers, Boxes: cs.ratioBoxes(f)}
+	}
+	get := func(name string, pol lcws.Policy, p int) lcws.Stats { return cs.Stats[name][pol][p] }
+	return &Figure{
+		ID:    "Figure 8",
+		Title: "Profile of signal-based LCWS vs WS and vs USLCWS (AMD32 profile)",
+		Panels: []Panel{
+			boxPanel("a: Signal fences / WS fences", "ratio", func(n string, p int) (float64, bool) {
+				return ratio(get(n, lcws.SignalLCWS, p).Fences, get(n, lcws.WS, p).Fences)
+			}),
+			boxPanel("b: Signal CAS / WS CAS", "ratio", func(n string, p int) (float64, bool) {
+				return ratio(get(n, lcws.SignalLCWS, p).CAS, get(n, lcws.WS, p).CAS)
+			}),
+			boxPanel("c: Signal steals / WS steals", "ratio", func(n string, p int) (float64, bool) {
+				return ratio(get(n, lcws.SignalLCWS, p).StealSuccesses, get(n, lcws.WS, p).StealSuccesses)
+			}),
+			boxPanel("d: Signal unstolen fraction", "fraction", func(n string, p int) (float64, bool) {
+				st := get(n, lcws.SignalLCWS, p)
+				if st.Exposures == 0 {
+					return 0, false
+				}
+				return st.UnstolenFraction(), true
+			}),
+			boxPanel("e: Signal fences / USLCWS fences", "ratio", func(n string, p int) (float64, bool) {
+				return ratio(get(n, lcws.SignalLCWS, p).Fences, get(n, lcws.USLCWS, p).Fences)
+			}),
+			boxPanel("f: Signal CAS / USLCWS CAS", "ratio", func(n string, p int) (float64, bool) {
+				return ratio(get(n, lcws.SignalLCWS, p).CAS, get(n, lcws.USLCWS, p).CAS)
+			}),
+			boxPanel("g: Signal steals / USLCWS steals", "ratio", func(n string, p int) (float64, bool) {
+				return ratio(get(n, lcws.SignalLCWS, p).StealSuccesses, get(n, lcws.USLCWS, p).StealSuccesses)
+			}),
+			boxPanel("h: Signal unstolen / USLCWS unstolen", "ratio", func(n string, p int) (float64, bool) {
+				a := get(n, lcws.SignalLCWS, p).UnstolenFraction()
+				b := get(n, lcws.USLCWS, p).UnstolenFraction()
+				if b == 0 {
+					return 0, false
+				}
+				return a / b, true
+			}),
+		},
+	}
+}

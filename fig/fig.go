@@ -1,0 +1,177 @@
+// Package fig regenerates every table and figure of the paper's
+// evaluation (Table 1, Figures 3–8, and the §5.1/§5.2/§5.4 statistics).
+//
+// Two data sources feed the figures, mirroring DESIGN.md §2:
+//
+//   - Counter figures (3 and 8) come from real executions of the pbbs
+//     benchmark suite on the actual schedulers, reading the
+//     synchronization-operation counters (the figures are ratios of
+//     counts, which are hardware-independent).
+//   - Speedup figures (4–7) and the §5 statistics come from the
+//     deterministic simulator (package sim) sweeping the three Table 1
+//     machine profiles, because genuine multi-core wall-clock speedups
+//     cannot be measured on this reproduction's hosts.
+//
+// Figures render as aligned text (Render) and as CSV (WriteCSV) so the
+// series can be re-plotted directly against the paper's charts.
+package fig
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Box summarizes a box plot's five-number summary over one group of
+// samples (one x position of the paper's box plots).
+type Box struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// NewBox computes the five-number summary of values. It panics on an
+// empty input.
+func NewBox(values []float64) Box {
+	if len(values) == 0 {
+		panic("fig: empty box")
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	return Box{
+		Min:    v[0],
+		Q1:     quantile(v, 0.25),
+		Median: quantile(v, 0.5),
+		Q3:     quantile(v, 0.75),
+		Max:    v[len(v)-1],
+		N:      len(v),
+	}
+}
+
+// quantile returns the q-quantile of sorted values by linear
+// interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Panel is one subplot: either box plots (Boxes non-nil, one Box per X)
+// or line series (Series non-empty, each with one Y per X).
+type Panel struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []int
+	Boxes  []Box
+	Series []Series
+}
+
+// Series is one labelled line of a panel.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Figure is a paper figure: an identifier and its panels.
+type Figure struct {
+	ID     string // e.g. "Figure 3"
+	Title  string
+	Panels []Panel
+}
+
+// Render writes the figure as aligned text tables.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title)
+	for _, p := range f.Panels {
+		fmt.Fprintf(w, "\n  (%s)  [x: %s, y: %s]\n", p.Title, p.XLabel, p.YLabel)
+		if p.Boxes != nil {
+			fmt.Fprintf(w, "    %8s %10s %10s %10s %10s %10s %5s\n",
+				p.XLabel, "min", "q1", "median", "q3", "max", "n")
+			for i, x := range p.X {
+				b := p.Boxes[i]
+				fmt.Fprintf(w, "    %8d %10.4f %10.4f %10.4f %10.4f %10.4f %5d\n",
+					x, b.Min, b.Q1, b.Median, b.Q3, b.Max, b.N)
+			}
+		}
+		if len(p.Series) > 0 {
+			header := fmt.Sprintf("    %8s", p.XLabel)
+			for _, s := range p.Series {
+				header += fmt.Sprintf(" %10s", s.Label)
+			}
+			fmt.Fprintln(w, header)
+			for i, x := range p.X {
+				row := fmt.Sprintf("    %8d", x)
+				for _, s := range p.Series {
+					row += fmt.Sprintf(" %10.4f", s.Y[i])
+				}
+				fmt.Fprintln(w, row)
+			}
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV writes the figure's data as CSV rows:
+// figure,panel,x,series,value for series panels and
+// figure,panel,x,min,q1,median,q3,max for box panels.
+func (f *Figure) WriteCSV(w io.Writer) {
+	for _, p := range f.Panels {
+		if p.Boxes != nil {
+			fmt.Fprintf(w, "figure,panel,x,min,q1,median,q3,max,n\n")
+			for i, x := range p.X {
+				b := p.Boxes[i]
+				fmt.Fprintf(w, "%s,%s,%d,%g,%g,%g,%g,%g,%d\n",
+					csvEscape(f.ID), csvEscape(p.Title), x, b.Min, b.Q1, b.Median, b.Q3, b.Max, b.N)
+			}
+		}
+		if len(p.Series) > 0 {
+			fmt.Fprintf(w, "figure,panel,x,series,value\n")
+			for i, x := range p.X {
+				for _, s := range p.Series {
+					fmt.Fprintf(w, "%s,%s,%d,%s,%g\n",
+						csvEscape(f.ID), csvEscape(p.Title), x, csvEscape(s.Label), s.Y[i])
+				}
+			}
+		}
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// mean returns the arithmetic mean of values (0 for empty input).
+func mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// fractionAbove returns the fraction of values strictly above threshold.
+func fractionAbove(values []float64, threshold float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range values {
+		if v > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(values))
+}

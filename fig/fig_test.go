@@ -1,0 +1,327 @@
+package fig
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lcws"
+	"lcws/pbbs"
+	"lcws/sim"
+)
+
+// quickCounterSweep runs a small real-execution sweep shared by tests.
+var quickSweep *CounterSweep
+
+func getQuickSweep(t *testing.T) *CounterSweep {
+	t.Helper()
+	if quickSweep == nil {
+		quickSweep = RunCounterSweep(pbbs.Scale(0.02), []int{2, 4},
+			[]lcws.Policy{lcws.WS, lcws.USLCWS, lcws.SignalLCWS}, 1)
+	}
+	return quickSweep
+}
+
+func quickSimSweeps() []*SimSweep {
+	var out []*SimSweep
+	for _, m := range sim.Machines {
+		out = append(out, RunSimSweep(m, []int{1, 2, m.Cores}, 17))
+	}
+	return out
+}
+
+func TestNewBoxQuartiles(t *testing.T) {
+	b := NewBox([]float64{5, 1, 3, 2, 4})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.N != 5 {
+		t.Errorf("box = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Errorf("quartiles = %v, %v", b.Q1, b.Q3)
+	}
+	single := NewBox([]float64{7})
+	if single.Min != 7 || single.Q1 != 7 || single.Median != 7 || single.Max != 7 {
+		t.Errorf("single box = %+v", single)
+	}
+}
+
+func TestNewBoxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBox(nil) did not panic")
+		}
+	}()
+	NewBox(nil)
+}
+
+func TestMeanAndFractionAbove(t *testing.T) {
+	if mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if got := fractionAbove([]float64{0.5, 1.5, 2.5, 1.0}, 1); got != 0.5 {
+		t.Errorf("fractionAbove = %v, want 0.5", got)
+	}
+}
+
+func TestCounterSweepAndFigure3(t *testing.T) {
+	cs := getQuickSweep(t)
+	if len(cs.Instances) < 25 {
+		t.Fatalf("sweep covered %d instances", len(cs.Instances))
+	}
+	f := Figure3(cs)
+	if len(f.Panels) != 4 {
+		t.Fatalf("Figure 3 has %d panels, want 4", len(f.Panels))
+	}
+	// Headline result: USLCWS executes a small fraction of WS's fences
+	// (the paper reports < 1%–few %); the median ratio must be well
+	// below 1 at every worker count.
+	for i := range f.Panels[0].X {
+		if med := f.Panels[0].Boxes[i].Median; med >= 0.5 {
+			t.Errorf("fence ratio median at P=%d is %v; expected far below 1", f.Panels[0].X[i], med)
+		}
+	}
+	// CAS ratio must also be below 1 in the median.
+	for i := range f.Panels[1].X {
+		if med := f.Panels[1].Boxes[i].Median; med >= 1 {
+			t.Errorf("CAS ratio median at P=%d is %v; expected below 1", f.Panels[1].X[i], med)
+		}
+	}
+	var buf bytes.Buffer
+	f.Render(&buf)
+	if !strings.Contains(buf.String(), "Figure 3") {
+		t.Error("render missing title")
+	}
+	var csv bytes.Buffer
+	f.WriteCSV(&csv)
+	if !strings.Contains(csv.String(), "figure,panel,x,min") {
+		t.Error("CSV missing box header")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	cs := getQuickSweep(t)
+	f := Figure8(cs)
+	if len(f.Panels) != 8 {
+		t.Fatalf("Figure 8 has %d panels, want 8", len(f.Panels))
+	}
+	// Signal-based LCWS also runs with a small fraction of WS's fences.
+	for i := range f.Panels[0].X {
+		if med := f.Panels[0].Boxes[i].Median; med >= 0.5 {
+			t.Errorf("signal fence ratio median at P=%d is %v", f.Panels[0].X[i], med)
+		}
+	}
+}
+
+func TestSimSweepSpeedupFigures(t *testing.T) {
+	sweeps := quickSimSweeps()
+	f4 := Figure4(sweeps)
+	f5 := Figure5(sweeps)
+	f6 := Figure6(sweeps)
+	f7 := Figure7(sweeps)
+	if len(f4.Panels) != 3 || len(f5.Panels) != 3 || len(f6.Panels) != 3 || len(f7.Panels) != 3 {
+		t.Fatal("speedup figures must have one panel per machine")
+	}
+	for _, sw := range sweeps {
+		// Paper headline shapes: at P=1 every LCWS variant beats WS...
+		for _, pol := range lcws.LCWSPolicies {
+			if sp := mean(sw.speedups(pol, 1)); sp <= 1 {
+				t.Errorf("%s: %v avg speedup at P=1 is %.3f, want > 1", sw.Machine.Name, pol, sp)
+			}
+		}
+		// ...and at P=cores the signal-based scheduler is on par with WS
+		// (paper: 99%–102%).
+		atCores := mean(sw.speedups(lcws.SignalLCWS, sw.Machine.Cores))
+		if atCores < 0.9 || atCores > 1.1 {
+			t.Errorf("%s: Signal avg at P=cores is %.3f, want ≈ 1", sw.Machine.Name, atCores)
+		}
+		// USLCWS at P=cores falls below Signal (the paper's reason for
+		// building the signal-based version).
+		us := mean(sw.speedups(lcws.USLCWS, sw.Machine.Cores))
+		if us >= atCores {
+			t.Errorf("%s: USLCWS at P=cores (%.3f) should trail Signal (%.3f)", sw.Machine.Name, us, atCores)
+		}
+	}
+	// Figure 6 series are percentages.
+	for _, p := range f6.Panels {
+		for _, s := range p.Series {
+			for _, y := range s.Y {
+				if y < 0 || y > 100 {
+					t.Errorf("Figure 6 value %v out of [0,100]", y)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsRender(t *testing.T) {
+	sweeps := quickSimSweeps()
+	var buf bytes.Buffer
+	Stats51(&buf, sweeps)
+	Stats52(&buf, sweeps)
+	Stats54(&buf, sweeps)
+	out := buf.String()
+	for _, want := range []string{"§5.1", "§5.2", "§5.4", "AMD32", "Intel12", "Intel16", "best-variant share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q", want)
+		}
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	out := buf.String()
+	for _, want := range []string{"Intel12", "AMD32", "Intel16", "12/24", "32/64", "16/16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if csvEscape("plain") != "plain" {
+		t.Error("plain string escaped")
+	}
+	if csvEscape(`a,b`) != `"a,b"` {
+		t.Error("comma not quoted")
+	}
+	if csvEscape(`a"b`) != `"a""b"` {
+		t.Error("quote not doubled")
+	}
+}
+
+func TestBenchOf(t *testing.T) {
+	if benchOf("integerSort/randomSeq_int") != "integerSort" {
+		t.Error("benchOf failed")
+	}
+	if benchOf("noslash") != "noslash" {
+		t.Error("benchOf without slash failed")
+	}
+}
+
+func TestRenderChartBoxAndSeries(t *testing.T) {
+	f := &Figure{
+		ID:    "Figure T",
+		Title: "chart test",
+		Panels: []Panel{
+			{
+				Title: "boxes", XLabel: "workers", YLabel: "speedup",
+				X: []int{1, 2, 4},
+				Boxes: []Box{
+					{Min: 0.8, Q1: 0.95, Median: 1.0, Q3: 1.05, Max: 1.2, N: 5},
+					{Min: 0.9, Q1: 0.98, Median: 1.02, Q3: 1.08, Max: 1.15, N: 5},
+					{Min: 0.7, Q1: 0.9, Median: 0.97, Q3: 1.01, Max: 1.1, N: 5},
+				},
+			},
+			{
+				Title: "series", XLabel: "workers", YLabel: "avg",
+				X: []int{1, 2, 4},
+				Series: []Series{
+					{Label: "A", Y: []float64{1.0, 1.1, 0.9}},
+					{Label: "B", Y: []float64{1.05, 1.0, 0.95}},
+				},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	f.RenderChart(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure T", "boxes", "series", "legend:", "A", "B", "=", "#", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart output missing %q", want)
+		}
+	}
+	// The parity line (y=1) must be drawn since the range straddles 1.
+	if !strings.Contains(out, "1.000") {
+		t.Error("chart missing the y=1 parity label")
+	}
+}
+
+func TestRenderChartDegenerateRange(t *testing.T) {
+	f := &Figure{ID: "X", Title: "flat", Panels: []Panel{{
+		Title: "flat", X: []int{1}, Series: []Series{{Label: "s", Y: []float64{2, 2, 2}[:1]}},
+	}}}
+	var buf bytes.Buffer
+	f.RenderChart(&buf) // must not panic on zero-span y range
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestFigureMultiprog(t *testing.T) {
+	// One small machine keeps the test quick.
+	machines := []sim.Machine{sim.Machines[0]}
+	f := FigureMultiprog(machines, 21)
+	if len(f.Panels) != 1 || len(f.Panels[0].Series) != 4 {
+		t.Fatalf("multiprog figure shape wrong: %d panels", len(f.Panels))
+	}
+	for _, s := range f.Panels[0].Series {
+		for i, y := range s.Y {
+			if y < 0.99 {
+				t.Errorf("%s: slowdown %v below 1 at x=%d", s.Label, y, f.Panels[0].X[i])
+			}
+			if y > 4 {
+				t.Errorf("%s: slowdown %v implausibly large", s.Label, y)
+			}
+		}
+		// Full availability during the "revocation" window must be free.
+		if last := s.Y[len(s.Y)-1]; last != 1 {
+			t.Errorf("%s: no-revocation slowdown = %v, want exactly 1", s.Label, last)
+		}
+	}
+}
+
+// TestSimAndRealCounterModesAgree cross-validates the two measurement
+// modes: the simulator and the real schedulers must agree on the
+// headline synchronization ratios (LCWS fences a tiny fraction of WS's,
+// CAS well below WS's) at the same worker count.
+func TestSimAndRealCounterModesAgree(t *testing.T) {
+	const workers = 4
+
+	// Real executions, aggregated over the suite.
+	cs := getQuickSweep(t)
+	var realWS, realSig lcws.Stats
+	for _, name := range cs.Instances {
+		ws := cs.Stats[name][lcws.WS][workers]
+		sg := cs.Stats[name][lcws.SignalLCWS][workers]
+		realWS.Fences += ws.Fences
+		realWS.CAS += ws.CAS
+		realSig.Fences += sg.Fences
+		realSig.CAS += sg.CAS
+	}
+	realFenceRatio := float64(realSig.Fences) / float64(realWS.Fences)
+	realCASRatio := float64(realSig.CAS) / float64(realWS.CAS)
+
+	// Simulated executions over the workload models.
+	m, _ := sim.MachineByName("AMD32")
+	var simWS, simSig sim.Result
+	for _, w := range sim.Workloads() {
+		ws := sim.Simulate(w.Phases, lcws.WS, workers, m, 3)
+		sg := sim.Simulate(w.Phases, lcws.SignalLCWS, workers, m, 3)
+		simWS.Fences += ws.Fences
+		simWS.CAS += ws.CAS
+		simSig.Fences += sg.Fences
+		simSig.CAS += sg.CAS
+	}
+	simFenceRatio := float64(simSig.Fences) / float64(simWS.Fences)
+	simCASRatio := float64(simSig.CAS) / float64(simWS.CAS)
+
+	t.Logf("fence ratio: real %.4f, sim %.4f", realFenceRatio, simFenceRatio)
+	t.Logf("CAS ratio:   real %.4f, sim %.4f", realCASRatio, simCASRatio)
+	for name, r := range map[string]float64{
+		"real fences": realFenceRatio, "sim fences": simFenceRatio,
+	} {
+		if r > 0.1 {
+			t.Errorf("%s ratio %.4f; LCWS should eliminate almost all fences", name, r)
+		}
+	}
+	for name, r := range map[string]float64{
+		"real CAS": realCASRatio, "sim CAS": simCASRatio,
+	} {
+		if r > 0.6 {
+			t.Errorf("%s ratio %.4f; LCWS should use well under WS's CAS", name, r)
+		}
+	}
+}

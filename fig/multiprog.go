@@ -1,0 +1,59 @@
+package fig
+
+import (
+	"lcws"
+	"lcws/sim"
+)
+
+// FigureMultiprog is the multiprogrammed-environment extension experiment
+// (beyond the paper's evaluation, motivated by its §1.1): mid-run — from
+// 30% to 60% of each policy's full-machine completion time — a resource
+// manager revokes cores so that only `avail` processors may run, and the
+// figure reports completion time normalized to the policy's own
+// full-machine run, averaged over all workloads (lower is better; 1.0
+// means revocation was free). The window falls mid-run so revoked workers
+// park holding work: under WS their whole deques stay stealable, while
+// under the LCWS schedulers the private parts are stranded and exposure
+// requests go unhandled until the cores return — the experiment measures
+// that structural cost of privacy under revocation.
+func FigureMultiprog(machines []sim.Machine, seed uint64) *Figure {
+	policies := []lcws.Policy{lcws.WS, lcws.USLCWS, lcws.SignalLCWS, lcws.LaceWS}
+	f := &Figure{
+		ID:    "Figure M (extension)",
+		Title: "Slowdown under core revocation (30% of the run), normalized per policy",
+	}
+	workloads := sim.Workloads()
+	for _, m := range machines {
+		avails := []int{m.Cores / 8, m.Cores / 4, m.Cores / 2, m.Cores}
+		for i := range avails {
+			if avails[i] < 1 {
+				avails[i] = 1
+			}
+		}
+		panel := Panel{
+			Title:  m.Name,
+			XLabel: "cores during revocation",
+			YLabel: "time / full-machine time",
+			X:      avails,
+		}
+		for _, pol := range policies {
+			ys := make([]float64, len(avails))
+			for ai, avail := range avails {
+				total := 0.0
+				for _, w := range workloads {
+					full := sim.Simulate(w.Phases, pol, m.Cores, m, seed)
+					tr := sim.Trace{
+						{Until: full.Time * 0.3, Procs: m.Cores},
+						{Until: full.Time * 0.6, Procs: avail},
+					}
+					revoked := sim.SimulateTrace(w.Phases, pol, m.Cores, m, seed, tr)
+					total += revoked.Time / full.Time
+				}
+				ys[ai] = total / float64(len(workloads))
+			}
+			panel.Series = append(panel.Series, Series{Label: pol.String(), Y: ys})
+		}
+		f.Panels = append(f.Panels, panel)
+	}
+	return f
+}

@@ -1,0 +1,165 @@
+package fig
+
+import (
+	"lcws"
+	"lcws/sim"
+)
+
+// SimSweep holds simulated runtimes of every benchmark configuration on
+// one machine profile: Times[instance][policy][workers]. It feeds
+// Figures 4–7 and the §5 statistics.
+type SimSweep struct {
+	Machine   sim.Machine
+	Workers   []int
+	Instances []string
+	Times     map[string]map[lcws.Policy]map[int]float64
+}
+
+// simPolicies is the WS baseline, the paper's four LCWS variants, and
+// the Lace comparator (used by the FigureLace extension).
+var simPolicies = []lcws.Policy{lcws.WS, lcws.USLCWS, lcws.SignalLCWS, lcws.ConsLCWS, lcws.HalfLCWS, lcws.LaceWS}
+
+// RunSimSweep simulates every workload model under every policy for each
+// worker count on machine m. Deterministic in seed.
+func RunSimSweep(m sim.Machine, workers []int, seed uint64) *SimSweep {
+	if workers == nil {
+		workers = m.WorkerSweep()
+	}
+	out := &SimSweep{Machine: m, Workers: workers, Times: map[string]map[lcws.Policy]map[int]float64{}}
+	for _, w := range sim.Workloads() {
+		w := w
+		name := w.Name()
+		out.Instances = append(out.Instances, name)
+		out.Times[name] = map[lcws.Policy]map[int]float64{}
+		for _, pol := range simPolicies {
+			out.Times[name][pol] = map[int]float64{}
+			for _, p := range workers {
+				out.Times[name][pol][p] = sim.Simulate(w.Phases, pol, p, m, seed).Time
+			}
+		}
+	}
+	return out
+}
+
+// Speedup returns the speedup of pol against the WS baseline for one
+// configuration.
+func (ss *SimSweep) Speedup(instance string, pol lcws.Policy, workers int) float64 {
+	return sim.Speedup(ss.Times[instance][lcws.WS][workers], ss.Times[instance][pol][workers])
+}
+
+// speedups collects pol's speedup over every instance at one worker
+// count.
+func (ss *SimSweep) speedups(pol lcws.Policy, workers int) []float64 {
+	out := make([]float64, 0, len(ss.Instances))
+	for _, name := range ss.Instances {
+		out = append(out, ss.Speedup(name, pol, workers))
+	}
+	return out
+}
+
+// boxFigure builds a per-machine box plot figure of pol's speedups
+// (Figures 4 and 7 of the paper).
+func boxFigure(id, title string, sweeps []*SimSweep, pol lcws.Policy) *Figure {
+	f := &Figure{ID: id, Title: title}
+	for _, ss := range sweeps {
+		boxes := make([]Box, len(ss.Workers))
+		for i, p := range ss.Workers {
+			boxes[i] = NewBox(ss.speedups(pol, p))
+		}
+		f.Panels = append(f.Panels, Panel{
+			Title:  ss.Machine.Name,
+			XLabel: "workers",
+			YLabel: "speedup vs WS",
+			X:      ss.Workers,
+			Boxes:  boxes,
+		})
+	}
+	return f
+}
+
+// Figure4 reproduces the paper's Figure 4: box plots of USLCWS's speedup
+// against WS per machine, varying the worker count over all benchmark
+// configurations.
+func Figure4(sweeps []*SimSweep) *Figure {
+	return boxFigure("Figure 4", "Speedup of USLCWS vs WS (box over all configurations)", sweeps, lcws.USLCWS)
+}
+
+// Figure7 reproduces the paper's Figure 7: box plots of the signal-based
+// version's speedup against WS per machine.
+func Figure7(sweeps []*SimSweep) *Figure {
+	return boxFigure("Figure 7", "Speedup of signal-based LCWS vs WS (box over all configurations)", sweeps, lcws.SignalLCWS)
+}
+
+// Figure5 reproduces the paper's Figure 5: per-machine average speedups
+// of the four LCWS variants against WS, varying the worker count.
+func Figure5(sweeps []*SimSweep) *Figure {
+	f := &Figure{ID: "Figure 5", Title: "Average speedups vs WS (User, Signal, Cons, Half)"}
+	for _, ss := range sweeps {
+		panel := Panel{
+			Title:  ss.Machine.Name,
+			XLabel: "workers",
+			YLabel: "avg speedup",
+			X:      ss.Workers,
+		}
+		for _, pol := range lcws.LCWSPolicies {
+			ys := make([]float64, len(ss.Workers))
+			for i, p := range ss.Workers {
+				ys[i] = mean(ss.speedups(pol, p))
+			}
+			panel.Series = append(panel.Series, Series{Label: pol.String(), Y: ys})
+		}
+		f.Panels = append(f.Panels, panel)
+	}
+	return f
+}
+
+// FigureLace is an extension beyond the paper: it compares the Lace
+// comparator (related work §2) against USLCWS and the signal-based
+// scheduler, per machine — average speedup over WS by worker count.
+// The paper argues Lace's task-boundary request handling gives little
+// room for parallelism on coarse sequential tasks; this figure measures
+// that contrast directly.
+func FigureLace(sweeps []*SimSweep) *Figure {
+	f := &Figure{ID: "Figure L (extension)", Title: "Lace vs USLCWS vs signal-based LCWS: average speedup over WS"}
+	for _, ss := range sweeps {
+		panel := Panel{
+			Title:  ss.Machine.Name,
+			XLabel: "workers",
+			YLabel: "avg speedup",
+			X:      ss.Workers,
+		}
+		for _, pol := range []lcws.Policy{lcws.USLCWS, lcws.SignalLCWS, lcws.LaceWS} {
+			ys := make([]float64, len(ss.Workers))
+			for i, p := range ss.Workers {
+				ys[i] = mean(ss.speedups(pol, p))
+			}
+			panel.Series = append(panel.Series, Series{Label: pol.String(), Y: ys})
+		}
+		f.Panels = append(f.Panels, panel)
+	}
+	return f
+}
+
+// Figure6 reproduces the paper's Figure 6: the percentage of benchmark
+// configurations on which each variant obtained a speedup above 1,
+// varying the worker count, per machine.
+func Figure6(sweeps []*SimSweep) *Figure {
+	f := &Figure{ID: "Figure 6", Title: "% of configurations with speedup > 1"}
+	for _, ss := range sweeps {
+		panel := Panel{
+			Title:  ss.Machine.Name,
+			XLabel: "workers",
+			YLabel: "% configs > 1",
+			X:      ss.Workers,
+		}
+		for _, pol := range lcws.LCWSPolicies {
+			ys := make([]float64, len(ss.Workers))
+			for i, p := range ss.Workers {
+				ys[i] = 100 * fractionAbove(ss.speedups(pol, p), 1)
+			}
+			panel.Series = append(panel.Series, Series{Label: pol.String(), Y: ys})
+		}
+		f.Panels = append(f.Panels, panel)
+	}
+	return f
+}

@@ -1,0 +1,188 @@
+package fig
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"lcws"
+)
+
+// benchOf extracts the benchmark name from an "benchmark/input" instance
+// name.
+func benchOf(instance string) string {
+	if i := strings.IndexByte(instance, '/'); i >= 0 {
+		return instance[:i]
+	}
+	return instance
+}
+
+// Stats51 renders the §5.1 statistics for USLCWS: per-machine average
+// gain over all configurations, the average at and below half the core
+// count, and the best/worst configuration per benchmark.
+func Stats51(w io.Writer, sweeps []*SimSweep) {
+	fmt.Fprintln(w, "§5.1 statistics — USLCWS vs WS")
+	for _, ss := range sweeps {
+		var all, lowP []float64
+		for _, p := range ss.Workers {
+			sp := ss.speedups(lcws.USLCWS, p)
+			all = append(all, sp...)
+			if p <= ss.Machine.Cores/2 {
+				lowP = append(lowP, sp...)
+			}
+		}
+		atCores := ss.speedups(lcws.USLCWS, ss.Machine.Cores)
+		fmt.Fprintf(w, "  %s: overall avg %.3f; avg at P<=cores/2 %.3f; avg at P=cores %.3f\n",
+			ss.Machine.Name, mean(all), mean(lowP), mean(atCores))
+
+		// Best and worst configuration per benchmark on this machine.
+		best := map[string]float64{}
+		worst := map[string]float64{}
+		for _, name := range ss.Instances {
+			b := benchOf(name)
+			for _, p := range ss.Workers {
+				sp := ss.Speedup(name, lcws.USLCWS, p)
+				if cur, ok := best[b]; !ok || sp > cur {
+					best[b] = sp
+				}
+				if cur, ok := worst[b]; !ok || sp < cur {
+					worst[b] = sp
+				}
+			}
+		}
+		bmin, bmax := extremes(best)
+		wmin, wmax := extremes(worst)
+		fmt.Fprintf(w, "    best-config gains per benchmark span %+.1f%% .. %+.1f%%; worst-config span %+.1f%% .. %+.1f%%\n",
+			100*(bmin-1), 100*(bmax-1), 100*(wmin-1), 100*(wmax-1))
+	}
+}
+
+func extremes(m map[string]float64) (lo, hi float64) {
+	first := true
+	for _, v := range m {
+		if first {
+			lo, hi = v, v
+			first = false
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Stats52 renders the §5.2 statistics for the signal-based scheduler:
+// per-machine fraction of configurations with speedup above 1 and the
+// gain buckets (>5%, >10%, >15%, >20%), the average at P = cores, and
+// the worst configurations.
+func Stats52(w io.Writer, sweeps []*SimSweep) {
+	fmt.Fprintln(w, "§5.2 statistics — signal-based LCWS vs WS")
+	for _, ss := range sweeps {
+		var all []float64
+		for _, p := range ss.Workers {
+			all = append(all, ss.speedups(lcws.SignalLCWS, p)...)
+		}
+		atCores := mean(ss.speedups(lcws.SignalLCWS, ss.Machine.Cores))
+		fmt.Fprintf(w, "  %s: avg at P=cores %.3f; speedup>1 for %.0f%% of executions; gains >5%%: %.0f%%, >10%%: %.0f%%, >15%%: %.0f%%, >20%%: %.0f%%\n",
+			ss.Machine.Name, atCores,
+			100*fractionAbove(all, 1),
+			100*fractionAbove(all, 1.05),
+			100*fractionAbove(all, 1.10),
+			100*fractionAbove(all, 1.15),
+			100*fractionAbove(all, 1.20))
+
+		// Worst configurations (the paper names decisionTree/covtype and
+		// backForwardBFS/3Dgrid at high worker counts).
+		type cfg struct {
+			name string
+			p    int
+			sp   float64
+		}
+		var worst []cfg
+		for _, name := range ss.Instances {
+			for _, p := range ss.Workers {
+				worst = append(worst, cfg{name, p, ss.Speedup(name, lcws.SignalLCWS, p)})
+			}
+		}
+		sort.Slice(worst, func(a, b int) bool { return worst[a].sp < worst[b].sp })
+		fmt.Fprintf(w, "    worst configurations:")
+		for _, c := range worst[:3] {
+			fmt.Fprintf(w, "  ⟨%s, %d⟩ %.2f", c.name, c.p, c.sp)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Stats54 renders the §5.4 statistics: for how many configurations each
+// LCWS variant is the best of the four, per machine, plus Expose Half's
+// best/worst gains.
+func Stats54(w io.Writer, sweeps []*SimSweep) {
+	fmt.Fprintln(w, "§5.4 statistics — Conservative Exposure and Expose Half")
+	for _, ss := range sweeps {
+		bestCount := map[lcws.Policy]int{}
+		total := 0
+		var halfAll []float64
+		for _, name := range ss.Instances {
+			for _, p := range ss.Workers {
+				bestPol, bestSp := lcws.Policy(0), -1.0
+				for _, pol := range lcws.LCWSPolicies {
+					sp := ss.Speedup(name, pol, p)
+					if sp > bestSp {
+						bestSp, bestPol = sp, pol
+					}
+					if pol == lcws.HalfLCWS {
+						halfAll = append(halfAll, sp)
+					}
+				}
+				bestCount[bestPol]++
+				total++
+			}
+		}
+		fmt.Fprintf(w, "  %s: best-variant share:", ss.Machine.Name)
+		for _, pol := range lcws.LCWSPolicies {
+			fmt.Fprintf(w, "  %s %.0f%%", pol, 100*float64(bestCount[pol])/float64(total))
+		}
+		lo, hi := minMax(halfAll)
+		fmt.Fprintf(w, "; Half speedups span %+.1f%% .. %+.1f%%\n", 100*(lo-1), 100*(hi-1))
+	}
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Table1 renders the paper's Table 1: the simulated machine profiles.
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1 — Computers used in the (simulated) experimental evaluation")
+	fmt.Fprintf(w, "  %-8s %-30s %-14s %s\n", "Name", "CPU (profile)", "Cores/Threads", "Cost model (fence/CAS/steal/signal)")
+	rows := []struct{ name, cpu, ct string }{
+		{"Intel12", "2 x Intel Xeon E5-2620 v2", "12/24"},
+		{"AMD32", "4 x AMD Opteron 6272", "32/64"},
+		{"Intel16", "2 x Intel Xeon E5-2609 v4", "16/16"},
+	}
+	for _, r := range rows {
+		for _, m := range machinesForTable() {
+			if m.Name == r.name {
+				fmt.Fprintf(w, "  %-8s %-30s %-14s %.0f/%.0f/%.0f/%.0f cycles\n",
+					r.name, r.cpu, r.ct, m.FenceCost, m.CASCost, m.StealCost, m.SignalCost)
+			}
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package fig
+
+import "lcws/sim"
+
+// machinesForTable exposes the sim machine profiles to Table1.
+func machinesForTable() []sim.Machine { return sim.Machines }

@@ -1,0 +1,3 @@
+module lcws
+
+go 1.22

@@ -1,0 +1,95 @@
+package core
+
+// Fork2 executes left and right as a fork-join pair: right is pushed onto
+// the worker's deque (where a thief — after an exposure in the LCWS
+// schedulers — may steal it) and left runs immediately. After left
+// returns, the worker takes right back from its own deque and runs it
+// inline, or, if right was stolen, helps execute other tasks until the
+// thief completes it. Fork2 returns only when both branches are done.
+//
+// This is the work-first discipline of Parlay's fork_join_pair: on the
+// fast path (no steal) the only scheduler cost is one push and one pop of
+// the worker's own deque — which is exactly where LCWS saves its fences.
+func Fork2(w *Worker, left, right func(*Worker)) {
+	rt := &Task{fn: right}
+	w.push(rt)
+	left(w)
+	if t := w.popLocal(); t != nil {
+		// LIFO discipline guarantees the bottom-most task is rt: every
+		// task left pushed was joined before left returned.
+		if t != rt {
+			panic("core: fork-join LIFO violation (bottom of deque is not the forked sibling)")
+		}
+		w.runTask(t)
+		return
+	}
+	// rt was stolen (or exposed and then stolen); work on other tasks
+	// until the thief finishes it.
+	w.helpUntil(rt.done.Load)
+}
+
+// Fork4 is a convenience two-level Fork2 for four-way forks.
+func Fork4(w *Worker, a, b, c, d func(*Worker)) {
+	Fork2(w,
+		func(w *Worker) { Fork2(w, a, b) },
+		func(w *Worker) { Fork2(w, c, d) },
+	)
+}
+
+// ForkN executes any number of branches as a balanced fork-join tree and
+// returns when all are done.
+func ForkN(w *Worker, fns ...func(*Worker)) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0](w)
+		return
+	case 2:
+		Fork2(w, fns[0], fns[1])
+		return
+	}
+	mid := len(fns) / 2
+	Fork2(w,
+		func(w *Worker) { ForkN(w, fns[:mid]...) },
+		func(w *Worker) { ForkN(w, fns[mid:]...) },
+	)
+}
+
+// defaultGrainDiv controls the automatic grain size of ParFor: ranges are
+// split until about 8×P leaves exist, matching Parlay's default
+// granularity heuristic.
+const defaultGrainDiv = 8
+
+// ParFor executes body(w, i) for every i in [lo, hi) with recursive binary
+// splitting. grain is the largest range executed sequentially; when
+// grain <= 0 a default of max(1, (hi-lo)/(8*P)) is used. Leaf loops call
+// Poll every iteration (the masked fast path keeps this cheap), so
+// signal-based schedulers can expose work mid-leaf.
+func ParFor(w *Worker, lo, hi, grain int, body func(w *Worker, i int)) {
+	if lo >= hi {
+		return
+	}
+	if grain <= 0 {
+		grain = (hi - lo) / (defaultGrainDiv * w.Workers())
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	parForRec(w, lo, hi, grain, body)
+}
+
+func parForRec(w *Worker, lo, hi, grain int, body func(w *Worker, i int)) {
+	if hi-lo <= grain {
+		for i := lo; i < hi; i++ {
+			body(w, i)
+			w.Poll()
+		}
+		return
+	}
+	mid := lo + (hi-lo)/2
+	Fork2(w,
+		func(w *Worker) { parForRec(w, lo, mid, grain, body) },
+		func(w *Worker) { parForRec(w, mid, hi, grain, body) },
+	)
+}

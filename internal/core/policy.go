@@ -1,0 +1,136 @@
+// Package core implements the paper's schedulers: the Work Stealing
+// baseline (WS) and four LCWS variants (user-space USLCWS of §3, the
+// signal-based scheduler of §4, and the Conservative Exposure and Expose
+// Half variants of §4.1), over the deques of internal/deque.
+//
+// # Signal emulation
+//
+// The paper's signal-based schedulers deliver work-exposure requests with
+// pthread_kill: the handler runs update_public_bottom on the victim's own
+// thread at an arbitrary instruction boundary, so requests are handled in
+// constant time (up to OS signal latency — footnote 2). Go cannot deliver a
+// signal to a specific goroutine, so this package emulates delivery with a
+// per-worker pending word: a thief stores to it ("sends the signal"), and
+// the victim's goroutine polls it at scheduler points and at Poll/Checkpoint
+// calls that computational kernels place inside their loops. The handler
+// therefore still runs on the owner's goroutine at a bounded-distance
+// instruction boundary, preserving both the ownership discipline and the
+// constant-time-exposure property, with the checkpoint interval playing the
+// role of OS delivery latency. USLCWS ignores the pending word entirely and
+// only notices its targeted flag at task boundaries, exactly as in §3.
+package core
+
+import (
+	"fmt"
+
+	"lcws/internal/deque"
+)
+
+// Policy selects which scheduler the worker pool runs.
+type Policy uint8
+
+const (
+	// WS is the baseline Work Stealing scheduler with fully concurrent
+	// Chase-Lev deques (Parlay's stock scheduler in the paper).
+	WS Policy = iota
+	// USLCWS is the user-space LCWS of §3: thieves set the victim's
+	// targeted flag; the victim notices it only at task boundaries.
+	USLCWS
+	// SignalLCWS is the signal-based LCWS of §4: notifications are
+	// handled in constant time via the emulated signal mechanism, with
+	// the §4 race-fixed pop_bottom.
+	SignalLCWS
+	// ConsLCWS is the Conservative Exposure variant of §4.1.1: signals
+	// are sent only when the victim has at least two tasks, and the
+	// handler exposes only when at least two private tasks remain, so
+	// the original pop_bottom stays race-free.
+	ConsLCWS
+	// HalfLCWS is the Expose Half variant of §4.1.2: the handler exposes
+	// round(r/2) of the r private tasks when r >= 3.
+	HalfLCWS
+	// LaceWS is the Lace scheduler of van Dijk and van de Pol (the
+	// related-work baseline of §2): split deques with flag-based
+	// exposure requests observed only at deque accesses (like USLCWS),
+	// half-of-deque exposure, and — unlike every LCWS variant — the
+	// ability to "unexpose": when the private part empties while public
+	// work remains, the owner reclaims the whole public part in one
+	// synchronized step instead of draining it task by task.
+	LaceWS
+
+	numPolicies
+)
+
+// NumPolicies is the number of scheduler policies.
+const NumPolicies = int(numPolicies)
+
+// Policies lists every policy in presentation order (baseline first,
+// the paper's four LCWS variants, then the Lace comparator).
+var Policies = [NumPolicies]Policy{WS, USLCWS, SignalLCWS, ConsLCWS, HalfLCWS, LaceWS}
+
+// LCWSPolicies lists the four LCWS-based policies the paper evaluates
+// against the WS baseline, in the order used by Figures 5 and 6
+// (User, Signal, Cons, Half).
+var LCWSPolicies = [4]Policy{USLCWS, SignalLCWS, ConsLCWS, HalfLCWS}
+
+var policyNames = [NumPolicies]string{
+	WS:         "WS",
+	USLCWS:     "USLCWS",
+	SignalLCWS: "Signal",
+	ConsLCWS:   "Cons",
+	HalfLCWS:   "Half",
+	LaceWS:     "Lace",
+}
+
+// String returns the short name used in the paper's figures
+// (WS, USLCWS/User, Signal, Cons, Half).
+func (p Policy) String() string {
+	if int(p) >= NumPolicies {
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+	return policyNames[p]
+}
+
+// ParsePolicy returns the policy with the given String name.
+func ParsePolicy(name string) (Policy, error) {
+	for i, n := range policyNames {
+		if n == name {
+			return Policy(i), nil
+		}
+	}
+	if name == "User" { // figure-label alias for USLCWS
+		return USLCWS, nil
+	}
+	return 0, fmt.Errorf("core: unknown policy %q", name)
+}
+
+// SplitDeque reports whether the policy uses the LCWS split deque
+// (all policies except the WS baseline).
+func (p Policy) SplitDeque() bool { return p != WS }
+
+// SignalBased reports whether thieves notify victims through the emulated
+// signal mechanism (handled at checkpoints) rather than the task-boundary
+// targeted flag.
+func (p Policy) SignalBased() bool {
+	return p == SignalLCWS || p == ConsLCWS || p == HalfLCWS
+}
+
+// raceFixPop reports whether the split deque must use the §4 signal-safe
+// pop_bottom. The Conservative variant avoids the race by construction and
+// keeps the original pop_bottom; USLCWS never exposes mid-task.
+func (p Policy) raceFixPop() bool { return p == SignalLCWS || p == HalfLCWS }
+
+// exposeMode returns the work-exposure policy of the scheduler's handler.
+func (p Policy) exposeMode() deque.ExposeMode {
+	switch p {
+	case ConsLCWS:
+		return deque.ExposeConservative
+	case HalfLCWS, LaceWS:
+		return deque.ExposeHalf
+	default:
+		return deque.ExposeOne
+	}
+}
+
+// flagBased reports whether exposure requests are observed only at task
+// boundaries via the targeted flag (USLCWS and Lace).
+func (p Policy) flagBased() bool { return p == USLCWS || p == LaceWS }

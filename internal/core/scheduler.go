@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lcws/internal/counters"
+	"lcws/internal/deque"
+	"lcws/internal/rng"
+)
+
+// Options configures a Scheduler.
+type Options struct {
+	// Workers is the number of processors (worker goroutines), P in the
+	// paper. Defaults to 1 when non-positive.
+	Workers int
+	// Policy selects the scheduler algorithm. The zero value is the WS
+	// baseline.
+	Policy Policy
+	// DequeCapacity sets the per-worker deque capacity
+	// (deque.DefaultCapacity when non-positive).
+	DequeCapacity int
+	// Seed seeds the workers' victim-selection PRNGs; runs with equal
+	// options and deterministic workloads make identical scheduling
+	// decisions up to goroutine interleaving.
+	Seed uint64
+	// YieldEvery makes each worker call runtime.Gosched after executing
+	// that many tasks (0 = never). On hosts with fewer CPUs than
+	// workers, cooperative yielding gives thieves regular chances to
+	// run, producing steal/exposure dynamics representative of a real
+	// P-core machine; the profiling harness uses it for the paper's
+	// counter figures.
+	YieldEvery int
+	// PollEvery sets how many Poll calls elapse between checks of the
+	// emulated pending-signal word (default 64). It is the knob that
+	// plays the role of OS signal-delivery latency (paper footnote 2):
+	// larger values make exposure requests take longer to reach busy
+	// workers.
+	PollEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.PollEvery <= 0 {
+		o.PollEvery = defaultPollEvery
+	}
+	return o
+}
+
+// Scheduler is a pool of P workers executing fork-join computations under
+// one of the paper's scheduling policies. A Scheduler may be reused for
+// any number of sequential Run calls; Run must not be called concurrently.
+type Scheduler struct {
+	opts     Options
+	workers  []*Worker
+	ctrs     *counters.Set
+	finished atomic.Bool
+	running  atomic.Bool
+
+	panicOnce sync.Once
+	panicked  atomic.Bool
+	panicVal  any
+}
+
+// recordPanic stores the first task panic of a Run; Run re-throws it.
+func (s *Scheduler) recordPanic(v any) {
+	s.panicOnce.Do(func() {
+		s.panicVal = v
+		s.panicked.Store(true)
+	})
+}
+
+// NewScheduler returns a scheduler with the given options.
+func NewScheduler(opts Options) *Scheduler {
+	opts = opts.withDefaults()
+	if int(opts.Policy) >= NumPolicies {
+		panic(fmt.Sprintf("core: unknown policy %d", opts.Policy))
+	}
+	s := &Scheduler{
+		opts:    opts,
+		workers: make([]*Worker, opts.Workers),
+		ctrs:    counters.NewSet(opts.Workers),
+	}
+	seed := opts.Seed
+	for i := range s.workers {
+		var dq taskDeque
+		if opts.Policy.SplitDeque() {
+			dq = deque.NewSplit[Task](opts.DequeCapacity, opts.Policy.raceFixPop())
+		} else {
+			dq = chaseLevDeque{deque.NewChaseLev[Task](opts.DequeCapacity)}
+		}
+		s.workers[i] = &Worker{
+			id:        i,
+			sched:     s,
+			policy:    opts.Policy,
+			dq:        dq,
+			ctr:       s.ctrs.Worker(i),
+			rand:      rng.New(seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15),
+			pollEvery: uint32(opts.PollEvery),
+		}
+	}
+	return s
+}
+
+// Workers returns the pool size P.
+func (s *Scheduler) Workers() int { return len(s.workers) }
+
+// Policy returns the scheduling policy of the pool.
+func (s *Scheduler) Policy() Policy { return s.opts.Policy }
+
+// Counters returns the aggregated instrumentation counters accumulated by
+// all Run calls since the last ResetCounters. It is exact only while no
+// Run is in progress.
+func (s *Scheduler) Counters() counters.Snapshot { return s.ctrs.Snapshot() }
+
+// WorkerCounters returns worker id's own counter snapshot.
+func (s *Scheduler) WorkerCounters(id int) counters.Snapshot {
+	var out counters.Snapshot
+	w := s.ctrs.Worker(id)
+	for e := 0; e < counters.NumEvents; e++ {
+		out[e] = w.Get(counters.Event(e))
+	}
+	return out
+}
+
+// ResetCounters zeroes all instrumentation counters.
+func (s *Scheduler) ResetCounters() { s.ctrs.Reset() }
+
+// Run executes root to completion on the pool and returns when root and
+// every task it transitively forked have finished. Worker 0 executes root;
+// the remaining workers start stealing immediately.
+func (s *Scheduler) Run(root func(*Worker)) {
+	if s.running.Swap(true) {
+		panic("core: concurrent Run calls on the same Scheduler")
+	}
+	defer s.running.Store(false)
+
+	s.finished.Store(false)
+	for _, w := range s.workers {
+		w.targeted.Store(false)
+		w.pending.Store(false)
+		w.idleSpins = 0
+	}
+
+	var wg sync.WaitGroup
+	for i := 1; i < len(s.workers); i++ {
+		w := s.workers[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.helpUntil(s.finished.Load)
+		}()
+	}
+
+	w0 := s.workers[0]
+	rootTask := &Task{fn: root}
+	w0.runTask(rootTask)
+	s.finished.Store(true)
+	wg.Wait()
+
+	if s.panicked.Load() {
+		// A task panicked: its fork subtree was abandoned, so deques may
+		// legitimately hold orphaned tasks. Report the original panic to
+		// the caller; the scheduler must not be reused afterwards.
+		panic(s.panicVal)
+	}
+	for _, w := range s.workers {
+		if !w.dq.IsEmpty() {
+			panic(fmt.Sprintf("core: worker %d deque non-empty after Run (scheduler invariant violated)", w.id))
+		}
+	}
+}

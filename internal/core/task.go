@@ -1,0 +1,49 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"lcws/internal/counters"
+	"lcws/internal/deque"
+)
+
+// Task is a unit of work scheduled by the worker pool. Fork points
+// allocate one Task per potentially parallel branch; the done flag lets
+// the forking worker detect completion when the branch was stolen.
+type Task struct {
+	fn   func(*Worker)
+	done atomic.Bool
+}
+
+// taskDeque abstracts over the two deque types so a single worker loop
+// serves every policy. The WS baseline adapts the Chase-Lev deque: it has
+// no public/private split, so PopPublicBottom always fails and Expose is a
+// no-op.
+type taskDeque interface {
+	PushBottom(*Task, *counters.Worker)
+	PopBottom(*counters.Worker) *Task
+	PopPublicBottom(*counters.Worker) *Task
+	PopTop(*counters.Worker) (*Task, deque.StealResult)
+	Expose(deque.ExposeMode, *counters.Worker) int
+	UnexposeAll(*counters.Worker) int
+	HasTwoTasks() bool
+	IsEmpty() bool
+}
+
+// chaseLevDeque adapts deque.ChaseLev to the taskDeque interface.
+type chaseLevDeque struct {
+	*deque.ChaseLev[Task]
+}
+
+func (d chaseLevDeque) PopPublicBottom(*counters.Worker) *Task { return nil }
+
+func (d chaseLevDeque) Expose(deque.ExposeMode, *counters.Worker) int { return 0 }
+
+func (d chaseLevDeque) UnexposeAll(*counters.Worker) int { return 0 }
+
+func (d chaseLevDeque) HasTwoTasks() bool { return d.Size() >= 2 }
+
+var (
+	_ taskDeque = chaseLevDeque{}
+	_ taskDeque = (*deque.SplitDeque[Task])(nil)
+)

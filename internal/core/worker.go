@@ -1,0 +1,264 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"lcws/internal/counters"
+	"lcws/internal/deque"
+	"lcws/internal/rng"
+)
+
+// Worker is the per-processor scheduling context. Exactly one goroutine
+// runs each worker; task functions receive the worker they execute on and
+// must thread it through to nested fork points and Poll calls.
+type Worker struct {
+	id     int
+	sched  *Scheduler
+	policy Policy
+	dq     taskDeque
+	ctr    *counters.Worker
+	rand   *rng.Xoshiro256
+
+	// targeted is the per-processor flag of Listings 1 and 3: it records
+	// that a thief targeted this worker for stealing. In USLCWS it is the
+	// notification itself; in the signal-based schedulers it only
+	// suppresses redundant signals.
+	targeted atomic.Bool
+
+	// pending is the emulated in-flight signal: a thief stores true
+	// ("pthread_kill"), and this worker's goroutine runs the exposure
+	// handler at its next poll point.
+	pending atomic.Bool
+
+	pollCount  uint32 // Poll() call counter for the cheap fast path
+	pollEvery  uint32 // Poll calls between pending-signal checks
+	idleSpins  uint32 // consecutive failed work-search iterations
+	sinceYield int    // tasks executed since the last cooperative yield
+}
+
+// ID returns the worker's scheduling identifier in [0, Workers()).
+func (w *Worker) ID() int { return w.id }
+
+// Workers returns the number of workers in this worker's scheduler.
+func (w *Worker) Workers() int { return len(w.sched.workers) }
+
+// Policy returns the scheduling policy the pool runs.
+func (w *Worker) Policy() Policy { return w.policy }
+
+// Rand returns the worker-local deterministic PRNG. It must only be used
+// from this worker's goroutine.
+func (w *Worker) Rand() *rng.Xoshiro256 { return w.rand }
+
+// defaultPollEvery is the default Poll interval between pending-signal
+// checks (Options.PollEvery). Kernels call Poll in their innermost loops,
+// so the common path must stay a couple of instructions.
+const defaultPollEvery = 64
+
+// Poll is the cheap checkpoint that computational kernels place inside
+// long sequential loops. Every PollEvery-th call it checks for an emulated
+// pending signal and, if one arrived, runs the work-exposure handler. This
+// is what makes the signal-based schedulers handle exposure requests in
+// (bounded) constant time even in the middle of a coarse-grained task, in
+// contrast to USLCWS and Lace which wait for the task to finish.
+func (w *Worker) Poll() {
+	w.pollCount++
+	if w.pollCount >= w.pollEvery {
+		w.pollCount = 0
+		w.Checkpoint()
+	}
+}
+
+// Checkpoint checks immediately for a pending exposure request and handles
+// it. It is the emulated signal-delivery point; the handler (the deque's
+// Expose) runs on this worker's goroutine, mirroring a POSIX handler
+// running on the victim's thread.
+func (w *Worker) Checkpoint() {
+	if w.pending.Load() {
+		w.pending.Store(false)
+		w.ctr.Inc(counters.SignalHandled)
+		w.dq.Expose(w.policy.exposeMode(), w.ctr)
+	}
+}
+
+// runTask executes t and marks it done. With Options.YieldEvery set, the
+// worker periodically yields the OS thread so that on oversubscribed
+// hosts thieves interleave with busy workers at task granularity.
+//
+// A panic in the task function is captured into the scheduler (the first
+// one wins) and re-thrown by Run after the computation drains; the task
+// still counts as done so joins waiting on it cannot hang.
+func (w *Worker) runTask(t *Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.sched.recordPanic(r)
+		}
+		t.done.Store(true)
+		w.ctr.Inc(counters.TaskExecuted)
+	}()
+	t.fn(w)
+	if ye := w.sched.opts.YieldEvery; ye > 0 {
+		w.sinceYield++
+		if w.sinceYield >= ye {
+			w.sinceYield = 0
+			runtime.Gosched()
+		}
+	}
+}
+
+// push appends a task to this worker's deque, applying the policy's
+// push-side flag maintenance (§4: in the signal-based schedulers the
+// targeted flag is reset when the owner pushes new work, so thieves may
+// notify again).
+func (w *Worker) push(t *Task) {
+	w.dq.PushBottom(t, w.ctr)
+	if w.policy.SignalBased() && w.targeted.Load() {
+		w.targeted.Store(false)
+	}
+}
+
+// popLocal is the local half of Listing 1's get_task: first the private
+// part (with USLCWS's task-boundary exposure check), then the public part.
+func (w *Worker) popLocal() *Task {
+	if t := w.dq.PopBottom(w.ctr); t != nil {
+		if w.policy.flagBased() && w.targeted.Load() {
+			// Listing 1 lines 9–12: handle the notification at the
+			// task boundary (USLCWS; Lace behaves the same way).
+			w.targeted.Store(false)
+			w.dq.Expose(w.policy.exposeMode(), w.ctr)
+		}
+		return t
+	}
+	if w.policy == LaceWS {
+		// Lace: reclaim the public part wholesale instead of draining
+		// it through pop_public_bottom.
+		if w.dq.UnexposeAll(w.ctr) > 0 {
+			return w.dq.PopBottom(w.ctr)
+		}
+		w.targeted.Store(false)
+		return nil
+	}
+	if t := w.dq.PopPublicBottom(w.ctr); t != nil {
+		if w.policy.SignalBased() {
+			// §4: a task was removed from the public part; allow new
+			// notifications.
+			w.targeted.Store(false)
+		}
+		return t
+	}
+	return nil
+}
+
+// stealOnce performs one stealing-phase iteration of Listing 1: pick a
+// uniformly random victim and attempt pop_top, notifying the victim
+// according to the policy when only private work was found.
+func (w *Worker) stealOnce() *Task {
+	n := len(w.sched.workers)
+	if n == 1 {
+		return nil
+	}
+	vid := w.rand.Intn(n - 1)
+	if vid >= w.id {
+		vid++
+	}
+	v := w.sched.workers[vid]
+	w.ctr.Inc(counters.StealAttempt)
+	t, res := v.dq.PopTop(w.ctr)
+	switch res {
+	case deque.Stolen:
+		w.ctr.Inc(counters.StealSuccess)
+		if w.policy.SignalBased() {
+			// §4: a task was removed from the victim's public part;
+			// allow new notifications to it.
+			v.targeted.Store(false)
+		}
+		return t
+	case deque.PrivateWork:
+		w.ctr.Inc(counters.StealPrivate)
+		w.notify(v)
+	case deque.Abort:
+		w.ctr.Inc(counters.StealAbort)
+	case deque.Empty:
+		w.ctr.Inc(counters.StealEmpty)
+	}
+	return nil
+}
+
+// notify asks victim v to expose work, per policy:
+// USLCWS sets the targeted flag unconditionally (Listing 1 line 22);
+// the signal-based schedulers send an emulated signal unless one is
+// already outstanding (Listing 3 lines 8–11), with the Conservative
+// variant additionally requiring the victim to hold at least two tasks.
+func (w *Worker) notify(v *Worker) {
+	switch w.policy {
+	case USLCWS, LaceWS:
+		v.targeted.Store(true)
+	case SignalLCWS, HalfLCWS:
+		if !v.targeted.Load() {
+			v.targeted.Store(true)
+			v.pending.Store(true)
+			w.ctr.Inc(counters.SignalSent)
+		}
+	case ConsLCWS:
+		if !v.targeted.Load() && v.dq.HasTwoTasks() {
+			v.targeted.Store(true)
+			v.pending.Store(true)
+			w.ctr.Inc(counters.SignalSent)
+		}
+	}
+}
+
+// idleBackoff is called after a work-search iteration that found nothing.
+// On few-core hosts the yield is what lets victims run and expose work.
+func (w *Worker) idleBackoff() {
+	w.ctr.Inc(counters.IdleIteration)
+	w.idleSpins++
+	switch {
+	case w.idleSpins%1024 == 0:
+		time.Sleep(20 * time.Microsecond)
+	case w.idleSpins%4 == 0:
+		runtime.Gosched()
+	}
+}
+
+// next implements Listing 1's get_task generalized over the stop
+// condition: the top-level worker loop stops when the computation
+// finishes, and join points stop when the awaited task completes.
+// It returns nil exactly when stop() became true.
+func (w *Worker) next(stop func() bool) *Task {
+	for {
+		if stop() {
+			return nil
+		}
+		w.Checkpoint()
+		if t := w.popLocal(); t != nil {
+			w.idleSpins = 0
+			return t
+		}
+		if w.policy.flagBased() {
+			// Listing 1 line 17: nothing local to expose; clear the
+			// notification before entering the stealing phase.
+			w.targeted.Store(false)
+		}
+		if t := w.stealOnce(); t != nil {
+			w.idleSpins = 0
+			return t
+		}
+		w.idleBackoff()
+	}
+}
+
+// helpUntil runs scheduler work until stop() is true. It is the join-side
+// wait loop: instead of blocking, the worker keeps executing local and
+// stolen tasks (work-first helping), so a stolen sibling's completion is
+// detected promptly and no worker idles while work exists.
+func (w *Worker) helpUntil(stop func() bool) {
+	for {
+		t := w.next(stop)
+		if t == nil {
+			return
+		}
+		w.runTask(t)
+	}
+}

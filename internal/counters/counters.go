@@ -1,0 +1,220 @@
+// Package counters provides cache-padded per-worker instrumentation counters
+// for the scheduler implementations.
+//
+// The counters record the synchronization operations that the C++ reference
+// implementations of the schedulers would execute (memory fences and
+// compare-and-swap instructions) together with scheduler-level events
+// (steal attempts, successful steals, work exposures, exposed-but-unstolen
+// tasks, signals, idle iterations). Figures 3 and 8 of the paper are ratios
+// of these counters between schedulers; see model.go for the exact counting
+// model.
+//
+// All increment methods are owner-local and unsynchronized: each worker owns
+// one Worker record and is the only goroutine that writes to it. Snapshots
+// taken while workers run are therefore approximate; snapshots taken after a
+// computation quiesces (the only use in this repository) are exact.
+package counters
+
+import "fmt"
+
+// Event identifies one instrumented counter.
+type Event int
+
+// The instrumented events. Fence and CAS follow the counting model in
+// model.go; the remaining events are scheduler-level statistics used by the
+// paper's profiles (Figures 3 and 8).
+const (
+	// Fence counts memory fences the reference C++ algorithm executes.
+	Fence Event = iota
+	// CAS counts compare-and-swap instructions.
+	CAS
+	// StealAttempt counts calls to popTop on a victim deque.
+	StealAttempt
+	// StealSuccess counts popTop calls that returned a task.
+	StealSuccess
+	// StealPrivate counts popTop calls that found only private work
+	// (the PRIVATE_WORK result that triggers a notification).
+	StealPrivate
+	// StealEmpty counts popTop calls that found an entirely empty deque.
+	StealEmpty
+	// StealAbort counts popTop calls that lost a CAS race.
+	StealAbort
+	// Exposure counts tasks transferred from the private to the public
+	// part of a split deque (per task, not per updatePublicBottom call).
+	Exposure
+	// ExposedNotStolen counts exposed tasks that the owner later took
+	// back via popPublicBottom instead of being stolen.
+	ExposedNotStolen
+	// SignalSent counts emulated pthread_kill notifications.
+	SignalSent
+	// SignalHandled counts exposure requests handled by the owner.
+	SignalHandled
+	// IdleIteration counts scheduler-loop iterations in which a worker
+	// found no work anywhere.
+	IdleIteration
+	// TaskExecuted counts tasks run to completion.
+	TaskExecuted
+	// TaskPushed counts pushBottom calls.
+	TaskPushed
+
+	numEvents
+)
+
+// NumEvents is the number of distinct counter events.
+const NumEvents = int(numEvents)
+
+var eventNames = [...]string{
+	Fence:            "fences",
+	CAS:              "cas",
+	StealAttempt:     "steal_attempts",
+	StealSuccess:     "steal_success",
+	StealPrivate:     "steal_private",
+	StealEmpty:       "steal_empty",
+	StealAbort:       "steal_abort",
+	Exposure:         "exposures",
+	ExposedNotStolen: "exposed_not_stolen",
+	SignalSent:       "signals_sent",
+	SignalHandled:    "signals_handled",
+	IdleIteration:    "idle_iterations",
+	TaskExecuted:     "tasks_executed",
+	TaskPushed:       "tasks_pushed",
+}
+
+// String returns the snake_case name of the event.
+func (e Event) String() string {
+	if e < 0 || int(e) >= NumEvents {
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+	return eventNames[e]
+}
+
+// cacheLine is the assumed cache-line size, used to pad per-worker counters
+// so that two workers never write to the same line (false sharing would not
+// affect correctness, only measurement overhead).
+const cacheLine = 64
+
+// Worker holds the counters of a single worker. It is padded to a multiple
+// of the cache line size.
+type Worker struct {
+	v [NumEvents]uint64
+	_ [pad]byte
+}
+
+// pad rounds the Worker struct up to a cache-line multiple.
+const pad = (cacheLine - (NumEvents*8)%cacheLine) % cacheLine
+
+// Inc adds 1 to event e.
+func (w *Worker) Inc(e Event) { w.v[e]++ }
+
+// Add adds n to event e.
+func (w *Worker) Add(e Event, n uint64) { w.v[e] += n }
+
+// Get returns the current value of event e.
+func (w *Worker) Get(e Event) uint64 { return w.v[e] }
+
+// Reset zeroes all counters of the worker.
+func (w *Worker) Reset() { w.v = [NumEvents]uint64{} }
+
+// Set is a collection of per-worker counters for a P-worker scheduler.
+type Set struct {
+	workers []Worker
+}
+
+// NewSet returns a Set with room for p workers.
+func NewSet(p int) *Set {
+	if p <= 0 {
+		panic(fmt.Sprintf("counters: non-positive worker count %d", p))
+	}
+	return &Set{workers: make([]Worker, p)}
+}
+
+// Worker returns the counter record of worker id.
+func (s *Set) Worker(id int) *Worker { return &s.workers[id] }
+
+// Workers returns the number of per-worker records.
+func (s *Set) Workers() int { return len(s.workers) }
+
+// Reset zeroes every worker's counters.
+func (s *Set) Reset() {
+	for i := range s.workers {
+		s.workers[i].Reset()
+	}
+}
+
+// Snapshot returns the sum of all workers' counters. It is exact only when
+// no worker is concurrently running.
+func (s *Set) Snapshot() Snapshot {
+	var out Snapshot
+	for i := range s.workers {
+		for e := 0; e < NumEvents; e++ {
+			out[e] += s.workers[i].v[e]
+		}
+	}
+	return out
+}
+
+// Snapshot is an aggregated view of the counters of a whole scheduler run.
+type Snapshot [NumEvents]uint64
+
+// Get returns the value of event e.
+func (sn Snapshot) Get(e Event) uint64 { return sn[e] }
+
+// Sub returns the element-wise difference sn - old. Values are clamped at
+// zero so that a reset between snapshots cannot produce wrapped counts.
+func (sn Snapshot) Sub(old Snapshot) Snapshot {
+	var out Snapshot
+	for i := range sn {
+		if sn[i] >= old[i] {
+			out[i] = sn[i] - old[i]
+		}
+	}
+	return out
+}
+
+// Add returns the element-wise sum sn + other.
+func (sn Snapshot) Add(other Snapshot) Snapshot {
+	var out Snapshot
+	for i := range sn {
+		out[i] = sn[i] + other[i]
+	}
+	return out
+}
+
+// Ratio returns sn[e] / other[e], or def when other[e] is zero.
+func (sn Snapshot) Ratio(e Event, other Snapshot, def float64) float64 {
+	if other[e] == 0 {
+		return def
+	}
+	return float64(sn[e]) / float64(other[e])
+}
+
+// UnstolenFraction returns the fraction of exposed tasks that were not
+// stolen, or 0 when nothing was exposed. This is the quantity plotted in
+// Figures 3d and 8d of the paper.
+func (sn Snapshot) UnstolenFraction() float64 {
+	if sn[Exposure] == 0 {
+		return 0
+	}
+	return float64(sn[ExposedNotStolen]) / float64(sn[Exposure])
+}
+
+// StealSuccessRate returns successful steals / steal attempts, or 0 when no
+// attempts were made.
+func (sn Snapshot) StealSuccessRate() float64 {
+	if sn[StealAttempt] == 0 {
+		return 0
+	}
+	return float64(sn[StealSuccess]) / float64(sn[StealAttempt])
+}
+
+// String renders the snapshot as a single line of name=value pairs.
+func (sn Snapshot) String() string {
+	out := ""
+	for e := 0; e < NumEvents; e++ {
+		if e > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", Event(e), sn[e])
+	}
+	return out
+}

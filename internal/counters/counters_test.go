@@ -1,0 +1,139 @@
+package counters
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkerIncAddGet(t *testing.T) {
+	var w Worker
+	w.Inc(Fence)
+	w.Add(Fence, 4)
+	if got := w.Get(Fence); got != 5 {
+		t.Errorf("Get(Fence) = %d, want 5", got)
+	}
+	if got := w.Get(CAS); got != 0 {
+		t.Errorf("Get(CAS) = %d, want 0", got)
+	}
+	w.Reset()
+	if got := w.Get(Fence); got != 0 {
+		t.Errorf("after Reset Get(Fence) = %d, want 0", got)
+	}
+}
+
+func TestSetSnapshotSumsWorkers(t *testing.T) {
+	s := NewSet(3)
+	s.Worker(0).Add(CAS, 1)
+	s.Worker(1).Add(CAS, 2)
+	s.Worker(2).Add(CAS, 3)
+	if got := s.Snapshot().Get(CAS); got != 6 {
+		t.Errorf("Snapshot CAS = %d, want 6", got)
+	}
+	s.Reset()
+	if got := s.Snapshot().Get(CAS); got != 0 {
+		t.Errorf("after Reset Snapshot CAS = %d, want 0", got)
+	}
+}
+
+func TestNewSetPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSet(0) did not panic")
+		}
+	}()
+	NewSet(0)
+}
+
+func TestSnapshotSubClampsAtZero(t *testing.T) {
+	var a, b Snapshot
+	a[Fence] = 5
+	b[Fence] = 10
+	if got := a.Sub(b)[Fence]; got != 0 {
+		t.Errorf("Sub clamped = %d, want 0", got)
+	}
+	if got := b.Sub(a)[Fence]; got != 5 {
+		t.Errorf("Sub = %d, want 5", got)
+	}
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	f := func(x, y uint32) bool {
+		var a, b Snapshot
+		a[CAS], b[CAS] = uint64(x), uint64(y)
+		return a.Add(b)[CAS] == uint64(x)+uint64(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotRatio(t *testing.T) {
+	var a, b Snapshot
+	a[Fence], b[Fence] = 1, 100
+	if got := a.Ratio(Fence, b, -1); got != 0.01 {
+		t.Errorf("Ratio = %v, want 0.01", got)
+	}
+	var zero Snapshot
+	if got := a.Ratio(Fence, zero, -1); got != -1 {
+		t.Errorf("Ratio with zero denominator = %v, want default -1", got)
+	}
+}
+
+func TestUnstolenFraction(t *testing.T) {
+	var s Snapshot
+	if got := s.UnstolenFraction(); got != 0 {
+		t.Errorf("UnstolenFraction of zero snapshot = %v, want 0", got)
+	}
+	s[Exposure] = 10
+	s[ExposedNotStolen] = 4
+	if got := s.UnstolenFraction(); got != 0.4 {
+		t.Errorf("UnstolenFraction = %v, want 0.4", got)
+	}
+}
+
+func TestStealSuccessRate(t *testing.T) {
+	var s Snapshot
+	if got := s.StealSuccessRate(); got != 0 {
+		t.Errorf("StealSuccessRate of zero snapshot = %v, want 0", got)
+	}
+	s[StealAttempt] = 8
+	s[StealSuccess] = 2
+	if got := s.StealSuccessRate(); got != 0.25 {
+		t.Errorf("StealSuccessRate = %v, want 0.25", got)
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	for e := 0; e < NumEvents; e++ {
+		name := Event(e).String()
+		if name == "" || strings.HasPrefix(name, "event(") {
+			t.Errorf("event %d has no name", e)
+		}
+	}
+	if got := Event(999).String(); got != "event(999)" {
+		t.Errorf("out-of-range event String = %q", got)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var s Snapshot
+	s[Fence] = 3
+	out := s.String()
+	if !strings.Contains(out, "fences=3") {
+		t.Errorf("Snapshot String missing fences: %q", out)
+	}
+}
+
+func TestWorkerPadding(t *testing.T) {
+	// The Worker struct must be a multiple of the cache line size so
+	// adjacent workers in a Set never share a line.
+	s := NewSet(2)
+	if sz := int(uintptr(len(s.workers))) * 0; sz != 0 {
+		t.Fatal("impossible")
+	}
+	const want = 0
+	if got := (NumEvents*8 + pad) % cacheLine; got != want {
+		t.Errorf("Worker size %% cacheLine = %d, want 0", got)
+	}
+}

@@ -1,0 +1,62 @@
+package counters
+
+// This file is the single authoritative statement of the synchronization
+// counting model used throughout the repository. The Go implementations
+// cannot elide fences (Go's sync/atomic operations are sequentially
+// consistent), so instead of measuring hardware fences we count the fences
+// and CAS instructions that the paper's C++ reference implementations
+// (Listings 1–3 and Parlay's Chase-Lev style WS deque) would execute on the
+// same operation sequence. Figures 3 and 8 of the paper are ratios of these
+// counts between schedulers, so the ratios are exactly reproducible.
+//
+// The model, per deque operation:
+//
+//	Work Stealing baseline (Chase-Lev / ABP deque, as tuned in Parlay):
+//	  push_bottom        : 1 fence  (release/store-load ordering on bot)
+//	  pop_bottom         : 1 fence  (the unavoidable store-load fence of
+//	                                 Attiya et al.'s "Laws of Order")
+//	                       +1 CAS when racing thieves for the last element
+//	  steal (pop_top)    : 1 fence + 1 CAS per attempt that reaches the CAS
+//	                       (empty deques cost the fence only)
+//
+//	LCWS split deque (Listing 2):
+//	  push_bottom        : 0
+//	  pop_bottom         : 0      (private part is synchronization-free)
+//	  pop_public_bottom  : 1 fence (line 12 of Listing 2) on the common
+//	                       path; the emptying path additionally executes
+//	                       the line-27 fence (total 2) and attempts the
+//	                       last-element CAS when local_bot == top
+//	  pop_top (steal)    : 1 CAS when the public part is non-empty;
+//	                       0 otherwise (returns nullptr/PRIVATE_WORK)
+//	  update_public_bottom: 0     (plain stores; in the signal version the
+//	                               field is volatile, which is not a
+//	                               synchronization operation — §4 footnote 3)
+//
+// These constants are referenced by the deque implementations so the model
+// lives in one place, and asserted by tests in model_test.go.
+const (
+	// WSPushFences is the fence cost of a WS push_bottom.
+	WSPushFences = 1
+	// WSPopFences is the fence cost of a WS pop_bottom.
+	WSPopFences = 1
+	// WSPopRaceCAS is the CAS cost of a WS pop_bottom that races for the
+	// last element.
+	WSPopRaceCAS = 1
+	// WSStealFences is the fence cost of a WS steal attempt.
+	WSStealFences = 1
+	// WSStealCAS is the CAS cost of a WS steal attempt that reaches the
+	// head compare-and-swap.
+	WSStealCAS = 1
+
+	// LCWSPopPublicFences is the fence cost of pop_public_bottom on the
+	// common (non-emptying) path.
+	LCWSPopPublicFences = 1
+	// LCWSPopPublicEmptyFences is the total fence cost of a
+	// pop_public_bottom that takes the deque-emptying path.
+	LCWSPopPublicEmptyFences = 2
+	// LCWSPopPublicRaceCAS is the CAS cost of a pop_public_bottom that
+	// races thieves for the last public element.
+	LCWSPopPublicRaceCAS = 1
+	// LCWSStealCAS is the CAS cost of a pop_top that found public work.
+	LCWSStealCAS = 1
+)

@@ -1,0 +1,115 @@
+package deque
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lcws/internal/counters"
+)
+
+// ChaseLev is a fully concurrent Chase-Lev/ABP style work-stealing deque,
+// standing in for Parlay's stock Work Stealing deque (the paper's
+// baseline). Every task in it can be taken by any processor at any time,
+// which is exactly why the owner's own pop_bottom needs a memory fence
+// (Attiya et al., "Laws of Order") and a CAS when racing for the last
+// element.
+//
+// The buffer is circular with a fixed capacity; like the split deque it
+// panics on overflow rather than growing (Parlay's deque is likewise a
+// fixed-size array).
+type ChaseLev[T any] struct {
+	top  atomic.Int64 // next index to steal from
+	bot  atomic.Int64 // next index to push at
+	mask int64
+	buf  []atomic.Pointer[T]
+}
+
+// NewChaseLev returns a ChaseLev deque whose capacity is the smallest
+// power of two >= capacity (DefaultCapacity if capacity <= 0).
+func NewChaseLev[T any](capacity int) *ChaseLev[T] {
+	capacity = normalizeCapacity(capacity)
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &ChaseLev[T]{
+		mask: int64(size - 1),
+		buf:  make([]atomic.Pointer[T], size),
+	}
+}
+
+// Capacity returns the size of the backing circular buffer.
+func (d *ChaseLev[T]) Capacity() int { return len(d.buf) }
+
+// PushBottom appends t at the bottom. Per the counting model a WS push
+// costs one fence (the release ordering on bot that makes the new task
+// visible to thieves). It panics when the buffer is full.
+func (d *ChaseLev[T]) PushBottom(t *T, c *counters.Worker) {
+	b := d.bot.Load()
+	if b-d.top.Load() > d.mask {
+		panic(fmt.Sprintf("deque: chase-lev deque overflow (capacity %d); construct the scheduler with a larger deque capacity", len(d.buf)))
+	}
+	d.buf[b&d.mask].Store(t)
+	d.bot.Store(b + 1)
+	c.Inc(counters.TaskPushed)
+	c.Add(counters.Fence, counters.WSPushFences)
+}
+
+// PopBottom removes and returns the bottom-most task, or nil when the
+// deque is empty. Per the counting model it always costs one fence and an
+// additional CAS when racing thieves for the last element.
+func (d *ChaseLev[T]) PopBottom(c *counters.Worker) *T {
+	b := d.bot.Load() - 1
+	d.bot.Store(b)
+	c.Add(counters.Fence, counters.WSPopFences) // the unavoidable store-load fence
+	t := d.top.Load()
+	if t > b {
+		// Deque was empty; restore bot.
+		d.bot.Store(t)
+		return nil
+	}
+	task := d.buf[b&d.mask].Load()
+	if t < b {
+		// More than one element: no race possible.
+		return task
+	}
+	// Exactly one element: race thieves with a CAS on top.
+	c.Add(counters.CAS, counters.WSPopRaceCAS)
+	if !d.top.CompareAndSwap(t, t+1) {
+		task = nil
+	}
+	d.bot.Store(t + 1)
+	return task
+}
+
+// PopTop attempts to steal the top-most task. Per the counting model an
+// attempt costs one fence, plus one CAS when the deque was non-empty and
+// the head CAS was reached. It never returns PrivateWork: the fully
+// concurrent deque has no private part.
+func (d *ChaseLev[T]) PopTop(c *counters.Worker) (*T, StealResult) {
+	t := d.top.Load()
+	c.Add(counters.Fence, counters.WSStealFences)
+	b := d.bot.Load()
+	if t >= b {
+		return nil, Empty
+	}
+	task := d.buf[t&d.mask].Load()
+	c.Add(counters.CAS, counters.WSStealCAS)
+	if d.top.CompareAndSwap(t, t+1) {
+		return task, Stolen
+	}
+	return nil, Abort
+}
+
+// Size returns the current number of tasks. The value is racy under
+// concurrency and is meant for assertions and tests.
+func (d *ChaseLev[T]) Size() int {
+	n := d.bot.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// IsEmpty reports whether the deque is (racily) empty.
+func (d *ChaseLev[T]) IsEmpty() bool { return d.Size() == 0 }

@@ -1,0 +1,111 @@
+// Package deque provides the two work-stealing deques compared by the
+// paper: the LCWS split deque of Rito and Paulino (Listing 2 of the paper,
+// including the §4 signal-safe pop_bottom variant and the §4.1 exposure
+// policies) and a Chase-Lev/ABP style fully concurrent deque representing
+// Parlay's stock Work Stealing baseline.
+//
+// Both deques are generic over the element type and store pointers. All
+// cross-thread fields are Go atomics: Go's sync/atomic operations are
+// sequentially consistent, so the fence placement that Listing 2 needs
+// under C++ relaxed atomics is implied here. Because the fences therefore
+// cannot be elided physically, every operation instead *accounts* the
+// fences and CAS instructions the C++ reference implementation would
+// execute, against the counting model in internal/counters/model.go. The
+// paper's synchronization profiles (Figures 3 and 8) are ratios of those
+// counts.
+//
+// Ownership discipline: exactly one goroutine (the owner) may call
+// PushBottom, PopBottom, PopPublicBottom and Expose; any goroutine may call
+// PopTop, PrivateSize and TotalSize. The emulated signal handler runs on
+// the owner's goroutine (see internal/core), preserving this discipline
+// exactly as a POSIX signal handler runs on the victim's thread.
+package deque
+
+import "fmt"
+
+// StealResult is the outcome of a PopTop steal attempt.
+type StealResult uint8
+
+const (
+	// Empty means the deque held no work at all.
+	Empty StealResult = iota
+	// Stolen means a task was successfully taken.
+	Stolen
+	// Abort means the thief lost a CAS race and should retry elsewhere
+	// (the ABORT result of Listing 2).
+	Abort
+	// PrivateWork means the public part was empty but the private part
+	// holds tasks: the thief should notify the owner to expose work
+	// (the PRIVATE_WORK result of Listing 2).
+	PrivateWork
+)
+
+// String returns a short name for the steal result.
+func (r StealResult) String() string {
+	switch r {
+	case Empty:
+		return "empty"
+	case Stolen:
+		return "stolen"
+	case Abort:
+		return "abort"
+	case PrivateWork:
+		return "private-work"
+	default:
+		return fmt.Sprintf("stealresult(%d)", uint8(r))
+	}
+}
+
+// ExposeMode selects the work exposure policy of Expose
+// (paper §3.1, §4.1.1 and §4.1.2).
+type ExposeMode uint8
+
+const (
+	// ExposeOne transfers one task from the private to the public part
+	// when the private part is non-empty (base LCWS behaviour,
+	// update_public_bottom of Listing 2).
+	ExposeOne ExposeMode = iota
+	// ExposeConservative transfers one task only when the private part
+	// holds at least two tasks (§4.1.1), leaving the bottom-most task
+	// private so the original pop_bottom stays race-free.
+	ExposeConservative
+	// ExposeHalf transfers round(r/2) tasks when the private part holds
+	// r >= 3 tasks, and otherwise behaves like ExposeOne (§4.1.2).
+	ExposeHalf
+)
+
+// String returns a short name for the exposure mode.
+func (m ExposeMode) String() string {
+	switch m {
+	case ExposeOne:
+		return "expose-one"
+	case ExposeConservative:
+		return "expose-conservative"
+	case ExposeHalf:
+		return "expose-half"
+	default:
+		return fmt.Sprintf("exposemode(%d)", uint8(m))
+	}
+}
+
+// age packs the top index (low 32 bits) and the ABA tag (high 32 bits)
+// into the single word that PopTop CASes.
+func packAge(top, tag uint32) uint64 { return uint64(tag)<<32 | uint64(top) }
+
+func unpackAge(a uint64) (top, tag uint32) {
+	return uint32(a), uint32(a >> 32)
+}
+
+// DefaultCapacity is the per-deque task array size used when a
+// non-positive capacity is requested. Like the paper's fixed-size array,
+// the deque does not grow; indices reset to zero whenever the deque fully
+// empties, so the capacity bounds live tasks plus steals since the last
+// time the deque was empty.
+const DefaultCapacity = 1 << 16
+
+func normalizeCapacity(capacity int) int {
+	if capacity <= 0 {
+		return DefaultCapacity
+	}
+	return capacity
+}

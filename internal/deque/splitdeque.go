@@ -1,0 +1,296 @@
+package deque
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lcws/internal/counters"
+)
+
+// SplitDeque is the LCWS split deque of Listing 2. The task array is split
+// at publicBot into a public part [top, publicBot) that thieves may steal
+// from, and a private part [publicBot, bot) that only the owner touches.
+//
+// Index invariants (all indices only reset to zero when the deque fully
+// empties through PopPublicBottom):
+//
+//	top <= publicBot <= bot   (top from the age word)
+//
+// In the C++ reference, bot and publicBot are plain unsigned ints and the
+// algorithm's correctness rests on two explicit seq-cst fences. In Go both
+// fields must be atomics because thieves read them (PopTop reads bot to
+// distinguish Empty from PrivateWork, and reads publicBot to find the split
+// point); Go atomics are seq-cst, which subsumes the fences. The fence and
+// CAS accounting below records what the C++ implementation would execute.
+type SplitDeque[T any] struct {
+	bot       atomic.Uint64 // index of the empty slot below the bottom-most task
+	publicBot atomic.Uint64 // index below the bottom-most public task
+	age       atomic.Uint64 // packed (top, tag)
+	raceFix   bool          // use the §4 signal-safe pop_bottom
+	deq       []atomic.Pointer[T]
+}
+
+// NewSplit returns a SplitDeque with the given capacity (DefaultCapacity
+// if capacity <= 0). raceFix selects the §4 pop_bottom variant that is
+// safe against an exposure request landing in the middle of pop_bottom;
+// the Conservative Exposure policy (§4.1.1) instead keeps the original
+// pop_bottom and avoids the race by never exposing the bottom-most task.
+func NewSplit[T any](capacity int, raceFix bool) *SplitDeque[T] {
+	return &SplitDeque[T]{
+		raceFix: raceFix,
+		deq:     make([]atomic.Pointer[T], normalizeCapacity(capacity)),
+	}
+}
+
+// Capacity returns the size of the backing task array.
+func (d *SplitDeque[T]) Capacity() int { return len(d.deq) }
+
+// PushBottom appends t to the private part. Per the counting model it
+// executes no synchronization operations (paper Lemma 1).
+// It panics if the backing array is exhausted; see DefaultCapacity.
+func (d *SplitDeque[T]) PushBottom(t *T, c *counters.Worker) {
+	b := d.bot.Load()
+	if int(b) == len(d.deq) {
+		panic(fmt.Sprintf("deque: split deque overflow (capacity %d); construct the scheduler with a larger deque capacity", len(d.deq)))
+	}
+	d.deq[b].Store(t)
+	d.bot.Store(b + 1)
+	c.Inc(counters.TaskPushed)
+}
+
+// PopBottom removes and returns the bottom-most private task, or nil when
+// the private part is empty. Per the counting model it executes no
+// synchronization operations (paper Lemma 2).
+//
+// With raceFix enabled this is the §4 variant: bot is decremented before
+// the comparison so that an exposure request arriving between the
+// comparison and the decrement cannot make the owner read a task that has
+// just become public. When the variant returns nil it leaves bot one below
+// publicBot; the subsequent PopPublicBottom call (the only legal next deque
+// operation in the scheduler loop) repairs bot on every path.
+func (d *SplitDeque[T]) PopBottom(c *counters.Worker) *T {
+	if d.raceFix {
+		b := d.bot.Load()
+		if b == 0 {
+			// Deque completely empty and already reset; nothing to
+			// decrement. (publicBot <= bot == 0.)
+			return nil
+		}
+		b--
+		d.bot.Store(b)
+		if b < d.publicBot.Load() {
+			return nil
+		}
+		return d.deq[b].Load()
+	}
+	b := d.bot.Load()
+	if b == d.publicBot.Load() {
+		return nil
+	}
+	b--
+	d.bot.Store(b)
+	return d.deq[b].Load()
+}
+
+// PopPublicBottom removes and returns the bottom-most public task, or nil
+// when the deque is empty or the last public task was lost to a thief.
+// Only the owner may call it, and only when the private part is empty —
+// i.e. after PopBottom returned nil, exactly as in the scheduler loop of
+// Listing 1 (the operation rewrites bot, so private tasks would be lost
+// otherwise). Fence/CAS accounting follows Listing 2:
+// one fence on the common path (line 12), a second fence on the emptying
+// path (line 27), and one CAS attempt when racing thieves for the last
+// element.
+func (d *SplitDeque[T]) PopPublicBottom(c *counters.Worker) *T {
+	pb := d.publicBot.Load()
+	if pb == 0 {
+		if d.raceFix {
+			// §4: repair bot after a failed race-fix PopBottom.
+			d.bot.Store(0)
+		}
+		return nil
+	}
+	pb--
+	d.publicBot.Store(pb)
+	c.Add(counters.Fence, counters.LCWSPopPublicFences) // line 12 fence
+	task := d.deq[pb].Load()
+	oldAge := d.age.Load()
+	top, tag := unpackAge(oldAge)
+	if pb > uint64(top) {
+		// More public tasks remain below top; no race possible.
+		d.bot.Store(pb)
+		c.Inc(counters.ExposedNotStolen)
+		return task
+	}
+	// The deque is emptying: race thieves for the last element and reset
+	// all indices to zero.
+	d.bot.Store(0)
+	newAge := packAge(0, tag+1)
+	localBot := pb
+	d.publicBot.Store(0)
+	won := false
+	if localBot == uint64(top) {
+		c.Add(counters.CAS, counters.LCWSPopPublicRaceCAS)
+		won = d.age.CompareAndSwap(oldAge, newAge)
+	}
+	if !won {
+		d.age.Store(newAge)
+		task = nil
+	} else {
+		c.Inc(counters.ExposedNotStolen)
+	}
+	c.Add(counters.Fence, counters.LCWSPopPublicEmptyFences-counters.LCWSPopPublicFences) // line 27 fence
+	return task
+}
+
+// PopTop attempts to steal the top-most public task. Any goroutine may
+// call it; c must be the calling thief's counter record. Per the counting
+// model a steal attempt that finds public work costs one CAS; attempts
+// that find the public part empty cost nothing.
+//
+// Note: Listing 2 line 39 reads "(public_bot < bot) ? nullptr :
+// PRIVATE_WORK", which contradicts the prose ("if only the public part is
+// empty it returns PRIVATE_WORK"); public_bot < bot is precisely the
+// private-part-non-empty condition, so we implement the prose semantics.
+func (d *SplitDeque[T]) PopTop(c *counters.Worker) (*T, StealResult) {
+	oldAge := d.age.Load()
+	top, tag := unpackAge(oldAge)
+	pb := d.publicBot.Load()
+	if pb > uint64(top) {
+		task := d.deq[top].Load()
+		c.Add(counters.CAS, counters.LCWSStealCAS)
+		if d.age.CompareAndSwap(oldAge, packAge(top+1, tag)) {
+			return task, Stolen
+		}
+		return nil, Abort
+	}
+	if pb < d.bot.Load() {
+		return nil, PrivateWork
+	}
+	return nil, Empty
+}
+
+// Expose transfers tasks from the private part to the public part
+// according to mode and returns the number of tasks exposed. Only the
+// owner may call it (in the signal-based schedulers it runs inside the
+// emulated signal handler, which executes on the owner's goroutine). Per
+// footnote 3 of the paper, exposure itself performs no synchronization
+// operations; its cost materialises later as the fences of
+// PopPublicBottom when exposed tasks are not stolen.
+func (d *SplitDeque[T]) Expose(mode ExposeMode, c *counters.Worker) int {
+	pb := d.publicBot.Load()
+	b := d.bot.Load()
+	if b < pb {
+		// Mid-pop_bottom state of the race-fix variant: the private
+		// part is empty.
+		return 0
+	}
+	r := b - pb // private task count
+	var n uint64
+	switch mode {
+	case ExposeOne:
+		if r >= 1 {
+			n = 1
+		}
+	case ExposeConservative:
+		if r >= 2 {
+			n = 1
+		}
+	case ExposeHalf:
+		if r >= 3 {
+			n = (r + 1) / 2 // round(r/2)
+		} else if r >= 1 {
+			n = 1
+		}
+	default:
+		panic(fmt.Sprintf("deque: unknown expose mode %d", mode))
+	}
+	if n == 0 {
+		return 0
+	}
+	d.publicBot.Store(pb + n)
+	c.Add(counters.Exposure, n)
+	return int(n)
+}
+
+// UnexposeAll transfers every unstolen public task back to the private
+// part and returns how many were reclaimed. Only the owner may call it,
+// and only when the private part is empty (after PopBottom returned nil).
+//
+// This is the operation that distinguishes Lace (van Dijk & van de Pol)
+// from LCWS: LCWS never un-exposes — its owner drains leftover public
+// work through PopPublicBottom, paying fences per task — whereas Lace
+// reclaims the whole public part in one synchronized step and then pops
+// it fence-free. The reclaim races concurrent thieves: publicBot is first
+// moved to top (hiding the work from new thieves), then the age word's
+// tag is bumped with a CAS so that any thief still holding the old age
+// fails its steal; if instead a thief advances top first, the owner's CAS
+// fails and it retries against the new top.
+func (d *SplitDeque[T]) UnexposeAll(c *counters.Worker) int {
+	for {
+		pb := d.publicBot.Load()
+		if pb == 0 {
+			if d.raceFix {
+				d.bot.Store(0)
+			}
+			return 0
+		}
+		oldAge := d.age.Load()
+		top, tag := unpackAge(oldAge)
+		if pb <= uint64(top) {
+			// Everything public was stolen; nothing to reclaim.
+			if d.raceFix {
+				d.bot.Store(pb) // repair after a failed race-fix PopBottom
+			}
+			return 0
+		}
+		d.publicBot.Store(uint64(top))
+		c.Inc(counters.Fence) // ordering of the store against the CAS below
+		c.Inc(counters.CAS)
+		if d.age.CompareAndSwap(oldAge, packAge(top, tag+1)) {
+			// [top, pb) is now private; restore bot above it (a no-op
+			// unless a failed race-fix PopBottom decremented it).
+			d.bot.Store(pb)
+			n := pb - uint64(top)
+			c.Add(counters.ExposedNotStolen, n)
+			return int(n)
+		}
+		// A thief advanced top concurrently; restore the split and
+		// retry against the new state.
+		d.publicBot.Store(pb)
+	}
+}
+
+// PrivateSize returns the number of tasks in the private part. Thieves use
+// it (via HasTwoTasks) for the Conservative Exposure notification
+// condition; the value is naturally racy.
+func (d *SplitDeque[T]) PrivateSize() int {
+	b := d.bot.Load()
+	pb := d.publicBot.Load()
+	if b < pb {
+		return 0
+	}
+	return int(b - pb)
+}
+
+// PublicSize returns the number of stealable tasks in the public part.
+func (d *SplitDeque[T]) PublicSize() int {
+	top, _ := unpackAge(d.age.Load())
+	pb := d.publicBot.Load()
+	if pb < uint64(top) {
+		return 0
+	}
+	return int(pb - uint64(top))
+}
+
+// HasTwoTasks reports whether the deque holds at least two tasks
+// (method has_two_tasks of §4.1.1).
+func (d *SplitDeque[T]) HasTwoTasks() bool {
+	return d.PrivateSize()+d.PublicSize() >= 2
+}
+
+// IsEmpty reports whether the deque holds no tasks at all. The result is
+// racy under concurrency and is meant for owner-side assertions and tests.
+func (d *SplitDeque[T]) IsEmpty() bool {
+	return d.PrivateSize() == 0 && d.PublicSize() == 0
+}

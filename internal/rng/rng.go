@@ -1,0 +1,150 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used by the workload generators, victim selection, and the
+// simulator. Using our own generators (instead of math/rand) guarantees
+// bit-for-bit reproducible workloads and figures across Go versions.
+//
+// Two generators are provided: SplitMix64, used for seeding and for
+// hash-style stateless streams, and Xoshiro256, a xoshiro256** generator
+// used where a stateful stream is needed. Neither is safe for concurrent
+// use; create one generator per worker.
+package rng
+
+import "math"
+
+// SplitMix64 advances the SplitMix64 state and returns the next value.
+// It is the recommended seeder for xoshiro generators and doubles as a
+// strong 64-bit mixing function.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash64 returns a stateless SplitMix64-style hash of x. Equal inputs give
+// equal outputs; it is used for reproducible "random" per-index values in
+// data generators (mirroring PBBS's dataGen hash).
+func Hash64(x uint64) uint64 {
+	s := x
+	return SplitMix64(&s)
+}
+
+// Xoshiro256 is a xoshiro256** PRNG. The zero value is invalid; use New.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// New returns a Xoshiro256 seeded from seed via SplitMix64.
+func New(seed uint64) *Xoshiro256 {
+	var g Xoshiro256
+	g.Seed(seed)
+	return &g
+}
+
+// Seed resets the generator state deterministically from seed.
+func (g *Xoshiro256) Seed(seed uint64) {
+	sm := seed
+	for i := range g.s {
+		g.s[i] = SplitMix64(&sm)
+	}
+	// A state of all zeros is a fixed point; SplitMix64 of any seed cannot
+	// produce four zero words, but keep the guard for clarity.
+	if g.s[0]|g.s[1]|g.s[2]|g.s[3] == 0 {
+		g.s[0] = 1
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64-bit value.
+func (g *Xoshiro256) Uint64() uint64 {
+	result := rotl(g.s[1]*5, 7) * 9
+	t := g.s[1] << 17
+	g.s[2] ^= g.s[0]
+	g.s[3] ^= g.s[1]
+	g.s[1] ^= g.s[2]
+	g.s[0] ^= g.s[3]
+	g.s[2] ^= t
+	g.s[3] = rotl(g.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// It uses Lemire's multiply-shift reduction with rejection for exactness.
+func (g *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return g.Uint64() & (n - 1)
+	}
+	// Lemire's method with rejection sampling for an unbiased result.
+	threshold := -n % n
+	for {
+		v := g.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	lo = a * b
+	hi = aHi*bHi + t>>32 + (t&mask+aLo*bHi)>>32
+	return hi, lo
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (g *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(g.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *Xoshiro256) Float64() float64 {
+	return float64(g.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed float64 with mean 1, used for
+// exponential task-grain and sequence distributions.
+func (g *Xoshiro256) Exp() float64 {
+	for {
+		u := g.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Norm returns a standard normal variate (Box–Muller; one value per call).
+func (g *Xoshiro256) Norm() float64 {
+	for {
+		u := g.Float64()
+		v := g.Float64()
+		if u == 0 {
+			continue
+		}
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Perm fills out with a uniform random permutation of [0, len(out)).
+func (g *Xoshiro256) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := g.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}

@@ -1,0 +1,175 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("generators with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Errorf("generators with different seeds matched %d/100 outputs", same)
+	}
+}
+
+func TestSeedReset(t *testing.T) {
+	g := New(7)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = g.Uint64()
+	}
+	g.Seed(7)
+	for i := range first {
+		if got := g.Uint64(); got != first[i] {
+			t.Fatalf("Seed did not reset the stream (step %d)", i)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	f := func(seed uint64, nRaw uint32) bool {
+		n := uint64(nRaw%1000) + 1
+		g := New(seed)
+		for i := 0; i < 100; i++ {
+			if v := g.Uint64n(n); v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nRoughUniformity(t *testing.T) {
+	g := New(99)
+	const n = 10
+	const draws = 100000
+	var buckets [n]int
+	for i := 0; i < draws; i++ {
+		buckets[g.Uint64n(n)]++
+	}
+	want := draws / n
+	for i, got := range buckets {
+		if got < want*9/10 || got > want*11/10 {
+			t.Errorf("bucket %d: %d draws, want about %d", i, got, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 10000; i++ {
+		v := g.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += g.Exp()
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("Exp mean = %v, want about 1", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	g := New(13)
+	sum, sumSq := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := g.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v, want about 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("Norm variance = %v, want about 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := New(17)
+	out := make([]int, 100)
+	g.Perm(out)
+	seen := make([]bool, 100)
+	for _, v := range out {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm output is not a permutation: %v", out[:10])
+		}
+		seen[v] = true
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(42) != Hash64(42) {
+		t.Error("Hash64 is not deterministic")
+	}
+	if Hash64(1) == Hash64(2) {
+		t.Error("Hash64(1) == Hash64(2)")
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d, %d) = (%d, %d), want (%d, %d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package lcws is a Go implementation of the schedulers from
+// "Efficient Synchronization-Light Work Stealing" (Custódio, Paulino,
+// Rito; SPAA 2023): the classic Work Stealing baseline and four variants
+// of Low-Cost Work Stealing (LCWS) built on split deques, which keep most
+// of a processor's deque private and synchronization-free while still
+// allowing thieves to request and steal work.
+//
+// A Scheduler runs fork-join computations over P workers:
+//
+//	s := lcws.New(lcws.WithWorkers(4), lcws.WithPolicy(lcws.SignalLCWS))
+//	s.Run(func(ctx *lcws.Ctx) {
+//	    lcws.Fork2(ctx,
+//	        func(ctx *lcws.Ctx) { /* left branch */ },
+//	        func(ctx *lcws.Ctx) { /* right branch */ },
+//	    )
+//	})
+//
+// Computational kernels should call ctx.Poll inside long sequential loops;
+// that is the emulated signal-delivery point that lets the signal-based
+// schedulers expose work in constant time (see internal/core for the full
+// discussion of the signal emulation). Every scheduler records the
+// synchronization operations its C++ reference implementation would
+// execute; Stats exposes them for profiling (the paper's Figures 3 and 8).
+package lcws
+
+import (
+	"lcws/internal/core"
+	"lcws/internal/counters"
+)
+
+// Ctx is the per-worker scheduling context passed to every task function.
+// Its methods (Fork points via Fork2/ParFor, Poll/Checkpoint, ID, Rand)
+// must be called only from the task function that received it.
+type Ctx = core.Worker
+
+// Scheduler is a reusable pool of workers; see New.
+type Scheduler = core.Scheduler
+
+// Policy selects the scheduling algorithm.
+type Policy = core.Policy
+
+// The available scheduling policies (paper sections in parentheses).
+const (
+	// WS is the baseline Work Stealing scheduler on fully concurrent
+	// Chase-Lev deques (Parlay's stock scheduler).
+	WS = core.WS
+	// USLCWS is user-space LCWS (§3): notifications are observed only at
+	// task boundaries.
+	USLCWS = core.USLCWS
+	// SignalLCWS is signal-based LCWS (§4): constant-time work exposure.
+	SignalLCWS = core.SignalLCWS
+	// ConsLCWS is the Conservative Exposure variant (§4.1.1).
+	ConsLCWS = core.ConsLCWS
+	// HalfLCWS is the Expose Half variant (§4.1.2).
+	HalfLCWS = core.HalfLCWS
+	// LaceWS is the Lace comparator scheduler (related work, §2): split
+	// deques with task-boundary exposure requests, half exposure, and
+	// wholesale un-exposing of unstolen public work.
+	LaceWS = core.LaceWS
+)
+
+// Policies lists every policy in presentation order (WS first).
+var Policies = core.Policies[:]
+
+// LCWSPolicies lists the four LCWS variants in the paper's figure order
+// (User, Signal, Cons, Half).
+var LCWSPolicies = core.LCWSPolicies[:]
+
+// ParsePolicy converts a figure label (WS, USLCWS/User, Signal, Cons,
+// Half) into a Policy.
+func ParsePolicy(name string) (Policy, error) { return core.ParsePolicy(name) }
+
+// Option configures New.
+type Option func(*core.Options)
+
+// WithWorkers sets the number of workers P (default 1).
+func WithWorkers(p int) Option { return func(o *core.Options) { o.Workers = p } }
+
+// WithPolicy sets the scheduling policy (default WS).
+func WithPolicy(p Policy) Option { return func(o *core.Options) { o.Policy = p } }
+
+// WithDequeCapacity sets the per-worker deque capacity; the deques are
+// fixed-size arrays as in the paper and panic on overflow.
+func WithDequeCapacity(n int) Option { return func(o *core.Options) { o.DequeCapacity = n } }
+
+// WithSeed seeds the workers' victim-selection PRNGs for reproducible
+// scheduling decisions.
+func WithSeed(seed uint64) Option { return func(o *core.Options) { o.Seed = seed } }
+
+// WithPollEvery sets how many ctx.Poll calls elapse between checks of the
+// emulated pending-signal word (default 64) — the knob playing the role
+// of OS signal-delivery latency in the signal emulation.
+func WithPollEvery(n int) Option { return func(o *core.Options) { o.PollEvery = n } }
+
+// WithYieldEvery makes each worker yield its OS thread after executing n
+// tasks (0 = never, the default). On hosts with fewer CPUs than workers
+// this produces steal and exposure dynamics representative of a real
+// P-core machine; the profiling harness uses it for the paper's counter
+// figures.
+func WithYieldEvery(n int) Option { return func(o *core.Options) { o.YieldEvery = n } }
+
+// New returns a Scheduler. The zero configuration is a single-worker WS
+// scheduler.
+func New(opts ...Option) *Scheduler {
+	var o core.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return core.NewScheduler(o)
+}
+
+// Fork2 executes left and right as a fork-join pair and returns when both
+// are done; right may run on another worker.
+func Fork2(ctx *Ctx, left, right func(*Ctx)) { core.Fork2(ctx, left, right) }
+
+// Fork4 is a two-level Fork2 for four-way forks.
+func Fork4(ctx *Ctx, a, b, c, d func(*Ctx)) { core.Fork4(ctx, a, b, c, d) }
+
+// ForkN executes any number of branches as a balanced fork-join tree.
+func ForkN(ctx *Ctx, fns ...func(*Ctx)) { core.ForkN(ctx, fns...) }
+
+// ParFor executes body for every index in [lo, hi) with recursive binary
+// splitting; grain <= 0 selects an automatic grain size.
+func ParFor(ctx *Ctx, lo, hi, grain int, body func(ctx *Ctx, i int)) {
+	core.ParFor(ctx, lo, hi, grain, body)
+}
+
+// Stats aggregates the instrumentation counters of a scheduler: the
+// synchronization operations the reference C++ implementation would
+// execute (Fences, CAS — see internal/counters/model.go for the counting
+// model) plus scheduler-level events. The paper's profiles (Figures 3 and
+// 8) are ratios of these fields between schedulers.
+type Stats struct {
+	// Fences counts memory fences per the counting model.
+	Fences uint64
+	// CAS counts compare-and-swap instructions per the counting model.
+	CAS uint64
+	// StealAttempts counts pop_top calls on victims.
+	StealAttempts uint64
+	// StealSuccesses counts steals that obtained a task.
+	StealSuccesses uint64
+	// StealPrivateWork counts steal attempts that found only private
+	// work and so notified the victim.
+	StealPrivateWork uint64
+	// StealAborts counts steal attempts that lost a CAS race.
+	StealAborts uint64
+	// Exposures counts tasks moved from private to public parts.
+	Exposures uint64
+	// ExposedNotStolen counts exposed tasks taken back by their owner.
+	ExposedNotStolen uint64
+	// SignalsSent counts emulated pthread_kill notifications.
+	SignalsSent uint64
+	// SignalsHandled counts exposure requests handled by owners.
+	SignalsHandled uint64
+	// IdleIterations counts scheduler iterations that found no work.
+	IdleIterations uint64
+	// TasksExecuted counts tasks run to completion.
+	TasksExecuted uint64
+	// TasksPushed counts deque pushes.
+	TasksPushed uint64
+}
+
+func statsFromSnapshot(sn counters.Snapshot) Stats {
+	return Stats{
+		Fences:           sn.Get(counters.Fence),
+		CAS:              sn.Get(counters.CAS),
+		StealAttempts:    sn.Get(counters.StealAttempt),
+		StealSuccesses:   sn.Get(counters.StealSuccess),
+		StealPrivateWork: sn.Get(counters.StealPrivate),
+		StealAborts:      sn.Get(counters.StealAbort),
+		Exposures:        sn.Get(counters.Exposure),
+		ExposedNotStolen: sn.Get(counters.ExposedNotStolen),
+		SignalsSent:      sn.Get(counters.SignalSent),
+		SignalsHandled:   sn.Get(counters.SignalHandled),
+		IdleIterations:   sn.Get(counters.IdleIteration),
+		TasksExecuted:    sn.Get(counters.TaskExecuted),
+		TasksPushed:      sn.Get(counters.TaskPushed),
+	}
+}
+
+// StatsOf returns the counters accumulated by s since its creation or the
+// last ResetStats call.
+func StatsOf(s *Scheduler) Stats { return statsFromSnapshot(s.Counters()) }
+
+// ResetStats zeroes s's counters.
+func ResetStats(s *Scheduler) { s.ResetCounters() }
+
+// UnstolenFraction returns the fraction of exposed tasks that were not
+// stolen (Figures 3d and 8d), or 0 when nothing was exposed.
+func (st Stats) UnstolenFraction() float64 {
+	if st.Exposures == 0 {
+		return 0
+	}
+	return float64(st.ExposedNotStolen) / float64(st.Exposures)
+}

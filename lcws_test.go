@@ -1,0 +1,117 @@
+package lcws_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"lcws"
+)
+
+func TestNewDefaults(t *testing.T) {
+	s := lcws.New()
+	if s.Workers() != 1 {
+		t.Errorf("default workers = %d, want 1", s.Workers())
+	}
+	if s.Policy() != lcws.WS {
+		t.Errorf("default policy = %v, want WS", s.Policy())
+	}
+}
+
+func TestOptions(t *testing.T) {
+	s := lcws.New(lcws.WithWorkers(6), lcws.WithPolicy(lcws.HalfLCWS),
+		lcws.WithDequeCapacity(128), lcws.WithSeed(9))
+	if s.Workers() != 6 || s.Policy() != lcws.HalfLCWS {
+		t.Errorf("options not applied: %d workers, %v", s.Workers(), s.Policy())
+	}
+}
+
+func TestPublicForkJoinAndParFor(t *testing.T) {
+	for _, pol := range lcws.Policies {
+		s := lcws.New(lcws.WithWorkers(3), lcws.WithPolicy(pol))
+		var total atomic.Int64
+		var left, right bool
+		s.Run(func(ctx *lcws.Ctx) {
+			lcws.Fork2(ctx,
+				func(ctx *lcws.Ctx) { left = true },
+				func(ctx *lcws.Ctx) { right = true },
+			)
+			lcws.ParFor(ctx, 0, 1000, 0, func(ctx *lcws.Ctx, i int) {
+				total.Add(int64(i))
+			})
+		})
+		if !left || !right {
+			t.Errorf("%v: Fork2 branches did not both run", pol)
+		}
+		if total.Load() != 499500 {
+			t.Errorf("%v: ParFor sum = %d", pol, total.Load())
+		}
+		total.Store(0)
+		left, right = false, false
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	s := lcws.New(lcws.WithWorkers(1), lcws.WithPolicy(lcws.WS))
+	s.Run(func(ctx *lcws.Ctx) {
+		lcws.Fork2(ctx, func(*lcws.Ctx) {}, func(*lcws.Ctx) {})
+	})
+	st := lcws.StatsOf(s)
+	if st.TasksPushed == 0 || st.Fences == 0 {
+		t.Errorf("WS run recorded no pushes/fences: %+v", st)
+	}
+	lcws.ResetStats(s)
+	if got := lcws.StatsOf(s); got.TasksPushed != 0 {
+		t.Errorf("ResetStats did not clear counters: %+v", got)
+	}
+}
+
+func TestStatsUnstolenFraction(t *testing.T) {
+	st := lcws.Stats{Exposures: 8, ExposedNotStolen: 2}
+	if got := st.UnstolenFraction(); got != 0.25 {
+		t.Errorf("UnstolenFraction = %v, want 0.25", got)
+	}
+	var zero lcws.Stats
+	if zero.UnstolenFraction() != 0 {
+		t.Error("UnstolenFraction of zero stats should be 0")
+	}
+}
+
+func TestCtxAccessors(t *testing.T) {
+	s := lcws.New(lcws.WithWorkers(2), lcws.WithPolicy(lcws.ConsLCWS))
+	s.Run(func(ctx *lcws.Ctx) {
+		if ctx.ID() != 0 {
+			t.Errorf("root runs on worker %d, want 0", ctx.ID())
+		}
+		if ctx.Workers() != 2 {
+			t.Errorf("ctx.Workers() = %d", ctx.Workers())
+		}
+		if ctx.Policy() != lcws.ConsLCWS {
+			t.Errorf("ctx.Policy() = %v", ctx.Policy())
+		}
+		if ctx.Rand() == nil {
+			t.Error("ctx.Rand() is nil")
+		}
+		// Poll and Checkpoint must be callable anywhere in a task.
+		for i := 0; i < 200; i++ {
+			ctx.Poll()
+		}
+		ctx.Checkpoint()
+	})
+}
+
+func TestPoliciesListsAreConsistent(t *testing.T) {
+	if len(lcws.Policies) != 6 {
+		t.Errorf("Policies has %d entries, want 6 (WS, four LCWS variants, Lace)", len(lcws.Policies))
+	}
+	if lcws.Policies[0] != lcws.WS {
+		t.Error("Policies must start with the WS baseline")
+	}
+	if len(lcws.LCWSPolicies) != 4 {
+		t.Errorf("LCWSPolicies has %d entries, want 4", len(lcws.LCWSPolicies))
+	}
+	for _, p := range lcws.LCWSPolicies {
+		if p == lcws.WS {
+			t.Error("LCWSPolicies must not contain the baseline")
+		}
+	}
+}

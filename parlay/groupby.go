@@ -1,0 +1,172 @@
+package parlay
+
+import (
+	"cmp"
+
+	"lcws"
+)
+
+// Group is one key with all its associated values, in input order.
+type Group[K comparable, V any] struct {
+	Key    K
+	Values []V
+}
+
+// GroupByKey collects the values of equal keys (Parlay's group_by_key /
+// semisort): the result contains one Group per distinct key, keys in
+// ascending order, each group's values in their original input order.
+func GroupByKey[K cmp.Ordered, V any](ctx *lcws.Ctx, keys []K, values []V) []Group[K, V] {
+	if len(keys) != len(values) {
+		panic("parlay: GroupByKey length mismatch")
+	}
+	n := len(keys)
+	if n == 0 {
+		return nil
+	}
+	// Stable sort of indices by key keeps each group's values in input
+	// order.
+	idx := Tabulate(ctx, n, func(i int) int32 { return int32(i) })
+	SortFunc(ctx, idx, func(a, b int32) bool {
+		if keys[a] != keys[b] {
+			return keys[a] < keys[b]
+		}
+		return a < b
+	})
+	starts := Tabulate(ctx, n, func(i int) bool {
+		return i == 0 || keys[idx[i]] != keys[idx[i-1]]
+	})
+	heads := PackIndex(ctx, starts)
+	return Tabulate(ctx, len(heads), func(j int) Group[K, V] {
+		end := n
+		if j+1 < len(heads) {
+			end = heads[j+1]
+		}
+		g := Group[K, V]{Key: keys[idx[heads[j]]], Values: make([]V, end-heads[j])}
+		for i := heads[j]; i < end; i++ {
+			g.Values[i-heads[j]] = values[idx[i]]
+		}
+		return g
+	})
+}
+
+// CountByKey returns each distinct key with its multiplicity, keys
+// ascending (Parlay's count_by_key).
+func CountByKey[K cmp.Ordered](ctx *lcws.Ctx, keys []K) ([]K, []int) {
+	n := len(keys)
+	if n == 0 {
+		return nil, nil
+	}
+	sorted := make([]K, n)
+	copy(sorted, keys)
+	Sort(ctx, sorted)
+	starts := Tabulate(ctx, n, func(i int) bool {
+		return i == 0 || sorted[i] != sorted[i-1]
+	})
+	heads := PackIndex(ctx, starts)
+	uniq := Tabulate(ctx, len(heads), func(j int) K { return sorted[heads[j]] })
+	counts := Tabulate(ctx, len(heads), func(j int) int {
+		end := n
+		if j+1 < len(heads) {
+			end = heads[j+1]
+		}
+		return end - heads[j]
+	})
+	return uniq, counts
+}
+
+// MinIndex returns the index of the smallest element (lowest index on
+// ties), or -1 for an empty slice.
+func MinIndex[T cmp.Ordered](ctx *lcws.Ctx, xs []T) int {
+	return bestIndex(ctx, xs, func(a, b T) bool { return a < b })
+}
+
+// MaxIndex returns the index of the largest element (lowest index on
+// ties), or -1 for an empty slice.
+func MaxIndex[T cmp.Ordered](ctx *lcws.Ctx, xs []T) int {
+	return bestIndex(ctx, xs, func(a, b T) bool { return a > b })
+}
+
+// bestIndex reduces to the lowest index whose element "beats" all others
+// under the strict preference relation better.
+func bestIndex[T any](ctx *lcws.Ctx, xs []T, better func(a, b T) bool) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	idx := Iota(ctx, len(xs))
+	return Reduce(ctx, idx[1:], 0, func(a, b int) int {
+		switch {
+		case better(xs[b], xs[a]):
+			return b
+		case better(xs[a], xs[b]):
+			return a
+		case b < a:
+			return b
+		default:
+			return a
+		}
+	})
+}
+
+// FindIf returns the lowest index whose element satisfies pred, or -1.
+// It searches geometrically growing prefixes in parallel, so a match near
+// the front costs far less than a full scan (Parlay's find_if).
+func FindIf[T any](ctx *lcws.Ctx, xs []T, pred func(T) bool) int {
+	n := len(xs)
+	blockLen := 1024
+	for lo := 0; lo < n; {
+		hi := lo + blockLen
+		if hi > n {
+			hi = n
+		}
+		// Scan [lo, hi) in parallel sub-blocks and reduce to the lowest
+		// matching index.
+		found := blockCounts(ctx, hi-lo, 256, func(a, b int) int {
+			for i := a; i < b; i++ {
+				if pred(xs[lo+i]) {
+					return lo + i
+				}
+			}
+			return -1
+		})
+		best := -1
+		for _, f := range found {
+			if f >= 0 && (best == -1 || f < best) {
+				best = f
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		lo = hi
+		blockLen *= 2
+	}
+	return -1
+}
+
+// Unique returns xs with adjacent duplicates removed (Parlay's unique):
+// on sorted input this yields the distinct values.
+func Unique[T comparable](ctx *lcws.Ctx, xs []T) []T {
+	if len(xs) == 0 {
+		return nil
+	}
+	keep := Tabulate(ctx, len(xs), func(i int) bool {
+		return i == 0 || xs[i] != xs[i-1]
+	})
+	return Pack(ctx, xs, keep)
+}
+
+// Merge merges two sorted slices into a new sorted slice using the
+// parallel merge underlying SortFunc.
+func Merge[T cmp.Ordered](ctx *lcws.Ctx, a, b []T) []T {
+	out := make([]T, len(a)+len(b))
+	parallelMerge(ctx, a, b, out, func(x, y T) bool { return x < y })
+	return out
+}
+
+// MergeFunc is Merge with an explicit ordering; the merge is stable
+// (ties take from a first).
+func MergeFunc[T any](ctx *lcws.Ctx, a, b []T, less func(x, y T) bool) []T {
+	out := make([]T, len(a)+len(b))
+	parallelMerge(ctx, a, b, out, less)
+	return out
+}

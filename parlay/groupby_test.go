@@ -1,0 +1,291 @@
+package parlay
+
+import (
+	"sort"
+	"testing"
+
+	"lcws"
+	"lcws/internal/rng"
+)
+
+func TestGroupByKeySmall(t *testing.T) {
+	run(lcws.SignalLCWS, func(ctx *lcws.Ctx) {
+		keys := []string{"b", "a", "b", "c", "a", "b"}
+		vals := []int{1, 2, 3, 4, 5, 6}
+		groups := GroupByKey(ctx, keys, vals)
+		if len(groups) != 3 {
+			t.Fatalf("groups = %v", groups)
+		}
+		want := map[string][]int{"a": {2, 5}, "b": {1, 3, 6}, "c": {4}}
+		prev := ""
+		for _, g := range groups {
+			if g.Key <= prev {
+				t.Fatalf("keys not ascending: %v", groups)
+			}
+			prev = g.Key
+			ref := want[g.Key]
+			if len(ref) != len(g.Values) {
+				t.Fatalf("group %q = %v, want %v", g.Key, g.Values, ref)
+			}
+			for i := range ref {
+				if g.Values[i] != ref[i] {
+					t.Fatalf("group %q = %v, want %v (input order)", g.Key, g.Values, ref)
+				}
+			}
+		}
+	})
+}
+
+func TestGroupByKeyEmptyAndMismatch(t *testing.T) {
+	run(lcws.WS, func(ctx *lcws.Ctx) {
+		if g := GroupByKey[int, int](ctx, nil, nil); g != nil {
+			t.Errorf("empty GroupByKey = %v", g)
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("length mismatch did not panic")
+			}
+		}()
+		GroupByKey(ctx, []int{1}, []int{1, 2})
+	})
+}
+
+func TestGroupByKeyLargeRandom(t *testing.T) {
+	run(lcws.HalfLCWS, func(ctx *lcws.Ctx) {
+		g := rng.New(7)
+		n := 30000
+		keys := make([]int, n)
+		vals := make([]int, n)
+		for i := range keys {
+			keys[i] = g.Intn(100)
+			vals[i] = i
+		}
+		groups := GroupByKey(ctx, keys, vals)
+		total := 0
+		for _, gr := range groups {
+			total += len(gr.Values)
+			for i := 1; i < len(gr.Values); i++ {
+				if gr.Values[i-1] >= gr.Values[i] {
+					t.Fatal("group values not in input order")
+				}
+			}
+			for _, v := range gr.Values {
+				if keys[v] != gr.Key {
+					t.Fatal("value grouped under wrong key")
+				}
+			}
+		}
+		if total != n {
+			t.Fatalf("groups cover %d values, want %d", total, n)
+		}
+	})
+}
+
+func TestCountByKey(t *testing.T) {
+	run(lcws.ConsLCWS, func(ctx *lcws.Ctx) {
+		keys := []int{5, 1, 5, 5, 2, 1}
+		uniq, counts := CountByKey(ctx, keys)
+		wantU := []int{1, 2, 5}
+		wantC := []int{2, 1, 3}
+		for i := range wantU {
+			if uniq[i] != wantU[i] || counts[i] != wantC[i] {
+				t.Fatalf("CountByKey = %v/%v", uniq, counts)
+			}
+		}
+		if u, c := CountByKey[int](ctx, nil); u != nil || c != nil {
+			t.Error("empty CountByKey not nil")
+		}
+	})
+}
+
+func TestMinMaxIndex(t *testing.T) {
+	run(lcws.USLCWS, func(ctx *lcws.Ctx) {
+		xs := []int{3, 1, 4, 1, 5, 9, 2, 9}
+		if got := MinIndex(ctx, xs); got != 1 {
+			t.Errorf("MinIndex = %d, want 1 (first of the ties)", got)
+		}
+		if got := MaxIndex(ctx, xs); got != 5 {
+			t.Errorf("MaxIndex = %d, want 5 (first of the ties)", got)
+		}
+		if got := MinIndex(ctx, []int{}); got != -1 {
+			t.Errorf("MinIndex(empty) = %d", got)
+		}
+	})
+}
+
+func TestMinIndexLargeFirstTie(t *testing.T) {
+	run(lcws.SignalLCWS, func(ctx *lcws.Ctx) {
+		n := 50000
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = 7
+		}
+		xs[12345] = 1
+		xs[40000] = 1
+		if got := MinIndex(ctx, xs); got != 12345 {
+			t.Errorf("MinIndex = %d, want 12345", got)
+		}
+	})
+}
+
+func TestFindIf(t *testing.T) {
+	run(lcws.HalfLCWS, func(ctx *lcws.Ctx) {
+		xs := Iota(ctx, 100000)
+		if got := FindIf(ctx, xs, func(x int) bool { return x == 70000 }); got != 70000 {
+			t.Errorf("FindIf = %d, want 70000", got)
+		}
+		if got := FindIf(ctx, xs, func(x int) bool { return x == 3 }); got != 3 {
+			t.Errorf("FindIf near front = %d, want 3", got)
+		}
+		if got := FindIf(ctx, xs, func(x int) bool { return false }); got != -1 {
+			t.Errorf("FindIf no-match = %d, want -1", got)
+		}
+		if got := FindIf(ctx, []int{}, func(x int) bool { return true }); got != -1 {
+			t.Errorf("FindIf empty = %d", got)
+		}
+		// The lowest matching index must win even with many matches.
+		if got := FindIf(ctx, xs, func(x int) bool { return x%977 == 5 }); got != 5 {
+			t.Errorf("FindIf multiple matches = %d, want 5", got)
+		}
+	})
+}
+
+func TestUnique(t *testing.T) {
+	run(lcws.WS, func(ctx *lcws.Ctx) {
+		got := Unique(ctx, []int{1, 1, 2, 3, 3, 3, 1})
+		want := []int{1, 2, 3, 1} // adjacent duplicates only
+		if len(got) != len(want) {
+			t.Fatalf("Unique = %v", got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Unique = %v, want %v", got, want)
+			}
+		}
+		if got := Unique(ctx, []int{}); got != nil {
+			t.Errorf("Unique(empty) = %v", got)
+		}
+	})
+}
+
+func TestMerge(t *testing.T) {
+	run(lcws.SignalLCWS, func(ctx *lcws.Ctx) {
+		g := rng.New(31)
+		a := make([]int, 20000)
+		b := make([]int, 30000)
+		for i := range a {
+			a[i] = g.Intn(1000)
+		}
+		for i := range b {
+			b[i] = g.Intn(1000)
+		}
+		sort.Ints(a)
+		sort.Ints(b)
+		got := Merge(ctx, a, b)
+		want := append(append([]int{}, a...), b...)
+		sort.Ints(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Merge mismatch at %d", i)
+			}
+		}
+		if got := Merge(ctx, []int{}, []int{}); len(got) != 0 {
+			t.Errorf("Merge of empties = %v", got)
+		}
+	})
+}
+
+type kv struct{ k, seq int }
+
+func TestMergeFuncStable(t *testing.T) {
+	run(lcws.WS, func(ctx *lcws.Ctx) {
+		a := []kv{{1, 0}, {2, 1}, {2, 2}}
+		b := []kv{{1, 10}, {2, 11}}
+		got := MergeFunc(ctx, a, b, func(x, y kv) bool { return x.k < y.k })
+		// Stability: within equal keys, all of a's entries precede b's.
+		want := []kv{{1, 0}, {1, 10}, {2, 1}, {2, 2}, {2, 11}}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("MergeFunc = %v, want %v", got, want)
+			}
+		}
+	})
+}
+
+func TestHashDedupMatchesSet(t *testing.T) {
+	runAll(t, func(ctx *lcws.Ctx) {
+		g := rng.New(51)
+		n := 50000
+		xs := make([]uint64, n)
+		for i := range xs {
+			xs[i] = g.Uint64n(2000)
+		}
+		got := HashDedup(ctx, xs)
+		want := map[uint64]bool{}
+		for _, v := range xs {
+			want[v] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("HashDedup kept %d, want %d", len(got), len(want))
+		}
+		seen := map[uint64]bool{}
+		for _, v := range got {
+			if !want[v] {
+				t.Fatalf("value %d not in input", v)
+			}
+			if seen[v] {
+				t.Fatalf("value %d duplicated in output", v)
+			}
+			seen[v] = true
+		}
+	})
+}
+
+func TestHashDedupEdgeCases(t *testing.T) {
+	run(lcws.SignalLCWS, func(ctx *lcws.Ctx) {
+		if got := HashDedup(ctx, nil); got != nil {
+			t.Errorf("HashDedup(nil) = %v", got)
+		}
+		one := HashDedup(ctx, []uint64{7, 7, 7})
+		if len(one) != 1 || one[0] != 7 {
+			t.Errorf("HashDedup constant = %v", one)
+		}
+		// Zero values must round-trip through the +1 offset.
+		zeros := HashDedup(ctx, []uint64{0, 0, 1})
+		if len(zeros) != 2 {
+			t.Errorf("HashDedup with zeros = %v", zeros)
+		}
+	})
+}
+
+func TestHashDedupReservedValuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MaxUint64 input did not panic")
+		}
+	}()
+	run(lcws.WS, func(ctx *lcws.Ctx) {
+		HashDedup(ctx, []uint64{^uint64(0)})
+	})
+}
+
+func TestHashDedupAgreesWithSortBased(t *testing.T) {
+	run(lcws.HalfLCWS, func(ctx *lcws.Ctx) {
+		g := rng.New(53)
+		xs := make([]uint64, 30000)
+		for i := range xs {
+			xs[i] = g.Uint64() >> 1
+		}
+		hashed := HashDedup(ctx, xs)
+		Sort(ctx, hashed)
+		sorted := RemoveDuplicates(ctx, xs)
+		if len(hashed) != len(sorted) {
+			t.Fatalf("hash %d values, sort-based %d", len(hashed), len(sorted))
+		}
+		for i := range sorted {
+			if hashed[i] != sorted[i] {
+				t.Fatalf("mismatch at %d", i)
+			}
+		}
+	})
+}

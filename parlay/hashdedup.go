@@ -1,0 +1,60 @@
+package parlay
+
+import (
+	"math"
+	"sync/atomic"
+
+	"lcws"
+	"lcws/internal/rng"
+)
+
+// HashDedup returns the distinct values of xs in unspecified order using
+// a phase-concurrent open-addressing hash table: all insertions happen in
+// one parallel phase (CAS claims on linear-probed slots), then the table
+// is compacted in a second. This is the algorithm behind PBBS's
+// removeDuplicates benchmark proper; the sort-based RemoveDuplicates is
+// kept for when ascending output is wanted.
+//
+// Values must be less than math.MaxUint64 (one value is reserved as the
+// empty-slot marker via a +1 offset).
+func HashDedup(ctx *lcws.Ctx, xs []uint64) []uint64 {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	// Table size: next power of two above 2n keeps the load factor
+	// under one half, so linear probing stays short.
+	size := 1
+	for size < 2*n {
+		size <<= 1
+	}
+	mask := uint64(size - 1)
+	table := make([]atomic.Uint64, size)
+
+	lcws.ParFor(ctx, 0, n, 0, func(ctx *lcws.Ctx, i int) {
+		v := xs[i]
+		if v == math.MaxUint64 {
+			panic("parlay: HashDedup value MaxUint64 is reserved")
+		}
+		stored := v + 1 // 0 marks an empty slot
+		slot := rng.Hash64(v) & mask
+		for {
+			cur := table[slot].Load()
+			if cur == stored {
+				return // duplicate already present
+			}
+			if cur == 0 && table[slot].CompareAndSwap(0, stored) {
+				return
+			}
+			if table[slot].Load() == stored {
+				return // lost the race to an equal value
+			}
+			slot = (slot + 1) & mask
+		}
+	})
+
+	// Compact the occupied slots.
+	occupied := Tabulate(ctx, size, func(i int) uint64 { return table[i].Load() })
+	kept := Filter(ctx, occupied, func(v uint64) bool { return v != 0 })
+	return Map(ctx, kept, func(v uint64) uint64 { return v - 1 })
+}

@@ -1,0 +1,103 @@
+package parlay
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lcws"
+)
+
+// histSmallBuckets is the largest bucket count for which Histogram uses
+// per-block private histograms (memory nb×m); above it, shared atomic
+// counters are used instead.
+const histSmallBuckets = 2048
+
+// Histogram counts the occurrences of every key in [0, m); keys outside
+// the range cause a panic. This is the PBBS histogram kernel. For small m
+// it uses per-block private histograms combined with a parallel reduction;
+// for large m it increments shared atomic counters (PBBS similarly
+// switches strategy on bucket count).
+func Histogram(ctx *lcws.Ctx, keys []int, m int) []int {
+	if m <= 0 {
+		return nil
+	}
+	n := len(keys)
+	if m <= histSmallBuckets {
+		nb := numBlocks(n, defaultGrain)
+		if nb == 0 {
+			return make([]int, m)
+		}
+		local := make([]int, nb*m)
+		lcws.ParFor(ctx, 0, nb, 1, func(ctx *lcws.Ctx, b int) {
+			lo, hi := blockRange(b, n, defaultGrain)
+			row := local[b*m : (b+1)*m]
+			for i := lo; i < hi; i++ {
+				k := keys[i]
+				if k < 0 || k >= m {
+					panic(fmt.Sprintf("parlay: Histogram key %d out of range [0,%d)", k, m))
+				}
+				row[k]++
+			}
+		})
+		// Reduce the per-block rows column-wise in parallel.
+		return Tabulate(ctx, m, func(k int) int {
+			total := 0
+			for b := 0; b < nb; b++ {
+				total += local[b*m+k]
+			}
+			return total
+		})
+	}
+	shared := make([]atomic.Int64, m)
+	lcws.ParFor(ctx, 0, n, 0, func(ctx *lcws.Ctx, i int) {
+		k := keys[i]
+		if k < 0 || k >= m {
+			panic(fmt.Sprintf("parlay: Histogram key %d out of range [0,%d)", k, m))
+		}
+		shared[k].Add(1)
+	})
+	return Tabulate(ctx, m, func(k int) int { return int(shared[k].Load()) })
+}
+
+// HistogramByKey counts occurrences of arbitrary uint64 keys by sorting,
+// returning (unique keys in ascending order, counts). This mirrors PBBS's
+// histogram-by-key via integer sort.
+func HistogramByKey(ctx *lcws.Ctx, keys []uint64) (uniq []uint64, counts []int) {
+	n := len(keys)
+	if n == 0 {
+		return nil, nil
+	}
+	sorted := make([]uint64, n)
+	copy(sorted, keys)
+	IntegerSort(ctx, sorted, 0)
+	return countRuns(ctx, sorted)
+}
+
+// countRuns returns the distinct values and run lengths of a sorted slice.
+func countRuns(ctx *lcws.Ctx, sorted []uint64) ([]uint64, []int) {
+	n := len(sorted)
+	if n == 0 {
+		return nil, nil
+	}
+	// starts[i] = run begins at i.
+	starts := Tabulate(ctx, n, func(i int) bool {
+		return i == 0 || sorted[i] != sorted[i-1]
+	})
+	idx := PackIndex(ctx, starts)
+	uniq := Tabulate(ctx, len(idx), func(j int) uint64 { return sorted[idx[j]] })
+	counts := Tabulate(ctx, len(idx), func(j int) int {
+		end := n
+		if j+1 < len(idx) {
+			end = idx[j+1]
+		}
+		return end - idx[j]
+	})
+	return uniq, counts
+}
+
+// RemoveDuplicates returns the distinct values of xs in ascending order
+// (PBBS removeDuplicates kernel, sort-based).
+func RemoveDuplicates(ctx *lcws.Ctx, xs []uint64) []uint64 {
+	uniq, _ := HistogramByKey(ctx, xs)
+	return uniq
+}

@@ -1,0 +1,109 @@
+package parlay
+
+import "lcws"
+
+// radixBits is the number of key bits consumed per counting pass of the
+// integer sorts.
+const radixBits = 8
+
+const radixBuckets = 1 << radixBits
+
+// intSortGrain is the per-block size of the parallel counting passes.
+const intSortGrain = 4096
+
+// IntegerSort sorts keys in place with a parallel stable LSD radix sort.
+// bits is the number of significant low-order key bits (pass 0 for the
+// full 64, or when unknown). This is the PBBS integerSort kernel.
+func IntegerSort(ctx *lcws.Ctx, keys []uint64, bits int) {
+	IntegerSortPairs[struct{}](ctx, keys, nil, bits)
+}
+
+// IntegerSortPairs sorts keys in place and applies the same stable
+// permutation to vals (which may be nil, or must have len(keys) elements).
+// bits is the number of significant low-order key bits (0 means 64, or
+// "compute from the data").
+func IntegerSortPairs[V any](ctx *lcws.Ctx, keys []uint64, vals []V, bits int) {
+	n := len(keys)
+	if vals != nil && len(vals) != n {
+		panic("parlay: IntegerSortPairs value length mismatch")
+	}
+	if n < 2 {
+		return
+	}
+	if bits <= 0 || bits > 64 {
+		maxKey, _ := Max(ctx, keys)
+		bits = 1
+		for maxKey > 1 {
+			maxKey >>= 1
+			bits++
+		}
+	}
+	passes := (bits + radixBits - 1) / radixBits
+
+	srcK, dstK := keys, make([]uint64, n)
+	var srcV, dstV []V
+	if vals != nil {
+		srcV, dstV = vals, make([]V, n)
+	}
+
+	nb := numBlocks(n, intSortGrain)
+	// counts[b*radixBuckets+d] = occurrences of digit d in block b.
+	counts := make([]int, nb*radixBuckets)
+
+	for p := 0; p < passes; p++ {
+		shift := uint(p * radixBits)
+		// Count digits per block in parallel.
+		lcws.ParFor(ctx, 0, nb, 1, func(ctx *lcws.Ctx, b int) {
+			lo, hi := blockRange(b, n, intSortGrain)
+			row := counts[b*radixBuckets : (b+1)*radixBuckets]
+			for i := range row {
+				row[i] = 0
+			}
+			for i := lo; i < hi; i++ {
+				row[(srcK[i]>>shift)&(radixBuckets-1)]++
+			}
+		})
+		// Column-major prefix sums give each (digit, block) its stable
+		// output offset. radixBuckets*nb entries: cheap sequentially.
+		off := 0
+		for d := 0; d < radixBuckets; d++ {
+			for b := 0; b < nb; b++ {
+				idx := b*radixBuckets + d
+				c := counts[idx]
+				counts[idx] = off
+				off += c
+			}
+		}
+		// Scatter in parallel; within a block the scan order preserves
+		// stability.
+		lcws.ParFor(ctx, 0, nb, 1, func(ctx *lcws.Ctx, b int) {
+			lo, hi := blockRange(b, n, intSortGrain)
+			row := counts[b*radixBuckets : (b+1)*radixBuckets]
+			for i := lo; i < hi; i++ {
+				d := (srcK[i] >> shift) & (radixBuckets - 1)
+				o := row[d]
+				row[d] = o + 1
+				dstK[o] = srcK[i]
+				if srcV != nil {
+					dstV[o] = srcV[i]
+				}
+			}
+		})
+		srcK, dstK = dstK, srcK
+		if vals != nil {
+			srcV, dstV = dstV, srcV
+		}
+	}
+	// After an odd number of passes the result lives in the scratch
+	// buffers; copy it back.
+	if passes%2 == 1 {
+		lcws.ParFor(ctx, 0, n, 0, func(ctx *lcws.Ctx, i int) {
+			dstK[i] = srcK[i]
+		})
+		if vals != nil {
+			lcws.ParFor(ctx, 0, n, 0, func(ctx *lcws.Ctx, i int) {
+				dstV[i] = srcV[i]
+			})
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package parlay is a Go rendition of the ParlayLib parallel-sequence
+// toolkit (Blelloch, Anderson, Dhulipala; SPAA 2020) built on the lcws
+// schedulers. It provides the data-parallel primitives the PBBS-style
+// benchmarks in package pbbs are written against: tabulate/map, reduce,
+// scan, filter/pack, flatten, comparison and integer sorts, histograms and
+// duplicate removal.
+//
+// Every primitive takes the worker context of the enclosing task and is
+// safe to nest arbitrarily. As in Parlay, primitives are oblivious to the
+// scheduling policy underneath: the same benchmark code runs under the WS
+// baseline and under every LCWS variant, which is exactly the property the
+// paper's contribution (2) establishes. Leaf loops poll the scheduler
+// (via lcws.ParFor) so the signal-based LCWS schedulers can expose work in
+// the middle of long sequential stretches.
+package parlay
+
+import (
+	"cmp"
+	"sort"
+
+	"lcws"
+)
+
+// Number is the constraint for arithmetic reductions.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// defaultGrain is the sequential leaf size used by the blocked primitives
+// when the caller passes no explicit grain.
+const defaultGrain = 2048
+
+// numBlocks returns how many grain-sized blocks cover n elements.
+func numBlocks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + grain - 1) / grain
+}
+
+// blockRange returns the half-open element range of block b.
+func blockRange(b, n, grain int) (lo, hi int) {
+	lo = b * grain
+	hi = lo + grain
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Iota returns [0, 1, ..., n-1].
+func Iota(ctx *lcws.Ctx, n int) []int {
+	return Tabulate(ctx, n, func(i int) int { return i })
+}
+
+// Tabulate returns [f(0), f(1), ..., f(n-1)], computing the entries in
+// parallel.
+func Tabulate[T any](ctx *lcws.Ctx, n int, f func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	lcws.ParFor(ctx, 0, n, 0, func(ctx *lcws.Ctx, i int) {
+		out[i] = f(i)
+	})
+	return out
+}
+
+// Map applies f to every element of in, in parallel.
+func Map[T, U any](ctx *lcws.Ctx, in []T, f func(T) U) []U {
+	return Tabulate(ctx, len(in), func(i int) U { return f(in[i]) })
+}
+
+// Reduce combines xs with the associative operation op and identity id.
+func Reduce[T any](ctx *lcws.Ctx, xs []T, id T, op func(a, b T) T) T {
+	var rec func(ctx *lcws.Ctx, lo, hi int) T
+	rec = func(ctx *lcws.Ctx, lo, hi int) T {
+		if hi-lo <= defaultGrain {
+			acc := id
+			for i := lo; i < hi; i++ {
+				acc = op(acc, xs[i])
+			}
+			ctx.Poll()
+			return acc
+		}
+		mid := lo + (hi-lo)/2
+		var l, r T
+		lcws.Fork2(ctx,
+			func(ctx *lcws.Ctx) { l = rec(ctx, lo, mid) },
+			func(ctx *lcws.Ctx) { r = rec(ctx, mid, hi) },
+		)
+		return op(l, r)
+	}
+	return rec(ctx, 0, len(xs))
+}
+
+// Sum returns the arithmetic sum of xs.
+func Sum[T Number](ctx *lcws.Ctx, xs []T) T {
+	var zero T
+	return Reduce(ctx, xs, zero, func(a, b T) T { return a + b })
+}
+
+// Max returns the maximum element of xs; ok is false when xs is empty.
+func Max[T cmp.Ordered](ctx *lcws.Ctx, xs []T) (best T, ok bool) {
+	if len(xs) == 0 {
+		return best, false
+	}
+	return Reduce(ctx, xs[1:], xs[0], func(a, b T) T {
+		if b > a {
+			return b
+		}
+		return a
+	}), true
+}
+
+// Min returns the minimum element of xs; ok is false when xs is empty.
+func Min[T cmp.Ordered](ctx *lcws.Ctx, xs []T) (best T, ok bool) {
+	if len(xs) == 0 {
+		return best, false
+	}
+	return Reduce(ctx, xs[1:], xs[0], func(a, b T) T {
+		if b < a {
+			return b
+		}
+		return a
+	}), true
+}
+
+// CountIf returns the number of elements satisfying pred.
+func CountIf[T any](ctx *lcws.Ctx, xs []T, pred func(T) bool) int {
+	counts := blockCounts(ctx, len(xs), defaultGrain, func(lo, hi int) int {
+		n := 0
+		for i := lo; i < hi; i++ {
+			if pred(xs[i]) {
+				n++
+			}
+		}
+		return n
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// blockCounts evaluates f on every grain-sized block in parallel and
+// returns the per-block results.
+func blockCounts(ctx *lcws.Ctx, n, grain int, f func(lo, hi int) int) []int {
+	nb := numBlocks(n, grain)
+	counts := make([]int, nb)
+	lcws.ParFor(ctx, 0, nb, 1, func(ctx *lcws.Ctx, b int) {
+		lo, hi := blockRange(b, n, grain)
+		counts[b] = f(lo, hi)
+	})
+	return counts
+}
+
+// Scan computes the exclusive prefix "sums" of xs under (id, op):
+// out[i] = op(xs[0], ..., xs[i-1]), out[0] = id. It returns the output and
+// the total reduction. op must be associative.
+func Scan[T any](ctx *lcws.Ctx, xs []T, id T, op func(a, b T) T) ([]T, T) {
+	n := len(xs)
+	out := make([]T, n)
+	total := ScanInto(ctx, xs, out, id, op)
+	return out, total
+}
+
+// ScanInto is Scan writing into a caller-provided slice (out may alias
+// xs). It returns the total reduction.
+func ScanInto[T any](ctx *lcws.Ctx, xs, out []T, id T, op func(a, b T) T) T {
+	n := len(xs)
+	if len(out) != n {
+		panic("parlay: ScanInto output length mismatch")
+	}
+	if n == 0 {
+		return id
+	}
+	grain := defaultGrain
+	nb := numBlocks(n, grain)
+	if nb == 1 {
+		acc := id
+		for i := 0; i < n; i++ {
+			x := xs[i]
+			out[i] = acc
+			acc = op(acc, x)
+		}
+		ctx.Poll()
+		return acc
+	}
+	// Upsweep: reduce each block in parallel.
+	sums := make([]T, nb)
+	lcws.ParFor(ctx, 0, nb, 1, func(ctx *lcws.Ctx, b int) {
+		lo, hi := blockRange(b, n, grain)
+		acc := id
+		for i := lo; i < hi; i++ {
+			acc = op(acc, xs[i])
+		}
+		sums[b] = acc
+	})
+	// Sequential scan over the (few) block sums.
+	acc := id
+	for b := 0; b < nb; b++ {
+		s := sums[b]
+		sums[b] = acc
+		acc = op(acc, s)
+	}
+	// Downsweep: scan each block seeded with its prefix.
+	lcws.ParFor(ctx, 0, nb, 1, func(ctx *lcws.Ctx, b int) {
+		lo, hi := blockRange(b, n, grain)
+		a := sums[b]
+		for i := lo; i < hi; i++ {
+			x := xs[i]
+			out[i] = a
+			a = op(a, x)
+		}
+	})
+	return acc
+}
+
+// ScanInclusive computes inclusive prefix reductions:
+// out[i] = op(xs[0], ..., xs[i]).
+func ScanInclusive[T any](ctx *lcws.Ctx, xs []T, id T, op func(a, b T) T) []T {
+	out, _ := Scan(ctx, xs, id, op)
+	lcws.ParFor(ctx, 0, len(xs), 0, func(ctx *lcws.Ctx, i int) {
+		out[i] = op(out[i], xs[i])
+	})
+	return out
+}
+
+// Filter returns the elements of xs satisfying pred, preserving order.
+func Filter[T any](ctx *lcws.Ctx, xs []T, pred func(T) bool) []T {
+	n := len(xs)
+	grain := defaultGrain
+	counts := blockCounts(ctx, n, grain, func(lo, hi int) int {
+		c := 0
+		for i := lo; i < hi; i++ {
+			if pred(xs[i]) {
+				c++
+			}
+		}
+		return c
+	})
+	offsets := make([]int, len(counts))
+	total := 0
+	for b, c := range counts {
+		offsets[b] = total
+		total += c
+	}
+	out := make([]T, total)
+	lcws.ParFor(ctx, 0, len(counts), 1, func(ctx *lcws.Ctx, b int) {
+		lo, hi := blockRange(b, n, grain)
+		o := offsets[b]
+		for i := lo; i < hi; i++ {
+			if pred(xs[i]) {
+				out[o] = xs[i]
+				o++
+			}
+		}
+	})
+	return out
+}
+
+// Pack returns the elements of xs whose flag is set, preserving order.
+func Pack[T any](ctx *lcws.Ctx, xs []T, flags []bool) []T {
+	if len(xs) != len(flags) {
+		panic("parlay: Pack length mismatch")
+	}
+	n := len(xs)
+	grain := defaultGrain
+	counts := blockCounts(ctx, n, grain, func(lo, hi int) int {
+		c := 0
+		for i := lo; i < hi; i++ {
+			if flags[i] {
+				c++
+			}
+		}
+		return c
+	})
+	offsets := make([]int, len(counts))
+	total := 0
+	for b, c := range counts {
+		offsets[b] = total
+		total += c
+	}
+	out := make([]T, total)
+	lcws.ParFor(ctx, 0, len(counts), 1, func(ctx *lcws.Ctx, b int) {
+		lo, hi := blockRange(b, n, grain)
+		o := offsets[b]
+		for i := lo; i < hi; i++ {
+			if flags[i] {
+				out[o] = xs[i]
+				o++
+			}
+		}
+	})
+	return out
+}
+
+// PackIndex returns the indices whose flag is set, in increasing order.
+func PackIndex(ctx *lcws.Ctx, flags []bool) []int {
+	idx := Iota(ctx, len(flags))
+	return Pack(ctx, idx, flags)
+}
+
+// Flatten concatenates the inner slices in parallel.
+func Flatten[T any](ctx *lcws.Ctx, xss [][]T) []T {
+	offsets := make([]int, len(xss))
+	total := 0
+	for i, xs := range xss {
+		offsets[i] = total
+		total += len(xs)
+	}
+	out := make([]T, total)
+	lcws.ParFor(ctx, 0, len(xss), 1, func(ctx *lcws.Ctx, i int) {
+		copy(out[offsets[i]:], xss[i])
+		ctx.Poll()
+	})
+	return out
+}
+
+// Reverse reverses xs in place, in parallel.
+func Reverse[T any](ctx *lcws.Ctx, xs []T) {
+	n := len(xs)
+	lcws.ParFor(ctx, 0, n/2, 0, func(ctx *lcws.Ctx, i int) {
+		xs[i], xs[n-1-i] = xs[n-1-i], xs[i]
+	})
+}
+
+// IsSorted reports whether xs is non-decreasing under less.
+func IsSorted[T any](ctx *lcws.Ctx, xs []T, less func(a, b T) bool) bool {
+	if len(xs) < 2 {
+		return true
+	}
+	bad := CountIf(ctx, Iota(ctx, len(xs)-1), func(i int) bool {
+		return less(xs[i+1], xs[i])
+	})
+	return bad == 0
+}
+
+// sortLeaf sorts xs sequentially; leaves of the parallel sorts land here.
+func sortLeaf[T any](xs []T, less func(a, b T) bool) {
+	sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+}

@@ -1,0 +1,666 @@
+package parlay
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lcws"
+	"lcws/internal/rng"
+)
+
+// run executes f on a fresh 4-worker scheduler of the given policy.
+func run(p lcws.Policy, f func(ctx *lcws.Ctx)) {
+	s := lcws.New(lcws.WithWorkers(4), lcws.WithPolicy(p), lcws.WithSeed(7))
+	s.Run(f)
+}
+
+// runAll executes f once per scheduling policy: primitives must behave
+// identically under every scheduler.
+func runAll(t *testing.T, f func(ctx *lcws.Ctx)) {
+	t.Helper()
+	for _, p := range lcws.Policies {
+		run(p, f)
+	}
+}
+
+func randomInts(seed uint64, n, bound int) []int {
+	g := rng.New(seed)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = g.Intn(bound)
+	}
+	return out
+}
+
+func TestIotaAndTabulate(t *testing.T) {
+	runAll(t, func(ctx *lcws.Ctx) {
+		xs := Iota(ctx, 1000)
+		for i, v := range xs {
+			if v != i {
+				t.Fatalf("Iota[%d] = %d", i, v)
+			}
+		}
+		sq := Tabulate(ctx, 100, func(i int) int { return i * i })
+		if sq[9] != 81 || len(sq) != 100 {
+			t.Fatalf("Tabulate squares wrong: %v", sq[:10])
+		}
+		if Tabulate(ctx, 0, func(i int) int { return i }) != nil {
+			t.Fatal("Tabulate(0) should be nil")
+		}
+	})
+}
+
+func TestMap(t *testing.T) {
+	runAll(t, func(ctx *lcws.Ctx) {
+		in := Iota(ctx, 500)
+		out := Map(ctx, in, func(x int) float64 { return float64(2 * x) })
+		for i, v := range out {
+			if v != float64(2*i) {
+				t.Fatalf("Map[%d] = %v", i, v)
+			}
+		}
+	})
+}
+
+func TestReduceAndSum(t *testing.T) {
+	runAll(t, func(ctx *lcws.Ctx) {
+		xs := Iota(ctx, 100000)
+		if got := Sum(ctx, xs); got != 100000*99999/2 {
+			t.Fatalf("Sum = %d", got)
+		}
+		prod := Reduce(ctx, []int{1, 2, 3, 4, 5}, 1, func(a, b int) int { return a * b })
+		if prod != 120 {
+			t.Fatalf("product Reduce = %d", prod)
+		}
+		if got := Sum(ctx, []int(nil)); got != 0 {
+			t.Fatalf("Sum(nil) = %d", got)
+		}
+	})
+}
+
+func TestMinMax(t *testing.T) {
+	runAll(t, func(ctx *lcws.Ctx) {
+		xs := randomInts(3, 10000, 1<<30)
+		gotMax, ok := Max(ctx, xs)
+		if !ok {
+			t.Fatal("Max not ok")
+		}
+		gotMin, _ := Min(ctx, xs)
+		wantMax, wantMin := xs[0], xs[0]
+		for _, v := range xs {
+			if v > wantMax {
+				wantMax = v
+			}
+			if v < wantMin {
+				wantMin = v
+			}
+		}
+		if gotMax != wantMax || gotMin != wantMin {
+			t.Fatalf("Max/Min = %d/%d, want %d/%d", gotMax, gotMin, wantMax, wantMin)
+		}
+		if _, ok := Max(ctx, []int{}); ok {
+			t.Fatal("Max of empty should not be ok")
+		}
+	})
+}
+
+func TestScanExclusive(t *testing.T) {
+	runAll(t, func(ctx *lcws.Ctx) {
+		n := 50000
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = 1
+		}
+		out, total := Scan(ctx, xs, 0, func(a, b int) int { return a + b })
+		if total != n {
+			t.Fatalf("Scan total = %d, want %d", total, n)
+		}
+		for i, v := range out {
+			if v != i {
+				t.Fatalf("Scan[%d] = %d, want %d", i, v, i)
+			}
+		}
+	})
+}
+
+func TestScanMatchesSequential(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		n := 1 + g.Intn(9000)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = g.Intn(100) - 50
+		}
+		var got []int
+		var total int
+		run(lcws.SignalLCWS, func(ctx *lcws.Ctx) {
+			got, total = Scan(ctx, xs, 0, func(a, b int) int { return a + b })
+		})
+		acc := 0
+		for i := range xs {
+			if got[i] != acc {
+				return false
+			}
+			acc += xs[i]
+		}
+		return total == acc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanInclusive(t *testing.T) {
+	run(lcws.WS, func(ctx *lcws.Ctx) {
+		xs := []int{1, 2, 3, 4}
+		out := ScanInclusive(ctx, xs, 0, func(a, b int) int { return a + b })
+		want := []int{1, 3, 6, 10}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("ScanInclusive = %v, want %v", out, want)
+			}
+		}
+	})
+}
+
+func TestScanIntoAliased(t *testing.T) {
+	run(lcws.HalfLCWS, func(ctx *lcws.Ctx) {
+		n := 30000
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = 2
+		}
+		total := ScanInto(ctx, xs, xs, 0, func(a, b int) int { return a + b })
+		if total != 2*n {
+			t.Fatalf("aliased ScanInto total = %d, want %d", total, 2*n)
+		}
+		for i := 0; i < n; i += 997 {
+			if xs[i] != 2*i {
+				t.Fatalf("aliased ScanInto[%d] = %d, want %d", i, xs[i], 2*i)
+			}
+		}
+	})
+}
+
+func TestFilterPackCount(t *testing.T) {
+	runAll(t, func(ctx *lcws.Ctx) {
+		xs := Iota(ctx, 10007)
+		even := func(x int) bool { return x%2 == 0 }
+		got := Filter(ctx, xs, even)
+		if len(got) != 5004 {
+			t.Fatalf("Filter kept %d, want 5004", len(got))
+		}
+		for i, v := range got {
+			if v != 2*i {
+				t.Fatalf("Filter[%d] = %d, want %d", i, v, 2*i)
+			}
+		}
+		if c := CountIf(ctx, xs, even); c != 5004 {
+			t.Fatalf("CountIf = %d, want 5004", c)
+		}
+		flags := Map(ctx, xs, even)
+		packed := Pack(ctx, xs, flags)
+		if len(packed) != len(got) {
+			t.Fatalf("Pack kept %d, want %d", len(packed), len(got))
+		}
+		idx := PackIndex(ctx, flags)
+		for i, v := range idx {
+			if v != 2*i {
+				t.Fatalf("PackIndex[%d] = %d", i, v)
+			}
+		}
+	})
+}
+
+func TestFlatten(t *testing.T) {
+	run(lcws.ConsLCWS, func(ctx *lcws.Ctx) {
+		xss := [][]int{{1, 2}, nil, {3}, {4, 5, 6}, {}}
+		got := Flatten(ctx, xss)
+		want := []int{1, 2, 3, 4, 5, 6}
+		if len(got) != len(want) {
+			t.Fatalf("Flatten = %v", got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Flatten = %v, want %v", got, want)
+			}
+		}
+	})
+}
+
+func TestReverse(t *testing.T) {
+	run(lcws.USLCWS, func(ctx *lcws.Ctx) {
+		for _, n := range []int{0, 1, 2, 101, 1000} {
+			xs := Iota(ctx, n)
+			Reverse(ctx, xs)
+			for i, v := range xs {
+				if v != n-1-i {
+					t.Fatalf("n=%d: Reverse[%d] = %d", n, i, v)
+				}
+			}
+		}
+	})
+}
+
+func TestSortMatchesStdlib(t *testing.T) {
+	runAll(t, func(ctx *lcws.Ctx) {
+		xs := randomInts(11, 30000, 1000)
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		Sort(ctx, xs)
+		for i := range want {
+			if xs[i] != want[i] {
+				t.Fatalf("Sort mismatch at %d: %d != %d", i, xs[i], want[i])
+			}
+		}
+	})
+}
+
+func TestSortEdgeCases(t *testing.T) {
+	run(lcws.SignalLCWS, func(ctx *lcws.Ctx) {
+		for _, xs := range [][]int{nil, {}, {1}, {2, 1}, {1, 1, 1}} {
+			cp := append([]int(nil), xs...)
+			Sort(ctx, cp)
+			if !sort.IntsAreSorted(cp) {
+				t.Fatalf("Sort(%v) = %v", xs, cp)
+			}
+		}
+		// Already sorted and reverse sorted inputs.
+		asc := Iota(ctx, 10000)
+		Sort(ctx, asc)
+		if !sort.IntsAreSorted(asc) {
+			t.Fatal("Sort broke a sorted slice")
+		}
+		desc := Iota(ctx, 10000)
+		Reverse(ctx, desc)
+		Sort(ctx, desc)
+		if !sort.IntsAreSorted(desc) {
+			t.Fatal("Sort failed on a reverse-sorted slice")
+		}
+	})
+}
+
+type pair struct{ k, seq int }
+
+func TestSortFuncIsStable(t *testing.T) {
+	run(lcws.WS, func(ctx *lcws.Ctx) {
+		g := rng.New(5)
+		n := 50000
+		xs := make([]pair, n)
+		for i := range xs {
+			xs[i] = pair{k: g.Intn(50), seq: i}
+		}
+		SortFunc(ctx, xs, func(a, b pair) bool { return a.k < b.k })
+		for i := 1; i < n; i++ {
+			if xs[i-1].k > xs[i].k {
+				t.Fatalf("not sorted at %d", i)
+			}
+			if xs[i-1].k == xs[i].k && xs[i-1].seq > xs[i].seq {
+				t.Fatalf("not stable at %d: seq %d before %d", i, xs[i-1].seq, xs[i].seq)
+			}
+		}
+	})
+}
+
+func TestSortPropertyRandomLengths(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		n := g.Intn(20000)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = g.Intn(256) - 128
+		}
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		ok := true
+		run(lcws.HalfLCWS, func(ctx *lcws.Ctx) {
+			Sort(ctx, xs)
+			if !IsSorted(ctx, xs, func(a, b int) bool { return a < b }) {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+		for i := range want {
+			if xs[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	run(lcws.WS, func(ctx *lcws.Ctx) {
+		less := func(a, b int) bool { return a < b }
+		if !IsSorted(ctx, []int{1, 2, 2, 3}, less) {
+			t.Error("sorted slice reported unsorted")
+		}
+		if IsSorted(ctx, []int{2, 1}, less) {
+			t.Error("unsorted slice reported sorted")
+		}
+		if !IsSorted(ctx, []int{}, less) || !IsSorted(ctx, []int{9}, less) {
+			t.Error("trivial slices reported unsorted")
+		}
+	})
+}
+
+func TestIntegerSort(t *testing.T) {
+	runAll(t, func(ctx *lcws.Ctx) {
+		g := rng.New(21)
+		n := 40000
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = g.Uint64n(1 << 20)
+		}
+		want := append([]uint64(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		IntegerSort(ctx, keys, 20)
+		for i := range want {
+			if keys[i] != want[i] {
+				t.Fatalf("IntegerSort mismatch at %d", i)
+			}
+		}
+	})
+}
+
+func TestIntegerSortAutoBitsAndFullWidth(t *testing.T) {
+	run(lcws.SignalLCWS, func(ctx *lcws.Ctx) {
+		g := rng.New(23)
+		keys := make([]uint64, 10000)
+		for i := range keys {
+			keys[i] = g.Uint64() // full 64-bit keys
+		}
+		want := append([]uint64(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		IntegerSort(ctx, keys, 0) // auto bits
+		for i := range want {
+			if keys[i] != want[i] {
+				t.Fatalf("full-width IntegerSort mismatch at %d", i)
+			}
+		}
+	})
+}
+
+func TestIntegerSortPairsStable(t *testing.T) {
+	run(lcws.ConsLCWS, func(ctx *lcws.Ctx) {
+		g := rng.New(29)
+		n := 30000
+		keys := make([]uint64, n)
+		vals := make([]int, n)
+		for i := range keys {
+			keys[i] = g.Uint64n(64)
+			vals[i] = i
+		}
+		IntegerSortPairs(ctx, keys, vals, 6)
+		for i := 1; i < n; i++ {
+			if keys[i-1] > keys[i] {
+				t.Fatalf("pairs not sorted at %d", i)
+			}
+			if keys[i-1] == keys[i] && vals[i-1] > vals[i] {
+				t.Fatalf("pairs not stable at %d", i)
+			}
+		}
+	})
+}
+
+func TestIntegerSortEdgeCases(t *testing.T) {
+	run(lcws.WS, func(ctx *lcws.Ctx) {
+		IntegerSort(ctx, nil, 8)
+		one := []uint64{5}
+		IntegerSort(ctx, one, 8)
+		if one[0] != 5 {
+			t.Error("1-element IntegerSort changed the element")
+		}
+		same := []uint64{7, 7, 7, 7}
+		IntegerSort(ctx, same, 3)
+		for _, v := range same {
+			if v != 7 {
+				t.Error("constant IntegerSort changed values")
+			}
+		}
+	})
+}
+
+func TestHistogramSmallAndLarge(t *testing.T) {
+	runAll(t, func(ctx *lcws.Ctx) {
+		for _, m := range []int{16, 100000} { // small (blocked) and large (atomic) paths
+			keys := randomInts(31, 50000, m)
+			got := Histogram(ctx, keys, m)
+			want := make([]int, m)
+			for _, k := range keys {
+				want[k]++
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("m=%d: Histogram[%d] = %d, want %d", m, k, got[k], want[k])
+				}
+			}
+		}
+	})
+}
+
+func TestHistogramEmptyAndZeroBuckets(t *testing.T) {
+	run(lcws.WS, func(ctx *lcws.Ctx) {
+		if got := Histogram(ctx, nil, 4); len(got) != 4 {
+			t.Fatalf("Histogram(nil, 4) length = %d", len(got))
+		}
+		if got := Histogram(ctx, nil, 0); got != nil {
+			t.Fatal("Histogram with m=0 should be nil")
+		}
+	})
+}
+
+func TestHistogramByKeyAndRemoveDuplicates(t *testing.T) {
+	run(lcws.SignalLCWS, func(ctx *lcws.Ctx) {
+		keys := []uint64{5, 1, 5, 5, 2, 1}
+		uniq, counts := HistogramByKey(ctx, keys)
+		wantU := []uint64{1, 2, 5}
+		wantC := []int{2, 1, 3}
+		if len(uniq) != 3 {
+			t.Fatalf("HistogramByKey uniq = %v", uniq)
+		}
+		for i := range wantU {
+			if uniq[i] != wantU[i] || counts[i] != wantC[i] {
+				t.Fatalf("HistogramByKey = %v/%v, want %v/%v", uniq, counts, wantU, wantC)
+			}
+		}
+		dedup := RemoveDuplicates(ctx, keys)
+		if len(dedup) != 3 || dedup[0] != 1 || dedup[2] != 5 {
+			t.Fatalf("RemoveDuplicates = %v", dedup)
+		}
+		if u, c := HistogramByKey(ctx, nil); u != nil || c != nil {
+			t.Fatal("HistogramByKey(nil) should be nil, nil")
+		}
+	})
+}
+
+func TestRemoveDuplicatesLarge(t *testing.T) {
+	run(lcws.HalfLCWS, func(ctx *lcws.Ctx) {
+		g := rng.New(41)
+		n := 60000
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = g.Uint64n(1000)
+		}
+		got := RemoveDuplicates(ctx, keys)
+		seen := map[uint64]bool{}
+		for _, k := range keys {
+			seen[k] = true
+		}
+		if len(got) != len(seen) {
+			t.Fatalf("RemoveDuplicates kept %d, want %d", len(got), len(seen))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatal("RemoveDuplicates output not strictly increasing")
+			}
+		}
+	})
+}
+
+func TestBoundsHelpers(t *testing.T) {
+	xs := []int{1, 3, 3, 3, 7}
+	less := func(a, b int) bool { return a < b }
+	if got := lowerBound(xs, 3, less); got != 1 {
+		t.Errorf("lowerBound = %d, want 1", got)
+	}
+	if got := upperBound(xs, 3, less); got != 4 {
+		t.Errorf("upperBound = %d, want 4", got)
+	}
+	if got := lowerBound(xs, 0, less); got != 0 {
+		t.Errorf("lowerBound(0) = %d, want 0", got)
+	}
+	if got := upperBound(xs, 9, less); got != 5 {
+		t.Errorf("upperBound(9) = %d, want 5", got)
+	}
+}
+
+func TestSampleSortMatchesStdlib(t *testing.T) {
+	runAll(t, func(ctx *lcws.Ctx) {
+		xs := randomInts(77, 120_000, 1<<20)
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		SampleSort(ctx, xs)
+		for i := range want {
+			if xs[i] != want[i] {
+				t.Fatalf("SampleSort mismatch at %d: %d != %d", i, xs[i], want[i])
+			}
+		}
+	})
+}
+
+func TestSampleSortManyDuplicates(t *testing.T) {
+	run(lcws.SignalLCWS, func(ctx *lcws.Ctx) {
+		xs := randomInts(79, 100_000, 8) // heavy duplication across pivots
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		SampleSort(ctx, xs)
+		for i := range want {
+			if xs[i] != want[i] {
+				t.Fatalf("duplicate-heavy SampleSort mismatch at %d", i)
+			}
+		}
+	})
+}
+
+func TestSampleSortSmallFallsBack(t *testing.T) {
+	run(lcws.WS, func(ctx *lcws.Ctx) {
+		xs := randomInts(81, 1000, 100)
+		SampleSort(ctx, xs)
+		if !sort.IntsAreSorted(xs) {
+			t.Fatal("small SampleSort not sorted")
+		}
+		var empty []int
+		SampleSort(ctx, empty)
+	})
+}
+
+func TestSampleSortFuncCustomOrder(t *testing.T) {
+	run(lcws.HalfLCWS, func(ctx *lcws.Ctx) {
+		xs := randomInts(83, 50_000, 1<<16)
+		SampleSortFunc(ctx, xs, func(a, b int) bool { return a > b }) // descending
+		for i := 1; i < len(xs); i++ {
+			if xs[i-1] < xs[i] {
+				t.Fatalf("descending SampleSort violated at %d", i)
+			}
+		}
+	})
+}
+
+func TestSampleSortSortedAndReversedInputs(t *testing.T) {
+	run(lcws.ConsLCWS, func(ctx *lcws.Ctx) {
+		asc := Iota(ctx, 100_000)
+		SampleSort(ctx, asc)
+		if !sort.IntsAreSorted(asc) {
+			t.Fatal("SampleSort broke sorted input")
+		}
+		desc := Iota(ctx, 100_000)
+		Reverse(ctx, desc)
+		SampleSort(ctx, desc)
+		if !sort.IntsAreSorted(desc) {
+			t.Fatal("SampleSort failed on reversed input")
+		}
+	})
+}
+
+// TestScanNonCommutativeOp checks Scan with an associative but
+// NON-commutative operation (2x2 integer matrix multiplication): any
+// block-recombination order bug that a commutative sum would hide fails
+// here.
+func TestScanNonCommutativeOp(t *testing.T) {
+	type mat [4]int64 // row-major 2x2
+	mul := func(a, b mat) mat {
+		return mat{
+			a[0]*b[0] + a[1]*b[2], a[0]*b[1] + a[1]*b[3],
+			a[2]*b[0] + a[3]*b[2], a[2]*b[1] + a[3]*b[3],
+		}
+	}
+	id := mat{1, 0, 0, 1}
+	g := rng.New(91)
+	n := 20000
+	xs := make([]mat, n)
+	for i := range xs {
+		// Small entries mod a prime keep products bounded; reduce after
+		// each multiply to avoid overflow.
+		xs[i] = mat{int64(g.Intn(3)), int64(g.Intn(3)), int64(g.Intn(3)), int64(g.Intn(3))}
+	}
+	const p = 1_000_000_007
+	mulMod := func(a, b mat) mat {
+		m := mul(a, b)
+		for i := range m {
+			m[i] %= p
+		}
+		return m
+	}
+	var got []mat
+	var total mat
+	run(lcws.SignalLCWS, func(ctx *lcws.Ctx) {
+		got, total = Scan(ctx, xs, id, mulMod)
+	})
+	acc := id
+	for i := range xs {
+		if got[i] != acc {
+			t.Fatalf("Scan prefix %d wrong", i)
+		}
+		acc = mulMod(acc, xs[i])
+	}
+	if total != acc {
+		t.Fatal("Scan total wrong")
+	}
+}
+
+// TestReduceNonCommutativeOp does the same for Reduce (string append via
+// bounded-depth rope lengths would allocate too much; use matrices).
+func TestReduceNonCommutativeOp(t *testing.T) {
+	// Function composition over affine maps x -> a*x+b (mod p):
+	// associative, non-commutative.
+	type affine struct{ a, b int64 }
+	const p = 1_000_000_007
+	compose := func(f, g affine) affine {
+		// (f ∘ g)(x) = f(g(x)) = a_f*(a_g x + b_g) + b_f
+		return affine{f.a * g.a % p, (f.a*g.b + f.b) % p}
+	}
+	id := affine{1, 0}
+	g := rng.New(93)
+	xs := make([]affine, 30000)
+	for i := range xs {
+		xs[i] = affine{int64(g.Intn(1000) + 1), int64(g.Intn(1000))}
+	}
+	var got affine
+	run(lcws.HalfLCWS, func(ctx *lcws.Ctx) {
+		got = Reduce(ctx, xs, id, compose)
+	})
+	want := id
+	for _, f := range xs {
+		want = compose(want, f)
+	}
+	if got != want {
+		t.Fatalf("Reduce composition = %+v, want %+v", got, want)
+	}
+}

@@ -1,0 +1,113 @@
+package parlay
+
+import (
+	"cmp"
+	"sort"
+
+	"lcws"
+	"lcws/internal/rng"
+)
+
+// sampleSortCutoff is the input size below which SampleSort falls back to
+// the parallel merge sort (bucketing overhead dominates under it).
+const sampleSortCutoff = 1 << 14
+
+// sampleSortOversample is how many sample candidates are drawn per
+// bucket; a larger oversampling factor gives more even buckets.
+const sampleSortOversample = 8
+
+// SampleSort sorts xs in place with a parallel sample sort — the
+// algorithm behind PBBS's comparisonSort: sort a random sample to pick
+// pivots, partition the input into buckets by binary-searching the
+// pivots, then sort the buckets in parallel. Unlike SortFunc it is not
+// stable.
+func SampleSort[T cmp.Ordered](ctx *lcws.Ctx, xs []T) {
+	SampleSortFunc(ctx, xs, func(a, b T) bool { return a < b })
+}
+
+// SampleSortFunc is SampleSort with an explicit ordering.
+func SampleSortFunc[T any](ctx *lcws.Ctx, xs []T, less func(a, b T) bool) {
+	n := len(xs)
+	if n < sampleSortCutoff {
+		SortFunc(ctx, xs, less)
+		return
+	}
+	// One bucket per ~8K elements, capped so bucket bookkeeping stays
+	// cheap relative to the sorting itself.
+	numBuckets := n / (8 << 10)
+	if numBuckets < 2 {
+		numBuckets = 2
+	}
+	if numBuckets > 256 {
+		numBuckets = 256
+	}
+
+	// Deterministic pseudo-random sample, then sorted; every
+	// oversample-th element becomes a pivot.
+	sampleSize := numBuckets * sampleSortOversample
+	sample := Tabulate(ctx, sampleSize, func(i int) T {
+		return xs[int(rng.Hash64(uint64(i)^0x5a5a)%uint64(n))]
+	})
+	sortLeaf(sample, less)
+	pivots := make([]T, numBuckets-1)
+	for i := range pivots {
+		pivots[i] = sample[(i+1)*sampleSortOversample]
+	}
+
+	// Classify each block's elements and count per-block bucket sizes.
+	grain := (n + numBuckets - 1) / numBuckets
+	nb := numBlocks(n, grain)
+	bucketOf := make([]uint8, n)
+	counts := make([]int, nb*numBuckets)
+	lcws.ParFor(ctx, 0, nb, 1, func(ctx *lcws.Ctx, b int) {
+		lo, hi := blockRange(b, n, grain)
+		row := counts[b*numBuckets : (b+1)*numBuckets]
+		for i := lo; i < hi; i++ {
+			k := lowerBound(pivots, xs[i], less)
+			// Elements equal to their pivot go to the bucket after it,
+			// so every element of bucket k is strictly below pivots[k].
+			if k < len(pivots) && !less(xs[i], pivots[k]) && !less(pivots[k], xs[i]) {
+				k++
+			}
+			bucketOf[i] = uint8(k)
+			row[k]++
+		}
+		ctx.Poll()
+	})
+
+	// Column-major prefix sums give every (bucket, block) its offset.
+	offsets := make([]int, numBuckets+1)
+	pos := 0
+	for k := 0; k < numBuckets; k++ {
+		offsets[k] = pos
+		for b := 0; b < nb; b++ {
+			idx := b*numBuckets + k
+			c := counts[idx]
+			counts[idx] = pos
+			pos += c
+		}
+	}
+	offsets[numBuckets] = pos
+
+	// Scatter into bucket order.
+	tmp := make([]T, n)
+	lcws.ParFor(ctx, 0, nb, 1, func(ctx *lcws.Ctx, b int) {
+		lo, hi := blockRange(b, n, grain)
+		row := counts[b*numBuckets : (b+1)*numBuckets]
+		for i := lo; i < hi; i++ {
+			k := bucketOf[i]
+			tmp[row[k]] = xs[i]
+			row[k]++
+		}
+		ctx.Poll()
+	})
+
+	// Sort every bucket in parallel, writing back into xs.
+	lcws.ParFor(ctx, 0, numBuckets, 1, func(ctx *lcws.Ctx, k int) {
+		lo, hi := offsets[k], offsets[k+1]
+		bucket := tmp[lo:hi]
+		sort.Slice(bucket, func(i, j int) bool { return less(bucket[i], bucket[j]) })
+		copy(xs[lo:hi], bucket)
+		ctx.Poll()
+	})
+}

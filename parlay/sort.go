@@ -1,0 +1,143 @@
+package parlay
+
+import (
+	"cmp"
+
+	"lcws"
+)
+
+// sortGrain is the leaf size below which the parallel sorts fall back to a
+// sequential sort.
+const sortGrain = 2048
+
+// mergeGrain is the range size below which parallel merges run
+// sequentially.
+const mergeGrain = 4096
+
+// Sort sorts xs in place (ascending) with a parallel stable merge sort.
+func Sort[T cmp.Ordered](ctx *lcws.Ctx, xs []T) {
+	SortFunc(ctx, xs, func(a, b T) bool { return a < b })
+}
+
+// SortFunc sorts xs in place with a parallel stable merge sort using less.
+func SortFunc[T any](ctx *lcws.Ctx, xs []T, less func(a, b T) bool) {
+	if len(xs) < 2 {
+		return
+	}
+	buf := make([]T, len(xs))
+	mergeSortRec(ctx, xs, buf, less, true)
+}
+
+// Sorted returns a sorted copy of xs.
+func Sorted[T cmp.Ordered](ctx *lcws.Ctx, xs []T) []T {
+	out := make([]T, len(xs))
+	copy(out, xs)
+	Sort(ctx, out)
+	return out
+}
+
+// mergeSortRec sorts src, leaving the result in src when toSrc is true and
+// in dst otherwise. src and dst are same-length parallel views.
+func mergeSortRec[T any](ctx *lcws.Ctx, src, dst []T, less func(a, b T) bool, toSrc bool) {
+	n := len(src)
+	if n <= sortGrain {
+		sortLeaf(src, less)
+		if !toSrc {
+			copy(dst, src)
+		}
+		ctx.Poll()
+		return
+	}
+	mid := n / 2
+	lcws.Fork2(ctx,
+		func(ctx *lcws.Ctx) { mergeSortRec(ctx, src[:mid], dst[:mid], less, !toSrc) },
+		func(ctx *lcws.Ctx) { mergeSortRec(ctx, src[mid:], dst[mid:], less, !toSrc) },
+	)
+	// The sorted halves are in the *other* buffer; merge them back.
+	if toSrc {
+		parallelMerge(ctx, dst[:mid], dst[mid:], src, less)
+	} else {
+		parallelMerge(ctx, src[:mid], src[mid:], dst, less)
+	}
+}
+
+// parallelMerge merges sorted a and b into out (len(out) == len(a)+len(b))
+// by recursive binary splitting: the median of the larger input is located
+// in the other input with a binary search, and the two halves merge in
+// parallel. The merge is stable: ties take from a first.
+func parallelMerge[T any](ctx *lcws.Ctx, a, b, out []T, less func(x, y T) bool) {
+	if len(a)+len(b) <= mergeGrain {
+		seqMerge(a, b, out, less)
+		ctx.Poll()
+		return
+	}
+	if len(a) < len(b) {
+		// Keep a as the larger side; stability requires flipping the
+		// tie-breaking direction when we swap the inputs.
+		mid := len(b) / 2
+		pivot := b[mid]
+		// Elements of a strictly less-or-equal... for stability, a's
+		// elements equal to pivot must come before b[mid], so split a at
+		// upperBound(a, pivot): first index with pivot < a[i].
+		split := upperBound(a, pivot, less)
+		lcws.Fork2(ctx,
+			func(ctx *lcws.Ctx) { parallelMerge(ctx, a[:split], b[:mid], out[:split+mid], less) },
+			func(ctx *lcws.Ctx) { parallelMerge(ctx, a[split:], b[mid:], out[split+mid:], less) },
+		)
+		return
+	}
+	mid := len(a) / 2
+	pivot := a[mid]
+	// b's elements equal to pivot come after a[mid]: split b at
+	// lowerBound(b, pivot): first index with !(b[i] < pivot).
+	split := lowerBound(b, pivot, less)
+	lcws.Fork2(ctx,
+		func(ctx *lcws.Ctx) { parallelMerge(ctx, a[:mid], b[:split], out[:mid+split], less) },
+		func(ctx *lcws.Ctx) { parallelMerge(ctx, a[mid:], b[split:], out[mid+split:], less) },
+	)
+}
+
+// seqMerge is the sequential stable merge kernel.
+func seqMerge[T any](a, b, out []T, less func(x, y T) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+// lowerBound returns the first index i with !(xs[i] < key).
+func lowerBound[T any](xs []T, key T, less func(a, b T) bool) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(xs[mid], key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the first index i with key < xs[i].
+func upperBound[T any](xs []T, key T, less func(a, b T) bool) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(key, xs[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

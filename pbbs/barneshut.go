@@ -1,0 +1,215 @@
+package pbbs
+
+import (
+	"math"
+
+	"lcws"
+	"lcws/parlay"
+	"lcws/workload"
+)
+
+// Barnes–Hut n-body force approximation: an octree over the bodies with
+// per-node centers of mass, and a θ-criterion traversal per body. It
+// stands in for PBBS's Callahan–Kosaraju nBody algorithm (both are
+// tree-based O(n log n) force approximations with the same parallel
+// structure: tree build, then a flat loop of irregular traversals), and
+// the direct-summation kernel (misc.go) doubles as its accuracy
+// reference.
+
+// bhNode is one octree node.
+type bhNode struct {
+	center   workload.Point3 // cube center
+	half     float64         // cube half-width
+	mass     float64
+	com      workload.Point3 // center of mass (valid when mass > 0)
+	children [8]*bhNode      // nil for leaves
+	bodies   []int32         // leaf bodies
+}
+
+// bhLeafSize caps bodies per leaf.
+const bhLeafSize = 8
+
+// bhTheta is the standard opening-angle parameter.
+const bhTheta = 0.5
+
+// octant returns which child cube body p falls into.
+func (n *bhNode) octant(p workload.Point3) int {
+	o := 0
+	if p.X >= n.center.X {
+		o |= 1
+	}
+	if p.Y >= n.center.Y {
+		o |= 2
+	}
+	if p.Z >= n.center.Z {
+		o |= 4
+	}
+	return o
+}
+
+// childCenter returns the center of octant o.
+func (n *bhNode) childCenter(o int) workload.Point3 {
+	h := n.half / 2
+	c := n.center
+	if o&1 != 0 {
+		c.X += h
+	} else {
+		c.X -= h
+	}
+	if o&2 != 0 {
+		c.Y += h
+	} else {
+		c.Y -= h
+	}
+	if o&4 != 0 {
+		c.Z += h
+	} else {
+		c.Z -= h
+	}
+	return c
+}
+
+// buildBH builds the octree over idx; the top levels build their octants
+// in parallel.
+func buildBH(ctx *lcws.Ctx, bodies []workload.Point3, idx []int32, center workload.Point3, half float64) *bhNode {
+	n := &bhNode{center: center, half: half}
+	if len(idx) <= bhLeafSize {
+		n.bodies = idx
+		for _, i := range idx {
+			b := bodies[i]
+			n.mass++
+			n.com.X += b.X
+			n.com.Y += b.Y
+			n.com.Z += b.Z
+		}
+		if n.mass > 0 {
+			n.com.X /= n.mass
+			n.com.Y /= n.mass
+			n.com.Z /= n.mass
+		}
+		return n
+	}
+	// Partition into octants (parallel Filter at large nodes).
+	var parts [8][]int32
+	if len(idx) > 4096 {
+		for o := 0; o < 8; o++ {
+			o := o
+			parts[o] = parlay.Filter(ctx, idx, func(i int32) bool {
+				return n.octant(bodies[i]) == o
+			})
+		}
+	} else {
+		for _, i := range idx {
+			o := n.octant(bodies[i])
+			parts[o] = append(parts[o], i)
+		}
+	}
+	lcws.ParFor(ctx, 0, 8, 1, func(ctx *lcws.Ctx, o int) {
+		if len(parts[o]) > 0 {
+			n.children[o] = buildBH(ctx, bodies, parts[o], n.childCenter(o), half/2)
+		}
+	})
+	for _, ch := range n.children {
+		if ch == nil {
+			continue
+		}
+		n.mass += ch.mass
+		n.com.X += ch.com.X * ch.mass
+		n.com.Y += ch.com.Y * ch.mass
+		n.com.Z += ch.com.Z * ch.mass
+	}
+	if n.mass > 0 {
+		n.com.X /= n.mass
+		n.com.Y /= n.mass
+		n.com.Z /= n.mass
+	}
+	return n
+}
+
+// accumulate adds the gravitational acceleration on body i from node n
+// under the θ criterion.
+func (n *bhNode) accumulate(bodies []workload.Point3, i int32, acc *Vec3) {
+	bi := bodies[i]
+	if n.bodies != nil {
+		for _, j := range n.bodies {
+			if j == i {
+				continue
+			}
+			bj := bodies[j]
+			dx, dy, dz := bj.X-bi.X, bj.Y-bi.Y, bj.Z-bi.Z
+			r2 := dx*dx + dy*dy + dz*dz + nBodySoftening
+			inv := 1 / (r2 * math.Sqrt(r2))
+			acc.X += dx * inv
+			acc.Y += dy * inv
+			acc.Z += dz * inv
+		}
+		return
+	}
+	dx, dy, dz := n.com.X-bi.X, n.com.Y-bi.Y, n.com.Z-bi.Z
+	dist2 := dx*dx + dy*dy + dz*dz
+	width := 2 * n.half
+	if width*width < bhTheta*bhTheta*dist2 {
+		// Far enough: treat the whole cell as a point mass.
+		r2 := dist2 + nBodySoftening
+		inv := n.mass / (r2 * math.Sqrt(r2))
+		acc.X += dx * inv
+		acc.Y += dy * inv
+		acc.Z += dz * inv
+		return
+	}
+	for _, ch := range n.children {
+		if ch != nil {
+			ch.accumulate(bodies, i, acc)
+		}
+	}
+}
+
+// NBodyBarnesHut computes approximate gravitational accelerations on all
+// unit-mass bodies with a parallel octree build and parallel per-body
+// traversals.
+func NBodyBarnesHut(ctx *lcws.Ctx, bodies []workload.Point3) []Vec3 {
+	n := len(bodies)
+	if n == 0 {
+		return nil
+	}
+	var box aabb = emptyBox()
+	for _, b := range bodies {
+		box.addPoint(b)
+	}
+	center := workload.Point3{
+		X: (box.lo.X + box.hi.X) / 2,
+		Y: (box.lo.Y + box.hi.Y) / 2,
+		Z: (box.lo.Z + box.hi.Z) / 2,
+	}
+	half := math.Max(box.hi.X-box.lo.X, math.Max(box.hi.Y-box.lo.Y, box.hi.Z-box.lo.Z))/2 + 1e-12
+	idx := parlay.Tabulate(ctx, n, func(i int) int32 { return int32(i) })
+	root := buildBH(ctx, bodies, idx, center, half)
+	return parlay.Tabulate(ctx, n, func(i int) Vec3 {
+		var acc Vec3
+		root.accumulate(bodies, int32(i), &acc)
+		return acc
+	})
+}
+
+func nBodyBHJob(bodies []workload.Point3) *Job {
+	var got []Vec3
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = NBodyBarnesHut(ctx, bodies) },
+		Verify: func() error {
+			// Accuracy against direct summation on a sample: Barnes–Hut
+			// with θ=0.5 should be within ~1% relative error.
+			step := len(bodies)/40 + 1
+			for i := 0; i < len(bodies); i += step {
+				want := accelOn(bodies, i)
+				wMag := math.Sqrt(want.X*want.X + want.Y*want.Y + want.Z*want.Z)
+				dx, dy, dz := got[i].X-want.X, got[i].Y-want.Y, got[i].Z-want.Z
+				err := math.Sqrt(dx*dx + dy*dy + dz*dz)
+				if err > 0.03*wMag+1e-9 {
+					return verifyErr("nBodyBarnesHut",
+						"body %d: approximation error %.2f%% exceeds 3%%", i, 100*err/wMag)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,260 @@
+package pbbs
+
+import (
+	"sort"
+	"strings"
+
+	"lcws"
+	"lcws/parlay"
+	"lcws/workload"
+)
+
+// basicsInstances returns the integerSort, comparisonSort, histogram and
+// removeDuplicates instances.
+func basicsInstances(scale Scale) []*Instance {
+	nInt := scale.scaled(200_000)
+	nCmp := scale.scaled(100_000)
+	nHist := scale.scaled(200_000)
+	nDup := scale.scaled(100_000)
+	return []*Instance{
+		{Benchmark: "integerSort", Input: "randomSeq_int",
+			Prepare: func() *Job { return integerSortJob(workload.RandomSeq(101, nInt, 1<<27), 27) }},
+		{Benchmark: "integerSort", Input: "exptSeq_int",
+			Prepare: func() *Job { return integerSortJob(workload.ExptSeq(102, nInt, 1<<27), 27) }},
+		{Benchmark: "integerSort", Input: "randomSeq_int_pair_int",
+			Prepare: func() *Job { return integerSortPairsJob(103, nInt, 1<<27) }},
+		{Benchmark: "integerSort", Input: "randomSeq_256_int_pair_int",
+			Prepare: func() *Job { return integerSortPairsJob(104, nInt, 256) }},
+
+		{Benchmark: "comparisonSort", Input: "randomSeq_double",
+			Prepare: func() *Job { return comparisonSortJob(workload.RandomDoubles(111, nCmp)) }},
+		{Benchmark: "comparisonSort", Input: "exptSeq_double",
+			Prepare: func() *Job { return comparisonSortJob(workload.ExptDoubles(112, nCmp)) }},
+		{Benchmark: "comparisonSort", Input: "almostSortedSeq",
+			Prepare: func() *Job {
+				xs := workload.AlmostSortedSeq(113, nCmp, nCmp/100)
+				ds := make([]float64, len(xs))
+				for i, v := range xs {
+					ds[i] = float64(v)
+				}
+				return comparisonSortJob(ds)
+			}},
+		{Benchmark: "comparisonSort", Input: "trigramWords",
+			Prepare: func() *Job { return stringSortJob(workload.TrigramWords(114, nCmp/4)) }},
+
+		{Benchmark: "histogram", Input: "randomSeq_256_int",
+			Prepare: func() *Job { return histogramJob(121, nHist, 256) }},
+		{Benchmark: "histogram", Input: "randomSeq_100K_int",
+			Prepare: func() *Job { return histogramJob(122, nHist, 100_000) }},
+		{Benchmark: "histogram", Input: "exptSeq_int",
+			Prepare: func() *Job { return histogramExptJob(123, nHist, 1<<16) }},
+
+		{Benchmark: "removeDuplicates", Input: "randomSeq_int",
+			Prepare: func() *Job { return removeDuplicatesJob(workload.RandomSeq(131, nDup, uint64(nDup))) }},
+		{Benchmark: "removeDuplicates", Input: "exptSeq_int",
+			Prepare: func() *Job { return removeDuplicatesJob(workload.ExptSeq(132, nDup, uint64(nDup))) }},
+		{Benchmark: "removeDuplicates", Input: "randomSeq_int_hash",
+			Prepare: func() *Job { return hashDedupJob(workload.RandomSeq(133, nDup, uint64(nDup))) }},
+	}
+}
+
+func integerSortJob(input []uint64, bits int) *Job {
+	var got []uint64
+	return &Job{
+		Run: func(ctx *lcws.Ctx) {
+			got = append(got[:0], input...)
+			parlay.IntegerSort(ctx, got, bits)
+		},
+		Verify: func() error {
+			want := sortedCopyU64(input)
+			for i := range want {
+				if got[i] != want[i] {
+					return verifyErr("integerSort", "mismatch at %d: %d != %d", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func integerSortPairsJob(seed uint64, n int, bound uint64) *Job {
+	keys, vals := workload.KeyValuePairs(seed, n, bound)
+	bits := 0
+	for b := bound - 1; b > 0; b >>= 1 {
+		bits++
+	}
+	var gotK, gotV []uint64
+	return &Job{
+		Run: func(ctx *lcws.Ctx) {
+			gotK = append(gotK[:0], keys...)
+			gotV = append(gotV[:0], vals...)
+			parlay.IntegerSortPairs(ctx, gotK, gotV, bits)
+		},
+		Verify: func() error {
+			// Reference: stable sort of (key, original index).
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+			for i := range idx {
+				if gotK[i] != keys[idx[i]] || gotV[i] != vals[idx[i]] {
+					return verifyErr("integerSort", "pair mismatch at %d", i)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func comparisonSortJob(input []float64) *Job {
+	var got []float64
+	return &Job{
+		Run: func(ctx *lcws.Ctx) {
+			got = append(got[:0], input...)
+			// PBBS's comparisonSort is a sample sort; parlay.SampleSort
+			// falls back to the parallel merge sort on small inputs.
+			parlay.SampleSort(ctx, got)
+		},
+		Verify: func() error {
+			want := append([]float64(nil), input...)
+			sort.Float64s(want)
+			for i := range want {
+				if got[i] != want[i] {
+					return verifyErr("comparisonSort", "mismatch at %d: %v != %v", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// stringSortJob sorts the words of a text (PBBS's trigram string sort
+// input for comparisonSort).
+func stringSortJob(text string) *Job {
+	words := strings.Fields(text)
+	var got []string
+	return &Job{
+		Run: func(ctx *lcws.Ctx) {
+			got = append(got[:0], words...)
+			parlay.SortFunc(ctx, got, func(a, b string) bool { return a < b })
+		},
+		Verify: func() error {
+			want := append([]string(nil), words...)
+			sort.Strings(want)
+			for i := range want {
+				if got[i] != want[i] {
+					return verifyErr("comparisonSort", "string sort mismatch at %d", i)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func histogramJob(seed uint64, n, buckets int) *Job {
+	raw := workload.RandomSeq(seed, n, uint64(buckets))
+	keys := make([]int, n)
+	for i, v := range raw {
+		keys[i] = int(v)
+	}
+	var got []int
+	return &Job{
+		Run: func(ctx *lcws.Ctx) {
+			got = parlay.Histogram(ctx, keys, buckets)
+		},
+		Verify: func() error {
+			want := make([]int, buckets)
+			for _, k := range keys {
+				want[k]++
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					return verifyErr("histogram", "bucket %d: %d != %d", k, got[k], want[k])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// hashDedupJob is removeDuplicates via the phase-concurrent hash table
+// (the PBBS implementation proper) — a CAS-heavy flat parallel loop.
+func hashDedupJob(input []uint64) *Job {
+	var got []uint64
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = parlay.HashDedup(ctx, input) },
+		Verify: func() error {
+			want := map[uint64]bool{}
+			for _, v := range input {
+				want[v] = true
+			}
+			if len(got) != len(want) {
+				return verifyErr("removeDuplicates", "hash dedup kept %d, want %d", len(got), len(want))
+			}
+			seen := map[uint64]bool{}
+			for _, v := range got {
+				if !want[v] || seen[v] {
+					return verifyErr("removeDuplicates", "hash dedup output invalid at value %d", v)
+				}
+				seen[v] = true
+			}
+			return nil
+		},
+	}
+}
+
+// histogramExptJob histograms an exponentially skewed key sequence —
+// heavy contention on the low buckets.
+func histogramExptJob(seed uint64, n, buckets int) *Job {
+	raw := workload.ExptSeq(seed, n, uint64(buckets))
+	keys := make([]int, n)
+	for i, v := range raw {
+		keys[i] = int(v)
+	}
+	var got []int
+	return &Job{
+		Run: func(ctx *lcws.Ctx) {
+			got = parlay.Histogram(ctx, keys, buckets)
+		},
+		Verify: func() error {
+			want := make([]int, buckets)
+			for _, k := range keys {
+				want[k]++
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					return verifyErr("histogram", "bucket %d: %d != %d", k, got[k], want[k])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func removeDuplicatesJob(input []uint64) *Job {
+	var got []uint64
+	return &Job{
+		Run: func(ctx *lcws.Ctx) {
+			got = parlay.RemoveDuplicates(ctx, input)
+		},
+		Verify: func() error {
+			seen := map[uint64]bool{}
+			for _, v := range input {
+				seen[v] = true
+			}
+			if len(got) != len(seen) {
+				return verifyErr("removeDuplicates", "kept %d values, want %d", len(got), len(seen))
+			}
+			for i, v := range got {
+				if !seen[v] {
+					return verifyErr("removeDuplicates", "value %d at %d not in input", v, i)
+				}
+				if i > 0 && got[i-1] >= v {
+					return verifyErr("removeDuplicates", "output not strictly increasing at %d", i)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,435 @@
+package pbbs
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lcws"
+	"lcws/parlay"
+	"lcws/workload"
+)
+
+// Delaunay triangulation by parallel incremental insertion with
+// deterministic reservations (the PBBS delaunayTriangulation benchmark):
+// each round a prefix of the remaining points computes its insertion
+// cavity in parallel, reserves the cavity triangles with an atomic
+// priority minimum, and the winners' cavities are retriangulated; losers
+// retry the next round. Points are bootstrapped inside one large
+// super-triangle whose vertices are far enough away (relative to the
+// data's bounding box) that they do not perturb the triangulation of the
+// data points.
+
+// dTri is one triangle of the mesh: vertices in counter-clockwise order
+// and the neighbor across the edge opposite each vertex (-1 on the outer
+// boundary).
+type dTri struct {
+	v    [3]int32
+	n    [3]int32
+	dead bool
+}
+
+// Triangle is one output triangle of DelaunayTriangulation, vertices in
+// counter-clockwise order (indices into the input point slice).
+type Triangle struct{ A, B, C int32 }
+
+// dMesh is the growing triangulation. pts holds the data points followed
+// by the three super-triangle vertices.
+type dMesh struct {
+	pts  []workload.Point2
+	tris []dTri
+}
+
+// orient2d returns twice the signed area of triangle abc (positive when
+// counter-clockwise).
+func orient2d(a, b, c workload.Point2) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// inCircle reports whether d lies strictly inside the circumcircle of the
+// counter-clockwise triangle abc.
+func inCircle(a, b, c, d workload.Point2) bool {
+	ax, ay := a.X-d.X, a.Y-d.Y
+	bx, by := b.X-d.X, b.Y-d.Y
+	cx, cy := c.X-d.X, c.Y-d.Y
+	det := (ax*ax+ay*ay)*(bx*cy-cx*by) -
+		(bx*bx+by*by)*(ax*cy-cx*ay) +
+		(cx*cx+cy*cy)*(ax*by-bx*ay)
+	return det > 0
+}
+
+// containsPoint reports whether p lies inside (or on the boundary of)
+// triangle t.
+func (m *dMesh) containsPoint(t int32, p workload.Point2) bool {
+	tr := &m.tris[t]
+	a, b, c := m.pts[tr.v[0]], m.pts[tr.v[1]], m.pts[tr.v[2]]
+	return orient2d(a, b, p) >= 0 && orient2d(b, c, p) >= 0 && orient2d(c, a, p) >= 0
+}
+
+// locate walks from start to a triangle containing p (orientation-guided
+// walk; the mesh is a triangulation of a convex region, so the walk
+// terminates).
+func (m *dMesh) locate(start int32, p workload.Point2) int32 {
+	t := start
+	for {
+		tr := &m.tris[t]
+		moved := false
+		for k := 0; k < 3; k++ {
+			a, b := m.pts[tr.v[(k+1)%3]], m.pts[tr.v[(k+2)%3]]
+			if orient2d(a, b, p) < 0 && tr.n[k] >= 0 {
+				t = tr.n[k]
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return t
+		}
+	}
+}
+
+// cavityOf returns the ids of the triangles whose circumcircle contains
+// p, found by BFS from the containing triangle home. The cavity of a
+// point is exactly the set its insertion destroys.
+func (m *dMesh) cavityOf(home int32, p workload.Point2) []int32 {
+	home = m.locate(home, p)
+	inCav := map[int32]bool{home: true}
+	stack := []int32{home}
+	cav := []int32{home}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range m.tris[t].n {
+			if nb < 0 || inCav[nb] {
+				continue
+			}
+			tr := &m.tris[nb]
+			if inCircle(m.pts[tr.v[0]], m.pts[tr.v[1]], m.pts[tr.v[2]], p) {
+				inCav[nb] = true
+				cav = append(cav, nb)
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return cav
+}
+
+// edge is a directed mesh edge.
+type edge struct{ u, v int32 }
+
+// retriangulate replaces the cavity of point p (vertex id pid) with a fan
+// of new triangles around p and returns the new triangle ids. It runs
+// sequentially per winner (cavities are small); the expensive geometry
+// happened during the parallel cavity phase.
+func (m *dMesh) retriangulate(pid int32, cav []int32) []int32 {
+	inCav := make(map[int32]bool, len(cav))
+	for _, t := range cav {
+		inCav[t] = true
+	}
+	// Boundary edges of the cavity, with their outer neighbors.
+	type bEdge struct {
+		u, v  int32
+		outer int32
+	}
+	var boundary []bEdge
+	for _, t := range cav {
+		tr := &m.tris[t]
+		for k := 0; k < 3; k++ {
+			nb := tr.n[k]
+			if nb >= 0 && inCav[nb] {
+				continue
+			}
+			// Edge opposite vertex k, oriented ccw within t.
+			u, v := tr.v[(k+1)%3], tr.v[(k+2)%3]
+			boundary = append(boundary, bEdge{u: u, v: v, outer: nb})
+		}
+		tr.dead = true
+	}
+	// One new triangle per boundary edge: (u, v, p), ccw because the
+	// boundary is oriented ccw around the star-shaped cavity.
+	newIDs := make([]int32, len(boundary))
+	for i, be := range boundary {
+		newIDs[i] = int32(len(m.tris))
+		m.tris = append(m.tris, dTri{v: [3]int32{be.u, be.v, pid}})
+	}
+	// Link the fan: outer neighbors across (u,v), sibling fan triangles
+	// across the (v,p)/(p,u) edges.
+	byFirst := make(map[int32]int32, len(boundary)) // u -> fan tri starting at u
+	for i, be := range boundary {
+		byFirst[be.u] = newIDs[i]
+	}
+	for i, be := range boundary {
+		id := newIDs[i]
+		tr := &m.tris[id]
+		// Neighbor opposite p (vertex 2) is the outer triangle.
+		tr.n[2] = be.outer
+		if be.outer >= 0 {
+			out := &m.tris[be.outer]
+			for k := 0; k < 3; k++ {
+				a, b := out.v[(k+1)%3], out.v[(k+2)%3]
+				if (a == be.v && b == be.u) || (a == be.u && b == be.v) {
+					out.n[k] = id
+				}
+			}
+		}
+		// Neighbor opposite u (vertex 0) is the fan triangle on edge
+		// (v, p): the one whose boundary edge starts at v. The cavity
+		// boundary is a simple cycle, so exactly one exists.
+		next, ok := byFirst[be.v]
+		if !ok {
+			panic("pbbs: delaunay cavity boundary is not a cycle")
+		}
+		tr.n[0] = next
+		// And symmetrically, that triangle's edge (p, v) faces us.
+		m.tris[next].n[1] = id
+	}
+	return newIDs
+}
+
+// DelaunayTriangulation returns the Delaunay triangles of pts (vertices
+// in counter-clockwise order), excluding triangles incident to the
+// bootstrap super-triangle. Points must be distinct; ties in the
+// geometric predicates (exactly cocircular or collinear quadruples) are
+// not handled — the suite's random inputs avoid them.
+func DelaunayTriangulation(ctx *lcws.Ctx, pts []workload.Point2) []Triangle {
+	n := len(pts)
+	if n < 3 {
+		return nil
+	}
+	// Super-triangle vertices far outside the data's bounding box.
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	span := maxX - minX + maxY - minY + 1
+	big := span * 1e6
+	cx, cy := (minX+maxX)/2, (minY+maxY)/2
+	m := &dMesh{
+		pts: append(append([]workload.Point2{}, pts...),
+			workload.Point2{X: cx - big, Y: cy - big},
+			workload.Point2{X: cx + big, Y: cy - big},
+			workload.Point2{X: cx, Y: cy + big}),
+	}
+	m.tris = []dTri{{v: [3]int32{int32(n), int32(n + 1), int32(n + 2)}, n: [3]int32{-1, -1, -1}}}
+
+	// loc[p] = a live triangle containing point p (exact, maintained by
+	// redistribution).
+	loc := make([]int32, n)
+	remaining := parlay.Tabulate(ctx, n, func(i int) int32 { return int32(i) })
+
+	inserted := 0
+	for len(remaining) > 0 {
+		// Doubling prefix: parallelism grows with the mesh.
+		prefix := inserted + 1
+		if prefix > delaunayMaxBatch {
+			prefix = delaunayMaxBatch
+		}
+		if prefix > len(remaining) {
+			prefix = len(remaining)
+		}
+		batch := remaining[:prefix]
+
+		// Parallel: compute cavities and reserve with the point's
+		// priority (its position in the batch order: lower wins).
+		// Reservations cover the cavity AND its boundary ring: by the
+		// conflict-list lemma (Guibas–Knuth–Sharir), a new triangle's
+		// circumdisk is covered by the disks of the two old triangles
+		// on its boundary edge — one inside the cavity, one in the
+		// ring — so two insertions commute only when each cavity is
+		// disjoint from the other's cavity-plus-ring.
+		reserve := make([]atomic.Int32, len(m.tris))
+		lcws.ParFor(ctx, 0, len(m.tris), 0, func(ctx *lcws.Ctx, t int) {
+			reserve[t].Store(int32(len(batch)))
+		})
+		cavities := make([][]int32, len(batch))
+		claims := parlay.Tabulate(ctx, len(batch), func(i int) []int32 {
+			cav := m.cavityOf(loc[batch[i]], m.pts[batch[i]])
+			cavities[i] = cav
+			inClaim := make(map[int32]bool, 2*len(cav))
+			claim := make([]int32, 0, 2*len(cav))
+			for _, t := range cav {
+				if !inClaim[t] {
+					inClaim[t] = true
+					claim = append(claim, t)
+				}
+				for _, nb := range m.tris[t].n {
+					if nb >= 0 && !inClaim[nb] {
+						inClaim[nb] = true
+						claim = append(claim, nb)
+					}
+				}
+			}
+			for _, t := range claim {
+				atomicMin2(&reserve[t], int32(i))
+			}
+			return claim
+		})
+
+		// Parallel: a point wins when it holds every claimed reservation.
+		wins := parlay.Tabulate(ctx, len(batch), func(i int) bool {
+			for _, t := range claims[i] {
+				if reserve[t].Load() != int32(i) {
+					return false
+				}
+			}
+			return true
+		})
+
+		// Sequential surgery per winner (cavities are disjoint for
+		// winners, but adjacent cavities share boundary triangles'
+		// neighbor links, so the mesh mutation itself is serialized).
+		replaced := map[int32][]int32{}
+		for i := range batch {
+			if !wins[i] {
+				continue
+			}
+			newIDs := m.retriangulate(batch[i], cavities[i])
+			for _, t := range cavities[i] {
+				replaced[t] = newIDs
+			}
+			inserted++
+		}
+
+		// Parallel: drop winners and relocate points whose containing
+		// triangle died.
+		next := make([]int32, 0, len(remaining))
+		for i, p := range remaining {
+			if i < len(batch) && wins[i] {
+				continue
+			}
+			next = append(next, p)
+		}
+		lcws.ParFor(ctx, 0, len(next), 0, func(ctx *lcws.Ctx, i int) {
+			p := next[i]
+			for m.tris[loc[p]].dead {
+				cands, ok := replaced[loc[p]]
+				if !ok {
+					panic("pbbs: dead triangle without replacement")
+				}
+				found := false
+				for _, c := range cands {
+					if !m.tris[c].dead && m.containsPoint(c, m.pts[p]) {
+						loc[p] = c
+						found = true
+						break
+					}
+				}
+				if !found {
+					// Numerical corner: take any live replacement whose
+					// cavity will still contain p on recomputation.
+					for _, c := range cands {
+						if !m.tris[c].dead {
+							loc[p] = c
+							found = true
+							break
+						}
+					}
+					if !found {
+						// All replacements died in the same round's
+						// later surgeries; follow their replacements.
+						loc[p] = cands[0]
+					}
+				}
+			}
+			ctx.Poll()
+		})
+		remaining = next
+	}
+
+	// Collect live triangles not touching the super vertices.
+	out := make([]Triangle, 0, 2*n)
+	for i := range m.tris {
+		tr := &m.tris[i]
+		if tr.dead {
+			continue
+		}
+		if tr.v[0] >= int32(n) || tr.v[1] >= int32(n) || tr.v[2] >= int32(n) {
+			continue
+		}
+		out = append(out, Triangle{A: tr.v[0], B: tr.v[1], C: tr.v[2]})
+	}
+	return out
+}
+
+// delaunayMaxBatch caps the per-round insertion batch; tests use 1 to
+// force sequential insertion when isolating mesh-surgery issues.
+var delaunayMaxBatch = 1 << 30
+
+// atomicMin2 lowers a to min(a, v) (plain minimum; no sentinel).
+func atomicMin2(a *atomic.Int32, v int32) {
+	for {
+		cur := a.Load()
+		if cur <= v {
+			return
+		}
+		if a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// delaunayJob verifies structure and the empty-circumcircle property.
+func delaunayJob(pts []workload.Point2) *Job {
+	var got []Triangle
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = DelaunayTriangulation(ctx, pts) },
+		Verify: func() error {
+			return verifyDelaunay(pts, got)
+		},
+	}
+}
+
+// verifyDelaunay checks counter-clockwise orientation, vertex coverage,
+// and the empty-circumcircle property (exhaustive for small inputs,
+// sampled above 2000 points).
+func verifyDelaunay(pts []workload.Point2, tris []Triangle) error {
+	n := len(pts)
+	if n >= 3 && len(tris) == 0 {
+		return verifyErr("delaunayTriangulation", "no triangles for %d points", n)
+	}
+	used := make([]bool, n)
+	for _, t := range tris {
+		a, b, c := pts[t.A], pts[t.B], pts[t.C]
+		if orient2d(a, b, c) <= 0 {
+			return verifyErr("delaunayTriangulation", "triangle (%d,%d,%d) not counter-clockwise", t.A, t.B, t.C)
+		}
+		used[t.A], used[t.B], used[t.C] = true, true, true
+	}
+	for i, u := range used {
+		if !u {
+			return verifyErr("delaunayTriangulation", "point %d in no triangle", i)
+		}
+	}
+	step := 1
+	if len(tris) > 2000 {
+		step = len(tris) / 2000
+	}
+	for ti := 0; ti < len(tris); ti += step {
+		t := tris[ti]
+		a, b, c := pts[t.A], pts[t.B], pts[t.C]
+		for pi := 0; pi < n; pi++ {
+			p := int32(pi)
+			if p == t.A || p == t.B || p == t.C {
+				continue
+			}
+			if inCircle(a, b, c, pts[pi]) {
+				return verifyErr("delaunayTriangulation",
+					"point %d inside circumcircle of (%d,%d,%d)", pi, t.A, t.B, t.C)
+			}
+		}
+	}
+	return nil
+}
+
+var _ = fmt.Sprintf // keep fmt for future diagnostics in this file

@@ -1,0 +1,228 @@
+package pbbs
+
+import (
+	"testing"
+
+	"lcws"
+	"lcws/workload"
+)
+
+// bruteDelaunay returns all ccw triples with an empty circumcircle — the
+// exact Delaunay triangulation for points in general position.
+func bruteDelaunay(pts []workload.Point2) map[[3]int32]bool {
+	n := len(pts)
+	out := map[[3]int32]bool{}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				pa, pb, pc := pts[a], pts[b], pts[c]
+				i, j, k := int32(a), int32(b), int32(c)
+				if orient2d(pa, pb, pc) < 0 {
+					pb, pc = pc, pb
+					j, k = k, j
+				}
+				empty := true
+				for d := 0; d < n && empty; d++ {
+					if d == a || d == b || d == c {
+						continue
+					}
+					if inCircle(pa, pb, pc, pts[d]) {
+						empty = false
+					}
+				}
+				if empty {
+					out[[3]int32{i, j, k}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// canon rotates a ccw triangle to start with its smallest vertex id.
+func canon(t Triangle) [3]int32 {
+	v := [3]int32{t.A, t.B, t.C}
+	for v[0] > v[1] || v[0] > v[2] {
+		v[0], v[1], v[2] = v[1], v[2], v[0]
+	}
+	return v
+}
+
+func TestDelaunayMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{4, 8, 15, 25, 40} {
+		pts := workload.InCube2D(uint64(100+n), n)
+		want := bruteDelaunay(pts)
+		runOn(t, func(ctx *lcws.Ctx) {
+			got := DelaunayTriangulation(ctx, pts)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d: %d triangles, brute force has %d", n, len(got), len(want))
+			}
+			for _, tr := range got {
+				key := canon(tr)
+				if !want[key] {
+					t.Fatalf("n=%d: triangle %v not in the exact Delaunay set", n, key)
+				}
+			}
+		})
+	}
+}
+
+func TestDelaunayAllPoliciesAgree(t *testing.T) {
+	pts := workload.InCube2D(313, 400)
+	var ref map[[3]int32]bool
+	for _, p := range lcws.Policies {
+		s := lcws.New(lcws.WithWorkers(4), lcws.WithPolicy(p), lcws.WithSeed(3))
+		var tris []Triangle
+		s.Run(func(ctx *lcws.Ctx) { tris = DelaunayTriangulation(ctx, pts) })
+		if err := verifyDelaunay(pts, tris); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		set := map[[3]int32]bool{}
+		for _, tr := range tris {
+			set[canon(tr)] = true
+		}
+		if ref == nil {
+			ref = set
+			continue
+		}
+		// In general position the Delaunay triangulation is unique, so
+		// every policy must produce the same triangle set.
+		if len(set) != len(ref) {
+			t.Fatalf("%v: %d triangles, reference has %d", p, len(set), len(ref))
+		}
+		for k := range ref {
+			if !set[k] {
+				t.Fatalf("%v: triangle %v missing", p, k)
+			}
+		}
+	}
+}
+
+func TestDelaunayKuzminHeavyTail(t *testing.T) {
+	pts := workload.Kuzmin2D(317, 800)
+	runOn(t, func(ctx *lcws.Ctx) {
+		tris := DelaunayTriangulation(ctx, pts)
+		if err := verifyDelaunay(pts, tris); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDelaunayDegenerateSizes(t *testing.T) {
+	runOn(t, func(ctx *lcws.Ctx) {
+		if got := DelaunayTriangulation(ctx, nil); got != nil {
+			t.Errorf("no points: %v", got)
+		}
+		two := workload.InCube2D(1, 2)
+		if got := DelaunayTriangulation(ctx, two); got != nil {
+			t.Errorf("two points: %v", got)
+		}
+		three := workload.InCube2D(2, 3)
+		got := DelaunayTriangulation(ctx, three)
+		if len(got) != 1 {
+			t.Errorf("three points gave %d triangles, want 1", len(got))
+		}
+	})
+}
+
+func TestDelaunaySequentialInsertionMatches(t *testing.T) {
+	// Force batch size 1 (pure sequential Bowyer–Watson) and check the
+	// parallel rounds produce the identical triangle set.
+	pts := workload.InCube2D(331, 300)
+	var par, seq map[[3]int32]bool
+	runOn(t, func(ctx *lcws.Ctx) {
+		tris := DelaunayTriangulation(ctx, pts)
+		par = map[[3]int32]bool{}
+		for _, tr := range tris {
+			par[canon(tr)] = true
+		}
+	})
+	old := delaunayMaxBatch
+	delaunayMaxBatch = 1
+	defer func() { delaunayMaxBatch = old }()
+	runOn(t, func(ctx *lcws.Ctx) {
+		tris := DelaunayTriangulation(ctx, pts)
+		seq = map[[3]int32]bool{}
+		for _, tr := range tris {
+			seq[canon(tr)] = true
+		}
+	})
+	if len(par) != len(seq) {
+		t.Fatalf("parallel %d triangles, sequential %d", len(par), len(seq))
+	}
+	for k := range seq {
+		if !par[k] {
+			t.Fatalf("triangle %v only in sequential result", k)
+		}
+	}
+}
+
+func TestDelaunayEulerCount(t *testing.T) {
+	// For points in general position inside the super-triangle, the
+	// data-only triangles number 2n - 2 - h where h is the hull size.
+	pts := workload.InCube2D(337, 500)
+	runOn(t, func(ctx *lcws.Ctx) {
+		tris := DelaunayTriangulation(ctx, pts)
+		hull := ConvexHull(ctx, pts)
+		want := 2*len(pts) - 2 - len(hull)
+		if len(tris) != want {
+			t.Errorf("triangle count %d, Euler formula wants %d (hull %d)", len(tris), want, len(hull))
+		}
+	})
+}
+
+func TestDelaunayRefineImprovesQuality(t *testing.T) {
+	pts := workload.InCube2D(401, 300)
+	runOn(t, func(ctx *lcws.Ctx) {
+		got := DelaunayRefine(ctx, pts, 0)
+		if got.SkinnyBefore == 0 {
+			t.Skip("input already met the quality bound")
+		}
+		if got.SkinnyAfter >= got.SkinnyBefore {
+			t.Errorf("skinny count %d -> %d after %d rounds",
+				got.SkinnyBefore, got.SkinnyAfter, got.Rounds)
+		}
+		if err := verifyDelaunay(got.Points, got.Triangles); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestDelaunayRefineTerminatesOnCluster(t *testing.T) {
+	// A tight cluster plus far satellites forces many skinny triangles;
+	// refinement must stop at its caps without error.
+	pts := workload.Kuzmin2D(403, 150)
+	runOn(t, func(ctx *lcws.Ctx) {
+		got := DelaunayRefine(ctx, pts, 0)
+		if got.Rounds > refineMaxRounds {
+			t.Errorf("rounds %d exceeded cap", got.Rounds)
+		}
+		if err := verifyDelaunay(got.Points, got.Triangles); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestSkinnyRatioAndCircumcenter(t *testing.T) {
+	// Equilateral triangle: ratio = 1/sqrt(3) ≈ 0.577 (high quality).
+	a := workload.Point2{X: 0, Y: 0}
+	b := workload.Point2{X: 1, Y: 0}
+	c := workload.Point2{X: 0.5, Y: 0.8660254037844386}
+	if r := skinnyRatio(a, b, c); r < 0.55 || r > 0.60 {
+		t.Errorf("equilateral skinny ratio = %v, want ≈0.577", r)
+	}
+	// A near-degenerate sliver has a huge ratio.
+	d := workload.Point2{X: 0.5, Y: 1e-9}
+	if r := skinnyRatio(a, b, d); r < 100 {
+		t.Errorf("sliver ratio = %v, want huge", r)
+	}
+	// Collinear points have no circumcenter.
+	if _, ok := circumcenter(a, b, workload.Point2{X: 2, Y: 0}); ok {
+		t.Error("collinear circumcenter reported ok")
+	}
+	// Circumcenter of a right triangle is the hypotenuse midpoint.
+	cc, ok := circumcenter(a, b, workload.Point2{X: 0, Y: 1})
+	if !ok || cc.X != 0.5 || cc.Y != 0.5 {
+		t.Errorf("right-triangle circumcenter = %v, %v", cc, ok)
+	}
+}

@@ -1,0 +1,508 @@
+package pbbs
+
+import (
+	"math"
+	"sort"
+
+	"lcws"
+	"lcws/parlay"
+	"lcws/workload"
+)
+
+// geometryInstances returns the convexHull, nearestNeighbors and rayCast
+// instances.
+func geometryInstances(scale Scale) []*Instance {
+	nHull := scale.scaled(100_000)
+	nNN := scale.scaled(20_000)
+	nSegs := scale.scaled(2_000)
+	nRays := scale.scaled(6_000)
+	return []*Instance{
+		{Benchmark: "convexHull", Input: "2DinSphere",
+			Prepare: func() *Job { return hullJob(workload.InSphere2D(401, nHull)) }},
+		{Benchmark: "convexHull", Input: "2DonSphere",
+			Prepare: func() *Job { return hullJob(workload.OnSphere2D(402, nHull/4)) }},
+		{Benchmark: "convexHull", Input: "2Dkuzmin",
+			Prepare: func() *Job { return hullJob(workload.Kuzmin2D(403, nHull)) }},
+
+		{Benchmark: "nearestNeighbors", Input: "2DinCube",
+			Prepare: func() *Job { return nnJob(workload.InCube2D(411, nNN)) }},
+		{Benchmark: "nearestNeighbors", Input: "2Dkuzmin",
+			Prepare: func() *Job { return nnJob(workload.Kuzmin2D(412, nNN)) }},
+
+		{Benchmark: "delaunayTriangulation", Input: "2DinCube",
+			Prepare: func() *Job { return delaunayJob(workload.InCube2D(441, scale.scaled(8_000))) }},
+		{Benchmark: "delaunayTriangulation", Input: "2Dkuzmin",
+			Prepare: func() *Job { return delaunayJob(workload.Kuzmin2D(442, scale.scaled(8_000))) }},
+
+		{Benchmark: "delaunayRefine", Input: "2DinCube",
+			Prepare: func() *Job { return refineJob(workload.InCube2D(451, scale.scaled(3_000))) }},
+
+		{Benchmark: "rangeQuery2d", Input: "2DinCube",
+			Prepare: func() *Job {
+				return rangeQueryJob(workload.InCube2D(431, nNN), randomRects(432, nNN/4))
+			}},
+		{Benchmark: "rangeQuery2d", Input: "2Dkuzmin",
+			Prepare: func() *Job {
+				return rangeQueryJob(workload.Kuzmin2D(433, nNN), randomRects(434, nNN/4))
+			}},
+
+		{Benchmark: "rayCast3d", Input: "randomTriangles",
+			Prepare: func() *Job {
+				tris := RandomTriangles(461, scale.scaled(3_000), 0.08)
+				rays := RandomRays3D(462, scale.scaled(5_000))
+				return rayCast3DJob(tris, rays)
+			}},
+
+		{Benchmark: "rayCast", Input: "randomSegments",
+			Prepare: func() *Job {
+				segs := workload.RandomSegments(421, nSegs, 0.05)
+				rays := workload.RandomRays(422, nRays)
+				return rayCastJob(segs, rays)
+			}},
+	}
+}
+
+// cross returns the z component of (b-a) × (c-a): positive when c lies
+// left of the directed line a→b.
+func cross(a, b, c workload.Point2) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// ConvexHull returns the indices of points on the convex hull in
+// counter-clockwise order, computed with parallel quickhull (the PBBS
+// convexHull kernel): recursive filtering of points outside each hull
+// edge, with the two sub-problems solved in parallel.
+func ConvexHull(ctx *lcws.Ctx, pts []workload.Point2) []int32 {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	idx := parlay.Tabulate(ctx, n, func(i int) int32 { return int32(i) })
+	// Extreme points by (x, y) lexicographic order.
+	minP := parlay.Reduce(ctx, idx, idx[0], func(a, b int32) int32 {
+		if pts[b].X < pts[a].X || (pts[b].X == pts[a].X && pts[b].Y < pts[a].Y) {
+			return b
+		}
+		return a
+	})
+	maxP := parlay.Reduce(ctx, idx, idx[0], func(a, b int32) int32 {
+		if pts[b].X > pts[a].X || (pts[b].X == pts[a].X && pts[b].Y > pts[a].Y) {
+			return b
+		}
+		return a
+	})
+	if minP == maxP {
+		return []int32{minP}
+	}
+	upper := parlay.Filter(ctx, idx, func(i int32) bool { return cross(pts[minP], pts[maxP], pts[i]) > 0 })
+	lower := parlay.Filter(ctx, idx, func(i int32) bool { return cross(pts[maxP], pts[minP], pts[i]) > 0 })
+	var left, right []int32
+	lcws.Fork2(ctx,
+		func(ctx *lcws.Ctx) { left = quickHullRec(ctx, pts, upper, minP, maxP) },
+		func(ctx *lcws.Ctx) { right = quickHullRec(ctx, pts, lower, maxP, minP) },
+	)
+	out := make([]int32, 0, len(left)+len(right)+2)
+	out = append(out, minP)
+	out = append(out, left...)
+	out = append(out, maxP)
+	out = append(out, right...)
+	// The assembly above walks the hull clockwise (top chain first);
+	// reverse for the conventional counter-clockwise order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// quickHullRec returns the hull points strictly left of a→b among cand,
+// in order along the hull from a to b (exclusive).
+func quickHullRec(ctx *lcws.Ctx, pts []workload.Point2, cand []int32, a, b int32) []int32 {
+	if len(cand) == 0 {
+		return nil
+	}
+	// Farthest point from the line a-b (ties by index for determinism).
+	far := parlay.Reduce(ctx, cand, cand[0], func(x, y int32) int32 {
+		cx, cy := cross(pts[a], pts[b], pts[x]), cross(pts[a], pts[b], pts[y])
+		if cy > cx || (cy == cx && y < x) {
+			return y
+		}
+		return x
+	})
+	leftCand := parlay.Filter(ctx, cand, func(i int32) bool { return cross(pts[a], pts[far], pts[i]) > 0 })
+	rightCand := parlay.Filter(ctx, cand, func(i int32) bool { return cross(pts[far], pts[b], pts[i]) > 0 })
+	var left, right []int32
+	lcws.Fork2(ctx,
+		func(ctx *lcws.Ctx) { left = quickHullRec(ctx, pts, leftCand, a, far) },
+		func(ctx *lcws.Ctx) { right = quickHullRec(ctx, pts, rightCand, far, b) },
+	)
+	out := make([]int32, 0, len(left)+len(right)+1)
+	out = append(out, left...)
+	out = append(out, far)
+	out = append(out, right...)
+	return out
+}
+
+// seqHull is the sequential Andrew monotone chain reference.
+func seqHull(pts []workload.Point2) []int32 {
+	n := len(pts)
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	build := func(order []int32) []int32 {
+		var h []int32
+		for _, i := range order {
+			for len(h) >= 2 && cross(pts[h[len(h)-2]], pts[h[len(h)-1]], pts[i]) <= 0 {
+				h = h[:len(h)-1]
+			}
+			h = append(h, i)
+		}
+		return h
+	}
+	lower := build(idx)
+	rev := make([]int32, n)
+	for i := range idx {
+		rev[i] = idx[n-1-i]
+	}
+	upper := build(rev)
+	out := lower[:len(lower)-1]
+	out = append(out, upper[:len(upper)-1]...)
+	return out
+}
+
+func hullJob(pts []workload.Point2) *Job {
+	var got []int32
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = ConvexHull(ctx, pts) },
+		Verify: func() error {
+			want := seqHull(pts)
+			// The two algorithms break collinear ties differently; compare
+			// the sets of strictly extreme points: every reference hull
+			// vertex that is a strict corner must be present, and every
+			// reported vertex must lie on the reference hull boundary.
+			wantSet := map[int32]bool{}
+			for _, i := range want {
+				wantSet[i] = true
+			}
+			gotSet := map[int32]bool{}
+			for _, i := range got {
+				gotSet[i] = true
+			}
+			m := len(want)
+			for k := 0; k < m; k++ {
+				prev, cur, next := want[(k+m-1)%m], want[k], want[(k+1)%m]
+				if cross(pts[prev], pts[next], pts[cur]) > 0 && !gotSet[cur] {
+					return verifyErr("convexHull", "strict hull corner %d missing", cur)
+				}
+			}
+			// Every reported point must not be strictly inside: no
+			// reference edge may have it strictly to the left... i.e. it
+			// must lie on the boundary: for some consecutive reference
+			// pair (a,b), cross(a,b,p) == 0 and p between, or p is a
+			// corner.
+			for _, p := range got {
+				if wantSet[p] {
+					continue
+				}
+				on := false
+				for k := 0; k < m; k++ {
+					a, b := want[k], want[(k+1)%m]
+					if cross(pts[a], pts[b], pts[p]) == 0 {
+						on = true
+						break
+					}
+				}
+				if !on {
+					return verifyErr("convexHull", "reported vertex %d not on reference hull", p)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// kdNode is one node of the nearest-neighbour kd-tree; leaves hold up to
+// kdLeafSize point indices.
+type kdNode struct {
+	axis        int     // 0 = x, 1 = y; -1 for leaves
+	split       float64 // splitting coordinate
+	left, right *kdNode
+	pts         []int32 // leaf points
+}
+
+const kdLeafSize = 16
+
+// buildKD builds a kd-tree over idx (which it reorders) with parallel
+// child construction. Splits take the median by sorting the sub-slice —
+// the top-level sorts are themselves parallel work for the scheduler.
+func buildKD(ctx *lcws.Ctx, pts []workload.Point2, idx []int32, depth int) *kdNode {
+	if len(idx) <= kdLeafSize {
+		return &kdNode{axis: -1, pts: idx}
+	}
+	axis := depth % 2
+	coord := func(i int32) float64 {
+		if axis == 0 {
+			return pts[i].X
+		}
+		return pts[i].Y
+	}
+	parlay.SortFunc(ctx, idx, func(a, b int32) bool {
+		ca, cb := coord(a), coord(b)
+		if ca != cb {
+			return ca < cb
+		}
+		return a < b
+	})
+	mid := len(idx) / 2
+	node := &kdNode{axis: axis, split: coord(idx[mid])}
+	lcws.Fork2(ctx,
+		func(ctx *lcws.Ctx) { node.left = buildKD(ctx, pts, idx[:mid], depth+1) },
+		func(ctx *lcws.Ctx) { node.right = buildKD(ctx, pts, idx[mid:], depth+1) },
+	)
+	return node
+}
+
+func sqDist(a, b workload.Point2) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// nnSearch finds the nearest neighbour of pts[q] in the tree, excluding q
+// itself. best and bestD carry the incumbent through the recursion.
+func nnSearch(node *kdNode, pts []workload.Point2, q int32, best int32, bestD float64) (int32, float64) {
+	if node.axis == -1 {
+		for _, i := range node.pts {
+			if i == q {
+				continue
+			}
+			if d := sqDist(pts[i], pts[q]); d < bestD || (d == bestD && (best == -1 || i < best)) {
+				best, bestD = i, d
+			}
+		}
+		return best, bestD
+	}
+	var qc float64
+	if node.axis == 0 {
+		qc = pts[q].X
+	} else {
+		qc = pts[q].Y
+	}
+	near, farN := node.left, node.right
+	if qc > node.split {
+		near, farN = node.right, node.left
+	}
+	best, bestD = nnSearch(near, pts, q, best, bestD)
+	if d := qc - node.split; d*d <= bestD {
+		best, bestD = nnSearch(farN, pts, q, best, bestD)
+	}
+	return best, bestD
+}
+
+// AllNearestNeighbors returns, for every point, the index of its nearest
+// other point (ties by lowest index), via a parallel kd-tree build and
+// parallel independent queries (the PBBS nearestNeighbors kernel, k=1).
+func AllNearestNeighbors(ctx *lcws.Ctx, pts []workload.Point2) []int32 {
+	n := len(pts)
+	if n < 2 {
+		return make([]int32, n)
+	}
+	idx := parlay.Tabulate(ctx, n, func(i int) int32 { return int32(i) })
+	root := buildKD(ctx, pts, idx, 0)
+	return parlay.Tabulate(ctx, n, func(q int) int32 {
+		best, _ := nnSearch(root, pts, int32(q), -1, math.Inf(1))
+		return best
+	})
+}
+
+func nnJob(pts []workload.Point2) *Job {
+	var got []int32
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = AllNearestNeighbors(ctx, pts) },
+		Verify: func() error {
+			n := len(pts)
+			// Brute-force distances on a deterministic sample.
+			step := n/200 + 1
+			for q := 0; q < n; q += step {
+				bestD := math.Inf(1)
+				for i := 0; i < n; i++ {
+					if i == q {
+						continue
+					}
+					if d := sqDist(pts[i], pts[q]); d < bestD {
+						bestD = d
+					}
+				}
+				g := got[q]
+				if g < 0 || int(g) >= n || g == int32(q) {
+					return verifyErr("nearestNeighbors", "invalid neighbour %d for %d", g, q)
+				}
+				if gd := sqDist(pts[g], pts[q]); gd != bestD {
+					return verifyErr("nearestNeighbors", "point %d: dist %v, want %v", q, gd, bestD)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// raySegIntersect returns the ray parameter t >= 0 at which ray r hits
+// segment s, or +Inf when it misses.
+func raySegIntersect(r workload.Ray2, s workload.Segment2) float64 {
+	ex, ey := s.B.X-s.A.X, s.B.Y-s.A.Y
+	den := r.D.X*ey - r.D.Y*ex
+	if den == 0 {
+		return math.Inf(1)
+	}
+	ax, ay := s.A.X-r.O.X, s.A.Y-r.O.Y
+	t := (ax*ey - ay*ex) / den
+	u := (ax*r.D.Y - ay*r.D.X) / den
+	if t >= 0 && u >= 0 && u <= 1 {
+		return t
+	}
+	return math.Inf(1)
+}
+
+// rayGrid is a uniform grid over the unit square accelerating ray casts.
+type rayGrid struct {
+	res   int
+	cells [][]int32 // segment indices per cell
+	segs  []workload.Segment2
+}
+
+func buildRayGrid(ctx *lcws.Ctx, segs []workload.Segment2, res int) *rayGrid {
+	g := &rayGrid{res: res, cells: make([][]int32, res*res), segs: segs}
+	clampCell := func(v float64) int {
+		c := int(v * float64(res))
+		if c < 0 {
+			c = 0
+		}
+		if c >= res {
+			c = res - 1
+		}
+		return c
+	}
+	// Conservative rasterization: every cell in the segment's bounding
+	// box. Segments are short, so boxes span few cells. Build cell lists
+	// sequentially per cell row in parallel.
+	type span struct{ x0, x1, y0, y1 int }
+	spans := parlay.Tabulate(ctx, len(segs), func(i int) span {
+		s := segs[i]
+		return span{
+			x0: clampCell(math.Min(s.A.X, s.B.X)), x1: clampCell(math.Max(s.A.X, s.B.X)),
+			y0: clampCell(math.Min(s.A.Y, s.B.Y)), y1: clampCell(math.Max(s.A.Y, s.B.Y)),
+		}
+	})
+	lcws.ParFor(ctx, 0, res, 1, func(ctx *lcws.Ctx, cy int) {
+		for i, sp := range spans {
+			if cy < sp.y0 || cy > sp.y1 {
+				continue
+			}
+			for cx := sp.x0; cx <= sp.x1; cx++ {
+				g.cells[cy*res+cx] = append(g.cells[cy*res+cx], int32(i))
+			}
+		}
+		ctx.Poll()
+	})
+	return g
+}
+
+// cast walks the ray through the grid (DDA) and returns the index of the
+// first segment hit and the hit parameter, or (-1, +Inf).
+func (g *rayGrid) cast(r workload.Ray2) (int32, float64) {
+	res := g.res
+	cell := func(v float64) int { return int(math.Floor(v * float64(res))) }
+	cx, cy := cell(r.O.X), cell(r.O.Y)
+	stepX, stepY := 1, 1
+	if r.D.X < 0 {
+		stepX = -1
+	}
+	if r.D.Y < 0 {
+		stepY = -1
+	}
+	nextBoundary := func(c int, step int) float64 {
+		if step > 0 {
+			return float64(c+1) / float64(res)
+		}
+		return float64(c) / float64(res)
+	}
+	tMax := func(o, d float64, c, step int) float64 {
+		if d == 0 {
+			return math.Inf(1)
+		}
+		return (nextBoundary(c, step) - o) / d
+	}
+	tmx := tMax(r.O.X, r.D.X, cx, stepX)
+	tmy := tMax(r.O.Y, r.D.Y, cy, stepY)
+	tdx, tdy := math.Inf(1), math.Inf(1)
+	if r.D.X != 0 {
+		tdx = 1 / math.Abs(r.D.X*float64(res))
+	}
+	if r.D.Y != 0 {
+		tdy = 1 / math.Abs(r.D.Y*float64(res))
+	}
+	bestSeg, bestT := int32(-1), math.Inf(1)
+	for cx >= 0 && cx < res && cy >= 0 && cy < res {
+		cellEnd := math.Min(tmx, tmy)
+		for _, si := range g.cells[cy*res+cx] {
+			if t := raySegIntersect(r, g.segs[si]); t < bestT || (t == bestT && si < bestSeg) {
+				bestSeg, bestT = si, t
+			}
+		}
+		// A hit inside the portion of the ray already traversed is final.
+		if bestT <= cellEnd {
+			return bestSeg, bestT
+		}
+		if tmx < tmy {
+			tmx += tdx
+			cx += stepX
+		} else {
+			tmy += tdy
+			cy += stepY
+		}
+	}
+	return bestSeg, bestT
+}
+
+// RayCast intersects every ray with the segment set and returns the index
+// of the first segment each ray hits (-1 for a miss), using a uniform
+// acceleration grid with parallel build and parallel independent ray
+// walks. It stands in for PBBS's 3D triangle rayCast benchmark (DESIGN.md
+// §2): the same structure — build an acceleration structure, then a flat
+// parallel loop of irregular-cost queries.
+func RayCast(ctx *lcws.Ctx, segs []workload.Segment2, rays []workload.Ray2) []int32 {
+	grid := buildRayGrid(ctx, segs, 64)
+	return parlay.Tabulate(ctx, len(rays), func(i int) int32 {
+		hit, _ := grid.cast(rays[i])
+		return hit
+	})
+}
+
+func rayCastJob(segs []workload.Segment2, rays []workload.Ray2) *Job {
+	var got []int32
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = RayCast(ctx, segs, rays) },
+		Verify: func() error {
+			// Brute-force reference on a deterministic sample of rays.
+			step := len(rays)/150 + 1
+			for ri := 0; ri < len(rays); ri += step {
+				best, bestT := int32(-1), math.Inf(1)
+				for si := range segs {
+					if t := raySegIntersect(rays[ri], segs[si]); t < bestT || (t == bestT && int32(si) < best) {
+						best, bestT = int32(si), t
+					}
+				}
+				if got[ri] != best {
+					return verifyErr("rayCast", "ray %d hit %d, want %d", ri, got[ri], best)
+				}
+			}
+			return nil
+		},
+	}
+}

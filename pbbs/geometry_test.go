@@ -1,0 +1,334 @@
+package pbbs
+
+import (
+	"math"
+	"testing"
+
+	"lcws"
+	"lcws/workload"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []workload.Point2{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1},
+		{X: 0.5, Y: 0.5}, {X: 0.3, Y: 0.7}, // interior
+	}
+	runOn(t, func(ctx *lcws.Ctx) {
+		hull := ConvexHull(ctx, pts)
+		if len(hull) != 4 {
+			t.Fatalf("square hull = %v, want the 4 corners", hull)
+		}
+		seen := map[int32]bool{}
+		for _, i := range hull {
+			seen[i] = true
+		}
+		for i := int32(0); i < 4; i++ {
+			if !seen[i] {
+				t.Errorf("corner %d missing from hull %v", i, hull)
+			}
+		}
+	})
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	runOn(t, func(ctx *lcws.Ctx) {
+		if got := ConvexHull(ctx, nil); got != nil {
+			t.Errorf("hull of nothing = %v", got)
+		}
+		one := []workload.Point2{{X: 0.5, Y: 0.5}}
+		if got := ConvexHull(ctx, one); len(got) != 1 || got[0] != 0 {
+			t.Errorf("hull of single point = %v", got)
+		}
+		same := []workload.Point2{{X: 1, Y: 2}, {X: 1, Y: 2}, {X: 1, Y: 2}}
+		if got := ConvexHull(ctx, same); len(got) != 1 {
+			t.Errorf("hull of coincident points = %v", got)
+		}
+		// Collinear points: hull is the two extremes (interior collinear
+		// points may or may not be reported; the extremes must be).
+		line := []workload.Point2{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}}
+		got := ConvexHull(ctx, line)
+		hasMin, hasMax := false, false
+		for _, i := range got {
+			if i == 0 {
+				hasMin = true
+			}
+			if i == 3 {
+				hasMax = true
+			}
+		}
+		if !hasMin || !hasMax {
+			t.Errorf("collinear hull %v missing extremes", got)
+		}
+	})
+}
+
+func TestConvexHullIsCCWAndConvex(t *testing.T) {
+	pts := workload.InSphere2D(99, 5000)
+	runOn(t, func(ctx *lcws.Ctx) {
+		hull := ConvexHull(ctx, pts)
+		m := len(hull)
+		if m < 3 {
+			t.Fatalf("hull too small: %v", hull)
+		}
+		for k := 0; k < m; k++ {
+			a, b, c := hull[k], hull[(k+1)%m], hull[(k+2)%m]
+			if cross(pts[a], pts[b], pts[c]) <= 0 {
+				t.Fatalf("hull not strictly counter-clockwise at %d", k)
+			}
+		}
+		// Every point must be inside or on the hull.
+		for i := range pts {
+			for k := 0; k < m; k++ {
+				a, b := hull[k], hull[(k+1)%m]
+				if cross(pts[a], pts[b], pts[i]) < 0 {
+					t.Fatalf("point %d outside hull edge %d-%d", i, a, b)
+				}
+			}
+		}
+	})
+}
+
+func TestSeqHullMatchesParallelOnRandom(t *testing.T) {
+	pts := workload.InCube2D(101, 2000)
+	runOn(t, func(ctx *lcws.Ctx) {
+		got := ConvexHull(ctx, pts)
+		want := seqHull(pts)
+		gs := map[int32]bool{}
+		for _, i := range got {
+			gs = mapSet(gs, i)
+		}
+		ws := map[int32]bool{}
+		for _, i := range want {
+			ws = mapSet(ws, i)
+		}
+		if len(gs) != len(ws) {
+			t.Fatalf("hull sizes differ: %d vs %d", len(gs), len(ws))
+		}
+		for i := range ws {
+			if !gs[i] {
+				t.Fatalf("hull vertex %d missing", i)
+			}
+		}
+	})
+}
+
+func mapSet(m map[int32]bool, k int32) map[int32]bool {
+	m[k] = true
+	return m
+}
+
+func TestNearestNeighborsGrid(t *testing.T) {
+	// A 10x10 unit grid: every point's NN is at distance exactly 1.
+	var pts []workload.Point2
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			pts = append(pts, workload.Point2{X: float64(x), Y: float64(y)})
+		}
+	}
+	runOn(t, func(ctx *lcws.Ctx) {
+		nn := AllNearestNeighbors(ctx, pts)
+		for i, j := range nn {
+			if d := sqDist(pts[i], pts[j]); d != 1 {
+				t.Fatalf("point %d: NN distance² %v, want 1", i, d)
+			}
+		}
+	})
+}
+
+func TestNearestNeighborsBruteForceAgreement(t *testing.T) {
+	pts := workload.Kuzmin2D(103, 3000)
+	runOn(t, func(ctx *lcws.Ctx) {
+		nn := AllNearestNeighbors(ctx, pts)
+		for q := 0; q < len(pts); q += 37 {
+			bestD := math.Inf(1)
+			for i := range pts {
+				if i != q {
+					if d := sqDist(pts[i], pts[q]); d < bestD {
+						bestD = d
+					}
+				}
+			}
+			if got := sqDist(pts[nn[q]], pts[q]); got != bestD {
+				t.Fatalf("point %d: kd NN dist² %v, brute %v", q, got, bestD)
+			}
+		}
+	})
+}
+
+func TestNearestNeighborsTiny(t *testing.T) {
+	runOn(t, func(ctx *lcws.Ctx) {
+		if got := AllNearestNeighbors(ctx, nil); len(got) != 0 {
+			t.Error("NN of no points should be empty")
+		}
+		two := []workload.Point2{{X: 0, Y: 0}, {X: 1, Y: 0}}
+		got := AllNearestNeighbors(ctx, two)
+		if got[0] != 1 || got[1] != 0 {
+			t.Errorf("NN of pair = %v", got)
+		}
+	})
+}
+
+func TestRaySegIntersectCases(t *testing.T) {
+	seg := workload.Segment2{A: workload.Point2{X: 1, Y: -1}, B: workload.Point2{X: 1, Y: 1}}
+	right := workload.Ray2{O: workload.Point2{X: 0, Y: 0}, D: workload.Point2{X: 1, Y: 0}}
+	if got := raySegIntersect(right, seg); got != 1 {
+		t.Errorf("head-on intersection t = %v, want 1", got)
+	}
+	left := workload.Ray2{O: workload.Point2{X: 0, Y: 0}, D: workload.Point2{X: -1, Y: 0}}
+	if got := raySegIntersect(left, seg); !math.IsInf(got, 1) {
+		t.Errorf("ray pointing away t = %v, want +Inf", got)
+	}
+	miss := workload.Ray2{O: workload.Point2{X: 0, Y: 5}, D: workload.Point2{X: 1, Y: 0}}
+	if got := raySegIntersect(miss, seg); !math.IsInf(got, 1) {
+		t.Errorf("missing ray t = %v, want +Inf", got)
+	}
+	parallel := workload.Ray2{O: workload.Point2{X: 0, Y: 0}, D: workload.Point2{X: 0, Y: 1}}
+	if got := raySegIntersect(parallel, seg); !math.IsInf(got, 1) {
+		t.Errorf("parallel ray t = %v, want +Inf", got)
+	}
+	// Endpoint hit (u == 1).
+	tip := workload.Ray2{O: workload.Point2{X: 0, Y: 1}, D: workload.Point2{X: 1, Y: 0}}
+	if got := raySegIntersect(tip, seg); got != 1 {
+		t.Errorf("endpoint hit t = %v, want 1", got)
+	}
+}
+
+func TestRayCastGridMatchesBruteForceExhaustively(t *testing.T) {
+	segs := workload.RandomSegments(107, 150, 0.08)
+	rays := workload.RandomRays(109, 400)
+	runOn(t, func(ctx *lcws.Ctx) {
+		got := RayCast(ctx, segs, rays)
+		for ri := range rays {
+			best, bestT := int32(-1), math.Inf(1)
+			for si := range segs {
+				if tt := raySegIntersect(rays[ri], segs[si]); tt < bestT || (tt == bestT && int32(si) < best) {
+					best, bestT = int32(si), tt
+				}
+			}
+			if got[ri] != best {
+				t.Fatalf("ray %d: grid hit %d, brute force %d", ri, got[ri], best)
+			}
+		}
+	})
+}
+
+func TestRangeQuery2DBruteForceAgreement(t *testing.T) {
+	pts := workload.Kuzmin2D(211, 4000)
+	queries := randomRects(213, 300)
+	runOn(t, func(ctx *lcws.Ctx) {
+		got := RangeQuery2D(ctx, pts, queries)
+		for q, r := range queries {
+			want := 0
+			for _, p := range pts {
+				if r.contains(p) {
+					want++
+				}
+			}
+			if got[q] != want {
+				t.Fatalf("query %d = %d, want %d", q, got[q], want)
+			}
+		}
+	})
+}
+
+func TestRangeQuery2DEdgeCases(t *testing.T) {
+	runOn(t, func(ctx *lcws.Ctx) {
+		// No points.
+		got := RangeQuery2D(ctx, nil, []Rect2{{0, 0, 1, 1}})
+		if got[0] != 0 {
+			t.Error("count in empty point set != 0")
+		}
+		// Whole-plane query counts everything (fully-contained fast path).
+		pts := workload.InCube2D(217, 1000)
+		got = RangeQuery2D(ctx, pts, []Rect2{{-10, -10, 10, 10}, {5, 5, 6, 6}})
+		if got[0] != 1000 {
+			t.Errorf("whole-plane count = %d, want 1000", got[0])
+		}
+		if got[1] != 0 {
+			t.Errorf("disjoint count = %d, want 0", got[1])
+		}
+		// Inclusive boundaries.
+		one := []workload.Point2{{X: 0.5, Y: 0.5}}
+		got = RangeQuery2D(ctx, one, []Rect2{{0.5, 0.5, 0.5, 0.5}})
+		if got[0] != 1 {
+			t.Errorf("boundary-inclusive count = %d, want 1", got[0])
+		}
+	})
+}
+
+func TestRayCast3DBruteForceAgreement(t *testing.T) {
+	tris := RandomTriangles(271, 200, 0.15)
+	rays := RandomRays3D(273, 300)
+	runOn(t, func(ctx *lcws.Ctx) {
+		got := RayCast3D(ctx, tris, rays)
+		for ri := range rays {
+			best, bestT := int32(-1), math.Inf(1)
+			for ti := range tris {
+				if tt := rayTriIntersect(rays[ri], tris[ti]); tt < bestT {
+					best, bestT = int32(ti), tt
+				}
+			}
+			if got[ri] != best {
+				t.Fatalf("ray %d: BVH hit %d, brute %d", ri, got[ri], best)
+			}
+		}
+	})
+}
+
+func TestRayTriIntersectCases(t *testing.T) {
+	tri := Tri3{
+		A: workload.Point3{X: 0, Y: 0, Z: 1},
+		B: workload.Point3{X: 1, Y: 0, Z: 1},
+		C: workload.Point3{X: 0, Y: 1, Z: 1},
+	}
+	headOn := Ray3{O: workload.Point3{X: 0.2, Y: 0.2, Z: 0}, D: workload.Point3{Z: 1}}
+	if got := rayTriIntersect(headOn, tri); got != 1 {
+		t.Errorf("head-on t = %v, want 1", got)
+	}
+	away := Ray3{O: workload.Point3{X: 0.2, Y: 0.2, Z: 0}, D: workload.Point3{Z: -1}}
+	if got := rayTriIntersect(away, tri); !math.IsInf(got, 1) {
+		t.Errorf("pointing away t = %v, want +Inf", got)
+	}
+	miss := Ray3{O: workload.Point3{X: 0.9, Y: 0.9, Z: 0}, D: workload.Point3{Z: 1}}
+	if got := rayTriIntersect(miss, tri); !math.IsInf(got, 1) {
+		t.Errorf("outside-barycentric t = %v, want +Inf", got)
+	}
+	parallel := Ray3{O: workload.Point3{X: 0.2, Y: 0.2, Z: 0}, D: workload.Point3{X: 1}}
+	if got := rayTriIntersect(parallel, tri); !math.IsInf(got, 1) {
+		t.Errorf("parallel ray t = %v, want +Inf", got)
+	}
+}
+
+func TestRayCast3DEmptyScene(t *testing.T) {
+	runOn(t, func(ctx *lcws.Ctx) {
+		got := RayCast3D(ctx, nil, RandomRays3D(1, 10))
+		for _, h := range got {
+			if h != -1 {
+				t.Fatal("hit in an empty scene")
+			}
+		}
+	})
+}
+
+func TestAABBHitBox(t *testing.T) {
+	b := aabb{lo: workload.Point3{X: 0, Y: 0, Z: 0}, hi: workload.Point3{X: 1, Y: 1, Z: 1}}
+	through := Ray3{O: workload.Point3{X: -1, Y: 0.5, Z: 0.5}, D: workload.Point3{X: 1}}
+	if !b.hitBox(through, math.Inf(1)) {
+		t.Error("ray through box reported miss")
+	}
+	if b.hitBox(through, 0.5) {
+		t.Error("box beyond tMax reported hit")
+	}
+	missRay := Ray3{O: workload.Point3{X: -1, Y: 5, Z: 0.5}, D: workload.Point3{X: 1}}
+	if b.hitBox(missRay, math.Inf(1)) {
+		t.Error("missing ray reported hit")
+	}
+	inside := Ray3{O: workload.Point3{X: 0.5, Y: 0.5, Z: 0.5}, D: workload.Point3{Y: 1}}
+	if !b.hitBox(inside, math.Inf(1)) {
+		t.Error("ray from inside reported miss")
+	}
+	zeroAxis := Ray3{O: workload.Point3{X: 0.5, Y: -1, Z: 5}, D: workload.Point3{Y: 1}}
+	if b.hitBox(zeroAxis, math.Inf(1)) {
+		t.Error("ray with zero-component outside slab reported hit")
+	}
+}

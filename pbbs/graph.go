@@ -1,0 +1,664 @@
+package pbbs
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"lcws"
+	"lcws/internal/rng"
+	"lcws/parlay"
+	"lcws/workload"
+)
+
+// graphInstances returns the breadthFirstSearch, maximalIndependentSet,
+// maximalMatching, spanningForest and minSpanningForest instances.
+func graphInstances(scale Scale) []*Instance {
+	logN := 13
+	m := scale.scaled(120_000)
+	nLocal := scale.scaled(30_000)
+	side := 22 // 3D grid side; ~10.6k vertices at scale 1
+	if scale < 1 {
+		side = 12
+	}
+	return []*Instance{
+		{Benchmark: "breadthFirstSearch", Input: "rMatGraph",
+			Prepare: func() *Job { return bfsJob(workload.RMatGraph(301, logN, m)) }},
+		{Benchmark: "breadthFirstSearch", Input: "randLocalGraph",
+			Prepare: func() *Job { return bfsJob(workload.RandLocalGraph(302, nLocal, 8)) }},
+		{Benchmark: "breadthFirstSearch", Input: "3Dgrid",
+			Prepare: func() *Job { return bfsJob(workload.GridGraph3D(side)) }},
+
+		{Benchmark: "backForwardBFS", Input: "rMatGraph",
+			Prepare: func() *Job { return backForwardJob(workload.RMatGraph(301, logN, m)) }},
+		{Benchmark: "backForwardBFS", Input: "3Dgrid",
+			Prepare: func() *Job { return backForwardJob(workload.GridGraph3D(side)) }},
+
+		{Benchmark: "maximalIndependentSet", Input: "rMatGraph",
+			Prepare: func() *Job { return misJob(workload.RMatGraph(311, logN, m)) }},
+		{Benchmark: "maximalIndependentSet", Input: "randLocalGraph",
+			Prepare: func() *Job { return misJob(workload.RandLocalGraph(312, nLocal, 8)) }},
+
+		{Benchmark: "maximalMatching", Input: "rMatGraph",
+			Prepare: func() *Job { return matchingJob(1<<logN, workload.RMatEdges(321, logN, m)) }},
+		{Benchmark: "maximalMatching", Input: "randLocalGraph",
+			Prepare: func() *Job { return matchingJob(nLocal, workload.RandLocalEdges(322, nLocal, 8)) }},
+
+		{Benchmark: "spanningForest", Input: "rMatGraph",
+			Prepare: func() *Job { return spanningForestJob(1<<logN, workload.RMatEdges(331, logN, m)) }},
+		{Benchmark: "spanningForest", Input: "randLocalGraph",
+			Prepare: func() *Job { return spanningForestJob(nLocal, workload.RandLocalEdges(332, nLocal, 8)) }},
+
+		{Benchmark: "minSpanningForest", Input: "rMatGraph",
+			Prepare: func() *Job {
+				edges := workload.WeightedEdges(341, workload.RMatEdges(341, logN, m))
+				return msfJob(1<<logN, edges)
+			}},
+		{Benchmark: "minSpanningForest", Input: "randLocalGraph",
+			Prepare: func() *Job {
+				edges := workload.WeightedEdges(342, workload.RandLocalEdges(342, nLocal, 8))
+				return msfJob(nLocal, edges)
+			}},
+	}
+}
+
+// BFS computes a BFS tree of g from src with frontier-based parallel
+// rounds: every round expands the frontier's out-edges in parallel,
+// claiming unvisited vertices with a CAS on their parent slot (the PBBS
+// breadthFirstSearch kernel). It returns the parent array (-1 for
+// unreached, src's parent is itself).
+func BFS(ctx *lcws.Ctx, g *workload.Graph, src int32) []int32 {
+	n := g.NumVertices()
+	parents := make([]atomic.Int32, n)
+	lcws.ParFor(ctx, 0, n, 0, func(ctx *lcws.Ctx, i int) { parents[i].Store(-1) })
+	parents[src].Store(src)
+	frontier := []int32{src}
+	for len(frontier) > 0 {
+		// Offsets of each frontier vertex's edge block in the output.
+		degs := parlay.Map(ctx, frontier, func(v int32) int { return g.Degree(v) })
+		offsets, total := parlay.Scan(ctx, degs, 0, func(a, b int) int { return a + b })
+		next := make([]int32, total)
+		lcws.ParFor(ctx, 0, len(frontier), 1, func(ctx *lcws.Ctx, i int) {
+			v := frontier[i]
+			o := offsets[i]
+			for j, u := range g.Neighbors(v) {
+				if parents[u].Load() == -1 && parents[u].CompareAndSwap(-1, v) {
+					next[o+j] = u
+				} else {
+					next[o+j] = -1
+				}
+			}
+			ctx.Poll()
+		})
+		frontier = parlay.Filter(ctx, next, func(u int32) bool { return u >= 0 })
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = parents[i].Load()
+	}
+	return out
+}
+
+func bfsJob(g *workload.Graph) *Job {
+	var got []int32
+	const src = 0
+	return &Job{
+		Run:    func(ctx *lcws.Ctx) { got = BFS(ctx, g, src) },
+		Verify: func() error { return verifyBFSTree("breadthFirstSearch", g, src, got) },
+	}
+}
+
+// verifyBFSTree checks a parent array against sequential BFS distances:
+// reachability must match, every parent edge must exist, and every parent
+// must be exactly one level closer to the source.
+func verifyBFSTree(bench string, g *workload.Graph, src int32, got []int32) error {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if (got[v] == -1) != (dist[v] == -1) {
+			return verifyErr(bench, "vertex %d reachability mismatch", v)
+		}
+	}
+	for v := int32(0); int(v) < n; v++ {
+		p := got[v]
+		if p == -1 || v == src {
+			continue
+		}
+		if dist[v] != dist[p]+1 {
+			return verifyErr(bench, "vertex %d: parent %d not one level up (%d vs %d)", v, p, dist[v], dist[p])
+		}
+		found := false
+		for _, u := range g.Neighbors(p) {
+			if u == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return verifyErr(bench, "parent edge %d->%d not in graph", p, v)
+		}
+	}
+	return nil
+}
+
+// misStatus values for MaximalIndependentSet.
+const (
+	misUnknown int32 = iota
+	misIn
+	misOut
+)
+
+// MaximalIndependentSet returns a maximal independent set of g computed
+// with parallel rounds of the hash-priority greedy ("deterministic
+// reservations" style, the PBBS maximalIndependentSet kernel): a vertex
+// joins the set when its priority is a local minimum among still-undecided
+// neighbours, and its neighbours drop out.
+func MaximalIndependentSet(ctx *lcws.Ctx, g *workload.Graph) []bool {
+	n := g.NumVertices()
+	prio := parlay.Tabulate(ctx, n, func(i int) uint64 { return rng.Hash64(uint64(i) ^ 0x5bf0_3635) })
+	status := make([]atomic.Int32, n)
+	remaining := parlay.Tabulate(ctx, n, func(i int) int32 { return int32(i) })
+	for len(remaining) > 0 {
+		// Decide: v enters when no undecided neighbour has a smaller
+		// priority (ties by id).
+		lcws.ParFor(ctx, 0, len(remaining), 0, func(ctx *lcws.Ctx, i int) {
+			v := remaining[i]
+			if status[v].Load() != misUnknown {
+				return
+			}
+			win := true
+			for _, u := range g.Neighbors(v) {
+				if status[u].Load() == misIn {
+					win = false
+					break
+				}
+				if status[u].Load() == misUnknown &&
+					(prio[u] < prio[v] || (prio[u] == prio[v] && u < v)) {
+					win = false
+					break
+				}
+			}
+			if win {
+				status[v].Store(misIn)
+			}
+		})
+		// Knock out neighbours of new members.
+		lcws.ParFor(ctx, 0, len(remaining), 0, func(ctx *lcws.Ctx, i int) {
+			v := remaining[i]
+			if status[v].Load() != misUnknown {
+				return
+			}
+			for _, u := range g.Neighbors(v) {
+				if status[u].Load() == misIn {
+					status[v].Store(misOut)
+					break
+				}
+			}
+		})
+		remaining = parlay.Filter(ctx, remaining, func(v int32) bool {
+			return status[v].Load() == misUnknown
+		})
+	}
+	return parlay.Tabulate(ctx, n, func(i int) bool { return status[i].Load() == misIn })
+}
+
+func misJob(g *workload.Graph) *Job {
+	var got []bool
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = MaximalIndependentSet(ctx, g) },
+		Verify: func() error {
+			n := g.NumVertices()
+			for v := int32(0); int(v) < n; v++ {
+				if got[v] {
+					for _, u := range g.Neighbors(v) {
+						if got[u] {
+							return verifyErr("maximalIndependentSet", "adjacent vertices %d and %d both in set", v, u)
+						}
+					}
+				} else {
+					covered := false
+					for _, u := range g.Neighbors(v) {
+						if got[u] {
+							covered = true
+							break
+						}
+					}
+					if !covered {
+						return verifyErr("maximalIndependentSet", "vertex %d has no neighbour in set (not maximal)", v)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// MaximalMatching returns a maximal matching over the given edges (vertex
+// count n) using parallel rounds of two-sided reservations (the PBBS
+// maximalMatching kernel): each live edge reserves both endpoints with an
+// atomic-min on its index; edges holding both reservations are matched.
+// It returns the indices of matched edges.
+func MaximalMatching(ctx *lcws.Ctx, n int, edges []workload.Edge) []int32 {
+	reserve := make([]atomic.Int32, n)
+	matchedV := make([]atomic.Bool, n)
+	var matched []int32
+	live := parlay.Tabulate(ctx, len(edges), func(i int) int32 { return int32(i) })
+	live = parlay.Filter(ctx, live, func(e int32) bool { return edges[e].U != edges[e].V })
+	for len(live) > 0 {
+		lcws.ParFor(ctx, 0, n, 0, func(ctx *lcws.Ctx, v int) { reserve[v].Store(-1) })
+		// Reserve endpoints with the smallest live edge index.
+		lcws.ParFor(ctx, 0, len(live), 0, func(ctx *lcws.Ctx, i int) {
+			e := live[i]
+			atomicMin(&reserve[edges[e].U], e)
+			atomicMin(&reserve[edges[e].V], e)
+		})
+		// An edge holding both reservations is matched.
+		wins := parlay.Tabulate(ctx, len(live), func(i int) bool {
+			e := live[i]
+			return reserve[edges[e].U].Load() == e && reserve[edges[e].V].Load() == e
+		})
+		winners := parlay.Pack(ctx, live, wins)
+		lcws.ParFor(ctx, 0, len(winners), 0, func(ctx *lcws.Ctx, i int) {
+			e := winners[i]
+			matchedV[edges[e].U].Store(true)
+			matchedV[edges[e].V].Store(true)
+		})
+		matched = append(matched, winners...)
+		live = parlay.Filter(ctx, live, func(e int32) bool {
+			return !matchedV[edges[e].U].Load() && !matchedV[edges[e].V].Load()
+		})
+	}
+	return matched
+}
+
+// atomicMin lowers a to min(a, v).
+func atomicMin(a *atomic.Int32, v int32) {
+	for {
+		cur := a.Load()
+		if cur != -1 && cur <= v {
+			return
+		}
+		if a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func matchingJob(n int, edges []workload.Edge) *Job {
+	var got []int32
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = MaximalMatching(ctx, n, edges) },
+		Verify: func() error {
+			deg := make([]int, n)
+			for _, e := range got {
+				u, v := edges[e].U, edges[e].V
+				if u == v {
+					return verifyErr("maximalMatching", "self loop %d matched", e)
+				}
+				deg[u]++
+				deg[v]++
+				if deg[u] > 1 || deg[v] > 1 {
+					return verifyErr("maximalMatching", "vertex matched twice (edge %d)", e)
+				}
+			}
+			// Maximality: no remaining edge has both endpoints free.
+			for i, e := range edges {
+				if e.U != e.V && deg[e.U] == 0 && deg[e.V] == 0 {
+					return verifyErr("maximalMatching", "edge %d (%d-%d) could still be matched", i, e.U, e.V)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// unionFind is a lock-free union-find over n elements: parents are
+// atomics, unions link the higher root under the lower with a CAS, and
+// finds compress paths opportunistically.
+type unionFind struct {
+	parent []atomic.Int32
+}
+
+func newUnionFind(ctx *lcws.Ctx, n int) *unionFind {
+	uf := &unionFind{parent: make([]atomic.Int32, n)}
+	lcws.ParFor(ctx, 0, n, 0, func(ctx *lcws.Ctx, i int) { uf.parent[i].Store(int32(i)) })
+	return uf
+}
+
+func (uf *unionFind) find(v int32) int32 {
+	for {
+		p := uf.parent[v].Load()
+		if p == v {
+			return v
+		}
+		gp := uf.parent[p].Load()
+		if gp != p {
+			// Path halving; a failed CAS is harmless.
+			uf.parent[v].CompareAndSwap(p, gp)
+		}
+		v = p
+	}
+}
+
+// union links the components of u and v and reports whether they were
+// distinct (i.e. the edge joins the forest).
+func (uf *unionFind) union(u, v int32) bool {
+	for {
+		ru, rv := uf.find(u), uf.find(v)
+		if ru == rv {
+			return false
+		}
+		if ru < rv {
+			ru, rv = rv, ru
+		}
+		// Link the higher-indexed root under the lower: acyclic by the
+		// total order on ids.
+		if uf.parent[ru].CompareAndSwap(ru, rv) {
+			return true
+		}
+	}
+}
+
+// SpanningForest returns the indices of edges forming a spanning forest,
+// computed with a parallel lock-free union-find over the edge list (the
+// PBBS spanningForest kernel, incremental variant).
+func SpanningForest(ctx *lcws.Ctx, n int, edges []workload.Edge) []int32 {
+	uf := newUnionFind(ctx, n)
+	inForest := make([]bool, len(edges))
+	lcws.ParFor(ctx, 0, len(edges), 0, func(ctx *lcws.Ctx, i int) {
+		e := edges[i]
+		if e.U != e.V && uf.union(e.U, e.V) {
+			inForest[i] = true
+		}
+	})
+	idx := parlay.Iota(ctx, len(edges))
+	sel := parlay.Pack(ctx, idx, inForest)
+	return parlay.Map(ctx, sel, func(i int) int32 { return int32(i) })
+}
+
+// seqComponents returns each vertex's component id under a sequential
+// union-find over the same edges (verification reference).
+func seqComponents(n int, edges []workload.Edge) []int32 {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(v int32) int32
+	find = func(v int32) int32 {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	for _, e := range edges {
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			parent[ru] = rv
+		}
+	}
+	out := make([]int32, n)
+	for v := range out {
+		out[v] = find(int32(v))
+	}
+	return out
+}
+
+func spanningForestJob(n int, edges []workload.Edge) *Job {
+	var got []int32
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = SpanningForest(ctx, n, edges) },
+		Verify: func() error {
+			return verifyForest("spanningForest", n, edges, got, nil)
+		},
+	}
+}
+
+// verifyForest checks that the selected edge indices form a spanning
+// forest of (n, edges): acyclic, and connecting exactly the components of
+// the full graph. If weights is non-nil it additionally checks the total
+// weight against the sequential Kruskal reference.
+func verifyForest(bench string, n int, edges []workload.Edge, selected []int32, weights []float64) error {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(v int32) int32
+	find = func(v int32) int32 {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	for _, ei := range selected {
+		e := edges[ei]
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			return verifyErr(bench, "selected edge %d creates a cycle", ei)
+		}
+		parent[ru] = rv
+	}
+	// Same components as the full graph ⇒ spanning.
+	ref := seqComponents(n, edges)
+	refOf := map[int32]int32{}
+	for v := 0; v < n; v++ {
+		mine := find(int32(v))
+		if r, ok := refOf[ref[v]]; !ok {
+			refOf[ref[v]] = mine
+		} else if r != mine {
+			return verifyErr(bench, "forest splits a connected component at vertex %d", v)
+		}
+	}
+	// Forest edge count must equal n - #components.
+	comps := map[int32]bool{}
+	for v := 0; v < n; v++ {
+		comps[ref[v]] = true
+	}
+	if len(selected) != n-len(comps) {
+		return verifyErr(bench, "forest has %d edges, want %d", len(selected), n-len(comps))
+	}
+	if weights != nil {
+		var gotW float64
+		for _, ei := range selected {
+			gotW += weights[ei]
+		}
+		wantW := kruskalWeight(n, edges, weights)
+		if diff := gotW - wantW; diff > 1e-9 || diff < -1e-9 {
+			return verifyErr(bench, "forest weight %.9f, want %.9f", gotW, wantW)
+		}
+	}
+	return nil
+}
+
+// kruskalWeight is the sequential Kruskal reference for the MSF weight.
+func kruskalWeight(n int, edges []workload.Edge, weights []float64) float64 {
+	order := make([]int, len(edges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return weights[order[a]] < weights[order[b]] })
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(v int32) int32
+	find = func(v int32) int32 {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	total := 0.0
+	for _, i := range order {
+		e := edges[i]
+		if e.U == e.V {
+			continue
+		}
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			parent[ru] = rv
+			total += weights[i]
+		}
+	}
+	return total
+}
+
+// MinSpanningForest returns the indices of a minimum spanning forest of
+// the weighted edges: a filter-Kruskal style algorithm with a parallel
+// sort by weight followed by a sequential union-find acceptance pass (the
+// coarse sequential tail is characteristic of the PBBS minSpanningForest
+// kernel and exercises the schedulers' handling of long sequential tasks).
+func MinSpanningForest(ctx *lcws.Ctx, n int, edges []workload.WeightedEdge) []int32 {
+	order := parlay.Iota(ctx, len(edges))
+	parlay.SortFunc(ctx, order, func(a, b int) bool {
+		if edges[a].W != edges[b].W {
+			return edges[a].W < edges[b].W
+		}
+		return a < b
+	})
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(v int32) int32
+	find = func(v int32) int32 {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	var out []int32
+	for _, i := range order {
+		e := edges[i]
+		if e.U == e.V {
+			continue
+		}
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			parent[ru] = rv
+			out = append(out, int32(i))
+		}
+		ctx.Poll()
+	}
+	return out
+}
+
+func msfJob(n int, edges []workload.WeightedEdge) *Job {
+	plain := make([]workload.Edge, len(edges))
+	weights := make([]float64, len(edges))
+	for i, e := range edges {
+		plain[i] = workload.Edge{U: e.U, V: e.V}
+		weights[i] = e.W
+	}
+	var got []int32
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = MinSpanningForest(ctx, n, edges) },
+		Verify: func() error {
+			return verifyForest("minSpanningForest", n, plain, got, weights)
+		},
+	}
+}
+
+// backForwardThreshold tunes when BackForwardBFS switches to bottom-up
+// rounds: when the frontier holds more than 1/backForwardThreshold of the
+// vertices.
+const backForwardThreshold = 20
+
+// BackForwardBFS is direction-optimizing BFS (Beamer et al.; the PBBS
+// backForwardBFS benchmark): small frontiers expand top-down like BFS,
+// large frontiers switch to bottom-up rounds in which every unvisited
+// vertex scans its neighbours for a frontier member. It returns the
+// parent array (-1 for unreached; the source is its own parent).
+func BackForwardBFS(ctx *lcws.Ctx, g *workload.Graph, src int32) []int32 {
+	n := g.NumVertices()
+	parents := make([]atomic.Int32, n)
+	lcws.ParFor(ctx, 0, n, 0, func(ctx *lcws.Ctx, i int) { parents[i].Store(-1) })
+	parents[src].Store(src)
+
+	inFrontier := make([]bool, n) // current frontier as a bitmap
+	frontier := []int32{src}
+	inFrontier[src] = true
+
+	for len(frontier) > 0 {
+		var next []int32
+		if len(frontier) > n/backForwardThreshold {
+			// Bottom-up: every unvisited vertex looks for a parent in
+			// the frontier. Claims are exclusive per vertex, so no CAS
+			// is needed.
+			nextFlags := make([]bool, n)
+			lcws.ParFor(ctx, 0, n, 0, func(ctx *lcws.Ctx, vi int) {
+				v := int32(vi)
+				if parents[v].Load() != -1 {
+					return
+				}
+				for _, u := range g.Neighbors(v) {
+					if inFrontier[u] {
+						parents[v].Store(u)
+						nextFlags[v] = true
+						break
+					}
+				}
+			})
+			idx := parlay.PackIndex(ctx, nextFlags)
+			next = parlay.Map(ctx, idx, func(i int) int32 { return int32(i) })
+		} else {
+			// Top-down: expand frontier out-edges with CAS claims.
+			degs := parlay.Map(ctx, frontier, func(v int32) int { return g.Degree(v) })
+			offsets, total := parlay.Scan(ctx, degs, 0, func(a, b int) int { return a + b })
+			out := make([]int32, total)
+			lcws.ParFor(ctx, 0, len(frontier), 1, func(ctx *lcws.Ctx, i int) {
+				v := frontier[i]
+				o := offsets[i]
+				for j, u := range g.Neighbors(v) {
+					if parents[u].Load() == -1 && parents[u].CompareAndSwap(-1, v) {
+						out[o+j] = u
+					} else {
+						out[o+j] = -1
+					}
+				}
+				ctx.Poll()
+			})
+			next = parlay.Filter(ctx, out, func(u int32) bool { return u >= 0 })
+		}
+		// Swap frontier bitmaps.
+		lcws.ParFor(ctx, 0, len(frontier), 0, func(ctx *lcws.Ctx, i int) {
+			inFrontier[frontier[i]] = false
+		})
+		lcws.ParFor(ctx, 0, len(next), 0, func(ctx *lcws.Ctx, i int) {
+			inFrontier[next[i]] = true
+		})
+		frontier = next
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = parents[i].Load()
+	}
+	return out
+}
+
+// backForwardJob wraps BackForwardBFS with the same BFS-tree verifier.
+func backForwardJob(g *workload.Graph) *Job {
+	var got []int32
+	const src = 0
+	return &Job{
+		Run:    func(ctx *lcws.Ctx) { got = BackForwardBFS(ctx, g, src) },
+		Verify: func() error { return verifyBFSTree("backForwardBFS", g, src, got) },
+	}
+}

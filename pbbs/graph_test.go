@@ -1,0 +1,229 @@
+package pbbs
+
+import (
+	"testing"
+
+	"lcws"
+	"lcws/workload"
+)
+
+func TestBFSPathGraph(t *testing.T) {
+	// 0-1-2-...-9: parent of v must be v-1, distances increase by 1.
+	var edges []workload.Edge
+	for i := int32(0); i < 9; i++ {
+		edges = append(edges, workload.Edge{U: i, V: i + 1})
+	}
+	g := workload.BuildGraph(10, edges)
+	runOn(t, func(ctx *lcws.Ctx) {
+		parents := BFS(ctx, g, 0)
+		for v := int32(1); v < 10; v++ {
+			if parents[v] != v-1 {
+				t.Errorf("parent[%d] = %d, want %d", v, parents[v], v-1)
+			}
+		}
+		if parents[0] != 0 {
+			t.Errorf("source parent = %d", parents[0])
+		}
+	})
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := workload.BuildGraph(5, []workload.Edge{{U: 0, V: 1}, {U: 3, V: 4}})
+	runOn(t, func(ctx *lcws.Ctx) {
+		parents := BFS(ctx, g, 0)
+		if parents[2] != -1 || parents[3] != -1 || parents[4] != -1 {
+			t.Errorf("unreachable vertices have parents: %v", parents)
+		}
+		if parents[1] != 0 {
+			t.Errorf("parent[1] = %d", parents[1])
+		}
+	})
+}
+
+func TestBFSStarGraph(t *testing.T) {
+	// Star: all leaves at distance 1 from center 0.
+	var edges []workload.Edge
+	for i := int32(1); i < 100; i++ {
+		edges = append(edges, workload.Edge{U: 0, V: i})
+	}
+	g := workload.BuildGraph(100, edges)
+	runOn(t, func(ctx *lcws.Ctx) {
+		parents := BFS(ctx, g, 0)
+		for v := 1; v < 100; v++ {
+			if parents[v] != 0 {
+				t.Errorf("parent[%d] = %d, want 0", v, parents[v])
+			}
+		}
+	})
+}
+
+func TestMISTriangle(t *testing.T) {
+	g := workload.BuildGraph(3, []workload.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	runOn(t, func(ctx *lcws.Ctx) {
+		mis := MaximalIndependentSet(ctx, g)
+		count := 0
+		for _, in := range mis {
+			if in {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Errorf("triangle MIS has %d vertices, want 1", count)
+		}
+	})
+}
+
+func TestMISEmptyGraphAllIn(t *testing.T) {
+	g := workload.BuildGraph(50, nil)
+	runOn(t, func(ctx *lcws.Ctx) {
+		mis := MaximalIndependentSet(ctx, g)
+		for v, in := range mis {
+			if !in {
+				t.Errorf("isolated vertex %d not in MIS", v)
+			}
+		}
+	})
+}
+
+func TestMatchingSingleEdgeAndTriangle(t *testing.T) {
+	runOn(t, func(ctx *lcws.Ctx) {
+		m := MaximalMatching(ctx, 2, []workload.Edge{{U: 0, V: 1}})
+		if len(m) != 1 || m[0] != 0 {
+			t.Errorf("single-edge matching = %v", m)
+		}
+		m = MaximalMatching(ctx, 3, []workload.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+		if len(m) != 1 {
+			t.Errorf("triangle matching has %d edges, want 1", len(m))
+		}
+		m = MaximalMatching(ctx, 4, nil)
+		if len(m) != 0 {
+			t.Errorf("empty matching = %v", m)
+		}
+	})
+}
+
+func TestMatchingPerfectOnPath(t *testing.T) {
+	// Path 0-1-2-3: a maximal matching has 1 or 2 edges, never 0.
+	edges := []workload.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}
+	runOn(t, func(ctx *lcws.Ctx) {
+		m := MaximalMatching(ctx, 4, edges)
+		if len(m) == 0 || len(m) > 2 {
+			t.Errorf("path matching = %v", m)
+		}
+	})
+}
+
+func TestSpanningForestTreeInput(t *testing.T) {
+	// Input is already a tree: every edge must be selected.
+	edges := []workload.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 3, V: 4}}
+	runOn(t, func(ctx *lcws.Ctx) {
+		sel := SpanningForest(ctx, 5, edges)
+		if len(sel) != 4 {
+			t.Errorf("tree spanning forest selected %d edges, want 4", len(sel))
+		}
+	})
+}
+
+func TestSpanningForestWithCyclesAndComponents(t *testing.T) {
+	// Two components: a 4-cycle (3 tree edges) and an edge (1 tree edge).
+	edges := []workload.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0},
+		{U: 4, V: 5},
+	}
+	runOn(t, func(ctx *lcws.Ctx) {
+		sel := SpanningForest(ctx, 6, edges)
+		if len(sel) != 4 {
+			t.Errorf("selected %d edges, want 4", len(sel))
+		}
+		if err := verifyForest("test", 6, edges, sel, nil); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestMinSpanningForestKnown(t *testing.T) {
+	// Square with diagonal: MST must take the three cheapest non-cyclic.
+	edges := []workload.WeightedEdge{
+		{U: 0, V: 1, W: 0.1},
+		{U: 1, V: 2, W: 0.2},
+		{U: 2, V: 3, W: 0.9},
+		{U: 3, V: 0, W: 0.3},
+		{U: 0, V: 2, W: 0.8},
+	}
+	runOn(t, func(ctx *lcws.Ctx) {
+		sel := MinSpanningForest(ctx, 4, edges)
+		if len(sel) != 3 {
+			t.Fatalf("MSF has %d edges, want 3", len(sel))
+		}
+		var w float64
+		for _, i := range sel {
+			w += edges[i].W
+		}
+		if diff := w - 0.6; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("MSF weight = %v, want 0.6", w)
+		}
+	})
+}
+
+func TestUnionFindConcurrentAgreesWithSequential(t *testing.T) {
+	edges := workload.RMatEdges(77, 10, 4000)
+	n := 1024
+	runOn(t, func(ctx *lcws.Ctx) {
+		sel := SpanningForest(ctx, n, edges)
+		if err := verifyForest("test", n, edges, sel, nil); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestSeqComponents(t *testing.T) {
+	comp := seqComponents(5, []workload.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if comp[0] != comp[1] || comp[2] != comp[3] {
+		t.Error("connected vertices in different components")
+	}
+	if comp[0] == comp[2] || comp[0] == comp[4] {
+		t.Error("disconnected vertices share a component")
+	}
+}
+
+func TestBackForwardBFSMatchesBFS(t *testing.T) {
+	graphs := []*workload.Graph{
+		workload.RMatGraph(881, 10, 6000), // dense enough to trigger bottom-up
+		workload.GridGraph3D(8),
+		workload.BuildGraph(5, []workload.Edge{{U: 0, V: 1}, {U: 3, V: 4}}), // disconnected
+	}
+	for gi, g := range graphs {
+		g := g
+		runOn(t, func(ctx *lcws.Ctx) {
+			bf := BackForwardBFS(ctx, g, 0)
+			if err := verifyBFSTree("backForwardBFS", g, 0, bf); err != nil {
+				t.Errorf("graph %d: %v", gi, err)
+			}
+			// Reachability must agree with plain BFS.
+			plain := BFS(ctx, g, 0)
+			for v := range bf {
+				if (bf[v] == -1) != (plain[v] == -1) {
+					t.Errorf("graph %d: vertex %d reachability differs between BFS variants", gi, v)
+				}
+			}
+		})
+	}
+}
+
+func TestBackForwardBFSStarTriggersBottomUp(t *testing.T) {
+	// A star graph floods the frontier in one round, forcing the
+	// bottom-up path.
+	var edges []workload.Edge
+	for i := int32(1); i < 2000; i++ {
+		edges = append(edges, workload.Edge{U: 0, V: i})
+	}
+	g := workload.BuildGraph(2000, edges)
+	runOn(t, func(ctx *lcws.Ctx) {
+		parents := BackForwardBFS(ctx, g, 0)
+		for v := 1; v < 2000; v++ {
+			if parents[v] != 0 {
+				t.Fatalf("parent[%d] = %d, want 0", v, parents[v])
+			}
+		}
+	})
+}

@@ -1,0 +1,295 @@
+package pbbs
+
+import (
+	"math"
+
+	"lcws"
+	"lcws/parlay"
+	"lcws/workload"
+)
+
+// miscInstances returns the nBody and classify instances.
+func miscInstances(scale Scale) []*Instance {
+	nBodies := scale.scaled(1_500)
+	nRows := scale.scaled(20_000)
+	return []*Instance{
+		{Benchmark: "nBody", Input: "3Dplummer",
+			Prepare: func() *Job { return nBodyJob(workload.PlummerBodies(501, nBodies)) }},
+		{Benchmark: "nBody", Input: "3Dplummer_barnesHut",
+			Prepare: func() *Job { return nBodyBHJob(workload.PlummerBodies(502, nBodies*6)) }},
+		{Benchmark: "classify", Input: "covtype_like",
+			Prepare: func() *Job { return classifyJob(workload.CovtypeLike(511, nRows, 8, 4)) }},
+		{Benchmark: "classify", Input: "covtype_like_wide",
+			Prepare: func() *Job { return classifyJob(workload.CovtypeLike(512, nRows/2, 24, 4)) }},
+	}
+}
+
+// Vec3 is a 3-vector (forces/accelerations of the nBody benchmark).
+type Vec3 struct{ X, Y, Z float64 }
+
+// nBodySoftening avoids singular forces for near-coincident bodies.
+const nBodySoftening = 1e-6
+
+// accelOn computes the gravitational acceleration on body i from all
+// other unit-mass bodies (direct summation).
+func accelOn(bodies []workload.Point3, i int) Vec3 {
+	var a Vec3
+	bi := bodies[i]
+	for j, bj := range bodies {
+		if j == i {
+			continue
+		}
+		dx, dy, dz := bj.X-bi.X, bj.Y-bi.Y, bj.Z-bi.Z
+		r2 := dx*dx + dy*dy + dz*dz + nBodySoftening
+		inv := 1 / (r2 * math.Sqrt(r2))
+		a.X += dx * inv
+		a.Y += dy * inv
+		a.Z += dz * inv
+	}
+	return a
+}
+
+// NBodyForces computes the gravitational acceleration on every body by
+// direct all-pairs summation, parallel over bodies. It stands in for
+// PBBS's Callahan–Kosaraju nBody benchmark (DESIGN.md §2): the same flat
+// parallel loop of uniformly expensive, compute-bound tasks.
+func NBodyForces(ctx *lcws.Ctx, bodies []workload.Point3) []Vec3 {
+	return parlay.Tabulate(ctx, len(bodies), func(i int) Vec3 {
+		return accelOn(bodies, i)
+	})
+}
+
+func nBodyJob(bodies []workload.Point3) *Job {
+	var got []Vec3
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = NBodyForces(ctx, bodies) },
+		Verify: func() error {
+			// Newton's third law: with unit masses the accelerations sum
+			// to (nearly) zero.
+			var sx, sy, sz, mag float64
+			for _, a := range got {
+				sx += a.X
+				sy += a.Y
+				sz += a.Z
+				mag += math.Abs(a.X) + math.Abs(a.Y) + math.Abs(a.Z)
+			}
+			tol := 1e-9 * (mag + 1)
+			if math.Abs(sx) > tol || math.Abs(sy) > tol || math.Abs(sz) > tol {
+				return verifyErr("nBody", "momentum not conserved: sum = (%g, %g, %g)", sx, sy, sz)
+			}
+			// Spot-check against the sequential kernel.
+			step := len(bodies)/50 + 1
+			for i := 0; i < len(bodies); i += step {
+				want := accelOn(bodies, i)
+				if got[i] != want {
+					return verifyErr("nBody", "acceleration of body %d differs", i)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// DecisionTree is a binary axis-aligned decision tree (the classify
+// benchmark's model).
+type DecisionTree struct {
+	// Feature is the split feature, or -1 for a leaf.
+	Feature int
+	// Threshold routes rows with feature value <= Threshold left.
+	Threshold float64
+	// Label is the predicted class at a leaf.
+	Label       int
+	Left, Right *DecisionTree
+}
+
+// Predict returns the tree's class for the feature vector.
+func (t *DecisionTree) Predict(features []float64) int {
+	for t.Feature >= 0 {
+		if features[t.Feature] <= t.Threshold {
+			t = t.Left
+		} else {
+			t = t.Right
+		}
+	}
+	return t.Label
+}
+
+// Depth returns the height of the tree (a leaf has depth 1).
+func (t *DecisionTree) Depth() int {
+	if t.Feature < 0 {
+		return 1
+	}
+	l, r := t.Left.Depth(), t.Right.Depth()
+	if r > l {
+		l = r
+	}
+	return l + 1
+}
+
+const (
+	dtMaxDepth = 8
+	dtMinLeaf  = 16
+)
+
+// giniSplit sweeps sorted (value, label) pairs and returns the best
+// threshold and its weighted Gini impurity (lower is better). ok is false
+// when no valid split exists (all values equal).
+func giniSplit(values []float64, labels []int, classes int) (threshold, score float64, ok bool) {
+	n := len(values)
+	total := make([]int, classes)
+	for _, l := range labels {
+		total[l]++
+	}
+	left := make([]int, classes)
+	best := math.Inf(1)
+	var bestT float64
+	found := false
+	nl := 0
+	for i := 0; i < n-1; i++ {
+		left[labels[i]]++
+		nl++
+		if values[i] == values[i+1] {
+			continue // can only split between distinct values
+		}
+		nr := n - nl
+		gl, gr := 1.0, 1.0
+		for c := 0; c < classes; c++ {
+			pl := float64(left[c]) / float64(nl)
+			pr := float64(total[c]-left[c]) / float64(nr)
+			gl -= pl * pl
+			gr -= pr * pr
+		}
+		g := (float64(nl)*gl + float64(nr)*gr) / float64(n)
+		if g < best {
+			best = g
+			bestT = (values[i] + values[i+1]) / 2
+			found = true
+		}
+	}
+	return bestT, best, found
+}
+
+// majority returns the most frequent label (lowest label on ties) and
+// whether the rows are pure.
+func majority(rows []workload.LabeledRow, idx []int32, classes int) (label int, pure bool) {
+	counts := make([]int, classes)
+	for _, i := range idx {
+		counts[rows[i].Label]++
+	}
+	best, bestC, nonzero := 0, -1, 0
+	for c, k := range counts {
+		if k > 0 {
+			nonzero++
+		}
+		if k > bestC {
+			best, bestC = c, k
+		}
+	}
+	return best, nonzero <= 1
+}
+
+// BuildDecisionTree trains a Gini-impurity decision tree on rows (the
+// PBBS classify/decisionTree benchmark): the per-feature split searches
+// run in parallel (each is a parallel sort plus a sequential sweep) and
+// the two child subtrees build in parallel.
+func BuildDecisionTree(ctx *lcws.Ctx, rows []workload.LabeledRow, classes int) *DecisionTree {
+	idx := parlay.Tabulate(ctx, len(rows), func(i int) int32 { return int32(i) })
+	return buildDT(ctx, rows, idx, classes, dtMaxDepth)
+}
+
+func buildDT(ctx *lcws.Ctx, rows []workload.LabeledRow, idx []int32, classes, depth int) *DecisionTree {
+	label, pure := majority(rows, idx, classes)
+	if pure || depth <= 1 || len(idx) < 2*dtMinLeaf {
+		return &DecisionTree{Feature: -1, Label: label}
+	}
+	nf := len(rows[0].Features)
+	type split struct {
+		score, threshold float64
+		ok               bool
+	}
+	splits := make([]split, nf)
+	// Evaluate every feature's best split in parallel.
+	lcws.ParFor(ctx, 0, nf, 1, func(ctx *lcws.Ctx, f int) {
+		order := make([]int32, len(idx))
+		copy(order, idx)
+		parlay.SortFunc(ctx, order, func(a, b int32) bool {
+			va, vb := rows[a].Features[f], rows[b].Features[f]
+			if va != vb {
+				return va < vb
+			}
+			return a < b
+		})
+		values := make([]float64, len(order))
+		labels := make([]int, len(order))
+		for i, r := range order {
+			values[i] = rows[r].Features[f]
+			labels[i] = rows[r].Label
+		}
+		t, s, ok := giniSplit(values, labels, classes)
+		splits[f] = split{score: s, threshold: t, ok: ok}
+		ctx.Poll()
+	})
+	bestF := -1
+	bestS := math.Inf(1)
+	for f, s := range splits {
+		if s.ok && s.score < bestS {
+			bestF, bestS = f, s.score
+		}
+	}
+	if bestF < 0 {
+		return &DecisionTree{Feature: -1, Label: label}
+	}
+	th := splits[bestF].threshold
+	leftIdx := parlay.Filter(ctx, idx, func(i int32) bool { return rows[i].Features[bestF] <= th })
+	rightIdx := parlay.Filter(ctx, idx, func(i int32) bool { return rows[i].Features[bestF] > th })
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return &DecisionTree{Feature: -1, Label: label}
+	}
+	node := &DecisionTree{Feature: bestF, Threshold: th}
+	lcws.Fork2(ctx,
+		func(ctx *lcws.Ctx) { node.Left = buildDT(ctx, rows, leftIdx, classes, depth-1) },
+		func(ctx *lcws.Ctx) { node.Right = buildDT(ctx, rows, rightIdx, classes, depth-1) },
+	)
+	return node
+}
+
+func classifyJob(rows []workload.LabeledRow) *Job {
+	const classes = 4
+	var tree *DecisionTree
+	var preds []int
+	return &Job{
+		Run: func(ctx *lcws.Ctx) {
+			tree = BuildDecisionTree(ctx, rows, classes)
+			preds = parlay.Tabulate(ctx, len(rows), func(i int) int {
+				return tree.Predict(rows[i].Features)
+			})
+		},
+		Verify: func() error {
+			if tree == nil {
+				return verifyErr("classify", "no tree built")
+			}
+			if d := tree.Depth(); d > dtMaxDepth {
+				return verifyErr("classify", "tree depth %d exceeds limit %d", d, dtMaxDepth)
+			}
+			correct := 0
+			for i, r := range rows {
+				if preds[i] != tree.Predict(r.Features) {
+					return verifyErr("classify", "stored prediction %d differs from tree at row %d", preds[i], i)
+				}
+				if preds[i] < 0 || preds[i] >= classes {
+					return verifyErr("classify", "prediction %d out of range", preds[i])
+				}
+				if preds[i] == r.Label {
+					correct++
+				}
+			}
+			acc := float64(correct) / float64(len(rows))
+			// The concept has 10% label noise; a depth-8 tree should fit
+			// well above chance (25%).
+			if acc < 0.6 {
+				return verifyErr("classify", "training accuracy %.3f below 0.6", acc)
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,189 @@
+package pbbs
+
+import (
+	"math"
+	"testing"
+
+	"lcws"
+	"lcws/workload"
+)
+
+func TestNBodyTwoBodiesSymmetric(t *testing.T) {
+	bodies := []workload.Point3{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}}
+	runOn(t, func(ctx *lcws.Ctx) {
+		acc := NBodyForces(ctx, bodies)
+		if acc[0].X <= 0 || acc[1].X >= 0 {
+			t.Errorf("bodies do not attract: %v", acc)
+		}
+		if acc[0].X != -acc[1].X || acc[0].Y != 0 || acc[0].Z != 0 {
+			t.Errorf("forces not equal and opposite: %v", acc)
+		}
+	})
+}
+
+func TestNBodyInverseSquareScaling(t *testing.T) {
+	near := []workload.Point3{{}, {X: 1}}
+	far := []workload.Point3{{}, {X: 2}}
+	runOn(t, func(ctx *lcws.Ctx) {
+		an := NBodyForces(ctx, near)[0].X
+		af := NBodyForces(ctx, far)[0].X
+		ratio := an / af
+		if math.Abs(ratio-4) > 1e-3 {
+			t.Errorf("force ratio at distance 1 vs 2 = %v, want ~4", ratio)
+		}
+	})
+}
+
+func TestGiniSplitKnown(t *testing.T) {
+	// Perfectly separable: values <=0.5 are class 0, rest class 1.
+	values := []float64{0.1, 0.2, 0.3, 0.7, 0.8, 0.9}
+	labels := []int{0, 0, 0, 1, 1, 1}
+	th, score, ok := giniSplit(values, labels, 2)
+	if !ok {
+		t.Fatal("no split found")
+	}
+	if th <= 0.3 || th >= 0.7 {
+		t.Errorf("threshold %v not between the classes", th)
+	}
+	if score != 0 {
+		t.Errorf("separable split impurity = %v, want 0", score)
+	}
+}
+
+func TestGiniSplitAllEqualValues(t *testing.T) {
+	_, _, ok := giniSplit([]float64{1, 1, 1}, []int{0, 1, 0}, 2)
+	if ok {
+		t.Error("split reported on constant values")
+	}
+}
+
+func TestDecisionTreePredictAndDepth(t *testing.T) {
+	leaf0 := &DecisionTree{Feature: -1, Label: 0}
+	leaf1 := &DecisionTree{Feature: -1, Label: 1}
+	root := &DecisionTree{Feature: 0, Threshold: 0.5, Left: leaf0, Right: leaf1}
+	if root.Predict([]float64{0.2}) != 0 || root.Predict([]float64{0.9}) != 1 {
+		t.Error("Predict routed wrong")
+	}
+	if root.Depth() != 2 || leaf0.Depth() != 1 {
+		t.Error("Depth wrong")
+	}
+}
+
+func TestBuildDecisionTreeSeparable(t *testing.T) {
+	// Noise-free threshold concept: the tree must fit it (nearly)
+	// perfectly.
+	rows := make([]workload.LabeledRow, 400)
+	for i := range rows {
+		x := float64(i) / 400
+		label := 0
+		if x > 0.5 {
+			label = 1
+		}
+		rows[i] = workload.LabeledRow{Features: []float64{x, 0.5}, Label: label}
+	}
+	runOn(t, func(ctx *lcws.Ctx) {
+		tree := BuildDecisionTree(ctx, rows, 2)
+		correct := 0
+		for _, r := range rows {
+			if tree.Predict(r.Features) == r.Label {
+				correct++
+			}
+		}
+		if correct != len(rows) {
+			t.Errorf("separable concept: %d/%d correct", correct, len(rows))
+		}
+	})
+}
+
+func TestBuildDecisionTreeDeterministicAcrossPolicies(t *testing.T) {
+	rows := workload.CovtypeLike(871, 3000, 6, 3)
+	var ref []int
+	for _, p := range lcws.Policies {
+		s := lcws.New(lcws.WithWorkers(4), lcws.WithPolicy(p), lcws.WithSeed(5))
+		var preds []int
+		s.Run(func(ctx *lcws.Ctx) {
+			tree := BuildDecisionTree(ctx, rows, 3)
+			preds = make([]int, len(rows))
+			for i := range rows {
+				preds[i] = tree.Predict(rows[i].Features)
+			}
+		})
+		if ref == nil {
+			ref = preds
+			continue
+		}
+		for i := range ref {
+			if preds[i] != ref[i] {
+				t.Fatalf("policy %v: prediction %d differs from WS reference", p, i)
+			}
+		}
+	}
+}
+
+func TestBuildDecisionTreePureInputIsLeaf(t *testing.T) {
+	rows := make([]workload.LabeledRow, 100)
+	for i := range rows {
+		rows[i] = workload.LabeledRow{Features: []float64{float64(i), 1}, Label: 2}
+	}
+	runOn(t, func(ctx *lcws.Ctx) {
+		tree := BuildDecisionTree(ctx, rows, 4)
+		if tree.Feature != -1 || tree.Label != 2 {
+			t.Errorf("pure input built non-leaf: %+v", tree)
+		}
+	})
+}
+
+func TestBarnesHutMatchesDirectSum(t *testing.T) {
+	bodies := workload.PlummerBodies(601, 1500)
+	runOn(t, func(ctx *lcws.Ctx) {
+		approx := NBodyBarnesHut(ctx, bodies)
+		direct := NBodyForces(ctx, bodies)
+		worst := 0.0
+		for i := range bodies {
+			w := direct[i]
+			wMag := math.Sqrt(w.X*w.X + w.Y*w.Y + w.Z*w.Z)
+			dx, dy, dz := approx[i].X-w.X, approx[i].Y-w.Y, approx[i].Z-w.Z
+			rel := math.Sqrt(dx*dx+dy*dy+dz*dz) / (wMag + 1e-12)
+			if rel > worst {
+				worst = rel
+			}
+		}
+		if worst > 0.05 {
+			t.Errorf("worst Barnes–Hut relative error %.2f%% exceeds 5%%", 100*worst)
+		}
+	})
+}
+
+func TestBarnesHutTinyInputs(t *testing.T) {
+	runOn(t, func(ctx *lcws.Ctx) {
+		if got := NBodyBarnesHut(ctx, nil); got != nil {
+			t.Error("empty body set gave forces")
+		}
+		two := []workload.Point3{{X: 0}, {X: 1}}
+		got := NBodyBarnesHut(ctx, two)
+		// With only two bodies the tree degenerates to exact pairwise.
+		want := accelOn(two, 0)
+		if math.Abs(got[0].X-want.X) > 1e-9 {
+			t.Errorf("two-body force %v, want %v", got[0], want)
+		}
+	})
+}
+
+func TestBarnesHutClusteredBodies(t *testing.T) {
+	// Deep octree: two tight clusters far apart.
+	var bodies []workload.Point3
+	cube := workload.InCube3D(603, 200)
+	for _, p := range cube[:100] {
+		bodies = append(bodies, workload.Point3{X: p.X * 1e-3, Y: p.Y * 1e-3, Z: p.Z * 1e-3})
+	}
+	for _, p := range cube[100:] {
+		bodies = append(bodies, workload.Point3{X: 10 + p.X*1e-3, Y: p.Y * 1e-3, Z: p.Z * 1e-3})
+	}
+	runOn(t, func(ctx *lcws.Ctx) {
+		approx := NBodyBarnesHut(ctx, bodies)
+		// Bodies in cluster 1 must be pulled toward +X by cluster 2.
+		if approx[0].X <= 0 {
+			t.Errorf("cluster attraction wrong: %v", approx[0])
+		}
+	})
+}

@@ -1,0 +1,111 @@
+// Package pbbs is a Go implementation of a Problem-Based Benchmark Suite
+// (PBBS v2) style benchmark collection, written against the parlay
+// primitives so every benchmark runs unmodified under the WS baseline and
+// under every LCWS scheduler variant — the property the paper's evaluation
+// depends on. Each benchmark provides a parallel implementation, one or
+// more input instances mirroring the PBBS input families, and a verifier
+// that checks the parallel result against an independent sequential
+// reference.
+//
+// Input sizes default to laptop scale (PBBS's 100M-element defaults are
+// scaled to a few hundred thousand; see DESIGN.md §2) and every instance
+// is a deterministic function of its seed.
+package pbbs
+
+import (
+	"fmt"
+	"sort"
+
+	"lcws"
+)
+
+// Job is one prepared benchmark execution: Run performs the parallel
+// computation (it may be invoked repeatedly — it re-copies any input it
+// mutates), and Verify checks the result of the most recent Run against a
+// sequential reference.
+type Job struct {
+	// Run executes the benchmark's parallel computation.
+	Run func(ctx *lcws.Ctx)
+	// Verify returns nil when the last Run produced a correct result.
+	Verify func() error
+}
+
+// Instance is one ⟨benchmark, input⟩ pair of the suite. Together with a
+// worker count it forms the paper's "benchmark configuration" triple.
+type Instance struct {
+	// Benchmark is the PBBS benchmark name (e.g. "integerSort").
+	Benchmark string
+	// Input is the input-instance name (e.g. "randomSeq_int").
+	Input string
+	// Prepare generates the instance's input data (untimed) and returns
+	// the runnable job. The generation is deterministic.
+	Prepare func() *Job
+}
+
+// Name returns "benchmark/input".
+func (in *Instance) Name() string { return in.Benchmark + "/" + in.Input }
+
+// Scale multiplies the default input sizes of Suite. Scale 1 sizes each
+// benchmark for tens of milliseconds of single-worker wall time.
+type Scale float64
+
+// scaled returns base scaled, with a floor to keep instances non-trivial.
+func (s Scale) scaled(base int) int {
+	n := int(float64(base) * float64(s))
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// Suite returns every benchmark instance of the suite at the given scale.
+// The benchmark families mirror PBBS v2: basics (integerSort,
+// comparisonSort, histogram, removeDuplicates), text (wordCounts,
+// invertedIndex, suffixArray, longestRepeatedSubstring), graphs
+// (breadthFirstSearch, maximalIndependentSet, maximalMatching,
+// spanningForest, minSpanningForest), geometry (convexHull,
+// nearestNeighbors, rayCast) and simulation/learning (nBody, classify).
+func Suite(scale Scale) []*Instance {
+	var out []*Instance
+	out = append(out, basicsInstances(scale)...)
+	out = append(out, textInstances(scale)...)
+	out = append(out, graphInstances(scale)...)
+	out = append(out, geometryInstances(scale)...)
+	out = append(out, miscInstances(scale)...)
+	return out
+}
+
+// Find returns the instance with the given benchmark and input names.
+func Find(scale Scale, benchmark, input string) (*Instance, error) {
+	for _, in := range Suite(scale) {
+		if in.Benchmark == benchmark && in.Input == input {
+			return in, nil
+		}
+	}
+	return nil, fmt.Errorf("pbbs: no instance %s/%s", benchmark, input)
+}
+
+// Benchmarks returns the distinct benchmark names in suite order.
+func Benchmarks(scale Scale) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, in := range Suite(scale) {
+		if !seen[in.Benchmark] {
+			seen[in.Benchmark] = true
+			names = append(names, in.Benchmark)
+		}
+	}
+	return names
+}
+
+// verifyErr formats a verification failure.
+func verifyErr(bench string, format string, args ...any) error {
+	return fmt.Errorf("pbbs/%s: %s", bench, fmt.Sprintf(format, args...))
+}
+
+// sortedCopyU64 is a sequential-reference helper.
+func sortedCopyU64(xs []uint64) []uint64 {
+	out := append([]uint64(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

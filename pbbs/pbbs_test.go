@@ -1,0 +1,126 @@
+package pbbs
+
+import (
+	"testing"
+
+	"lcws"
+)
+
+// testScale keeps suite-wide tests fast; individual benchmarks get
+// additional focused tests in their own files.
+const testScale = Scale(0.05)
+
+func TestSuiteEveryInstanceVerifiesUnderWS(t *testing.T) {
+	for _, inst := range Suite(testScale) {
+		inst := inst
+		t.Run(inst.Name(), func(t *testing.T) {
+			job := inst.Prepare()
+			s := lcws.New(lcws.WithWorkers(4), lcws.WithPolicy(lcws.WS), lcws.WithSeed(1))
+			s.Run(job.Run)
+			if err := job.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSuiteEveryInstanceVerifiesUnderEveryLCWSPolicy(t *testing.T) {
+	for _, p := range lcws.LCWSPolicies {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			for _, inst := range Suite(testScale) {
+				inst := inst
+				t.Run(inst.Name(), func(t *testing.T) {
+					job := inst.Prepare()
+					s := lcws.New(lcws.WithWorkers(4), lcws.WithPolicy(p), lcws.WithSeed(2))
+					s.Run(job.Run)
+					if err := job.Verify(); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestSuiteSingleWorker(t *testing.T) {
+	// P=1 is the paper's sequential end of every sweep; all instances
+	// must verify there too.
+	for _, inst := range Suite(testScale) {
+		inst := inst
+		t.Run(inst.Name(), func(t *testing.T) {
+			job := inst.Prepare()
+			s := lcws.New(lcws.WithWorkers(1), lcws.WithPolicy(lcws.SignalLCWS))
+			s.Run(job.Run)
+			if err := job.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestJobRunIsRepeatable(t *testing.T) {
+	// The harness reuses jobs across repetitions and policies; Run must
+	// be callable repeatedly with Verify passing each time.
+	inst, err := Find(testScale, "integerSort", "randomSeq_int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := inst.Prepare()
+	s := lcws.New(lcws.WithWorkers(2), lcws.WithPolicy(lcws.HalfLCWS))
+	for round := 0; round < 3; round++ {
+		s.Run(job.Run)
+		if err := job.Verify(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite(testScale)
+	if len(suite) < 25 {
+		t.Errorf("suite has only %d instances; expected the full benchmark collection", len(suite))
+	}
+	benches := Benchmarks(testScale)
+	if len(benches) < 15 {
+		t.Errorf("suite covers only %d benchmarks: %v", len(benches), benches)
+	}
+	seen := map[string]bool{}
+	for _, inst := range suite {
+		key := inst.Name()
+		if seen[key] {
+			t.Errorf("duplicate instance %s", key)
+		}
+		seen[key] = true
+		if inst.Prepare == nil {
+			t.Errorf("instance %s has no Prepare", key)
+		}
+	}
+	for _, want := range []string{
+		"integerSort", "comparisonSort", "histogram", "removeDuplicates",
+		"wordCounts", "invertedIndex", "suffixArray", "longestRepeatedSubstring",
+		"breadthFirstSearch", "maximalIndependentSet", "maximalMatching",
+		"spanningForest", "minSpanningForest",
+		"convexHull", "nearestNeighbors", "rayCast", "nBody", "classify",
+	} {
+		found := false
+		for _, b := range benches {
+			if b == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("benchmark %s missing from suite", want)
+		}
+	}
+}
+
+func TestFindUnknownInstance(t *testing.T) {
+	if _, err := Find(testScale, "nosuch", "input"); err == nil {
+		t.Error("Find of unknown instance succeeded")
+	}
+	inst, err := Find(testScale, "histogram", "randomSeq_256_int")
+	if err != nil || inst.Benchmark != "histogram" {
+		t.Errorf("Find(histogram) = %v, %v", inst, err)
+	}
+}

@@ -1,0 +1,148 @@
+package pbbs
+
+import (
+	"lcws"
+	"lcws/parlay"
+	"lcws/workload"
+)
+
+// Rect2 is an axis-aligned query rectangle (inclusive bounds).
+type Rect2 struct {
+	XMin, YMin, XMax, YMax float64
+}
+
+func (r Rect2) contains(p workload.Point2) bool {
+	return p.X >= r.XMin && p.X <= r.XMax && p.Y >= r.YMin && p.Y <= r.YMax
+}
+
+// rqNode is a kd-tree node augmented with subtree size and bounding box,
+// so fully-contained subtrees answer in O(1).
+type rqNode struct {
+	axis        int // -1 for leaves
+	split       float64
+	count       int
+	box         Rect2
+	left, right *rqNode
+	pts         []workload.Point2 // leaf points
+}
+
+const rqLeafSize = 32
+
+// buildRQ builds the range tree over pts (reordering idx) with parallel
+// child construction.
+func buildRQ(ctx *lcws.Ctx, pts []workload.Point2, idx []int32, depth int) *rqNode {
+	box := Rect2{XMin: pts[idx[0]].X, XMax: pts[idx[0]].X, YMin: pts[idx[0]].Y, YMax: pts[idx[0]].Y}
+	for _, i := range idx {
+		p := pts[i]
+		if p.X < box.XMin {
+			box.XMin = p.X
+		}
+		if p.X > box.XMax {
+			box.XMax = p.X
+		}
+		if p.Y < box.YMin {
+			box.YMin = p.Y
+		}
+		if p.Y > box.YMax {
+			box.YMax = p.Y
+		}
+	}
+	if len(idx) <= rqLeafSize {
+		leaf := &rqNode{axis: -1, count: len(idx), box: box, pts: make([]workload.Point2, len(idx))}
+		for i, id := range idx {
+			leaf.pts[i] = pts[id]
+		}
+		return leaf
+	}
+	axis := depth % 2
+	coord := func(i int32) float64 {
+		if axis == 0 {
+			return pts[i].X
+		}
+		return pts[i].Y
+	}
+	parlay.SortFunc(ctx, idx, func(a, b int32) bool {
+		ca, cb := coord(a), coord(b)
+		if ca != cb {
+			return ca < cb
+		}
+		return a < b
+	})
+	mid := len(idx) / 2
+	node := &rqNode{axis: axis, split: coord(idx[mid]), count: len(idx), box: box}
+	lcws.Fork2(ctx,
+		func(ctx *lcws.Ctx) { node.left = buildRQ(ctx, pts, idx[:mid], depth+1) },
+		func(ctx *lcws.Ctx) { node.right = buildRQ(ctx, pts, idx[mid:], depth+1) },
+	)
+	return node
+}
+
+// countIn returns the number of points in node's subtree inside r.
+func (n *rqNode) countIn(r Rect2) int {
+	// Disjoint or fully-contained boxes answer immediately.
+	if n.box.XMax < r.XMin || n.box.XMin > r.XMax || n.box.YMax < r.YMin || n.box.YMin > r.YMax {
+		return 0
+	}
+	if n.box.XMin >= r.XMin && n.box.XMax <= r.XMax && n.box.YMin >= r.YMin && n.box.YMax <= r.YMax {
+		return n.count
+	}
+	if n.axis == -1 {
+		c := 0
+		for _, p := range n.pts {
+			if r.contains(p) {
+				c++
+			}
+		}
+		return c
+	}
+	return n.left.countIn(r) + n.right.countIn(r)
+}
+
+// RangeQuery2D builds a kd-tree over pts and answers every rectangle
+// count query, queries in parallel (the PBBS rangeQuery kernel, counting
+// variant).
+func RangeQuery2D(ctx *lcws.Ctx, pts []workload.Point2, queries []Rect2) []int {
+	if len(pts) == 0 {
+		return make([]int, len(queries))
+	}
+	idx := parlay.Tabulate(ctx, len(pts), func(i int) int32 { return int32(i) })
+	root := buildRQ(ctx, pts, idx, 0)
+	return parlay.Tabulate(ctx, len(queries), func(q int) int {
+		return root.countIn(queries[q])
+	})
+}
+
+// randomRects returns query rectangles with random centers and a spread
+// of sizes (mostly small, a few large — heavy-tailed query cost).
+func randomRects(seed uint64, n int) []Rect2 {
+	pts := workload.InCube2D(seed, 2*n)
+	out := make([]Rect2, n)
+	for i := range out {
+		c := pts[2*i]
+		half := 0.01 + pts[2*i+1].X*pts[2*i+1].X*0.2 // quadratic: few large
+		out[i] = Rect2{XMin: c.X - half, XMax: c.X + half, YMin: c.Y - half, YMax: c.Y + half}
+	}
+	return out
+}
+
+func rangeQueryJob(pts []workload.Point2, queries []Rect2) *Job {
+	var got []int
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = RangeQuery2D(ctx, pts, queries) },
+		Verify: func() error {
+			step := len(queries)/150 + 1
+			for q := 0; q < len(queries); q += step {
+				want := 0
+				for _, p := range pts {
+					if queries[q].contains(p) {
+						want++
+					}
+				}
+				if got[q] != want {
+					return verifyErr("rangeQuery2d", "query %d = %d, want %d", q, got[q], want)
+				}
+			}
+			return nil
+		},
+	}
+}

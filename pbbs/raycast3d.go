@@ -1,0 +1,279 @@
+package pbbs
+
+import (
+	"math"
+	"sort"
+
+	"lcws"
+	"lcws/parlay"
+	"lcws/workload"
+)
+
+// 3D ray casting against triangle meshes (the PBBS rayCast benchmark
+// proper): a bounding-volume hierarchy is built in parallel over the
+// triangles, and every ray finds its first hit by BVH traversal, rays in
+// parallel. The 2D segment version (geometry.go) is kept as the
+// fine-grained variant.
+
+// Tri3 is a triangle in 3-space.
+type Tri3 struct{ A, B, C workload.Point3 }
+
+// Ray3 is a ray with origin O and (not necessarily unit) direction D.
+type Ray3 struct{ O, D workload.Point3 }
+
+// aabb is an axis-aligned bounding box.
+type aabb struct{ lo, hi workload.Point3 }
+
+func emptyBox() aabb {
+	inf := math.Inf(1)
+	return aabb{
+		lo: workload.Point3{X: inf, Y: inf, Z: inf},
+		hi: workload.Point3{X: -inf, Y: -inf, Z: -inf},
+	}
+}
+
+func (b *aabb) addPoint(p workload.Point3) {
+	b.lo.X = math.Min(b.lo.X, p.X)
+	b.lo.Y = math.Min(b.lo.Y, p.Y)
+	b.lo.Z = math.Min(b.lo.Z, p.Z)
+	b.hi.X = math.Max(b.hi.X, p.X)
+	b.hi.Y = math.Max(b.hi.Y, p.Y)
+	b.hi.Z = math.Max(b.hi.Z, p.Z)
+}
+
+func (b *aabb) addTri(t Tri3) {
+	b.addPoint(t.A)
+	b.addPoint(t.B)
+	b.addPoint(t.C)
+}
+
+// hitBox returns whether the ray intersects the box within [0, tMax],
+// using the slab method.
+func (b *aabb) hitBox(r Ray3, tMax float64) bool {
+	t0, t1 := 0.0, tMax
+	for axis := 0; axis < 3; axis++ {
+		var o, d, lo, hi float64
+		switch axis {
+		case 0:
+			o, d, lo, hi = r.O.X, r.D.X, b.lo.X, b.hi.X
+		case 1:
+			o, d, lo, hi = r.O.Y, r.D.Y, b.lo.Y, b.hi.Y
+		default:
+			o, d, lo, hi = r.O.Z, r.D.Z, b.lo.Z, b.hi.Z
+		}
+		if d == 0 {
+			if o < lo || o > hi {
+				return false
+			}
+			continue
+		}
+		ta, tb := (lo-o)/d, (hi-o)/d
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		t0 = math.Max(t0, ta)
+		t1 = math.Min(t1, tb)
+		if t0 > t1 {
+			return false
+		}
+	}
+	return true
+}
+
+// rayTriIntersect returns the ray parameter of the hit with triangle tri
+// (Möller–Trumbore), or +Inf on a miss.
+func rayTriIntersect(r Ray3, tri Tri3) float64 {
+	const eps = 1e-12
+	e1 := workload.Point3{X: tri.B.X - tri.A.X, Y: tri.B.Y - tri.A.Y, Z: tri.B.Z - tri.A.Z}
+	e2 := workload.Point3{X: tri.C.X - tri.A.X, Y: tri.C.Y - tri.A.Y, Z: tri.C.Z - tri.A.Z}
+	// p = D × e2
+	p := workload.Point3{
+		X: r.D.Y*e2.Z - r.D.Z*e2.Y,
+		Y: r.D.Z*e2.X - r.D.X*e2.Z,
+		Z: r.D.X*e2.Y - r.D.Y*e2.X,
+	}
+	det := e1.X*p.X + e1.Y*p.Y + e1.Z*p.Z
+	if det > -eps && det < eps {
+		return math.Inf(1)
+	}
+	inv := 1 / det
+	s := workload.Point3{X: r.O.X - tri.A.X, Y: r.O.Y - tri.A.Y, Z: r.O.Z - tri.A.Z}
+	u := (s.X*p.X + s.Y*p.Y + s.Z*p.Z) * inv
+	if u < 0 || u > 1 {
+		return math.Inf(1)
+	}
+	// q = s × e1
+	q := workload.Point3{
+		X: s.Y*e1.Z - s.Z*e1.Y,
+		Y: s.Z*e1.X - s.X*e1.Z,
+		Z: s.X*e1.Y - s.Y*e1.X,
+	}
+	v := (r.D.X*q.X + r.D.Y*q.Y + r.D.Z*q.Z) * inv
+	if v < 0 || u+v > 1 {
+		return math.Inf(1)
+	}
+	t := (e2.X*q.X + e2.Y*q.Y + e2.Z*q.Z) * inv
+	if t < 0 {
+		return math.Inf(1)
+	}
+	return t
+}
+
+// bvhNode is one node of the hierarchy; leaves hold triangle indices.
+type bvhNode struct {
+	box         aabb
+	left, right *bvhNode
+	tris        []int32 // leaf only
+}
+
+const bvhLeafSize = 8
+
+// centroid returns the triangle's centroid coordinate on the given axis.
+func centroid(t Tri3, axis int) float64 {
+	switch axis {
+	case 0:
+		return (t.A.X + t.B.X + t.C.X) / 3
+	case 1:
+		return (t.A.Y + t.B.Y + t.C.Y) / 3
+	default:
+		return (t.A.Z + t.B.Z + t.C.Z) / 3
+	}
+}
+
+// buildBVH builds the hierarchy over idx (reordering it), splitting at
+// the median centroid of the widest axis, children in parallel.
+func buildBVH(ctx *lcws.Ctx, tris []Tri3, idx []int32) *bvhNode {
+	node := &bvhNode{box: emptyBox()}
+	for _, i := range idx {
+		node.box.addTri(tris[i])
+	}
+	if len(idx) <= bvhLeafSize {
+		node.tris = idx
+		return node
+	}
+	spans := [3]float64{
+		node.box.hi.X - node.box.lo.X,
+		node.box.hi.Y - node.box.lo.Y,
+		node.box.hi.Z - node.box.lo.Z,
+	}
+	axis := 0
+	if spans[1] > spans[axis] {
+		axis = 1
+	}
+	if spans[2] > spans[axis] {
+		axis = 2
+	}
+	if len(idx) > 4096 {
+		parlay.SortFunc(ctx, idx, func(a, b int32) bool {
+			ca, cb := centroid(tris[a], axis), centroid(tris[b], axis)
+			if ca != cb {
+				return ca < cb
+			}
+			return a < b
+		})
+	} else {
+		sort.Slice(idx, func(a, b int) bool {
+			ca, cb := centroid(tris[idx[a]], axis), centroid(tris[idx[b]], axis)
+			if ca != cb {
+				return ca < cb
+			}
+			return idx[a] < idx[b]
+		})
+	}
+	mid := len(idx) / 2
+	lcws.Fork2(ctx,
+		func(ctx *lcws.Ctx) { node.left = buildBVH(ctx, tris, idx[:mid]) },
+		func(ctx *lcws.Ctx) { node.right = buildBVH(ctx, tris, idx[mid:]) },
+	)
+	return node
+}
+
+// cast returns the index of the first triangle hit by r and the hit
+// parameter, or (-1, +Inf). Ties break toward the lower index.
+func (n *bvhNode) cast(tris []Tri3, r Ray3, best int32, bestT float64) (int32, float64) {
+	if !n.box.hitBox(r, bestT) {
+		return best, bestT
+	}
+	if n.tris != nil {
+		for _, i := range n.tris {
+			if t := rayTriIntersect(r, tris[i]); t < bestT || (t == bestT && !math.IsInf(t, 1) && i < best) {
+				best, bestT = i, t
+			}
+		}
+		return best, bestT
+	}
+	best, bestT = n.left.cast(tris, r, best, bestT)
+	return n.right.cast(tris, r, best, bestT)
+}
+
+// RayCast3D intersects every ray with the triangle set and returns the
+// index of the first triangle each ray hits (-1 for a miss): parallel BVH
+// build, then a flat parallel loop of irregular-cost traversals.
+func RayCast3D(ctx *lcws.Ctx, tris []Tri3, rays []Ray3) []int32 {
+	if len(tris) == 0 {
+		out := make([]int32, len(rays))
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+	idx := parlay.Tabulate(ctx, len(tris), func(i int) int32 { return int32(i) })
+	root := buildBVH(ctx, tris, idx)
+	return parlay.Tabulate(ctx, len(rays), func(i int) int32 {
+		hit, _ := root.cast(tris, rays[i], -1, math.Inf(1))
+		return hit
+	})
+}
+
+// RandomTriangles returns n small random triangles inside the unit cube
+// (the synthetic stand-in for PBBS's happy/angel/dragon meshes).
+func RandomTriangles(seed uint64, n int, maxSize float64) []Tri3 {
+	anchors := workload.InCube3D(seed, 3*n)
+	out := make([]Tri3, n)
+	for i := range out {
+		a := anchors[3*i]
+		d1, d2 := anchors[3*i+1], anchors[3*i+2]
+		out[i] = Tri3{
+			A: a,
+			B: workload.Point3{X: a.X + (d1.X-0.5)*maxSize, Y: a.Y + (d1.Y-0.5)*maxSize, Z: a.Z + (d1.Z-0.5)*maxSize},
+			C: workload.Point3{X: a.X + (d2.X-0.5)*maxSize, Y: a.Y + (d2.Y-0.5)*maxSize, Z: a.Z + (d2.Z-0.5)*maxSize},
+		}
+	}
+	return out
+}
+
+// RandomRays3D returns rays with origins in the unit cube and uniform
+// random directions.
+func RandomRays3D(seed uint64, n int) []Ray3 {
+	pts := workload.InCube3D(seed, n)
+	dirs := workload.PlummerBodies(seed^0xabcd, n) // radially symmetric directions
+	out := make([]Ray3, n)
+	for i := range out {
+		d := dirs[i]
+		l := math.Sqrt(d.X*d.X+d.Y*d.Y+d.Z*d.Z) + 1e-12
+		out[i] = Ray3{O: pts[i], D: workload.Point3{X: d.X / l, Y: d.Y / l, Z: d.Z / l}}
+	}
+	return out
+}
+
+func rayCast3DJob(tris []Tri3, rays []Ray3) *Job {
+	var got []int32
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = RayCast3D(ctx, tris, rays) },
+		Verify: func() error {
+			step := len(rays)/120 + 1
+			for ri := 0; ri < len(rays); ri += step {
+				best, bestT := int32(-1), math.Inf(1)
+				for ti := range tris {
+					if t := rayTriIntersect(rays[ri], tris[ti]); t < bestT || (t == bestT && !math.IsInf(t, 1) && int32(ti) < best) {
+						best, bestT = int32(ti), t
+					}
+				}
+				if got[ri] != best {
+					return verifyErr("rayCast3d", "ray %d hit %d, brute force %d", ri, got[ri], best)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,176 @@
+package pbbs
+
+import (
+	"math"
+
+	"lcws"
+	"lcws/parlay"
+	"lcws/workload"
+)
+
+// Delaunay mesh refinement (the PBBS delaunayRefine benchmark): insert
+// the circumcenters of poor-quality ("skinny") triangles until every
+// interior triangle meets the quality bound. A triangle is skinny when
+// its circumradius-to-shortest-edge ratio exceeds the bound (the standard
+// Ruppert/Chew criterion; ratio sqrt(2) corresponds to a minimum angle of
+// about 20.7°). Without boundary segments to respect, refinement is
+// restricted to triangles whose circumcenter falls inside the input's
+// bounding box, and rounds are capped for termination on adversarial
+// inputs.
+
+// RefineResult is the outcome of DelaunayRefine.
+type RefineResult struct {
+	// Points is the input points followed by the inserted Steiner points.
+	Points []workload.Point2
+	// Triangles is the final triangulation of Points.
+	Triangles []Triangle
+	// Rounds is how many refinement rounds ran.
+	Rounds int
+	// SkinnyBefore and SkinnyAfter count refinable skinny triangles in
+	// the first and final triangulations.
+	SkinnyBefore, SkinnyAfter int
+}
+
+// circumcenter returns the circumcenter of triangle abc and ok=false for
+// (numerically) degenerate triangles.
+func circumcenter(a, b, c workload.Point2) (workload.Point2, bool) {
+	d := 2 * ((a.X-c.X)*(b.Y-c.Y) - (b.X-c.X)*(a.Y-c.Y))
+	if d == 0 {
+		return workload.Point2{}, false
+	}
+	a2 := (a.X-c.X)*(a.X+c.X) + (a.Y-c.Y)*(a.Y+c.Y)
+	b2 := (b.X-c.X)*(b.X+c.X) + (b.Y-c.Y)*(b.Y+c.Y)
+	ux := (a2*(b.Y-c.Y) - b2*(a.Y-c.Y)) / d
+	uy := (b2*(a.X-c.X) - a2*(b.X-c.X)) / d
+	return workload.Point2{X: ux, Y: uy}, true
+}
+
+// skinnyRatio returns circumradius / shortest edge length.
+func skinnyRatio(a, b, c workload.Point2) float64 {
+	cc, ok := circumcenter(a, b, c)
+	if !ok {
+		return math.Inf(1)
+	}
+	r := math.Hypot(a.X-cc.X, a.Y-cc.Y)
+	e := math.Min(math.Hypot(a.X-b.X, a.Y-b.Y),
+		math.Min(math.Hypot(b.X-c.X, b.Y-c.Y), math.Hypot(c.X-a.X, c.Y-a.Y)))
+	if e == 0 {
+		return math.Inf(1)
+	}
+	return r / e
+}
+
+// refineBound is the default quality bound (minimum angle ≈ 20.7°).
+const refineBound = math.Sqrt2
+
+// refineMaxRounds caps refinement rounds.
+const refineMaxRounds = 24
+
+// refineFloorFrac sets the resolution floor as a fraction of the input's
+// bounding-box diagonal: only triangles whose circumradius exceeds the
+// floor are refined. Every circumcenter of a Delaunay triangle is at
+// distance exactly the circumradius from its nearest input point (the
+// circumdisk is empty), so the floor guarantees inserted Steiner points
+// stay well separated from all existing points — the standard packing
+// argument that makes refinement terminate.
+const refineFloorFrac = 1.0 / 64
+
+// DelaunayRefine refines the Delaunay triangulation of pts until no
+// interior triangle has circumradius/shortest-edge ratio above bound
+// (pass 0 for the default sqrt(2)), inserting circumcenters in parallel
+// rounds. Each round rebuilds the triangulation with the parallel
+// incremental algorithm and finds all refinable triangles in parallel.
+func DelaunayRefine(ctx *lcws.Ctx, pts []workload.Point2, bound float64) RefineResult {
+	if bound <= 0 {
+		bound = refineBound
+	}
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	inBox := func(p workload.Point2) bool {
+		return p.X >= minX && p.X <= maxX && p.Y >= minY && p.Y <= maxY
+	}
+	floor := refineFloorFrac * math.Hypot(maxX-minX, maxY-minY)
+
+	res := RefineResult{Points: append([]workload.Point2{}, pts...)}
+	maxPoints := 8 * len(pts)
+	for res.Rounds = 0; res.Rounds < refineMaxRounds; res.Rounds++ {
+		res.Triangles = DelaunayTriangulation(ctx, res.Points)
+		// Find refinable skinny triangles and their circumcenters: poor
+		// quality, circumradius above the resolution floor, and center
+		// inside the domain box.
+		centers := parlay.Filter(ctx,
+			parlay.Map(ctx, res.Triangles, func(t Triangle) workload.Point2 {
+				a, b, c := res.Points[t.A], res.Points[t.B], res.Points[t.C]
+				cc, ok := circumcenter(a, b, c)
+				if !ok || !inBox(cc) {
+					return workload.Point2{X: math.Inf(1)} // sentinel: skip
+				}
+				r := math.Hypot(a.X-cc.X, a.Y-cc.Y)
+				if r < floor || skinnyRatio(a, b, c) <= bound {
+					return workload.Point2{X: math.Inf(1)}
+				}
+				return cc
+			}),
+			func(p workload.Point2) bool { return !math.IsInf(p.X, 1) })
+		if res.Rounds == 0 {
+			res.SkinnyBefore = len(centers)
+		}
+		res.SkinnyAfter = len(centers)
+		if len(centers) == 0 || len(res.Points) >= maxPoints {
+			break
+		}
+		// Batch separation: circumcenters of adjacent skinny triangles
+		// can nearly coincide; keep at most one per floor-sized grid
+		// cell so the round's insertions stay apart (separation from
+		// existing points is already guaranteed by the empty circumdisk
+		// and the radius floor).
+		type cell struct{ x, y int }
+		seen := map[cell]bool{}
+		kept := centers[:0]
+		for _, c := range centers {
+			k := cell{int(math.Floor(c.X / floor)), int(math.Floor(c.Y / floor))}
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, c)
+			}
+		}
+		centers = kept
+		if len(res.Points)+len(centers) > maxPoints {
+			centers = centers[:maxPoints-len(res.Points)]
+		}
+		res.Points = append(res.Points, centers...)
+	}
+	return res
+}
+
+func refineJob(pts []workload.Point2) *Job {
+	var got RefineResult
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = DelaunayRefine(ctx, pts, 0) },
+		Verify: func() error {
+			if len(got.Points) < len(pts) {
+				return verifyErr("delaunayRefine", "lost input points")
+			}
+			for i := range pts {
+				if got.Points[i] != pts[i] {
+					return verifyErr("delaunayRefine", "input point %d moved", i)
+				}
+			}
+			if err := verifyDelaunay(got.Points, got.Triangles); err != nil {
+				return err
+			}
+			if got.SkinnyBefore > 0 && got.SkinnyAfter >= got.SkinnyBefore {
+				return verifyErr("delaunayRefine",
+					"refinement did not reduce skinny triangles (%d -> %d)",
+					got.SkinnyBefore, got.SkinnyAfter)
+			}
+			return nil
+		},
+	}
+}

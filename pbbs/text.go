@@ -1,0 +1,375 @@
+package pbbs
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+
+	"lcws"
+	"lcws/parlay"
+	"lcws/workload"
+)
+
+// textInstances returns the wordCounts, invertedIndex, suffixArray and
+// longestRepeatedSubstring instances.
+func textInstances(scale Scale) []*Instance {
+	nWords := scale.scaled(60_000)
+	nDocs := scale.scaled(400)
+	nSA := scale.scaled(40_000)
+	nLRS := scale.scaled(25_000)
+	return []*Instance{
+		{Benchmark: "wordCounts", Input: "trigramSeq",
+			Prepare: func() *Job { return wordCountsJob(workload.TrigramWords(201, nWords)) }},
+		{Benchmark: "wordCounts", Input: "trigramSeq_small_alpha",
+			Prepare: func() *Job {
+				// Fewer distinct words: heavier duplication.
+				return wordCountsJob(workload.TrigramWords(202, nWords/2) + " " + workload.TrigramWords(202, nWords/2))
+			}},
+		{Benchmark: "invertedIndex", Input: "wikipedia_like",
+			Prepare: func() *Job { return invertedIndexJob(workload.Documents(211, nDocs, 60)) }},
+		{Benchmark: "invertedIndex", Input: "wikipedia_like_zipf",
+			Prepare: func() *Job { return invertedIndexJob(workload.ZipfDocuments(212, nDocs, 60, 5000)) }},
+		{Benchmark: "suffixArray", Input: "trigramString",
+			Prepare: func() *Job { return suffixArrayJob(workload.TrigramString(221, nSA)) }},
+		{Benchmark: "longestRepeatedSubstring", Input: "trigramString",
+			Prepare: func() *Job { return lrsJob(workload.TrigramString(231, nLRS)) }},
+	}
+}
+
+// WordCount is one (word, occurrences) result entry of WordCounts.
+type WordCount struct {
+	Word  string
+	Count int
+}
+
+// tokenize splits text into words in parallel: the text is cut into
+// blocks, block boundaries are snapped forward to the next word start, and
+// per-block token lists are flattened.
+func tokenize(ctx *lcws.Ctx, text string) []string {
+	n := len(text)
+	if n == 0 {
+		return nil
+	}
+	const grain = 8 << 10
+	nb := (n + grain - 1) / grain
+	parts := make([][]string, nb)
+	lcws.ParFor(ctx, 0, nb, 1, func(ctx *lcws.Ctx, b int) {
+		lo, hi := b*grain, (b+1)*grain
+		if hi > n {
+			hi = n
+		}
+		// A word is owned by the block containing its first byte. Advance
+		// lo to the first word start in the block (position i is a word
+		// start when text[i] is a letter and text[i-1] is a space).
+		if lo > 0 {
+			for lo < hi && !(text[lo] != ' ' && text[lo-1] == ' ') {
+				lo++
+			}
+		}
+		if lo >= hi {
+			ctx.Poll()
+			return
+		}
+		// Extend through a word still in progress at the block boundary;
+		// a word starting exactly at hi belongs to the next block.
+		end := hi
+		if end < n && text[end-1] != ' ' {
+			for end < n && text[end] != ' ' {
+				end++
+			}
+		}
+		parts[b] = strings.Fields(text[lo:end])
+		ctx.Poll()
+	})
+	return parlay.Flatten(ctx, parts)
+}
+
+// WordCounts returns the occurrence count of every distinct word in text,
+// ordered by word (the PBBS wordCounts kernel: parallel tokenize, parallel
+// sort, run-length count).
+func WordCounts(ctx *lcws.Ctx, text string) []WordCount {
+	words := tokenize(ctx, text)
+	if len(words) == 0 {
+		return nil
+	}
+	parlay.SortFunc(ctx, words, func(a, b string) bool { return a < b })
+	starts := parlay.Tabulate(ctx, len(words), func(i int) bool {
+		return i == 0 || words[i] != words[i-1]
+	})
+	idx := parlay.PackIndex(ctx, starts)
+	return parlay.Tabulate(ctx, len(idx), func(j int) WordCount {
+		end := len(words)
+		if j+1 < len(idx) {
+			end = idx[j+1]
+		}
+		return WordCount{Word: words[idx[j]], Count: end - idx[j]}
+	})
+}
+
+func wordCountsJob(text string) *Job {
+	var got []WordCount
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = WordCounts(ctx, text) },
+		Verify: func() error {
+			want := map[string]int{}
+			for _, w := range strings.Fields(text) {
+				want[w]++
+			}
+			if len(got) != len(want) {
+				return verifyErr("wordCounts", "%d distinct words, want %d", len(got), len(want))
+			}
+			for i, wc := range got {
+				if want[wc.Word] != wc.Count {
+					return verifyErr("wordCounts", "%q: count %d, want %d", wc.Word, wc.Count, want[wc.Word])
+				}
+				if i > 0 && got[i-1].Word >= wc.Word {
+					return verifyErr("wordCounts", "output not sorted at %d", i)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Posting is one (word, document list) entry of an inverted index.
+type Posting struct {
+	Word string
+	Docs []int32
+}
+
+// BuildInvertedIndex returns, for every distinct word across docs, the
+// ascending list of document ids containing it (the PBBS invertedIndex
+// kernel).
+func BuildInvertedIndex(ctx *lcws.Ctx, docs []string) []Posting {
+	type wd struct {
+		word string
+		doc  int32
+	}
+	// Tokenize every document in parallel.
+	perDoc := parlay.Tabulate(ctx, len(docs), func(d int) []wd {
+		words := strings.Fields(docs[d])
+		out := make([]wd, len(words))
+		for i, w := range words {
+			out[i] = wd{word: w, doc: int32(d)}
+		}
+		return out
+	})
+	pairs := parlay.Flatten(ctx, perDoc)
+	if len(pairs) == 0 {
+		return nil
+	}
+	parlay.SortFunc(ctx, pairs, func(a, b wd) bool {
+		if a.word != b.word {
+			return a.word < b.word
+		}
+		return a.doc < b.doc
+	})
+	starts := parlay.Tabulate(ctx, len(pairs), func(i int) bool {
+		return i == 0 || pairs[i].word != pairs[i-1].word
+	})
+	idx := parlay.PackIndex(ctx, starts)
+	return parlay.Tabulate(ctx, len(idx), func(j int) Posting {
+		end := len(pairs)
+		if j+1 < len(idx) {
+			end = idx[j+1]
+		}
+		p := Posting{Word: pairs[idx[j]].word}
+		for i := idx[j]; i < end; i++ {
+			d := pairs[i].doc
+			if len(p.Docs) == 0 || p.Docs[len(p.Docs)-1] != d {
+				p.Docs = append(p.Docs, d)
+			}
+		}
+		return p
+	})
+}
+
+func invertedIndexJob(docs []string) *Job {
+	var got []Posting
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = BuildInvertedIndex(ctx, docs) },
+		Verify: func() error {
+			want := map[string][]int32{}
+			for d, doc := range docs {
+				seen := map[string]bool{}
+				for _, w := range strings.Fields(doc) {
+					if !seen[w] {
+						seen[w] = true
+						want[w] = append(want[w], int32(d))
+					}
+				}
+			}
+			for w := range want {
+				sort.Slice(want[w], func(i, j int) bool { return want[w][i] < want[w][j] })
+			}
+			if len(got) != len(want) {
+				return verifyErr("invertedIndex", "%d words, want %d", len(got), len(want))
+			}
+			for _, p := range got {
+				ref, ok := want[p.Word]
+				if !ok || len(ref) != len(p.Docs) {
+					return verifyErr("invertedIndex", "posting list for %q wrong length", p.Word)
+				}
+				for i := range ref {
+					if ref[i] != p.Docs[i] {
+						return verifyErr("invertedIndex", "posting list for %q differs at %d", p.Word, i)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// SuffixArray returns the suffix array of s (indices of suffixes in
+// lexicographic order) using parallel prefix doubling over the integer
+// sort: O(log n) rounds of stable radix sorting on packed rank pairs.
+func SuffixArray(ctx *lcws.Ctx, s []byte) []int32 {
+	n := len(s)
+	if n == 0 {
+		return nil
+	}
+	// b = bits needed for a rank in [0, n].
+	b := 1
+	for 1<<b < n+1 {
+		b++
+	}
+	rank := parlay.Tabulate(ctx, n, func(i int) uint64 { return uint64(s[i]) })
+	sa := parlay.Tabulate(ctx, n, func(i int) uint64 { return uint64(i) })
+	keys := make([]uint64, n)
+
+	rerank := func(ctx *lcws.Ctx, sortedKeys []uint64) uint64 {
+		// flags mark the start of each distinct-key run; the inclusive
+		// scan numbers the runs; ranks scatter back by suffix position.
+		flags := parlay.Tabulate(ctx, n, func(i int) uint64 {
+			if i == 0 || sortedKeys[i] != sortedKeys[i-1] {
+				return 1
+			}
+			return 0
+		})
+		nums := parlay.ScanInclusive(ctx, flags, 0, func(a, b uint64) uint64 { return a + b })
+		lcws.ParFor(ctx, 0, n, 0, func(ctx *lcws.Ctx, i int) {
+			rank[sa[i]] = nums[i] - 1
+		})
+		return nums[n-1] - 1 // max rank
+	}
+
+	// Round 0: sort by first character.
+	copy(keys, rank)
+	parlay.IntegerSortPairs(ctx, keys, sa, 8)
+	maxRank := rerank(ctx, keys)
+
+	for k := 1; k < n && maxRank < uint64(n-1); k *= 2 {
+		kk := k
+		lcws.ParFor(ctx, 0, n, 0, func(ctx *lcws.Ctx, i int) {
+			second := uint64(0)
+			if i+kk < n {
+				second = rank[i+kk] + 1
+			}
+			keys[i] = rank[i]<<uint(b+1) | second
+		})
+		lcws.ParFor(ctx, 0, n, 0, func(ctx *lcws.Ctx, i int) { sa[i] = uint64(i) })
+		parlay.IntegerSortPairs(ctx, keys, sa, 2*b+1)
+		maxRank = rerank(ctx, keys)
+	}
+
+	return parlay.Tabulate(ctx, n, func(i int) int32 { return int32(sa[i]) })
+}
+
+func suffixArrayJob(s []byte) *Job {
+	var got []int32
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { got = SuffixArray(ctx, s) },
+		Verify: func() error {
+			n := len(s)
+			if len(got) != n {
+				return verifyErr("suffixArray", "length %d, want %d", len(got), n)
+			}
+			seen := make([]bool, n)
+			for _, p := range got {
+				if p < 0 || int(p) >= n || seen[p] {
+					return verifyErr("suffixArray", "not a permutation (position %d)", p)
+				}
+				seen[p] = true
+			}
+			// Every adjacent pair must be in lexicographic order; checking
+			// all pairs is O(n · avg-lcp), fine at our scales.
+			for i := 1; i < n; i++ {
+				if bytes.Compare(s[got[i-1]:], s[got[i]:]) >= 0 {
+					return verifyErr("suffixArray", "order violated at %d (suffixes %d, %d)", i, got[i-1], got[i])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// LCPArray returns, for each adjacent pair of the suffix array, the
+// length of their longest common prefix (lcp[0] = 0; lcp[i] =
+// LCP(s[sa[i-1]:], s[sa[i]:])), each pair computed independently in
+// parallel by direct comparison.
+func LCPArray(ctx *lcws.Ctx, s []byte, sa []int32) []int32 {
+	n := len(sa)
+	if n == 0 {
+		return nil
+	}
+	return parlay.Tabulate(ctx, n, func(i int) int32 {
+		if i == 0 {
+			return 0
+		}
+		a, b := int(sa[i-1]), int(sa[i])
+		l := 0
+		for a+l < len(s) && b+l < len(s) && s[a+l] == s[b+l] {
+			l++
+		}
+		return int32(l)
+	})
+}
+
+// LongestRepeatedSubstring returns the start position and length of the
+// longest substring occurring at least twice in s, computed from the
+// suffix array: the maximum longest-common-prefix over adjacent suffix
+// pairs, with each pair's LCP computed by direct comparison in parallel.
+func LongestRepeatedSubstring(ctx *lcws.Ctx, s []byte) (pos, length int) {
+	n := len(s)
+	if n < 2 {
+		return 0, 0
+	}
+	sa := SuffixArray(ctx, s)
+	lcp := LCPArray(ctx, s, sa)
+	best := parlay.MaxIndex(ctx, lcp)
+	if best <= 0 || lcp[best] == 0 {
+		return 0, 0
+	}
+	return int(sa[best-1]), int(lcp[best])
+}
+
+func lrsJob(s []byte) *Job {
+	var gotPos, gotLen int
+	return &Job{
+		Run: func(ctx *lcws.Ctx) { gotPos, gotLen = LongestRepeatedSubstring(ctx, s) },
+		Verify: func() error {
+			if gotLen == 0 {
+				return verifyErr("longestRepeatedSubstring", "no repeat found in %d bytes", len(s))
+			}
+			sub := s[gotPos : gotPos+gotLen]
+			// The reported substring must occur at least twice.
+			first := bytes.Index(s, sub)
+			if first < 0 || bytes.Index(s[first+1:], sub) < 0 {
+				return verifyErr("longestRepeatedSubstring", "reported substring does not repeat")
+			}
+			// No longer repeat may exist: check length+1 windows.
+			if gotLen+1 <= len(s) {
+				seen := map[string]bool{}
+				for i := 0; i+gotLen+1 <= len(s); i++ {
+					w := string(s[i : i+gotLen+1])
+					if seen[w] {
+						return verifyErr("longestRepeatedSubstring", "found a longer repeat of length %d", gotLen+1)
+					}
+					seen[w] = true
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,302 @@
+package pbbs
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lcws"
+	"lcws/internal/rng"
+)
+
+func runOn(t *testing.T, f func(ctx *lcws.Ctx)) {
+	t.Helper()
+	s := lcws.New(lcws.WithWorkers(3), lcws.WithPolicy(lcws.SignalLCWS), lcws.WithSeed(9))
+	s.Run(f)
+}
+
+func TestTokenizeEdgeCases(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"one",
+		"one two three",
+		"  leading and trailing  ",
+		strings.Repeat("x", 100_000), // one giant word spanning many blocks
+		strings.Repeat("ab ", 50_000),
+	}
+	for _, text := range cases {
+		text := text
+		runOn(t, func(ctx *lcws.Ctx) {
+			got := tokenize(ctx, text)
+			want := strings.Fields(text)
+			if len(got) != len(want) {
+				t.Errorf("tokenize(%.20q...): %d words, want %d", text, len(got), len(want))
+				return
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("tokenize word %d = %q, want %q", i, got[i], want[i])
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestTokenizePropertyMatchesFields(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		// Random text with random word and gap lengths crossing the 8 KiB
+		// block boundary in varied ways.
+		var sb strings.Builder
+		for sb.Len() < 40_000 {
+			wl := 1 + g.Intn(30)
+			for i := 0; i < wl; i++ {
+				sb.WriteByte(byte('a' + g.Intn(26)))
+			}
+			for i := 0; i <= g.Intn(3); i++ {
+				sb.WriteByte(' ')
+			}
+		}
+		text := sb.String()
+		ok := true
+		runOn(t, func(ctx *lcws.Ctx) {
+			got := tokenize(ctx, text)
+			want := strings.Fields(text)
+			if len(got) != len(want) {
+				ok = false
+				return
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordCountsSmall(t *testing.T) {
+	runOn(t, func(ctx *lcws.Ctx) {
+		got := WordCounts(ctx, "b a b a b")
+		if len(got) != 2 || got[0].Word != "a" || got[0].Count != 2 || got[1].Word != "b" || got[1].Count != 3 {
+			t.Errorf("WordCounts = %v", got)
+		}
+		if got := WordCounts(ctx, ""); got != nil {
+			t.Errorf("WordCounts(\"\") = %v", got)
+		}
+	})
+}
+
+func TestBuildInvertedIndexSmall(t *testing.T) {
+	runOn(t, func(ctx *lcws.Ctx) {
+		docs := []string{"cat dog", "dog dog bird", "", "cat"}
+		idx := BuildInvertedIndex(ctx, docs)
+		want := map[string][]int32{
+			"bird": {1}, "cat": {0, 3}, "dog": {0, 1},
+		}
+		if len(idx) != len(want) {
+			t.Fatalf("index = %v", idx)
+		}
+		for _, p := range idx {
+			ref := want[p.Word]
+			if len(ref) != len(p.Docs) {
+				t.Fatalf("posting %q = %v, want %v", p.Word, p.Docs, ref)
+			}
+			for i := range ref {
+				if p.Docs[i] != ref[i] {
+					t.Fatalf("posting %q = %v, want %v", p.Word, p.Docs, ref)
+				}
+			}
+		}
+		if got := BuildInvertedIndex(ctx, nil); got != nil {
+			t.Errorf("empty index = %v", got)
+		}
+	})
+}
+
+// naiveSA is the quadratic reference suffix array.
+func naiveSA(s []byte) []int32 {
+	out := make([]int32, len(s))
+	for i := range out {
+		out[i] = int32(i)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return bytes.Compare(s[out[a]:], s[out[b]:]) < 0
+	})
+	return out
+}
+
+func TestSuffixArrayKnownStrings(t *testing.T) {
+	cases := []string{
+		"",
+		"a",
+		"banana",
+		"mississippi",
+		"aaaaaaaa",
+		"abababab",
+		"the quick brown fox jumps over the lazy dog",
+	}
+	for _, s := range cases {
+		s := s
+		runOn(t, func(ctx *lcws.Ctx) {
+			got := SuffixArray(ctx, []byte(s))
+			want := naiveSA([]byte(s))
+			if len(got) != len(want) {
+				t.Fatalf("SuffixArray(%q) length %d", s, len(got))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("SuffixArray(%q) = %v, want %v", s, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSuffixArrayPropertyMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		n := 1 + g.Intn(2000)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = byte('a' + g.Intn(4)) // small alphabet: many ties
+		}
+		var got []int32
+		runOn(t, func(ctx *lcws.Ctx) { got = SuffixArray(ctx, s) })
+		want := naiveSA(s)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongestRepeatedSubstringKnown(t *testing.T) {
+	cases := []struct {
+		s    string
+		want string
+	}{
+		{"banana", "ana"},
+		{"abcabcabc", "abcabc"},
+		{"aaaa", "aaa"},
+		{"abcdefg", ""},
+	}
+	for _, c := range cases {
+		c := c
+		runOn(t, func(ctx *lcws.Ctx) {
+			pos, length := LongestRepeatedSubstring(ctx, []byte(c.s))
+			got := c.s[pos : pos+length]
+			if length != len(c.want) {
+				t.Errorf("LRS(%q) = %q (len %d), want %q", c.s, got, length, c.want)
+				return
+			}
+			if length > 0 && got != c.want {
+				// Multiple longest repeats may exist; the reported one
+				// must at least repeat.
+				if strings.Count(c.s, got) < 2 {
+					t.Errorf("LRS(%q) = %q does not repeat", c.s, got)
+				}
+			}
+		})
+	}
+}
+
+func TestLongestRepeatedSubstringTiny(t *testing.T) {
+	runOn(t, func(ctx *lcws.Ctx) {
+		if _, l := LongestRepeatedSubstring(ctx, nil); l != 0 {
+			t.Error("LRS(nil) should be 0")
+		}
+		if _, l := LongestRepeatedSubstring(ctx, []byte("x")); l != 0 {
+			t.Error("LRS of 1 byte should be 0")
+		}
+	})
+}
+
+// FuzzTokenize checks the parallel block tokenizer against
+// strings.Fields on arbitrary inputs (the block-boundary word-ownership
+// logic is the tricky part).
+func FuzzTokenize(f *testing.F) {
+	f.Add("one two three")
+	f.Add("  leading  ")
+	f.Add(strings.Repeat("word ", 3000))
+	f.Add(strings.Repeat("x", 20000))
+	f.Fuzz(func(t *testing.T, text string) {
+		// The tokenizer is specified for space-separated lower-case
+		// words; normalize arbitrary bytes into that alphabet while
+		// keeping the fuzzer's structure (lengths and boundaries).
+		b := []byte(text)
+		for i, c := range b {
+			if c != ' ' {
+				b[i] = 'a' + c%26
+			}
+		}
+		norm := string(b)
+		var got []string
+		runOn(t, func(ctx *lcws.Ctx) { got = tokenize(ctx, norm) })
+		want := strings.Fields(norm)
+		if len(got) != len(want) {
+			t.Fatalf("tokenize found %d words, Fields %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("word %d = %q, want %q", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func TestLCPArrayAgainstNaive(t *testing.T) {
+	s := []byte("banana")
+	runOn(t, func(ctx *lcws.Ctx) {
+		sa := SuffixArray(ctx, s)
+		lcp := LCPArray(ctx, s, sa)
+		// SA of banana: a(5), ana(3), anana(1), banana(0), na(4), nana(2)
+		want := []int32{0, 1, 3, 0, 0, 2}
+		for i := range want {
+			if lcp[i] != want[i] {
+				t.Fatalf("lcp = %v, want %v", lcp, want)
+			}
+		}
+	})
+}
+
+func TestLCPArrayRandomConsistency(t *testing.T) {
+	runOn(t, func(ctx *lcws.Ctx) {
+		s := []byte(strings.Repeat("abracadabra", 200))
+		sa := SuffixArray(ctx, s)
+		lcp := LCPArray(ctx, s, sa)
+		if len(lcp) != len(sa) {
+			t.Fatal("length mismatch")
+		}
+		for i := 1; i < len(sa); i += 97 {
+			a, b := s[sa[i-1]:], s[sa[i]:]
+			l := int(lcp[i])
+			if l > len(a) || l > len(b) {
+				t.Fatalf("lcp %d longer than a suffix", l)
+			}
+			if !bytes.Equal(a[:l], b[:l]) {
+				t.Fatalf("prefixes differ at lcp %d", l)
+			}
+			if l < len(a) && l < len(b) && a[l] == b[l] {
+				t.Fatalf("lcp %d not maximal at %d", l, i)
+			}
+		}
+		if got := LCPArray(ctx, nil, nil); got != nil {
+			t.Error("LCPArray(nil) should be nil")
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"lcws"
+)
+
+// TestCalibrationReport prints the aggregate sweep statistics used to tune
+// the cost model against the paper's reported numbers. Run with -v.
+func TestCalibrationReport(t *testing.T) {
+	if os.Getenv("LCWS_CALIBRATION") == "" {
+		t.Skip("set LCWS_CALIBRATION=1 to print the calibration sweep")
+	}
+	pols := lcws.LCWSPolicies
+	for _, m := range Machines {
+		fmt.Printf("== %s ==\n", m.Name)
+		sweep := m.WorkerSweep()
+		wins := make(map[lcws.Policy]int)
+		totalConfigs := 0
+		gains := map[float64]int{1.0: 0, 1.05: 0, 1.10: 0, 1.15: 0, 1.20: 0}
+		sigConfigs := 0
+		bestCount := map[lcws.Policy]int{}
+		for _, P := range sweep {
+			avg := map[lcws.Policy]float64{}
+			winAtP := map[lcws.Policy]int{}
+			n := 0
+			for _, w := range Workloads() {
+				ws := Simulate(w.Phases, lcws.WS, P, m, 33).Time
+				bestPol, bestSp := lcws.Policy(0), 0.0
+				for _, p := range pols {
+					r := Simulate(w.Phases, p, P, m, 33)
+					sp := Speedup(ws, r.Time)
+					avg[p] += sp
+					if sp > 1 {
+						winAtP[p]++
+					}
+					if sp > bestSp {
+						bestSp, bestPol = sp, p
+					}
+					if p == lcws.SignalLCWS {
+						sigConfigs++
+						for thr := range gains {
+							if sp > thr {
+								gains[thr]++
+							}
+						}
+					}
+				}
+				bestCount[bestPol]++
+				n++
+			}
+			totalConfigs += n
+			fmt.Printf(" P=%2d  avg: ", P)
+			for _, p := range pols {
+				fmt.Printf("%s=%.3f ", p, avg[p]/float64(n))
+			}
+			fmt.Printf(" win%%: ")
+			for _, p := range pols {
+				fmt.Printf("%s=%2.0f%% ", p, 100*float64(winAtP[p])/float64(n))
+				wins[p] += winAtP[p]
+			}
+			fmt.Println()
+		}
+		fmt.Printf(" overall win%%: ")
+		for _, p := range pols {
+			fmt.Printf("%s=%2.0f%% ", p, 100*float64(wins[p])/float64(totalConfigs))
+		}
+		fmt.Printf("\n signal gains: >1=%2.0f%% >5=%2.0f%% >10=%2.0f%% >15=%2.0f%% >20=%2.0f%%\n",
+			100*float64(gains[1.0])/float64(sigConfigs),
+			100*float64(gains[1.05])/float64(sigConfigs),
+			100*float64(gains[1.10])/float64(sigConfigs),
+			100*float64(gains[1.15])/float64(sigConfigs),
+			100*float64(gains[1.20])/float64(sigConfigs))
+		fmt.Printf(" best policy counts: %v\n", bestCount)
+	}
+}

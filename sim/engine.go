@@ -1,0 +1,467 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"lcws"
+	"lcws/internal/rng"
+)
+
+// Phase is one bulk-parallel region of a simulated computation: an
+// optional sequential portion followed by Tasks independent grain-sized
+// chunks executed under eager binary splitting, ending in a barrier.
+type Phase struct {
+	// Seq is sequential work (cycles) performed before the parallel
+	// region by the processor that reached the barrier last.
+	Seq float64
+	// Tasks is the number of chunks in the parallel region.
+	Tasks int
+	// Cost returns the execution cost (cycles) of chunk i. It must be a
+	// deterministic function. Nil means a unit cost of 1000 cycles.
+	Cost func(i int) float64
+}
+
+func (ph *Phase) cost(i int) float64 {
+	if ph.Cost == nil {
+		return 1000
+	}
+	return ph.Cost(i)
+}
+
+// Result summarizes one simulation: the virtual makespan and the
+// synchronization-operation counters accumulated by the simulated
+// schedulers (same counting model as the real implementation, so sim and
+// real profiles are directly comparable).
+type Result struct {
+	Time             float64
+	Fences           uint64
+	CAS              uint64
+	StealAttempts    uint64
+	Steals           uint64
+	Exposures        uint64
+	ExposedNotStolen uint64
+	Signals          uint64
+}
+
+// item is a range of chunk indices of the current phase.
+type item struct{ lo, hi int }
+
+// proc is one simulated processor.
+type proc struct {
+	deq       []item
+	publicBot int // deq[:publicBot] is public (split-deque policies)
+	targeted  bool
+	fails     uint32 // consecutive failed steal attempts (backoff)
+}
+
+// event kinds.
+const (
+	evReady  = iota // the processor is free: decide its next action
+	evSignal        // an emulated signal arrives at the processor
+)
+
+type event struct {
+	t    float64
+	seq  uint64 // deterministic tie-break
+	proc int
+	kind int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// sim is the mutable simulation state.
+type sim struct {
+	policy  lcws.Policy
+	machine Machine
+	phases  []Phase
+	procs   []proc
+	heap    eventHeap
+	seq     uint64
+	rand    *rng.Xoshiro256
+
+	phase     int     // index of the active phase
+	remaining int     // chunks of the active phase not yet scheduled
+	phaseEnd  float64 // latest chunk completion time of the active phase
+	finishAt  float64
+	res       Result
+
+	// trace, when non-nil, gates processor availability over time
+	// (the multiprogrammed-environment extension; see trace.go).
+	trace Trace
+}
+
+// Simulate runs the workload's phases on `workers` simulated processors
+// under the given policy and machine model, returning the virtual
+// makespan and operation counters. Equal arguments (including seed) give
+// bit-identical results.
+func Simulate(phases []Phase, policy lcws.Policy, workers int, m Machine, seed uint64) Result {
+	if workers < 1 {
+		panic("sim: need at least one worker")
+	}
+	return newSim(phases, policy, workers, m, seed).runLoop()
+}
+
+func newSim(phases []Phase, policy lcws.Policy, workers int, m Machine, seed uint64) *sim {
+	return &sim{
+		policy:  policy,
+		machine: m,
+		phases:  phases,
+		procs:   make([]proc, workers),
+		rand:    rng.New(seed ^ 0xcafe_f00d),
+		phase:   -1,
+	}
+}
+
+// runLoop executes the event loop to completion.
+func (s *sim) runLoop() Result {
+	// Processor 0 starts the first phase at t=0; the rest start idle.
+	t0 := s.advancePhase(0, 0)
+	if s.phase >= len(s.phases) {
+		s.res.Time = t0
+		return s.res
+	}
+	s.post(t0, 0, evReady)
+	for p := 1; p < len(s.procs); p++ {
+		s.post(0, p, evReady)
+	}
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(event)
+		if s.phase >= len(s.phases) {
+			break
+		}
+		switch e.kind {
+		case evReady:
+			s.ready(e.proc, e.t)
+		case evSignal:
+			s.handleSignal(e.proc, e.t)
+		}
+	}
+	s.res.Time = s.finishAt
+	return s.res
+}
+
+// parked handles availability gating: it reports whether processor p is
+// revoked at time t, reposting the event at the core's return time.
+func (s *sim) parked(p int, t float64, kind int) bool {
+	if s.trace == nil {
+		return false
+	}
+	if p < s.trace.availAt(t, len(s.procs)) {
+		return false
+	}
+	if nc := s.trace.nextChange(t); nc >= 0 {
+		s.post(nc, p, kind)
+	}
+	return true
+}
+
+func (s *sim) post(t float64, p, kind int) {
+	s.seq++
+	heap.Push(&s.heap, event{t: t, seq: s.seq, proc: p, kind: kind})
+}
+
+// advancePhase moves to the next non-empty phase, charging sequential
+// portions to processor p starting at time t. It returns the time at
+// which p holds the new phase's root range (pushed to its deque), or,
+// when no phases remain, records the final time.
+func (s *sim) advancePhase(p int, t float64) float64 {
+	for {
+		s.phase++
+		if s.phase >= len(s.phases) {
+			s.finishAt = t
+			return t
+		}
+		ph := &s.phases[s.phase]
+		t += ph.Seq
+		if ph.Tasks > 0 {
+			s.remaining = ph.Tasks
+			s.phaseEnd = t
+			s.push(p, item{0, ph.Tasks})
+			return t
+		}
+		// A Tasks == 0 phase is a pure sequential portion.
+	}
+}
+
+// splitDeque reports whether the policy's deques have a private part.
+func (s *sim) splitDeque() bool { return s.policy != lcws.WS }
+
+// push appends an item to p's deque, charging the policy's push cost and
+// applying the push-side targeted reset of the signal-based schedulers.
+func (s *sim) push(p int, it item) {
+	pr := &s.procs[p]
+	pr.deq = append(pr.deq, it)
+	if s.splitDeque() {
+		if s.policy.SignalBased() {
+			pr.targeted = false
+		}
+	} else {
+		s.res.Fences++ // WS push fence
+	}
+}
+
+// pushCost is the time cost of one push.
+func (s *sim) pushCost() float64 {
+	if s.splitDeque() {
+		return 0
+	}
+	return s.machine.FenceCost
+}
+
+// popLocal removes the bottom-most available item of p's deque, charging
+// pop costs, and reports the time spent. ok is false when nothing locally
+// poppable remains.
+func (s *sim) popLocal(p int) (it item, cost float64, ok bool) {
+	pr := &s.procs[p]
+	n := len(pr.deq)
+	if !s.splitDeque() {
+		// WS: every pop pays a fence; the last element also races
+		// thieves with a CAS.
+		cost = s.machine.FenceCost
+		if n == 0 {
+			return item{}, cost, false
+		}
+		if n == 1 {
+			cost += s.machine.CASCost
+			s.res.CAS++
+		}
+		s.res.Fences++
+		it = pr.deq[n-1]
+		pr.deq = pr.deq[:n-1]
+		return it, cost, true
+	}
+	// Split deque: the private part is free to pop.
+	if n > pr.publicBot {
+		it = pr.deq[n-1]
+		pr.deq = pr.deq[:n-1]
+		return it, 0, true
+	}
+	if s.policy == lcws.LaceWS && pr.publicBot > 0 {
+		// Lace: reclaim the whole public part in one synchronized step
+		// (one fence + one CAS) and pop it privately from then on.
+		cost = s.machine.FenceCost + s.machine.CASCost
+		s.res.Fences++
+		s.res.CAS++
+		s.res.ExposedNotStolen += uint64(pr.publicBot)
+		pr.publicBot = 0
+		n = len(pr.deq)
+		it = pr.deq[n-1]
+		pr.deq = pr.deq[:n-1]
+		pr.targeted = false
+		return it, cost, true
+	}
+	if pr.publicBot > 0 {
+		// pop_public_bottom: one fence always, a second fence and the
+		// last-element CAS on the emptying path.
+		cost = s.machine.FenceCost
+		s.res.Fences++
+		if pr.publicBot == 1 {
+			cost += s.machine.FenceCost + s.machine.CASCost
+			s.res.Fences++
+			s.res.CAS++
+		}
+		pr.publicBot--
+		it = pr.deq[pr.publicBot]
+		pr.deq = pr.deq[:pr.publicBot]
+		s.res.ExposedNotStolen++
+		if s.policy.SignalBased() {
+			pr.targeted = false
+		}
+		return it, cost, true
+	}
+	if s.policy == lcws.USLCWS || s.policy == lcws.LaceWS {
+		// Listing 1 line 17: reset the notification before stealing.
+		pr.targeted = false
+	}
+	return item{}, 0, false
+}
+
+// expose transfers items from p's private part to its public part
+// according to the policy's exposure mode.
+func (s *sim) expose(p int) {
+	pr := &s.procs[p]
+	private := len(pr.deq) - pr.publicBot
+	var k int
+	switch s.policy {
+	case lcws.ConsLCWS:
+		if private >= 2 {
+			k = 1
+		}
+	case lcws.HalfLCWS, lcws.LaceWS:
+		if private >= 3 {
+			k = (private + 1) / 2
+		} else if private >= 1 {
+			k = 1
+		}
+	default:
+		if private >= 1 {
+			k = 1
+		}
+	}
+	pr.publicBot += k
+	s.res.Exposures += uint64(k)
+}
+
+// handleSignal is the emulated signal handler: it runs exposure on the
+// victim at signal-arrival time. The handler itself is a few instructions
+// (footnote 3: no synchronization), so it adds no busy time. A revoked
+// processor handles the signal when its core returns.
+func (s *sim) handleSignal(p int, t float64) {
+	if s.parked(p, t, evSignal) {
+		return
+	}
+	s.expose(p)
+	s.res.Signals++ // handled
+}
+
+// ready decides processor p's next action at time t. Revoked processors
+// park until their core returns (revocation takes effect at task
+// boundaries, as in a cooperative runtime).
+func (s *sim) ready(p int, t float64) {
+	if s.parked(p, t, evReady) {
+		return
+	}
+	pr := &s.procs[p]
+	// Task boundary: USLCWS and Lace notice their targeted flag here.
+	if (s.policy == lcws.USLCWS || s.policy == lcws.LaceWS) && pr.targeted {
+		pr.targeted = false
+		s.expose(p)
+	}
+	if it, cost, ok := s.popLocal(p); ok {
+		pr.fails = 0
+		s.run(p, t+cost, it)
+		return
+	}
+	// Steal phase: one attempt per ready event.
+	s.steal(p, t)
+}
+
+// run executes range it on p: split eagerly (pushing right halves), then
+// execute the single remaining chunk, posting the completion event.
+func (s *sim) run(p int, t float64, it item) {
+	ph := &s.phases[s.phase]
+	for it.hi-it.lo > 1 {
+		mid := it.lo + (it.hi-it.lo)/2
+		s.push(p, item{mid, it.hi})
+		t += s.pushCost()
+		it.hi = mid
+	}
+	t += ph.cost(it.lo)
+	if t > s.phaseEnd {
+		s.phaseEnd = t
+	}
+	s.remaining--
+	if s.remaining == 0 {
+		// Every chunk is now scheduled; the barrier falls at the latest
+		// completion. p advances to the next phase there (running its
+		// sequential portion and taking the new root range); stragglers
+		// rejoin by stealing.
+		t = s.advancePhase(p, s.phaseEnd)
+		if s.phase >= len(s.phases) {
+			if t > s.finishAt {
+				s.finishAt = t
+			}
+			return
+		}
+	}
+	s.post(t, p, evReady)
+}
+
+// steal performs one stealing-phase iteration for thief p at time t.
+func (s *sim) steal(p int, t float64) {
+	m := &s.machine
+	n := len(s.procs)
+	if n == 1 {
+		// Nothing to steal from; spin until the phase advances (it
+		// cannot — single proc always has local work unless finished).
+		return
+	}
+	vid := s.rand.Intn(n - 1)
+	if vid >= p {
+		vid++
+	}
+	v := &s.procs[vid]
+	pr := &s.procs[p]
+	s.res.StealAttempts++
+	cost := m.LoopCost
+
+	if !s.splitDeque() {
+		cost += m.FenceCost
+		s.res.Fences++
+		if len(v.deq) > 0 {
+			cost += m.CASCost + m.StealCost
+			s.res.CAS++
+			s.res.Steals++
+			it := v.deq[0]
+			v.deq = v.deq[1:]
+			pr.fails = 0
+			s.run(p, t+cost, it)
+			return
+		}
+	} else if v.publicBot > 0 {
+		cost += m.CASCost + m.StealCost
+		s.res.CAS++
+		s.res.Steals++
+		it := v.deq[0]
+		v.deq = v.deq[1:]
+		v.publicBot--
+		if s.policy.SignalBased() {
+			v.targeted = false
+		}
+		pr.fails = 0
+		s.run(p, t+cost, it)
+		return
+	} else if len(v.deq) > 0 {
+		// PRIVATE_WORK: notify the victim per policy.
+		switch s.policy {
+		case lcws.USLCWS, lcws.LaceWS:
+			v.targeted = true
+		case lcws.SignalLCWS, lcws.HalfLCWS:
+			if !v.targeted {
+				v.targeted = true
+				s.post(t+m.SignalCost, vid, evSignal)
+			}
+		case lcws.ConsLCWS:
+			if !v.targeted && len(v.deq) >= 2 {
+				v.targeted = true
+				s.post(t+m.SignalCost, vid, evSignal)
+			}
+		}
+	}
+
+	// Failed attempt: back off a little more each time (mirrors the real
+	// workers' Gosched/sleep backoff).
+	pr.fails++
+	backoff := float64(pr.fails) * m.LoopCost
+	if backoff > 60*m.LoopCost {
+		backoff = 60 * m.LoopCost
+	}
+	s.post(t+cost+backoff, p, evReady)
+}
+
+// Speedup returns tBase / tOther, the convention of the paper's figures
+// (values above 1 mean `other` is faster than the WS baseline).
+func Speedup(tBase, tOther float64) float64 {
+	if tOther == 0 {
+		return 1
+	}
+	return tBase / tOther
+}
+
+// String renders a result compactly for logs.
+func (r Result) String() string {
+	return fmt.Sprintf("time=%.0f fences=%d cas=%d steals=%d/%d exposed=%d unstolen=%d signals=%d",
+		r.Time, r.Fences, r.CAS, r.Steals, r.StealAttempts, r.Exposures, r.ExposedNotStolen, r.Signals)
+}

@@ -1,0 +1,76 @@
+// Package sim is a deterministic discrete-event simulator of the paper's
+// five schedulers executing benchmark-shaped fork-join computations on
+// multi-core machine models. It exists because this reproduction targets
+// hosts where genuine multi-core wall-clock speedups cannot be measured
+// (see DESIGN.md §2): the simulator runs the *same scheduling decisions*
+// the real schedulers make — split deques, exposure notifications,
+// task-boundary vs signal-time exposure handling, random victim selection
+// — in virtual time, with per-operation costs taken from a machine
+// profile. It regenerates the relative-performance shapes of the paper's
+// Figures 4–7 and the §5 statistics.
+//
+// The simulation model (engine.go) is eager binary splitting over phases
+// of independent grain-sized chunks: each phase's root range is split on
+// the owning processor's deque, thieves steal subranges, and phases are
+// separated by barriers with optional sequential portions. The model
+// captures exactly the effects the paper discusses — per-task fence
+// overheads, notification round-trips delaying steals, exposed-but-
+// unstolen work, the slow start of USLCWS on coarse tasks — while
+// abstracting the details (join helping, memory effects) that do not
+// drive the figures.
+package sim
+
+// Machine is a simulated computer profile. Costs are in arbitrary cycle
+// units; only their ratios to task grain sizes matter.
+type Machine struct {
+	// Name is the paper's machine label.
+	Name string
+	// Cores is the number of hardware threads used as the sweep's upper
+	// bound (the paper sweeps 1..cores).
+	Cores int
+	// FenceCost is the cost of one memory fence.
+	FenceCost float64
+	// CASCost is the cost of one compare-and-swap.
+	CASCost float64
+	// StealCost is the extra latency of touching a remote deque
+	// (cross-core/cross-socket traffic) on a steal attempt.
+	StealCost float64
+	// SignalCost is the OS signal-delivery latency of the signal-based
+	// schedulers (footnote 2 of the paper).
+	SignalCost float64
+	// LoopCost is the cost of one scheduler-loop iteration (victim
+	// selection, bookkeeping).
+	LoopCost float64
+}
+
+// Machines are the three computers of Table 1 of the paper. The cost
+// parameters reflect their microarchitectures qualitatively: the 4-socket
+// Opteron (AMD32) has the most expensive fences and cross-socket steals;
+// the Broadwell Intel16 the cheapest synchronization and fastest signal
+// delivery; the Sandy Bridge Intel12 sits between.
+var Machines = []Machine{
+	{Name: "Intel12", Cores: 12, FenceCost: 25, CASCost: 45, StealCost: 180, SignalCost: 1500, LoopCost: 12},
+	{Name: "AMD32", Cores: 32, FenceCost: 40, CASCost: 60, StealCost: 260, SignalCost: 2200, LoopCost: 14},
+	{Name: "Intel16", Cores: 16, FenceCost: 22, CASCost: 40, StealCost: 160, SignalCost: 1200, LoopCost: 11},
+}
+
+// MachineByName returns the machine profile with the given Table 1 name.
+func MachineByName(name string) (Machine, bool) {
+	for _, m := range Machines {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Machine{}, false
+}
+
+// WorkerSweep returns the worker counts the paper's figures use for this
+// machine: powers of two up to the core count, plus the core count.
+func (m Machine) WorkerSweep() []int {
+	var out []int
+	for p := 1; p < m.Cores; p *= 2 {
+		out = append(out, p)
+	}
+	out = append(out, m.Cores)
+	return out
+}

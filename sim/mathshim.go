@@ -1,0 +1,7 @@
+package sim
+
+import "math"
+
+// mathLog is math.Log; models.go keeps its ln wrapper to document the
+// (0, 1] input domain of the cost helpers.
+func mathLog(x float64) float64 { return math.Log(x) }

@@ -1,0 +1,388 @@
+package sim
+
+import "lcws/internal/rng"
+
+// Workload is a benchmark-shaped computation model for the simulator: one
+// entry per ⟨benchmark, input⟩ instance of the pbbs suite, with phases
+// whose task counts, cost distributions and sequential portions mirror
+// the parallel structure of the real implementation (flat loops, sort
+// rounds, frontier rounds, recursion, sequential tails). Together with a
+// worker count they form the paper's benchmark configurations.
+//
+// Calibration. The dimensionless ratios that drive the paper's figures
+// are (a) fence cost : chunk cost, which sets the WS per-task overhead
+// that LCWS removes (a few percent), and (b) signal latency : per-worker
+// per-phase work, which sets the cost of LCWS's notification round-trips
+// (tiny for PBBS's 100M-element phases, large only for benchmarks made of
+// many small phases, such as grid BFS and the decision tree). The task
+// counts below are scaled down from PBBS sizes but keep both ratios in
+// the realistic regime; EXPERIMENTS.md records the resulting statistics
+// against the paper's.
+type Workload struct {
+	Benchmark string
+	Input     string
+	Phases    []Phase
+}
+
+// Name returns "benchmark/input".
+func (w *Workload) Name() string { return w.Benchmark + "/" + w.Input }
+
+// Cost-distribution helpers. All are deterministic in (salt, i).
+
+// uniformCost returns costs in [base·(1-jitter), base·(1+jitter)).
+func uniformCost(salt uint64, base, jitter float64) func(int) float64 {
+	return func(i int) float64 {
+		u := float64(rng.Hash64(salt^uint64(i))>>11) / (1 << 53)
+		return base * (1 - jitter + 2*jitter*u)
+	}
+}
+
+// exptCost returns exponentially distributed costs with the given mean
+// (clamped to 10× the mean): many cheap chunks, a few expensive ones.
+func exptCost(salt uint64, mean float64) func(int) float64 {
+	return func(i int) float64 {
+		u := float64(rng.Hash64(salt^uint64(i))>>11)/(1<<53) + 1e-12
+		c := -mean * ln(u)
+		if c > 10*mean {
+			c = 10 * mean
+		}
+		return c
+	}
+}
+
+// heavyCost returns base-cost chunks where a `frac` fraction cost
+// `factor`× more — the coarse sequential tasks (hub vertices, deep rays,
+// big leaf sorts) that hurt task-boundary exposure.
+func heavyCost(salt uint64, base, factor, frac float64) func(int) float64 {
+	return func(i int) float64 {
+		u := float64(rng.Hash64(salt^uint64(i))>>11) / (1 << 53)
+		if u < frac {
+			return base * factor
+		}
+		return base
+	}
+}
+
+// ln is a minimal natural logarithm for the cost helpers; inputs are in
+// (0, 1].
+func ln(x float64) float64 { return mathLog(x) }
+
+// flat returns a single bulk-parallel phase.
+func flat(tasks int, cost func(int) float64) []Phase {
+	return []Phase{{Tasks: tasks, Cost: cost}}
+}
+
+// roundsOf returns one phase per entry of tasks, all with the same cost
+// function.
+func roundsOf(tasks []int, cost func(int) float64) []Phase {
+	out := make([]Phase, len(tasks))
+	for i, n := range tasks {
+		out[i] = Phase{Tasks: n, Cost: cost}
+	}
+	return out
+}
+
+// sortPhases models a parallel merge/radix sort: a leaf phase with
+// occasional coarse leaves followed by log-depth combine rounds in which
+// parallelism halves while chunk size (roughly) doubles — total work per
+// round stays near-constant, and the deep rounds consist of a few coarse
+// sequential merges, exactly the tasks that task-boundary exposure
+// (USLCWS, Lace) handles poorly.
+func sortPhases(salt uint64, leaves int, leafCost float64, combineRounds int) []Phase {
+	out := []Phase{{Tasks: leaves, Cost: heavyCost(salt, leafCost, 12, 0.01)}}
+	n := leaves / 2
+	cost := leafCost * 0.8
+	for r := 0; r < combineRounds && n >= 2; r++ {
+		out = append(out, Phase{Tasks: n, Cost: uniformCost(salt^uint64(r+1), cost, 0.2)})
+		n /= 2
+		cost *= 1.9
+	}
+	return out
+}
+
+// geomPhases models divide-and-conquer recursion: task counts decay
+// geometrically from start down to 2.
+func geomPhases(salt uint64, start int, cost float64, decay float64) []Phase {
+	var out []Phase
+	n := start
+	r := 0
+	for n >= 2 {
+		out = append(out, Phase{Tasks: n, Cost: uniformCost(salt^uint64(r), cost, 0.4)})
+		n = int(float64(n) * decay)
+		r++
+	}
+	return out
+}
+
+// concat joins phase lists.
+func concat(lists ...[]Phase) []Phase {
+	var out []Phase
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// taskScale multiplies every phase's task count and sequential portion.
+// It moves the models from sketch scale to a regime where per-phase work
+// dwarfs the notification round-trip — as PBBS's 100M-element inputs do —
+// without touching the fence-cost : chunk-cost ratio that sets the WS
+// overhead LCWS removes.
+const taskScale = 4
+
+// Workloads returns the simulator model of every pbbs suite instance.
+func Workloads() []Workload {
+	var out []Workload
+	add := func(bench, input string, phases []Phase) {
+		scaled := make([]Phase, len(phases))
+		for i, ph := range phases {
+			ph.Tasks *= taskScale
+			ph.Seq *= taskScale
+			scaled[i] = ph
+		}
+		out = append(out, Workload{Benchmark: bench, Input: input, Phases: scaled})
+	}
+
+	// integerSort: radix passes, each a count and a scatter sweep over
+	// the whole input.
+	radix := func(salt uint64, passes int, cost float64) []Phase {
+		var ph []Phase
+		for p := 0; p < passes; p++ {
+			ph = append(ph,
+				Phase{Tasks: 4096, Cost: uniformCost(salt^uint64(2*p), cost, 0.15)},
+				Phase{Tasks: 4096, Cost: uniformCost(salt^uint64(2*p+1), cost*1.2, 0.15)},
+			)
+		}
+		return ph
+	}
+	add("integerSort", "randomSeq_int", radix(1001, 4, 2200))
+	add("integerSort", "exptSeq_int", concat(radix(1002, 4, 2000), flat(2048, exptCost(1002, 1800))))
+	add("integerSort", "randomSeq_int_pair_int", radix(1003, 4, 3200))
+	add("integerSort", "randomSeq_256_int_pair_int", radix(1004, 1, 3400))
+
+	// comparisonSort: leaf sorts plus merge rounds.
+	add("comparisonSort", "randomSeq_double", sortPhases(1011, 4096, 6000, 8))
+	add("comparisonSort", "exptSeq_double", concat(
+		[]Phase{{Tasks: 4096, Cost: exptCost(1012, 6000)}},
+		sortPhases(1012, 2048, 5000, 7)))
+	add("comparisonSort", "almostSortedSeq", sortPhases(1013, 4096, 3200, 8))
+	add("comparisonSort", "trigramWords", sortPhases(1014, 4096, 7200, 8))
+
+	// histogram: one counting sweep and a small reduction.
+	add("histogram", "randomSeq_256_int", concat(
+		flat(6144, uniformCost(1021, 800, 0.1)),
+		flat(512, uniformCost(1022, 400, 0.1))))
+	add("histogram", "randomSeq_100K_int", concat(
+		flat(6144, uniformCost(1023, 1900, 0.1)),
+		flat(2048, uniformCost(1024, 700, 0.1))))
+	add("histogram", "exptSeq_int", concat(
+		flat(6144, uniformCost(1025, 1700, 0.15)),
+		flat(2048, uniformCost(1026, 650, 0.1))))
+
+	// removeDuplicates: sort rounds plus a pack.
+	add("removeDuplicates", "randomSeq_int", concat(
+		sortPhases(1031, 4096, 4200, 7), flat(2048, uniformCost(1032, 1200, 0.2))))
+	add("removeDuplicates", "exptSeq_int", concat(
+		sortPhases(1033, 4096, 3800, 7), flat(2048, uniformCost(1034, 1100, 0.2))))
+	// Hash-based dedup: one CAS-heavy flat insertion phase plus a pack.
+	add("removeDuplicates", "randomSeq_int_hash", concat(
+		flat(6144, uniformCost(1035, 1300, 0.15)),
+		flat(2048, uniformCost(1036, 500, 0.1))))
+
+	// wordCounts: tokenize sweep, string sort rounds, run counting.
+	add("wordCounts", "trigramSeq", concat(
+		flat(4096, uniformCost(1041, 2600, 0.3)),
+		sortPhases(1042, 4096, 5000, 8),
+		flat(2048, uniformCost(1043, 900, 0.2))))
+	add("wordCounts", "trigramSeq_small_alpha", concat(
+		flat(4096, uniformCost(1044, 2300, 0.3)),
+		sortPhases(1045, 4096, 4300, 8),
+		flat(2048, uniformCost(1046, 800, 0.2))))
+
+	// invertedIndex: per-document tokenize (uneven documents), pair sort,
+	// posting-list build.
+	add("invertedIndex", "wikipedia_like", concat(
+		flat(3072, exptCost(1051, 1100)),
+		sortPhases(1052, 4096, 1400, 8),
+		flat(2048, exptCost(1053, 700))))
+	add("invertedIndex", "wikipedia_like_zipf", concat(
+		flat(3072, exptCost(1054, 1200)),
+		sortPhases(1055, 4096, 1500, 8),
+		flat(2048, exptCost(1056, 750))))
+
+	// suffixArray: log n prefix-doubling rounds, each a radix sort plus a
+	// re-ranking sweep.
+	saRounds := func(salt uint64, rounds int) []Phase {
+		var ph []Phase
+		for r := 0; r < rounds; r++ {
+			ph = append(ph,
+				Phase{Tasks: 3072, Cost: uniformCost(salt^uint64(3*r), 2600, 0.2)},
+				Phase{Tasks: 3072, Cost: uniformCost(salt^uint64(3*r+1), 3000, 0.2)},
+				Phase{Tasks: 1536, Cost: uniformCost(salt^uint64(3*r+2), 1200, 0.2)},
+			)
+		}
+		return ph
+	}
+	add("suffixArray", "trigramString", saRounds(1061, 7))
+
+	// longestRepeatedSubstring: suffix array plus an LCP sweep with
+	// heavy-tailed comparisons.
+	add("longestRepeatedSubstring", "trigramString", concat(
+		saRounds(1071, 6),
+		flat(3072, heavyCost(1072, 1800, 40, 0.01))))
+
+	// breadthFirstSearch: frontier rounds. RMAT explodes then shrinks
+	// with hub vertices; randLocal grows smoothly; the 3D grid is a long
+	// chain of small frontiers (the paper's hard case for signal-based
+	// LCWS at 32 workers).
+	add("breadthFirstSearch", "rMatGraph",
+		roundsOf([]int{1, 8, 96, 1024, 4096, 2048, 384, 48, 4}, heavyCost(1081, 380, 55, 0.02)))
+	add("breadthFirstSearch", "randLocalGraph",
+		roundsOf([]int{1, 16, 128, 768, 2048, 2048, 1024, 384, 96, 12}, uniformCost(1082, 900, 0.3)))
+	grid := make([]int, 40)
+	for i := range grid {
+		grid[i] = 160
+	}
+	add("breadthFirstSearch", "3Dgrid", roundsOf(grid, uniformCost(1083, 800, 0.2)))
+
+	// backForwardBFS: direction-optimizing. On RMAT the middle rounds
+	// flip to cheap bottom-up sweeps; on the 3D grid the frontier never
+	// dominates, leaving the same long chain of small rounds that makes
+	// it the paper's worst case for the signal-based scheduler at 32
+	// workers.
+	add("backForwardBFS", "rMatGraph",
+		roundsOf([]int{1, 8, 96, 2048, 2048, 1024, 384, 48, 4}, heavyCost(1084, 500, 40, 0.02)))
+	bfGrid := make([]int, 44)
+	for i := range bfGrid {
+		bfGrid[i] = 120
+	}
+	add("backForwardBFS", "3Dgrid", roundsOf(bfGrid, uniformCost(1085, 700, 0.2)))
+
+	// maximalIndependentSet / maximalMatching: a few rounds with
+	// geometrically shrinking candidate sets.
+	add("maximalIndependentSet", "rMatGraph",
+		roundsOf([]int{4096, 1536, 512, 128, 24, 4}, heavyCost(1091, 1500, 25, 0.02)))
+	add("maximalIndependentSet", "randLocalGraph",
+		roundsOf([]int{4096, 1280, 384, 96, 16}, uniformCost(1092, 1400, 0.25)))
+	add("maximalMatching", "rMatGraph",
+		roundsOf([]int{4096, 2048, 768, 224, 48, 8}, heavyCost(1101, 1400, 25, 0.02)))
+	add("maximalMatching", "randLocalGraph",
+		roundsOf([]int{4096, 1792, 512, 112, 16}, uniformCost(1102, 1300, 0.25)))
+
+	// spanningForest: one big union-find sweep plus a pack.
+	add("spanningForest", "rMatGraph", concat(
+		flat(5120, heavyCost(1111, 1800, 20, 0.02)),
+		flat(768, uniformCost(1112, 700, 0.2))))
+	add("spanningForest", "randLocalGraph", concat(
+		flat(5120, uniformCost(1113, 1700, 0.25)),
+		flat(768, uniformCost(1114, 700, 0.2))))
+
+	// minSpanningForest: parallel sort rounds then the sequential Kruskal
+	// tail — the low-parallelism regime where LCWS shines.
+	msf := func(salt uint64, seqTail float64) []Phase {
+		return concat(
+			sortPhases(salt, 4096, 5200, 8),
+			[]Phase{{Seq: seqTail, Tasks: 512, Cost: uniformCost(salt^99, 900, 0.2)}})
+	}
+	add("minSpanningForest", "rMatGraph", msf(1121, 2_500_000))
+	add("minSpanningForest", "randLocalGraph", msf(1122, 2_200_000))
+
+	// convexHull: quickhull recursion. In-sphere hulls shed points fast;
+	// on-sphere keeps every point (deep recursion of smaller phases);
+	// kuzmin sits between.
+	add("convexHull", "2DinSphere", geomPhases(1131, 4096, 340, 0.3))
+	add("convexHull", "2DonSphere", geomPhases(1132, 2048, 600, 0.62))
+	add("convexHull", "2Dkuzmin", geomPhases(1133, 4096, 600, 0.45))
+
+	// nearestNeighbors: kd-tree build rounds then a flat query phase.
+	nn := func(salt uint64, queryCost func(int) float64) []Phase {
+		return concat(
+			geomPhases(salt, 2048, 900, 0.5),
+			flat(6144, queryCost))
+	}
+	add("nearestNeighbors", "2DinCube", nn(1141, uniformCost(1142, 900, 0.3)))
+	add("nearestNeighbors", "2Dkuzmin", nn(1143, heavyCost(1144, 620, 70, 0.008)))
+
+	// delaunayTriangulation: incremental insertion rounds with doubling
+	// prefixes — parallelism grows geometrically, and each round mixes a
+	// parallel cavity phase with a short sequential surgery tail.
+	delaunay := func(salt uint64) []Phase {
+		var ph []Phase
+		tasks := 1
+		for tasks < 2048 {
+			ph = append(ph, Phase{Seq: 4000, Tasks: tasks, Cost: uniformCost(salt^uint64(tasks), 2400, 0.4)})
+			tasks *= 2
+		}
+		ph = append(ph, Phase{Seq: 8000, Tasks: 2048, Cost: uniformCost(salt^3, 2400, 0.4)})
+		return ph
+	}
+	add("delaunayTriangulation", "2DinCube", delaunay(1191))
+	add("delaunayTriangulation", "2Dkuzmin", delaunay(1192))
+
+	// delaunayRefine: a handful of refinement rounds, each a full
+	// incremental build plus a flat skinny-triangle scan.
+	var refine []Phase
+	for r := 0; r < 5; r++ {
+		refine = append(refine, delaunay(uint64(1195+r))...)
+		refine = append(refine, Phase{Tasks: 1024, Cost: uniformCost(uint64(1199+r), 900, 0.2)})
+	}
+	add("delaunayRefine", "2DinCube", refine)
+
+	// rangeQuery2d: kd-tree build rounds plus a flat query phase with
+	// heavy-tailed query rectangles.
+	rq := func(salt uint64, queryCost func(int) float64) []Phase {
+		return concat(
+			geomPhases(salt, 2048, 1000, 0.5),
+			flat(4096, queryCost))
+	}
+	add("rangeQuery2d", "2DinCube", rq(1146, heavyCost(1147, 900, 20, 0.02)))
+	add("rangeQuery2d", "2Dkuzmin", rq(1148, heavyCost(1149, 900, 35, 0.02)))
+
+	// rayCast: grid build plus a flat phase of irregular ray walks.
+	add("rayCast", "randomSegments", concat(
+		flat(2048, uniformCost(1151, 1500, 0.2)),
+		flat(6144, heavyCost(1152, 2000, 35, 0.01))))
+
+	// rayCast3d: BVH build (recursive, shrinking) plus a flat phase of
+	// irregular traversals.
+	add("rayCast3d", "randomTriangles", concat(
+		geomPhases(1155, 2048, 1100, 0.5),
+		flat(5120, heavyCost(1156, 1800, 30, 0.015))))
+
+	// nBody: one flat phase of coarse uniform force computations — the
+	// workload where task-boundary exposure delays (USLCWS) hurt most.
+	add("nBody", "3Dplummer", flat(1024, uniformCost(1161, 60_000, 0.1)))
+	// The Barnes–Hut variant: a tree build (shrinking rounds) plus a flat
+	// traversal phase with moderately irregular costs.
+	add("nBody", "3Dplummer_barnesHut", concat(
+		geomPhases(1162, 2048, 1200, 0.5),
+		flat(4096, heavyCost(1163, 3200, 10, 0.03))))
+
+	// classify: many small per-node phases (feature sorts and partitions
+	// over shrinking row sets) — the steal-heavy workload the paper
+	// reports as signal-based LCWS's worst case at 16/32 workers.
+	var classify []Phase
+	nTasks := 1024
+	for d := 0; d < 28 && nTasks >= 8; d++ {
+		classify = append(classify,
+			Phase{Tasks: nTasks, Cost: uniformCost(1171^uint64(d), 1600, 0.3)},
+			Phase{Tasks: nTasks / 2, Cost: uniformCost(1172^uint64(d), 900, 0.3)},
+		)
+		nTasks = nTasks * 3 / 4
+	}
+	add("classify", "covtype_like", classify)
+	// The wide variant: more features per node means coarser per-node
+	// phases but the same steal-heavy shrinking structure.
+	var classifyWide []Phase
+	wTasks := 768
+	for d := 0; d < 22 && wTasks >= 8; d++ {
+		classifyWide = append(classifyWide,
+			Phase{Tasks: wTasks, Cost: uniformCost(1175^uint64(d), 2600, 0.3)},
+			Phase{Tasks: wTasks / 2, Cost: uniformCost(1176^uint64(d), 1100, 0.3)},
+		)
+		wTasks = wTasks * 3 / 4
+	}
+	add("classify", "covtype_like_wide", classifyWide)
+
+	return out
+}

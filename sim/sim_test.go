@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"testing"
+
+	"lcws"
+	"lcws/pbbs"
+)
+
+func amd32() Machine {
+	m, ok := MachineByName("AMD32")
+	if !ok {
+		panic("AMD32 missing")
+	}
+	return m
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	w := Workloads()[0]
+	a := Simulate(w.Phases, lcws.SignalLCWS, 8, amd32(), 7)
+	b := Simulate(w.Phases, lcws.SignalLCWS, 8, amd32(), 7)
+	if a != b {
+		t.Errorf("equal-seed simulations differ:\n%v\n%v", a, b)
+	}
+	c := Simulate(w.Phases, lcws.SignalLCWS, 8, amd32(), 8)
+	if a.Time == c.Time && a.Steals == c.Steals {
+		t.Log("different seeds gave identical results (possible but suspicious)")
+	}
+}
+
+func TestSimulateParallelismHelps(t *testing.T) {
+	phases := flat(512, uniformCost(5, 3000, 0.2))
+	for _, p := range []lcws.Policy{lcws.WS, lcws.SignalLCWS} {
+		t1 := Simulate(phases, p, 1, amd32(), 1).Time
+		t8 := Simulate(phases, p, 8, amd32(), 1).Time
+		if t8 >= t1 {
+			t.Errorf("%v: 8 workers (%.0f) not faster than 1 (%.0f)", p, t8, t1)
+		}
+		if t8 < t1/8 {
+			t.Errorf("%v: superlinear speedup %.2f", p, t1/t8)
+		}
+	}
+}
+
+func TestSimulateSingleWorkerLCWSBeatsWS(t *testing.T) {
+	// With one worker there are no steals: LCWS pays zero sync cost, WS
+	// pays fences on every push/pop — the motivation of the paper.
+	phases := flat(1024, uniformCost(9, 2000, 0.1))
+	ws := Simulate(phases, lcws.WS, 1, amd32(), 1)
+	for _, p := range lcws.LCWSPolicies {
+		r := Simulate(phases, p, 1, amd32(), 1)
+		if r.Time >= ws.Time {
+			t.Errorf("%v at P=1 (%.0f) not faster than WS (%.0f)", p, r.Time, ws.Time)
+		}
+		if r.Fences != 0 || r.CAS != 0 {
+			t.Errorf("%v at P=1 recorded sync ops: %v", p, r)
+		}
+	}
+	if ws.Fences == 0 {
+		t.Error("WS recorded no fences")
+	}
+}
+
+func TestSimulateWorkConservation(t *testing.T) {
+	// Makespan can never be below total-work / P.
+	phases := flat(256, uniformCost(11, 4000, 0.3))
+	total := 0.0
+	for i := 0; i < 256; i++ {
+		total += phases[0].cost(i)
+	}
+	for _, p := range lcws.Policies {
+		for _, workers := range []int{1, 2, 4, 16} {
+			r := Simulate(phases, p, workers, amd32(), 3)
+			if r.Time < total/float64(workers)-1 {
+				t.Errorf("%v P=%d: makespan %.0f below work bound %.0f", p, workers, r.Time, total/float64(workers))
+			}
+			if r.Time < total/float64(workers) {
+				continue
+			}
+		}
+	}
+}
+
+func TestSimulateCounterSemantics(t *testing.T) {
+	phases := flat(512, uniformCost(13, 2500, 0.2))
+	ws := Simulate(phases, lcws.WS, 8, amd32(), 5)
+	if ws.Exposures != 0 || ws.Signals != 0 || ws.ExposedNotStolen != 0 {
+		t.Errorf("WS recorded split-deque events: %v", ws)
+	}
+	us := Simulate(phases, lcws.USLCWS, 8, amd32(), 5)
+	if us.Signals != 0 {
+		t.Errorf("USLCWS recorded signals: %v", us)
+	}
+	if us.Exposures == 0 {
+		t.Errorf("USLCWS with 8 workers exposed nothing: %v", us)
+	}
+	sig := Simulate(phases, lcws.SignalLCWS, 8, amd32(), 5)
+	if sig.Signals == 0 {
+		t.Errorf("SignalLCWS sent no signals: %v", sig)
+	}
+	if sig.Steals == 0 {
+		t.Errorf("SignalLCWS with 8 workers stole nothing: %v", sig)
+	}
+	// LCWS fence reduction (Figures 3a/8a): far fewer fences than WS.
+	if sig.Fences*5 > ws.Fences {
+		t.Errorf("SignalLCWS fences (%d) not well below WS (%d)", sig.Fences, ws.Fences)
+	}
+}
+
+func TestSimulateEmptyAndSeqOnlyWorkloads(t *testing.T) {
+	if r := Simulate(nil, lcws.WS, 4, amd32(), 1); r.Time != 0 {
+		t.Errorf("empty workload time = %v", r.Time)
+	}
+	r := Simulate([]Phase{{Seq: 5000}}, lcws.SignalLCWS, 4, amd32(), 1)
+	if r.Time != 5000 {
+		t.Errorf("seq-only workload time = %v, want 5000", r.Time)
+	}
+}
+
+func TestWorkloadsMatchPBBSSuite(t *testing.T) {
+	// Every pbbs suite instance must have a simulator model and vice
+	// versa, so the figure harness can treat them uniformly.
+	models := map[string]bool{}
+	for _, w := range Workloads() {
+		if models[w.Name()] {
+			t.Errorf("duplicate workload model %s", w.Name())
+		}
+		models[w.Name()] = true
+	}
+	suite := map[string]bool{}
+	for _, inst := range pbbs.Suite(1) {
+		suite[inst.Name()] = true
+		if !models[inst.Name()] {
+			t.Errorf("pbbs instance %s has no simulator model", inst.Name())
+		}
+	}
+	for name := range models {
+		if !suite[name] {
+			t.Errorf("simulator model %s has no pbbs instance", name)
+		}
+	}
+}
+
+func TestWorkloadPhasesAreSane(t *testing.T) {
+	for _, w := range Workloads() {
+		totalTasks := 0
+		for _, ph := range w.Phases {
+			if ph.Tasks < 0 || ph.Seq < 0 {
+				t.Errorf("%s: negative phase parameters", w.Name())
+			}
+			totalTasks += ph.Tasks
+			for i := 0; i < ph.Tasks; i += 100 {
+				if c := ph.cost(i); c <= 0 || c > 1e7 {
+					t.Errorf("%s: chunk cost %v out of range", w.Name(), c)
+				}
+			}
+		}
+		if totalTasks < 32 {
+			t.Errorf("%s: only %d tasks total", w.Name(), totalTasks)
+		}
+	}
+}
+
+func TestMachineProfiles(t *testing.T) {
+	if len(Machines) != 3 {
+		t.Fatalf("Table 1 has 3 machines, got %d", len(Machines))
+	}
+	names := map[string]int{"Intel12": 12, "AMD32": 32, "Intel16": 16}
+	for _, m := range Machines {
+		want, ok := names[m.Name]
+		if !ok {
+			t.Errorf("unexpected machine %s", m.Name)
+			continue
+		}
+		if m.Cores != want {
+			t.Errorf("%s cores = %d, want %d", m.Name, m.Cores, want)
+		}
+		sweep := m.WorkerSweep()
+		if sweep[0] != 1 || sweep[len(sweep)-1] != m.Cores {
+			t.Errorf("%s sweep %v must span 1..cores", m.Name, sweep)
+		}
+	}
+	if _, ok := MachineByName("nope"); ok {
+		t.Error("MachineByName accepted an unknown name")
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	if Speedup(100, 50) != 2 {
+		t.Error("Speedup(100, 50) != 2")
+	}
+	if Speedup(100, 0) != 1 {
+		t.Error("Speedup with zero time should default to 1")
+	}
+}

@@ -1,0 +1,60 @@
+package sim
+
+import "lcws"
+
+// Multiprogrammed-environment extension (beyond the paper's evaluation,
+// motivated by its §1.1): simulate a resource manager that revokes and
+// returns cores while a computation runs. A revoked processor stops
+// taking new work and stops handling exposure requests, but its deque
+// stays in shared memory: under WS every task in it remains stealable,
+// while under the LCWS schedulers the private part is stranded until the
+// processor gets its core back — the structural trade-off this experiment
+// quantifies.
+
+// AvailWindow says that until virtual time Until, only processors with
+// id < Procs may run.
+type AvailWindow struct {
+	Until float64
+	Procs int
+}
+
+// Trace is a sequence of availability windows in increasing Until order.
+// After the last window every processor is available (required for
+// termination: stranded private work must eventually be reachable).
+type Trace []AvailWindow
+
+// availAt returns how many processors may run at time t.
+func (tr Trace) availAt(t float64, workers int) int {
+	for _, w := range tr {
+		if t < w.Until {
+			if w.Procs < 1 {
+				return 1
+			}
+			return w.Procs
+		}
+	}
+	return workers
+}
+
+// nextChange returns the next window boundary after t, or -1 when t is
+// past the whole trace.
+func (tr Trace) nextChange(t float64) float64 {
+	for _, w := range tr {
+		if t < w.Until {
+			return w.Until
+		}
+	}
+	return -1
+}
+
+// SimulateTrace is Simulate under an availability trace: processors whose
+// id is at or above the current availability neither take work nor handle
+// signals until their core returns.
+func SimulateTrace(phases []Phase, policy lcws.Policy, workers int, m Machine, seed uint64, trace Trace) Result {
+	if workers < 1 {
+		panic("sim: need at least one worker")
+	}
+	s := newSim(phases, policy, workers, m, seed)
+	s.trace = trace
+	return s.runLoop()
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"lcws"
+)
+
+func TestTraceAvailAtAndNextChange(t *testing.T) {
+	tr := Trace{{Until: 100, Procs: 2}, {Until: 200, Procs: 4}}
+	if got := tr.availAt(50, 8); got != 2 {
+		t.Errorf("availAt(50) = %d", got)
+	}
+	if got := tr.availAt(150, 8); got != 4 {
+		t.Errorf("availAt(150) = %d", got)
+	}
+	if got := tr.availAt(500, 8); got != 8 {
+		t.Errorf("availAt past trace = %d", got)
+	}
+	if got := tr.nextChange(50); got != 100 {
+		t.Errorf("nextChange(50) = %v", got)
+	}
+	if got := tr.nextChange(150); got != 200 {
+		t.Errorf("nextChange(150) = %v", got)
+	}
+	if got := tr.nextChange(500); got != -1 {
+		t.Errorf("nextChange past trace = %v", got)
+	}
+	// Zero-proc windows clamp to one processor.
+	zero := Trace{{Until: 10, Procs: 0}}
+	if got := zero.availAt(5, 4); got != 1 {
+		t.Errorf("clamped availAt = %d", got)
+	}
+}
+
+func TestSimulateTraceDeterministicAndSlower(t *testing.T) {
+	m := amd32()
+	phases := flat(2048, uniformCost(3, 2500, 0.2))
+	full := Simulate(phases, lcws.SignalLCWS, 16, m, 9)
+	// Revoke half the cores for the first stretch of the run.
+	tr := Trace{{Until: full.Time / 2, Procs: 8}}
+	a := SimulateTrace(phases, lcws.SignalLCWS, 16, m, 9, tr)
+	b := SimulateTrace(phases, lcws.SignalLCWS, 16, m, 9, tr)
+	if a != b {
+		t.Error("SimulateTrace not deterministic")
+	}
+	if a.Time <= full.Time {
+		t.Errorf("revoked run (%.0f) not slower than full run (%.0f)", a.Time, full.Time)
+	}
+	// But never slower than running on the reduced count the whole time.
+	half := Simulate(phases, lcws.SignalLCWS, 8, m, 9)
+	if a.Time > half.Time*1.15 {
+		t.Errorf("revoked run (%.0f) much slower than steady half-machine (%.0f)", a.Time, half.Time)
+	}
+}
+
+func TestSimulateTraceEquivalentToSteadyWhenConstant(t *testing.T) {
+	m := amd32()
+	phases := flat(1024, uniformCost(5, 2000, 0.2))
+	// A trace that never changes availability must behave like plain
+	// Simulate at the same width for every policy.
+	for _, pol := range []lcws.Policy{lcws.WS, lcws.USLCWS, lcws.SignalLCWS, lcws.LaceWS} {
+		plain := Simulate(phases, pol, 4, m, 11)
+		traced := SimulateTrace(phases, pol, 4, m, 11, nil)
+		if plain != traced {
+			t.Errorf("%v: nil-trace SimulateTrace differs from Simulate", pol)
+		}
+	}
+}
+
+func TestSimulateTraceStrandedPrivateWork(t *testing.T) {
+	// The headline of the extension: under revocation mid-run, WS's
+	// stranded deques remain fully stealable while LCWS strands private
+	// work until the core returns. The revoked-run slowdown of LCWS must
+	// therefore exceed WS's.
+	m := amd32()
+	phases := flat(4096, uniformCost(7, 2500, 0.2))
+	slowdown := func(pol lcws.Policy) float64 {
+		full := Simulate(phases, pol, 16, m, 13)
+		tr := Trace{{Until: full.Time * 0.3, Procs: 4}}
+		revoked := SimulateTrace(phases, pol, 16, m, 13, tr)
+		return revoked.Time / full.Time
+	}
+	ws := slowdown(lcws.WS)
+	us := slowdown(lcws.USLCWS)
+	if ws <= 1 || us <= 1 {
+		t.Fatalf("revocation did not slow runs down (WS %.2f, USLCWS %.2f)", ws, us)
+	}
+	if us < ws*0.98 {
+		t.Errorf("USLCWS slowdown %.3f clearly below WS %.3f; stranded private work should not help LCWS", us, ws)
+	}
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"sort"
+
+	"lcws/internal/rng"
+)
+
+// Graph is a graph in compressed sparse row form. Edges of vertex v are
+// Adj[Offsets[v]:Offsets[v+1]]. For undirected graphs every edge appears
+// in both endpoints' adjacency lists.
+type Graph struct {
+	Offsets []int32
+	Adj     []int32
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Offsets) - 1 }
+
+// NumEdges returns the number of directed adjacency entries (twice the
+// undirected edge count for symmetric graphs).
+func (g *Graph) NumEdges() int { return len(g.Adj) }
+
+// Neighbors returns the adjacency list of v.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Edge is an undirected edge with endpoints U < V possible but not
+// required.
+type Edge struct{ U, V int32 }
+
+// WeightedEdge is an Edge with a weight, for the spanning-forest
+// benchmarks.
+type WeightedEdge struct {
+	U, V int32
+	W    float64
+}
+
+// BuildGraph converts an edge list over n vertices into CSR form,
+// symmetrizing (each edge appears in both directions) and removing
+// self-loops and duplicate directed entries.
+func BuildGraph(n int, edges []Edge) *Graph {
+	type dedge struct{ u, v int32 }
+	dir := make([]dedge, 0, 2*len(edges))
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		dir = append(dir, dedge{e.U, e.V}, dedge{e.V, e.U})
+	}
+	sort.Slice(dir, func(i, j int) bool {
+		if dir[i].u != dir[j].u {
+			return dir[i].u < dir[j].u
+		}
+		return dir[i].v < dir[j].v
+	})
+	// Remove duplicates.
+	uniq := dir[:0]
+	for i, e := range dir {
+		if i == 0 || e != dir[i-1] {
+			uniq = append(uniq, e)
+		}
+	}
+	offsets := make([]int32, n+1)
+	for _, e := range uniq {
+		offsets[e.u+1]++
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	adj := make([]int32, len(uniq))
+	for i, e := range uniq {
+		adj[i] = e.v
+	}
+	return &Graph{Offsets: offsets, Adj: adj}
+}
+
+// RMatEdges returns m edges over 2^logN vertices drawn from an RMAT
+// distribution with the standard (0.57, 0.19, 0.19, 0.05) quadrant
+// probabilities, mirroring PBBS's rMatGraph inputs (heavy-tailed degree
+// distribution).
+func RMatEdges(seed uint64, logN, m int) []Edge {
+	g := rng.New(seed)
+	edges := make([]Edge, m)
+	for i := range edges {
+		var u, v int32
+		for bit := 0; bit < logN; bit++ {
+			r := g.Float64()
+			switch {
+			case r < 0.57:
+				// top-left: no bits set
+			case r < 0.76:
+				v |= 1 << bit
+			case r < 0.95:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		edges[i] = Edge{u, v}
+	}
+	return edges
+}
+
+// RMatGraph returns the symmetrized CSR form of RMatEdges.
+func RMatGraph(seed uint64, logN, m int) *Graph {
+	return BuildGraph(1<<logN, RMatEdges(seed, logN, m))
+}
+
+// RandLocalEdges returns approximately degree*n/2 edges over n vertices
+// where each vertex connects to random vertices within a window of its
+// own id, mirroring PBBS's randLocalGraph (good locality, near-uniform
+// degrees).
+func RandLocalEdges(seed uint64, n, degree int) []Edge {
+	g := rng.New(seed)
+	window := n / 16
+	if window < 4 {
+		window = 4
+	}
+	edges := make([]Edge, 0, n*degree/2)
+	for u := 0; u < n; u++ {
+		for d := 0; d < degree/2; d++ {
+			off := g.Intn(2*window) - window
+			v := u + off
+			if v < 0 {
+				v += n
+			}
+			if v >= n {
+				v -= n
+			}
+			if v != u {
+				edges = append(edges, Edge{int32(u), int32(v)})
+			}
+		}
+	}
+	return edges
+}
+
+// RandLocalGraph returns the symmetrized CSR form of RandLocalEdges.
+func RandLocalGraph(seed uint64, n, degree int) *Graph {
+	return BuildGraph(n, RandLocalEdges(seed, n, degree))
+}
+
+// GridGraph3D returns the 6-neighbour 3D grid torus on side^3 vertices,
+// mirroring PBBS's 3Dgrid inputs (bounded degree, large diameter).
+func GridGraph3D(side int) *Graph {
+	n := side * side * side
+	id := func(x, y, z int) int32 {
+		x = (x + side) % side
+		y = (y + side) % side
+		z = (z + side) % side
+		return int32((x*side+y)*side + z)
+	}
+	edges := make([]Edge, 0, 3*n)
+	for x := 0; x < side; x++ {
+		for y := 0; y < side; y++ {
+			for z := 0; z < side; z++ {
+				u := id(x, y, z)
+				edges = append(edges,
+					Edge{u, id(x+1, y, z)},
+					Edge{u, id(x, y+1, z)},
+					Edge{u, id(x, y, z+1)},
+				)
+			}
+		}
+	}
+	return BuildGraph(n, edges)
+}
+
+// WeightedEdges attaches deterministic pseudo-random weights in (0, 1) to
+// an edge list (for minSpanningForest). Weights are distinct with high
+// probability.
+func WeightedEdges(seed uint64, edges []Edge) []WeightedEdge {
+	out := make([]WeightedEdge, len(edges))
+	for i, e := range edges {
+		h := rng.Hash64(seed ^ uint64(i)<<32 ^ uint64(e.U)<<16 ^ uint64(e.V))
+		out[i] = WeightedEdge{U: e.U, V: e.V, W: (float64(h>>11) + 1) / (1 << 53)}
+	}
+	return out
+}

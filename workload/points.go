@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math"
+
+	"lcws/internal/rng"
+)
+
+// Point2 is a point in the plane.
+type Point2 struct{ X, Y float64 }
+
+// Point3 is a point in 3-space.
+type Point3 struct{ X, Y, Z float64 }
+
+// InCube2D returns n uniform points in the unit square, mirroring PBBS's
+// 2DinCube inputs.
+func InCube2D(seed uint64, n int) []Point2 {
+	g := rng.New(seed)
+	out := make([]Point2, n)
+	for i := range out {
+		out[i] = Point2{g.Float64(), g.Float64()}
+	}
+	return out
+}
+
+// InSphere2D returns n points uniform inside the unit disk, mirroring
+// PBBS's 2DinSphere inputs (a workload on which convex hulls are tiny).
+func InSphere2D(seed uint64, n int) []Point2 {
+	g := rng.New(seed)
+	out := make([]Point2, n)
+	for i := range out {
+		r := math.Sqrt(g.Float64())
+		th := 2 * math.Pi * g.Float64()
+		out[i] = Point2{r * math.Cos(th), r * math.Sin(th)}
+	}
+	return out
+}
+
+// OnSphere2D returns n points on the unit circle (every point is on the
+// hull — the convex hull worst case), mirroring PBBS's 2DonSphere.
+func OnSphere2D(seed uint64, n int) []Point2 {
+	g := rng.New(seed)
+	out := make([]Point2, n)
+	for i := range out {
+		th := 2 * math.Pi * g.Float64()
+		out[i] = Point2{math.Cos(th), math.Sin(th)}
+	}
+	return out
+}
+
+// Kuzmin2D returns n points from a Plummer/Kuzmin-like heavy-tailed radial
+// distribution (clustered center, sparse fringe), mirroring PBBS's
+// 2Dkuzmin inputs for nearest neighbors.
+func Kuzmin2D(seed uint64, n int) []Point2 {
+	g := rng.New(seed)
+	out := make([]Point2, n)
+	for i := range out {
+		u := g.Float64()
+		if u >= 1 {
+			u = math.Nextafter(1, 0)
+		}
+		r := math.Sqrt(1/((1-u)*(1-u)) - 1)
+		th := 2 * math.Pi * g.Float64()
+		out[i] = Point2{r * math.Cos(th), r * math.Sin(th)}
+	}
+	return out
+}
+
+// InCube3D returns n uniform points in the unit cube.
+func InCube3D(seed uint64, n int) []Point3 {
+	g := rng.New(seed)
+	out := make([]Point3, n)
+	for i := range out {
+		out[i] = Point3{g.Float64(), g.Float64(), g.Float64()}
+	}
+	return out
+}
+
+// PlummerBodies returns n bodies with Plummer-distributed positions and
+// unit masses for the nBody benchmark (PBBS's 3DinCube/3Dplummer inputs).
+func PlummerBodies(seed uint64, n int) []Point3 {
+	g := rng.New(seed)
+	out := make([]Point3, n)
+	for i := range out {
+		u := g.Float64()
+		if u >= 1 {
+			u = math.Nextafter(1, 0)
+		}
+		r := 1 / math.Sqrt(math.Pow(u, -2.0/3.0)-1)
+		// Uniform direction on the sphere.
+		z := 2*g.Float64() - 1
+		th := 2 * math.Pi * g.Float64()
+		s := math.Sqrt(1 - z*z)
+		out[i] = Point3{r * s * math.Cos(th), r * s * math.Sin(th), r * z}
+	}
+	return out
+}
+
+// Segment2 is a line segment in the plane (for the 2D rayCast benchmark).
+type Segment2 struct{ A, B Point2 }
+
+// RandomSegments returns n short random segments kept strictly inside the
+// unit square (the domain of the rayCast acceleration grid).
+func RandomSegments(seed uint64, n int, maxLen float64) []Segment2 {
+	g := rng.New(seed)
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 0.999999 {
+			return 0.999999
+		}
+		return v
+	}
+	out := make([]Segment2, n)
+	for i := range out {
+		a := Point2{g.Float64(), g.Float64()}
+		th := 2 * math.Pi * g.Float64()
+		l := maxLen * g.Float64()
+		b := Point2{clamp(a.X + l*math.Cos(th)), clamp(a.Y + l*math.Sin(th))}
+		out[i] = Segment2{A: a, B: b}
+	}
+	return out
+}
+
+// Ray2 is a ray in the plane with origin O and direction D.
+type Ray2 struct{ O, D Point2 }
+
+// RandomRays returns n rays with origins in the unit square and random
+// directions.
+func RandomRays(seed uint64, n int) []Ray2 {
+	g := rng.New(seed)
+	out := make([]Ray2, n)
+	for i := range out {
+		th := 2 * math.Pi * g.Float64()
+		out[i] = Ray2{
+			O: Point2{g.Float64(), g.Float64()},
+			D: Point2{math.Cos(th), math.Sin(th)},
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+// Package workload generates the synthetic input instances used by the
+// pbbs benchmark suite, mirroring the input-instance families of PBBS v2
+// (randomSeq, exptSeq, almostSortedSeq, trigram text, rMat and random
+// local graphs, point distributions, and covtype-like labelled rows).
+// All generators are deterministic functions of their seed, so every
+// benchmark configuration is bit-for-bit reproducible. PBBS's default
+// instances have ~100M elements; ours default to a few hundred thousand
+// (configured by the harness) so the full evaluation sweep runs on a
+// laptop-class host — see DESIGN.md §2 for the substitution rationale.
+package workload
+
+import (
+	"math"
+
+	"lcws/internal/rng"
+)
+
+// RandomSeq returns n uniform integers in [0, bound), as in PBBS's
+// randomSeq_<n>_int (bound 2^27 by default there; callers pick the bound).
+func RandomSeq(seed uint64, n int, bound uint64) []uint64 {
+	out := make([]uint64, n)
+	g := rng.New(seed)
+	for i := range out {
+		out[i] = g.Uint64n(bound)
+	}
+	return out
+}
+
+// ExptSeq returns n integers distributed approximately exponentially, as
+// in PBBS's exptSeq: many small values, few large ones, heavy skew in the
+// key histogram.
+func ExptSeq(seed uint64, n int, bound uint64) []uint64 {
+	out := make([]uint64, n)
+	g := rng.New(seed)
+	scale := float64(bound) / 16
+	for i := range out {
+		v := uint64(g.Exp() * scale)
+		if v >= bound {
+			v = bound - 1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// AlmostSortedSeq returns the sequence 0..n-1 with swaps random
+// transpositions applied, as in PBBS's almostSortedSeq.
+func AlmostSortedSeq(seed uint64, n, swaps int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i)
+	}
+	g := rng.New(seed)
+	for s := 0; s < swaps; s++ {
+		i, j := g.Intn(n), g.Intn(n)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// RandomDoubles returns n uniform float64 values in [0, 1).
+func RandomDoubles(seed uint64, n int) []float64 {
+	out := make([]float64, n)
+	g := rng.New(seed)
+	for i := range out {
+		out[i] = g.Float64()
+	}
+	return out
+}
+
+// ExptDoubles returns n exponentially distributed float64 values.
+func ExptDoubles(seed uint64, n int) []float64 {
+	out := make([]float64, n)
+	g := rng.New(seed)
+	for i := range out {
+		out[i] = g.Exp()
+	}
+	return out
+}
+
+// KeyValuePairs returns n (key, value) pairs with uniform keys in
+// [0, bound), as in PBBS's randomSeq_<n>_int_pair_int instances (bound 256
+// gives the heavily duplicated "randomSeq_100M_256_int_pair_int").
+func KeyValuePairs(seed uint64, n int, bound uint64) (keys []uint64, vals []uint64) {
+	keys = make([]uint64, n)
+	vals = make([]uint64, n)
+	g := rng.New(seed)
+	for i := range keys {
+		keys[i] = g.Uint64n(bound)
+		vals[i] = g.Uint64()
+	}
+	return keys, vals
+}
+
+// LabeledRow is one row of the covtype-like classification dataset.
+type LabeledRow struct {
+	Features []float64
+	Label    int
+}
+
+// CovtypeLike returns n labelled rows with the given number of numeric
+// features and classes. The label is a noisy threshold function of a few
+// features, so a decision tree can learn it (mirroring the covtype dataset
+// used by PBBS classify): about 10% of the labels are randomized.
+func CovtypeLike(seed uint64, n, features, classes int) []LabeledRow {
+	if features < 2 {
+		panic("workload: CovtypeLike needs at least 2 features")
+	}
+	g := rng.New(seed)
+	rows := make([]LabeledRow, n)
+	for i := range rows {
+		f := make([]float64, features)
+		for j := range f {
+			f[j] = g.Float64()
+		}
+		// The true concept: a small axis-aligned decision "tree".
+		var label int
+		switch {
+		case f[0] < 0.3:
+			label = 0
+		case f[1] > 0.6:
+			label = 1 % classes
+		case f[0]+f[1] > 1.2:
+			label = 2 % classes
+		default:
+			label = int(math.Floor(f[1]*float64(classes))) % classes
+		}
+		if g.Float64() < 0.1 { // label noise
+			label = g.Intn(classes)
+		}
+		rows[i] = LabeledRow{Features: f, Label: label}
+	}
+	return rows
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"strings"
+
+	"lcws/internal/rng"
+)
+
+// trigram model: a tiny fixed letter-transition table drives word
+// generation, mirroring PBBS's trigramSeq/trigramString generators, which
+// produce text whose word-frequency distribution is Zipf-like enough to
+// exercise wordCounts, invertedIndex and suffixArray realistically.
+
+const letters = "abcdefghijklmnopqrstuvwxyz"
+
+// trigramNext deterministically picks the next letter from the previous
+// two; mixing with a per-position random word keeps the text aperiodic.
+func trigramNext(g *rng.Xoshiro256, a, b byte) byte {
+	h := rng.Hash64(uint64(a)<<8 | uint64(b))
+	// Bias towards a letter determined by the previous two, with noise.
+	if g.Float64() < 0.6 {
+		return letters[h%26]
+	}
+	return letters[g.Intn(26)]
+}
+
+// TrigramWord returns one word of length in [minLen, maxLen].
+func trigramWord(g *rng.Xoshiro256, minLen, maxLen int) string {
+	n := minLen
+	if maxLen > minLen {
+		n += g.Intn(maxLen - minLen + 1)
+	}
+	var sb strings.Builder
+	sb.Grow(n)
+	a, b := letters[g.Intn(26)], letters[g.Intn(26)]
+	sb.WriteByte(a)
+	if n > 1 {
+		sb.WriteByte(b)
+	}
+	for i := 2; i < n; i++ {
+		c := trigramNext(g, a, b)
+		sb.WriteByte(c)
+		a, b = b, c
+	}
+	return sb.String()
+}
+
+// TrigramWords returns n space-separated trigram words as a single string,
+// mirroring PBBS's trigramSeq word sequences.
+func TrigramWords(seed uint64, n int) string {
+	g := rng.New(seed)
+	var sb strings.Builder
+	sb.Grow(n * 6)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(trigramWord(g, 2, 9))
+	}
+	return sb.String()
+}
+
+// TrigramString returns a string of length n over a small alphabet with
+// trigram structure (PBBS trigramString), suitable for suffix-array
+// workloads: repeated substrings occur but the text is not periodic.
+func TrigramString(seed uint64, n int) []byte {
+	g := rng.New(seed)
+	out := make([]byte, n)
+	a, b := letters[g.Intn(26)], letters[g.Intn(26)]
+	for i := 0; i < n; i++ {
+		var c byte
+		if g.Float64() < 0.12 {
+			c = ' ' // word boundaries
+		} else {
+			c = trigramNext(g, a, b)
+		}
+		out[i] = c
+		a, b = b, c
+	}
+	return out
+}
+
+// ZipfDocuments returns nDocs documents whose words are drawn from a
+// vocabulary with a Zipf-like rank-frequency distribution (exponent ~1),
+// a closer match to natural-language corpora than the trigram model: a
+// few words dominate, with a long tail of rare ones.
+func ZipfDocuments(seed uint64, nDocs, wordsPerDoc, vocabulary int) []string {
+	g := rng.New(seed)
+	// Pre-generate the vocabulary with the trigram word model.
+	vocab := make([]string, vocabulary)
+	for i := range vocab {
+		vocab[i] = trigramWord(g, 2, 9)
+	}
+	// Inverse-CDF sampling of a Zipf(1) rank distribution.
+	cdf := make([]float64, vocabulary)
+	total := 0.0
+	for i := range cdf {
+		total += 1 / float64(i+1)
+		cdf[i] = total
+	}
+	pick := func() string {
+		target := g.Float64() * total
+		lo, hi := 0, vocabulary
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= vocabulary {
+			lo = vocabulary - 1
+		}
+		return vocab[lo]
+	}
+	docs := make([]string, nDocs)
+	for d := range docs {
+		n := wordsPerDoc/2 + g.Intn(wordsPerDoc+1)
+		var sb strings.Builder
+		sb.Grow(n * 6)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(pick())
+		}
+		docs[d] = sb.String()
+	}
+	return docs
+}
+
+// Documents returns nDocs documents of roughly wordsPerDoc trigram words
+// each, for the invertedIndex benchmark (standing in for PBBS's
+// wikipedia250M input). Document lengths vary by ±50%.
+func Documents(seed uint64, nDocs, wordsPerDoc int) []string {
+	g := rng.New(seed)
+	docs := make([]string, nDocs)
+	for d := range docs {
+		n := wordsPerDoc/2 + g.Intn(wordsPerDoc+1)
+		var sb strings.Builder
+		sb.Grow(n * 6)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(trigramWord(g, 2, 8))
+		}
+		docs[d] = sb.String()
+	}
+	return docs
+}

@@ -1,0 +1,353 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRandomSeqDeterministicAndBounded(t *testing.T) {
+	a := RandomSeq(1, 1000, 100)
+	b := RandomSeq(1, 1000, 100)
+	c := RandomSeq(2, 1000, 100)
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RandomSeq not deterministic")
+		}
+		if a[i] >= 100 {
+			t.Fatalf("RandomSeq value %d out of bound", a[i])
+		}
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestExptSeqSkewed(t *testing.T) {
+	xs := ExptSeq(3, 10000, 1<<20)
+	small := 0
+	for _, v := range xs {
+		if v >= 1<<20 {
+			t.Fatalf("ExptSeq value %d out of bound", v)
+		}
+		if v < 1<<16 {
+			small++
+		}
+	}
+	if small < 5000 {
+		t.Errorf("ExptSeq not skewed: only %d/10000 small values", small)
+	}
+}
+
+func TestAlmostSortedSeq(t *testing.T) {
+	xs := AlmostSortedSeq(5, 10000, 100)
+	inversions := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Error("AlmostSortedSeq is fully sorted; swaps had no effect")
+	}
+	if inversions > 400 {
+		t.Errorf("AlmostSortedSeq too disordered: %d adjacent inversions", inversions)
+	}
+	// It must still be a permutation of 0..n-1.
+	seen := make([]bool, len(xs))
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatal("AlmostSortedSeq is not a permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestKeyValuePairs(t *testing.T) {
+	k, v := KeyValuePairs(7, 500, 256)
+	if len(k) != 500 || len(v) != 500 {
+		t.Fatal("KeyValuePairs length mismatch")
+	}
+	for _, key := range k {
+		if key >= 256 {
+			t.Fatalf("key %d out of bound", key)
+		}
+	}
+}
+
+func TestCovtypeLikeLearnable(t *testing.T) {
+	rows := CovtypeLike(11, 5000, 8, 4)
+	for _, r := range rows {
+		if len(r.Features) != 8 {
+			t.Fatal("feature count wrong")
+		}
+		if r.Label < 0 || r.Label >= 4 {
+			t.Fatalf("label %d out of range", r.Label)
+		}
+	}
+	// The concept is mostly deterministic: the plurality class among
+	// rows with f0 < 0.3 must be class 0 (10% noise cannot flip it).
+	counts := map[int]int{}
+	for _, r := range rows {
+		if r.Features[0] < 0.3 {
+			counts[r.Label]++
+		}
+	}
+	best, bestC := -1, -1
+	for l, c := range counts {
+		if c > bestC {
+			best, bestC = l, c
+		}
+	}
+	if best != 0 {
+		t.Errorf("plurality class for f0<0.3 is %d, want 0", best)
+	}
+}
+
+func TestTrigramWordsShape(t *testing.T) {
+	text := TrigramWords(13, 1000)
+	words := strings.Fields(text)
+	if len(words) != 1000 {
+		t.Fatalf("TrigramWords produced %d words, want 1000", len(words))
+	}
+	freq := map[string]int{}
+	for _, w := range words {
+		for _, c := range w {
+			if c < 'a' || c > 'z' {
+				t.Fatalf("word %q contains non-letter", w)
+			}
+		}
+		freq[w]++
+	}
+	if len(freq) == 1000 {
+		t.Error("no repeated words; trigram model should repeat some")
+	}
+}
+
+func TestTrigramString(t *testing.T) {
+	s := TrigramString(17, 5000)
+	if len(s) != 5000 {
+		t.Fatalf("TrigramString length %d", len(s))
+	}
+	spaces := 0
+	for _, c := range s {
+		if c == ' ' {
+			spaces++
+		} else if c < 'a' || c > 'z' {
+			t.Fatalf("unexpected byte %q", c)
+		}
+	}
+	if spaces == 0 || spaces > 1500 {
+		t.Errorf("space count %d out of expected range", spaces)
+	}
+}
+
+func TestDocuments(t *testing.T) {
+	docs := Documents(19, 50, 40)
+	if len(docs) != 50 {
+		t.Fatal("wrong doc count")
+	}
+	for _, d := range docs {
+		n := len(strings.Fields(d))
+		if n < 10 || n > 70 {
+			t.Errorf("document has %d words, want ~40±50%%", n)
+		}
+	}
+}
+
+func TestBuildGraphSymmetricNoSelfLoops(t *testing.T) {
+	g := BuildGraph(4, []Edge{{0, 1}, {1, 0}, {2, 2}, {1, 3}, {1, 3}})
+	if g.NumVertices() != 4 {
+		t.Fatal("vertex count")
+	}
+	// Edges: 0-1 and 1-3 (deduplicated, self-loop dropped) → 4 directed.
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	for v := int32(0); v < 4; v++ {
+		for _, u := range g.Neighbors(v) {
+			if u == v {
+				t.Fatal("self loop survived")
+			}
+			found := false
+			for _, w := range g.Neighbors(u) {
+				if w == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d not symmetric", v, u)
+			}
+		}
+	}
+}
+
+func TestRMatGraphShape(t *testing.T) {
+	g := RMatGraph(23, 10, 8000)
+	if g.NumVertices() != 1024 {
+		t.Fatal("vertex count")
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	// RMAT graphs are heavy-tailed: the max degree should far exceed the
+	// average degree.
+	maxDeg, sumDeg := 0, 0
+	for v := int32(0); v < 1024; v++ {
+		d := g.Degree(v)
+		sumDeg += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := sumDeg / 1024
+	if maxDeg < 4*(avg+1) {
+		t.Errorf("RMAT degree distribution not heavy-tailed: max %d avg %d", maxDeg, avg)
+	}
+}
+
+func TestRandLocalGraphDegrees(t *testing.T) {
+	g := RandLocalGraph(29, 2000, 8)
+	if g.NumVertices() != 2000 {
+		t.Fatal("vertex count")
+	}
+	sum := 0
+	for v := int32(0); v < 2000; v++ {
+		sum += g.Degree(v)
+	}
+	avg := float64(sum) / 2000
+	if avg < 4 || avg > 10 {
+		t.Errorf("average degree %.1f outside expected range", avg)
+	}
+}
+
+func TestGridGraph3D(t *testing.T) {
+	g := GridGraph3D(5)
+	if g.NumVertices() != 125 {
+		t.Fatal("vertex count")
+	}
+	for v := int32(0); v < 125; v++ {
+		if g.Degree(v) != 6 {
+			t.Fatalf("grid vertex %d has degree %d, want 6", v, g.Degree(v))
+		}
+	}
+}
+
+func TestWeightedEdges(t *testing.T) {
+	edges := RMatEdges(31, 8, 1000)
+	we := WeightedEdges(1, edges)
+	seen := map[float64]bool{}
+	for _, e := range we {
+		if e.W <= 0 || e.W >= 1 {
+			t.Fatalf("weight %v out of (0,1)", e.W)
+		}
+		seen[e.W] = true
+	}
+	if len(seen) < 990 {
+		t.Errorf("weights not distinct enough: %d unique of 1000", len(seen))
+	}
+}
+
+func TestPointDistributions(t *testing.T) {
+	cube := InCube2D(37, 1000)
+	for _, p := range cube {
+		if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 {
+			t.Fatal("InCube2D point outside unit square")
+		}
+	}
+	disk := InSphere2D(41, 1000)
+	for _, p := range disk {
+		if p.X*p.X+p.Y*p.Y > 1+1e-12 {
+			t.Fatal("InSphere2D point outside unit disk")
+		}
+	}
+	circ := OnSphere2D(43, 1000)
+	for _, p := range circ {
+		if math.Abs(p.X*p.X+p.Y*p.Y-1) > 1e-9 {
+			t.Fatal("OnSphere2D point not on unit circle")
+		}
+	}
+	cube3 := InCube3D(47, 100)
+	for _, p := range cube3 {
+		if p.Z < 0 || p.Z >= 1 {
+			t.Fatal("InCube3D point outside cube")
+		}
+	}
+	kz := Kuzmin2D(53, 1000)
+	far := 0
+	for _, p := range kz {
+		if p.X*p.X+p.Y*p.Y > 100 {
+			far++
+		}
+	}
+	if far == 0 {
+		t.Error("Kuzmin2D has no far-out points; tail missing")
+	}
+}
+
+func TestSegmentsAndRays(t *testing.T) {
+	segs := RandomSegments(59, 100, 0.1)
+	for _, s := range segs {
+		dx, dy := s.B.X-s.A.X, s.B.Y-s.A.Y
+		if math.Hypot(dx, dy) > 0.1+1e-12 {
+			t.Fatal("segment longer than maxLen")
+		}
+	}
+	rays := RandomRays(61, 100)
+	for _, r := range rays {
+		if math.Abs(math.Hypot(r.D.X, r.D.Y)-1) > 1e-9 {
+			t.Fatal("ray direction not unit length")
+		}
+	}
+}
+
+func TestPlummerBodies(t *testing.T) {
+	bodies := PlummerBodies(67, 1000)
+	if len(bodies) != 1000 {
+		t.Fatal("body count")
+	}
+	// Plummer is centrally concentrated: more than half within r=1.3.
+	near := 0
+	for _, b := range bodies {
+		if b.X*b.X+b.Y*b.Y+b.Z*b.Z < 1.3*1.3 {
+			near++
+		}
+	}
+	if near < 400 {
+		t.Errorf("Plummer distribution not concentrated: %d/1000 near center", near)
+	}
+}
+
+func TestZipfDocumentsSkew(t *testing.T) {
+	docs := ZipfDocuments(71, 100, 50, 2000)
+	if len(docs) != 100 {
+		t.Fatal("doc count")
+	}
+	freq := map[string]int{}
+	total := 0
+	for _, d := range docs {
+		for _, w := range strings.Fields(d) {
+			freq[w]++
+			total++
+		}
+	}
+	// Zipf: the most frequent word should account for a large share,
+	// and the vocabulary actually used should be much smaller than the
+	// total word count.
+	best := 0
+	for _, c := range freq {
+		if c > best {
+			best = c
+		}
+	}
+	if best < total/50 {
+		t.Errorf("top word has %d/%d occurrences; expected heavy head", best, total)
+	}
+	if len(freq) >= total/2 {
+		t.Errorf("%d distinct words of %d total; expected heavy reuse", len(freq), total)
+	}
+}
