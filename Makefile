@@ -1,0 +1,40 @@
+# Verification entry points. `make verify` is the full gate CI runs
+# (.github/workflows/verify.yml); the narrower targets exist for local
+# iteration.
+
+GO ?= go
+BIN := $(CURDIR)/bin
+
+.PHONY: verify build test race vet fuzz-smoke stress lcwsvet clean
+
+verify: build test race vet fuzz-smoke stress
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Build the repo's concurrency linter and run it through go vet's
+# -vettool protocol so test files and build-tag variants are covered.
+lcwsvet:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/lcwsvet ./cmd/lcwsvet
+
+vet: lcwsvet
+	$(GO) vet -vettool=$(BIN)/lcwsvet ./...
+
+# 10-second fuzz smoke of the split deque's sequential-model fuzzer;
+# regressions in the deque invariants surface here fast.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzSplitDequeOwnerOps -fuzztime=10s ./internal/deque
+
+# Short adversarial soak across all policies under the race detector.
+stress:
+	$(GO) run -race ./cmd/deqstress -duration 20s
+
+clean:
+	rm -rf $(BIN)

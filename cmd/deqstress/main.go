@@ -1,9 +1,10 @@
 // Command deqstress soaks the schedulers with adversarial fork-join
 // workloads (deep skew, fine grain, heavy nesting) across all policies
-// and worker counts. Run it under the race detector when hacking on the
-// deques or the scheduler core:
+// and worker counts, and exits non-zero if any scheduling invariant is
+// violated. Run it under the race detector when hacking on the deques
+// or the scheduler core:
 //
-//	go run -race ./cmd/deqstress -seconds 30
+//	go run -race ./cmd/deqstress -duration 30s
 package main
 
 import (
@@ -14,21 +15,31 @@ import (
 	"time"
 
 	"lcws"
+	"lcws/internal/counters"
 )
 
 func main() {
 	var (
-		seconds = flag.Int("seconds", 10, "how long to soak")
-		maxP    = flag.Int("maxp", 8, "maximum worker count to cycle through")
-		seed    = flag.Uint64("seed", 1, "base seed")
+		duration = flag.Duration("duration", 0, "how long to soak (takes precedence over -seconds)")
+		seconds  = flag.Int("seconds", 10, "how long to soak, in seconds (legacy spelling of -duration)")
+		workers  = flag.Int("workers", 0, "fixed worker count (0 = cycle through 1..maxp)")
+		maxP     = flag.Int("maxp", 8, "maximum worker count to cycle through when -workers is 0")
+		seed     = flag.Uint64("seed", 1, "base seed")
 	)
 	flag.Parse()
 
-	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
+	d := *duration
+	if d <= 0 {
+		d = time.Duration(*seconds) * time.Second
+	}
+	deadline := time.Now().Add(d)
 	round := 0
 	for time.Now().Before(deadline) {
 		for _, pol := range lcws.Policies {
-			p := 1 + round%*maxP
+			p := *workers
+			if p <= 0 {
+				p = 1 + round%*maxP
+			}
 			s := lcws.New(lcws.WithWorkers(p), lcws.WithPolicy(pol), lcws.WithSeed(*seed+uint64(round)))
 			if err := soak(s, round); err != nil {
 				fmt.Fprintf(os.Stderr, "deqstress: policy %v P=%d round %d: %v\n", pol, p, round, err)
@@ -40,8 +51,17 @@ func main() {
 	fmt.Printf("deqstress: %d rounds clean\n", round)
 }
 
-// soak runs one adversarial workload mix and checks its result.
-func soak(s *lcws.Scheduler, round int) error {
+// soak runs one adversarial workload mix and checks its result and the
+// scheduler's post-run invariants. A panic (e.g. the scheduler's
+// non-empty-deque check, or the fork-join LIFO check) is converted into
+// an error so the process exits non-zero instead of dumping a stack
+// mid-soak.
+func soak(s *lcws.Scheduler, round int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("invariant panic: %v", r)
+		}
+	}()
 	var leafCount atomic.Int64
 	var skewSum atomic.Int64
 	const n = 3000
@@ -75,6 +95,17 @@ func soak(s *lcws.Scheduler, round int) error {
 	}
 	if skewSum.Load() != 300 {
 		return fmt.Errorf("skew sum %d, want 300", skewSum.Load())
+	}
+
+	// Counter invariants: every forked task executes exactly once (the
+	// root task runs without being pushed, hence the +1), and steals
+	// cannot outnumber attempts.
+	sn := s.Counters()
+	if got, want := sn[counters.TaskExecuted], sn[counters.TaskPushed]+1; got != want {
+		return fmt.Errorf("tasks executed %d, want pushed+1 = %d (lost or duplicated task)", got, want)
+	}
+	if sn[counters.StealSuccess] > sn[counters.StealAttempt] {
+		return fmt.Errorf("steal successes %d exceed attempts %d", sn[counters.StealSuccess], sn[counters.StealAttempt])
 	}
 	_ = round
 	return nil

@@ -1,0 +1,93 @@
+// Command lcwsvet is the repo's concurrency linter: a vet tool bundling
+// the owneronly, atomicfield and syncaccount analyzers (see
+// internal/analysis). It runs in two modes:
+//
+//	go vet -vettool=$(command -v lcwsvet) ./...
+//
+// drives it through cmd/go's unitchecker protocol (one vet.cfg per
+// build unit, including test variants), and
+//
+//	lcwsvet [packages]
+//
+// runs it standalone over module packages loaded from source (defaults
+// to ./...; test files are not loaded in this mode — use go vet for
+// full coverage).
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"lcws/internal/analysis"
+	"lcws/internal/analysis/atomicfield"
+	"lcws/internal/analysis/owneronly"
+	"lcws/internal/analysis/syncaccount"
+)
+
+var analyzers = []*analysis.Analyzer{
+	owneronly.Analyzer,
+	atomicfield.Analyzer,
+	syncaccount.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// cmd/go's vettool handshake: -V=full must print "name version ...",
+	// and -flags must print the JSON list of supported flags (none).
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "-V"):
+			fmt.Println("lcwsvet version 1")
+			return
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(analysis.RunUnit(args[0], analyzers, os.Stderr))
+	}
+
+	if len(args) > 0 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help") {
+		usage()
+		return
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lcwsvet: %v\n", err)
+		os.Exit(1)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lcwsvet: %v\n", err)
+		os.Exit(1)
+	}
+	diags, err := analysis.Run(loader.Fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lcwsvet: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: lcwsvet [packages]   (standalone, source mode)\n")
+	fmt.Fprintf(os.Stderr, "       go vet -vettool=$(command -v lcwsvet) ./...\n\nanalyzers:\n")
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+	}
+}

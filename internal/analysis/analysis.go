@@ -1,0 +1,132 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic) plus the two drivers needed to run analyzers over this
+// module: a source loader for standalone runs and tests (load.go), and
+// a unitchecker-compatible driver speaking `go vet -vettool`'s vet.cfg
+// protocol (unit.go). The sandboxed build environment has no module
+// proxy access, so x/tools cannot be added to go.mod; everything here
+// is built on go/ast, go/parser, go/types and go/importer only. The
+// API mirrors x/tools closely enough that the analyzers in the
+// subdirectories could be ported to a stock multichecker by swapping
+// import paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// newInfo returns a types.Info with every map allocated, so analyzers
+// can rely on Uses/Defs/Selections/Types being populated.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// InspectWithStack walks every file, calling fn with each node and the
+// stack of its ancestors (outermost first, not including n itself).
+// Returning false skips the node's children. It substitutes for
+// x/tools' inspector.WithStack.
+func InspectWithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if !fn(n, stack) {
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// EnclosingFuncDecl returns the innermost *ast.FuncDecl on the stack,
+// or nil when the node is not inside a function declaration.
+func EnclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// Deref strips one level of pointer indirection.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// NamedOf returns the named type of t after stripping pointers and
+// aliases, or nil.
+func NamedOf(t types.Type) *types.Named {
+	t = Deref(types.Unalias(t))
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+// IsAtomicType reports whether t (after stripping pointers) is one of
+// the sync/atomic value types (Bool, Int32, ..., Pointer[T], Value).
+func IsAtomicType(t types.Type) bool {
+	n := NamedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}

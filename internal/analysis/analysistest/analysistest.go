@@ -1,0 +1,150 @@
+// Package analysistest runs an analyzer over packages rooted in a
+// testdata/src tree and checks its diagnostics against `// want`
+// comments, following the golang.org/x/tools/go/analysis/analysistest
+// conventions: a comment of the form
+//
+//	x.dq.PushBottom(t) // want `owner-only method`
+//
+// declares that the analyzer must report a diagnostic on that line
+// whose message matches the back-quoted (or double-quoted) regular
+// expression. Every diagnostic must be wanted and every want must be
+// matched, otherwise the test fails.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lcws/internal/analysis"
+)
+
+// expectation is one `// want` pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each package path from <testdata>/src, applies the
+// analyzer, and checks diagnostics against the packages' `// want`
+// comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	loader, err := analysis.NewOverlayLoader(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkgs, err := loader.Load(pkgpaths...)
+	if err != nil {
+		t.Fatalf("analysistest: loading %v: %v", pkgpaths, err)
+	}
+	diags, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ws, err := collectWants(loader.Fset, f)
+			if err != nil {
+				t.Fatalf("analysistest: %v", err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on (file, line) whose
+// pattern matches msg, reporting whether one was found.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts `// want` expectations from a file's comments.
+func collectWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			pats, err := splitPatterns(strings.TrimSpace(text))
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+			}
+			for _, p := range pats {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitPatterns parses a sequence of Go string literals ("..." or
+// `...`) from a want comment's payload.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want pattern must be a quoted string, got %q", s)
+		}
+		i := 1
+		for i < len(s) && s[i] != quote {
+			if quote == '"' && s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		lit := s[:i+1]
+		s = s[i+1:]
+		p, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want literal %s: %v", lit, err)
+		}
+		out = append(out, p)
+	}
+}

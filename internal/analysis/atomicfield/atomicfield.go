@@ -1,0 +1,198 @@
+// Package atomicfield guards the memory-ordering discipline of the
+// scheduler's shared structs. Any struct (in the audited packages) that
+// contains a sync/atomic field is treated as concurrently accessed:
+//
+//   - its atomic fields may be touched only through their atomic
+//     methods (Load/Store/CompareAndSwap/...), never read or written as
+//     plain values, assigned, or address-taken;
+//   - its plain fields may be written only from methods of the struct
+//     itself. A write anywhere else needs an explicit happens-before
+//     justification in the form of a //lcws:presync comment on (or just
+//     above) the statement — e.g. scheduler startup code that runs
+//     before the worker goroutines exist.
+//
+// Plain-field reads are not restricted: several (worker id, options)
+// are immutable after construction, and flagging every read would bury
+// the signal. The race detector and the model checker cover dynamic
+// read ordering.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lcws/internal/analysis"
+)
+
+// auditedPackages limits the analyzer to the concurrency core. Other
+// packages (workloads, plotting, harnesses) use ordinary Go idioms that
+// this strict discipline would misfire on.
+var auditedPackages = map[string]bool{
+	"lcws/internal/deque": true,
+	"lcws/internal/core":  true,
+}
+
+// Annotation marks a statement as establishing its own happens-before
+// edge (typically: it runs before any concurrent goroutine starts).
+const Annotation = "//lcws:presync"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "check for mixed atomic/plain access to fields of shared scheduler structs\n\n" +
+		"A struct holding sync/atomic fields is shared between goroutines. Accessing an " +
+		"atomic field without its methods, or writing a sibling plain field outside the " +
+		"struct's own methods, breaks the ordering argument of the paper's Lemmas. " +
+		"Writes with an established happens-before edge carry a " + Annotation + " comment.",
+	Run: run,
+}
+
+// fieldKey names a field without relying on types.Var identity, which
+// differs between a generic type's declaration and its instantiations.
+type fieldKey struct {
+	pkg, typ, field string
+}
+
+func run(pass *analysis.Pass) error {
+	if !auditedPackages[normalizePath(pass.Pkg.Path())] {
+		return nil
+	}
+	atomicFields := map[fieldKey]bool{} // key -> field is itself atomic
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		hasAtomic := false
+		for i := 0; i < st.NumFields(); i++ {
+			if analysis.IsAtomicType(st.Field(i).Type()) {
+				hasAtomic = true
+				break
+			}
+		}
+		if !hasAtomic {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			atomicFields[fieldKey{pass.Pkg.Path(), name, f.Name()}] = analysis.IsAtomicType(f.Type())
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	analysis.InspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		owner := analysis.NamedOf(s.Recv())
+		if owner == nil || owner.Obj().Pkg() == nil {
+			return true
+		}
+		key := fieldKey{owner.Obj().Pkg().Path(), owner.Obj().Name(), sel.Sel.Name}
+		isAtomic, audited := atomicFields[key]
+		if !audited {
+			return true
+		}
+		if isAtomic {
+			checkAtomicUse(pass, sel, key, stack)
+		} else {
+			checkPlainWrite(pass, sel, key, owner, stack)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkAtomicUse requires the parent of x.f (f atomic) to be a method
+// selection x.f.Load / x.f.Store / ... — both calls and method values
+// (e.g. s.finished.Load passed as a predicate) are fine, everything
+// else is a plain access.
+func checkAtomicUse(pass *analysis.Pass, sel *ast.SelectorExpr, key fieldKey, stack []ast.Node) {
+	if len(stack) > 0 {
+		if m, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && m.X == sel {
+			return
+		}
+	}
+	pass.Reportf(sel.Pos(), "atomic field %s.%s must be accessed only through its sync/atomic methods", key.typ, key.field)
+}
+
+// checkPlainWrite flags writes to plain fields of audited structs made
+// outside the struct's own methods and without a presync annotation.
+func checkPlainWrite(pass *analysis.Pass, sel *ast.SelectorExpr, key fieldKey, owner *types.Named, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	write := false
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if lhs == sel {
+				write = true
+			}
+		}
+	case *ast.IncDecStmt:
+		write = parent.X == sel
+	case *ast.UnaryExpr:
+		// Address-taken: the pointer can be written through later.
+		write = parent.Op == token.AND && parent.X == sel
+	}
+	if !write {
+		return
+	}
+	if fd := analysis.EnclosingFuncDecl(stack); fd != nil && fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if rt := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type); rt != nil {
+			if n := analysis.NamedOf(rt); n != nil && n.Obj() == owner.Obj() {
+				return
+			}
+		}
+	}
+	if hasPresyncAnnotation(pass, sel.Pos()) {
+		return
+	}
+	pass.Reportf(sel.Pos(), "plain field %s.%s written outside %s's methods; annotate the statement %s if a happens-before edge is established", key.typ, key.field, key.typ, Annotation)
+}
+
+// hasPresyncAnnotation reports whether an //lcws:presync comment sits
+// on pos's line or the line directly above it.
+func hasPresyncAnnotation(pass *analysis.Pass, pos token.Pos) bool {
+	p := pass.Fset.Position(pos)
+	for _, f := range pass.Files {
+		if pass.Fset.Position(f.Pos()).Filename != p.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, Annotation) {
+					continue
+				}
+				cl := pass.Fset.Position(c.Pos()).Line
+				if cl == p.Line || cl == p.Line-1 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// normalizePath strips cmd/go's test-variant suffix ("pkg [pkg.test]")
+// so the audited-package check also applies to test builds under go vet.
+func normalizePath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"lcws/internal/analysis/analysistest"
+	"lcws/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer, "lcws/internal/core")
+}

@@ -1,0 +1,71 @@
+// Package core is a miniature stand-in for lcws/internal/core with
+// seeded atomicfield violations.
+package core
+
+import "sync/atomic"
+
+type Worker struct {
+	targeted atomic.Bool
+	spins    uint32
+	id       int
+}
+
+// plain is atomic-free, so none of its accesses are audited.
+type plain struct {
+	count int
+}
+
+func (w *Worker) ok() {
+	w.targeted.Store(true)
+	w.spins++
+	w.id = 7
+}
+
+func (w *Worker) okValue() func() bool {
+	return w.targeted.Load // ok: atomic method value
+}
+
+func (w *Worker) okOtherWorker(v *Worker) {
+	v.spins = 0 // ok: inside a Worker method (type-scoped rule)
+}
+
+type Scheduler struct {
+	finished atomic.Bool
+	workers  []*Worker
+}
+
+func (s *Scheduler) run() {
+	for _, w := range s.workers {
+		w.spins = 0 // want `plain field Worker.spins written outside Worker's methods`
+	}
+	for _, w := range s.workers {
+		//lcws:presync worker goroutines have not been started yet
+		w.spins = 0 // ok: annotated happens-before edge
+	}
+	_ = s.finished.Load()
+	s.workers = nil // ok: Scheduler's own method writing its own plain field
+}
+
+func badPlainAssign(w *Worker) {
+	w.targeted = atomic.Bool{} // want `atomic field Worker.targeted must be accessed only through its sync/atomic methods`
+}
+
+func badAddressTaken(w *Worker) *atomic.Bool {
+	return &w.targeted // want `atomic field Worker.targeted must be accessed only through its sync/atomic methods`
+}
+
+func badIncrement(w *Worker) {
+	w.spins++ // want `plain field Worker.spins written outside Worker's methods`
+}
+
+func badPointerEscape(w *Worker) *uint32 {
+	return &w.spins // want `plain field Worker.spins written outside Worker's methods`
+}
+
+func okRead(w *Worker) int {
+	return w.id // ok: plain reads are not restricted
+}
+
+func okUnaudited(p *plain) {
+	p.count++ // ok: struct has no atomic fields
+}

@@ -1,0 +1,359 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string // source directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages of a single module from
+// source. Imports are resolved in three tiers: an optional overlay
+// directory laid out as <Overlay>/<import-path>/*.go (used by analyzer
+// tests, mirroring x/tools' analysistest GOPATH convention), the module
+// itself, and finally the standard library via go/importer's source
+// importer. The loader memoizes packages, so one Loader can serve many
+// analyzer runs.
+type Loader struct {
+	Fset *token.FileSet
+	// ModRoot is the directory containing go.mod.
+	ModRoot string
+	// ModPath is the module path declared in go.mod.
+	ModPath string
+	// Overlay, when non-empty, is checked before the module and the
+	// standard library: import path P resolves to <Overlay>/P if that
+	// directory exists.
+	Overlay string
+	// IncludeTests adds in-package _test.go files to loaded packages.
+	// External (package foo_test) files are never included.
+	IncludeTests bool
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a Loader rooted at the module containing dir
+// (searching upward for go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModRoot: root,
+		ModPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// NewOverlayLoader returns a Loader that resolves every non-stdlib
+// import from the overlay directory (laid out as <overlay>/<import-path>).
+// It is the loader used by analyzer tests: the overlay substitutes small
+// seeded-violation stand-ins for real module packages.
+func NewOverlayLoader(overlay string) (*Loader, error) {
+	abs, err := filepath.Abs(overlay)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		// A module path that can never match keeps resolution
+		// overlay-then-stdlib only.
+		ModRoot: abs,
+		ModPath: "\x00none",
+		Overlay: abs,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Load resolves patterns to packages and type-checks them. Supported
+// patterns: "./..." (every package under the module root), and
+// directory-ish paths like "./internal/deque" or "internal/deque".
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := l.moduleDirs()
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(d)
+			}
+		default:
+			// A pattern that already names a resolvable import path
+			// (e.g. an overlay package in analyzer tests) is used as-is.
+			if l.dirFor(pat) != "" {
+				add(pat)
+				continue
+			}
+			rel := strings.TrimPrefix(pat, "./")
+			rel = filepath.ToSlash(filepath.Clean(rel))
+			if rel == "." {
+				rel = ""
+			}
+			if rel == "" {
+				add(l.ModPath)
+			} else {
+				add(l.ModPath + "/" + rel)
+			}
+		}
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// moduleDirs returns the import paths of every package directory under
+// the module root, skipping testdata, vendor and hidden directories.
+func (l *Loader) moduleDirs() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.ModRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModRoot && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModRoot, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, l.ModPath)
+		} else {
+			out = append(out, l.ModPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// Import implements types.Importer, resolving overlay and module
+// packages from source and delegating the rest to the standard
+// library's source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	if l.dirFor(path) != "" {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps an import path to a source directory, or "" when the
+// path belongs to neither the overlay nor the module.
+func (l *Loader) dirFor(path string) string {
+	if l.Overlay != "" {
+		dir := filepath.Join(l.Overlay, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir
+		}
+	}
+	if path == l.ModPath {
+		return l.ModRoot
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		dir := filepath.Join(l.ModRoot, filepath.FromSlash(rest))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir
+		}
+	}
+	return ""
+}
+
+// load parses and type-checks the package at import path.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("analysis: cannot resolve import %q in module %s", path, l.ModPath)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !l.IncludeTests {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		// Keep only the primary (non _test-suffixed) package; external
+		// test packages would need their own unit.
+		if pkgName == "" && !strings.HasSuffix(f.Name.Name, "_test") {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name == pkgName && pkgName != "" {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+
+	info := newInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for _, e := range typeErrs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("analysis: type errors in %s:\n%s", path, strings.Join(msgs, "\n"))
+	}
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Run applies analyzers to the packages and returns all diagnostics in
+// file/position order.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

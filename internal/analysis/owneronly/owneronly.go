@@ -1,0 +1,178 @@
+// Package owneronly verifies the central usage contract of the LCWS
+// split deque: the owner-side operations (PushBottom, PopBottom,
+// PopPublicBottom, Expose, UnexposeAll) are synchronization-free and
+// therefore only safe when invoked by the deque's single owner. In this
+// codebase the owner is the Worker whose dq field holds the deque, so
+// every owner-only call must have the shape w.dq.Method(...) where w is
+// the receiver of an enclosing Worker method, outside any function
+// literal (a closure could outlive or escape the owner's loop).
+// Thief-safe operations (PopTop, HasTwoTasks, IsEmpty, PrivateSize,
+// PublicSize) may be called on any worker's deque, which is exactly how
+// stealOnce and notify use a victim's dq.
+package owneronly
+
+import (
+	"go/ast"
+	"go/types"
+
+	"lcws/internal/analysis"
+)
+
+// workerPkg/workerType/dequeField identify the guarded field: the dq
+// field of lcws/internal/core.Worker.
+const (
+	workerPkg  = "lcws/internal/core"
+	workerType = "Worker"
+	dequeField = "dq"
+)
+
+// ownerOnly holds the deque methods that must run on the owner's
+// goroutine; thiefSafe holds the ones any thread may call. Every method
+// reachable through the dq field must be classified in one of the two —
+// an unclassified method is itself reported, so extending the taskDeque
+// interface forces a conscious concurrency decision here.
+var ownerOnly = map[string]bool{
+	"PushBottom":      true,
+	"PopBottom":       true,
+	"PopPublicBottom": true,
+	"Expose":          true,
+	"UnexposeAll":     true,
+}
+
+var thiefSafe = map[string]bool{
+	"PopTop":      true,
+	"HasTwoTasks": true,
+	"IsEmpty":     true,
+	"PrivateSize": true,
+	"PublicSize":  true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "owneronly",
+	Doc: "check that owner-only split-deque methods are called only from the owning worker\n\n" +
+		"Owner-side deque operations elide all fences and CAS (Lemmas 1-3 of the paper); " +
+		"calling one from another goroutine is a data race. This analyzer enforces that " +
+		"w.dq.PushBottom/PopBottom/PopPublicBottom/Expose/UnexposeAll appear only with w " +
+		"the receiver of the enclosing Worker method, not inside function literals, and " +
+		"that the dq field is never aliased into a variable or argument.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.InspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != dequeField {
+			return true
+		}
+		field := fieldObject(pass, sel)
+		if field == nil || !isWorkerDequeField(field) {
+			return true
+		}
+		checkUse(pass, sel, stack)
+		return true
+	})
+	return nil
+}
+
+// fieldObject resolves a selector to the field it selects, or nil when
+// it is not a field selection.
+func fieldObject(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		v, _ := s.Obj().(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// isWorkerDequeField reports whether v is core.Worker's dq field.
+func isWorkerDequeField(v *types.Var) bool {
+	return v.Name() == dequeField &&
+		v.Pkg() != nil && v.Pkg().Path() == workerPkg
+}
+
+// checkUse validates one appearance of the dq field. stack holds the
+// ancestors of sel, outermost first.
+func checkUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	parent := stack[len(stack)-1]
+
+	// Initialization writes (w.dq = ...) are the only non-call use
+	// allowed; they happen before the worker goroutine starts.
+	if assign, ok := parent.(*ast.AssignStmt); ok {
+		for _, lhs := range assign.Lhs {
+			if lhs == sel {
+				return
+			}
+		}
+	}
+
+	method, ok := parent.(*ast.SelectorExpr)
+	if !ok || method.X != sel {
+		pass.Reportf(sel.Pos(), "the dq field must not be aliased, passed, or compared: owner-only access is checked per call site")
+		return
+	}
+	name := method.Sel.Name
+	switch {
+	case thiefSafe[name]:
+		return
+	case !ownerOnly[name]:
+		pass.Reportf(method.Sel.Pos(), "deque method %s is not classified as owner-only or thief-safe in the owneronly analyzer", name)
+		return
+	}
+
+	// Owner-only method: must be called immediately (not bound as a
+	// method value) ...
+	if len(stack) < 2 {
+		pass.Reportf(method.Sel.Pos(), "owner-only deque method %s must be called directly, not bound as a method value", name)
+		return
+	}
+	if call, ok := stack[len(stack)-2].(*ast.CallExpr); !ok || call.Fun != method {
+		pass.Reportf(method.Sel.Pos(), "owner-only deque method %s must be called directly, not bound as a method value", name)
+		return
+	}
+
+	// ... on the receiver of the enclosing Worker method ...
+	fd := analysis.EnclosingFuncDecl(stack)
+	if fd == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		pass.Reportf(method.Sel.Pos(), "owner-only deque method %s called outside a Worker method", name)
+		return
+	}
+	recvIdent := fd.Recv.List[0].Names[0]
+	recvObj := pass.TypesInfo.Defs[recvIdent]
+	if recvObj == nil || analysis.NamedOf(recvObj.Type()) == nil ||
+		analysis.NamedOf(recvObj.Type()).Obj().Name() != workerType {
+		pass.Reportf(method.Sel.Pos(), "owner-only deque method %s called outside a Worker method", name)
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != recvObj {
+		pass.Reportf(method.Sel.Pos(), "owner-only deque method %s called on %s, which is not the owning receiver %s", name, exprString(sel.X), recvIdent.Name)
+		return
+	}
+
+	// ... and not from inside a function literal, which could run on
+	// another goroutine or after the owner loop moved on.
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == fd {
+			break
+		}
+		if _, ok := stack[i].(*ast.FuncLit); ok {
+			pass.Reportf(method.Sel.Pos(), "owner-only deque method %s called inside a function literal; closures may escape the owner's goroutine", name)
+			return
+		}
+	}
+}
+
+// exprString renders small expressions for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	default:
+		return "expression"
+	}
+}

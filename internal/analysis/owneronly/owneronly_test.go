@@ -1,0 +1,12 @@
+package owneronly_test
+
+import (
+	"testing"
+
+	"lcws/internal/analysis/analysistest"
+	"lcws/internal/analysis/owneronly"
+)
+
+func TestOwnerOnly(t *testing.T) {
+	analysistest.Run(t, "testdata", owneronly.Analyzer, "lcws/internal/core")
+}

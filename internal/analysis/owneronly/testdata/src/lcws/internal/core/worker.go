@@ -1,0 +1,76 @@
+// Package core is a miniature stand-in for lcws/internal/core with
+// seeded owneronly violations. The import path (via the testdata/src
+// overlay) matches the real package, so the analyzer's field
+// identification applies unchanged.
+package core
+
+type taskDeque interface {
+	PushBottom(int)
+	PopBottom() int
+	PopPublicBottom() int
+	PopTop() int
+	Expose() int
+	UnexposeAll() int
+	HasTwoTasks() bool
+	IsEmpty() bool
+	Mystery()
+}
+
+type Worker struct {
+	id int
+	dq taskDeque
+}
+
+func NewWorker(dq taskDeque) *Worker {
+	w := &Worker{}
+	w.dq = dq // ok: initialization write before the owner goroutine starts
+	return w
+}
+
+func (w *Worker) ownerLoop() int {
+	w.dq.PushBottom(1)
+	if w.dq.IsEmpty() {
+		return 0
+	}
+	return w.dq.PopBottom()
+}
+
+func (w *Worker) steal(v *Worker) int {
+	if v.dq.HasTwoTasks() { // ok: thief-safe on a victim
+		return v.dq.PopTop()
+	}
+	return 0
+}
+
+func (w *Worker) badVictim(v *Worker) int {
+	return v.dq.PopBottom() // want `owner-only deque method PopBottom called on v, which is not the owning receiver w`
+}
+
+func (w *Worker) badClosure() func() {
+	return func() {
+		w.dq.Expose() // want `owner-only deque method Expose called inside a function literal`
+	}
+}
+
+func (w *Worker) badAlias() {
+	d := w.dq // want `dq field must not be aliased`
+	_ = d
+}
+
+func (w *Worker) badMethodValue() func() int {
+	return w.dq.PopPublicBottom // want `must be called directly, not bound as a method value`
+}
+
+func (w *Worker) unclassified() {
+	w.dq.Mystery() // want `not classified as owner-only or thief-safe`
+}
+
+type Scheduler struct{ workers []*Worker }
+
+func (s *Scheduler) badFromScheduler() {
+	s.workers[0].dq.UnexposeAll() // want `owner-only deque method UnexposeAll called outside a Worker method`
+}
+
+func badFreeFunction(w *Worker) {
+	w.dq.PushBottom(2) // want `owner-only deque method PushBottom called outside a Worker method`
+}

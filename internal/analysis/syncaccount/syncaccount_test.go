@@ -1,0 +1,12 @@
+package syncaccount_test
+
+import (
+	"testing"
+
+	"lcws/internal/analysis/analysistest"
+	"lcws/internal/analysis/syncaccount"
+)
+
+func TestSyncAccount(t *testing.T) {
+	analysistest.Run(t, "testdata", syncaccount.Analyzer, "lcws/internal/deque")
+}

@@ -1,0 +1,15 @@
+// Package counters is a miniature stand-in for lcws/internal/counters.
+package counters
+
+type Event int
+
+const (
+	Fence Event = iota
+	CAS
+	TaskPushed
+)
+
+type Worker struct{ v [8]uint64 }
+
+func (w *Worker) Inc(e Event)           { w.v[e]++ }
+func (w *Worker) Add(e Event, n uint64) { w.v[e] += n }

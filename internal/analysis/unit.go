@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// vetConfig mirrors the JSON object cmd/go writes to <objdir>/vet.cfg
+// and passes to the vet tool as its sole positional argument. Field
+// names must match cmd/go/internal/work's vetConfig exactly.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	GoVersion string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes analyzers against one build unit described by the
+// vet.cfg file at cfgPath, printing diagnostics to w in the standard
+// file:line:col format. It returns the process exit code: 0 for clean,
+// 2 when diagnostics were reported, 1 on driver errors — matching the
+// x/tools unitchecker conventions that cmd/go expects.
+func RunUnit(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(w, "lcwsvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "lcwsvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go reads the vetx facts file after a successful run; we keep
+	// no cross-package facts, so an empty file satisfies it.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintf(w, "lcwsvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		// ImportMap sends source-level import paths through vendoring /
+		// test-variant canonicalization before the export-data lookup.
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	info := newInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // collect via the returned error below
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(w, "lcwsvet: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &Package{Path: cfg.ImportPath, Dir: cfg.Dir, Files: files, Types: tpkg, Info: info}
+	diags, err := Run(fset, []*Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintf(w, "lcwsvet: %v\n", err)
+		return 1
+	}
+	writeVetx()
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return 2
+}

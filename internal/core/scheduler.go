@@ -142,6 +142,7 @@ func (s *Scheduler) Run(root func(*Worker)) {
 	for _, w := range s.workers {
 		w.targeted.Store(false)
 		w.pending.Store(false)
+		//lcws:presync the worker goroutines of this Run are not started yet
 		w.idleSpins = 0
 	}
 

@@ -1,0 +1,208 @@
+package deque
+
+import (
+	"testing"
+
+	"lcws/internal/counters"
+)
+
+// This file cross-checks the per-operation fence/CAS accounting of both
+// deques against the counting model in internal/counters/model.go by
+// running scripted operation sequences and comparing the counter totals
+// with sums computed from the model constants. The syncaccount analyzer
+// (cmd/lcwsvet) statically checks that each method accounts the right
+// event classes; these tests check the amounts.
+
+// syncOf returns the (fence, CAS) totals accumulated in c.
+func syncOf(c *counters.Worker) (uint64, uint64) {
+	return c.Get(counters.Fence), c.Get(counters.CAS)
+}
+
+func TestScriptedSplitOwnerOpsFree(t *testing.T) {
+	// Model: LCWS push_bottom, pop_bottom and exposure cost nothing
+	// (Lemma 1 and footnote 3), regardless of variant or expose mode.
+	for _, raceFix := range []bool{false, true} {
+		d := NewSplit[int](16, raceFix)
+		c := newCtr()
+		push(t, d, c, 1, 2, 3, 4, 5)
+		d.Expose(ExposeOne, c)
+		d.Expose(ExposeConservative, c)
+		d.Expose(ExposeHalf, c)
+		for d.PopBottom(c) != nil {
+		}
+		if f, cas := syncOf(c); f != 0 || cas != 0 {
+			t.Errorf("raceFix=%v: owner push/pop/expose script cost (%d fences, %d CAS), want (0, 0)", raceFix, f, cas)
+		}
+	}
+}
+
+func TestScriptedSplitPopPublicAccounting(t *testing.T) {
+	// Script: three tasks, two exposed; the owner drains the private one,
+	// then the public part. The first pop_public_bottom takes the common
+	// path (one fence, Listing 2 line 12), the second takes the emptying
+	// path (both fences) and races for the last element (one CAS), the
+	// third finds the deque already reset (free).
+	d := NewSplit[int](16, true)
+	c := newCtr()
+	push(t, d, c, 1, 2, 3)
+	d.Expose(ExposeOne, c)
+	d.Expose(ExposeOne, c)
+	for d.PopBottom(c) != nil {
+	}
+	base, baseCAS := syncOf(c)
+	if base != 0 || baseCAS != 0 {
+		t.Fatalf("pre-script sync counts (%d, %d), want (0, 0)", base, baseCAS)
+	}
+
+	if got := d.PopPublicBottom(c); got == nil || *got != 2 {
+		t.Fatalf("first PopPublicBottom = %v, want 2", got)
+	}
+	if f, cas := syncOf(c); f != counters.LCWSPopPublicFences || cas != 0 {
+		t.Errorf("common path cost (%d fences, %d CAS), want (%d, 0)", f, cas, counters.LCWSPopPublicFences)
+	}
+
+	if got := d.PopPublicBottom(c); got == nil || *got != 1 {
+		t.Fatalf("second PopPublicBottom = %v, want 1", got)
+	}
+	wantF := uint64(counters.LCWSPopPublicFences + counters.LCWSPopPublicEmptyFences)
+	wantCAS := uint64(counters.LCWSPopPublicRaceCAS)
+	if f, cas := syncOf(c); f != wantF || cas != wantCAS {
+		t.Errorf("after emptying path: (%d fences, %d CAS), want (%d, %d)", f, cas, wantF, wantCAS)
+	}
+
+	if got := d.PopPublicBottom(c); got != nil {
+		t.Fatalf("third PopPublicBottom = %v, want nil", *got)
+	}
+	if f, cas := syncOf(c); f != wantF || cas != wantCAS {
+		t.Errorf("empty pop_public_bottom must be free; totals (%d, %d), want (%d, %d)", f, cas, wantF, wantCAS)
+	}
+}
+
+func TestScriptedSplitStealAccounting(t *testing.T) {
+	// Model: a steal attempt costs one CAS when it finds public work and
+	// nothing when the public part is empty (Lemma 3) — including the
+	// PRIVATE_WORK and post-abort cases.
+	d := NewSplit[int](16, true)
+	owner, thief := newCtr(), newCtr()
+	push(t, d, owner, 1, 2)
+
+	if _, res := d.PopTop(thief); res != PrivateWork {
+		t.Fatalf("PopTop on private-only deque: %v, want PrivateWork", res)
+	}
+	if f, cas := syncOf(thief); f != 0 || cas != 0 {
+		t.Errorf("PRIVATE_WORK attempt cost (%d, %d), want (0, 0)", f, cas)
+	}
+
+	d.Expose(ExposeOne, owner)
+	if got, res := d.PopTop(thief); res != Stolen || *got != 1 {
+		t.Fatalf("PopTop = (%v, %v), want (1, Stolen)", got, res)
+	}
+	if f, cas := syncOf(thief); f != 0 || cas != counters.LCWSStealCAS {
+		t.Errorf("successful steal cost (%d fences, %d CAS), want (0, %d)", f, cas, counters.LCWSStealCAS)
+	}
+
+	if _, res := d.PopTop(thief); res != PrivateWork {
+		t.Fatalf("PopTop with private work left: %v, want PrivateWork", res)
+	}
+	if f, cas := syncOf(thief); f != 0 || cas != counters.LCWSStealCAS {
+		t.Errorf("post-steal empty-public attempt must be free; totals (%d, %d)", f, cas)
+	}
+	if f, _ := syncOf(owner); f != 0 {
+		t.Errorf("owner paid %d fences without touching the public part", f)
+	}
+}
+
+func TestScriptedChaseLevAccounting(t *testing.T) {
+	// The WS baseline script, step by step against the model:
+	// two pushes, one steal, a last-element owner pop (racing the CAS),
+	// an empty owner pop, and an empty steal attempt.
+	d := NewChaseLev[int](16)
+	owner, thief := newCtr(), newCtr()
+	vals := []int{1, 2}
+	for i := range vals {
+		d.PushBottom(&vals[i], owner)
+	}
+	if f, cas := syncOf(owner); f != 2*counters.WSPushFences || cas != 0 {
+		t.Errorf("2 pushes cost (%d fences, %d CAS), want (%d, 0)", f, cas, 2*counters.WSPushFences)
+	}
+
+	if got, res := d.PopTop(thief); res != Stolen || *got != 1 {
+		t.Fatalf("PopTop = (%v, %v), want (1, Stolen)", got, res)
+	}
+	if f, cas := syncOf(thief); f != counters.WSStealFences || cas != counters.WSStealCAS {
+		t.Errorf("steal cost (%d fences, %d CAS), want (%d, %d)", f, cas, counters.WSStealFences, counters.WSStealCAS)
+	}
+
+	if got := d.PopBottom(owner); got == nil || *got != 2 {
+		t.Fatalf("PopBottom = %v, want 2", got)
+	}
+	wantF := uint64(2*counters.WSPushFences + counters.WSPopFences)
+	wantCAS := uint64(counters.WSPopRaceCAS)
+	if f, cas := syncOf(owner); f != wantF || cas != wantCAS {
+		t.Errorf("last-element pop: owner totals (%d fences, %d CAS), want (%d, %d)", f, cas, wantF, wantCAS)
+	}
+
+	if got := d.PopBottom(owner); got != nil {
+		t.Fatalf("PopBottom on empty = %v, want nil", *got)
+	}
+	wantF += counters.WSPopFences // empty pop still pays the store-load fence
+	if f, cas := syncOf(owner); f != wantF || cas != wantCAS {
+		t.Errorf("empty pop: owner totals (%d fences, %d CAS), want (%d, %d)", f, cas, wantF, wantCAS)
+	}
+
+	if _, res := d.PopTop(thief); res != Empty {
+		t.Fatalf("PopTop on empty: %v, want Empty", res)
+	}
+	if f, cas := syncOf(thief); f != 2*counters.WSStealFences || cas != counters.WSStealCAS {
+		t.Errorf("empty steal pays the fence only; thief totals (%d, %d), want (%d, %d)",
+			f, cas, 2*counters.WSStealFences, counters.WSStealCAS)
+	}
+}
+
+// TestScriptedSameSequenceModelRatio runs the SAME logical schedule on
+// both deques — the owner forks two tasks, a thief steals one, the
+// owner consumes the rest — and checks the LCWS-to-WS synchronization
+// ratio that Figures 3 and 8 are built from: the LCWS owner executes
+// zero synchronization operations until it must reach into the public
+// part, while the WS owner pays per operation.
+func TestScriptedSameSequenceModelRatio(t *testing.T) {
+	// WS baseline.
+	ws := NewChaseLev[int](16)
+	wsOwner, wsThief := newCtr(), newCtr()
+	a, b := 1, 2
+	ws.PushBottom(&a, wsOwner)
+	ws.PushBottom(&b, wsOwner)
+	if _, res := ws.PopTop(wsThief); res != Stolen {
+		t.Fatal("WS steal failed")
+	}
+	if got := ws.PopBottom(wsOwner); got == nil {
+		t.Fatal("WS pop failed")
+	}
+
+	// LCWS with the signal-safe pop; exposure happens between pushes and
+	// steals, as if the emulated signal handler ran at that boundary.
+	ls := NewSplit[int](16, true)
+	lsOwner, lsThief := newCtr(), newCtr()
+	ls.PushBottom(&a, lsOwner)
+	ls.PushBottom(&b, lsOwner)
+	ls.Expose(ExposeOne, lsOwner)
+	if _, res := ls.PopTop(lsThief); res != Stolen {
+		t.Fatal("LCWS steal failed")
+	}
+	if got := ls.PopBottom(lsOwner); got == nil {
+		t.Fatal("LCWS pop failed")
+	}
+
+	wsF, wsCAS := syncOf(wsOwner)
+	lsF, lsCAS := syncOf(lsOwner)
+	if wantF := uint64(2*counters.WSPushFences + counters.WSPopFences); wsF != wantF || wsCAS != counters.WSPopRaceCAS {
+		t.Errorf("WS owner totals (%d fences, %d CAS), want (%d, %d)", wsF, wsCAS, wantF, counters.WSPopRaceCAS)
+	}
+	if lsF != 0 || lsCAS != 0 {
+		t.Errorf("LCWS owner totals (%d fences, %d CAS), want (0, 0): the owner never touched the public part", lsF, lsCAS)
+	}
+	tf, tc := syncOf(lsThief)
+	if tf != 0 || tc != counters.LCWSStealCAS {
+		t.Errorf("LCWS thief totals (%d fences, %d CAS), want (0, %d)", tf, tc, counters.LCWSStealCAS)
+	}
+}

@@ -1,0 +1,228 @@
+package deque
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// This file exhaustively exercises the §4 repair protocol: the race-fix
+// PopBottom pre-decrements bot, so a nil return leaves bot == publicBot-1
+// (or 0 on a fully empty deque), and the next owner-side operation —
+// PopPublicBottom or UnexposeAll, per the scheduler loop — must restore
+// the index invariant top <= publicBot <= bot on EVERY one of its
+// branches. Each subtest drives one branch and then asserts the raw
+// indices directly. The bounded model checker (internal/verify) covers
+// the same branches under all interleavings; these tests pin the
+// concrete implementation.
+
+// assertIndices checks the raw index state of a split deque.
+func assertIndices(t *testing.T, d *SplitDeque[int], wantTop, wantPB, wantBot uint64) {
+	t.Helper()
+	top, _ := unpackAge(d.age.Load())
+	if uint64(top) != wantTop || d.publicBot.Load() != wantPB || d.bot.Load() != wantBot {
+		t.Fatalf("indices (top,publicBot,bot) = (%d,%d,%d), want (%d,%d,%d)",
+			top, d.publicBot.Load(), d.bot.Load(), wantTop, wantPB, wantBot)
+	}
+}
+
+// popNil performs a race-fix PopBottom that must fail, leaving the
+// deque in the mid-repair state.
+func popNil(t *testing.T, d *SplitDeque[int]) {
+	t.Helper()
+	if got := d.PopBottom(newCtr()); got != nil {
+		t.Fatalf("PopBottom = %v, want nil", *got)
+	}
+}
+
+func TestRaceFixRepairPopPublicEmptyDeque(t *testing.T) {
+	// Branch 1 (Listing 2 line 10 + §4 repair): publicBot == 0, the
+	// deque is empty and already reset; bot is (re)stored to 0.
+	d := NewSplit[int](8, true)
+	c := newCtr()
+	popNil(t, d)
+	if got := d.PopPublicBottom(c); got != nil {
+		t.Fatalf("PopPublicBottom on empty = %v, want nil", *got)
+	}
+	assertIndices(t, d, 0, 0, 0)
+	push(t, d, c, 7)
+	if got := d.PopBottom(c); got == nil || *got != 7 {
+		t.Fatalf("PopBottom after repair = %v, want 7", got)
+	}
+}
+
+func TestRaceFixRepairPopPublicCommonPath(t *testing.T) {
+	// Branch 2: more public tasks remain below top; bot lands on the new
+	// publicBot (one below the task just taken).
+	d := NewSplit[int](8, true)
+	c := newCtr()
+	push(t, d, c, 1, 2, 3)
+	if n := d.Expose(ExposeHalf, c); n != 2 {
+		t.Fatalf("Expose = %d, want 2", n)
+	}
+	if got := d.PopBottom(c); got == nil || *got != 3 {
+		t.Fatalf("PopBottom = %v, want 3", got)
+	}
+	popNil(t, d) // bot: 2 -> 1 == publicBot-1
+	got := d.PopPublicBottom(c)
+	if got == nil || *got != 2 {
+		t.Fatalf("PopPublicBottom = %v, want 2", got)
+	}
+	assertIndices(t, d, 0, 1, 1)
+}
+
+func TestRaceFixRepairPopPublicEmptyingCASWin(t *testing.T) {
+	// Branch 3: the last public task is taken by the owner; the CAS on
+	// age wins against (absent) thieves and every index resets to zero.
+	d := NewSplit[int](8, true)
+	c := newCtr()
+	push(t, d, c, 1)
+	if n := d.Expose(ExposeOne, c); n != 1 {
+		t.Fatalf("Expose = %d, want 1", n)
+	}
+	popNil(t, d) // bot: 1 -> 0 == publicBot-1
+	got := d.PopPublicBottom(c)
+	if got == nil || *got != 1 {
+		t.Fatalf("PopPublicBottom = %v, want 1", got)
+	}
+	assertIndices(t, d, 0, 0, 0)
+}
+
+func TestRaceFixRepairPopPublicEmptyingAfterSteal(t *testing.T) {
+	// Branch 4: a thief already stole the last public task (top advanced
+	// past localBot), so the emptying path returns nil without a CAS —
+	// and must still reset bot and publicBot.
+	d := NewSplit[int](8, true)
+	c, thief := newCtr(), newCtr()
+	push(t, d, c, 1)
+	d.Expose(ExposeOne, c)
+	if got, res := d.PopTop(thief); res != Stolen || *got != 1 {
+		t.Fatalf("PopTop = (%v,%v), want (1,Stolen)", got, res)
+	}
+	popNil(t, d) // bot: 1 -> 0, publicBot still 1
+	if got := d.PopPublicBottom(c); got != nil {
+		t.Fatalf("PopPublicBottom after steal = %v, want nil", *got)
+	}
+	assertIndices(t, d, 0, 0, 0)
+	push(t, d, c, 8)
+	if got := d.PopBottom(c); got == nil || *got != 8 {
+		t.Fatalf("PopBottom after repair = %v, want 8", got)
+	}
+}
+
+func TestRaceFixRepairUnexposeAllEmpty(t *testing.T) {
+	// UnexposeAll branch pb == 0: nothing public, bot re-zeroed.
+	d := NewSplit[int](8, true)
+	c := newCtr()
+	popNil(t, d)
+	if n := d.UnexposeAll(c); n != 0 {
+		t.Fatalf("UnexposeAll = %d, want 0", n)
+	}
+	assertIndices(t, d, 0, 0, 0)
+}
+
+func TestRaceFixRepairUnexposeAllAllStolen(t *testing.T) {
+	// UnexposeAll branch pb <= top: everything public was stolen; bot is
+	// restored to publicBot (empty deque, indices equal but non-zero).
+	d := NewSplit[int](8, true)
+	c, thief := newCtr(), newCtr()
+	push(t, d, c, 1)
+	d.Expose(ExposeOne, c)
+	if _, res := d.PopTop(thief); res != Stolen {
+		t.Fatalf("PopTop result %v, want Stolen", res)
+	}
+	popNil(t, d) // bot: 1 -> 0, publicBot == 1, top == 1
+	if n := d.UnexposeAll(c); n != 0 {
+		t.Fatalf("UnexposeAll = %d, want 0", n)
+	}
+	assertIndices(t, d, 1, 1, 1)
+	push(t, d, c, 9)
+	if got := d.PopBottom(c); got == nil || *got != 9 {
+		t.Fatalf("PopBottom after repair = %v, want 9", got)
+	}
+}
+
+func TestRaceFixRepairUnexposeAllReclaim(t *testing.T) {
+	// UnexposeAll CAS-win branch: the public part is reclaimed wholesale
+	// and bot is restored above it.
+	d := NewSplit[int](8, true)
+	c := newCtr()
+	push(t, d, c, 1, 2)
+	d.Expose(ExposeOne, c)
+	d.Expose(ExposeOne, c)
+	popNil(t, d) // bot: 2 -> 1 == publicBot-1
+	if n := d.UnexposeAll(c); n != 2 {
+		t.Fatalf("UnexposeAll = %d, want 2", n)
+	}
+	assertIndices(t, d, 0, 0, 2)
+	for want := 2; want >= 1; want-- {
+		if got := d.PopBottom(c); got == nil || *got != want {
+			t.Fatalf("PopBottom = %v, want %d", got, want)
+		}
+	}
+}
+
+// TestRaceFixRepairConcurrent drives the remaining, inherently racy
+// branch — the emptying path losing its age CAS to a concurrent thief —
+// by hammering owner drains against two thieves and checking exact-once
+// consumption. The model checker proves the property over all
+// interleavings on small bounds; this test exercises the real atomics.
+func TestRaceFixRepairConcurrent(t *testing.T) {
+	const rounds = 2000
+	const batch = 6
+	d := NewSplit[int](16, true)
+	tasks := make([]int, rounds*batch)
+	var hits = make([]atomic.Int32, rounds*batch)
+	var done atomic.Bool
+
+	var wg sync.WaitGroup
+	for th := 0; th < 2; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := newCtr()
+			for !done.Load() {
+				if got, res := d.PopTop(c); res == Stolen {
+					hits[*got].Add(1)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+
+	c := newCtr()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < batch; i++ {
+			id := r*batch + i
+			tasks[id] = id
+			d.PushBottom(&tasks[id], c)
+		}
+		d.Expose(ExposeHalf, c)
+		for {
+			if got := d.PopBottom(c); got != nil {
+				hits[*got].Add(1)
+				continue
+			}
+			if got := d.PopPublicBottom(c); got != nil {
+				hits[*got].Add(1)
+				continue
+			}
+			if d.IsEmpty() {
+				break
+			}
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+
+	for id := range hits {
+		if n := hits[id].Load(); n != 1 {
+			t.Fatalf("task %d consumed %d times, want exactly once", id, n)
+		}
+	}
+	if !d.IsEmpty() {
+		t.Fatal("deque not empty after drain")
+	}
+}

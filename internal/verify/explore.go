@@ -1,0 +1,112 @@
+package verify
+
+import "fmt"
+
+// Check exhaustively explores every interleaving of the scenario and
+// returns a report of all property violations found (up to a small
+// cap). The search is a depth-first traversal of the transition system
+// with canonical-state memoization: two schedules that reach the same
+// shared-memory and thread state are explored once, and identical thief
+// threads are treated as interchangeable, so only schedules that differ
+// in the order of conflicting shared accesses contribute new states.
+func Check(sc Scenario) Report {
+	sc = normalize(sc)
+	rep := Report{Scenario: sc}
+	seen := make(map[string]struct{}, 1<<12)
+	maxStates := sc.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+
+	var path []string
+	record := func(v *Violation) {
+		trace := make([]string, len(path))
+		copy(trace, path)
+		v.Trace = trace
+		rep.Violations = append(rep.Violations, *v)
+	}
+
+	var dfs func(s state)
+	dfs = func(s state) {
+		if rep.Truncated || len(rep.Violations) >= maxViolations {
+			return
+		}
+		key := s.key(sc.Capacity)
+		if _, ok := seen[key]; ok {
+			return
+		}
+		if len(seen) >= maxStates {
+			rep.Truncated = true
+			return
+		}
+		seen[key] = struct{}{}
+		if v := s.checkState(&sc); v != nil {
+			record(v)
+			return
+		}
+		if s.terminal(&sc) {
+			return
+		}
+		for tid := 0; tid < int(s.nthreads); tid++ {
+			if s.threadDone(&sc, tid) {
+				continue
+			}
+			// The emulated signal can be delivered to the owner at any
+			// instruction boundary, including in the middle of an
+			// operation — the §4 race window.
+			if tid == 0 && s.sigPending && s.sigBudget > 0 && s.th[0].hphase == 0 {
+				ns := s
+				label, v := ns.step(&sc, 0, true)
+				rep.Transitions++
+				path = append(path, label)
+				if v != nil {
+					record(v)
+				} else {
+					dfs(ns)
+				}
+				path = path[:len(path)-1]
+			}
+			ns := s
+			label, v := ns.step(&sc, tid, false)
+			rep.Transitions++
+			path = append(path, label)
+			if v != nil {
+				record(v)
+			} else {
+				dfs(ns)
+			}
+			path = path[:len(path)-1]
+		}
+	}
+
+	dfs(initialState(&sc))
+	rep.States = len(seen)
+	return rep
+}
+
+// normalize validates the scenario and applies defaults.
+func normalize(sc Scenario) Scenario {
+	if sc.Capacity <= 0 {
+		sc.Capacity = 8
+	}
+	if sc.Capacity > maxSlots {
+		panic(fmt.Sprintf("verify: capacity %d exceeds the modelled maximum %d", sc.Capacity, maxSlots))
+	}
+	if sc.Thieves < 0 || sc.Thieves > maxThreads-1 {
+		panic(fmt.Sprintf("verify: thief count %d out of range [0,%d]", sc.Thieves, maxThreads-1))
+	}
+	if sc.Thieves > 0 && sc.StealAttempts <= 0 {
+		panic("verify: scenario has thieves but no steal attempts")
+	}
+	if sc.SignalBudget < 0 || sc.SignalBudget > 255 {
+		panic("verify: signal budget out of range")
+	}
+	for _, op := range sc.Owner {
+		switch op.Kind {
+		case OpPushBottom, OpPopBottom, OpPopPublicBottom, OpUpdatePublicBottom, OpDrain:
+		default:
+			panic(fmt.Sprintf("verify: op %v is not a valid owner op", op))
+		}
+	}
+	return sc
+}

@@ -1,0 +1,214 @@
+package verify
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"lcws/internal/deque"
+)
+
+// maxThreads bounds the thread count of a scenario (1 owner + thieves).
+const maxThreads = 4
+
+// maxSlots is the largest modelled task array.
+const maxSlots = 16
+
+// thread is the per-thread execution state of the step-VM. The owner is
+// thread 0; it additionally carries the emulated signal handler's frame
+// (hphase/h1), which is non-zero while an exposure handler interrupts
+// the current operation.
+type thread struct {
+	ip    uint8 // index of the current op in the script / attempt count
+	phase uint8 // micro-pc inside the current op; 0 = operation boundary
+	drain uint8 // 0 = not draining; 1 = sub-op PopBottom; 2 = sub-op PopPublicBottom
+	// registers (meaning depends on the op; see step.go)
+	r1, r2, r3 uint64
+	// signal-handler frame (owner only)
+	hphase uint8
+	h1     uint64
+}
+
+// state is one node of the explored transition system. It is a value
+// type: cloning is a plain assignment.
+type state struct {
+	bot       uint64
+	publicBot uint64
+	age       uint64 // packed (tag<<32 | top), as in deque.packAge
+	slots     [maxSlots]uint8
+	th        [maxThreads]thread
+	nthreads  uint8
+	sigPending bool
+	sigBudget  uint8
+	pushed     uint16 // bitmask of pushed task ids
+	returned   uint16 // bitmask of returned task ids
+}
+
+func unpackAge(a uint64) (top, tag uint32) { return uint32(a), uint32(a >> 32) }
+
+func packAge(top, tag uint32) uint64 { return uint64(tag)<<32 | uint64(top) }
+
+// initialState builds the start state of a scenario.
+func initialState(sc *Scenario) state {
+	var s state
+	s.nthreads = uint8(1 + sc.Thieves)
+	s.sigPending = sc.InitialSignal
+	s.sigBudget = uint8(sc.SignalBudget)
+	return s
+}
+
+// threadDone reports whether thread tid has no more operations to run.
+func (s *state) threadDone(sc *Scenario, tid int) bool {
+	t := &s.th[tid]
+	if tid == 0 {
+		return int(t.ip) >= len(sc.Owner) && t.hphase == 0
+	}
+	return int(t.ip) >= sc.StealAttempts
+}
+
+// terminal reports whether every thread has finished.
+func (s *state) terminal(sc *Scenario) bool {
+	for i := 0; i < int(s.nthreads); i++ {
+		if !s.threadDone(sc, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// quiescent reports whether every thread sits at an operation boundary
+// with no handler in flight — the points where the paper's index
+// invariant must hold.
+func (s *state) quiescent() bool {
+	for i := 0; i < int(s.nthreads); i++ {
+		if s.th[i].phase != 0 || s.th[i].hphase != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// checkState evaluates state-level assertions: the index invariant at
+// quiescent states and the no-lost-task condition at terminal states.
+func (s *state) checkState(sc *Scenario) *Violation {
+	if s.quiescent() {
+		top, _ := unpackAge(s.age)
+		if uint64(top) > s.publicBot {
+			return &Violation{Kind: IndexInvariant,
+				Detail: fmt.Sprintf("top=%d > publicBot=%d (bot=%d)", top, s.publicBot, s.bot)}
+		}
+		if s.bot < s.publicBot {
+			// The §4 race-fix PopBottom may leave bot exactly one below
+			// publicBot until the next PopPublicBottom repairs it.
+			if !sc.RaceFix || s.bot != s.publicBot-1 {
+				return &Violation{Kind: IndexInvariant,
+					Detail: fmt.Sprintf("publicBot=%d > bot=%d (top=%d, raceFix=%v)", s.publicBot, s.bot, top, sc.RaceFix)}
+			}
+		}
+	}
+	if s.terminal(sc) && sc.RequireDrain {
+		if s.returned != s.pushed {
+			return &Violation{Kind: LostTask,
+				Detail: fmt.Sprintf("pushed ids %016b, returned %016b", s.pushed, s.returned)}
+		}
+		top, _ := unpackAge(s.age)
+		if !(uint64(top) == s.publicBot && s.publicBot == s.bot) {
+			return &Violation{Kind: LostTask,
+				Detail: fmt.Sprintf("deque not empty at terminal state: top=%d publicBot=%d bot=%d", top, s.publicBot, s.bot)}
+		}
+	}
+	return nil
+}
+
+// recordReturn accounts a task id returned to some thread, detecting
+// duplicate returns.
+func (s *state) recordReturn(id uint8) *Violation {
+	bit := uint16(1) << id
+	if s.returned&bit != 0 {
+		return &Violation{Kind: DuplicateTask,
+			Detail: fmt.Sprintf("task %d returned twice", id)}
+	}
+	s.returned |= bit
+	return nil
+}
+
+// key encodes the state into a canonical string for memoization.
+// Identical thief threads are sorted, which quotients the search by
+// thief symmetry (thieves run identical programs and are never
+// distinguished by the properties we check).
+const threadKeyLen = 1 + 1 + 1 + 1 + 3*8
+
+func (s *state) key(capacity int) string {
+	buf := make([]byte, 0, 8*3+capacity+6+threadKeyLen*int(s.nthreads)+8)
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], s.bot)
+	buf = append(buf, w[:]...)
+	binary.LittleEndian.PutUint64(w[:], s.publicBot)
+	buf = append(buf, w[:]...)
+	binary.LittleEndian.PutUint64(w[:], s.age)
+	buf = append(buf, w[:]...)
+	buf = append(buf, s.slots[:capacity]...)
+	flags := byte(0)
+	if s.sigPending {
+		flags = 1
+	}
+	buf = append(buf, flags, s.sigBudget,
+		byte(s.pushed), byte(s.pushed>>8), byte(s.returned), byte(s.returned>>8))
+
+	encTh := func(t *thread) [threadKeyLen]byte {
+		var tb [threadKeyLen]byte
+		tb[0], tb[1], tb[2], tb[3] = t.ip, t.phase, t.drain, t.hphase
+		binary.LittleEndian.PutUint64(tb[4:], t.r1)
+		binary.LittleEndian.PutUint64(tb[12:], t.r2)
+		binary.LittleEndian.PutUint64(tb[20:], t.r3)
+		return tb
+	}
+	owner := encTh(&s.th[0])
+	buf = append(buf, owner[:]...)
+	binary.LittleEndian.PutUint64(w[:], s.th[0].h1)
+	buf = append(buf, w[:]...)
+
+	nth := int(s.nthreads) - 1
+	thieves := make([][threadKeyLen]byte, nth)
+	for i := 0; i < nth; i++ {
+		thieves[i] = encTh(&s.th[i+1])
+	}
+	sort.Slice(thieves, func(i, j int) bool {
+		a, b := thieves[i], thieves[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	for i := range thieves {
+		buf = append(buf, thieves[i][:]...)
+	}
+	return string(buf)
+}
+
+// exposeCount is the number of tasks Expose transfers for r private
+// tasks under the given mode, mirroring deque.(*SplitDeque).Expose.
+func exposeCount(mode deque.ExposeMode, r uint64) uint64 {
+	switch mode {
+	case deque.ExposeOne:
+		if r >= 1 {
+			return 1
+		}
+	case deque.ExposeConservative:
+		if r >= 2 {
+			return 1
+		}
+	case deque.ExposeHalf:
+		if r >= 3 {
+			return (r + 1) / 2
+		}
+		if r >= 1 {
+			return 1
+		}
+	default:
+		panic(fmt.Sprintf("verify: unknown expose mode %d", mode))
+	}
+	return 0
+}

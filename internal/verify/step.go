@@ -1,0 +1,394 @@
+package verify
+
+import "fmt"
+
+// This file is the micro-step interpreter. Each deque operation is
+// executed one shared-memory access at a time, in exactly the order the
+// implementation in internal/deque/splitdeque.go performs them; local
+// computation (comparisons, arithmetic) is folded into the adjacent
+// shared access, since only the order of shared accesses is observable
+// to other threads. Phase 0 always means "operation boundary" — the
+// points at which the emulated exposure signal may be delivered to the
+// owner and at which the index invariant is asserted.
+
+// step executes one micro-step of thread tid on s, mutating it in
+// place. deliver (owner only) delivers a pending exposure signal
+// instead of running the next instruction. It returns a human-readable
+// label for the transition and a violation if the step itself detected
+// one (duplicate return or slot corruption).
+func (s *state) step(sc *Scenario, tid int, deliver bool) (string, *Violation) {
+	t := &s.th[tid]
+	if deliver {
+		t.hphase = 1
+		s.sigPending = false
+		s.sigBudget--
+		return "owner: <exposure signal delivered>", nil
+	}
+	if tid == 0 && t.hphase != 0 {
+		return s.handlerStep(sc, t)
+	}
+	if tid == 0 {
+		op := sc.Owner[t.ip]
+		kind := op.Kind
+		if kind == OpDrain {
+			if t.drain == 0 {
+				t.drain = 1
+			}
+			if t.drain == 1 {
+				kind = OpPopBottom
+			} else {
+				kind = OpPopPublicBottom
+			}
+		}
+		switch kind {
+		case OpPushBottom:
+			return s.pushStep(sc, t, op.Arg)
+		case OpPopBottom:
+			return s.popBottomStep(sc, t)
+		case OpPopPublicBottom:
+			return s.popPublicStep(sc, t)
+		case OpUpdatePublicBottom:
+			return s.updatePublicStep(sc, t)
+		default:
+			panic(fmt.Sprintf("verify: owner cannot run op %v", op))
+		}
+	}
+	return s.popTopStep(sc, t, tid)
+}
+
+// completeOwner finishes the owner's current op. returnedTask reports
+// whether the op returned a task (drives the drain loop of Listing 1).
+func (t *thread) completeOwner(sc *Scenario, returnedTask bool) {
+	t.phase, t.r1, t.r2, t.r3 = 0, 0, 0, 0
+	if sc.Owner[t.ip].Kind != OpDrain {
+		t.ip++
+		return
+	}
+	switch {
+	case t.drain == 1 && returnedTask:
+		// pop_bottom found a private task; keep popping privately.
+	case t.drain == 1:
+		// Private part empty: fall through to pop_public_bottom, the
+		// only legal next deque op (it also repairs bot after a failed
+		// race-fix pop_bottom).
+		t.drain = 2
+	case returnedTask:
+		// pop_public_bottom recovered a public task; the scheduler
+		// executes it and comes back through pop_bottom.
+		t.drain = 1
+	default:
+		// pop_public_bottom returned nil: the deque is empty (either
+		// fully reset or the last task went to a thief). Drain done.
+		t.drain = 0
+		t.ip++
+	}
+}
+
+// complete finishes a thief's current attempt.
+func (t *thread) complete() {
+	t.phase, t.r1, t.r2, t.r3 = 0, 0, 0, 0
+	t.ip++
+}
+
+// pushStep: PushBottom (Listing 2, sync-free — paper Lemma 1).
+//
+//	b := bot.Load(); deq[b].Store(task); bot.Store(b+1)
+func (s *state) pushStep(sc *Scenario, t *thread, id uint8) (string, *Violation) {
+	switch t.phase {
+	case 0:
+		t.r1 = s.bot
+		if t.r1 >= uint64(sc.Capacity) {
+			panic(fmt.Sprintf("verify: scenario %q overflows capacity %d", sc.Name, sc.Capacity))
+		}
+		t.phase = 1
+		return fmt.Sprintf("owner: push(%d) load bot=%d", id, t.r1), nil
+	case 1:
+		s.slots[t.r1] = id
+		t.phase = 2
+		return fmt.Sprintf("owner: push(%d) store slot[%d]", id, t.r1), nil
+	default:
+		s.bot = t.r1 + 1
+		bit := uint16(1) << id
+		if s.pushed&bit != 0 {
+			panic(fmt.Sprintf("verify: scenario %q pushes task id %d twice", sc.Name, id))
+		}
+		s.pushed |= bit
+		b := t.r1
+		t.completeOwner(sc, false)
+		return fmt.Sprintf("owner: push(%d) store bot=%d", id, b+1), nil
+	}
+}
+
+// popBottomStep: PopBottom in the variant selected by sc.RaceFix
+// (sync-free — paper Lemma 2). Registers: r1 = b, r2 = publicBot,
+// r3 = task.
+func (s *state) popBottomStep(sc *Scenario, t *thread) (string, *Violation) {
+	if sc.RaceFix {
+		// §4: b := bot.Load(); if b == 0 return nil; b--; bot.Store(b);
+		// if b < publicBot.Load() return nil; return deq[b].Load()
+		switch t.phase {
+		case 0:
+			t.r1 = s.bot
+			if t.r1 == 0 {
+				t.completeOwner(sc, false)
+				return "owner: pop_bottom load bot=0 -> nil (empty, reset)", nil
+			}
+			t.phase = 1
+			return fmt.Sprintf("owner: pop_bottom load bot=%d", t.r1), nil
+		case 1:
+			s.bot = t.r1 - 1
+			t.phase = 2
+			return fmt.Sprintf("owner: pop_bottom store bot=%d (pre-decrement)", t.r1-1), nil
+		case 2:
+			t.r2 = s.publicBot
+			if t.r1-1 < t.r2 {
+				// The decremented slot is public: leave bot one below
+				// publicBot for PopPublicBottom to repair (§4).
+				t.completeOwner(sc, false)
+				return fmt.Sprintf("owner: pop_bottom load publicBot=%d -> nil (slot went public)", t.r2), nil
+			}
+			t.phase = 3
+			return fmt.Sprintf("owner: pop_bottom load publicBot=%d", t.r2), nil
+		default:
+			idx := t.r1 - 1
+			id := s.slots[idx]
+			if id == 0 {
+				return "owner: pop_bottom load slot", &Violation{Kind: SlotCorruption,
+					Detail: fmt.Sprintf("pop_bottom read empty slot %d", idx)}
+			}
+			v := s.recordReturn(id)
+			t.completeOwner(sc, true)
+			return fmt.Sprintf("owner: pop_bottom load slot[%d] -> task %d", idx, id), v
+		}
+	}
+	// Original Listing 2: b := bot.Load(); if b == publicBot.Load()
+	// return nil; b--; bot.Store(b); return deq[b].Load()
+	switch t.phase {
+	case 0:
+		t.r1 = s.bot
+		t.phase = 1
+		return fmt.Sprintf("owner: pop_bottom load bot=%d", t.r1), nil
+	case 1:
+		t.r2 = s.publicBot
+		if t.r1 == t.r2 {
+			t.completeOwner(sc, false)
+			return fmt.Sprintf("owner: pop_bottom load publicBot=%d -> nil (private empty)", t.r2), nil
+		}
+		t.phase = 2
+		return fmt.Sprintf("owner: pop_bottom load publicBot=%d", t.r2), nil
+	case 2:
+		s.bot = t.r1 - 1
+		t.phase = 3
+		return fmt.Sprintf("owner: pop_bottom store bot=%d", t.r1-1), nil
+	default:
+		idx := t.r1 - 1
+		id := s.slots[idx]
+		if id == 0 {
+			return "owner: pop_bottom load slot", &Violation{Kind: SlotCorruption,
+				Detail: fmt.Sprintf("pop_bottom read empty slot %d", idx)}
+		}
+		v := s.recordReturn(id)
+		t.completeOwner(sc, true)
+		return fmt.Sprintf("owner: pop_bottom load slot[%d] -> task %d", idx, id), v
+	}
+}
+
+// popPublicStep: PopPublicBottom (Listing 2 lines 10–29). Registers:
+// r1 = pb (pre-decrement), r2 = oldAge, r3 = task id.
+func (s *state) popPublicStep(sc *Scenario, t *thread) (string, *Violation) {
+	switch t.phase {
+	case 0:
+		t.r1 = s.publicBot
+		if t.r1 == 0 {
+			if sc.RaceFix {
+				t.phase = 1 // repair bot in a separate store
+				return "owner: pop_public_bottom load publicBot=0", nil
+			}
+			t.completeOwner(sc, false)
+			return "owner: pop_public_bottom load publicBot=0 -> nil", nil
+		}
+		t.phase = 2
+		return fmt.Sprintf("owner: pop_public_bottom load publicBot=%d", t.r1), nil
+	case 1:
+		s.bot = 0
+		t.completeOwner(sc, false)
+		return "owner: pop_public_bottom store bot=0 (repair) -> nil", nil
+	case 2:
+		s.publicBot = t.r1 - 1
+		t.phase = 3
+		return fmt.Sprintf("owner: pop_public_bottom store publicBot=%d", t.r1-1), nil
+	case 3:
+		t.r3 = uint64(s.slots[t.r1-1])
+		t.phase = 4
+		return fmt.Sprintf("owner: pop_public_bottom load slot[%d] -> task %d", t.r1-1, t.r3), nil
+	case 4:
+		t.r2 = s.age
+		top, _ := unpackAge(t.r2)
+		if t.r1-1 > uint64(top) {
+			t.phase = 5
+		} else {
+			t.phase = 6
+		}
+		return fmt.Sprintf("owner: pop_public_bottom load age (top=%d)", top), nil
+	case 5:
+		// Common path: public tasks remain above top.
+		idx := t.r1 - 1
+		s.bot = idx
+		id := uint8(t.r3)
+		if id == 0 {
+			return "owner: pop_public_bottom store bot", &Violation{Kind: SlotCorruption,
+				Detail: fmt.Sprintf("pop_public_bottom read empty slot %d", idx)}
+		}
+		v := s.recordReturn(id)
+		t.completeOwner(sc, true)
+		return fmt.Sprintf("owner: pop_public_bottom store bot=%d -> task %d", idx, id), v
+	case 6:
+		// Emptying path (line 20 onward): reset indices, race thieves.
+		s.bot = 0
+		t.phase = 7
+		return "owner: pop_public_bottom store bot=0 (emptying)", nil
+	case 7:
+		s.publicBot = 0
+		top, _ := unpackAge(t.r2)
+		if t.r1-1 == uint64(top) {
+			t.phase = 8
+		} else {
+			t.phase = 9
+		}
+		return "owner: pop_public_bottom store publicBot=0 (emptying)", nil
+	case 8:
+		top, tag := unpackAge(t.r2)
+		_ = top
+		if s.age == t.r2 {
+			s.age = packAge(0, tag+1)
+			id := uint8(t.r3)
+			if id == 0 {
+				return "owner: pop_public_bottom CAS age", &Violation{Kind: SlotCorruption,
+					Detail: fmt.Sprintf("pop_public_bottom read empty slot %d", t.r1-1)}
+			}
+			v := s.recordReturn(id)
+			t.completeOwner(sc, true)
+			return fmt.Sprintf("owner: pop_public_bottom CAS age ok -> task %d", id), v
+		}
+		t.phase = 9
+		return "owner: pop_public_bottom CAS age failed (thief won)", nil
+	default:
+		_, tag := unpackAge(t.r2)
+		s.age = packAge(0, tag+1)
+		t.completeOwner(sc, false)
+		return "owner: pop_public_bottom store age (reset) -> nil", nil
+	}
+}
+
+// updatePublicStep: the scripted form of update_public_bottom
+// (Listing 2 lines 44–46, sync-free — §4 footnote 3). Registers:
+// r1 = pb, r2 = b.
+func (s *state) updatePublicStep(sc *Scenario, t *thread) (string, *Violation) {
+	switch t.phase {
+	case 0:
+		t.r1 = s.publicBot
+		t.phase = 1
+		return fmt.Sprintf("owner: update_public_bottom load publicBot=%d", t.r1), nil
+	case 1:
+		t.r2 = s.bot
+		if t.r2 < t.r1 {
+			t.completeOwner(sc, false)
+			return fmt.Sprintf("owner: update_public_bottom load bot=%d -> no-op (mid pop_bottom)", t.r2), nil
+		}
+		if exposeCount(sc.Expose, t.r2-t.r1) == 0 {
+			t.completeOwner(sc, false)
+			return fmt.Sprintf("owner: update_public_bottom load bot=%d -> no-op (policy)", t.r2), nil
+		}
+		t.phase = 2
+		return fmt.Sprintf("owner: update_public_bottom load bot=%d", t.r2), nil
+	default:
+		n := exposeCount(sc.Expose, t.r2-t.r1)
+		s.publicBot = t.r1 + n
+		t.completeOwner(sc, false)
+		return fmt.Sprintf("owner: update_public_bottom store publicBot=%d (+%d)", t.r1+n, n), nil
+	}
+}
+
+// handlerStep runs the emulated exposure signal handler on the owner.
+// It executes the same micro-steps as update_public_bottom but on the
+// handler frame, so it can interrupt any owner operation mid-flight.
+// h1 holds pb, then pb+n once the store is committed to.
+func (s *state) handlerStep(sc *Scenario, t *thread) (string, *Violation) {
+	switch t.hphase {
+	case 1:
+		t.h1 = s.publicBot
+		t.hphase = 2
+		return fmt.Sprintf("owner(sig): update_public_bottom load publicBot=%d", t.h1), nil
+	case 2:
+		b := s.bot
+		if b < t.h1 {
+			t.hphase, t.h1 = 0, 0
+			return fmt.Sprintf("owner(sig): update_public_bottom load bot=%d -> no-op (mid pop_bottom)", b), nil
+		}
+		n := exposeCount(sc.Expose, b-t.h1)
+		if n == 0 {
+			t.hphase, t.h1 = 0, 0
+			return fmt.Sprintf("owner(sig): update_public_bottom load bot=%d -> no-op (policy)", b), nil
+		}
+		t.h1 += n
+		t.hphase = 3
+		return fmt.Sprintf("owner(sig): update_public_bottom load bot=%d (will expose %d)", b, n), nil
+	default:
+		s.publicBot = t.h1
+		t.hphase, t.h1 = 0, 0
+		return fmt.Sprintf("owner(sig): update_public_bottom store publicBot=%d", s.publicBot), nil
+	}
+}
+
+// popTopStep: a thief's PopTop attempt (Listing 2 lines 31–42).
+// Registers: r1 = oldAge, r2 = pb, r3 = task id.
+func (s *state) popTopStep(sc *Scenario, t *thread, tid int) (string, *Violation) {
+	who := fmt.Sprintf("thief%d", tid)
+	switch t.phase {
+	case 0:
+		t.r1 = s.age
+		t.phase = 1
+		top, _ := unpackAge(t.r1)
+		return fmt.Sprintf("%s: pop_top load age (top=%d)", who, top), nil
+	case 1:
+		t.r2 = s.publicBot
+		top, _ := unpackAge(t.r1)
+		if t.r2 > uint64(top) {
+			t.phase = 2
+		} else {
+			t.phase = 4
+		}
+		return fmt.Sprintf("%s: pop_top load publicBot=%d", who, t.r2), nil
+	case 2:
+		top, _ := unpackAge(t.r1)
+		t.r3 = uint64(s.slots[top])
+		t.phase = 3
+		return fmt.Sprintf("%s: pop_top load slot[%d] -> task %d", who, top, t.r3), nil
+	case 3:
+		top, tag := unpackAge(t.r1)
+		if s.age == t.r1 {
+			s.age = packAge(top+1, tag)
+			id := uint8(t.r3)
+			if id == 0 {
+				return who + ": pop_top CAS age", &Violation{Kind: SlotCorruption,
+					Detail: fmt.Sprintf("pop_top read empty slot %d", top)}
+			}
+			v := s.recordReturn(id)
+			t.complete()
+			return fmt.Sprintf("%s: pop_top CAS age ok -> STOLEN task %d", who, id), v
+		}
+		t.complete()
+		return who + ": pop_top CAS age failed -> ABORT", nil
+	default:
+		b := s.bot
+		pb := t.r2
+		t.complete()
+		if pb < b {
+			if sc.AutoSignal {
+				s.sigPending = true
+			}
+			return fmt.Sprintf("%s: pop_top load bot=%d -> PRIVATE_WORK (notify owner)", who, b), nil
+		}
+		return fmt.Sprintf("%s: pop_top load bot=%d -> EMPTY", who, b), nil
+	}
+}

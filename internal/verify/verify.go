@@ -1,0 +1,235 @@
+// Package verify is a bounded model checker for the LCWS split deque
+// (internal/deque.SplitDeque, Listing 2 of the paper plus the §4
+// signal-safe pop_bottom variant).
+//
+// The Go implementation cannot be model-checked directly — goroutine
+// preemption points are not addressable — so this package re-expresses
+// the algorithm as a deterministic step-VM: every deque operation is
+// compiled to the sequence of shared-memory micro-steps (individual
+// atomic loads, stores and CASes of bot, publicBot, the age word and the
+// task slots) that the Go code executes, at the granularity at which the
+// hardware may interleave them. A scenario places one owner thread
+// running a script of operations from the op DSL (PushBottom, PopBottom,
+// PopPublicBottom, UpdatePublicBottom/Expose, Drain) next to a bounded
+// number of thief threads running PopTop attempts, and the explorer
+// enumerates every reachable interleaving, including an emulated
+// exposure signal landing between any two micro-steps of the owner —
+// the exact window of the §4 pop_bottom race.
+//
+// Exploration is a stateful depth-first search: states are canonicalized
+// (identical thief threads are sorted, making the search symmetric in
+// thief identity) and memoized, and deterministic local computation is
+// folded into the adjacent shared access, so only schedules that differ
+// in the order of conflicting shared accesses are explored separately —
+// the same reduction family (independence + symmetry) that DPOR-style
+// checkers exploit. On the bounds used by the tests the full state space
+// is a few thousand to a few hundred thousand states and explores in
+// well under a second.
+//
+// Checked properties:
+//
+//   - No duplicated task: every task id is returned at most once across
+//     owner pops and successful steals (set-linearizability of the
+//     multiset of returns — the correctness criterion used for
+//     work-stealing deques, cf. Chase–Lev and Sundell & Tsigas).
+//   - No lost task: at every terminal state of a draining scenario,
+//     every pushed task was returned exactly once.
+//   - No fabricated task: a pop or steal never observes an empty slot
+//     where the algorithm promised a task.
+//   - Index invariant top <= publicBot <= bot at every quiescent state
+//     (all threads between operations, no handler running), modulo the
+//     documented §4 exception: after the race-fix PopBottom returns nil
+//     it may leave bot == publicBot-1 until the next PopPublicBottom or
+//     UnexposeAll repairs it.
+//
+// The package's tests double as the CI wiring: `go test ./internal/verify`
+// (part of tier-1 `go test ./...`) re-checks every scenario, including a
+// negative test that must reproduce the §4 exposure-mid-PopBottom race
+// when the race fix is disabled.
+package verify
+
+import (
+	"fmt"
+
+	"lcws/internal/deque"
+)
+
+// Scenario is one bounded model-checking problem: an owner script, a
+// number of identical thief threads, and the exposure-signal regime.
+type Scenario struct {
+	// Name labels reports and test output.
+	Name string
+	// RaceFix selects the §4 signal-safe PopBottom variant, exactly as
+	// deque.NewSplit's raceFix parameter does.
+	RaceFix bool
+	// Capacity is the number of task slots (default 8, max 16).
+	Capacity int
+	// Owner is the owner thread's operation script.
+	Owner []Op
+	// Thieves is the number of concurrent thief threads (each a separate
+	// "processor"; they are symmetric and the explorer exploits that).
+	Thieves int
+	// StealAttempts is the number of PopTop attempts each thief makes.
+	StealAttempts int
+	// Expose is the exposure policy the signal handler runs
+	// (update_public_bottom's mode).
+	Expose deque.ExposeMode
+	// AutoSignal raises an exposure request whenever a thief's PopTop
+	// returns PRIVATE_WORK, mirroring the notify path of Listing 3.
+	AutoSignal bool
+	// InitialSignal starts the run with an exposure request already
+	// pending, so the handler can fire before any thief observes the
+	// deque.
+	InitialSignal bool
+	// SignalBudget bounds how many times the emulated signal handler may
+	// be delivered (0 means no handler ever runs).
+	SignalBudget int
+	// RequireDrain asserts that every terminal state has returned every
+	// pushed task: the scenario's owner script must end with Drain.
+	RequireDrain bool
+	// MaxStates aborts exploration (Report.Truncated) after this many
+	// distinct states; 0 means DefaultMaxStates.
+	MaxStates int
+}
+
+// DefaultMaxStates bounds exploration when Scenario.MaxStates is zero.
+const DefaultMaxStates = 4 << 20
+
+// OpKind enumerates the operations of the model checker's DSL. The five
+// public kinds correspond one-to-one to the operations of Listing 2;
+// Drain is the composite owner loop of Listing 1 (pop_bottom until nil,
+// then pop_public_bottom, repeating until the deque is empty).
+type OpKind uint8
+
+const (
+	// OpPushBottom pushes task Arg (1-based id) onto the private part.
+	OpPushBottom OpKind = iota
+	// OpPopBottom pops the bottom-most private task.
+	OpPopBottom
+	// OpPopPublicBottom pops the bottom-most public task; in the
+	// scheduler it is only legal directly after OpPopBottom returned
+	// nil, and scripts must respect that.
+	OpPopPublicBottom
+	// OpPopTop is a steal attempt (thief threads run these implicitly).
+	OpPopTop
+	// OpUpdatePublicBottom runs the exposure routine synchronously on
+	// the owner (the scripted form of the signal handler's body).
+	OpUpdatePublicBottom
+	// OpDrain runs the owner side of Listing 1 until the deque empties.
+	OpDrain
+)
+
+// Op is one scripted operation.
+type Op struct {
+	Kind OpKind
+	Arg  uint8 // task id for OpPushBottom
+}
+
+// Push returns a PushBottom op for task id (1-based, <= 15).
+func Push(id int) Op {
+	if id <= 0 || id > maxTaskID {
+		panic(fmt.Sprintf("verify: task id %d out of range [1,%d]", id, maxTaskID))
+	}
+	return Op{Kind: OpPushBottom, Arg: uint8(id)}
+}
+
+// Pop returns a PopBottom op.
+func Pop() Op { return Op{Kind: OpPopBottom} }
+
+// PopPublic returns a PopPublicBottom op.
+func PopPublic() Op { return Op{Kind: OpPopPublicBottom} }
+
+// UpdatePublicBottom returns a scripted exposure op.
+func UpdatePublicBottom() Op { return Op{Kind: OpUpdatePublicBottom} }
+
+// Drain returns the composite drain-the-deque op.
+func Drain() Op { return Op{Kind: OpDrain} }
+
+// String returns a compact rendering of the op.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpPushBottom:
+		return fmt.Sprintf("push(%d)", o.Arg)
+	case OpPopBottom:
+		return "pop_bottom"
+	case OpPopPublicBottom:
+		return "pop_public_bottom"
+	case OpPopTop:
+		return "pop_top"
+	case OpUpdatePublicBottom:
+		return "update_public_bottom"
+	case OpDrain:
+		return "drain"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o.Kind))
+	}
+}
+
+// ViolationKind classifies a property violation.
+type ViolationKind uint8
+
+const (
+	// DuplicateTask means one task id was returned twice.
+	DuplicateTask ViolationKind = iota
+	// LostTask means a draining scenario terminated with a pushed task
+	// never returned.
+	LostTask
+	// IndexInvariant means top <= publicBot <= bot failed at a quiescent
+	// state (outside the documented race-fix repair window).
+	IndexInvariant
+	// SlotCorruption means an operation observed an empty slot where the
+	// algorithm guarantees a task.
+	SlotCorruption
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case DuplicateTask:
+		return "duplicate-task"
+	case LostTask:
+		return "lost-task"
+	case IndexInvariant:
+		return "index-invariant"
+	case SlotCorruption:
+		return "slot-corruption"
+	default:
+		return fmt.Sprintf("violation(%d)", uint8(k))
+	}
+}
+
+// Violation is one counterexample found by the explorer.
+type Violation struct {
+	Kind ViolationKind
+	// Detail describes the violated assertion in the failing state.
+	Detail string
+	// Trace is the full interleaving (one micro-step per line) leading
+	// to the violation.
+	Trace []string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s (after %d steps)", v.Kind, v.Detail, len(v.Trace))
+}
+
+// Report is the result of exhaustively checking one scenario.
+type Report struct {
+	Scenario    Scenario
+	States      int // distinct canonical states visited
+	Transitions int // micro-steps executed
+	Violations  []Violation
+	// Truncated is set when MaxStates stopped the search early; absence
+	// of violations is then inconclusive.
+	Truncated bool
+}
+
+// Clean reports whether the exhaustive search finished and found no
+// violations.
+func (r Report) Clean() bool { return !r.Truncated && len(r.Violations) == 0 }
+
+// maxViolations bounds how many distinct counterexamples one Check run
+// collects before stopping.
+const maxViolations = 4
+
+// maxTaskID is the largest task id the packed state encoding supports.
+const maxTaskID = 15

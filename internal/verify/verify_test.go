@@ -1,0 +1,267 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"lcws/internal/deque"
+)
+
+func kinds(r Report) map[ViolationKind]int {
+	m := map[ViolationKind]int{}
+	for _, v := range r.Violations {
+		m[v.Kind]++
+	}
+	return m
+}
+
+func logReport(t *testing.T, r Report) {
+	t.Helper()
+	t.Logf("%s: %d states, %d transitions, %d violations, truncated=%v",
+		r.Scenario.Name, r.States, r.Transitions, len(r.Violations), r.Truncated)
+	for _, v := range r.Violations {
+		t.Logf("  %v", v)
+	}
+}
+
+func mustClean(t *testing.T, sc Scenario) Report {
+	t.Helper()
+	r := Check(sc)
+	logReport(t, r)
+	if r.Truncated {
+		t.Fatalf("%s: exploration truncated at %d states", sc.Name, r.States)
+	}
+	if len(r.Violations) > 0 {
+		v := r.Violations[0]
+		t.Fatalf("%s: unexpected violation %v\ntrace:\n  %s",
+			sc.Name, v, strings.Join(v.Trace, "\n  "))
+	}
+	return r
+}
+
+// TestRaceFixSafeUnderMidPopExposure is the §4 positive result: with the
+// signal-safe pop_bottom, an exposure request delivered at ANY
+// instruction boundary — including in the middle of pop_bottom — can
+// never cause a task to be both popped by the owner and stolen.
+// The scenario starts with the signal already pending, so the explorer
+// delivers it at every possible boundary of the pop.
+func TestRaceFixSafeUnderMidPopExposure(t *testing.T) {
+	r := mustClean(t, Scenario{
+		Name:          "racefix-mid-pop-exposure",
+		RaceFix:       true,
+		Owner:         []Op{Push(1), Pop(), Drain()},
+		Thieves:       1,
+		StealAttempts: 2,
+		Expose:        deque.ExposeOne,
+		InitialSignal: true,
+		SignalBudget:  1,
+		RequireDrain:  true,
+	})
+	if r.States == 0 {
+		t.Fatal("explorer visited no states")
+	}
+}
+
+// TestOriginalPopBottomRaceReproduced is the §4 negative result: with
+// the ORIGINAL Listing 2 pop_bottom and an exposure request landing
+// between its comparison and its decrement of bot, the bottom-most task
+// can be returned to the owner and simultaneously stolen by a thief.
+// The model checker must find a duplicated task (and the broken
+// publicBot > bot index state it leaves behind).
+func TestOriginalPopBottomRaceReproduced(t *testing.T) {
+	r := Check(Scenario{
+		Name:          "original-pop-bottom-race",
+		RaceFix:       false,
+		Owner:         []Op{Push(1), Pop()},
+		Thieves:       1,
+		StealAttempts: 2,
+		Expose:        deque.ExposeOne,
+		InitialSignal: true,
+		SignalBudget:  1,
+	})
+	logReport(t, r)
+	if r.Truncated {
+		t.Fatalf("exploration truncated at %d states", r.States)
+	}
+	k := kinds(r)
+	if k[DuplicateTask] == 0 {
+		t.Fatalf("model checker failed to reproduce the §4 duplicate-task race; found %v", r.Violations)
+	}
+	if k[IndexInvariant] == 0 {
+		t.Errorf("expected the race to also surface as a publicBot > bot index violation; found %v", r.Violations)
+	}
+	// The counterexample trace must show the exposure landing mid-pop.
+	var dup Violation
+	for _, v := range r.Violations {
+		if v.Kind == DuplicateTask {
+			dup = v
+			break
+		}
+	}
+	trace := strings.Join(dup.Trace, "\n")
+	if !strings.Contains(trace, "exposure signal delivered") {
+		t.Errorf("duplicate-task trace does not include a signal delivery:\n%s", trace)
+	}
+	t.Logf("counterexample (%d steps):\n  %s", len(dup.Trace), strings.Join(dup.Trace, "\n  "))
+}
+
+// TestConservativeExposureSafeWithOriginalPopBottom checks §4.1.1: the
+// Conservative Exposure policy never exposes the bottom-most task, so
+// the ORIGINAL pop_bottom is race-free under it even with signals
+// landing mid-operation.
+func TestConservativeExposureSafeWithOriginalPopBottom(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:          "conservative-exposure-original-pop",
+		RaceFix:       false,
+		Owner:         []Op{Push(1), Push(2), Drain()},
+		Thieves:       1,
+		StealAttempts: 3,
+		Expose:        deque.ExposeConservative,
+		AutoSignal:    true,
+		SignalBudget:  2,
+		RequireDrain:  true,
+	})
+}
+
+// TestSignalLCWSDrains exercises the full signal protocol on the
+// race-fix deque: thieves notify on PRIVATE_WORK, the handler exposes
+// one task at a time, and every task is consumed exactly once.
+func TestSignalLCWSDrains(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:          "signal-lcws-drains",
+		RaceFix:       true,
+		Owner:         []Op{Push(1), Push(2), Push(3), Drain()},
+		Thieves:       1,
+		StealAttempts: 3,
+		Expose:        deque.ExposeOne,
+		AutoSignal:    true,
+		SignalBudget:  2,
+		RequireDrain:  true,
+	})
+}
+
+// TestExposeHalfTwoThieves checks the §4.1.2 Expose Half policy with
+// two concurrent thieves against the race-fix pop_bottom.
+func TestExposeHalfTwoThieves(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:          "expose-half-two-thieves",
+		RaceFix:       true,
+		Owner:         []Op{Push(1), Push(2), Push(3), Drain()},
+		Thieves:       2,
+		StealAttempts: 2,
+		Expose:        deque.ExposeHalf,
+		AutoSignal:    true,
+		SignalBudget:  2,
+		RequireDrain:  true,
+	})
+}
+
+// TestScriptedUpdatePublicBottom drives exposure synchronously through
+// the op DSL (no signals): the owner exposes, thieves race the owner's
+// drain for the public tasks.
+func TestScriptedUpdatePublicBottom(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:          "scripted-update-public-bottom",
+		RaceFix:       true,
+		Owner:         []Op{Push(1), Push(2), UpdatePublicBottom(), Drain()},
+		Thieves:       2,
+		StealAttempts: 2,
+		Expose:        deque.ExposeOne,
+		RequireDrain:  true,
+	})
+}
+
+// TestSequentialOwnerOnly checks the DSL on a thief-free scenario: all
+// five op kinds in a deterministic order.
+func TestSequentialOwnerOnly(t *testing.T) {
+	r := mustClean(t, Scenario{
+		Name:         "sequential-owner-only",
+		RaceFix:      true,
+		Owner:        []Op{Push(1), Pop(), Push(2), Push(3), UpdatePublicBottom(), Drain()},
+		Expose:       deque.ExposeOne,
+		RequireDrain: true,
+	})
+	// A single-threaded scenario has exactly one schedule: the state
+	// count equals the transition count plus the initial state.
+	if r.Transitions+1 != r.States {
+		t.Errorf("sequential scenario explored %d states over %d transitions; want a single linear schedule",
+			r.States, r.Transitions)
+	}
+}
+
+// TestLostTaskDetectorFires proves the no-lost-task oracle is live: a
+// scenario that terminates without draining must be reported.
+func TestLostTaskDetectorFires(t *testing.T) {
+	r := Check(Scenario{
+		Name:         "undrained-scenario",
+		RaceFix:      true,
+		Owner:        []Op{Push(1)},
+		RequireDrain: true,
+	})
+	logReport(t, r)
+	if kinds(r)[LostTask] == 0 {
+		t.Fatalf("expected a lost-task violation, got %v", r.Violations)
+	}
+}
+
+// TestTruncationReported checks the MaxStates bound is honoured and
+// reported rather than silently passing.
+func TestTruncationReported(t *testing.T) {
+	r := Check(Scenario{
+		Name:          "truncated",
+		RaceFix:       true,
+		Owner:         []Op{Push(1), Push(2), Push(3), Drain()},
+		Thieves:       2,
+		StealAttempts: 3,
+		Expose:        deque.ExposeHalf,
+		AutoSignal:    true,
+		SignalBudget:  3,
+		RequireDrain:  true,
+		MaxStates:     50,
+	})
+	if !r.Truncated {
+		t.Fatalf("expected truncation at 50 states, explored %d", r.States)
+	}
+	if r.Clean() {
+		t.Fatal("truncated report must not be Clean")
+	}
+}
+
+// TestDeterminism: two runs of the same scenario must visit identical
+// state and transition counts (the explorer is deterministic, which
+// keeps CI reproducible).
+func TestDeterminism(t *testing.T) {
+	sc := Scenario{
+		Name:          "determinism",
+		RaceFix:       true,
+		Owner:         []Op{Push(1), Push(2), Drain()},
+		Thieves:       2,
+		StealAttempts: 2,
+		Expose:        deque.ExposeOne,
+		AutoSignal:    true,
+		SignalBudget:  1,
+		RequireDrain:  true,
+	}
+	a, b := Check(sc), Check(sc)
+	if a.States != b.States || a.Transitions != b.Transitions {
+		t.Fatalf("non-deterministic exploration: (%d,%d) vs (%d,%d)",
+			a.States, a.Transitions, b.States, b.Transitions)
+	}
+}
+
+// TestOpStrings pins the DSL's rendering, which appears in
+// counterexample traces.
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		Push(3):               "push(3)",
+		Pop():                 "pop_bottom",
+		PopPublic():           "pop_public_bottom",
+		UpdatePublicBottom():  "update_public_bottom",
+		Drain():               "drain",
+		{Kind: OpPopTop}:      "pop_top",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("op %v String = %q, want %q", op.Kind, got, want)
+		}
+	}
+}
