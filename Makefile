@@ -5,7 +5,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: verify build test race vet fuzz-smoke stress lcwsvet clean
+.PHONY: verify build test race vet fuzz-smoke stress lcwsvet bench-fork clean
 
 verify: build test race vet fuzz-smoke stress
 
@@ -35,6 +35,12 @@ fuzz-smoke:
 # Short adversarial soak across all policies under the race detector.
 stress:
 	$(GO) run -race ./cmd/deqstress -duration 20s
+
+# Fork-overhead microbenchmarks: regenerates BENCH_fork.json (the perf
+# trajectory document, see README) and prints a per-policy summary with
+# the speedup against the recorded pre-optimization baseline.
+bench-fork:
+	$(GO) run ./cmd/lcwsbench -forkbench -forkjson BENCH_fork.json
 
 clean:
 	rm -rf $(BIN)

@@ -14,6 +14,7 @@ import (
 
 	"lcws"
 	"lcws/fig"
+	"lcws/internal/perf"
 	"lcws/pbbs"
 	"lcws/sim"
 )
@@ -226,6 +227,67 @@ func BenchmarkParFor(b *testing.B) {
 						data[j] = j * 3
 					})
 				})
+			}
+		})
+	}
+}
+
+func benchNoopBody(*lcws.Ctx, int) {}
+
+// BenchmarkForkOverheadSpawnTree is the fork-overhead microbenchmark the
+// allocation/benchmark regression harness gates on (internal/perf): a
+// single-worker spawn tree of empty leaves, so ns/op is pure fork-path
+// cost. The ns/fork metric divides by the actual fork count; allocs/op
+// must stay 0 once the freelists are warm (the CI bench-smoke job runs
+// this with -benchmem).
+func BenchmarkForkOverheadSpawnTree(b *testing.B) {
+	for _, pol := range lcws.Policies {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			s := lcws.New(lcws.WithWorkers(1), lcws.WithPolicy(pol))
+			root := func(ctx *lcws.Ctx) { lcws.ParFor(ctx, 0, perf.SpawnTreeN, 1, benchNoopBody) }
+			s.Run(root) // warm the freelist before the timed region
+			lcws.ResetStats(s)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Run(root)
+			}
+			b.StopTimer()
+			st := lcws.StatsOf(s)
+			if st.TasksPushed > 0 {
+				forks := float64(st.TasksPushed)
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/forks, "ns/fork")
+				b.ReportMetric(float64(st.Fences)/forks, "fences/fork")
+			}
+		})
+	}
+}
+
+// BenchmarkForkOverheadPForSum is the companion fork-overhead bench with
+// a real (memory-reading) body at coarse grain: per-split overhead must
+// stay noise next to the body, and splits must not allocate.
+func BenchmarkForkOverheadPForSum(b *testing.B) {
+	data := make([]int64, perf.PForSumN)
+	for i := range data {
+		data[i] = int64(i)
+	}
+	for _, pol := range lcws.Policies {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			s := lcws.New(lcws.WithWorkers(1), lcws.WithPolicy(pol))
+			var acc int64
+			body := func(_ *lcws.Ctx, i int) { acc += data[i] }
+			root := func(ctx *lcws.Ctx) { lcws.ParFor(ctx, 0, perf.PForSumN, perf.PForSumGrain, body) }
+			s.Run(root)
+			lcws.ResetStats(s)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Run(root)
+			}
+			b.StopTimer()
+			st := lcws.StatsOf(s)
+			if st.TasksPushed > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(st.TasksPushed), "ns/fork")
 			}
 		})
 	}

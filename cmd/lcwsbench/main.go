@@ -3,14 +3,20 @@
 // schedulers over the pbbs suite; speedup figures (4–7) and statistics
 // sweep the simulator over the three Table 1 machine profiles.
 //
+// It also runs the fork-overhead microbenchmarks of internal/perf and
+// emits them as the machine-readable BENCH_fork.json document that the
+// allocation/benchmark regression gate compares against.
+//
 // Usage:
 //
 //	lcwsbench -all                # everything, default sizes
 //	lcwsbench -fig3 -scale 0.1    # Figure 3 from a larger counter sweep
 //	lcwsbench -fig5 -csv          # Figure 5 data as CSV
+//	lcwsbench -forkbench -forkjson BENCH_fork.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +26,7 @@ import (
 
 	"lcws"
 	"lcws/fig"
+	"lcws/internal/perf"
 	"lcws/pbbs"
 	"lcws/sim"
 )
@@ -42,12 +49,27 @@ func main() {
 		seed   = flag.Uint64("seed", 42, "seed for scheduling and simulation")
 		csv    = flag.Bool("csv", false, "emit figure data as CSV instead of text")
 		chart  = flag.Bool("chart", false, "render figures as ASCII charts instead of tables")
+
+		forkbench  = flag.Bool("forkbench", false, "run the fork-overhead microbenchmarks (internal/perf)")
+		forkjson   = flag.String("forkjson", "", "write the fork benchmark report as JSON to this file (default stdout)")
+		forkrounds = flag.Int("forkrounds", perf.DefaultRounds, "timed Run calls per fork-benchmark repetition")
+		forkreps   = flag.Int("forkreps", perf.DefaultReps, "fork-benchmark repetitions (minimum is reported)")
 	)
 	flag.Parse()
 
-	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi) {
+	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi || *forkbench) {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *forkbench {
+		if err := runForkBench(*forkrounds, *forkreps, *forkjson); err != nil {
+			fmt.Fprintln(os.Stderr, "lcwsbench:", err)
+			os.Exit(1)
+		}
+		if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi) {
+			return
+		}
 	}
 
 	// On hosts with fewer CPUs than the requested worker counts, raise
@@ -133,6 +155,32 @@ func main() {
 			fig.Stats54(out, sweeps)
 		}
 	}
+}
+
+// runForkBench measures the fork-overhead benchmarks and writes the
+// BENCH_fork.json document to path (stdout when empty). A short text
+// summary with the speedup against the recorded baseline goes to stderr
+// so the JSON stream stays clean.
+func runForkBench(rounds, reps int, path string) error {
+	rep := perf.NewReport(rounds, reps)
+	for _, r := range rep.Benches {
+		line := fmt.Sprintf("%-18s %8.1f ns/fork  allocs/fork=%.3f fences/fork=%.3f",
+			r.Key(), r.NsPerFork, r.AllocsPerFork, r.FencesPerFork)
+		if base, ok := rep.BaselineNsPerFork[r.Key()]; ok && r.NsPerFork > 0 {
+			line += fmt.Sprintf("  (%.2fx vs baseline %.1f)", base/r.NsPerFork, base)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func parseWorkers(s string) ([]int, error) {

@@ -105,6 +105,27 @@ func EnclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
 	return nil
 }
 
+// IsOffsetofArg reports whether the node whose ancestor stack is given
+// (innermost last) sits directly inside an unsafe.Offsetof call.
+// Offsetof queries struct layout without evaluating or aliasing its
+// operand, so field-access disciplines exempt it; the layout regression
+// tests depend on that.
+func IsOffsetofArg(info *types.Info, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[fun.Sel].(*types.Builtin)
+	return ok && b.Name() == "Offsetof"
+}
+
 // Deref strips one level of pointer indirection.
 func Deref(t types.Type) types.Type {
 	if p, ok := t.Underlying().(*types.Pointer); ok {

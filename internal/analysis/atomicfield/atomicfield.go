@@ -126,6 +126,11 @@ func checkAtomicUse(pass *analysis.Pass, sel *ast.SelectorExpr, key fieldKey, st
 			return
 		}
 	}
+	// unsafe.Offsetof(x.f) queries layout without evaluating the field;
+	// the cache-layout regression tests rely on it.
+	if analysis.IsOffsetofArg(pass.TypesInfo, stack) {
+		return
+	}
 	pass.Reportf(sel.Pos(), "atomic field %s.%s must be accessed only through its sync/atomic methods", key.typ, key.field)
 }
 

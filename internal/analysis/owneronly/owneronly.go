@@ -1,5 +1,7 @@
 // Package owneronly verifies the central usage contract of the LCWS
-// split deque: the owner-side operations (PushBottom, PopBottom,
+// worker's owner-only state.
+//
+// The split deque's owner-side operations (PushBottom, PopBottom,
 // PopPublicBottom, Expose, UnexposeAll) are synchronization-free and
 // therefore only safe when invoked by the deque's single owner. In this
 // codebase the owner is the Worker whose dq field holds the deque, so
@@ -9,21 +11,33 @@
 // Thief-safe operations (PopTop, HasTwoTasks, IsEmpty, PrivateSize,
 // PublicSize) may be called on any worker's deque, which is exactly how
 // stealOnce and notify use a victim's dq.
+//
+// The per-worker task freelist (the freelist field) carries the same
+// contract one level down: it is mutated without synchronization on
+// every fork and recycle, so any read or write of w.freelist must
+// likewise happen on the enclosing Worker method's own receiver and
+// outside function literals, and its address must never be taken.
+//
+// unsafe.Offsetof(w.dq) and friends are exempt everywhere: Offsetof
+// queries the struct layout without evaluating its operand, which is how
+// the layout regression tests pin the cache-line contract.
 package owneronly
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"lcws/internal/analysis"
 )
 
-// workerPkg/workerType/dequeField identify the guarded field: the dq
-// field of lcws/internal/core.Worker.
+// workerPkg/workerType identify the guarded struct, dequeField and
+// freelistField its owner-only fields: lcws/internal/core.Worker.
 const (
-	workerPkg  = "lcws/internal/core"
-	workerType = "Worker"
-	dequeField = "dq"
+	workerPkg     = "lcws/internal/core"
+	workerType    = "Worker"
+	dequeField    = "dq"
+	freelistField = "freelist"
 )
 
 // ownerOnly holds the deque methods that must run on the owner's
@@ -49,26 +63,32 @@ var thiefSafe = map[string]bool{
 
 var Analyzer = &analysis.Analyzer{
 	Name: "owneronly",
-	Doc: "check that owner-only split-deque methods are called only from the owning worker\n\n" +
+	Doc: "check that owner-only worker state is touched only by the owning worker\n\n" +
 		"Owner-side deque operations elide all fences and CAS (Lemmas 1-3 of the paper); " +
 		"calling one from another goroutine is a data race. This analyzer enforces that " +
 		"w.dq.PushBottom/PopBottom/PopPublicBottom/Expose/UnexposeAll appear only with w " +
 		"the receiver of the enclosing Worker method, not inside function literals, and " +
-		"that the dq field is never aliased into a variable or argument.",
+		"that the dq field is never aliased into a variable or argument. The task " +
+		"freelist field carries the same owner-only contract for plain reads and writes.",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
 	analysis.InspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != dequeField {
+		if !ok {
 			return true
 		}
-		field := fieldObject(pass, sel)
-		if field == nil || !isWorkerDequeField(field) {
-			return true
+		switch sel.Sel.Name {
+		case dequeField:
+			if isWorkerField(fieldObject(pass, sel), dequeField) {
+				checkDequeUse(pass, sel, stack)
+			}
+		case freelistField:
+			if isWorkerField(fieldObject(pass, sel), freelistField) {
+				checkFreelistUse(pass, sel, stack)
+			}
 		}
-		checkUse(pass, sel, stack)
 		return true
 	})
 	return nil
@@ -84,16 +104,51 @@ func fieldObject(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
 	return nil
 }
 
-// isWorkerDequeField reports whether v is core.Worker's dq field.
-func isWorkerDequeField(v *types.Var) bool {
-	return v.Name() == dequeField &&
+// isWorkerField reports whether v is core.Worker's field of the given
+// name.
+func isWorkerField(v *types.Var, name string) bool {
+	return v != nil && v.Name() == name &&
 		v.Pkg() != nil && v.Pkg().Path() == workerPkg
 }
 
-// checkUse validates one appearance of the dq field. stack holds the
-// ancestors of sel, outermost first.
-func checkUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+// workerRecv returns the receiver object of the innermost enclosing
+// Worker method declaration, or nil when the stack is not inside one.
+func workerRecv(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if fd == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	recvObj := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+	if recvObj == nil {
+		return nil
+	}
+	if n := analysis.NamedOf(recvObj.Type()); n == nil || n.Obj().Name() != workerType {
+		return nil
+	}
+	return recvObj
+}
+
+// inFuncLit reports whether the stack crosses a function literal between
+// fd and the node under inspection; such closures may escape the owner's
+// goroutine.
+func inFuncLit(stack []ast.Node, fd *ast.FuncDecl) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == fd {
+			return false
+		}
+		if _, ok := stack[i].(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDequeUse validates one appearance of the dq field. stack holds
+// the ancestors of sel, outermost first.
+func checkDequeUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) {
 	if len(stack) == 0 {
+		return
+	}
+	if analysis.IsOffsetofArg(pass.TypesInfo, stack) {
 		return
 	}
 	parent := stack[len(stack)-1]
@@ -135,33 +190,56 @@ func checkUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) {
 
 	// ... on the receiver of the enclosing Worker method ...
 	fd := analysis.EnclosingFuncDecl(stack)
-	if fd == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
-		pass.Reportf(method.Sel.Pos(), "owner-only deque method %s called outside a Worker method", name)
-		return
-	}
-	recvIdent := fd.Recv.List[0].Names[0]
-	recvObj := pass.TypesInfo.Defs[recvIdent]
-	if recvObj == nil || analysis.NamedOf(recvObj.Type()) == nil ||
-		analysis.NamedOf(recvObj.Type()).Obj().Name() != workerType {
+	recvObj := workerRecv(pass, fd)
+	if recvObj == nil {
 		pass.Reportf(method.Sel.Pos(), "owner-only deque method %s called outside a Worker method", name)
 		return
 	}
 	id, ok := sel.X.(*ast.Ident)
 	if !ok || pass.TypesInfo.Uses[id] != recvObj {
-		pass.Reportf(method.Sel.Pos(), "owner-only deque method %s called on %s, which is not the owning receiver %s", name, exprString(sel.X), recvIdent.Name)
+		pass.Reportf(method.Sel.Pos(), "owner-only deque method %s called on %s, which is not the owning receiver %s", name, exprString(sel.X), recvObj.Name())
 		return
 	}
 
 	// ... and not from inside a function literal, which could run on
 	// another goroutine or after the owner loop moved on.
-	for i := len(stack) - 1; i >= 0; i-- {
-		if stack[i] == fd {
-			break
-		}
-		if _, ok := stack[i].(*ast.FuncLit); ok {
-			pass.Reportf(method.Sel.Pos(), "owner-only deque method %s called inside a function literal; closures may escape the owner's goroutine", name)
-			return
-		}
+	if inFuncLit(stack, fd) {
+		pass.Reportf(method.Sel.Pos(), "owner-only deque method %s called inside a function literal; closures may escape the owner's goroutine", name)
+	}
+}
+
+// checkFreelistUse validates one appearance of the freelist field. The
+// freelist is plain data popped and pushed on every fork without any
+// synchronization, so the rules are stricter than the deque's: every
+// read or write — not just method calls — must be on the enclosing
+// Worker method's own receiver, outside function literals, and the
+// field's address must never be taken (an alias would let another
+// goroutine reach the list head).
+func checkFreelistUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	if analysis.IsOffsetofArg(pass.TypesInfo, stack) {
+		return
+	}
+	if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND && u.X == sel {
+		pass.Reportf(sel.Pos(), "the freelist field must not have its address taken: owner-only access is checked per use site")
+		return
+	}
+
+	fd := analysis.EnclosingFuncDecl(stack)
+	recvObj := workerRecv(pass, fd)
+	if recvObj == nil {
+		pass.Reportf(sel.Pos(), "owner-only field freelist accessed outside a Worker method")
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != recvObj {
+		pass.Reportf(sel.Pos(), "owner-only field freelist accessed on %s, which is not the owning receiver %s", exprString(sel.X), recvObj.Name())
+		return
+	}
+	if inFuncLit(stack, fd) {
+		pass.Reportf(sel.Pos(), "owner-only field freelist accessed inside a function literal; closures may escape the owner's goroutine")
 	}
 }
 

@@ -4,6 +4,8 @@
 // identification applies unchanged.
 package core
 
+import "unsafe"
+
 type taskDeque interface {
 	PushBottom(int)
 	PopBottom() int
@@ -16,9 +18,14 @@ type taskDeque interface {
 	Mystery()
 }
 
+type Task struct {
+	next *Task
+}
+
 type Worker struct {
-	id int
-	dq taskDeque
+	id       int
+	dq       taskDeque
+	freelist *Task
 }
 
 func NewWorker(dq taskDeque) *Worker {
@@ -63,6 +70,39 @@ func (w *Worker) badMethodValue() func() int {
 
 func (w *Worker) unclassified() {
 	w.dq.Mystery() // want `not classified as owner-only or thief-safe`
+}
+
+func (w *Worker) newTask() *Task { // ok: owner-local freelist pop on the receiver
+	t := w.freelist
+	if t == nil {
+		return &Task{}
+	}
+	w.freelist = t.next
+	t.next = nil
+	return t
+}
+
+func (w *Worker) layoutQuery() uintptr {
+	return unsafe.Offsetof(w.dq) + unsafe.Offsetof(w.freelist) // ok: Offsetof does not evaluate its operand
+}
+
+func (w *Worker) badFreelistVictim(v *Worker) *Task {
+	return v.freelist // want `owner-only field freelist accessed on v, which is not the owning receiver w`
+}
+
+func (w *Worker) badFreelistClosure() func() {
+	return func() {
+		w.freelist = nil // want `owner-only field freelist accessed inside a function literal`
+	}
+}
+
+func (w *Worker) badFreelistAddr() **Task {
+	return &w.freelist // want `freelist field must not have its address taken`
+}
+
+func badFreelistFree(w *Worker, t *Task) {
+	t.next = w.freelist // want `owner-only field freelist accessed outside a Worker method`
+	w.freelist = t      // want `owner-only field freelist accessed outside a Worker method`
 }
 
 type Scheduler struct{ workers []*Worker }

@@ -1,0 +1,82 @@
+package core
+
+import "testing"
+
+// Package-level branch functions: a func value referencing a top-level
+// function is a constant and costs nothing, so the measurements below see
+// only the scheduler's own allocations.
+func allocNoop(*Worker) {}
+
+func allocSpawn2(w *Worker) { Fork2(w, allocNoop, allocNoop) }
+
+func allocNoopBody(*Worker, int) {}
+
+// TestFork2FastPathZeroAllocs asserts the headline property of the task
+// freelists: once warm, the no-steal Fork2 fast path allocates nothing —
+// the right-branch descriptor comes from the freelist and both branches
+// are top-level functions.
+func TestFork2FastPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted by the race detector")
+	}
+	for _, pol := range Policies {
+		s := NewScheduler(Options{Workers: 1, Policy: pol})
+		var allocs float64
+		s.Run(func(w *Worker) {
+			// Warm the freelist to its steady-state depth (two levels of
+			// forks live at once via allocSpawn2).
+			for i := 0; i < 8; i++ {
+				Fork2(w, allocSpawn2, allocSpawn2)
+			}
+			allocs = testing.AllocsPerRun(100, func() {
+				Fork2(w, allocSpawn2, allocSpawn2)
+			})
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Fork2 fast path allocates %.1f objects per fork pair in steady state, want 0",
+				pol, allocs)
+		}
+	}
+}
+
+// TestParForSplitZeroAllocs asserts that ParFor's range splitting is
+// closure-free: a grain-1 loop over 64 indices performs 63 splits per
+// run and must allocate for none of them.
+func TestParForSplitZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted by the race detector")
+	}
+	for _, pol := range Policies {
+		s := NewScheduler(Options{Workers: 1, Policy: pol})
+		var allocs float64
+		s.Run(func(w *Worker) {
+			ParFor(w, 0, 64, 1, allocNoopBody) // warm the freelist
+			allocs = testing.AllocsPerRun(100, func() {
+				ParFor(w, 0, 64, 1, allocNoopBody)
+			})
+		})
+		if allocs != 0 {
+			t.Errorf("%s: ParFor allocates %.1f objects per 63-split run in steady state, want 0",
+				pol, allocs)
+		}
+	}
+}
+
+// TestFreelistWarmsUp pins down the cold-start behaviour the zero-alloc
+// gates rely on: the first run of a fork tree allocates one Task per
+// simultaneously live fork depth, and repeating the identical tree
+// allocates nothing more.
+func TestFreelistWarmsUp(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted by the race detector")
+	}
+	s := NewScheduler(Options{Workers: 1})
+	s.Run(func(w *Worker) {
+		ParFor(w, 0, 1024, 1, allocNoopBody)
+		if allocs := testing.AllocsPerRun(10, func() {
+			ParFor(w, 0, 1024, 1, allocNoopBody)
+		}); allocs != 0 {
+			t.Errorf("warm 1023-split ParFor allocates %.1f objects, want 0", allocs)
+		}
+	})
+}

@@ -10,22 +10,14 @@ package core
 // This is the work-first discipline of Parlay's fork_join_pair: on the
 // fast path (no steal) the only scheduler cost is one push and one pop of
 // the worker's own deque — which is exactly where LCWS saves its fences.
+// The task descriptor itself comes from the worker's freelist, so the
+// steady-state fast path allocates nothing.
 func Fork2(w *Worker, left, right func(*Worker)) {
-	rt := &Task{fn: right}
+	rt := w.newTask()
+	want := rt.prepareFn(right)
 	w.push(rt)
 	left(w)
-	if t := w.popLocal(); t != nil {
-		// LIFO discipline guarantees the bottom-most task is rt: every
-		// task left pushed was joined before left returned.
-		if t != rt {
-			panic("core: fork-join LIFO violation (bottom of deque is not the forked sibling)")
-		}
-		w.runTask(t)
-		return
-	}
-	// rt was stolen (or exposed and then stolen); work on other tasks
-	// until the thief finishes it.
-	w.helpUntil(rt.done.Load)
+	w.join(rt, want)
 }
 
 // Fork4 is a convenience two-level Fork2 for four-way forks.
@@ -63,9 +55,15 @@ const defaultGrainDiv = 8
 
 // ParFor executes body(w, i) for every i in [lo, hi) with recursive binary
 // splitting. grain is the largest range executed sequentially; when
-// grain <= 0 a default of max(1, (hi-lo)/(8*P)) is used. Leaf loops call
-// Poll every iteration (the masked fast path keeps this cheap), so
-// signal-based schedulers can expose work mid-leaf.
+// grain <= 0 a default of max(1, (hi-lo)/(8*P)) is used. Leaf loops keep
+// Poll's exact check cadence but hoist the counter bookkeeping out of the
+// per-iteration path (see Worker.runLeaf), so signal-based schedulers can
+// still expose work mid-leaf.
+//
+// Splits are closure-free: every pushed right half is a range-task
+// descriptor from the worker's freelist (see Task), so a ParFor call
+// allocates only whatever the caller's body closure costs, regardless of
+// how many times the range splits.
 func ParFor(w *Worker, lo, hi, grain int, body func(w *Worker, i int)) {
 	if lo >= hi {
 		return
@@ -76,20 +74,23 @@ func ParFor(w *Worker, lo, hi, grain int, body func(w *Worker, i int)) {
 			grain = 1
 		}
 	}
-	parForRec(w, lo, hi, grain, body)
+	w.forkRange(lo, hi, grain, body)
 }
 
-func parForRec(w *Worker, lo, hi, grain int, body func(w *Worker, i int)) {
+// forkRange is the range-task analogue of Fork2: it pushes the right half
+// of the range as a descriptor task, recurses into the left half, and
+// joins. Stolen range tasks re-enter through runTask, which calls back
+// into forkRange on the thief, so splitting continues wherever the range
+// ends up executing.
+func (w *Worker) forkRange(lo, hi, grain int, body func(*Worker, int)) {
 	if hi-lo <= grain {
-		for i := lo; i < hi; i++ {
-			body(w, i)
-			w.Poll()
-		}
+		w.runLeaf(lo, hi, body)
 		return
 	}
 	mid := lo + (hi-lo)/2
-	Fork2(w,
-		func(w *Worker) { parForRec(w, lo, mid, grain, body) },
-		func(w *Worker) { parForRec(w, mid, hi, grain, body) },
-	)
+	rt := w.newTask()
+	want := rt.prepareRange(mid, hi, grain, body)
+	w.push(rt)
+	w.forkRange(lo, mid, grain, body)
+	w.join(rt, want)
 }

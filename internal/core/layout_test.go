@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestWorkerFieldLayout pins the cache-layout contract of the Worker
+// struct: the thief-written notification words live alone on the first
+// cache line, and every owner-hot field starts at or beyond the second.
+// A refactor that reorders fields silently reintroduces the false
+// sharing this layout exists to prevent, so the test fails loudly
+// instead.
+func TestWorkerFieldLayout(t *testing.T) {
+	var w Worker
+	if off := unsafe.Offsetof(w.targeted); off != 0 {
+		t.Errorf("targeted at offset %d, want 0 (thief-shared line must lead the struct)", off)
+	}
+	if off := unsafe.Offsetof(w.pending); off >= cacheLineSize {
+		t.Errorf("pending at offset %d, want it on the first (thief-shared) cache line", off)
+	}
+	ownerFields := map[string]uintptr{
+		"sched":    unsafe.Offsetof(w.sched),
+		"dq":       unsafe.Offsetof(w.dq),
+		"ctr":      unsafe.Offsetof(w.ctr),
+		"rand":     unsafe.Offsetof(w.rand),
+		"freelist": unsafe.Offsetof(w.freelist),
+		"id":       unsafe.Offsetof(w.id),
+		"policy":   unsafe.Offsetof(w.policy),
+	}
+	for name, off := range ownerFields {
+		if off < cacheLineSize {
+			t.Errorf("owner-hot field %s at offset %d shares the thief-written cache line (< %d)",
+				name, off, cacheLineSize)
+		}
+	}
+}
+
+// TestWorkerSlotPadding pins the slab-slot contract: slots are a
+// cache-line multiple with at least one full trailing guard line, so no
+// two workers in the contiguous slab share a line regardless of the
+// slab's base alignment.
+func TestWorkerSlotPadding(t *testing.T) {
+	slot := unsafe.Sizeof(workerSlot{})
+	if slot%cacheLineSize != 0 {
+		t.Errorf("workerSlot size %d is not a cache-line multiple", slot)
+	}
+	if slot < unsafe.Sizeof(Worker{})+cacheLineSize {
+		t.Errorf("workerSlot size %d leaves no guard line after the %d-byte Worker",
+			slot, unsafe.Sizeof(Worker{}))
+	}
+}
+
+// TestWorkerSlabStride verifies workers really are allocated contiguously
+// at workerSlot stride (the property victim selection and the padding
+// analysis assume), rather than individually on the heap.
+func TestWorkerSlabStride(t *testing.T) {
+	s := NewScheduler(Options{Workers: 4})
+	stride := unsafe.Sizeof(workerSlot{})
+	base := uintptr(unsafe.Pointer(s.worker(0)))
+	for i := 1; i < s.Workers(); i++ {
+		got := uintptr(unsafe.Pointer(s.worker(i))) - base
+		if got != uintptr(i)*stride {
+			t.Errorf("worker %d at byte offset %d from worker 0, want %d (contiguous slab)",
+				i, got, uintptr(i)*stride)
+		}
+	}
+	// With the guard line in the slot, two workers' live fields can
+	// never fall on one line even at the worst-case base alignment.
+	if stride < unsafe.Sizeof(Worker{})+cacheLineSize {
+		t.Errorf("slab stride %d too small for misalignment-proof separation", stride)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. Tests
+// that assert exact allocation counts skip under it: its instrumentation
+// changes what escapes and what the runtime allocates.
+const raceEnabled = true

@@ -7,7 +7,6 @@ import (
 
 	"lcws/internal/counters"
 	"lcws/internal/deque"
-	"lcws/internal/rng"
 )
 
 // Options configures a Scheduler.
@@ -53,17 +52,27 @@ func (o Options) withDefaults() Options {
 // Scheduler is a pool of P workers executing fork-join computations under
 // one of the paper's scheduling policies. A Scheduler may be reused for
 // any number of sequential Run calls; Run must not be called concurrently.
+//
+// Workers live in one contiguous, cache-line-padded slab (see workerSlot)
+// rather than as individually heap-allocated objects: victim selection
+// then walks a single allocation, and the padding guarantees no two
+// workers — and no thief-written notification word and owner-hot field —
+// share a cache line.
 type Scheduler struct {
 	opts     Options
-	workers  []*Worker
+	workers  []workerSlot
 	ctrs     *counters.Set
 	finished atomic.Bool
 	running  atomic.Bool
+	wg       sync.WaitGroup // helper-goroutine barrier, reused so Run stays allocation-free
 
 	panicOnce sync.Once
 	panicked  atomic.Bool
 	panicVal  any
 }
+
+// worker returns worker i of the slab.
+func (s *Scheduler) worker(i int) *Worker { return &s.workers[i].w }
 
 // recordPanic stores the first task panic of a Run; Run re-throws it.
 func (s *Scheduler) recordPanic(v any) {
@@ -81,10 +90,9 @@ func NewScheduler(opts Options) *Scheduler {
 	}
 	s := &Scheduler{
 		opts:    opts,
-		workers: make([]*Worker, opts.Workers),
+		workers: make([]workerSlot, opts.Workers),
 		ctrs:    counters.NewSet(opts.Workers),
 	}
-	seed := opts.Seed
 	for i := range s.workers {
 		var dq taskDeque
 		if opts.Policy.SplitDeque() {
@@ -92,15 +100,7 @@ func NewScheduler(opts Options) *Scheduler {
 		} else {
 			dq = chaseLevDeque{deque.NewChaseLev[Task](opts.DequeCapacity)}
 		}
-		s.workers[i] = &Worker{
-			id:        i,
-			sched:     s,
-			policy:    opts.Policy,
-			dq:        dq,
-			ctr:       s.ctrs.Worker(i),
-			rand:      rng.New(seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15),
-			pollEvery: uint32(opts.PollEvery),
-		}
+		s.workers[i].w.init(i, s, dq, opts)
 	}
 	return s
 }
@@ -139,28 +139,28 @@ func (s *Scheduler) Run(root func(*Worker)) {
 	defer s.running.Store(false)
 
 	s.finished.Store(false)
-	for _, w := range s.workers {
-		w.targeted.Store(false)
-		w.pending.Store(false)
-		//lcws:presync the worker goroutines of this Run are not started yet
-		w.idleSpins = 0
+	for i := range s.workers {
+		s.workers[i].w.resetForRun()
 	}
 
-	var wg sync.WaitGroup
 	for i := 1; i < len(s.workers); i++ {
-		w := s.workers[i]
-		wg.Add(1)
+		w := s.worker(i)
+		s.wg.Add(1)
 		go func() {
-			defer wg.Done()
-			w.helpUntil(s.finished.Load)
+			defer s.wg.Done()
+			w.helpUntil(nil, 0)
 		}()
 	}
 
-	w0 := s.workers[0]
-	rootTask := &Task{fn: root}
+	// The caller's goroutine acts as worker 0 for the duration of the
+	// Run, so allocating the root task from its freelist is owner-local.
+	w0 := s.worker(0)
+	rootTask := w0.newTask()
+	rootTask.prepareFn(root)
 	w0.runTask(rootTask)
 	s.finished.Store(true)
-	wg.Wait()
+	s.wg.Wait()
+	w0.freeTask(rootTask)
 
 	if s.panicked.Load() {
 		// A task panicked: its fork subtree was abandoned, so deques may
@@ -168,7 +168,8 @@ func (s *Scheduler) Run(root func(*Worker)) {
 		// the caller; the scheduler must not be reused afterwards.
 		panic(s.panicVal)
 	}
-	for _, w := range s.workers {
+	for i := range s.workers {
+		w := s.worker(i)
 		if !w.dq.IsEmpty() {
 			panic(fmt.Sprintf("core: worker %d deque non-empty after Run (scheduler invariant violated)", w.id))
 		}

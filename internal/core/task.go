@@ -7,12 +7,126 @@ import (
 	"lcws/internal/deque"
 )
 
-// Task is a unit of work scheduled by the worker pool. Fork points
-// allocate one Task per potentially parallel branch; the done flag lets
-// the forking worker detect completion when the branch was stolen.
+// Task is a unit of work scheduled by the worker pool. It is a small
+// tagged union: a *function task* (fn != nil) runs fn, while a *range
+// task* (fn == nil) executes body(w, i) for every i in [lo, hi) with
+// recursive binary splitting down to grain. Range tasks are what make
+// ParFor's fork path closure-free: splitting a range pushes another
+// descriptor instead of allocating a closure pair per split.
+//
+// Tasks are recycled through per-worker freelists (newTask/freeTask) so
+// the steady-state fork fast path performs no heap allocation. The
+// recycling discipline is strict single-owner: the worker that forks a
+// task is the only one that frees it, and only after its join observed
+// completion, so an executing thief's final doneSeq store is always the
+// last access to a task before it can be reused.
+//
+// Completion detection and the recycling generation stamp are fused into
+// one word. seq is the owner-maintained generation, bumped on every
+// free; an executor signals completion by storing seq+1 into the atomic
+// doneSeq, and the join waits for doneSeq to reach the seq+1 it captured
+// at fork time. Because every incarnation of the task waits for a
+// different value, a recycled task needs no atomic reset on reallocation
+// — and a *stale* doneSeq left over from a previous incarnation can
+// never satisfy a later join, so the done flag of a stolen task cannot
+// be observed stale. The join additionally asserts that seq itself is
+// unchanged, turning any discipline violation (the task freed behind an
+// in-flight join's back) into an immediate panic.
 type Task struct {
-	fn   func(*Worker)
-	done atomic.Bool
+	// fn is the function of a plain task; nil marks a range task.
+	fn func(*Worker)
+
+	// Range-task payload, valid when fn == nil.
+	body          func(*Worker, int)
+	lo, hi, grain int
+
+	// doneSeq is stored (last) by the executing worker when the task
+	// completes, with the value seq+1; the forking worker polls it to
+	// detect completion of a stolen task.
+	doneSeq atomic.Uint32
+
+	// Recycling state, touched only by the forking (owner) worker.
+	seq      uint32 // generation stamp, incremented on every freeTask
+	recycled bool   // set while the task sits on a freelist
+	next     *Task  // freelist link
+}
+
+// complete marks t done: the executing worker stores the completion
+// stamp the forking worker's join is waiting for. It must be the
+// executor's final access to t.
+func (t *Task) complete() { t.doneSeq.Store(t.seq + 1) }
+
+// isDone reports whether the incarnation of t stamped want (= seq+1 at
+// fork time) has completed. The signed comparison keeps the check
+// correct across the (theoretical) uint32 wrap of a very long-lived
+// task's recycle count.
+func (t *Task) isDone(want uint32) bool {
+	return int32(t.doneSeq.Load()-want) >= 0
+}
+
+// prepareFn arms t as a function task and returns the completion stamp
+// its join must wait for. The owner calls it between newTask and push;
+// the deque's publication protocol orders the write before any thief's
+// read.
+func (t *Task) prepareFn(fn func(*Worker)) uint32 {
+	t.fn = fn
+	return t.seq + 1
+}
+
+// prepareRange arms t as a range task over [lo, hi) with the given
+// grain, returning the completion stamp like prepareFn. fn is already
+// nil on a task fresh from newTask, which is what marks t as a range
+// task.
+func (t *Task) prepareRange(lo, hi, grain int, body func(*Worker, int)) uint32 {
+	t.body, t.lo, t.hi, t.grain = body, lo, hi, grain
+	return t.seq + 1
+}
+
+// reuse detaches t from the freelist linkage when it is popped for
+// reallocation.
+func (t *Task) reuse() {
+	t.next = nil
+	t.recycled = false
+}
+
+// recycle resets t's payload, advances its generation stamp, and links
+// it in front of the freelist node head. Called only by freeTask on the
+// owning worker.
+func (t *Task) recycle(head *Task) {
+	t.recycled = true
+	t.seq++
+	t.fn = nil
+	t.body = nil
+	t.next = head
+}
+
+// newTask returns a task from the worker's freelist, falling back to a
+// heap allocation only while the freelist is cold (it warms up to the
+// maximum number of simultaneously live forks of this worker, after
+// which the fork path allocates nothing). Owner-only: must be called on
+// the worker's own goroutine. No atomic reset is needed — completion is
+// generation-stamped, see Task.
+func (w *Worker) newTask() *Task {
+	t := w.freelist
+	if t == nil {
+		return &Task{}
+	}
+	w.freelist = t.next
+	t.reuse()
+	return t
+}
+
+// freeTask returns t to the worker's freelist and advances its
+// generation. Only the worker that allocated t may free it, and only
+// once its join observed completion — at that point no thief holds a
+// live reference (the doneSeq store is a thief's final access). Double
+// frees panic via the recycled flag.
+func (w *Worker) freeTask(t *Task) {
+	if t.recycled {
+		panic("core: double free of a scheduler task (recycling discipline violated)")
+	}
+	t.recycle(w.freelist)
+	w.freelist = t
 }
 
 // taskDeque abstracts over the two deque types so a single worker loop

@@ -4,23 +4,30 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"lcws/internal/counters"
 	"lcws/internal/deque"
 	"lcws/internal/rng"
 )
 
+// cacheLineSize is the assumed cache-line size used to segregate
+// thief-written worker state from owner-hot state and to pad the
+// scheduler's worker slab.
+const cacheLineSize = 64
+
 // Worker is the per-processor scheduling context. Exactly one goroutine
 // runs each worker; task functions receive the worker they execute on and
 // must thread it through to nested fork points and Poll calls.
+//
+// The field layout is deliberate: the two notification words that thieves
+// write (targeted, pending) occupy the struct's first cache line by
+// themselves, so a thief's notify never invalidates the line(s) holding
+// the owner-hot fields the fork fast path reads every push and pop.
+// Workers are allocated contiguously in the scheduler's slab (see
+// workerSlot), each slot padded to a cache-line multiple plus a trailing
+// guard line, so neighbouring workers never share a line either.
 type Worker struct {
-	id     int
-	sched  *Scheduler
-	policy Policy
-	dq     taskDeque
-	ctr    *counters.Worker
-	rand   *rng.Xoshiro256
-
 	// targeted is the per-processor flag of Listings 1 and 3: it records
 	// that a thief targeted this worker for stealing. In USLCWS it is the
 	// notification itself; in the signal-based schedulers it only
@@ -32,10 +39,56 @@ type Worker struct {
 	// handler at its next poll point.
 	pending atomic.Bool
 
-	pollCount  uint32 // Poll() call counter for the cheap fast path
-	pollEvery  uint32 // Poll calls between pending-signal checks
-	idleSpins  uint32 // consecutive failed work-search iterations
-	sinceYield int    // tasks executed since the last cooperative yield
+	_ [cacheLineSize - 2*unsafe.Sizeof(atomic.Bool{})]byte
+
+	// Owner-hot state: written only by this worker's own goroutine (or
+	// by scheduler setup code before that goroutine exists).
+	sched      *Scheduler
+	dq         taskDeque
+	ctr        *counters.Worker
+	rand       *rng.Xoshiro256
+	freelist   *Task // owner-only recycled tasks; see newTask/freeTask
+	id         int
+	sinceYield int           // tasks executed since the last cooperative yield
+	yieldEvery int           // cached Options.YieldEvery (0 = never)
+	idleSleep  time.Duration // current idle-backoff sleep (0 = not sleeping yet)
+	pollCount  uint32        // Poll() call counter for the cheap fast path
+	pollEvery  uint32        // Poll calls between pending-signal checks
+	idleSpins  uint32        // consecutive failed work-search iterations
+	policy     Policy
+}
+
+// workerSlot pads a Worker up to a cache-line multiple and appends one
+// guard line, so adjacent slots in the scheduler's contiguous slab never
+// place two workers' live fields on one line even when the Go allocator
+// hands back a slab base that is not itself line-aligned.
+type workerSlot struct {
+	w Worker
+	_ [workerSlotPad]byte
+}
+
+const workerSlotPad = (cacheLineSize-unsafe.Sizeof(Worker{})%cacheLineSize)%cacheLineSize + cacheLineSize
+
+// init populates a zeroed worker slot. It runs in NewScheduler, before
+// any worker goroutine exists.
+func (w *Worker) init(id int, s *Scheduler, dq taskDeque, opts Options) {
+	w.id = id
+	w.sched = s
+	w.policy = opts.Policy
+	w.dq = dq
+	w.ctr = s.ctrs.Worker(id)
+	w.rand = rng.New(opts.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+	w.pollEvery = uint32(opts.PollEvery)
+	w.yieldEvery = opts.YieldEvery
+}
+
+// resetForRun clears per-run scheduling state. It runs at the top of
+// Scheduler.Run, before the worker goroutines of that Run are started.
+func (w *Worker) resetForRun() {
+	w.targeted.Store(false)
+	w.pending.Store(false)
+	w.idleSpins = 0
+	w.idleSleep = 0
 }
 
 // ID returns the worker's scheduling identifier in [0, Workers()).
@@ -82,23 +135,82 @@ func (w *Worker) Checkpoint() {
 	}
 }
 
-// runTask executes t and marks it done. With Options.YieldEvery set, the
-// worker periodically yields the OS thread so that on oversubscribed
-// hosts thieves interleave with busy workers at task granularity.
+// runLeaf executes body for every index of a ParFor leaf range with the
+// Poll bookkeeping hoisted out of the per-iteration path: the loop runs
+// in chunks bounded by the remaining poll budget and checkpoints between
+// chunks. The observable cadence is identical to calling Poll after
+// every iteration — pollCount advances by one per index and a checkpoint
+// fires every pollEvery-th — but the inner loop is a bare body call.
+func (w *Worker) runLeaf(lo, hi int, body func(*Worker, int)) {
+	for i := lo; i < hi; {
+		n := hi - i
+		if rem := int(w.pollEvery - w.pollCount); n > rem {
+			n = rem
+		}
+		for end := i + n; i < end; i++ {
+			body(w, i)
+		}
+		w.pollCount += uint32(n)
+		if w.pollCount >= w.pollEvery {
+			w.pollCount = 0
+			w.Checkpoint()
+		}
+	}
+}
+
+// runTask executes t — a plain function task or a range task — and marks
+// it done. With Options.YieldEvery set, the worker periodically yields
+// the OS thread so that on oversubscribed hosts thieves interleave with
+// busy workers at task granularity.
 //
 // A panic in the task function is captured into the scheduler (the first
 // one wins) and re-thrown by Run after the computation drains; the task
-// still counts as done so joins waiting on it cannot hang.
+// still counts as done so joins waiting on it cannot hang. runTask never
+// frees t: recycling is the forking worker's job, at its join point.
 func (w *Worker) runTask(t *Task) {
 	defer func() {
 		if r := recover(); r != nil {
 			w.sched.recordPanic(r)
 		}
-		t.done.Store(true)
+		t.complete()
 		w.ctr.Inc(counters.TaskExecuted)
 	}()
-	t.fn(w)
-	if ye := w.sched.opts.YieldEvery; ye > 0 {
+	if t.fn != nil {
+		t.fn(w)
+	} else {
+		w.forkRange(t.lo, t.hi, t.grain, t.body)
+	}
+	if ye := w.yieldEvery; ye > 0 {
+		w.sinceYield++
+		if w.sinceYield >= ye {
+			w.sinceYield = 0
+			runtime.Gosched()
+		}
+	}
+}
+
+// runInline executes a forked task that its own join popped back
+// un-stolen. It differs from runTask in one way: the completion stamp is
+// not stored. No other worker holds a reference that waits on it — the
+// task came back through the owner's pop, so any thief that glimpsed the
+// pointer lost its steal CAS and abandoned it — and the joining code
+// path below is the caller itself. Skipping the store keeps the no-steal
+// join free of its last atomic RMW; the stamp scheme stays sound because
+// a later incarnation of the task waits for a strictly greater stamp
+// value than any this incarnation could have stored (see Task).
+func (w *Worker) runInline(t *Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.sched.recordPanic(r)
+		}
+		w.ctr.Inc(counters.TaskExecuted)
+	}()
+	if t.fn != nil {
+		t.fn(w)
+	} else {
+		w.forkRange(t.lo, t.hi, t.grain, t.body)
+	}
+	if ye := w.yieldEvery; ye > 0 {
 		w.sinceYield++
 		if w.sinceYield >= ye {
 			w.sinceYield = 0
@@ -110,10 +222,14 @@ func (w *Worker) runTask(t *Task) {
 // push appends a task to this worker's deque, applying the policy's
 // push-side flag maintenance (§4: in the signal-based schedulers the
 // targeted flag is reset when the owner pushes new work, so thieves may
-// notify again).
+// notify again). The reset is a single unconditional store: the flag
+// lives on the worker's thief-shared line, which the owner's fast path
+// does not otherwise touch, so the store costs at most one exclusive
+// line acquisition — while the former load-test-store pair put an extra
+// load and a mispredictable branch on every fork.
 func (w *Worker) push(t *Task) {
 	w.dq.PushBottom(t, w.ctr)
-	if w.policy.SignalBased() && w.targeted.Load() {
+	if w.policy.SignalBased() {
 		w.targeted.Store(false)
 	}
 }
@@ -150,6 +266,41 @@ func (w *Worker) popLocal() *Task {
 	return nil
 }
 
+// join is the second half of a fork (Fork2 or a range split): take the
+// forked sibling back from the bottom of the deque and run it inline,
+// or, if it was stolen, help execute other tasks until the thief
+// completes it. want is the completion stamp (seq+1) recorded at fork
+// time; a seq that no longer matches it at join time means the task was
+// recycled while a stale reference to it was still live, which the
+// stamp turns into an immediate panic. After the join the task is
+// returned to this worker's freelist.
+func (w *Worker) join(rt *Task, want uint32) {
+	if t := w.popLocal(); t != nil {
+		// LIFO discipline guarantees the bottom-most task is rt: every
+		// task forked after rt was joined before this join ran.
+		if t != rt {
+			panic("core: fork-join LIFO violation (bottom of deque is not the forked sibling)")
+		}
+		w.runInline(t)
+	} else {
+		// rt was stolen (or exposed and then stolen); work on other
+		// tasks until the thief finishes it.
+		w.helpUntil(rt, want)
+	}
+	if rt.seq+1 != want {
+		panic("core: forked task was recycled while its join was in flight (generation stamp mismatch)")
+	}
+	w.freeTask(rt)
+	if testHookAfterJoin != nil {
+		testHookAfterJoin(w, rt)
+	}
+}
+
+// testHookAfterJoin, when non-nil, runs after every join's freeTask with
+// the just-freed task. Tests use it to seed recycling-discipline
+// violations (e.g. a deliberate double free) and assert they are caught.
+var testHookAfterJoin func(*Worker, *Task)
+
 // stealOnce performs one stealing-phase iteration of Listing 1: pick a
 // uniformly random victim and attempt pop_top, notifying the victim
 // according to the policy when only private work was found.
@@ -162,7 +313,7 @@ func (w *Worker) stealOnce() *Task {
 	if vid >= w.id {
 		vid++
 	}
-	v := w.sched.workers[vid]
+	v := w.sched.worker(vid)
 	w.ctr.Inc(counters.StealAttempt)
 	t, res := v.dq.PopTop(w.ctr)
 	switch res {
@@ -209,31 +360,66 @@ func (w *Worker) notify(v *Worker) {
 	}
 }
 
+// Idle-backoff schedule: a short burst of pure spins keeps steal latency
+// minimal when work is about to appear, a window of cooperative yields
+// lets victims run on oversubscribed hosts, and beyond that the worker
+// parks in exponentially growing sleeps (capped) so a mostly-idle pool
+// stops burning CPU. The ladder resets whenever the worker finds work.
+const (
+	idleSpinIters  = 8
+	idleYieldIters = 256
+	idleSleepMin   = 20 * time.Microsecond
+	idleSleepMax   = time.Millisecond
+)
+
 // idleBackoff is called after a work-search iteration that found nothing.
-// On few-core hosts the yield is what lets victims run and expose work.
+// Sleep time is accounted to the ParkedNanos counter so idle cost shows
+// up in profiles separately from busy idle iterations.
 func (w *Worker) idleBackoff() {
 	w.ctr.Inc(counters.IdleIteration)
 	w.idleSpins++
 	switch {
-	case w.idleSpins%1024 == 0:
-		time.Sleep(20 * time.Microsecond)
-	case w.idleSpins%4 == 0:
+	case w.idleSpins <= idleSpinIters:
+		// Spin again immediately.
+	case w.idleSpins <= idleSpinIters+idleYieldIters:
 		runtime.Gosched()
+	default:
+		d := w.idleSleep
+		if d < idleSleepMin {
+			d = idleSleepMin
+		}
+		start := time.Now()
+		time.Sleep(d)
+		w.ctr.Add(counters.ParkedNanos, uint64(time.Since(start)))
+		d *= 2
+		if d > idleSleepMax {
+			d = idleSleepMax
+		}
+		w.idleSleep = d
 	}
 }
 
 // next implements Listing 1's get_task generalized over the stop
-// condition: the top-level worker loop stops when the computation
-// finishes, and join points stop when the awaited task completes.
-// It returns nil exactly when stop() became true.
-func (w *Worker) next(stop func() bool) *Task {
+// condition: with join == nil it serves the top-level worker loop and
+// stops when the computation finishes; with join != nil it serves a
+// fork's join point and stops when the awaited task's completion stamp
+// reaches want. It returns nil exactly when the stop condition became
+// true. Threading the awaited task instead of a stop closure keeps the
+// fork join path allocation-free (a captured predicate would
+// heap-allocate per fork).
+func (w *Worker) next(join *Task, want uint32) *Task {
 	for {
-		if stop() {
+		if join != nil {
+			if join.isDone(want) {
+				return nil
+			}
+		} else if w.sched.finished.Load() {
 			return nil
 		}
 		w.Checkpoint()
 		if t := w.popLocal(); t != nil {
 			w.idleSpins = 0
+			w.idleSleep = 0
 			return t
 		}
 		if w.policy.flagBased() {
@@ -243,19 +429,21 @@ func (w *Worker) next(stop func() bool) *Task {
 		}
 		if t := w.stealOnce(); t != nil {
 			w.idleSpins = 0
+			w.idleSleep = 0
 			return t
 		}
 		w.idleBackoff()
 	}
 }
 
-// helpUntil runs scheduler work until stop() is true. It is the join-side
-// wait loop: instead of blocking, the worker keeps executing local and
-// stolen tasks (work-first helping), so a stolen sibling's completion is
-// detected promptly and no worker idles while work exists.
-func (w *Worker) helpUntil(stop func() bool) {
+// helpUntil runs scheduler work until the stop condition of
+// next(join, want) is reached. It is the join-side wait loop: instead
+// of blocking, the worker keeps executing local and stolen tasks
+// (work-first helping), so a stolen sibling's completion is detected
+// promptly and no worker idles while work exists.
+func (w *Worker) helpUntil(join *Task, want uint32) {
 	for {
-		t := w.next(stop)
+		t := w.next(join, want)
 		if t == nil {
 			return
 		}

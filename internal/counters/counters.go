@@ -52,6 +52,11 @@ const (
 	// IdleIteration counts scheduler-loop iterations in which a worker
 	// found no work anywhere.
 	IdleIteration
+	// ParkedNanos accumulates the nanoseconds workers spent sleeping in
+	// the idle backoff (accumulated with Add, unlike the event counters),
+	// so parked idle time is visible in profiles separately from busy
+	// idle iterations.
+	ParkedNanos
 	// TaskExecuted counts tasks run to completion.
 	TaskExecuted
 	// TaskPushed counts pushBottom calls.
@@ -76,6 +81,7 @@ var eventNames = [...]string{
 	SignalSent:       "signals_sent",
 	SignalHandled:    "signals_handled",
 	IdleIteration:    "idle_iterations",
+	ParkedNanos:      "parked_nanos",
 	TaskExecuted:     "tasks_executed",
 	TaskPushed:       "tasks_pushed",
 }

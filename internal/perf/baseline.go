@@ -1,0 +1,87 @@
+package perf
+
+// The recorded pre-optimization baseline: the fork path before
+// per-worker task freelists and closure-free range tasks, which
+// allocated two heap objects per fork (the Task and the right-branch
+// closure) and paid the matching GC time.
+//
+// All numbers were measured with this package's own methodology on the
+// commit immediately preceding the freelist work, on the same class of
+// single-CPU container the verification suite runs on.
+//
+//   - baselineNormPerFork is what the speedup gate compares against:
+//     ns/fork divided by the calibration kernel's ns/op measured around
+//     the same window (see MeasureReference), so the value is in
+//     machine-relative units. Each entry is the median of five
+//     (spawn-tree) or four (pfor-sum) full harness runs. The median,
+//     not the minimum: a single run's min-of-reps normalized value can
+//     read low when the reference bracket happens to catch a slow
+//     moment while the fork loop ran clean, and recording such an
+//     outlier would make the gate flaky rather than strict. The per-run
+//     values spread < 10% around these medians.
+//   - baselineNsPerFork is the raw wall-clock cost from a quiet-machine
+//     run, kept for human comparison in BENCH_fork.json; gates do not
+//     use it because raw nanoseconds do not transfer across hosts or
+//     load conditions.
+var baselineNormPerFork = map[string]float64{
+	"spawn-tree/WS":     302.1,
+	"spawn-tree/USLCWS": 299.4,
+	"spawn-tree/Signal": 297.8,
+	"spawn-tree/Cons":   305.6,
+	"spawn-tree/Half":   306.9,
+	"spawn-tree/Lace":   298.4,
+	"pfor-sum/WS":       3659.8,
+	"pfor-sum/USLCWS":   3566.6,
+	"pfor-sum/Signal":   3662.2,
+	"pfor-sum/Cons":     3652.3,
+	"pfor-sum/Half":     3729.1,
+	"pfor-sum/Lace":     3712.6,
+}
+
+var baselineNsPerFork = map[string]float64{
+	"spawn-tree/WS":     131.8,
+	"spawn-tree/USLCWS": 124.7,
+	"spawn-tree/Signal": 124.0,
+	"spawn-tree/Cons":   124.0,
+	"spawn-tree/Half":   126.1,
+	"spawn-tree/Lace":   124.7,
+	"pfor-sum/WS":       1635.4,
+	"pfor-sum/USLCWS":   1568.4,
+	"pfor-sum/Signal":   1617.4,
+	"pfor-sum/Cons":     1556.8,
+	"pfor-sum/Half":     1562.5,
+	"pfor-sum/Lace":     1620.9,
+}
+
+// BaselineReferenceNsPerOp is the calibration kernel's cost on the quiet
+// machine that produced baselineNsPerFork, pairing the raw baseline with
+// its load context in BENCH_fork.json.
+const BaselineReferenceNsPerOp = 0.474
+
+// BaselineNormPerFork returns a copy of the load-normalized
+// pre-optimization baseline the speedup gate compares against, keyed
+// "<bench>/<policy>".
+func BaselineNormPerFork() map[string]float64 {
+	out := make(map[string]float64, len(baselineNormPerFork))
+	for k, v := range baselineNormPerFork {
+		out[k] = v
+	}
+	return out
+}
+
+// BaselineNsPerFork returns a copy of the recorded raw-nanosecond
+// baseline (informational; see baselineNsPerFork).
+func BaselineNsPerFork() map[string]float64 {
+	out := make(map[string]float64, len(baselineNsPerFork))
+	for k, v := range baselineNsPerFork {
+		out[k] = v
+	}
+	return out
+}
+
+// BaselineSpawnTreeSpeedup is the minimum improvement factor the
+// spawn-tree benchmark must retain over the recorded baseline in
+// load-normalized units (the fork path got >=2x cheaper when
+// allocations left it; losing that factor means the optimization
+// regressed).
+const BaselineSpawnTreeSpeedup = 2.0

@@ -1,0 +1,7 @@
+//go:build race
+
+package perf
+
+// RaceEnabled reports whether the race detector is compiled in; timing
+// and allocation gates are meaningless under its instrumentation.
+const RaceEnabled = true

@@ -154,6 +154,9 @@ type Stats struct {
 	SignalsHandled uint64
 	// IdleIterations counts scheduler iterations that found no work.
 	IdleIterations uint64
+	// ParkedNanos is the total time (ns) workers spent sleeping in the
+	// idle backoff, separating parked idle cost from busy idle spinning.
+	ParkedNanos uint64
 	// TasksExecuted counts tasks run to completion.
 	TasksExecuted uint64
 	// TasksPushed counts deque pushes.
@@ -173,6 +176,7 @@ func statsFromSnapshot(sn counters.Snapshot) Stats {
 		SignalsSent:      sn.Get(counters.SignalSent),
 		SignalsHandled:   sn.Get(counters.SignalHandled),
 		IdleIterations:   sn.Get(counters.IdleIteration),
+		ParkedNanos:      sn.Get(counters.ParkedNanos),
 		TasksExecuted:    sn.Get(counters.TaskExecuted),
 		TasksPushed:      sn.Get(counters.TaskPushed),
 	}
