@@ -5,7 +5,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: verify build test race vet fuzz-smoke stress lcwsvet bench-fork clean
+.PHONY: verify build test race vet fuzz-smoke stress lcwsvet bench-fork bench-steal clean
 
 verify: build test race vet fuzz-smoke stress
 
@@ -41,6 +41,12 @@ stress:
 # the speedup against the recorded pre-optimization baseline.
 bench-fork:
 	$(GO) run ./cmd/lcwsbench -forkbench -forkjson BENCH_fork.json
+
+# Steal-latency ping-pong benchmarks: regenerates BENCH_steal.json with
+# the time-to-first-steal of the sleep-ladder baseline vs the StealBatch
+# parking-lot mode (see README and DESIGN.md §8).
+bench-steal:
+	$(GO) run ./cmd/lcwsbench -stealbench -stealjson BENCH_steal.json
 
 clean:
 	rm -rf $(BIN)

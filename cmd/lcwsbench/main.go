@@ -3,9 +3,10 @@
 // schedulers over the pbbs suite; speedup figures (4–7) and statistics
 // sweep the simulator over the three Table 1 machine profiles.
 //
-// It also runs the fork-overhead microbenchmarks of internal/perf and
-// emits them as the machine-readable BENCH_fork.json document that the
-// allocation/benchmark regression gate compares against.
+// It also runs the microbenchmarks of internal/perf and emits them as
+// machine-readable documents the allocation/benchmark regression gates
+// compare against: the fork-overhead benchmarks as BENCH_fork.json and
+// the steal-latency ping-pong as BENCH_steal.json.
 //
 // Usage:
 //
@@ -13,6 +14,7 @@
 //	lcwsbench -fig3 -scale 0.1    # Figure 3 from a larger counter sweep
 //	lcwsbench -fig5 -csv          # Figure 5 data as CSV
 //	lcwsbench -forkbench -forkjson BENCH_fork.json
+//	lcwsbench -stealbench -stealjson BENCH_steal.json
 package main
 
 import (
@@ -54,10 +56,15 @@ func main() {
 		forkjson   = flag.String("forkjson", "", "write the fork benchmark report as JSON to this file (default stdout)")
 		forkrounds = flag.Int("forkrounds", perf.DefaultRounds, "timed Run calls per fork-benchmark repetition")
 		forkreps   = flag.Int("forkreps", perf.DefaultReps, "fork-benchmark repetitions (minimum is reported)")
+
+		stealbench  = flag.Bool("stealbench", false, "run the steal-latency ping-pong benchmarks (internal/perf)")
+		stealjson   = flag.String("stealjson", "", "write the steal benchmark report as JSON to this file (default stdout)")
+		stealbursts = flag.Int("stealbursts", perf.DefaultStealBursts, "timed bursts per steal-benchmark repetition")
+		stealreps   = flag.Int("stealreps", perf.DefaultStealReps, "steal-benchmark repetitions (minimum is reported)")
 	)
 	flag.Parse()
 
-	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi || *forkbench) {
+	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi || *forkbench || *stealbench) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -67,9 +74,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lcwsbench:", err)
 			os.Exit(1)
 		}
-		if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi) {
-			return
+	}
+	if *stealbench {
+		if err := runStealBench(*stealbursts, *stealreps, *stealjson); err != nil {
+			fmt.Fprintln(os.Stderr, "lcwsbench:", err)
+			os.Exit(1)
 		}
+	}
+	if (*forkbench || *stealbench) &&
+		!(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi) {
+		return
 	}
 
 	// On hosts with fewer CPUs than the requested worker counts, raise
@@ -171,6 +185,35 @@ func runForkBench(rounds, reps int, path string) error {
 		}
 		fmt.Fprintln(os.Stderr, line)
 	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// runStealBench measures the steal-latency ping-pong benchmarks and
+// writes the BENCH_steal.json document to path (stdout when empty),
+// with a short text summary on stderr. The measurement needs the idle
+// worker runnable while the root spins, so GOMAXPROCS is raised to at
+// least two first; on single-CPU hosts the latencies then reflect
+// scheduling rather than wake latency, and GOMAXPROCS in the report
+// records that caveat.
+func runStealBench(bursts, reps int, path string) error {
+	if runtime.GOMAXPROCS(0) < 2 {
+		runtime.GOMAXPROCS(2)
+	}
+	rep := perf.NewStealReport(bursts, reps)
+	for _, r := range rep.Results {
+		fmt.Fprintf(os.Stderr, "%-22s %10.1f ns first-steal  allocs/burst=%.3f steals=%d batch_tasks=%d wakeups=%d parks=%d\n",
+			r.Key(), r.NsFirstSteal, r.AllocsPerBurst, r.Steals, r.StealBatchTasks, r.WakeupsSent, r.ParkCount)
+	}
+	fmt.Fprintf(os.Stderr, "WS first-steal speedup (sleep-ladder / batch-park): %.2fx\n", rep.SpeedupFirstSteal)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -30,8 +30,31 @@ func (w *Worker) okOtherWorker(v *Worker) {
 }
 
 type Scheduler struct {
-	finished atomic.Bool
-	workers  []*Worker
+	finished  atomic.Bool
+	parkWords []atomic.Uint64
+	workers   []*Worker
+}
+
+// okParkingLot models the parking-lot bitset handshake: the words are
+// touched only through atomic RMW/load methods.
+func (s *Scheduler) okParkingLot(id int) {
+	word := &s.parkWords[id/64] // ok: indexing the slice, not an atomic field value
+	bit := uint64(1) << uint(id%64)
+	for {
+		old := word.Load()
+		if word.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+func badParkWordsRebuild(s *Scheduler, n int) {
+	s.parkWords = make([]atomic.Uint64, n) // want `plain field Scheduler.parkWords written outside Scheduler's methods`
+}
+
+func okParkWordsPresync(s *Scheduler, n int) {
+	//lcws:presync constructor path; worker goroutines have not started
+	s.parkWords = make([]atomic.Uint64, n)
 }
 
 func (s *Scheduler) run() {

@@ -10,7 +10,10 @@
 // literal (a closure could outlive or escape the owner's loop).
 // Thief-safe operations (PopTop, HasTwoTasks, IsEmpty, PrivateSize,
 // PublicSize) may be called on any worker's deque, which is exactly how
-// stealOnce and notify use a victim's dq.
+// stealOnce and notify use a victim's dq. The batched steal entry
+// points ride the same split: PopTopHalf/PopTopN claim with a CAS and
+// are thief-safe, and HasPublicWork is the racy read the parking lot's
+// pre-park and wake checks run against arbitrary victims.
 //
 // The per-worker task freelist (the freelist field) carries the same
 // contract one level down: it is mutated without synchronization on
@@ -54,11 +57,14 @@ var ownerOnly = map[string]bool{
 }
 
 var thiefSafe = map[string]bool{
-	"PopTop":      true,
-	"HasTwoTasks": true,
-	"IsEmpty":     true,
-	"PrivateSize": true,
-	"PublicSize":  true,
+	"PopTop":        true,
+	"PopTopHalf":    true, // batched steal: single CAS claims the run
+	"PopTopN":       true, // Chase-Lev batched steal
+	"HasTwoTasks":   true,
+	"HasPublicWork": true, // parking-lot pre-park / wake re-check
+	"IsEmpty":       true,
+	"PrivateSize":   true,
+	"PublicSize":    true,
 }
 
 var Analyzer = &analysis.Analyzer{

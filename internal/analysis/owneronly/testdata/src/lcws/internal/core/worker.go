@@ -11,9 +11,11 @@ type taskDeque interface {
 	PopBottom() int
 	PopPublicBottom() int
 	PopTop() int
+	PopTopHalf([]int) int
 	Expose() int
 	UnexposeAll() int
 	HasTwoTasks() bool
+	HasPublicWork() bool
 	IsEmpty() bool
 	Mystery()
 }
@@ -49,8 +51,23 @@ func (w *Worker) steal(v *Worker) int {
 	return 0
 }
 
+func (w *Worker) stealBatch(v *Worker, buf []int) int {
+	if !v.dq.HasPublicWork() { // ok: thief-safe parking-lot pre-check on a victim
+		return 0
+	}
+	n := v.dq.PopTopHalf(buf) // ok: the batched claim is thief-safe (single CAS)
+	for i := 1; i < n; i++ {
+		w.dq.PushBottom(buf[i]) // ok: the remnant lands in the thief's own deque
+	}
+	return n
+}
+
 func (w *Worker) badVictim(v *Worker) int {
 	return v.dq.PopBottom() // want `owner-only deque method PopBottom called on v, which is not the owning receiver w`
+}
+
+func (w *Worker) badBatchLanding(v *Worker, task int) {
+	v.dq.PushBottom(task) // want `owner-only deque method PushBottom called on v, which is not the owning receiver w`
 }
 
 func (w *Worker) badClosure() func() {

@@ -48,12 +48,20 @@ var rules = map[string]map[string]rule{
 		"Expose":          {forbidFence: true, forbidCAS: true}, // footnote 3
 		"PopPublicBottom": {mustFence: true, mustCAS: true},     // Lemma 2
 		"PopTop":          {mustCAS: true, forbidFence: true},   // Lemma 3
+		"PopTopHalf":      {mustCAS: true, forbidFence: true},   // Lemma 3: batch rides the one claim CAS
 		"UnexposeAll":     {mustFence: true, mustCAS: true},     // Lace reclaim
 	},
 	"ChaseLev": {
 		"PushBottom": {mustFence: true, forbidCAS: true},
 		"PopBottom":  {mustFence: true, mustCAS: true},
-		"PopTop":     {mustFence: true, mustCAS: true},
+		// popBottomBatch is the batch-mode owner pop PopBottom delegates
+		// to: the usual store-load fence plus a tag-bump CAS on every pop
+		// (WSBatchPopCAS), not just for the last element.
+		"popBottomBatch": {mustFence: true, mustCAS: true},
+		"PopTop":         {mustFence: true, mustCAS: true},
+		// PopTopN costs the same as a single steal: the batch rides the
+		// one fence + one CAS of the claim.
+		"PopTopN": {mustFence: true, mustCAS: true},
 	},
 }
 

@@ -45,6 +45,14 @@ func (d *SplitDeque) PopPublicBottom(c *counters.Worker) bool { // want `must ac
 	return d.age.CompareAndSwap(old, old+1) // want `CompareAndSwap without a preceding counters.CAS accounting`
 }
 
+// bad: the batched claim rides one CAS like PopTop — no fence allowed,
+// and the CAS must be accounted.
+func (d *SplitDeque) PopTopHalf(c *counters.Worker) bool { // want `SplitDeque.PopTopHalf must account counters.CAS`
+	c.Inc(counters.Fence) // want `SplitDeque.PopTopHalf must not account counters.Fence`
+	old := d.age.Load()
+	return d.age.CompareAndSwap(old, old+2) // want `CompareAndSwap without a preceding counters.CAS accounting`
+}
+
 // bad ordering: accounting after the attempt misses aborted races.
 func (d *SplitDeque) UnexposeAll(c *counters.Worker) {
 	old := d.age.Load()
@@ -69,6 +77,20 @@ func (d *ChaseLev) PopBottom(c *counters.Worker) bool { // want `ChaseLev.PopBot
 	old := d.top.Load()
 	c.Inc(counters.CAS)
 	return d.top.CompareAndSwap(old, old+1)
+}
+
+// ok: the batch-mode owner pop pays its fence and tag-bump CAS.
+func (d *ChaseLev) popBottomBatch(c *counters.Worker) bool {
+	c.Add(counters.Fence, 1)
+	old := d.top.Load()
+	c.Add(counters.CAS, 1)
+	return d.top.CompareAndSwap(old, old+1)
+}
+
+// bad: the batched steal must pay the same fence + CAS as PopTop.
+func (d *ChaseLev) PopTopN(c *counters.Worker) bool { // want `ChaseLev.PopTopN must account counters.Fence` `ChaseLev.PopTopN must account counters.CAS`
+	old := d.top.Load()
+	return d.top.CompareAndSwap(old, old+2) // want `CompareAndSwap without a preceding counters.CAS accounting`
 }
 
 // ok: unlisted methods only face the CAS-ordering rule.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -37,6 +38,16 @@ type Options struct {
 	// larger values make exposure requests take longer to reach busy
 	// workers.
 	PollEvery int
+	// StealBatch opts into the batched steal-side mode: thieves claim up
+	// to half of a victim's public part with a single CAS (PopTopHalf /
+	// PopTopN), remember their last successful victim (sticky victim
+	// selection), and idle workers park on per-worker semaphores woken by
+	// work-producing events instead of sleeping blind. The default
+	// (false) is the paper-faithful single-steal mode whose fence/CAS
+	// accounting matches internal/counters/model.go exactly; batch mode
+	// extends the model as documented there (the WS baseline switches to
+	// the tag-bumping batched deque, whose owner pop CASes on every pop).
+	StealBatch bool
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +77,14 @@ type Scheduler struct {
 	running  atomic.Bool
 	wg       sync.WaitGroup // helper-goroutine barrier, reused so Run stays allocation-free
 
+	// parkWords is the idle-worker bitset of the StealBatch parking lot
+	// (bit id set = worker id is parked); nil unless StealBatch is on.
+	// Parkers set their bit with a seq-cst RMW *before* re-checking for
+	// work; producers publish work *before* scanning the bitset — the
+	// Dekker-style ordering that makes a lost wakeup impossible (see
+	// Worker.park).
+	parkWords []atomic.Uint64
+
 	panicOnce sync.Once
 	panicked  atomic.Bool
 	panicVal  any
@@ -93,16 +112,98 @@ func NewScheduler(opts Options) *Scheduler {
 		workers: make([]workerSlot, opts.Workers),
 		ctrs:    counters.NewSet(opts.Workers),
 	}
+	if opts.StealBatch {
+		//lcws:presync constructor: worker goroutines have not started
+		s.parkWords = make([]atomic.Uint64, (opts.Workers+63)/64)
+	}
 	for i := range s.workers {
 		var dq taskDeque
-		if opts.Policy.SplitDeque() {
+		switch {
+		case opts.Policy.SplitDeque():
+			// The split deque supports PopTopHalf as-is; batch mode only
+			// changes the owner discipline (reclaim via UnexposeAll, see
+			// Worker.popLocal).
 			dq = deque.NewSplit[Task](opts.DequeCapacity, opts.Policy.raceFixPop())
-		} else {
+		case opts.StealBatch:
+			dq = chaseLevDeque{deque.NewChaseLevBatch[Task](opts.DequeCapacity)}
+		default:
 			dq = chaseLevDeque{deque.NewChaseLev[Task](opts.DequeCapacity)}
 		}
 		s.workers[i].w.init(i, s, dq, opts)
 	}
 	return s
+}
+
+// setParked marks worker id parked in the parking-lot bitset.
+func (s *Scheduler) setParked(id int) {
+	word := &s.parkWords[id/64]
+	bit := uint64(1) << uint(id%64)
+	for {
+		old := word.Load()
+		if word.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+// clearParked clears worker id's parked bit and reports whether this call
+// was the one that cleared it (false means a waker already claimed the
+// worker and a semaphore token is in flight or consumed).
+func (s *Scheduler) clearParked(id int) bool {
+	word := &s.parkWords[id/64]
+	bit := uint64(1) << uint(id%64)
+	for {
+		old := word.Load()
+		if old&bit == 0 {
+			return false
+		}
+		if word.CompareAndSwap(old, old&^bit) {
+			return true
+		}
+	}
+}
+
+// wakeOne wakes at most one parked worker: it claims a set bit with a CAS
+// (so concurrent wakers pick distinct workers) and posts the claimed
+// worker's semaphore. Work-producing operations call it after publishing
+// the work; c (when non-nil) accounts the wakeup to the caller.
+func (s *Scheduler) wakeOne(c *counters.Worker) {
+	for wi := range s.parkWords {
+		word := s.parkWords[wi].Load()
+		for word != 0 {
+			bit := word & -word
+			if s.parkWords[wi].CompareAndSwap(word, word&^bit) {
+				id := wi*64 + bits.TrailingZeros64(bit)
+				select {
+				case s.worker(id).parkSem <- struct{}{}:
+				default:
+				}
+				if c != nil {
+					c.Inc(counters.WakeupsSent)
+				}
+				return
+			}
+			word = s.parkWords[wi].Load()
+		}
+	}
+}
+
+// wakeAll unparks every parked worker; Run calls it when the computation
+// finishes so parked helpers exit promptly instead of on their insurance
+// timers.
+func (s *Scheduler) wakeAll() {
+	for wi := range s.parkWords {
+		word := s.parkWords[wi].Swap(0)
+		for word != 0 {
+			bit := word & -word
+			word &^= bit
+			id := wi*64 + bits.TrailingZeros64(bit)
+			select {
+			case s.worker(id).parkSem <- struct{}{}:
+			default:
+			}
+		}
+	}
 }
 
 // Workers returns the pool size P.
@@ -159,6 +260,9 @@ func (s *Scheduler) Run(root func(*Worker)) {
 	rootTask.prepareFn(root)
 	w0.runTask(rootTask)
 	s.finished.Store(true)
+	if s.opts.StealBatch {
+		s.wakeAll()
+	}
 	s.wg.Wait()
 	w0.freeTask(rootTask)
 

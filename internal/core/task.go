@@ -138,9 +138,11 @@ type taskDeque interface {
 	PopBottom(*counters.Worker) *Task
 	PopPublicBottom(*counters.Worker) *Task
 	PopTop(*counters.Worker) (*Task, deque.StealResult)
+	PopTopHalf([]*Task, *counters.Worker) (int, deque.StealResult)
 	Expose(deque.ExposeMode, *counters.Worker) int
 	UnexposeAll(*counters.Worker) int
 	HasTwoTasks() bool
+	HasPublicWork() bool
 	IsEmpty() bool
 }
 
@@ -156,6 +158,10 @@ func (d chaseLevDeque) Expose(deque.ExposeMode, *counters.Worker) int { return 0
 func (d chaseLevDeque) UnexposeAll(*counters.Worker) int { return 0 }
 
 func (d chaseLevDeque) HasTwoTasks() bool { return d.Size() >= 2 }
+
+func (d chaseLevDeque) PopTopHalf(buf []*Task, c *counters.Worker) (int, deque.StealResult) {
+	return d.PopTopN(buf, c)
+}
 
 var (
 	_ taskDeque = chaseLevDeque{}

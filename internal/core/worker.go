@@ -56,7 +56,23 @@ type Worker struct {
 	pollEvery  uint32        // Poll calls between pending-signal checks
 	idleSpins  uint32        // consecutive failed work-search iterations
 	policy     Policy
+	batch      bool  // cached Options.StealBatch
+	sticky     int32 // last successful victim id (-1 = none); batch mode only
+
+	// StealBatch-mode state. parkSem is the worker's parking semaphore:
+	// a waker that claims this worker's bit in Scheduler.parkWords posts
+	// one token here. parkTimer is the missed-wakeup insurance timer
+	// (lazily allocated on first park). stealBuf receives batched steals
+	// (owner-only after the claim; see stealFromBatched).
+	parkSem   chan struct{}
+	parkTimer *time.Timer
+	stealBuf  [stealBatchSize]*Task
 }
+
+// stealBatchSize caps how many tasks one batched steal can claim. Eight
+// keeps the thief-side buffer to one cache line of pointers while still
+// amortizing the claim CAS over most bursts.
+const stealBatchSize = 8
 
 // workerSlot pads a Worker up to a cache-line multiple and appends one
 // guard line, so adjacent slots in the scheduler's contiguous slab never
@@ -80,15 +96,34 @@ func (w *Worker) init(id int, s *Scheduler, dq taskDeque, opts Options) {
 	w.rand = rng.New(opts.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
 	w.pollEvery = uint32(opts.PollEvery)
 	w.yieldEvery = opts.YieldEvery
+	w.batch = opts.StealBatch
+	w.sticky = -1
+	if opts.StealBatch {
+		w.parkSem = make(chan struct{}, 1)
+	}
 }
 
 // resetForRun clears per-run scheduling state. It runs at the top of
 // Scheduler.Run, before the worker goroutines of that Run are started.
+// Everything a Run mutates must be reset here — pollCount and sinceYield
+// included, so the poll phase and yield cadence of one Run cannot leak
+// into the next (leaked phase made signal-handling latency differ
+// between identical seeded runs).
 func (w *Worker) resetForRun() {
 	w.targeted.Store(false)
 	w.pending.Store(false)
 	w.idleSpins = 0
 	w.idleSleep = 0
+	w.pollCount = 0
+	w.sinceYield = 0
+	w.sticky = -1
+	if w.parkSem != nil {
+		// Drop a stale wakeup token from a previous Run's shutdown.
+		select {
+		case <-w.parkSem:
+		default:
+		}
+	}
 }
 
 // ID returns the worker's scheduling identifier in [0, Workers()).
@@ -131,7 +166,11 @@ func (w *Worker) Checkpoint() {
 	if w.pending.Load() {
 		w.pending.Store(false)
 		w.ctr.Inc(counters.SignalHandled)
-		w.dq.Expose(w.policy.exposeMode(), w.ctr)
+		n := w.dq.Expose(w.policy.exposeMode(), w.ctr)
+		if n > 0 && w.batch {
+			// Work just became public; unpark a thief to take it.
+			w.sched.wakeOne(w.ctr)
+		}
 	}
 }
 
@@ -228,9 +267,19 @@ func (w *Worker) runInline(t *Task) {
 // line acquisition — while the former load-test-store pair put an extra
 // load and a mispredictable branch on every fork.
 func (w *Worker) push(t *Task) {
+	// Batch mode: a push onto an empty deque is the event that turns an
+	// idle pool busy again, so it wakes one parked thief. (For the WS
+	// baseline the pushed task is immediately stealable; for the split
+	// deque the woken thief finds PrivateWork and notifies, starting the
+	// exposure chain — without this wake, a fully parked pool would only
+	// learn about new work from insurance timers.)
+	wake := w.batch && w.dq.IsEmpty()
 	w.dq.PushBottom(t, w.ctr)
 	if w.policy.SignalBased() {
 		w.targeted.Store(false)
+	}
+	if wake {
+		w.sched.wakeOne(w.ctr)
 	}
 }
 
@@ -242,14 +291,26 @@ func (w *Worker) popLocal() *Task {
 			// Listing 1 lines 9–12: handle the notification at the
 			// task boundary (USLCWS; Lace behaves the same way).
 			w.targeted.Store(false)
-			w.dq.Expose(w.policy.exposeMode(), w.ctr)
+			if w.dq.Expose(w.policy.exposeMode(), w.ctr) > 0 && w.batch {
+				w.sched.wakeOne(w.ctr)
+			}
 		}
 		return t
 	}
-	if w.policy == LaceWS {
-		// Lace: reclaim the public part wholesale instead of draining
-		// it through pop_public_bottom.
+	if w.policy == LaceWS || w.batch {
+		// Lace: reclaim the public part wholesale instead of draining it
+		// through pop_public_bottom. Batch mode mandates the same owner
+		// discipline for every split-deque policy: PopPublicBottom's
+		// common path removes tasks above top without touching the age
+		// word, which is unsound against an in-flight PopTopHalf (a
+		// stalled thief's CAS could re-claim an owner-consumed slot);
+		// UnexposeAll's tag-bump CAS invalidates such claims first.
 		if w.dq.UnexposeAll(w.ctr) > 0 {
+			if w.policy.SignalBased() {
+				// §4: tasks were removed from the public part; allow
+				// new notifications.
+				w.targeted.Store(false)
+			}
 			return w.dq.PopBottom(w.ctr)
 		}
 		w.targeted.Store(false)
@@ -276,12 +337,23 @@ func (w *Worker) popLocal() *Task {
 // returned to this worker's freelist.
 func (w *Worker) join(rt *Task, want uint32) {
 	if t := w.popLocal(); t != nil {
-		// LIFO discipline guarantees the bottom-most task is rt: every
-		// task forked after rt was joined before this join ran.
 		if t != rt {
-			panic("core: fork-join LIFO violation (bottom of deque is not the forked sibling)")
+			// LIFO discipline guarantees rt is the bottom-most task
+			// *this worker forked*: every task forked after rt was
+			// joined before this join ran. In batch mode the deque can
+			// additionally hold steal-batch remnants, pushed before the
+			// stolen task that forked rt ran, hence below rt — so
+			// popping one here proves rt itself was stolen. Execute the
+			// remnant as ordinary help (completion stamp and all: its
+			// forker joins on it), then wait for rt.
+			if !w.batch {
+				panic("core: fork-join LIFO violation (bottom of deque is not the forked sibling)")
+			}
+			w.runTask(t)
+			w.helpUntil(rt, want)
+		} else {
+			w.runInline(t)
 		}
-		w.runInline(t)
 	} else {
 		// rt was stolen (or exposed and then stolen); work on other
 		// tasks until the thief finishes it.
@@ -302,19 +374,32 @@ func (w *Worker) join(rt *Task, want uint32) {
 var testHookAfterJoin func(*Worker, *Task)
 
 // stealOnce performs one stealing-phase iteration of Listing 1: pick a
-// uniformly random victim and attempt pop_top, notifying the victim
-// according to the policy when only private work was found.
+// victim and attempt pop_top, notifying the victim according to the
+// policy when only private work was found. Victim selection is uniformly
+// random; in batch mode a sticky victim — the last one this worker stole
+// from successfully — is probed first, falling back to random once the
+// sticky victim runs empty, so steal traffic follows where work actually
+// is instead of re-discovering it by sampling.
 func (w *Worker) stealOnce() *Task {
 	n := len(w.sched.workers)
 	if n == 1 {
 		return nil
 	}
-	vid := w.rand.Intn(n - 1)
-	if vid >= w.id {
-		vid++
+	vid := -1
+	if w.batch && w.sticky >= 0 && int(w.sticky) != w.id {
+		vid = int(w.sticky)
+	}
+	if vid < 0 {
+		vid = w.rand.Intn(n - 1)
+		if vid >= w.id {
+			vid++
+		}
 	}
 	v := w.sched.worker(vid)
 	w.ctr.Inc(counters.StealAttempt)
+	if w.batch {
+		return w.stealFromBatched(v, vid)
+	}
 	t, res := v.dq.PopTop(w.ctr)
 	switch res {
 	case deque.Stolen:
@@ -336,24 +421,74 @@ func (w *Worker) stealOnce() *Task {
 	return nil
 }
 
+// stealFromBatched is the batch-mode steal attempt against victim v: it
+// claims up to half of v's public part with one CAS and lands the
+// remnant of the batch in this worker's own deque — the *private* part
+// for the split deque, so redistributing the batch costs no fences and
+// the batch is immediately shielded from other thieves. The oldest
+// (victim-top-most) task is returned for execution, mirroring the
+// steal-the-largest-subtree heuristic of the single steal; remnants are
+// pushed oldest-first so this worker's own LIFO pops them
+// youngest-first, exactly as the victim would have.
+func (w *Worker) stealFromBatched(v *Worker, vid int) *Task {
+	nTasks, res := v.dq.PopTopHalf(w.stealBuf[:], w.ctr)
+	switch res {
+	case deque.Stolen:
+		w.ctr.Inc(counters.StealSuccess)
+		w.ctr.Add(counters.StealBatchTasks, uint64(nTasks))
+		w.sticky = int32(vid)
+		if w.policy.SignalBased() {
+			// §4: tasks were removed from the victim's public part;
+			// allow new notifications to it.
+			v.targeted.Store(false)
+		}
+		t := w.stealBuf[0]
+		for i := 1; i < nTasks; i++ {
+			w.push(w.stealBuf[i])
+			w.stealBuf[i] = nil
+		}
+		w.stealBuf[0] = nil
+		return t
+	case deque.PrivateWork:
+		// The victim holds work it hasn't exposed yet: stay sticky (the
+		// notification below will make it public) and ask for exposure.
+		w.ctr.Inc(counters.StealPrivate)
+		w.notify(v)
+	case deque.Abort:
+		// Lost the race, but the victim demonstrably has public work:
+		// stay sticky and retry.
+		w.ctr.Inc(counters.StealAbort)
+	case deque.Empty:
+		// A genuine miss: fall back to uniform random selection.
+		w.sticky = -1
+		w.ctr.Inc(counters.StealEmpty)
+	}
+	return nil
+}
+
 // notify asks victim v to expose work, per policy:
 // USLCWS sets the targeted flag unconditionally (Listing 1 line 22);
 // the signal-based schedulers send an emulated signal unless one is
 // already outstanding (Listing 3 lines 8–11), with the Conservative
 // variant additionally requiring the victim to hold at least two tasks.
+//
+// The signal-based arms claim the targeted flag with a CAS rather than a
+// load-then-store: two thieves racing the plain-load check could both
+// observe !targeted and both send, double-counting SignalSent and (in
+// the C++ reference) issuing a redundant pthread_kill. The CAS admits
+// exactly one sender per targeted window, which is what makes the
+// SignalSent >= SignalHandled counter invariant exact.
 func (w *Worker) notify(v *Worker) {
 	switch w.policy {
 	case USLCWS, LaceWS:
 		v.targeted.Store(true)
 	case SignalLCWS, HalfLCWS:
-		if !v.targeted.Load() {
-			v.targeted.Store(true)
+		if v.targeted.CompareAndSwap(false, true) {
 			v.pending.Store(true)
 			w.ctr.Inc(counters.SignalSent)
 		}
 	case ConsLCWS:
-		if !v.targeted.Load() && v.dq.HasTwoTasks() {
-			v.targeted.Store(true)
+		if v.dq.HasTwoTasks() && v.targeted.CompareAndSwap(false, true) {
 			v.pending.Store(true)
 			w.ctr.Inc(counters.SignalSent)
 		}
@@ -373,9 +508,14 @@ const (
 )
 
 // idleBackoff is called after a work-search iteration that found nothing.
-// Sleep time is accounted to the ParkedNanos counter so idle cost shows
-// up in profiles separately from busy idle iterations.
-func (w *Worker) idleBackoff() {
+// Blocked time (sleeping or parked) is accounted to the ParkedNanos
+// counter so idle cost shows up in profiles separately from busy idle
+// iterations. canPark gates the event-driven parking lot: only the
+// top-level loop may park (a join's help loop wakes on its sibling's
+// completion stamp, for which no wakeup event exists), and only in
+// StealBatch mode; everywhere else the tail of the ladder is the blind
+// capped sleep.
+func (w *Worker) idleBackoff(canPark bool) {
 	w.ctr.Inc(counters.IdleIteration)
 	w.idleSpins++
 	switch {
@@ -383,6 +523,8 @@ func (w *Worker) idleBackoff() {
 		// Spin again immediately.
 	case w.idleSpins <= idleSpinIters+idleYieldIters:
 		runtime.Gosched()
+	case w.batch && canPark:
+		w.park()
 	default:
 		d := w.idleSleep
 		if d < idleSleepMin {
@@ -397,6 +539,71 @@ func (w *Worker) idleBackoff() {
 		}
 		w.idleSleep = d
 	}
+}
+
+// park blocks the worker on its parking semaphore until a work event
+// wakes it or the insurance timer (idleSleepMax) fires.
+//
+// Wakeup ordering — why a parked thief cannot miss an exposure: the
+// parker (1) sets its bit in the parking-lot bitset with a seq-cst RMW,
+// then (2) re-checks for finish/signals/public work and bails out if any
+// is found. A producer (3) publishes work with a seq-cst store (Expose's
+// publicBot store, PushBottom's bot store), then (4) scans the bitset
+// and wakes a claimed worker. Interleave them: if the parker's re-check
+// (2) misses the work, the check ran before the publish (3) in the
+// seq-cst total order, so the bit-set (1) — which precedes (2) — also
+// precedes the producer's scan (4), which therefore observes the bit
+// and posts the semaphore. Either the parker sees the work, or the
+// producer sees the parker; a sleep through a wake event is impossible.
+// The timer is insurance for the one chain no wake event covers (work
+// that stays private because its owner's targeted flag was already set
+// when the pool parked), bounding worst-case steal latency at
+// idleSleepMax — exactly the old ladder's cap.
+func (w *Worker) park() {
+	// A stale token can linger from a wake that raced a previous
+	// timeout; drop it so it cannot satisfy this round's wait early.
+	// (No waker can be targeting this round yet: our bit is not set.)
+	select {
+	case <-w.parkSem:
+	default:
+	}
+	w.sched.setParked(w.id)
+	if w.sched.finished.Load() || w.pending.Load() || w.anyPublicWork() {
+		w.sched.clearParked(w.id)
+		return
+	}
+	w.ctr.Inc(counters.ParkCount)
+	if w.parkTimer == nil {
+		w.parkTimer = time.NewTimer(idleSleepMax)
+	} else {
+		w.parkTimer.Reset(idleSleepMax)
+	}
+	start := time.Now()
+	select {
+	case <-w.parkSem:
+	case <-w.parkTimer.C:
+	}
+	w.ctr.Add(counters.ParkedNanos, uint64(time.Since(start)))
+	if !w.parkTimer.Stop() {
+		// Timer already fired; drain its channel if the wakeup came
+		// from the semaphore (pre-1.23 timer discipline).
+		select {
+		case <-w.parkTimer.C:
+		default:
+		}
+	}
+	w.sched.clearParked(w.id)
+}
+
+// anyPublicWork reports whether any other worker's deque (racily) holds
+// stealable work; park uses it as the pre-park re-check.
+func (w *Worker) anyPublicWork() bool {
+	for i := range w.sched.workers {
+		if i != w.id && w.sched.worker(i).dq.HasPublicWork() {
+			return true
+		}
+	}
+	return false
 }
 
 // next implements Listing 1's get_task generalized over the stop
@@ -432,7 +639,7 @@ func (w *Worker) next(join *Task, want uint32) *Task {
 			w.idleSleep = 0
 			return t
 		}
-		w.idleBackoff()
+		w.idleBackoff(join == nil)
 	}
 }
 

@@ -61,6 +61,18 @@ const (
 	TaskExecuted
 	// TaskPushed counts pushBottom calls.
 	TaskPushed
+	// StealBatchTasks counts tasks transferred by batched steal
+	// operations (PopTopN / PopTopHalf): a batched steal claiming n
+	// tasks adds n here and 1 to StealSuccess, so the ratio of the two
+	// is the average claimed batch size. Zero in single-steal mode.
+	StealBatchTasks
+	// WakeupsSent counts parked thieves woken by work-producing
+	// operations (exposure handler, push onto an empty deque, reclaim).
+	WakeupsSent
+	// ParkCount counts times a worker parked on its semaphore in the
+	// event-driven idle parking lot (StealBatch mode); the time spent
+	// parked accumulates in ParkedNanos as with the sleep ladder.
+	ParkCount
 
 	numEvents
 )
@@ -84,6 +96,9 @@ var eventNames = [...]string{
 	ParkedNanos:      "parked_nanos",
 	TaskExecuted:     "tasks_executed",
 	TaskPushed:       "tasks_pushed",
+	StealBatchTasks:  "steal_batch_tasks",
+	WakeupsSent:      "wakeups_sent",
+	ParkCount:        "park_count",
 }
 
 // String returns the snake_case name of the event.
@@ -211,6 +226,28 @@ func (sn Snapshot) StealSuccessRate() float64 {
 		return 0
 	}
 	return float64(sn[StealSuccess]) / float64(sn[StealAttempt])
+}
+
+// AvgStealBatchSize returns the average number of tasks claimed per
+// successful steal in batch mode (StealBatchTasks / StealSuccess), or 0
+// when nothing was stolen. In single-steal mode StealBatchTasks stays
+// zero and so does this ratio.
+func (sn Snapshot) AvgStealBatchSize() float64 {
+	if sn[StealSuccess] == 0 {
+		return 0
+	}
+	return float64(sn[StealBatchTasks]) / float64(sn[StealSuccess])
+}
+
+// WakeupsPerPark returns wakeups sent per park (WakeupsSent / ParkCount),
+// or 0 when no worker ever parked. Values near 1 mean parked thieves are
+// woken almost exclusively by work events; values well below 1 mean most
+// parks ended on the fallback timer.
+func (sn Snapshot) WakeupsPerPark() float64 {
+	if sn[ParkCount] == 0 {
+		return 0
+	}
+	return float64(sn[WakeupsSent]) / float64(sn[ParkCount])
 }
 
 // String renders the snapshot as a single line of name=value pairs.

@@ -60,3 +60,25 @@ const (
 	// LCWSStealCAS is the CAS cost of a pop_top that found public work.
 	LCWSStealCAS = 1
 )
+
+// Batch-mode extension (Options.StealBatch). These operations are not part
+// of the paper's counting model — batching is this repository's opt-in
+// steal-side optimization — but they are accounted under the same rules so
+// batch-mode profiles remain comparable:
+//
+//	pop_top_half (split deque) : 1 CAS per attempt that found public work,
+//	                             identical to pop_top (LCWSStealCAS); the
+//	                             whole batch is claimed by that one CAS.
+//	pop_top_n (batched WS)     : 1 fence + 1 CAS per attempt, identical to
+//	                             the stock steal (WSStealFences/WSStealCAS).
+//	pop_bottom (batched WS)    : 1 fence (WSPopFences) plus one tag-bump
+//	                             CAS per claim attempt. The stock deque
+//	                             only CASes for the last element; the
+//	                             batched variant must CAS on every pop so
+//	                             an in-flight multi-task steal can never
+//	                             claim a slot the owner already consumed.
+const (
+	// WSBatchPopCAS is the CAS cost of each claim attempt of a batched
+	// WS pop_bottom.
+	WSBatchPopCAS = 1
+)

@@ -18,10 +18,12 @@ import (
 // panics on overflow rather than growing (Parlay's deque is likewise a
 // fixed-size array).
 type ChaseLev[T any] struct {
-	top  atomic.Int64 // next index to steal from
-	bot  atomic.Int64 // next index to push at
-	mask int64
-	buf  []atomic.Pointer[T]
+	top     atomic.Int64  // stock mode: next index to steal from
+	bot     atomic.Int64  // next index to push at
+	age     atomic.Uint64 // batch mode: packed (tag, top); unused in stock mode
+	mask    int64
+	batched bool
+	buf     []atomic.Pointer[T]
 }
 
 // NewChaseLev returns a ChaseLev deque whose capacity is the smallest
@@ -38,6 +40,51 @@ func NewChaseLev[T any](capacity int) *ChaseLev[T] {
 	}
 }
 
+// NewChaseLevBatch returns a ChaseLev deque that supports multi-task
+// steals through PopTopN (Options.StealBatch mode).
+//
+// A plain int64 top cannot support batched claims: the stock owner pop
+// only CASes top when racing for the last element, so a stalled thief
+// whose CAS claims [top, top+n) with n >= 2 could re-claim slots the
+// owner plain-took from the bottom. The batch variant therefore replaces
+// top with a packed (tag, top) age word and makes *every* owner pop bump
+// the tag with a CAS (see the batch extension in counters/model.go), so
+// a successful steal CAS proves no owner pop intervened since the thief
+// read the word. The tag is 16 bits wide and top 48; an ABA false match
+// would need a thief stalled across exactly a multiple of 2^16 owner
+// pops with no intervening steal, the same vanishing-probability class
+// as the split deque's 32-bit tag.
+func NewChaseLevBatch[T any](capacity int) *ChaseLev[T] {
+	d := NewChaseLev[T](capacity)
+	//lcws:presync constructor: the deque has not been published yet
+	d.batched = true
+	return d
+}
+
+// Batched reports whether the deque was built by NewChaseLevBatch.
+func (d *ChaseLev[T]) Batched() bool { return d.batched }
+
+// batchAge packs the batch-mode top index (low 48 bits) and owner-pop tag
+// (high 16 bits) into the word that both owner pops and steals CAS.
+func packBatchAge(top int64, tag uint16) uint64 {
+	return uint64(tag)<<48 | uint64(top)&batchTopMask
+}
+
+func unpackBatchAge(a uint64) (top int64, tag uint16) {
+	return int64(a & batchTopMask), uint16(a >> 48)
+}
+
+const batchTopMask = 1<<48 - 1
+
+// topIndex returns the current steal index in either mode.
+func (d *ChaseLev[T]) topIndex() int64 {
+	if d.batched {
+		t, _ := unpackBatchAge(d.age.Load())
+		return t
+	}
+	return d.top.Load()
+}
+
 // Capacity returns the size of the backing circular buffer.
 func (d *ChaseLev[T]) Capacity() int { return len(d.buf) }
 
@@ -46,7 +93,7 @@ func (d *ChaseLev[T]) Capacity() int { return len(d.buf) }
 // visible to thieves). It panics when the buffer is full.
 func (d *ChaseLev[T]) PushBottom(t *T, c *counters.Worker) {
 	b := d.bot.Load()
-	if b-d.top.Load() > d.mask {
+	if b-d.topIndex() > d.mask {
 		panic(fmt.Sprintf("deque: chase-lev deque overflow (capacity %d); construct the scheduler with a larger deque capacity", len(d.buf)))
 	}
 	d.buf[b&d.mask].Store(t)
@@ -59,6 +106,9 @@ func (d *ChaseLev[T]) PushBottom(t *T, c *counters.Worker) {
 // deque is empty. Per the counting model it always costs one fence and an
 // additional CAS when racing thieves for the last element.
 func (d *ChaseLev[T]) PopBottom(c *counters.Worker) *T {
+	if d.batched {
+		return d.popBottomBatch(c)
+	}
 	b := d.bot.Load() - 1
 	d.bot.Store(b)
 	c.Add(counters.Fence, counters.WSPopFences) // the unavoidable store-load fence
@@ -82,11 +132,45 @@ func (d *ChaseLev[T]) PopBottom(c *counters.Worker) *T {
 	return task
 }
 
+// popBottomBatch is the batch-mode owner pop: bot is taken back with the
+// usual store-load fence, but the claim itself is a tag-bump CAS on the
+// age word (WSBatchPopCAS) on every pop, not just for the last element —
+// see NewChaseLevBatch for why batched steals require this.
+func (d *ChaseLev[T]) popBottomBatch(c *counters.Worker) *T {
+	b := d.bot.Load() - 1
+	d.bot.Store(b)
+	c.Add(counters.Fence, counters.WSPopFences)
+	for {
+		a := d.age.Load()
+		t, tag := unpackBatchAge(a)
+		if t > b {
+			// Deque empty (possibly emptied by thieves since the bot
+			// store); restore bot.
+			d.bot.Store(t)
+			return nil
+		}
+		task := d.buf[b&d.mask].Load()
+		c.Add(counters.CAS, counters.WSBatchPopCAS)
+		if d.age.CompareAndSwap(a, packBatchAge(t, tag+1)) {
+			return task
+		}
+		// A thief advanced top concurrently; retry against the new word.
+	}
+}
+
 // PopTop attempts to steal the top-most task. Per the counting model an
 // attempt costs one fence, plus one CAS when the deque was non-empty and
 // the head CAS was reached. It never returns PrivateWork: the fully
 // concurrent deque has no private part.
 func (d *ChaseLev[T]) PopTop(c *counters.Worker) (*T, StealResult) {
+	if d.batched {
+		var buf [1]*T
+		n, res := d.PopTopN(buf[:], c)
+		if n > 0 {
+			return buf[0], res
+		}
+		return nil, res
+	}
 	t := d.top.Load()
 	c.Add(counters.Fence, counters.WSStealFences)
 	b := d.bot.Load()
@@ -101,10 +185,52 @@ func (d *ChaseLev[T]) PopTop(c *counters.Worker) (*T, StealResult) {
 	return nil, Abort
 }
 
+// PopTopN attempts to steal up to half of the deque (rounded up, capped
+// at len(buf)) with one CAS on the age word, writing the stolen tasks
+// into buf top-first and returning how many were claimed. It requires a
+// deque built by NewChaseLevBatch; on a stock deque it degrades to a
+// single-task PopTop, because with a plain top word a multi-task claim
+// can race the owner's fence-only pop (see NewChaseLevBatch).
+// Accounting per attempt matches the stock steal: one fence, plus one
+// CAS when the deque was non-empty.
+func (d *ChaseLev[T]) PopTopN(buf []*T, c *counters.Worker) (int, StealResult) {
+	if len(buf) == 0 {
+		panic("deque: PopTopN requires a non-empty batch buffer")
+	}
+	if !d.batched {
+		t, res := d.PopTop(c)
+		if t != nil {
+			buf[0] = t
+			return 1, res
+		}
+		return 0, res
+	}
+	a := d.age.Load()
+	t, tag := unpackBatchAge(a)
+	c.Add(counters.Fence, counters.WSStealFences)
+	b := d.bot.Load()
+	s := b - t
+	if s <= 0 {
+		return 0, Empty
+	}
+	n := (s + 1) / 2 // round(size/2), at least 1
+	if n > int64(len(buf)) {
+		n = int64(len(buf))
+	}
+	for i := int64(0); i < n; i++ {
+		buf[i] = d.buf[(t+i)&d.mask].Load()
+	}
+	c.Add(counters.CAS, counters.WSStealCAS)
+	if d.age.CompareAndSwap(a, packBatchAge(t+n, tag)) {
+		return int(n), Stolen
+	}
+	return 0, Abort
+}
+
 // Size returns the current number of tasks. The value is racy under
 // concurrency and is meant for assertions and tests.
 func (d *ChaseLev[T]) Size() int {
-	n := d.bot.Load() - d.top.Load()
+	n := d.bot.Load() - d.topIndex()
 	if n < 0 {
 		return 0
 	}
@@ -113,3 +239,8 @@ func (d *ChaseLev[T]) Size() int {
 
 // IsEmpty reports whether the deque is (racily) empty.
 func (d *ChaseLev[T]) IsEmpty() bool { return d.Size() == 0 }
+
+// HasPublicWork reports whether the deque (racily) holds stealable work;
+// for the fully concurrent deque that is any work at all. Thieves use it
+// in the parking lot's pre-park check.
+func (d *ChaseLev[T]) HasPublicWork() bool { return d.Size() > 0 }

@@ -16,6 +16,8 @@ func FuzzSplitDequeOwnerOps(f *testing.F) {
 	f.Add([]byte("pppxxsssooo"), true)
 	f.Add([]byte("pxopxopxo"), false)
 	f.Add([]byte("ppppxxxxuoooo"), true)
+	f.Add([]byte("pppphbboo"), false)
+	f.Add([]byte("ppppppxxxxxxbbuoo"), true)
 	f.Fuzz(func(t *testing.T, ops []byte, raceFix bool) {
 		d := NewSplit[int](256, raceFix)
 		c := counters.NewSet(1).Worker(0)
@@ -61,6 +63,34 @@ func FuzzSplitDequeOwnerOps(f *testing.F) {
 						t.Fatalf("PopPublicBottom on empty deque returned %d", *got)
 					}
 				}
+			case 'b': // batched steal (single-threaded: deterministic)
+				var buf [4]*int
+				n, res := d.PopTopHalf(buf[:], c)
+				switch {
+				case publicCount > 0:
+					want := (publicCount + 1) / 2
+					if want > len(buf) {
+						want = len(buf)
+					}
+					if res != Stolen || n != want {
+						t.Fatalf("PopTopHalf = %d,%v, model wants Stolen %d", n, res, want)
+					}
+					for i := 0; i < n; i++ {
+						if buf[i] == nil || *buf[i] != model[i] {
+							t.Fatalf("PopTopHalf buf[%d] = %v, model wants %d", i, buf[i], model[i])
+						}
+					}
+					model = model[n:]
+					publicCount -= n
+				case len(model) > 0:
+					if res != PrivateWork || n != 0 {
+						t.Fatalf("PopTopHalf = %d,%v, want 0,PrivateWork", n, res)
+					}
+				default:
+					if res != Empty || n != 0 {
+						t.Fatalf("PopTopHalf = %d,%v, want 0,Empty", n, res)
+					}
+				}
 			case 's': // steal (single-threaded: deterministic)
 				got, res := d.PopTop(c)
 				switch {
@@ -102,12 +132,21 @@ func FuzzSplitDequeOwnerOps(f *testing.F) {
 }
 
 // FuzzChaseLevOwnerOps drives the WS baseline deque against a slice model
-// the same way FuzzSplitDequeOwnerOps drives the split deque.
+// the same way FuzzSplitDequeOwnerOps drives the split deque. With
+// batched true it drives the NewChaseLevBatch variant, whose owner pop
+// and batched steal ('n') must preserve the same sequential semantics.
 func FuzzChaseLevOwnerOps(f *testing.F) {
-	f.Add([]byte("ppooso"))
-	f.Add([]byte("ppppssssoooo"))
-	f.Fuzz(func(t *testing.T, ops []byte) {
-		d := NewChaseLev[int](256)
+	f.Add([]byte("ppooso"), false)
+	f.Add([]byte("ppppssssoooo"), false)
+	f.Add([]byte("ppppnnoo"), true)
+	f.Add([]byte("pppposnpono"), true)
+	f.Fuzz(func(t *testing.T, ops []byte, batched bool) {
+		var d *ChaseLev[int]
+		if batched {
+			d = NewChaseLevBatch[int](256)
+		} else {
+			d = NewChaseLev[int](256)
+		}
 		c := counters.NewSet(1).Worker(0)
 		var model []int
 		next := 0
@@ -146,6 +185,31 @@ func FuzzChaseLevOwnerOps(f *testing.F) {
 					t.Fatalf("PopTop = %v,%v, want Stolen %d", got, res, model[0])
 				}
 				model = model[1:]
+			case 'n': // batched steal (single-threaded: deterministic)
+				var buf [4]*int
+				n, res := d.PopTopN(buf[:], c)
+				if len(model) == 0 {
+					if res != Empty || n != 0 {
+						t.Fatalf("PopTopN on empty = %d,%v", n, res)
+					}
+					continue
+				}
+				want := 1
+				if batched {
+					want = (len(model) + 1) / 2
+					if want > len(buf) {
+						want = len(buf)
+					}
+				}
+				if res != Stolen || n != want {
+					t.Fatalf("PopTopN = %d,%v, model wants Stolen %d", n, res, want)
+				}
+				for i := 0; i < n; i++ {
+					if buf[i] == nil || *buf[i] != model[i] {
+						t.Fatalf("PopTopN buf[%d] = %v, model wants %d", i, buf[i], model[i])
+					}
+				}
+				model = model[n:]
 			default:
 				continue
 			}

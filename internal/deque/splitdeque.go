@@ -170,6 +170,55 @@ func (d *SplitDeque[T]) PopTop(c *counters.Worker) (*T, StealResult) {
 	return nil, Empty
 }
 
+// PopTopHalf attempts to steal up to half of the public part (rounded up,
+// capped at len(buf)) with a single CAS on the age word, writing the
+// stolen tasks into buf in top-first (oldest-first) order and returning
+// how many were claimed. Accounting matches PopTop: one CAS per attempt
+// that found public work (the batch rides on the same claim), nothing
+// otherwise.
+//
+// OWNER DISCIPLINE (batch mode): PopTopHalf is safe against concurrent
+// owner operations only when the owner reclaims public work exclusively
+// through UnexposeAll and never calls PopPublicBottom. The single-steal
+// PopTop is safe against PopPublicBottom because it claims exactly index
+// top, which the owner's common (non-emptying) path never touches and the
+// emptying path races with a CAS. A batch additionally claims indices
+// above top, and the common path of PopPublicBottom plain-takes those
+// without touching the age word — a stalled thief's CAS would still
+// succeed and re-claim owner-consumed tasks. UnexposeAll instead bumps
+// the ABA tag before any reclaimed slot is reused, so a successful batch
+// CAS proves every claimed slot was untouched since it was read.
+func (d *SplitDeque[T]) PopTopHalf(buf []*T, c *counters.Worker) (int, StealResult) {
+	if len(buf) == 0 {
+		panic("deque: PopTopHalf requires a non-empty batch buffer")
+	}
+	oldAge := d.age.Load()
+	top, tag := unpackAge(oldAge)
+	pb := d.publicBot.Load()
+	if pb > uint64(top) {
+		n := (pb - uint64(top) + 1) / 2 // round(avail/2), at least 1
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		for i := uint64(0); i < n; i++ {
+			buf[i] = d.deq[uint64(top)+i].Load()
+		}
+		c.Add(counters.CAS, counters.LCWSStealCAS)
+		if d.age.CompareAndSwap(oldAge, packAge(top+uint32(n), tag)) {
+			return int(n), Stolen
+		}
+		return 0, Abort
+	}
+	if pb < d.bot.Load() {
+		return 0, PrivateWork
+	}
+	return 0, Empty
+}
+
+// HasPublicWork reports whether the public part (racily) holds at least
+// one stealable task. Thieves use it in the parking lot's pre-park check.
+func (d *SplitDeque[T]) HasPublicWork() bool { return d.PublicSize() > 0 }
+
 // Expose transfers tasks from the private part to the public part
 // according to mode and returns the number of tasks exposed. Only the
 // owner may call it (in the signal-based schedulers it runs inside the

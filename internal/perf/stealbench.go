@@ -1,0 +1,234 @@
+package perf
+
+// Steal-side latency benchmark: the bursty ping-pong harness behind the
+// BENCH_steal.json regression gate.
+//
+// The quantity under test is time-to-first-steal: how long a freshly
+// published task waits before an idle worker picks it up. The default
+// scheduler's idle workers descend a blind backoff ladder (spins, then
+// yields, then capped sleeps of up to idleSleepMax), so a task published
+// into a quiesced pool waits, on average, half a sleep quantum. The
+// StealBatch mode replaces the ladder's sleeping tail with an
+// event-driven parking lot: idle workers park on per-worker semaphores
+// and work-producing operations wake exactly one of them, making
+// post-publication latency a semaphore wake instead of a timer expiry.
+//
+// The harness alternates quiesce periods — long enough for the idle
+// worker to reach the ladder's deepest rung (or to park) — with
+// two-sided ping-pong bursts: the root worker forks a pair whose left
+// branch spins until the right branch runs, forcing the right branch to
+// be stolen; the time from just before the fork to the right branch's
+// first instruction is one burst's latency. Mean-over-bursts is the
+// repetition's estimate and the best (minimum) repetition is reported,
+// mirroring the forkbench methodology (see package comment) — both
+// modes are measured back-to-back in the same process, so the gate's
+// batch-vs-baseline ratio cancels machine speed.
+//
+// Allocations are measured over the burst window (warm-up bursts
+// excluded) via runtime.MemStats.Mallocs: the steal path — batched claim,
+// remnant redistribution into the thief's deque, park/wake round trips —
+// must not allocate in steady state.
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"lcws"
+)
+
+// Steal-benchmark dimensions; like the forkbench constants they are part
+// of the measurement definition.
+const (
+	// StealQuiesce is the idle period before each burst: comfortably
+	// longer than the backoff ladder's full descent (8 spins + 256
+	// yields + ~1.3ms of doubling sleeps), so the idle worker is in a
+	// deepest-rung sleep (or parked) when the burst arrives.
+	StealQuiesce = 3 * time.Millisecond
+	// StealWarmupBursts run before the timed window of each repetition:
+	// they warm freelists, the parking-lot timer, and code paths.
+	StealWarmupBursts = 8
+	// DefaultStealBursts is the number of timed bursts per repetition.
+	DefaultStealBursts = 64
+	// DefaultStealReps is the number of repetitions the minimum is taken
+	// over.
+	DefaultStealReps = 3
+)
+
+// StealLatencySpeedupGate is the minimum improvement in mean
+// time-to-first-steal the batch+parking mode must show over the
+// sleep-ladder baseline on the WS ping-pong (the acceptance gate of
+// stealbench_test.go).
+const StealLatencySpeedupGate = 2.0
+
+// StealModeResult is one policy × idle-mode measurement.
+type StealModeResult struct {
+	// Policy is the scheduling policy's figure label.
+	Policy string `json:"policy"`
+	// Mode is "sleep-ladder" (default scheduler) or "batch-park"
+	// (Options.StealBatch).
+	Mode string `json:"mode"`
+	// NsFirstSteal is the best repetition's mean nanoseconds from task
+	// publication (just before the fork) to the stolen branch's first
+	// instruction.
+	NsFirstSteal float64 `json:"ns_first_steal"`
+	// AllocsPerBurst is heap allocations per burst over the best
+	// repetition's timed window (0 in steady state: the steal, park and
+	// wake paths must not allocate).
+	AllocsPerBurst float64 `json:"allocs_per_burst"`
+	// Bursts and Reps record the methodology parameters.
+	Bursts int `json:"bursts"`
+	Reps   int `json:"reps"`
+	// Scheduler counters accumulated over all repetitions
+	// (informational): they prove which mechanism served the bursts.
+	Steals          uint64 `json:"steals"`
+	StealBatchTasks uint64 `json:"steal_batch_tasks"`
+	WakeupsSent     uint64 `json:"wakeups_sent"`
+	ParkCount       uint64 `json:"park_count"`
+	SignalsSent     uint64 `json:"signals_sent"`
+}
+
+// Key returns the result-map key "<policy>/<mode>".
+func (r StealModeResult) Key() string { return r.Policy + "/" + r.Mode }
+
+// pingPong is the reusable burst state: one allocation per measurement,
+// so the burst loop itself stays allocation-free. lat is written by the
+// thief before its done.Store(true) release and read by the owner only
+// after observing done, which orders the plain access.
+type pingPong struct {
+	t0   time.Time
+	lat  int64
+	done atomic.Bool
+}
+
+// quiesceSpin busy-waits for d, yielding each iteration so the idle
+// worker being measured gets the CPU it needs to descend its ladder.
+func quiesceSpin(d time.Duration) {
+	start := time.Now()
+	for time.Since(start) < d {
+		runtime.Gosched()
+	}
+}
+
+// MeasureStealLatency runs the bursty ping-pong on a two-worker
+// scheduler with the given policy, with the parking lot (batch=true) or
+// the default sleep ladder. Zero bursts/reps select the defaults.
+func MeasureStealLatency(pol lcws.Policy, batch bool, bursts, reps int) StealModeResult {
+	if bursts <= 0 {
+		bursts = DefaultStealBursts
+	}
+	if reps <= 0 {
+		reps = DefaultStealReps
+	}
+	mode := "sleep-ladder"
+	opts := []lcws.Option{lcws.WithWorkers(2), lcws.WithPolicy(pol), lcws.WithSeed(1)}
+	if batch {
+		mode = "batch-park"
+		opts = append(opts, lcws.WithStealBatch(true))
+	}
+	s := lcws.New(opts...)
+	res := StealModeResult{Policy: pol.String(), Mode: mode, Bursts: bursts, Reps: reps}
+
+	var pp pingPong
+	// left spins until right has run, forcing right to be stolen; Poll
+	// makes it a valid signal-delivery point so the exposure handler can
+	// publish right under the signal-based policies, and the yield keeps
+	// the thief runnable on oversubscribed hosts.
+	left := func(ctx *lcws.Ctx) {
+		for !pp.done.Load() {
+			ctx.Poll()
+			runtime.Gosched()
+		}
+	}
+	right := func(*lcws.Ctx) {
+		pp.lat = time.Since(pp.t0).Nanoseconds()
+		pp.done.Store(true)
+	}
+	var sumNs float64
+	var mallocs uint64
+	root := func(ctx *lcws.Ctx) {
+		var ms runtime.MemStats
+		sumNs = 0
+		for b := 0; b < StealWarmupBursts+bursts; b++ {
+			if b == StealWarmupBursts {
+				runtime.ReadMemStats(&ms)
+				mallocs = ms.Mallocs
+			}
+			quiesceSpin(StealQuiesce)
+			pp.done.Store(false)
+			pp.t0 = time.Now()
+			lcws.Fork2(ctx, left, right)
+			if b >= StealWarmupBursts {
+				sumNs += float64(pp.lat)
+			}
+		}
+		runtime.ReadMemStats(&ms)
+		mallocs = ms.Mallocs - mallocs
+	}
+	first := true
+	for rep := 0; rep < reps; rep++ {
+		s.Run(root)
+		mean := sumNs / float64(bursts)
+		if first || mean < res.NsFirstSteal {
+			first = false
+			res.NsFirstSteal = mean
+			res.AllocsPerBurst = float64(mallocs) / float64(bursts)
+		}
+	}
+	st := lcws.StatsOf(s)
+	res.Steals = st.StealSuccesses
+	res.StealBatchTasks = st.StealBatchTasks
+	res.WakeupsSent = st.WakeupsSent
+	res.ParkCount = st.ParkCount
+	res.SignalsSent = st.SignalsSent
+	return res
+}
+
+// StealReport is the machine-readable document written to
+// BENCH_steal.json.
+type StealReport struct {
+	// Schema identifies the document layout.
+	Schema string `json:"schema"`
+	// GoVersion and GOMAXPROCS describe the measuring environment.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// QuiesceNs is the idle period before each burst.
+	QuiesceNs int64 `json:"quiesce_ns"`
+	// SpeedupFirstSteal is the WS sleep-ladder mean latency over the WS
+	// batch-park mean latency — the ratio the regression gate compares
+	// against StealLatencySpeedupGate.
+	SpeedupFirstSteal float64 `json:"speedup_first_steal"`
+	// Results holds every policy × mode measurement.
+	Results []StealModeResult `json:"results"`
+}
+
+// NewStealReport measures the ping-pong for the WS and SignalLCWS
+// policies in both idle modes. WS isolates the parking-lot effect (no
+// exposure step); SignalLCWS measures the full post-exposure path
+// (notify, handler, expose, wake).
+func NewStealReport(bursts, reps int) StealReport {
+	rep := StealReport{
+		Schema:     "lcws-stealbench/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		QuiesceNs:  StealQuiesce.Nanoseconds(),
+	}
+	var wsLadder, wsPark float64
+	for _, pol := range []lcws.Policy{lcws.WS, lcws.SignalLCWS} {
+		for _, batch := range []bool{false, true} {
+			r := MeasureStealLatency(pol, batch, bursts, reps)
+			if pol == lcws.WS {
+				if batch {
+					wsPark = r.NsFirstSteal
+				} else {
+					wsLadder = r.NsFirstSteal
+				}
+			}
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	if wsPark > 0 {
+		rep.SpeedupFirstSteal = wsLadder / wsPark
+	}
+	return rep
+}

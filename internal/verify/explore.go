@@ -98,12 +98,21 @@ func normalize(sc Scenario) Scenario {
 	if sc.Thieves > 0 && sc.StealAttempts <= 0 {
 		panic("verify: scenario has thieves but no steal attempts")
 	}
+	if sc.StealHalf {
+		if sc.BatchBuf <= 0 {
+			sc.BatchBuf = 4
+		}
+		if sc.BatchBuf > maxSlots {
+			panic(fmt.Sprintf("verify: batch buffer %d exceeds the modelled maximum %d", sc.BatchBuf, maxSlots))
+		}
+	}
 	if sc.SignalBudget < 0 || sc.SignalBudget > 255 {
 		panic("verify: signal budget out of range")
 	}
 	for _, op := range sc.Owner {
 		switch op.Kind {
-		case OpPushBottom, OpPopBottom, OpPopPublicBottom, OpUpdatePublicBottom, OpDrain:
+		case OpPushBottom, OpPopBottom, OpPopPublicBottom, OpUpdatePublicBottom, OpDrain,
+			OpUnexposeAll, OpDrainBatch:
 		default:
 			panic(fmt.Sprintf("verify: op %v is not a valid owner op", op))
 		}

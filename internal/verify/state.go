@@ -21,9 +21,11 @@ const maxSlots = 16
 type thread struct {
 	ip    uint8 // index of the current op in the script / attempt count
 	phase uint8 // micro-pc inside the current op; 0 = operation boundary
-	drain uint8 // 0 = not draining; 1 = sub-op PopBottom; 2 = sub-op PopPublicBottom
-	// registers (meaning depends on the op; see step.go)
-	r1, r2, r3 uint64
+	drain uint8 // 0 = not draining; 1 = sub-op PopBottom; 2 = sub-op PopPublicBottom; 3 = sub-op UnexposeAll
+	// registers (meaning depends on the op; see step.go). r4 exists for
+	// the batched PopTopHalf, whose slot-read loop needs a count and a
+	// cursor on top of the age/publicBot/ids registers.
+	r1, r2, r3, r4 uint64
 	// signal-handler frame (owner only)
 	hphase uint8
 	h1     uint64
@@ -32,12 +34,12 @@ type thread struct {
 // state is one node of the explored transition system. It is a value
 // type: cloning is a plain assignment.
 type state struct {
-	bot       uint64
-	publicBot uint64
-	age       uint64 // packed (tag<<32 | top), as in deque.packAge
-	slots     [maxSlots]uint8
-	th        [maxThreads]thread
-	nthreads  uint8
+	bot        uint64
+	publicBot  uint64
+	age        uint64 // packed (tag<<32 | top), as in deque.packAge
+	slots      [maxSlots]uint8
+	th         [maxThreads]thread
+	nthreads   uint8
 	sigPending bool
 	sigBudget  uint8
 	pushed     uint16 // bitmask of pushed task ids
@@ -136,7 +138,7 @@ func (s *state) recordReturn(id uint8) *Violation {
 // Identical thief threads are sorted, which quotients the search by
 // thief symmetry (thieves run identical programs and are never
 // distinguished by the properties we check).
-const threadKeyLen = 1 + 1 + 1 + 1 + 3*8
+const threadKeyLen = 1 + 1 + 1 + 1 + 4*8
 
 func (s *state) key(capacity int) string {
 	buf := make([]byte, 0, 8*3+capacity+6+threadKeyLen*int(s.nthreads)+8)
@@ -161,6 +163,7 @@ func (s *state) key(capacity int) string {
 		binary.LittleEndian.PutUint64(tb[4:], t.r1)
 		binary.LittleEndian.PutUint64(tb[12:], t.r2)
 		binary.LittleEndian.PutUint64(tb[20:], t.r3)
+		binary.LittleEndian.PutUint64(tb[28:], t.r4)
 		return tb
 	}
 	owner := encTh(&s.th[0])

@@ -30,14 +30,17 @@ func (s *state) step(sc *Scenario, tid int, deliver bool) (string, *Violation) {
 	if tid == 0 {
 		op := sc.Owner[t.ip]
 		kind := op.Kind
-		if kind == OpDrain {
+		if kind == OpDrain || kind == OpDrainBatch {
 			if t.drain == 0 {
 				t.drain = 1
 			}
-			if t.drain == 1 {
+			switch t.drain {
+			case 1:
 				kind = OpPopBottom
-			} else {
+			case 2:
 				kind = OpPopPublicBottom
+			default: // 3
+				kind = OpUnexposeAll
 			}
 		}
 		switch kind {
@@ -49,44 +52,70 @@ func (s *state) step(sc *Scenario, tid int, deliver bool) (string, *Violation) {
 			return s.popPublicStep(sc, t)
 		case OpUpdatePublicBottom:
 			return s.updatePublicStep(sc, t)
+		case OpUnexposeAll:
+			return s.unexposeStep(sc, t)
 		default:
 			panic(fmt.Sprintf("verify: owner cannot run op %v", op))
 		}
+	}
+	if sc.StealHalf {
+		return s.popTopHalfStep(sc, t, tid)
 	}
 	return s.popTopStep(sc, t, tid)
 }
 
 // completeOwner finishes the owner's current op. returnedTask reports
-// whether the op returned a task (drives the drain loop of Listing 1).
+// whether the op returned a task — or, for UnexposeAll, reclaimed at
+// least one (drives the drain loops of Listing 1 and the batch mode).
 func (t *thread) completeOwner(sc *Scenario, returnedTask bool) {
-	t.phase, t.r1, t.r2, t.r3 = 0, 0, 0, 0
-	if sc.Owner[t.ip].Kind != OpDrain {
-		t.ip++
-		return
-	}
-	switch {
-	case t.drain == 1 && returnedTask:
-		// pop_bottom found a private task; keep popping privately.
-	case t.drain == 1:
-		// Private part empty: fall through to pop_public_bottom, the
-		// only legal next deque op (it also repairs bot after a failed
-		// race-fix pop_bottom).
-		t.drain = 2
-	case returnedTask:
-		// pop_public_bottom recovered a public task; the scheduler
-		// executes it and comes back through pop_bottom.
-		t.drain = 1
+	t.phase, t.r1, t.r2, t.r3, t.r4 = 0, 0, 0, 0, 0
+	switch sc.Owner[t.ip].Kind {
+	case OpDrain:
+		switch {
+		case t.drain == 1 && returnedTask:
+			// pop_bottom found a private task; keep popping privately.
+		case t.drain == 1:
+			// Private part empty: fall through to pop_public_bottom, the
+			// only legal next deque op (it also repairs bot after a failed
+			// race-fix pop_bottom).
+			t.drain = 2
+		case returnedTask:
+			// pop_public_bottom recovered a public task; the scheduler
+			// executes it and comes back through pop_bottom.
+			t.drain = 1
+		default:
+			// pop_public_bottom returned nil: the deque is empty (either
+			// fully reset or the last task went to a thief). Drain done.
+			t.drain = 0
+			t.ip++
+		}
+	case OpDrainBatch:
+		switch {
+		case t.drain == 1 && returnedTask:
+			// pop_bottom found a private task; keep popping privately.
+		case t.drain == 1:
+			// Private part empty: reclaim the public part wholesale
+			// (batch owner discipline — never pop_public_bottom; it also
+			// repairs bot after a failed race-fix pop_bottom).
+			t.drain = 3
+		case returnedTask:
+			// UnexposeAll reclaimed public tasks into the private part;
+			// pop them synchronization-free.
+			t.drain = 1
+		default:
+			// UnexposeAll found nothing to reclaim: every task was popped
+			// or stolen. Drain done.
+			t.drain = 0
+			t.ip++
+		}
 	default:
-		// pop_public_bottom returned nil: the deque is empty (either
-		// fully reset or the last task went to a thief). Drain done.
-		t.drain = 0
 		t.ip++
 	}
 }
 
 // complete finishes a thief's current attempt.
 func (t *thread) complete() {
-	t.phase, t.r1, t.r2, t.r3 = 0, 0, 0, 0
+	t.phase, t.r1, t.r2, t.r3, t.r4 = 0, 0, 0, 0, 0
 	t.ip++
 }
 
@@ -390,5 +419,152 @@ func (s *state) popTopStep(sc *Scenario, t *thread, tid int) (string, *Violation
 			return fmt.Sprintf("%s: pop_top load bot=%d -> PRIVATE_WORK (notify owner)", who, b), nil
 		}
 		return fmt.Sprintf("%s: pop_top load bot=%d -> EMPTY", who, b), nil
+	}
+}
+
+// popTopHalfStep: a thief's batched PopTopHalf attempt
+// (deque.PopTopHalf): claim up to half of the public part, capped at
+// sc.BatchBuf, with one CAS on the age word. Registers: r1 = oldAge,
+// r2 = pb, r3 = the read task ids packed as nibbles (id i in bits
+// [4i,4i+4)), r4 = batch size n (low byte) and slot-read cursor i
+// (second byte). Every slot read is its own micro-step — the reads
+// happen before the CAS in the implementation, and that window is
+// exactly what the negative PopPublicBottom scenario exploits.
+func (s *state) popTopHalfStep(sc *Scenario, t *thread, tid int) (string, *Violation) {
+	who := fmt.Sprintf("thief%d", tid)
+	switch t.phase {
+	case 0:
+		t.r1 = s.age
+		t.phase = 1
+		top, _ := unpackAge(t.r1)
+		return fmt.Sprintf("%s: pop_top_half load age (top=%d)", who, top), nil
+	case 1:
+		t.r2 = s.publicBot
+		top, _ := unpackAge(t.r1)
+		if t.r2 > uint64(top) {
+			n := (t.r2 - uint64(top) + 1) / 2 // round(avail/2), at least 1
+			if n > uint64(sc.BatchBuf) {
+				n = uint64(sc.BatchBuf)
+			}
+			t.r4 = n // cursor i starts at 0
+			t.phase = 2
+		} else {
+			t.phase = 4
+		}
+		return fmt.Sprintf("%s: pop_top_half load publicBot=%d", who, t.r2), nil
+	case 2:
+		top, _ := unpackAge(t.r1)
+		n := t.r4 & 0xff
+		i := t.r4 >> 8
+		idx := uint64(top) + i
+		id := s.slots[idx]
+		t.r3 |= uint64(id) << (4 * i)
+		i++
+		t.r4 = n | i<<8
+		if i >= n {
+			t.phase = 3
+		}
+		return fmt.Sprintf("%s: pop_top_half load slot[%d] -> task %d", who, idx, id), nil
+	case 3:
+		top, tag := unpackAge(t.r1)
+		n := t.r4 & 0xff
+		if s.age == t.r1 {
+			s.age = packAge(top+uint32(n), tag)
+			for i := uint64(0); i < n; i++ {
+				id := uint8(t.r3 >> (4 * i) & 0xf)
+				if id == 0 {
+					return who + ": pop_top_half CAS age", &Violation{Kind: SlotCorruption,
+						Detail: fmt.Sprintf("pop_top_half read empty slot %d", uint64(top)+i)}
+				}
+				if v := s.recordReturn(id); v != nil {
+					t.complete()
+					return fmt.Sprintf("%s: pop_top_half CAS age ok -> STOLEN %d tasks", who, n), v
+				}
+			}
+			t.complete()
+			return fmt.Sprintf("%s: pop_top_half CAS age ok -> STOLEN %d tasks [%d,%d)", who, n, top, uint64(top)+n), nil
+		}
+		t.complete()
+		return who + ": pop_top_half CAS age failed -> ABORT", nil
+	default:
+		b := s.bot
+		pb := t.r2
+		t.complete()
+		if pb < b {
+			if sc.AutoSignal {
+				s.sigPending = true
+			}
+			return fmt.Sprintf("%s: pop_top_half load bot=%d -> PRIVATE_WORK (notify owner)", who, b), nil
+		}
+		return fmt.Sprintf("%s: pop_top_half load bot=%d -> EMPTY", who, b), nil
+	}
+}
+
+// unexposeStep: UnexposeAll (the Lace-style wholesale reclaim the batch
+// owner discipline uses instead of PopPublicBottom). Registers: r1 = pb,
+// r2 = oldAge. The retry path after a lost CAS re-enters the pb load at
+// phase 8 (not phase 0) so that a mid-retry state is never mistaken for
+// an operation boundary by the quiescence check.
+func (s *state) unexposeStep(sc *Scenario, t *thread) (string, *Violation) {
+	switch t.phase {
+	case 0, 8:
+		t.r1 = s.publicBot
+		if t.r1 == 0 {
+			if sc.RaceFix {
+				t.phase = 1 // repair bot in a separate store
+				return "owner: unexpose_all load publicBot=0", nil
+			}
+			t.completeOwner(sc, false)
+			return "owner: unexpose_all load publicBot=0 -> 0", nil
+		}
+		t.phase = 2
+		return fmt.Sprintf("owner: unexpose_all load publicBot=%d", t.r1), nil
+	case 1:
+		s.bot = 0
+		t.completeOwner(sc, false)
+		return "owner: unexpose_all store bot=0 (repair) -> 0", nil
+	case 2:
+		t.r2 = s.age
+		top, _ := unpackAge(t.r2)
+		if t.r1 <= uint64(top) {
+			if sc.RaceFix {
+				t.phase = 3
+				return fmt.Sprintf("owner: unexpose_all load age (top=%d, all stolen)", top), nil
+			}
+			t.completeOwner(sc, false)
+			return fmt.Sprintf("owner: unexpose_all load age (top=%d) -> 0 (all stolen)", top), nil
+		}
+		t.phase = 4
+		return fmt.Sprintf("owner: unexpose_all load age (top=%d)", top), nil
+	case 3:
+		s.bot = t.r1
+		pb := t.r1
+		t.completeOwner(sc, false)
+		return fmt.Sprintf("owner: unexpose_all store bot=%d (repair) -> 0", pb), nil
+	case 4:
+		top, _ := unpackAge(t.r2)
+		s.publicBot = uint64(top)
+		t.phase = 5
+		return fmt.Sprintf("owner: unexpose_all store publicBot=%d (hide public part)", top), nil
+	case 5:
+		top, tag := unpackAge(t.r2)
+		if s.age == t.r2 {
+			s.age = packAge(top, tag+1)
+			t.phase = 6
+			return "owner: unexpose_all CAS age ok (tag bump)", nil
+		}
+		t.phase = 7
+		return "owner: unexpose_all CAS age failed (thief advanced top)", nil
+	case 6:
+		top, _ := unpackAge(t.r2)
+		s.bot = t.r1
+		n := t.r1 - uint64(top)
+		pb := t.r1
+		t.completeOwner(sc, true)
+		return fmt.Sprintf("owner: unexpose_all store bot=%d -> reclaimed %d", pb, n), nil
+	default: // 7: lost the CAS, restore the split and retry
+		s.publicBot = t.r1
+		t.phase = 8
+		return fmt.Sprintf("owner: unexpose_all store publicBot=%d (restore, retry)", t.r1), nil
 	}
 }

@@ -16,6 +16,17 @@
 // exposure signal landing between any two micro-steps of the owner —
 // the exact window of the §4 pop_bottom race.
 //
+// The batched steal-side mode (Options.StealBatch) is modelled too:
+// Scenario.StealHalf makes the thieves run PopTopHalf attempts (a batch
+// claim of up to half the public part under one CAS), and the owner DSL
+// gains UnexposeAll plus the DrainBatch composite (pop_bottom until nil,
+// then reclaim the public part wholesale via UnexposeAll — the batch
+// owner discipline, which never calls PopPublicBottom). A negative test
+// demonstrates WHY that discipline exists: PopTopHalf raced against
+// PopPublicBottom's common path duplicates tasks, because the owner's
+// plain-take of indices above top leaves the age word untouched and a
+// stalled thief's batch CAS still succeeds.
+//
 // Exploration is a stateful depth-first search: states are canonicalized
 // (identical thief threads are sorted, making the search symmetric in
 // thief identity) and memoized, and deterministic local computation is
@@ -71,6 +82,14 @@ type Scenario struct {
 	Thieves int
 	// StealAttempts is the number of PopTop attempts each thief makes.
 	StealAttempts int
+	// StealHalf makes the thieves run PopTopHalf attempts instead of
+	// PopTop: each attempt tries to claim up to half of the public part
+	// (capped at BatchBuf) with a single CAS, the batched steal mode of
+	// Options.StealBatch.
+	StealHalf bool
+	// BatchBuf is the thief's batch buffer length for StealHalf attempts
+	// (default 4, max maxSlots).
+	BatchBuf int
 	// Expose is the exposure policy the signal handler runs
 	// (update_public_bottom's mode).
 	Expose deque.ExposeMode
@@ -117,6 +136,14 @@ const (
 	OpUpdatePublicBottom
 	// OpDrain runs the owner side of Listing 1 until the deque empties.
 	OpDrain
+	// OpUnexposeAll reclaims every unstolen public task back into the
+	// private part (deque.UnexposeAll); like OpPopPublicBottom it is only
+	// legal after OpPopBottom returned nil.
+	OpUnexposeAll
+	// OpDrainBatch runs the batch-mode owner drain: pop_bottom until
+	// nil, then UnexposeAll, repeating until the reclaim finds nothing —
+	// PopPublicBottom is never called (the batch owner discipline).
+	OpDrainBatch
 )
 
 // Op is one scripted operation.
@@ -145,6 +172,13 @@ func UpdatePublicBottom() Op { return Op{Kind: OpUpdatePublicBottom} }
 // Drain returns the composite drain-the-deque op.
 func Drain() Op { return Op{Kind: OpDrain} }
 
+// UnexposeAll returns a reclaim-the-public-part op.
+func UnexposeAll() Op { return Op{Kind: OpUnexposeAll} }
+
+// DrainBatch returns the composite batch-mode drain op (pop_bottom /
+// UnexposeAll loop, never PopPublicBottom).
+func DrainBatch() Op { return Op{Kind: OpDrainBatch} }
+
 // String returns a compact rendering of the op.
 func (o Op) String() string {
 	switch o.Kind {
@@ -160,6 +194,10 @@ func (o Op) String() string {
 		return "update_public_bottom"
 	case OpDrain:
 		return "drain"
+	case OpUnexposeAll:
+		return "unexpose_all"
+	case OpDrainBatch:
+		return "drain_batch"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o.Kind))
 	}

@@ -253,15 +253,192 @@ func TestDeterminism(t *testing.T) {
 // counterexample traces.
 func TestOpStrings(t *testing.T) {
 	for op, want := range map[Op]string{
-		Push(3):               "push(3)",
-		Pop():                 "pop_bottom",
-		PopPublic():           "pop_public_bottom",
-		UpdatePublicBottom():  "update_public_bottom",
-		Drain():               "drain",
-		{Kind: OpPopTop}:      "pop_top",
+		Push(3):              "push(3)",
+		Pop():                "pop_bottom",
+		PopPublic():          "pop_public_bottom",
+		UpdatePublicBottom(): "update_public_bottom",
+		Drain():              "drain",
+		UnexposeAll():        "unexpose_all",
+		DrainBatch():         "drain_batch",
+		{Kind: OpPopTop}:     "pop_top",
 	} {
 		if got := op.String(); got != want {
 			t.Errorf("op %v String = %q, want %q", op.Kind, got, want)
 		}
 	}
+}
+
+// TestBatchDrainSequential checks the batch-mode owner ops on a
+// thief-free scenario: exposure, the UnexposeAll reclaim, and the
+// DrainBatch loop, which must empty the deque without ever running
+// pop_public_bottom.
+func TestBatchDrainSequential(t *testing.T) {
+	r := mustClean(t, Scenario{
+		Name:         "batch-drain-sequential",
+		RaceFix:      true,
+		Owner:        []Op{Push(1), Push(2), UpdatePublicBottom(), DrainBatch()},
+		Expose:       deque.ExposeOne,
+		RequireDrain: true,
+	})
+	if r.Transitions+1 != r.States {
+		t.Errorf("sequential scenario explored %d states over %d transitions; want a single linear schedule",
+			r.States, r.Transitions)
+	}
+}
+
+// TestStealHalfBatchDrainSafe is the tentpole positive result: batched
+// PopTopHalf thieves racing an owner that follows the batch discipline
+// (pop_bottom + UnexposeAll, never pop_public_bottom) — with exposure
+// signals landing at every possible micro-step boundary, including in
+// the middle of pop_bottom and UnexposeAll — never duplicate or lose a
+// task.
+func TestStealHalfBatchDrainSafe(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:          "stealhalf-batch-drain",
+		RaceFix:       true,
+		Owner:         []Op{Push(1), Push(2), Push(3), Push(4), DrainBatch()},
+		Thieves:       2,
+		StealAttempts: 2,
+		StealHalf:     true,
+		BatchBuf:      4,
+		Expose:        deque.ExposeHalf,
+		AutoSignal:    true,
+		SignalBudget:  2,
+		RequireDrain:  true,
+	})
+}
+
+// TestStealHalfRaceFixMidPopExposure extends the §4 positive result to
+// batch mode: with the signal-safe pop_bottom, an exposure delivered at
+// ANY boundary — including mid-pop — is safe against batched PopTopHalf
+// thieves, and the UnexposeAll reclaim repairs the race-fix bot
+// decrement on every path.
+func TestStealHalfRaceFixMidPopExposure(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:          "stealhalf-racefix-mid-pop-exposure",
+		RaceFix:       true,
+		Owner:         []Op{Push(1), Pop(), DrainBatch()},
+		Thieves:       1,
+		StealAttempts: 2,
+		StealHalf:     true,
+		Expose:        deque.ExposeOne,
+		InitialSignal: true,
+		SignalBudget:  1,
+		RequireDrain:  true,
+	})
+}
+
+// TestStealHalfOriginalPopBottomRaceReproduced: the §4 race does not go
+// away in batch mode — with the ORIGINAL pop_bottom, an exposure landing
+// mid-pop still lets a PopTopHalf thief and the owner return the same
+// task.
+func TestStealHalfOriginalPopBottomRaceReproduced(t *testing.T) {
+	r := Check(Scenario{
+		Name:          "stealhalf-original-pop-bottom-race",
+		RaceFix:       false,
+		Owner:         []Op{Push(1), Pop()},
+		Thieves:       1,
+		StealAttempts: 2,
+		StealHalf:     true,
+		Expose:        deque.ExposeOne,
+		InitialSignal: true,
+		SignalBudget:  1,
+	})
+	logReport(t, r)
+	if r.Truncated {
+		t.Fatalf("exploration truncated at %d states", r.States)
+	}
+	if kinds(r)[DuplicateTask] == 0 {
+		t.Fatalf("model checker failed to reproduce the §4 duplicate-task race under StealHalf; found %v", r.Violations)
+	}
+}
+
+// TestPopTopHalfVsPopPublicBottomUnsound is the negative result that
+// justifies the batch owner discipline: a batched steal claiming n >= 2
+// tasks raced against PopPublicBottom's common path MUST duplicate a
+// task. The owner's plain-take of indices above top never touches the
+// age word, so a thief that read its slots before the owner's pops still
+// wins its CAS and re-claims owner-consumed tasks. This is why batch-mode
+// owners reclaim exclusively through UnexposeAll (whose tag bump makes
+// the stalled thief's CAS fail) and never call PopPublicBottom.
+func TestPopTopHalfVsPopPublicBottomUnsound(t *testing.T) {
+	r := Check(Scenario{
+		Name:    "pop-top-half-vs-pop-public-bottom",
+		RaceFix: true,
+		// Expose 3 of 5 tasks, drain the private part, then pop the
+		// public part bottom-up — the LCWS (non-batch) owner discipline.
+		Owner: []Op{
+			Push(1), Push(2), Push(3), Push(4), Push(5),
+			UpdatePublicBottom(),
+			Pop(), Pop(), Pop(),
+			PopPublic(), PopPublic(), PopPublic(),
+		},
+		Thieves:       1,
+		StealAttempts: 1,
+		StealHalf:     true,
+		BatchBuf:      4,
+		Expose:        deque.ExposeHalf,
+	})
+	logReport(t, r)
+	if r.Truncated {
+		t.Fatalf("exploration truncated at %d states", r.States)
+	}
+	var dup *Violation
+	for i := range r.Violations {
+		if r.Violations[i].Kind == DuplicateTask {
+			dup = &r.Violations[i]
+			break
+		}
+	}
+	if dup == nil {
+		t.Fatalf("model checker failed to show PopTopHalf x PopPublicBottom duplicates tasks; found %v", r.Violations)
+	}
+	trace := strings.Join(dup.Trace, "\n")
+	if !strings.Contains(trace, "pop_top_half CAS age ok") || !strings.Contains(trace, "pop_public_bottom") {
+		t.Errorf("counterexample does not show the batch CAS racing pop_public_bottom:\n%s", trace)
+	}
+	t.Logf("counterexample (%d steps):\n  %s", len(dup.Trace), strings.Join(dup.Trace, "\n  "))
+}
+
+// TestStealHalfSingleClaimIsSafeAgainstPopPublicBottom is the control
+// for the negative test above: with only ONE public task the batched
+// steal degenerates to a single claim of index top, which is exactly the
+// case PopPublicBottom's emptying-path CAS defends against — so the same
+// owner script with one exposed task must be clean.
+func TestStealHalfSingleClaimIsSafeAgainstPopPublicBottom(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:    "stealhalf-single-claim-vs-pop-public-bottom",
+		RaceFix: true,
+		Owner: []Op{
+			Push(1), Push(2),
+			UpdatePublicBottom(), // exposes 1 (ExposeOne)
+			Pop(), Pop(),
+			PopPublic(),
+		},
+		Thieves:       1,
+		StealAttempts: 1,
+		StealHalf:     true,
+		Expose:        deque.ExposeOne,
+	})
+}
+
+// TestStealHalfUnexposeAllRace pits the UnexposeAll reclaim directly
+// against in-flight batched steals (no signals, scripted exposure): the
+// tag bump must make exactly one side win each slot.
+func TestStealHalfUnexposeAllRace(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:    "stealhalf-unexpose-race",
+		RaceFix: true,
+		Owner: []Op{
+			Push(1), Push(2), Push(3), Push(4),
+			UpdatePublicBottom(), // exposes 2 of 4 (ExposeHalf)
+			DrainBatch(),
+		},
+		Thieves:       2,
+		StealAttempts: 2,
+		StealHalf:     true,
+		BatchBuf:      4,
+		Expose:        deque.ExposeHalf,
+		RequireDrain:  true,
+	})
 }

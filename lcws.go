@@ -99,6 +99,16 @@ func WithPollEvery(n int) Option { return func(o *core.Options) { o.PollEvery = 
 // figures.
 func WithYieldEvery(n int) Option { return func(o *core.Options) { o.YieldEvery = n } }
 
+// WithStealBatch opts into the batched steal-side mode: thieves claim up
+// to half of a victim's public part with one CAS, probe their last
+// successful victim first (sticky victim selection), and idle workers
+// park on per-worker semaphores woken by work-producing events instead
+// of sleeping blind. The default (false) is the paper-faithful
+// single-steal mode, whose fence/CAS accounting matches the counting
+// model exactly; batch mode extends the model as documented in
+// internal/counters/model.go.
+func WithStealBatch(on bool) Option { return func(o *core.Options) { o.StealBatch = on } }
+
 // New returns a Scheduler. The zero configuration is a single-worker WS
 // scheduler.
 func New(opts ...Option) *Scheduler {
@@ -161,6 +171,16 @@ type Stats struct {
 	TasksExecuted uint64
 	// TasksPushed counts deque pushes.
 	TasksPushed uint64
+	// StealBatchTasks counts tasks transferred by batched steals
+	// (StealBatch mode); StealBatchTasks / StealSuccesses is the average
+	// claimed batch size.
+	StealBatchTasks uint64
+	// WakeupsSent counts parked thieves woken by work-producing events
+	// (StealBatch mode).
+	WakeupsSent uint64
+	// ParkCount counts semaphore parks in the idle parking lot
+	// (StealBatch mode); the time spent parked is in ParkedNanos.
+	ParkCount uint64
 }
 
 func statsFromSnapshot(sn counters.Snapshot) Stats {
@@ -179,6 +199,9 @@ func statsFromSnapshot(sn counters.Snapshot) Stats {
 		ParkedNanos:      sn.Get(counters.ParkedNanos),
 		TasksExecuted:    sn.Get(counters.TaskExecuted),
 		TasksPushed:      sn.Get(counters.TaskPushed),
+		StealBatchTasks:  sn.Get(counters.StealBatchTasks),
+		WakeupsSent:      sn.Get(counters.WakeupsSent),
+		ParkCount:        sn.Get(counters.ParkCount),
 	}
 }
 
