@@ -5,9 +5,9 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: verify build test race vet fuzz-smoke stress lcwsvet bench-fork bench-steal clean
+.PHONY: verify build test race vet fuzz-smoke stress lcwsvet bench-fork bench-steal trace-smoke clean
 
-verify: build test race vet fuzz-smoke stress
+verify: build test race vet fuzz-smoke stress trace-smoke
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,15 @@ bench-fork:
 # parking-lot mode (see README and DESIGN.md §8).
 bench-steal:
 	$(GO) run ./cmd/lcwsbench -stealbench -stealjson BENCH_steal.json
+
+# Flight-recorder smoke: run a traced oversubscribed workload, export
+# its Chrome trace (TRACE_OUT, default trace.json) and validate the
+# trace_event schema with cmd/tracecheck. The file loads directly in
+# Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+TRACE_OUT ?= trace.json
+trace-smoke:
+	$(GO) run ./cmd/lcwsbench -trace $(TRACE_OUT)
+	$(GO) run ./cmd/tracecheck $(TRACE_OUT)
 
 clean:
 	rm -rf $(BIN)

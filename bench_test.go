@@ -247,13 +247,13 @@ func BenchmarkForkOverheadSpawnTree(b *testing.B) {
 			s := lcws.New(lcws.WithWorkers(1), lcws.WithPolicy(pol))
 			root := func(ctx *lcws.Ctx) { lcws.ParFor(ctx, 0, perf.SpawnTreeN, 1, benchNoopBody) }
 			s.Run(root) // warm the freelist before the timed region
-			lcws.ResetStats(s)
+			s.ResetStats()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.Run(root)
 			}
 			b.StopTimer()
-			st := lcws.StatsOf(s)
+			st := s.Stats()
 			if st.TasksPushed > 0 {
 				forks := float64(st.TasksPushed)
 				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/forks, "ns/fork")
@@ -279,13 +279,13 @@ func BenchmarkForkOverheadPForSum(b *testing.B) {
 			body := func(_ *lcws.Ctx, i int) { acc += data[i] }
 			root := func(ctx *lcws.Ctx) { lcws.ParFor(ctx, 0, perf.PForSumN, perf.PForSumGrain, body) }
 			s.Run(root)
-			lcws.ResetStats(s)
+			s.ResetStats()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.Run(root)
 			}
 			b.StopTimer()
-			st := lcws.StatsOf(s)
+			st := s.Stats()
 			if st.TasksPushed > 0 {
 				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(st.TasksPushed), "ns/fork")
 			}
@@ -380,7 +380,7 @@ func BenchmarkAblationPollInterval(b *testing.B) {
 					})
 				})
 			}
-			st := lcws.StatsOf(s)
+			st := s.Stats()
 			b.ReportMetric(float64(st.SignalsHandled), "signals-handled")
 		})
 	}

@@ -29,6 +29,7 @@ import (
 	"lcws"
 	"lcws/fig"
 	"lcws/internal/perf"
+	"lcws/internal/trace"
 	"lcws/pbbs"
 	"lcws/sim"
 )
@@ -61,12 +62,24 @@ func main() {
 		stealjson   = flag.String("stealjson", "", "write the steal benchmark report as JSON to this file (default stdout)")
 		stealbursts = flag.Int("stealbursts", perf.DefaultStealBursts, "timed bursts per steal-benchmark repetition")
 		stealreps   = flag.Int("stealreps", perf.DefaultStealReps, "steal-benchmark repetitions (minimum is reported)")
+
+		traceOut     = flag.String("trace", "", "run a traced fork-join workload and write its Chrome trace JSON (Perfetto-loadable) to this file")
+		tracePolicy  = flag.String("tracepolicy", lcws.SignalLCWS.String(), "scheduling policy for the -trace run")
+		traceWorkers = flag.Int("traceworkers", 4, "workers for the -trace run")
+		traceBuf     = flag.Int("tracebuf", 0, "per-worker trace ring capacity in events (0 = default)")
 	)
 	flag.Parse()
 
-	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi || *forkbench || *stealbench) {
+	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi || *forkbench || *stealbench || *traceOut != "") {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *traceOut != "" {
+		if err := runTrace(*traceOut, *tracePolicy, *traceWorkers, *traceBuf, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "lcwsbench:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *forkbench {
@@ -81,7 +94,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if (*forkbench || *stealbench) &&
+	if (*forkbench || *stealbench || *traceOut != "") &&
 		!(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi) {
 		return
 	}
@@ -224,6 +237,73 @@ func runStealBench(bursts, reps int, path string) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// runTrace executes a traced fork-join workload and writes the flight
+// recorder's snapshot as Chrome trace_event JSON to path (loadable in
+// Perfetto / chrome://tracing). The workload is an irregular fib-style
+// fork tree with polling leaf loops, run oversubscribed with per-task
+// yielding, so every event class the recorder knows — forks, steals,
+// exposure requests, signals, parks — actually appears in the trace. A
+// latency-histogram summary goes to stderr so the JSON stream stays
+// clean.
+func runTrace(path, policy string, workers, bufPerWorker int, seed uint64) error {
+	pol, err := lcws.ParsePolicy(policy)
+	if err != nil {
+		return err
+	}
+	if workers < 1 {
+		return fmt.Errorf("-traceworkers must be at least 1, got %d", workers)
+	}
+	s := lcws.New(
+		lcws.WithWorkers(workers),
+		lcws.WithPolicy(pol),
+		lcws.WithSeed(seed),
+		lcws.WithYieldEvery(1),
+		lcws.WithPollEvery(4),
+		lcws.WithTrace(lcws.TraceConfig{BufPerWorker: bufPerWorker}),
+	)
+	var tree func(ctx *lcws.Ctx, depth int)
+	tree = func(ctx *lcws.Ctx, depth int) {
+		if depth <= 0 {
+			acc := 0
+			for i := 0; i < 400; i++ {
+				acc += i
+				ctx.Poll()
+			}
+			_ = acc
+			return
+		}
+		lcws.Fork2(ctx,
+			func(ctx *lcws.Ctx) { tree(ctx, depth-1) },
+			func(ctx *lcws.Ctx) { tree(ctx, depth-2) },
+		)
+	}
+	s.Run(func(ctx *lcws.Ctx) { tree(ctx, 16) })
+
+	tr := s.TraceSnapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	st := s.Stats()
+	fmt.Fprintf(os.Stderr, "traced %s ×%d: %d events (%d dropped) -> %s\n",
+		pol, workers, len(tr.Events), tr.Dropped, path)
+	fmt.Fprintf(os.Stderr, "  tasks=%d steals=%d/%d signals=%d/%d exposures=%d\n",
+		st.TasksExecuted, st.StealSuccesses, st.StealAttempts,
+		st.SignalsHandled, st.SignalsSent, st.Exposures)
+	for l := 0; l < trace.NumLatencies; l++ {
+		fmt.Fprintf(os.Stderr, "  %-18s %s\n", trace.LatencyName(l), tr.Hist(l))
+	}
+	return nil
 }
 
 func parseWorkers(s string) ([]int, error) {

@@ -13,18 +13,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"lcws"
 	"lcws/pbbs"
 )
 
+// policyUsage enumerates the accepted -policy values from the live
+// policy list, so the help text cannot drift from ParsePolicy.
+func policyUsage() string {
+	names := make([]string, len(lcws.Policies))
+	for i, p := range lcws.Policies {
+		names[i] = p.String()
+	}
+	return "scheduler: " + strings.Join(names, ", ") + " (case-insensitive; User = USLCWS)"
+}
+
 func main() {
 	var (
 		bench   = flag.String("bench", "", "benchmark name (see -list)")
 		input   = flag.String("input", "", "input instance name (see -list)")
 		workers = flag.Int("workers", 1, "number of workers (processors)")
-		policy  = flag.String("policy", "WS", "scheduler: WS, USLCWS (User), Signal, Cons, Half")
+		policy  = flag.String("policy", "WS", policyUsage())
 		scale   = flag.Float64("scale", 1, "input scale factor")
 		rounds  = flag.Int("rounds", 3, "timed repetitions (reported: average)")
 		seed    = flag.Uint64("seed", 42, "victim-selection seed")
@@ -59,7 +70,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pbbsrun: verification failed:", err)
 		os.Exit(1)
 	}
-	lcws.ResetStats(s)
+	s.ResetStats()
 
 	var total time.Duration
 	for r := 0; r < *rounds; r++ {
@@ -71,7 +82,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pbbsrun: verification failed:", err)
 		os.Exit(1)
 	}
-	st := lcws.StatsOf(s)
+	st := s.Stats()
 
 	fmt.Printf("⟨%s, %s, %d⟩ under %v: avg %.3f ms over %d rounds (verified)\n",
 		*bench, *input, *workers, pol, float64(total.Microseconds())/1000/float64(*rounds), *rounds)

@@ -1,0 +1,37 @@
+// Command tracecheck validates a Chrome trace_event JSON file produced
+// by the flight recorder (lcwsbench -trace, lcws.WriteChromeTrace): the
+// document must decode, carry a non-empty traceEvents array whose
+// entries all have the required ph/name/pid/tid (and ts, except on
+// metadata records) fields, and every B/E duration pair must balance
+// per thread. CI's trace-smoke job runs it against a fresh trace; it
+// exits 0 on a valid file and 1 with a diagnostic otherwise.
+//
+// Usage:
+//
+//	tracecheck out.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lcws/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := trace.ValidateChrome(f); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s: valid Chrome trace\n", os.Args[1])
+}

@@ -21,7 +21,7 @@ func ExampleNew() {
 		)
 	})
 	fmt.Println(left + right)
-	fmt.Println("fences:", lcws.StatsOf(s).Fences)
+	fmt.Println("fences:", s.Stats().Fences)
 	// Output:
 	// 42
 	// fences: 0

@@ -48,7 +48,7 @@ func main() {
 		} else if reached != reference {
 			fmt.Printf("!! policy %v reached %d vertices, expected %d\n", pol, reached, reference)
 		}
-		st := lcws.StatsOf(s)
+		st := s.Stats()
 		fmt.Printf("%-8v %10s %12d %10d %12d %10d %10d\n",
 			pol, elapsed.Round(time.Microsecond), reached,
 			st.Fences, st.CAS, st.StealSuccesses, st.Exposures)

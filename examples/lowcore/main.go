@@ -26,7 +26,7 @@ func run(pol lcws.Policy, workers int, keys []uint64) lcws.Stats {
 		copy(data, keys)
 		parlay.IntegerSort(ctx, data, 27)
 	})
-	return lcws.StatsOf(s)
+	return s.Stats()
 }
 
 func main() {

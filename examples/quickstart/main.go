@@ -54,7 +54,7 @@ func main() {
 		sum = parlay.Sum(ctx, xs)
 	})
 
-	st := lcws.StatsOf(s)
+	st := s.Stats()
 	fmt.Printf("policy=%v workers=%d\n", pol, s.Workers())
 	fmt.Printf("fib(25) = %d\n", f25)
 	fmt.Printf("sum of first 1e6 squares = %d\n", sum)

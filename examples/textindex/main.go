@@ -73,7 +73,7 @@ func main() {
 		fmt.Printf("  %-12s in %4d documents, first: %v\n", w, len(docsWith), show)
 	}
 
-	st := lcws.StatsOf(s)
+	st := s.Stats()
 	fmt.Printf("\nscheduler counters: fences=%d cas=%d steals=%d exposures=%d\n",
 		st.Fences, st.CAS, st.StealSuccesses, st.Exposures)
 }

@@ -62,7 +62,7 @@ func RunCounterSweep(scale pbbs.Scale, workers []int, policies []lcws.Policy, se
 				if err := job.Verify(); err != nil {
 					panic(fmt.Sprintf("fig: %s under %v with %d workers failed verification: %v", name, pol, p, err))
 				}
-				sweep.Stats[name][pol][p] = lcws.StatsOf(s)
+				sweep.Stats[name][pol][p] = s.Stats()
 			}
 		}
 	}

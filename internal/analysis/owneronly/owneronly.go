@@ -21,6 +21,17 @@
 // likewise happen on the enclosing Worker method's own receiver and
 // outside function literals, and its address must never be taken.
 //
+// The flight recorder (the rec field, internal/trace.Recorder) splits
+// the same way as the deque: its recording methods write the owner-side
+// ring with plain stores and must be invoked as w.rec.Method(...) with
+// w the enclosing Worker method's receiver, outside function literals;
+// the snapshot-protocol readers (Snapshot, Hist, ResetHists) and the
+// pure accessors (Cap, Now) are safe from any goroutine, which is how
+// Scheduler.TraceSnapshot and Scheduler.Stats read live rings. Because
+// tracing is optional, comparing the field against nil is allowed
+// anywhere — that is the disabled-tracing fast path — as is the
+// initialization write in Worker.init.
+//
 // unsafe.Offsetof(w.dq) and friends are exempt everywhere: Offsetof
 // queries the struct layout without evaluating its operand, which is how
 // the layout regression tests pin the cache-line contract.
@@ -34,13 +45,15 @@ import (
 	"lcws/internal/analysis"
 )
 
-// workerPkg/workerType identify the guarded struct, dequeField and
-// freelistField its owner-only fields: lcws/internal/core.Worker.
+// workerPkg/workerType identify the guarded struct; dequeField,
+// freelistField and recField its owner-only fields:
+// lcws/internal/core.Worker.
 const (
 	workerPkg     = "lcws/internal/core"
 	workerType    = "Worker"
 	dequeField    = "dq"
 	freelistField = "freelist"
+	recField      = "rec"
 )
 
 // ownerOnly holds the deque methods that must run on the owner's
@@ -67,6 +80,38 @@ var thiefSafe = map[string]bool{
 	"PublicSize":    true,
 }
 
+// recOwnerOnly holds the flight recorder's owner-path methods: they
+// write the ring with plain stores, so only the owning worker may call
+// them. recThiefSafe holds the freeze-protocol readers and pure
+// accessors any goroutine may use. As with the deque, an unclassified
+// method is reported so extending the Recorder forces a decision here.
+var recOwnerOnly = map[string]bool{
+	"TaskBegin":     true,
+	"TaskEnd":       true,
+	"Fork":          true,
+	"StealAttempt":  true,
+	"StealHit":      true,
+	"LocalWork":     true,
+	"ExposeRequest": true, // the thief records into its OWN ring
+	"SignalSend":    true,
+	"SignalHandle":  true,
+	"Exposed":       true,
+	"ParkStart":     true,
+	"ParkEnd":       true,
+	"DequeEmpty":    true,
+	"Repair":        true,
+	"Tail":          true, // owner-side plain reads (panic reports)
+	"ResetRun":      true,
+}
+
+var recThiefSafe = map[string]bool{
+	"Snapshot":   true, // freeze protocol: safe against a live owner
+	"Hist":       true, // atomic-word histogram reads
+	"ResetHists": true,
+	"Cap":        true,
+	"Now":        true,
+}
+
 var Analyzer = &analysis.Analyzer{
 	Name: "owneronly",
 	Doc: "check that owner-only worker state is touched only by the owning worker\n\n" +
@@ -75,7 +120,11 @@ var Analyzer = &analysis.Analyzer{
 		"w.dq.PushBottom/PopBottom/PopPublicBottom/Expose/UnexposeAll appear only with w " +
 		"the receiver of the enclosing Worker method, not inside function literals, and " +
 		"that the dq field is never aliased into a variable or argument. The task " +
-		"freelist field carries the same owner-only contract for plain reads and writes.",
+		"freelist field carries the same owner-only contract for plain reads and writes, " +
+		"and the flight-recorder field (rec) splits its methods the same way: recording " +
+		"methods are owner-only, the freeze-protocol readers (Snapshot/Hist/ResetHists) " +
+		"are thief-safe, and nil comparisons — the disabled-tracing fast path — are " +
+		"allowed anywhere.",
 	Run: run,
 }
 
@@ -93,6 +142,10 @@ func run(pass *analysis.Pass) error {
 		case freelistField:
 			if isWorkerField(fieldObject(pass, sel), freelistField) {
 				checkFreelistUse(pass, sel, stack)
+			}
+		case recField:
+			if isWorkerField(fieldObject(pass, sel), recField) {
+				checkRecUse(pass, sel, stack)
 			}
 		}
 		return true
@@ -246,6 +299,93 @@ func checkFreelistUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.No
 	}
 	if inFuncLit(stack, fd) {
 		pass.Reportf(sel.Pos(), "owner-only field freelist accessed inside a function literal; closures may escape the owner's goroutine")
+	}
+}
+
+// isNilComparison reports whether sel is an operand of a ==/!=
+// comparison against the untyped nil literal.
+func isNilComparison(pass *analysis.Pass, stack []ast.Node, sel *ast.SelectorExpr) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	bin, ok := stack[len(stack)-1].(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return false
+	}
+	other := bin.X
+	if other == sel {
+		other = bin.Y
+	} else if bin.Y != sel {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[other]
+	return ok && tv.IsNil()
+}
+
+// checkRecUse validates one appearance of the rec field. The rules are
+// the deque's — direct calls only, owner receiver for the owner-path
+// methods, no closures, no aliasing, initialization assignment allowed —
+// plus one extra allowance: nil comparisons, because `w.rec != nil` is
+// the disabled-tracing fast path guarding every hook, and thieves read
+// a victim's nil-ness nowhere (hooks always test the caller's own rec).
+func checkRecUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	if analysis.IsOffsetofArg(pass.TypesInfo, stack) {
+		return
+	}
+	if isNilComparison(pass, stack, sel) {
+		return
+	}
+	parent := stack[len(stack)-1]
+
+	// Initialization write (w.rec = ...) in Worker.init, before the
+	// worker goroutine exists.
+	if assign, ok := parent.(*ast.AssignStmt); ok {
+		for _, lhs := range assign.Lhs {
+			if lhs == sel {
+				return
+			}
+		}
+	}
+
+	method, ok := parent.(*ast.SelectorExpr)
+	if !ok || method.X != sel {
+		pass.Reportf(sel.Pos(), "the rec field must not be aliased, passed, or compared (except against nil): owner-only access is checked per call site")
+		return
+	}
+	name := method.Sel.Name
+	switch {
+	case recThiefSafe[name]:
+		return
+	case !recOwnerOnly[name]:
+		pass.Reportf(method.Sel.Pos(), "recorder method %s is not classified as owner-only or thief-safe in the owneronly analyzer", name)
+		return
+	}
+
+	if len(stack) < 2 {
+		pass.Reportf(method.Sel.Pos(), "owner-only recorder method %s must be called directly, not bound as a method value", name)
+		return
+	}
+	if call, ok := stack[len(stack)-2].(*ast.CallExpr); !ok || call.Fun != method {
+		pass.Reportf(method.Sel.Pos(), "owner-only recorder method %s must be called directly, not bound as a method value", name)
+		return
+	}
+
+	fd := analysis.EnclosingFuncDecl(stack)
+	recvObj := workerRecv(pass, fd)
+	if recvObj == nil {
+		pass.Reportf(method.Sel.Pos(), "owner-only recorder method %s called outside a Worker method", name)
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != recvObj {
+		pass.Reportf(method.Sel.Pos(), "owner-only recorder method %s called on %s, which is not the owning receiver %s", name, exprString(sel.X), recvObj.Name())
+		return
+	}
+	if inFuncLit(stack, fd) {
+		pass.Reportf(method.Sel.Pos(), "owner-only recorder method %s called inside a function literal; closures may escape the owner's goroutine", name)
 	}
 }
 

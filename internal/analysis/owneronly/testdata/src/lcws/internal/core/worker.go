@@ -24,15 +24,29 @@ type Task struct {
 	next *Task
 }
 
+// Recorder stands in for internal/trace.Recorder: owner-path recording
+// methods plus the thief-safe snapshot readers.
+type Recorder struct{}
+
+func (r *Recorder) Fork()                               {}
+func (r *Recorder) TaskEnd()                            {}
+func (r *Recorder) Tail(n int) []int                    { return nil }
+func (r *Recorder) Snapshot(worker int) ([]int, uint64) { return nil, 0 }
+func (r *Recorder) Hist(which int) int                  { return 0 }
+func (r *Recorder) ResetHists()                         {}
+func (r *Recorder) Mystery()                            {}
+
 type Worker struct {
 	id       int
 	dq       taskDeque
 	freelist *Task
+	rec      *Recorder
 }
 
 func NewWorker(dq taskDeque) *Worker {
 	w := &Worker{}
-	w.dq = dq // ok: initialization write before the owner goroutine starts
+	w.dq = dq           // ok: initialization write before the owner goroutine starts
+	w.rec = &Recorder{} // ok: initialization write
 	return w
 }
 
@@ -122,10 +136,57 @@ func badFreelistFree(w *Worker, t *Task) {
 	w.freelist = t      // want `owner-only field freelist accessed outside a Worker method`
 }
 
+func (w *Worker) traceFork() {
+	if w.rec != nil { // ok: nil comparison is the disabled-tracing fast path
+		w.rec.Fork() // ok: owner-path recording on the receiver
+	}
+}
+
+func (w *Worker) taskDone() {
+	w.rec.TaskEnd()   // ok: named deferred method, still the receiver
+	_ = w.rec.Tail(4) // ok: owner-side tail read for a panic report
+}
+
+func (w *Worker) badRecVictim(v *Worker) {
+	v.rec.Fork() // want `owner-only recorder method Fork called on v, which is not the owning receiver w`
+}
+
+func (w *Worker) badRecClosure() func() {
+	return func() {
+		w.rec.TaskEnd() // want `owner-only recorder method TaskEnd called inside a function literal`
+	}
+}
+
+func (w *Worker) badRecAlias() {
+	r := w.rec // want `rec field must not be aliased, passed, or compared`
+	_ = r
+}
+
+func (w *Worker) badRecMethodValue() func() {
+	return w.rec.Fork // want `owner-only recorder method Fork must be called directly, not bound as a method value`
+}
+
+func (w *Worker) unclassifiedRec() {
+	w.rec.Mystery() // want `recorder method Mystery is not classified as owner-only or thief-safe`
+}
+
 type Scheduler struct{ workers []*Worker }
 
 func (s *Scheduler) badFromScheduler() {
 	s.workers[0].dq.UnexposeAll() // want `owner-only deque method UnexposeAll called outside a Worker method`
+}
+
+func (s *Scheduler) goodSnapshotFromScheduler() ([]int, uint64) {
+	if s.workers[0].rec == nil { // ok: nil comparison from any goroutine
+		return nil, 0
+	}
+	s.workers[0].rec.ResetHists()       // ok: thief-safe
+	_ = s.workers[0].rec.Hist(0)        // ok: thief-safe
+	return s.workers[0].rec.Snapshot(0) // ok: freeze-protocol reader is thief-safe
+}
+
+func badRecFreeFunction(w *Worker) {
+	w.rec.TaskEnd() // want `owner-only recorder method TaskEnd called outside a Worker method`
 }
 
 func badFreeFunction(w *Worker) {

@@ -16,6 +16,7 @@ func Fork2(w *Worker, left, right func(*Worker)) {
 	rt := w.newTask()
 	want := rt.prepareFn(right)
 	w.push(rt)
+	w.traceFork()
 	left(w)
 	w.join(rt, want)
 }
@@ -91,6 +92,7 @@ func (w *Worker) forkRange(lo, hi, grain int, body func(*Worker, int)) {
 	rt := w.newTask()
 	want := rt.prepareRange(mid, hi, grain, body)
 	w.push(rt)
+	w.traceFork()
 	w.forkRange(lo, mid, grain, body)
 	w.join(rt, want)
 }

@@ -19,12 +19,26 @@ func TestWorkerFieldLayout(t *testing.T) {
 	if off := unsafe.Offsetof(w.pending); off >= cacheLineSize {
 		t.Errorf("pending at offset %d, want it on the first (thief-shared) cache line", off)
 	}
+	// The trace-latency stamps are thief-written like the two flags, so
+	// they must share the first line with them, not the owner-hot state.
+	for name, off := range map[string]uintptr{
+		"reqTs":     unsafe.Offsetof(w.reqTs),
+		"sigSendTs": unsafe.Offsetof(w.sigSendTs),
+	} {
+		if off >= cacheLineSize {
+			t.Errorf("thief-written stamp %s at offset %d, want it on the first cache line", name, off)
+		}
+		if off%8 != 0 {
+			t.Errorf("stamp %s at offset %d is not 8-byte aligned", name, off)
+		}
+	}
 	ownerFields := map[string]uintptr{
 		"sched":    unsafe.Offsetof(w.sched),
 		"dq":       unsafe.Offsetof(w.dq),
 		"ctr":      unsafe.Offsetof(w.ctr),
 		"rand":     unsafe.Offsetof(w.rand),
 		"freelist": unsafe.Offsetof(w.freelist),
+		"rec":      unsafe.Offsetof(w.rec),
 		"id":       unsafe.Offsetof(w.id),
 		"policy":   unsafe.Offsetof(w.policy),
 	}

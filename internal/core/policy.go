@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"lcws/internal/deque"
 )
@@ -90,14 +91,16 @@ func (p Policy) String() string {
 	return policyNames[p]
 }
 
-// ParsePolicy returns the policy with the given String name.
+// ParsePolicy returns the policy whose String name matches
+// case-insensitively, so flag values like "signal" or "ws" round-trip
+// with Policy.String.
 func ParsePolicy(name string) (Policy, error) {
 	for i, n := range policyNames {
-		if n == name {
+		if strings.EqualFold(n, name) {
 			return Policy(i), nil
 		}
 	}
-	if name == "User" { // figure-label alias for USLCWS
+	if strings.EqualFold(name, "User") { // figure-label alias for USLCWS
 		return USLCWS, nil
 	}
 	return 0, fmt.Errorf("core: unknown policy %q", name)

@@ -94,7 +94,13 @@ func TestDoubleFreePanics(t *testing.T) {
 		if r == nil {
 			t.Fatal("double free of a task did not panic")
 		}
-		msg, ok := r.(string)
+		// The panic unwound out of a running task, so Run wraps it in a
+		// TaskPanic carrying the worker id.
+		tp, ok := r.(*TaskPanic)
+		if !ok {
+			t.Fatalf("double free panicked with %T (%v), want *TaskPanic", r, r)
+		}
+		msg, ok := tp.Value.(string)
 		if !ok || !strings.Contains(msg, "double free") {
 			t.Fatalf("double free panicked with %v, want the recycling-discipline message", r)
 		}

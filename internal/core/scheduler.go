@@ -1,13 +1,19 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
+	"runtime/pprof"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lcws/internal/counters"
 	"lcws/internal/deque"
+	"lcws/internal/trace"
 )
 
 // Options configures a Scheduler.
@@ -48,6 +54,13 @@ type Options struct {
 	// extends the model as documented there (the WS baseline switches to
 	// the tag-bumping batched deque, whose owner pop CASes on every pop).
 	StealBatch bool
+	// Trace enables the flight recorder: each worker gets a fixed-
+	// capacity owner-write event ring (see internal/trace) plus online
+	// latency histograms, readable at any time via TraceSnapshot/Stats.
+	// nil (the default) disables tracing entirely — workers hold no
+	// recorder and every hook is a single nil check, preserving the
+	// fork fast path's zero-allocation and ns/fork properties.
+	Trace *trace.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +98,10 @@ type Scheduler struct {
 	// Worker.park).
 	parkWords []atomic.Uint64
 
+	// traceEpoch is the zero point of all trace timestamps; set once in
+	// NewScheduler when tracing is enabled.
+	traceEpoch time.Time
+
 	panicOnce sync.Once
 	panicked  atomic.Bool
 	panicVal  any
@@ -93,10 +110,51 @@ type Scheduler struct {
 // worker returns worker i of the slab.
 func (s *Scheduler) worker(i int) *Worker { return &s.workers[i].w }
 
-// recordPanic stores the first task panic of a Run; Run re-throws it.
-func (s *Scheduler) recordPanic(v any) {
+// TaskPanic is the value Run re-throws when a task function panics: the
+// original panic value wrapped with the id of the worker that was
+// executing the task and, when tracing is on, that worker's most recent
+// flight-recorder events — so the crash report says where the panic
+// happened and what the scheduler was doing just before.
+type TaskPanic struct {
+	// WorkerID is the worker whose goroutine the panicking task ran on.
+	WorkerID int
+	// Value is the original value passed to panic.
+	Value any
+	// Tail holds the panicking worker's last flight-recorder events
+	// (oldest first); nil when the scheduler was not tracing.
+	Tail []trace.Event
+}
+
+// Error renders the panic report; TaskPanic satisfies error so callers
+// recovering it can log it directly.
+func (p *TaskPanic) Error() string {
+	msg := fmt.Sprintf("lcws: task panic on worker %d: %v", p.WorkerID, p.Value)
+	if len(p.Tail) > 0 {
+		msg += fmt.Sprintf(" (last %d trace events", len(p.Tail))
+		for _, e := range p.Tail {
+			msg += fmt.Sprintf(" %s@%dns", e.Type, e.Ts)
+		}
+		msg += ")"
+	}
+	return msg
+}
+
+func (p *TaskPanic) String() string { return p.Error() }
+
+// Unwrap exposes the original panic value when it was an error, so
+// errors.Is/As work through a recovered TaskPanic.
+func (p *TaskPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// recordPanic stores the first task panic of a Run, wrapped with the
+// reporting worker's id and trace tail; Run re-throws it.
+func (s *Scheduler) recordPanic(id int, v any, tail []trace.Event) {
 	s.panicOnce.Do(func() {
-		s.panicVal = v
+		s.panicVal = &TaskPanic{WorkerID: id, Value: v, Tail: tail}
 		s.panicked.Store(true)
 	})
 }
@@ -111,6 +169,9 @@ func NewScheduler(opts Options) *Scheduler {
 		opts:    opts,
 		workers: make([]workerSlot, opts.Workers),
 		ctrs:    counters.NewSet(opts.Workers),
+	}
+	if opts.Trace != nil {
+		s.traceEpoch = time.Now() //lcws:presync constructor: worker goroutines have not started
 	}
 	if opts.StealBatch {
 		//lcws:presync constructor: worker goroutines have not started
@@ -230,6 +291,53 @@ func (s *Scheduler) WorkerCounters(id int) counters.Snapshot {
 // ResetCounters zeroes all instrumentation counters.
 func (s *Scheduler) ResetCounters() { s.ctrs.Reset() }
 
+// Tracing reports whether the scheduler was built with a flight
+// recorder (Options.Trace non-nil).
+func (s *Scheduler) Tracing() bool { return s.opts.Trace != nil }
+
+// TraceSnapshot decodes every worker's flight-recorder ring into one
+// merged, time-sorted event stream plus the aggregated latency
+// histograms. It is safe to call at any time, including concurrently
+// with a running Run: each ring is frozen for the instant it is read
+// (its owner drops — and counts — events that land in that window), so
+// the snapshot is race-free without stopping the world. On a scheduler
+// built without Options.Trace it returns an empty Trace.
+func (s *Scheduler) TraceSnapshot() trace.Trace {
+	t := trace.Trace{Policy: s.opts.Policy.String(), Workers: len(s.workers)}
+	if s.opts.Trace == nil {
+		return t
+	}
+	for i := range s.workers {
+		events, dropped := s.worker(i).rec.Snapshot(i)
+		t.Events = append(t.Events, events...)
+		t.Dropped += dropped
+		for l := 0; l < trace.NumLatencies; l++ {
+			t.Latencies[l] = t.Latencies[l].Add(s.worker(i).rec.Hist(l))
+		}
+	}
+	sort.SliceStable(t.Events, func(a, b int) bool { return t.Events[a].Ts < t.Events[b].Ts })
+	return t
+}
+
+// workerLabels builds the pprof label set attributing a worker's CPU
+// samples to the scheduling policy, the worker id, and its phase
+// ("root" for the caller's goroutine running the root task, "helper"
+// for the stealing helpers). Applied only when tracing is on.
+func (s *Scheduler) workerLabels(id int, phase string) pprof.LabelSet {
+	return pprof.Labels(
+		"lcws_policy", s.opts.Policy.String(),
+		"lcws_worker", strconv.Itoa(id),
+		"lcws_phase", phase,
+	)
+}
+
+// labeledHelp runs a helper worker's loop under its pprof labels.
+func (s *Scheduler) labeledHelp(w *Worker) {
+	pprof.Do(context.Background(), s.workerLabels(w.id, "helper"), func(context.Context) {
+		w.helpUntil(nil, 0)
+	})
+}
+
 // Run executes root to completion on the pool and returns when root and
 // every task it transitively forked have finished. Worker 0 executes root;
 // the remaining workers start stealing immediately.
@@ -249,7 +357,11 @@ func (s *Scheduler) Run(root func(*Worker)) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			w.helpUntil(nil, 0)
+			if s.opts.Trace != nil {
+				s.labeledHelp(w)
+			} else {
+				w.helpUntil(nil, 0)
+			}
 		}()
 	}
 
@@ -258,7 +370,16 @@ func (s *Scheduler) Run(root func(*Worker)) {
 	w0 := s.worker(0)
 	rootTask := w0.newTask()
 	rootTask.prepareFn(root)
-	w0.runTask(rootTask)
+	if s.opts.Trace != nil {
+		// Label the root's profiler samples like the helpers'; pprof.Do
+		// allocates, so the wrap is traced-only and Run stays
+		// allocation-free when tracing is off.
+		pprof.Do(context.Background(), s.workerLabels(0, "root"), func(context.Context) {
+			w0.runTask(rootTask)
+		})
+	} else {
+		w0.runTask(rootTask)
+	}
 	s.finished.Store(true)
 	if s.opts.StealBatch {
 		s.wakeAll()

@@ -315,12 +315,21 @@ func TestTaskPanicPropagatesToRun(t *testing.T) {
 	forEachPolicy(t, func(t *testing.T, p Policy) {
 		s := newTestScheduler(p, 3)
 		defer func() {
+			// recover() != nil still holds for existing callers; the
+			// value is now a TaskPanic wrapping the original.
 			r := recover()
 			if r == nil {
 				t.Fatal("Run did not re-throw the task panic")
 			}
-			if r != "boom" {
-				t.Fatalf("Run re-threw %v, want boom", r)
+			tp, ok := r.(*TaskPanic)
+			if !ok {
+				t.Fatalf("Run re-threw %T (%v), want *TaskPanic", r, r)
+			}
+			if tp.Value != "boom" {
+				t.Fatalf("Run re-threw TaskPanic.Value %v, want boom", tp.Value)
+			}
+			if tp.WorkerID < 0 || tp.WorkerID >= s.Workers() {
+				t.Fatalf("TaskPanic.WorkerID = %d, want a valid worker id", tp.WorkerID)
 			}
 		}()
 		s.Run(func(w *Worker) {

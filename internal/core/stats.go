@@ -1,0 +1,179 @@
+package core
+
+import (
+	"lcws/internal/counters"
+	"lcws/internal/trace"
+)
+
+// Stats aggregates the instrumentation of a scheduler: the
+// synchronization operations the reference C++ implementation would
+// execute (Fences, CAS — see internal/counters/model.go for the
+// counting model), scheduler-level event counts, and — when the
+// scheduler traces — the four derived latency histograms. The paper's
+// profiles (Figures 3 and 8) are ratios of the counter fields between
+// schedulers.
+//
+// Obtain one with Scheduler.Stats; interval deltas with Stats.Sub.
+type Stats struct {
+	// Fences counts memory fences per the counting model.
+	Fences uint64
+	// CAS counts compare-and-swap instructions per the counting model.
+	CAS uint64
+	// StealAttempts counts pop_top calls on victims.
+	StealAttempts uint64
+	// StealSuccesses counts steals that obtained a task.
+	StealSuccesses uint64
+	// StealPrivateWork counts steal attempts that found only private
+	// work and so notified the victim.
+	StealPrivateWork uint64
+	// StealAborts counts steal attempts that lost a CAS race.
+	StealAborts uint64
+	// Exposures counts tasks moved from private to public parts.
+	Exposures uint64
+	// ExposedNotStolen counts exposed tasks taken back by their owner.
+	ExposedNotStolen uint64
+	// SignalsSent counts emulated pthread_kill notifications.
+	SignalsSent uint64
+	// SignalsHandled counts exposure requests handled by owners.
+	SignalsHandled uint64
+	// IdleIterations counts scheduler iterations that found no work.
+	IdleIterations uint64
+	// ParkedNanos is the total time (ns) workers spent sleeping in the
+	// idle backoff, separating parked idle cost from busy idle spinning.
+	ParkedNanos uint64
+	// TasksExecuted counts tasks run to completion.
+	TasksExecuted uint64
+	// TasksPushed counts deque pushes.
+	TasksPushed uint64
+	// StealBatchTasks counts tasks transferred by batched steals
+	// (StealBatch mode); StealBatchTasks / StealSuccesses is the average
+	// claimed batch size.
+	StealBatchTasks uint64
+	// WakeupsSent counts parked thieves woken by work-producing events
+	// (StealBatch mode).
+	WakeupsSent uint64
+	// ParkCount counts semaphore parks in the idle parking lot
+	// (StealBatch mode); the time spent parked is in ParkedNanos.
+	ParkCount uint64
+	// TraceDrops counts flight-recorder events lost to ring wrap-around
+	// or snapshot freeze windows; always zero when tracing is off.
+	TraceDrops uint64
+
+	// The derived latency histograms, populated only on schedulers built
+	// with tracing (zero-valued otherwise). Like the counters they are
+	// exact only while no Run is in progress.
+
+	// StealToHit is the time from a thief's first fruitless steal
+	// attempt to its next successful steal.
+	StealToHit trace.Histogram
+	// FlagToExposure is the time from a thief setting a victim's
+	// targeted flag to the victim exposing work.
+	FlagToExposure trace.Histogram
+	// SignalToHandle is the time from an emulated signal send to the
+	// victim's handler running.
+	SignalToHandle trace.Histogram
+	// ParkDuration is the length of workers' idle-blocking episodes.
+	ParkDuration trace.Histogram
+}
+
+func statsFromSnapshot(sn counters.Snapshot) Stats {
+	return Stats{
+		Fences:           sn.Get(counters.Fence),
+		CAS:              sn.Get(counters.CAS),
+		StealAttempts:    sn.Get(counters.StealAttempt),
+		StealSuccesses:   sn.Get(counters.StealSuccess),
+		StealPrivateWork: sn.Get(counters.StealPrivate),
+		StealAborts:      sn.Get(counters.StealAbort),
+		Exposures:        sn.Get(counters.Exposure),
+		ExposedNotStolen: sn.Get(counters.ExposedNotStolen),
+		SignalsSent:      sn.Get(counters.SignalSent),
+		SignalsHandled:   sn.Get(counters.SignalHandled),
+		IdleIterations:   sn.Get(counters.IdleIteration),
+		ParkedNanos:      sn.Get(counters.ParkedNanos),
+		TasksExecuted:    sn.Get(counters.TaskExecuted),
+		TasksPushed:      sn.Get(counters.TaskPushed),
+		StealBatchTasks:  sn.Get(counters.StealBatchTasks),
+		WakeupsSent:      sn.Get(counters.WakeupsSent),
+		ParkCount:        sn.Get(counters.ParkCount),
+		TraceDrops:       sn.Get(counters.TraceDrop),
+	}
+}
+
+// Stats returns the counters — and, when tracing, the latency
+// histograms — accumulated since the scheduler's creation or the last
+// ResetStats. Exact only while no Run is in progress (the per-worker
+// counters are owner-written without synchronization).
+func (s *Scheduler) Stats() Stats {
+	st := statsFromSnapshot(s.ctrs.Snapshot())
+	if s.opts.Trace != nil {
+		for i := range s.workers {
+			st.StealToHit = st.StealToHit.Add(s.worker(i).rec.Hist(trace.LatStealToHit))
+			st.FlagToExposure = st.FlagToExposure.Add(s.worker(i).rec.Hist(trace.LatFlagToExpose))
+			st.SignalToHandle = st.SignalToHandle.Add(s.worker(i).rec.Hist(trace.LatSignalToHandle))
+			st.ParkDuration = st.ParkDuration.Add(s.worker(i).rec.Hist(trace.LatPark))
+		}
+	}
+	return st
+}
+
+// ResetStats zeroes the scheduler's counters and latency histograms
+// (the flight-recorder rings are untouched; they age out on their own).
+func (s *Scheduler) ResetStats() {
+	s.ctrs.Reset()
+	if s.opts.Trace != nil {
+		for i := range s.workers {
+			s.worker(i).rec.ResetHists()
+		}
+	}
+}
+
+// Sub returns the interval delta st - prev: counter fields are
+// subtracted (clamped at zero, so a reset between the two snapshots
+// cannot wrap), histograms via Histogram.Sub. Use it to profile one
+// phase of a long-lived scheduler:
+//
+//	before := s.Stats()
+//	s.Run(phase)
+//	delta := s.Stats().Sub(before)
+func (st Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Fences:           clampSub(st.Fences, prev.Fences),
+		CAS:              clampSub(st.CAS, prev.CAS),
+		StealAttempts:    clampSub(st.StealAttempts, prev.StealAttempts),
+		StealSuccesses:   clampSub(st.StealSuccesses, prev.StealSuccesses),
+		StealPrivateWork: clampSub(st.StealPrivateWork, prev.StealPrivateWork),
+		StealAborts:      clampSub(st.StealAborts, prev.StealAborts),
+		Exposures:        clampSub(st.Exposures, prev.Exposures),
+		ExposedNotStolen: clampSub(st.ExposedNotStolen, prev.ExposedNotStolen),
+		SignalsSent:      clampSub(st.SignalsSent, prev.SignalsSent),
+		SignalsHandled:   clampSub(st.SignalsHandled, prev.SignalsHandled),
+		IdleIterations:   clampSub(st.IdleIterations, prev.IdleIterations),
+		ParkedNanos:      clampSub(st.ParkedNanos, prev.ParkedNanos),
+		TasksExecuted:    clampSub(st.TasksExecuted, prev.TasksExecuted),
+		TasksPushed:      clampSub(st.TasksPushed, prev.TasksPushed),
+		StealBatchTasks:  clampSub(st.StealBatchTasks, prev.StealBatchTasks),
+		WakeupsSent:      clampSub(st.WakeupsSent, prev.WakeupsSent),
+		ParkCount:        clampSub(st.ParkCount, prev.ParkCount),
+		TraceDrops:       clampSub(st.TraceDrops, prev.TraceDrops),
+		StealToHit:       st.StealToHit.Sub(prev.StealToHit),
+		FlagToExposure:   st.FlagToExposure.Sub(prev.FlagToExposure),
+		SignalToHandle:   st.SignalToHandle.Sub(prev.SignalToHandle),
+		ParkDuration:     st.ParkDuration.Sub(prev.ParkDuration),
+	}
+}
+
+func clampSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// UnstolenFraction returns the fraction of exposed tasks that were not
+// stolen (Figures 3d and 8d), or 0 when nothing was exposed.
+func (st Stats) UnstolenFraction() float64 {
+	if st.Exposures == 0 {
+		return 0
+	}
+	return float64(st.ExposedNotStolen) / float64(st.Exposures)
+}

@@ -9,6 +9,7 @@ import (
 	"lcws/internal/counters"
 	"lcws/internal/deque"
 	"lcws/internal/rng"
+	"lcws/internal/trace"
 )
 
 // cacheLineSize is the assumed cache-line size used to segregate
@@ -39,7 +40,19 @@ type Worker struct {
 	// handler at its next poll point.
 	pending atomic.Bool
 
-	_ [cacheLineSize - 2*unsafe.Sizeof(atomic.Bool{})]byte
+	_ [6]byte // align the trace stamps below to 8 bytes
+
+	// reqTs and sigSendTs are trace-latency stamps, live only when the
+	// scheduler traces: a thief that sets this worker's targeted flag
+	// stamps reqTs (CAS from zero, so the first requester of a targeted
+	// window wins), and the signal sender stamps sigSendTs; the owner
+	// Swap(0)s them when it exposes/handles and observes the deltas into
+	// its latency histograms. They are thief-written like the two flags
+	// above, hence on this line rather than with the owner-hot state.
+	reqTs     atomic.Int64
+	sigSendTs atomic.Int64
+
+	_ [cacheLineSize - 2*unsafe.Sizeof(atomic.Bool{}) - 6 - 2*unsafe.Sizeof(atomic.Int64{})]byte
 
 	// Owner-hot state: written only by this worker's own goroutine (or
 	// by scheduler setup code before that goroutine exists).
@@ -47,7 +60,8 @@ type Worker struct {
 	dq         taskDeque
 	ctr        *counters.Worker
 	rand       *rng.Xoshiro256
-	freelist   *Task // owner-only recycled tasks; see newTask/freeTask
+	freelist   *Task           // owner-only recycled tasks; see newTask/freeTask
+	rec        *trace.Recorder // owner-only flight recorder; nil = tracing off
 	id         int
 	sinceYield int           // tasks executed since the last cooperative yield
 	yieldEvery int           // cached Options.YieldEvery (0 = never)
@@ -101,6 +115,9 @@ func (w *Worker) init(id int, s *Scheduler, dq taskDeque, opts Options) {
 	if opts.StealBatch {
 		w.parkSem = make(chan struct{}, 1)
 	}
+	if opts.Trace != nil {
+		w.rec = trace.NewRecorder(*opts.Trace, s.traceEpoch, w.ctr)
+	}
 }
 
 // resetForRun clears per-run scheduling state. It runs at the top of
@@ -112,6 +129,11 @@ func (w *Worker) init(id int, s *Scheduler, dq taskDeque, opts Options) {
 func (w *Worker) resetForRun() {
 	w.targeted.Store(false)
 	w.pending.Store(false)
+	w.reqTs.Store(0)
+	w.sigSendTs.Store(0)
+	if w.rec != nil {
+		w.rec.ResetRun()
+	}
 	w.idleSpins = 0
 	w.idleSleep = 0
 	w.pollCount = 0
@@ -167,6 +189,9 @@ func (w *Worker) Checkpoint() {
 		w.pending.Store(false)
 		w.ctr.Inc(counters.SignalHandled)
 		n := w.dq.Expose(w.policy.exposeMode(), w.ctr)
+		if w.rec != nil {
+			w.rec.SignalHandle(n, w.sigSendTs.Swap(0), w.reqTs.Swap(0))
+		}
 		if n > 0 && w.batch {
 			// Work just became public; unpark a thief to take it.
 			w.sched.wakeOne(w.ctr)
@@ -207,13 +232,14 @@ func (w *Worker) runLeaf(lo, hi int, body func(*Worker, int)) {
 // still counts as done so joins waiting on it cannot hang. runTask never
 // frees t: recycling is the forking worker's job, at its join point.
 func (w *Worker) runTask(t *Task) {
-	defer func() {
-		if r := recover(); r != nil {
-			w.sched.recordPanic(r)
+	if w.rec != nil {
+		if t.fn != nil {
+			w.rec.TaskBegin(0)
+		} else {
+			w.rec.TaskBegin(1)
 		}
-		t.complete()
-		w.ctr.Inc(counters.TaskExecuted)
-	}()
+	}
+	defer w.taskDone(t)
 	if t.fn != nil {
 		t.fn(w)
 	} else {
@@ -228,6 +254,23 @@ func (w *Worker) runTask(t *Task) {
 	}
 }
 
+// taskDone is runTask's deferred epilogue: capture a task panic (with
+// this worker's id and recent trace history), close the task's trace
+// span, and mark the task complete. It is a named Worker method rather
+// than a closure so its owner-only accesses (rec, freelist-class state)
+// verifiably run on the owner's goroutine; recover works here because
+// taskDone is itself the deferred function.
+func (w *Worker) taskDone(t *Task) {
+	if r := recover(); r != nil {
+		w.sched.recordPanic(w.id, r, w.traceTail())
+	}
+	if w.rec != nil {
+		w.rec.TaskEnd()
+	}
+	t.complete()
+	w.ctr.Inc(counters.TaskExecuted)
+}
+
 // runInline executes a forked task that its own join popped back
 // un-stolen. It differs from runTask in one way: the completion stamp is
 // not stored. No other worker holds a reference that waits on it — the
@@ -237,13 +280,11 @@ func (w *Worker) runTask(t *Task) {
 // join free of its last atomic RMW; the stamp scheme stays sound because
 // a later incarnation of the task waits for a strictly greater stamp
 // value than any this incarnation could have stored (see Task).
+// Inline siblings run inside their parent's task span: runInline is
+// the per-fork fast path, so it deliberately records no begin/end
+// events of its own (see DESIGN.md §9 on enabled-tracing overhead).
 func (w *Worker) runInline(t *Task) {
-	defer func() {
-		if r := recover(); r != nil {
-			w.sched.recordPanic(r)
-		}
-		w.ctr.Inc(counters.TaskExecuted)
-	}()
+	defer w.inlineDone()
 	if t.fn != nil {
 		t.fn(w)
 	} else {
@@ -255,6 +296,41 @@ func (w *Worker) runInline(t *Task) {
 			w.sinceYield = 0
 			runtime.Gosched()
 		}
+	}
+}
+
+// inlineDone is runInline's deferred epilogue; unlike taskDone it skips
+// the completion stamp (see runInline) and the trace span close.
+func (w *Worker) inlineDone() {
+	if r := recover(); r != nil {
+		w.sched.recordPanic(w.id, r, w.traceTail())
+	}
+	w.ctr.Inc(counters.TaskExecuted)
+}
+
+// panicTailEvents is how many trailing flight-recorder events a task
+// panic carries in its TaskPanic report.
+const panicTailEvents = 16
+
+// traceTail returns this worker's most recent flight-recorder events
+// for a panic report (nil when tracing is off). Owner-only.
+func (w *Worker) traceTail() []trace.Event {
+	if w.rec == nil {
+		return nil
+	}
+	tail := w.rec.Tail(panicTailEvents)
+	for i := range tail {
+		tail[i].Worker = w.id
+	}
+	return tail
+}
+
+// traceFork records a fork event when tracing is on; the fork entry
+// points (Fork2, forkRange) call it instead of touching rec directly so
+// the owner-only access stays inside a Worker method.
+func (w *Worker) traceFork() {
+	if w.rec != nil {
+		w.rec.Fork()
 	}
 }
 
@@ -291,7 +367,11 @@ func (w *Worker) popLocal() *Task {
 			// Listing 1 lines 9–12: handle the notification at the
 			// task boundary (USLCWS; Lace behaves the same way).
 			w.targeted.Store(false)
-			if w.dq.Expose(w.policy.exposeMode(), w.ctr) > 0 && w.batch {
+			n := w.dq.Expose(w.policy.exposeMode(), w.ctr)
+			if w.rec != nil {
+				w.rec.Exposed(n, w.reqTs.Swap(0))
+			}
+			if n > 0 && w.batch {
 				w.sched.wakeOne(w.ctr)
 			}
 		}
@@ -305,7 +385,10 @@ func (w *Worker) popLocal() *Task {
 		// word, which is unsound against an in-flight PopTopHalf (a
 		// stalled thief's CAS could re-claim an owner-consumed slot);
 		// UnexposeAll's tag-bump CAS invalidates such claims first.
-		if w.dq.UnexposeAll(w.ctr) > 0 {
+		if n := w.dq.UnexposeAll(w.ctr); n > 0 {
+			if w.rec != nil {
+				w.rec.Repair(n)
+			}
 			if w.policy.SignalBased() {
 				// §4: tasks were removed from the public part; allow
 				// new notifications.
@@ -397,6 +480,9 @@ func (w *Worker) stealOnce() *Task {
 	}
 	v := w.sched.worker(vid)
 	w.ctr.Inc(counters.StealAttempt)
+	if w.rec != nil {
+		w.rec.StealAttempt(vid)
+	}
 	if w.batch {
 		return w.stealFromBatched(v, vid)
 	}
@@ -404,6 +490,9 @@ func (w *Worker) stealOnce() *Task {
 	switch res {
 	case deque.Stolen:
 		w.ctr.Inc(counters.StealSuccess)
+		if w.rec != nil {
+			w.rec.StealHit(vid, 1)
+		}
 		if w.policy.SignalBased() {
 			// §4: a task was removed from the victim's public part;
 			// allow new notifications to it.
@@ -436,6 +525,9 @@ func (w *Worker) stealFromBatched(v *Worker, vid int) *Task {
 	case deque.Stolen:
 		w.ctr.Inc(counters.StealSuccess)
 		w.ctr.Add(counters.StealBatchTasks, uint64(nTasks))
+		if w.rec != nil {
+			w.rec.StealHit(vid, nTasks)
+		}
 		w.sticky = int32(vid)
 		if w.policy.SignalBased() {
 			// §4: tasks were removed from the victim's public part;
@@ -481,18 +573,46 @@ func (w *Worker) stealFromBatched(v *Worker, vid int) *Task {
 func (w *Worker) notify(v *Worker) {
 	switch w.policy {
 	case USLCWS, LaceWS:
+		w.traceExposeReq(v)
 		v.targeted.Store(true)
 	case SignalLCWS, HalfLCWS:
 		if v.targeted.CompareAndSwap(false, true) {
+			w.traceSignalSend(v)
 			v.pending.Store(true)
 			w.ctr.Inc(counters.SignalSent)
 		}
 	case ConsLCWS:
 		if v.dq.HasTwoTasks() && v.targeted.CompareAndSwap(false, true) {
+			w.traceSignalSend(v)
 			v.pending.Store(true)
 			w.ctr.Inc(counters.SignalSent)
 		}
 	}
+}
+
+// traceExposeReq records an exposure request against victim v and
+// stamps v's request word (CAS from zero: the first requester of a
+// targeted window anchors the flag-to-exposure latency). No-op when
+// tracing is off.
+func (w *Worker) traceExposeReq(v *Worker) {
+	if w.rec == nil {
+		return
+	}
+	ts := w.rec.ExposeRequest(v.id)
+	v.reqTs.CompareAndSwap(0, ts)
+}
+
+// traceSignalSend records the emulated signal to victim v and stamps
+// v's signal word; the caller is the CAS winner of v's targeted window
+// and invokes this before setting v.pending, so the victim's handler
+// observes the stamp. No-op when tracing is off.
+func (w *Worker) traceSignalSend(v *Worker) {
+	if w.rec == nil {
+		return
+	}
+	ts := w.rec.ExposeRequest(v.id)
+	v.reqTs.CompareAndSwap(0, ts)
+	v.sigSendTs.Store(w.rec.SignalSend(v.id))
 }
 
 // Idle-backoff schedule: a short burst of pure spins keeps steal latency
@@ -530,9 +650,16 @@ func (w *Worker) idleBackoff(canPark bool) {
 		if d < idleSleepMin {
 			d = idleSleepMin
 		}
+		var pstart int64
+		if w.rec != nil {
+			pstart = w.rec.ParkStart(0)
+		}
 		start := time.Now()
 		time.Sleep(d)
 		w.ctr.Add(counters.ParkedNanos, uint64(time.Since(start)))
+		if w.rec != nil {
+			w.rec.ParkEnd(0, pstart)
+		}
 		d *= 2
 		if d > idleSleepMax {
 			d = idleSleepMax
@@ -578,12 +705,19 @@ func (w *Worker) park() {
 	} else {
 		w.parkTimer.Reset(idleSleepMax)
 	}
+	var pstart int64
+	if w.rec != nil {
+		pstart = w.rec.ParkStart(1)
+	}
 	start := time.Now()
 	select {
 	case <-w.parkSem:
 	case <-w.parkTimer.C:
 	}
 	w.ctr.Add(counters.ParkedNanos, uint64(time.Since(start)))
+	if w.rec != nil {
+		w.rec.ParkEnd(1, pstart)
+	}
 	if !w.parkTimer.Stop() {
 		// Timer already fired; drain its channel if the wakeup came
 		// from the semaphore (pre-1.23 timer discipline).
@@ -627,7 +761,14 @@ func (w *Worker) next(join *Task, want uint32) *Task {
 		if t := w.popLocal(); t != nil {
 			w.idleSpins = 0
 			w.idleSleep = 0
+			if w.rec != nil {
+				w.rec.LocalWork()
+			}
 			return t
+		}
+		if w.rec != nil && w.idleSpins == 0 {
+			// First fruitless local pop of this idle episode.
+			w.rec.DequeEmpty()
 		}
 		if w.policy.flagBased() {
 			// Listing 1 line 17: nothing local to expose; clear the

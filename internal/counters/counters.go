@@ -73,6 +73,10 @@ const (
 	// event-driven idle parking lot (StealBatch mode); the time spent
 	// parked accumulates in ParkedNanos as with the sleep ladder.
 	ParkCount
+	// TraceDrop counts flight-recorder events lost to ring wrap-around
+	// or to a concurrent snapshot's freeze window. Zero when tracing is
+	// off or the per-worker ring never filled.
+	TraceDrop
 
 	numEvents
 )
@@ -99,6 +103,7 @@ var eventNames = [...]string{
 	StealBatchTasks:  "steal_batch_tasks",
 	WakeupsSent:      "wakeups_sent",
 	ParkCount:        "park_count",
+	TraceDrop:        "trace_drops",
 }
 
 // String returns the snake_case name of the event.

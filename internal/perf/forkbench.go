@@ -115,7 +115,7 @@ func measure(s *lcws.Scheduler, bench string, rounds, reps int, run func()) Resu
 	first := true
 	for rep := 0; rep < reps; rep++ {
 		run() // warm-up: freelists, deques, code paths
-		lcws.ResetStats(s)
+		s.ResetStats()
 		refBefore := quickReference()
 		runtime.ReadMemStats(&ms)
 		mallocs := ms.Mallocs
@@ -127,7 +127,7 @@ func measure(s *lcws.Scheduler, bench string, rounds, reps int, run func()) Resu
 		runtime.ReadMemStats(&ms)
 		mallocs = ms.Mallocs - mallocs
 		refAfter := quickReference()
-		st := lcws.StatsOf(s)
+		st := s.Stats()
 		forks := st.TasksPushed
 		if forks == 0 {
 			continue

@@ -175,7 +175,7 @@ func MeasureStealLatency(pol lcws.Policy, batch bool, bursts, reps int) StealMod
 			res.AllocsPerBurst = float64(mallocs) / float64(bursts)
 		}
 	}
-	st := lcws.StatsOf(s)
+	st := s.Stats()
 	res.Steals = st.StealSuccesses
 	res.StealBatchTasks = st.StealBatchTasks
 	res.WakeupsSent = st.WakeupsSent

@@ -1,0 +1,65 @@
+package perf
+
+import (
+	"testing"
+)
+
+// traceOverheadResult memoizes the (expensive) overhead measurement so
+// the two gates below share one run.
+var traceOverheadResult *TraceOverhead
+
+func traceOverhead(t *testing.T) TraceOverhead {
+	t.Helper()
+	if traceOverheadResult != nil {
+		return *traceOverheadResult
+	}
+	r := MeasureTraceOverhead(50, 3)
+	if r.UntracedNorm == 0 || r.TracedNorm == 0 {
+		t.Fatal("trace-overhead measurement produced no forks")
+	}
+	traceOverheadResult = &r
+	return r
+}
+
+// TestTraceOverheadGate bounds the enabled-tracing slowdown of the fork
+// path: with the flight recorder on, the load-normalized cost per split
+// of the grain-512 ParFor sum must stay within TraceOverheadGate of the
+// untraced cost. (The disabled-tracing cost is gated separately — and
+// at zero — by the existing forkbench baselines, which run untraced.)
+func TestTraceOverheadGate(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("timing gate is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short mode")
+	}
+	r := traceOverhead(t)
+	t.Logf("traced/untraced norm ratio = %.3f (%.1f → %.1f ns/fork raw)",
+		r.Ratio, r.NsPerForkUntraced, r.NsPerForkTraced)
+	if r.Ratio > TraceOverheadGate {
+		t.Errorf("enabled tracing slows pfor-sum forks by %.1f%%, gate is %.0f%%",
+			(r.Ratio-1)*100, (TraceOverheadGate-1)*100)
+	}
+}
+
+// TestTraceZeroAllocsPerEvent gates the recorder's allocation contract:
+// recording an event into the owner-write ring must not allocate. The
+// small budget absorbs the per-Run pprof-label setup amortized over the
+// thousands of events each spawn-tree Run records.
+func TestTraceZeroAllocsPerEvent(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("allocation counts are distorted by the race detector")
+	}
+	if testing.Short() {
+		t.Skip("measurement skipped in -short mode")
+	}
+	r := traceOverhead(t)
+	if r.EventsPerRound == 0 {
+		t.Fatal("traced spawn tree recorded no events")
+	}
+	t.Logf("%.0f events/round, %.4f allocs/event", r.EventsPerRound, r.AllocsPerEvent)
+	if r.AllocsPerEvent > TraceAllocGate {
+		t.Errorf("recording allocates: %.4f allocs/event, gate is %.2f",
+			r.AllocsPerEvent, TraceAllocGate)
+	}
+}

@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace is a decoded flight-recorder snapshot of one scheduler: the
+// merged event streams of all workers plus the derived latency
+// histograms. Scheduler.TraceSnapshot returns one.
+type Trace struct {
+	// Policy is the scheduling policy's String() form.
+	Policy string `json:"policy"`
+	// Workers is the pool size P.
+	Workers int `json:"workers"`
+	// Dropped is the total number of events lost across all workers
+	// (ring wrap-around plus snapshot freeze windows).
+	Dropped uint64 `json:"dropped"`
+	// Events holds all workers' events merged and sorted by Ts.
+	Events []Event `json:"events"`
+	// Latencies are the four derived histograms (Lat* indices),
+	// aggregated across workers.
+	Latencies [NumLatencies]Histogram `json:"latencies"`
+}
+
+// Hist returns the aggregated histogram for latency index which.
+func (t *Trace) Hist(which int) Histogram { return t.Latencies[which] }
+
+// chromeEvent is one entry of the Chrome trace_event "traceEvents"
+// array. ts/dur are microseconds (float permitted by the format).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+const chromePid = 1
+
+func toMicros(ns int64) float64 { return float64(ns) / 1e3 }
+
+// spanNames maps the span-opening event types to their display names.
+var spanNames = map[EventType]string{
+	EvTaskBegin: "task",
+	EvPark:      "park",
+}
+
+// instantName returns the display name and args of a non-span event.
+func instantName(e Event) (string, map[string]any) {
+	switch e.Type {
+	case EvFork:
+		return "fork", nil
+	case EvStealAttempt:
+		return "steal.attempt", map[string]any{"victim": e.Arg}
+	case EvStealHit:
+		return "steal.hit", map[string]any{"victim": e.Arg, "tasks": e.Arg2}
+	case EvExposeReq:
+		return "expose.request", map[string]any{"victim": e.Arg}
+	case EvSignalSend:
+		return "signal.send", map[string]any{"victim": e.Arg}
+	case EvSignalHandle:
+		return "signal.handle", map[string]any{"exposed": e.Arg}
+	case EvExpose:
+		return "expose", map[string]any{"exposed": e.Arg}
+	case EvDequeEmpty:
+		return "deque.empty", nil
+	case EvRepair:
+		return "repair", map[string]any{"reclaimed": e.Arg}
+	default:
+		return e.Type.String(), nil
+	}
+}
+
+// WriteChrome writes the trace in Chrome trace_event JSON (object
+// form), loadable by Perfetto and chrome://tracing. Task-run and park
+// episodes become duration ("B"/"E") spans, everything else
+// thread-scoped instants; the aggregated latency histograms, policy and
+// drop count ride in "otherData". Unbalanced spans — a snapshot can
+// open a span whose end fell outside the ring, or cut off a still-open
+// one — are repaired: orphan ends are dropped, dangling begins closed
+// at the trace's last timestamp.
+func WriteChrome(w io.Writer, t *Trace) error {
+	var lastTs int64
+	for _, e := range t.Events {
+		if e.Ts > lastTs {
+			lastTs = e.Ts
+		}
+	}
+
+	out := chromeFile{
+		TraceEvents:     make([]chromeEvent, 0, len(t.Events)+2*t.Workers+2),
+		DisplayTimeUnit: "ns",
+		OtherData: map[string]any{
+			"policy":  t.Policy,
+			"workers": t.Workers,
+			"dropped": t.Dropped,
+			"histograms": func() map[string]Histogram {
+				m := make(map[string]Histogram, NumLatencies)
+				for i := 0; i < NumLatencies; i++ {
+					m[LatencyName(i)] = t.Latencies[i]
+				}
+				return m
+			}(),
+		},
+	}
+
+	// Metadata: one process row per scheduler, one thread row per worker.
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": "lcws " + t.Policy},
+	})
+	for i := 0; i < t.Workers; i++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: i,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", i)},
+		})
+	}
+
+	// Per-worker span-depth tracking for the balancing pass. Task and
+	// park spans cannot interleave on one worker (parking happens only
+	// between tasks), so a single per-worker stack suffices.
+	type open struct{ name string }
+	stacks := make(map[int][]open, t.Workers)
+
+	for _, e := range t.Events {
+		switch e.Type {
+		case EvTaskBegin, EvPark:
+			name := spanNames[e.Type]
+			if e.Type == EvTaskBegin && e.Arg == 1 {
+				name = "task.range"
+			}
+			if e.Type == EvPark && e.Arg == 1 {
+				name = "park.sema"
+			}
+			stacks[e.Worker] = append(stacks[e.Worker], open{name})
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: name, Ph: "B", Ts: toMicros(e.Ts), Pid: chromePid, Tid: e.Worker,
+			})
+		case EvTaskEnd, EvUnpark:
+			st := stacks[e.Worker]
+			if len(st) == 0 {
+				continue // orphan end: its begin predates the ring
+			}
+			top := st[len(st)-1]
+			stacks[e.Worker] = st[:len(st)-1]
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: top.name, Ph: "E", Ts: toMicros(e.Ts), Pid: chromePid, Tid: e.Worker,
+			})
+		default:
+			name, args := instantName(e)
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: name, Ph: "i", Ts: toMicros(e.Ts), Pid: chromePid, Tid: e.Worker,
+				Scope: "t", Args: args,
+			})
+		}
+	}
+	// Close dangling spans at the trace's end so viewers render them.
+	for tid, st := range stacks {
+		for i := len(st) - 1; i >= 0; i-- {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: st[i].name, Ph: "E", Ts: toMicros(lastTs), Pid: chromePid, Tid: tid,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// WriteChrome writes the trace to w in Chrome trace_event JSON.
+func (t *Trace) WriteChrome(w io.Writer) error { return WriteChrome(w, t) }
+
+// ValidateChrome checks that r holds a Chrome trace_event JSON object
+// the viewers will accept: a non-empty traceEvents array in which every
+// entry has the required name/ph/pid/tid fields and — for non-metadata
+// phases — a ts, and in which every B has a matching E per thread. CI's
+// trace-smoke job runs it over lcwsbench -trace output.
+func ValidateChrome(r io.Reader) error {
+	var f struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("trace: invalid JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("trace: traceEvents is empty")
+	}
+	depth := map[int]int{}
+	for i, e := range f.TraceEvents {
+		var ph, name string
+		if raw, ok := e["ph"]; !ok || json.Unmarshal(raw, &ph) != nil || ph == "" {
+			return fmt.Errorf("trace: event %d: missing or invalid ph", i)
+		}
+		if raw, ok := e["name"]; !ok || json.Unmarshal(raw, &name) != nil || name == "" {
+			return fmt.Errorf("trace: event %d: missing or invalid name", i)
+		}
+		for _, key := range []string{"pid", "tid"} {
+			var n float64
+			if raw, ok := e[key]; !ok || json.Unmarshal(raw, &n) != nil {
+				return fmt.Errorf("trace: event %d (%s): missing or invalid %s", i, name, key)
+			}
+		}
+		var ts float64
+		if raw, ok := e["ts"]; !ok || json.Unmarshal(raw, &ts) != nil {
+			if ph != "M" { // metadata events need no timestamp
+				return fmt.Errorf("trace: event %d (%s, ph=%s): missing or invalid ts", i, name, ph)
+			}
+		}
+		var tid float64
+		if raw, ok := e["tid"]; ok {
+			_ = json.Unmarshal(raw, &tid)
+		}
+		switch ph {
+		case "B":
+			depth[int(tid)]++
+		case "E":
+			depth[int(tid)]--
+			if depth[int(tid)] < 0 {
+				return fmt.Errorf("trace: event %d (%s): E without matching B on tid %d", i, name, int(tid))
+			}
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			return fmt.Errorf("trace: %d unclosed B span(s) on tid %d", d, tid)
+		}
+	}
+	return nil
+}

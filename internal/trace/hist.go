@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+)
+
+// The derived scheduler latencies, each backed by one Histogram per
+// worker. Indices into Recorder.hists and Trace.Latencies.
+const (
+	// LatStealToHit is the time from a thief's first fruitless steal
+	// attempt of a search to its next successful steal.
+	LatStealToHit = iota
+	// LatFlagToExpose is the time from a thief setting a victim's
+	// targeted flag to the victim exposing work (at a task boundary or
+	// in the signal handler).
+	LatFlagToExpose
+	// LatSignalToHandle is the time from an emulated signal send to the
+	// victim running its exposure handler.
+	LatSignalToHandle
+	// LatPark is the duration of one idle-blocking episode (backoff
+	// sleep or semaphore park).
+	LatPark
+
+	NumLatencies
+)
+
+var latencyNames = [NumLatencies]string{
+	LatStealToHit:     "steal_to_hit",
+	LatFlagToExpose:   "flag_to_exposure",
+	LatSignalToHandle: "signal_to_handle",
+	LatPark:           "park_duration",
+}
+
+// LatencyName returns the snake_case name of latency index which.
+func LatencyName(which int) string {
+	if which < 0 || which >= NumLatencies {
+		return fmt.Sprintf("latency(%d)", which)
+	}
+	return latencyNames[which]
+}
+
+// HistBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations in [2^(i-1), 2^i) ns (bucket 0 counts 0 ns), so
+// the top bucket absorbs everything from ~9 minutes up.
+const HistBuckets = 40
+
+// Histogram is a power-of-two-bucketed latency histogram in
+// nanoseconds. The zero value is an empty histogram ready for use. Like
+// the scheduler's counters it is written owner-locally without
+// synchronization, so cross-worker aggregates are exact only after the
+// run quiesces.
+type Histogram struct {
+	Count   uint64              `json:"count"`
+	Sum     uint64              `json:"sum_ns"`
+	Min     uint64              `json:"min_ns"`
+	Max     uint64              `json:"max_ns"`
+	Buckets [HistBuckets]uint64 `json:"buckets"`
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(ns uint64) int {
+	b := bits.Len64(ns)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// bucketMid returns a representative value (geometric midpoint) for
+// bucket i, used by Quantile.
+func bucketMid(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	lo := uint64(1) << uint(i-1)
+	return lo + lo/2
+}
+
+// Observe records one latency sample. Negative samples (possible only
+// via clock anomalies) are clamped to zero rather than corrupting the
+// bucket index.
+func (h *Histogram) Observe(ns int64) {
+	v := uint64(0)
+	if ns > 0 {
+		v = uint64(ns)
+	}
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.Buckets[bucketOf(v)]++
+}
+
+// Add returns the merge of h and other (bucket-wise sum, Min/Max
+// widened).
+func (h Histogram) Add(other Histogram) Histogram {
+	out := h
+	if other.Count > 0 {
+		if out.Count == 0 || other.Min < out.Min {
+			out.Min = other.Min
+		}
+		if other.Max > out.Max {
+			out.Max = other.Max
+		}
+		out.Count += other.Count
+		out.Sum += other.Sum
+		for i := range out.Buckets {
+			out.Buckets[i] += other.Buckets[i]
+		}
+	}
+	return out
+}
+
+// Sub returns the interval delta h - prev with counts clamped at zero
+// (a reset between the snapshots cannot produce wrapped counts). Min
+// and Max cannot be un-merged, so the later snapshot's extrema carry
+// over: they bound, rather than equal, the interval's extrema.
+func (h Histogram) Sub(prev Histogram) Histogram {
+	out := h
+	out.Count = clampSub(h.Count, prev.Count)
+	out.Sum = clampSub(h.Sum, prev.Sum)
+	for i := range out.Buckets {
+		out.Buckets[i] = clampSub(h.Buckets[i], prev.Buckets[i])
+	}
+	if out.Count == 0 {
+		out.Min, out.Max = 0, 0
+	}
+	return out
+}
+
+func clampSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// Mean returns the mean sample in nanoseconds, or 0 for an empty
+// histogram.
+func (h Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1) in
+// nanoseconds, interpolated from the bucket boundaries; the extremes
+// are clamped to the recorded Min/Max.
+func (h Histogram) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Count)
+	cum := uint64(0)
+	for i, c := range h.Buckets {
+		cum += c
+		if float64(cum) >= rank {
+			v := bucketMid(i)
+			if v < h.Min {
+				v = h.Min
+			}
+			if v > h.Max {
+				v = h.Max
+			}
+			return v
+		}
+	}
+	return h.Max
+}
+
+// String renders a compact one-line summary.
+func (h Histogram) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%s p50=%s p99=%s max=%s",
+		h.Count, fmtNs(uint64(h.Mean())), fmtNs(h.Quantile(0.50)),
+		fmtNs(h.Quantile(0.99)), fmtNs(h.Max))
+	return b.String()
+}
+
+// atomicHist is the recorder-internal histogram: the same buckets as
+// Histogram with every word atomic, so Scheduler.Stats and
+// TraceSnapshot can read it concurrently with the owner's observe
+// without a data race. The owning worker is the only writer, so its
+// updates are plain load + atomic store pairs — no RMW instructions —
+// and cross-field consistency (count vs sum) is only guaranteed after
+// the run quiesces, the same contract as the counters.
+type atomicHist struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64
+	max     atomic.Uint64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// observe records one sample; owner-only.
+func (h *atomicHist) observe(ns int64) {
+	v := uint64(0)
+	if ns > 0 {
+		v = uint64(ns)
+	}
+	c := h.count.Load()
+	if c == 0 || v < h.min.Load() {
+		h.min.Store(v)
+	}
+	if v > h.max.Load() {
+		h.max.Store(v)
+	}
+	h.count.Store(c + 1)
+	h.sum.Store(h.sum.Load() + v)
+	b := &h.buckets[bucketOf(v)]
+	b.Store(b.Load() + 1)
+}
+
+// snapshot returns the histogram as the public plain-field type; safe
+// from any goroutine.
+func (h *atomicHist) snapshot() Histogram {
+	var out Histogram
+	out.Count = h.count.Load()
+	out.Sum = h.sum.Load()
+	out.Min = h.min.Load()
+	out.Max = h.max.Load()
+	for i := range out.Buckets {
+		out.Buckets[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// reset zeroes the histogram; exact only while the owner is not
+// observing, like a counter reset.
+func (h *atomicHist) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// fmtNs renders nanoseconds with a readable unit.
+func fmtNs(ns uint64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

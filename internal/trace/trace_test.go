@@ -1,0 +1,366 @@
+package trace
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"lcws/internal/counters"
+)
+
+func newTestRecorder(capacity int) *Recorder {
+	return NewRecorder(Config{BufPerWorker: capacity}, time.Now(), counters.NewSet(1).Worker(0))
+}
+
+func TestConfigNormalized(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultBufPerWorker}, {-5, DefaultBufPerWorker},
+		{1, 1}, {3, 4}, {4, 4}, {1000, 1024},
+	} {
+		if got := (Config{BufPerWorker: tc.in}).normalized().BufPerWorker; got != tc.want {
+			t.Errorf("normalized(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		typ       EventType
+		arg, arg2 uint32
+	}{
+		{EvStealHit, 0, 0},
+		{EvStealHit, 7, 13},
+		{EvExposeReq, 0xffffffff, 0xffffff}, // arg full width, arg2 24 bits
+		{EvRepair, 12345, 0},
+	} {
+		e := unpack(42, packMeta(tc.typ, tc.arg, tc.arg2), 3)
+		if e.Type != tc.typ || e.Arg != tc.arg || e.Arg2 != tc.arg2 || e.Ts != 42 || e.Worker != 3 {
+			t.Errorf("round trip %v/%d/%d: got %+v", tc.typ, tc.arg, tc.arg2, e)
+		}
+	}
+}
+
+func TestSnapshotBasic(t *testing.T) {
+	r := newTestRecorder(64)
+	r.Fork()
+	r.StealAttempt(2)
+	r.StealHit(2, 3)
+	events, dropped := r.Snapshot(5)
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	want := []EventType{EvFork, EvStealAttempt, EvStealHit}
+	for i, e := range events {
+		if e.Type != want[i] {
+			t.Errorf("event %d type = %v, want %v", i, e.Type, want[i])
+		}
+		if e.Worker != 5 {
+			t.Errorf("event %d worker = %d, want 5", i, e.Worker)
+		}
+		if i > 0 && e.Ts < events[i-1].Ts {
+			t.Errorf("timestamps not monotone at %d: %d < %d", i, e.Ts, events[i-1].Ts)
+		}
+	}
+	if events[2].Arg != 2 || events[2].Arg2 != 3 {
+		t.Errorf("steal.hit args = %d/%d, want 2/3", events[2].Arg, events[2].Arg2)
+	}
+}
+
+// TestWrapAround drives the ring far past capacity and checks that the
+// snapshot returns only the newest cap-1 events (oldest dropped), that
+// the drop counter accounts for every lost event, and that no event is
+// torn (every decoded event is exactly what the owner wrote).
+func TestWrapAround(t *testing.T) {
+	const capacity = 8
+	r := newTestRecorder(capacity)
+	const total = 100
+	for i := 0; i < total; i++ {
+		r.recordAt(int64(i), EvFork, uint32(i), 0)
+	}
+	events, dropped := r.Snapshot(0)
+	if len(events) != capacity-1 {
+		t.Fatalf("got %d events, want %d (cap-1: the aliased oldest slot is skipped)", len(events), capacity-1)
+	}
+	wantDropped := uint64(total - (capacity - 1))
+	if dropped != wantDropped {
+		t.Fatalf("dropped = %d, want %d", dropped, wantDropped)
+	}
+	for i, e := range events {
+		wantArg := uint32(total - (capacity - 1) + i)
+		if e.Type != EvFork || e.Arg != wantArg || e.Ts != int64(wantArg) {
+			t.Errorf("event %d = %+v, want fork arg=%d ts=%d (torn or misordered)", i, e, wantArg, wantArg)
+		}
+	}
+	// The wrap drops are also visible in the owner's counter.
+	if got := r.ctr.Get(counters.TraceDrop); got != uint64(total-capacity) {
+		t.Errorf("TraceDrop counter = %d, want %d (overwritten live slots)", got, total-capacity)
+	}
+}
+
+// TestFreezeDrops verifies that events recorded while a snapshot has
+// the ring frozen are dropped and counted, never written.
+func TestFreezeDrops(t *testing.T) {
+	r := newTestRecorder(64)
+	r.Fork()
+	r.ring.frozen.Store(true)
+	r.Fork()
+	r.Fork()
+	r.ring.frozen.Store(false)
+	events, dropped := r.Snapshot(0)
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1 (frozen-window events must not land)", len(events))
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if got := r.ctr.Get(counters.TraceDrop); got != 2 {
+		t.Errorf("TraceDrop counter = %d, want 2", got)
+	}
+}
+
+// TestConcurrentSnapshot hammers Snapshot from several goroutines while
+// the owner records; under -race this is the core freeze-protocol
+// check. Every returned event must be well-formed (untorn).
+func TestConcurrentSnapshot(t *testing.T) {
+	r := newTestRecorder(32)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				events, _ := r.Snapshot(0)
+				for _, e := range events {
+					if e.Type != EvStealHit || e.Arg != uint32(e.Ts) || e.Arg2 != uint32(e.Ts)&0xffff {
+						t.Errorf("torn event: %+v", e)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := int64(1); i < 50000; i++ {
+		r.recordAt(i, EvStealHit, uint32(i), uint32(i)&0xffff)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestStealLatencyObservation(t *testing.T) {
+	r := newTestRecorder(64)
+	r.StealAttempt(1)
+	r.StealAttempt(2)
+	r.StealHit(2, 1)
+	h := r.Hist(LatStealToHit)
+	if h.Count != 1 {
+		t.Fatalf("steal-to-hit count = %d, want 1", h.Count)
+	}
+	// A hit with no preceding attempt must not observe.
+	r.StealHit(3, 1)
+	if got := r.Hist(LatStealToHit).Count; got != 1 {
+		t.Fatalf("count after attempt-less hit = %d, want 1", got)
+	}
+	// LocalWork cancels a search.
+	r.StealAttempt(1)
+	r.LocalWork()
+	r.StealHit(1, 1)
+	if got := r.Hist(LatStealToHit).Count; got != 1 {
+		t.Fatalf("count after cancelled search = %d, want 1", got)
+	}
+}
+
+func TestSignalAndExposeLatencies(t *testing.T) {
+	r := newTestRecorder(64)
+	sent := r.SignalSend(1)
+	req := r.ExposeRequest(1)
+	r.SignalHandle(2, sent, req)
+	if got := r.Hist(LatSignalToHandle).Count; got != 1 {
+		t.Errorf("signal-to-handle count = %d, want 1", got)
+	}
+	if got := r.Hist(LatFlagToExpose).Count; got != 1 {
+		t.Errorf("flag-to-exposure count = %d, want 1", got)
+	}
+	// Handler that exposed nothing: no flag-to-exposure sample.
+	r.SignalHandle(0, sent, req)
+	if got := r.Hist(LatFlagToExpose).Count; got != 1 {
+		t.Errorf("flag-to-exposure count after empty handle = %d, want 1", got)
+	}
+	r.Exposed(1, req)
+	if got := r.Hist(LatFlagToExpose).Count; got != 2 {
+		t.Errorf("flag-to-exposure count after Exposed = %d, want 2", got)
+	}
+	// Zero stamps mean "no request observed": no samples.
+	r.SignalHandle(1, 0, 0)
+	if got := r.Hist(LatSignalToHandle).Count; got != 2 {
+		t.Errorf("signal-to-handle count after stampless handle = %d, want 2", got)
+	}
+}
+
+func TestParkLatency(t *testing.T) {
+	r := newTestRecorder(64)
+	start := r.ParkStart(1)
+	r.ParkEnd(1, start)
+	h := r.Hist(LatPark)
+	if h.Count != 1 {
+		t.Fatalf("park count = %d, want 1", h.Count)
+	}
+	events, _ := r.Snapshot(0)
+	if len(events) != 2 || events[0].Type != EvPark || events[1].Type != EvUnpark {
+		t.Fatalf("events = %+v, want [park unpark]", events)
+	}
+}
+
+func TestTail(t *testing.T) {
+	r := newTestRecorder(8)
+	for i := 0; i < 20; i++ {
+		r.recordAt(int64(i), EvFork, uint32(i), 0)
+	}
+	tail := r.Tail(3)
+	if len(tail) != 3 {
+		t.Fatalf("tail length = %d, want 3", len(tail))
+	}
+	for i, e := range tail {
+		if want := uint32(17 + i); e.Arg != want {
+			t.Errorf("tail[%d].Arg = %d, want %d", i, e.Arg, want)
+		}
+	}
+	if got := len(r.Tail(100)); got != 8 {
+		t.Errorf("tail(100) length = %d, want 8 (ring capacity)", got)
+	}
+}
+
+func TestHistogramMath(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	samples := []int64{100, 200, 400, 800, 1600}
+	for _, s := range samples {
+		h.Observe(s)
+	}
+	if h.Count != 5 || h.Sum != 3100 || h.Min != 100 || h.Max != 1600 {
+		t.Fatalf("h = %+v", h)
+	}
+	if m := h.Mean(); m != 620 {
+		t.Errorf("mean = %v, want 620", m)
+	}
+	if q := h.Quantile(0.5); q < 100 || q > 1600 {
+		t.Errorf("p50 = %d out of sample range", q)
+	}
+	if h.Quantile(0) != 100 || h.Quantile(1) != 1600 {
+		t.Errorf("extreme quantiles: p0=%d p100=%d", h.Quantile(0), h.Quantile(1))
+	}
+	h.Observe(-50) // clock anomaly clamps to 0
+	if h.Min != 0 || h.Count != 6 {
+		t.Errorf("after negative observe: min=%d count=%d", h.Min, h.Count)
+	}
+
+	var other Histogram
+	other.Observe(10)
+	merged := h.Add(other)
+	if merged.Count != 7 || merged.Min != 0 || merged.Max != 1600 {
+		t.Errorf("merged = %+v", merged)
+	}
+	empty := Histogram{}.Add(other)
+	if empty.Count != 1 || empty.Min != 10 || empty.Max != 10 {
+		t.Errorf("empty.Add = %+v", empty)
+	}
+
+	delta := merged.Sub(other)
+	if delta.Count != 6 {
+		t.Errorf("delta count = %d, want 6", delta.Count)
+	}
+	zero := other.Sub(merged) // clamped, not wrapped
+	if zero.Count != 0 || zero.Min != 0 || zero.Max != 0 {
+		t.Errorf("clamped delta = %+v", zero)
+	}
+}
+
+func TestResetHists(t *testing.T) {
+	r := newTestRecorder(8)
+	start := r.ParkStart(0)
+	r.ParkEnd(0, start)
+	r.ResetHists()
+	if got := r.Hist(LatPark).Count; got != 0 {
+		t.Fatalf("count after reset = %d, want 0", got)
+	}
+}
+
+func TestChromeWriteValidateRoundTrip(t *testing.T) {
+	r := newTestRecorder(64)
+	r.TaskBegin(0)
+	r.Fork()
+	r.StealAttempt(1)
+	r.TaskEnd()
+	start := r.ParkStart(1)
+	r.ParkEnd(1, start)
+	r.TaskBegin(1) // left dangling: the balancing pass must close it
+	events, dropped := r.Snapshot(0)
+
+	tr := &Trace{Policy: "Signal", Workers: 2, Dropped: dropped, Events: events}
+	tr.Latencies[LatPark] = r.Hist(LatPark)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if err := ValidateChrome(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ValidateChrome rejected our own output: %v\n%s", err, buf.String())
+	}
+}
+
+// TestChromeOrphanEnd feeds a stream whose first event is a span end
+// (its begin fell off the ring); the writer must drop it, and the
+// validator must accept the result.
+func TestChromeOrphanEnd(t *testing.T) {
+	tr := &Trace{
+		Policy: "WS", Workers: 1,
+		Events: []Event{
+			{Ts: 10, Worker: 0, Type: EvTaskEnd},
+			{Ts: 20, Worker: 0, Type: EvTaskBegin},
+			{Ts: 30, Worker: 0, Type: EvTaskEnd},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if err := ValidateChrome(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ValidateChrome: %v", err)
+	}
+}
+
+func TestValidateChromeRejects(t *testing.T) {
+	for name, payload := range map[string]string{
+		"empty":      `{"traceEvents":[]}`,
+		"not json":   `{`,
+		"missing ph": `{"traceEvents":[{"name":"x","ts":1,"pid":1,"tid":0}]}`,
+		"missing ts": `{"traceEvents":[{"name":"x","ph":"i","pid":1,"tid":0}]}`,
+		"orphan E":   `{"traceEvents":[{"name":"x","ph":"E","ts":1,"pid":1,"tid":0}]}`,
+		"unclosed B": `{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":0}]}`,
+	} {
+		if err := ValidateChrome(bytes.NewReader([]byte(payload))); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+}
+
+func TestEventTypeNames(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumEventTypes; i++ {
+		name := EventType(i).String()
+		if name == "" || seen[name] {
+			t.Errorf("event type %d: empty or duplicate name %q", i, name)
+		}
+		seen[name] = true
+	}
+}

@@ -24,8 +24,10 @@
 package lcws
 
 import (
+	"io"
+
 	"lcws/internal/core"
-	"lcws/internal/counters"
+	"lcws/internal/trace"
 )
 
 // Ctx is the per-worker scheduling context passed to every task function.
@@ -109,6 +111,19 @@ func WithYieldEvery(n int) Option { return func(o *core.Options) { o.YieldEvery 
 // internal/counters/model.go.
 func WithStealBatch(on bool) Option { return func(o *core.Options) { o.StealBatch = on } }
 
+// WithTrace enables the flight recorder: each worker records typed,
+// timestamped scheduler events (task spans, forks, steals, exposures,
+// signals, parks) into a fixed-capacity owner-write ring, and derives
+// steal/exposure/signal/park latency histograms, all readable at any
+// time via Scheduler.TraceSnapshot and Scheduler.Stats. Tracing also
+// labels workers' CPU-profile samples (runtime/pprof) with
+// lcws_policy/lcws_worker/lcws_phase. The zero TraceConfig selects the
+// default ring capacity. Without this option tracing costs nothing:
+// workers hold no recorder and every trace hook is one nil check.
+func WithTrace(cfg TraceConfig) Option {
+	return func(o *core.Options) { c := cfg; o.Trace = &c }
+}
+
 // New returns a Scheduler. The zero configuration is a single-worker WS
 // scheduler.
 func New(opts ...Option) *Scheduler {
@@ -135,88 +150,63 @@ func ParFor(ctx *Ctx, lo, hi, grain int, body func(ctx *Ctx, i int)) {
 	core.ParFor(ctx, lo, hi, grain, body)
 }
 
-// Stats aggregates the instrumentation counters of a scheduler: the
+// Stats aggregates the instrumentation of a scheduler: the
 // synchronization operations the reference C++ implementation would
 // execute (Fences, CAS — see internal/counters/model.go for the counting
-// model) plus scheduler-level events. The paper's profiles (Figures 3 and
-// 8) are ratios of these fields between schedulers.
-type Stats struct {
-	// Fences counts memory fences per the counting model.
-	Fences uint64
-	// CAS counts compare-and-swap instructions per the counting model.
-	CAS uint64
-	// StealAttempts counts pop_top calls on victims.
-	StealAttempts uint64
-	// StealSuccesses counts steals that obtained a task.
-	StealSuccesses uint64
-	// StealPrivateWork counts steal attempts that found only private
-	// work and so notified the victim.
-	StealPrivateWork uint64
-	// StealAborts counts steal attempts that lost a CAS race.
-	StealAborts uint64
-	// Exposures counts tasks moved from private to public parts.
-	Exposures uint64
-	// ExposedNotStolen counts exposed tasks taken back by their owner.
-	ExposedNotStolen uint64
-	// SignalsSent counts emulated pthread_kill notifications.
-	SignalsSent uint64
-	// SignalsHandled counts exposure requests handled by owners.
-	SignalsHandled uint64
-	// IdleIterations counts scheduler iterations that found no work.
-	IdleIterations uint64
-	// ParkedNanos is the total time (ns) workers spent sleeping in the
-	// idle backoff, separating parked idle cost from busy idle spinning.
-	ParkedNanos uint64
-	// TasksExecuted counts tasks run to completion.
-	TasksExecuted uint64
-	// TasksPushed counts deque pushes.
-	TasksPushed uint64
-	// StealBatchTasks counts tasks transferred by batched steals
-	// (StealBatch mode); StealBatchTasks / StealSuccesses is the average
-	// claimed batch size.
-	StealBatchTasks uint64
-	// WakeupsSent counts parked thieves woken by work-producing events
-	// (StealBatch mode).
-	WakeupsSent uint64
-	// ParkCount counts semaphore parks in the idle parking lot
-	// (StealBatch mode); the time spent parked is in ParkedNanos.
-	ParkCount uint64
-}
-
-func statsFromSnapshot(sn counters.Snapshot) Stats {
-	return Stats{
-		Fences:           sn.Get(counters.Fence),
-		CAS:              sn.Get(counters.CAS),
-		StealAttempts:    sn.Get(counters.StealAttempt),
-		StealSuccesses:   sn.Get(counters.StealSuccess),
-		StealPrivateWork: sn.Get(counters.StealPrivate),
-		StealAborts:      sn.Get(counters.StealAbort),
-		Exposures:        sn.Get(counters.Exposure),
-		ExposedNotStolen: sn.Get(counters.ExposedNotStolen),
-		SignalsSent:      sn.Get(counters.SignalSent),
-		SignalsHandled:   sn.Get(counters.SignalHandled),
-		IdleIterations:   sn.Get(counters.IdleIteration),
-		ParkedNanos:      sn.Get(counters.ParkedNanos),
-		TasksExecuted:    sn.Get(counters.TaskExecuted),
-		TasksPushed:      sn.Get(counters.TaskPushed),
-		StealBatchTasks:  sn.Get(counters.StealBatchTasks),
-		WakeupsSent:      sn.Get(counters.WakeupsSent),
-		ParkCount:        sn.Get(counters.ParkCount),
-	}
-}
+// model), scheduler-level event counts, and — on schedulers built with
+// WithTrace — the four derived latency histograms (StealToHit,
+// FlagToExposure, SignalToHandle, ParkDuration). The paper's profiles
+// (Figures 3 and 8) are ratios of the counter fields between schedulers.
+//
+// Obtain one with Scheduler.Stats; take interval deltas with Stats.Sub:
+//
+//	before := s.Stats()
+//	s.Run(phase)
+//	delta := s.Stats().Sub(before)
+type Stats = core.Stats
 
 // StatsOf returns the counters accumulated by s since its creation or the
-// last ResetStats call.
-func StatsOf(s *Scheduler) Stats { return statsFromSnapshot(s.Counters()) }
+// last reset.
+//
+// Deprecated: use the Scheduler.Stats method instead.
+func StatsOf(s *Scheduler) Stats { return s.Stats() }
 
-// ResetStats zeroes s's counters.
-func ResetStats(s *Scheduler) { s.ResetCounters() }
+// ResetStats zeroes s's counters and latency histograms.
+//
+// Deprecated: use the Scheduler.ResetStats method instead.
+func ResetStats(s *Scheduler) { s.ResetStats() }
 
-// UnstolenFraction returns the fraction of exposed tasks that were not
-// stolen (Figures 3d and 8d), or 0 when nothing was exposed.
-func (st Stats) UnstolenFraction() float64 {
-	if st.Exposures == 0 {
-		return 0
-	}
-	return float64(st.ExposedNotStolen) / float64(st.Exposures)
-}
+// Histogram is a power-of-two-bucketed latency histogram in nanoseconds
+// with Mean/Quantile accessors; Stats and Trace expose the scheduler's
+// derived latencies as Histograms.
+type Histogram = trace.Histogram
+
+// TraceConfig configures the flight recorder enabled by WithTrace.
+type TraceConfig = trace.Config
+
+// Trace is a decoded flight-recorder snapshot: every worker's typed,
+// timestamped events merged into one stream, plus the aggregated
+// latency histograms. Obtain one with Scheduler.TraceSnapshot; export
+// it for Perfetto/chrome://tracing with its WriteChrome method.
+type Trace = trace.Trace
+
+// TraceEvent is one decoded flight-recorder event.
+type TraceEvent = trace.Event
+
+// TaskPanic is the value Scheduler.Run re-throws when a task function
+// panics: the original panic value wrapped with the worker id it ran on
+// and — when tracing — that worker's recent flight-recorder events.
+// recover() still observes a non-nil value exactly when a task
+// panicked; callers that inspect the value unwrap it:
+//
+//	defer func() {
+//	    if r := recover(); r != nil {
+//	        tp := r.(*lcws.TaskPanic)
+//	        log.Printf("worker %d panicked: %v", tp.WorkerID, tp.Value)
+//	    }
+//	}()
+type TaskPanic = core.TaskPanic
+
+// WriteChromeTrace writes t in Chrome trace_event JSON, loadable in
+// Perfetto (https://ui.perfetto.dev) and chrome://tracing.
+func WriteChromeTrace(w io.Writer, t *Trace) error { return trace.WriteChrome(w, t) }

@@ -55,12 +55,12 @@ func TestStatsAndReset(t *testing.T) {
 	s.Run(func(ctx *lcws.Ctx) {
 		lcws.Fork2(ctx, func(*lcws.Ctx) {}, func(*lcws.Ctx) {})
 	})
-	st := lcws.StatsOf(s)
+	st := s.Stats()
 	if st.TasksPushed == 0 || st.Fences == 0 {
 		t.Errorf("WS run recorded no pushes/fences: %+v", st)
 	}
-	lcws.ResetStats(s)
-	if got := lcws.StatsOf(s); got.TasksPushed != 0 {
+	s.ResetStats()
+	if got := s.Stats(); got.TasksPushed != 0 {
 		t.Errorf("ResetStats did not clear counters: %+v", got)
 	}
 }
