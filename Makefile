@@ -5,9 +5,9 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: verify build test race vet fuzz-smoke stress lcwsvet bench-fork bench-steal trace-smoke clean
+.PHONY: verify build test race vet fuzz-smoke stress lcwsvet bench-fork bench-steal bench-exec submit-stress trace-smoke clean
 
-verify: build test race vet fuzz-smoke stress trace-smoke
+verify: build test race vet fuzz-smoke stress submit-stress trace-smoke
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,19 @@ bench-fork:
 # parking-lot mode (see README and DESIGN.md §8).
 bench-steal:
 	$(GO) run ./cmd/lcwsbench -stealbench -stealjson BENCH_steal.json
+
+# Executor-lifecycle benchmarks: regenerates BENCH_exec.json comparing
+# the per-Run cost of the resident pool against the spawn-per-run
+# lifecycle the scheduler had before the persistent executor (see
+# README and DESIGN.md §10).
+bench-exec:
+	$(GO) run ./cmd/lcwsbench -execbench -execjson BENCH_exec.json
+
+# Concurrent-submission soak under the race detector: many submitter
+# goroutines, overlapping jobs, panics and cancellations over one
+# resident pool.
+submit-stress:
+	$(GO) test -race -run 'TestConcurrentSubmitters|TestCloseRacesInFlightSubmissions|TestPanicFailsOnlyItsJob|TestPerJobStatsExactUnderOverlap|TestCancelMidJob' -count=2 ./internal/core
 
 # Flight-recorder smoke: run a traced oversubscribed workload, export
 # its Chrome trace (TRACE_OUT, default trace.json) and validate the

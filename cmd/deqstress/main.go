@@ -41,7 +41,11 @@ func main() {
 				p = 1 + round%*maxP
 			}
 			s := lcws.New(lcws.WithWorkers(p), lcws.WithPolicy(pol), lcws.WithSeed(*seed+uint64(round)))
-			if err := soak(s, round); err != nil {
+			err := soak(s, round)
+			// Workers are resident under the persistent executor; an
+			// un-Closed scheduler would leak a parked pool every round.
+			s.Close()
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "deqstress: policy %v P=%d round %d: %v\n", pol, p, round, err)
 				os.Exit(1)
 			}

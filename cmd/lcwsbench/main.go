@@ -5,8 +5,13 @@
 //
 // It also runs the microbenchmarks of internal/perf and emits them as
 // machine-readable documents the allocation/benchmark regression gates
-// compare against: the fork-overhead benchmarks as BENCH_fork.json and
-// the steal-latency ping-pong as BENCH_steal.json.
+// compare against: the fork-overhead benchmarks as BENCH_fork.json, the
+// steal-latency ping-pong as BENCH_steal.json, and the executor
+// lifecycle (resident pool vs spawn-per-run) as BENCH_exec.json.
+//
+// The -jobs mode exercises the persistent executor as a job server:
+// -submitters goroutines submit -jobs fork-join jobs over one resident
+// pool and the per-job statistics are emitted as JSON.
 //
 // Usage:
 //
@@ -15,6 +20,8 @@
 //	lcwsbench -fig5 -csv          # Figure 5 data as CSV
 //	lcwsbench -forkbench -forkjson BENCH_fork.json
 //	lcwsbench -stealbench -stealjson BENCH_steal.json
+//	lcwsbench -execbench -execjson BENCH_exec.json
+//	lcwsbench -jobs 64 -submitters 8
 package main
 
 import (
@@ -25,6 +32,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"lcws"
 	"lcws/fig"
@@ -63,6 +72,17 @@ func main() {
 		stealbursts = flag.Int("stealbursts", perf.DefaultStealBursts, "timed bursts per steal-benchmark repetition")
 		stealreps   = flag.Int("stealreps", perf.DefaultStealReps, "steal-benchmark repetitions (minimum is reported)")
 
+		execbench  = flag.Bool("execbench", false, "run the executor-lifecycle benchmarks: resident pool vs spawn-per-run (internal/perf)")
+		execjson   = flag.String("execjson", "", "write the executor benchmark report as JSON to this file (default stdout)")
+		execrounds = flag.Int("execrounds", perf.ExecDefaultRounds, "timed Run calls per executor-benchmark repetition")
+		execreps   = flag.Int("execreps", perf.DefaultReps, "executor-benchmark repetitions (minimum is reported)")
+
+		jobs       = flag.Int("jobs", 0, "submit this many concurrent fork-join jobs over one resident pool and emit per-job stats as JSON")
+		submitters = flag.Int("submitters", 4, "submitting goroutines for the -jobs mode")
+		jobpolicy  = flag.String("jobpolicy", lcws.SignalLCWS.String(), "scheduling policy for the -jobs pool")
+		jobworkers = flag.Int("jobworkers", 4, "workers for the -jobs pool")
+		jobsjson   = flag.String("jobsjson", "", "write the -jobs report as JSON to this file (default stdout)")
+
 		traceOut     = flag.String("trace", "", "run a traced fork-join workload and write its Chrome trace JSON (Perfetto-loadable) to this file")
 		tracePolicy  = flag.String("tracepolicy", lcws.SignalLCWS.String(), "scheduling policy for the -trace run")
 		traceWorkers = flag.Int("traceworkers", 4, "workers for the -trace run")
@@ -70,7 +90,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi || *forkbench || *stealbench || *traceOut != "") {
+	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi || *forkbench || *stealbench || *execbench || *jobs > 0 || *traceOut != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -94,7 +114,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if (*forkbench || *stealbench || *traceOut != "") &&
+	if *execbench {
+		if err := runExecBench(*execrounds, *execreps, *execjson); err != nil {
+			fmt.Fprintln(os.Stderr, "lcwsbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *jobs > 0 {
+		if err := runJobs(*jobs, *submitters, *jobpolicy, *jobworkers, *seed, *jobsjson); err != nil {
+			fmt.Fprintln(os.Stderr, "lcwsbench:", err)
+			os.Exit(1)
+		}
+	}
+	if (*forkbench || *stealbench || *execbench || *jobs > 0 || *traceOut != "") &&
 		!(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi) {
 		return
 	}
@@ -237,6 +269,155 @@ func runStealBench(bursts, reps int, path string) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// runExecBench measures the executor lifecycle (resident pool vs
+// spawn-per-run emulation) for every policy and writes the
+// BENCH_exec.json document to path (stdout when empty), with a short
+// text summary on stderr.
+func runExecBench(rounds, reps int, path string) error {
+	// Deliberately no GOMAXPROCS bump: internal/perf measures at the
+	// ambient GOMAXPROCS (recorded in the report), and the regression
+	// gate in execbench_test.go does the same. Oversubscribing a small
+	// host would measure timesharing noise, not the lifecycle.
+	rep := perf.NewExecReport(rounds, reps)
+	for i, r := range rep.Resident {
+		sp := rep.SpawnPerRun[i]
+		speedup := 0.0
+		if r.NormPerRun > 0 {
+			speedup = sp.NormPerRun / r.NormPerRun
+		}
+		fmt.Fprintf(os.Stderr, "exec/%-8s resident %9.0f ns/run (allocs=%.1f) vs spawn-per-run %9.0f ns/run: %.2fx\n",
+			r.Policy, r.NsPerRun, r.AllocsPerRun, sp.NsPerRun, speedup)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// jobsReport is the JSON document of the -jobs mode: per-job statistics
+// of a batch of concurrent submissions over one resident pool.
+type jobsReport struct {
+	Schema     string      `json:"schema"`
+	Policy     string      `json:"policy"`
+	Workers    int         `json:"workers"`
+	Submitters int         `json:"submitters"`
+	Jobs       []jobRecord `json:"jobs"`
+	Totals     jobsTotals  `json:"totals"`
+}
+
+type jobRecord struct {
+	// Submitter is the submitting goroutine's index; Seq its 0-based
+	// submission sequence within that goroutine.
+	Submitter  int    `json:"submitter"`
+	Seq        int    `json:"seq"`
+	Tasks      uint64 `json:"tasks"`
+	Discarded  uint64 `json:"discarded,omitempty"`
+	DurationNs int64  `json:"duration_ns"`
+	Err        string `json:"err,omitempty"`
+}
+
+type jobsTotals struct {
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	TasksExecuted uint64 `json:"tasks_executed"`
+	StealSuccess  uint64 `json:"steal_successes"`
+}
+
+// runJobs exercises the resident executor as a job server: submitters
+// goroutines submit jobs fork-join computations (an irregular fib tree
+// each) over one pool, wait for each, and the per-job statistics are
+// written as JSON to path (stdout when empty).
+func runJobs(jobs, submitters int, policy string, workers int, seed uint64, path string) error {
+	pol, err := lcws.ParsePolicy(policy)
+	if err != nil {
+		return err
+	}
+	if submitters < 1 {
+		return fmt.Errorf("-submitters must be at least 1, got %d", submitters)
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		runtime.GOMAXPROCS(workers)
+	}
+	s := lcws.New(lcws.WithWorkers(workers), lcws.WithPolicy(pol), lcws.WithSeed(seed))
+	defer s.Close()
+
+	rep := jobsReport{
+		Schema:     "lcws-jobs/v1",
+		Policy:     pol.String(),
+		Workers:    workers,
+		Submitters: submitters,
+		Jobs:       make([]jobRecord, jobs),
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for seq := 0; ; seq++ {
+				idx := int(next.Add(1)) - 1
+				if idx >= jobs {
+					return
+				}
+				depth := 14 + idx%4 // vary job sizes
+				j := s.Submit(func(ctx *lcws.Ctx) { forkTree(ctx, depth) })
+				jerr := j.Wait()
+				st := j.Stats()
+				rec := jobRecord{
+					Submitter:  g,
+					Seq:        seq,
+					Tasks:      st.Tasks,
+					Discarded:  st.Discarded,
+					DurationNs: st.Duration.Nanoseconds(),
+				}
+				if jerr != nil {
+					rec.Err = jerr.Error()
+				}
+				rep.Jobs[idx] = rec
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	rep.Totals = jobsTotals{
+		JobsSubmitted: st.JobsSubmitted,
+		JobsCompleted: st.JobsCompleted,
+		JobsFailed:    st.JobsFailed,
+		TasksExecuted: st.TasksExecuted,
+		StealSuccess:  st.StealSuccesses,
+	}
+	fmt.Fprintf(os.Stderr, "jobs: %d jobs from %d submitters on %s ×%d: %d completed, %d failed, %d tasks\n",
+		jobs, submitters, pol, workers, rep.Totals.JobsCompleted, rep.Totals.JobsFailed, rep.Totals.TasksExecuted)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// forkTree is the -jobs workload: an irregular fib-style fork tree.
+func forkTree(ctx *lcws.Ctx, depth int) {
+	if depth <= 1 {
+		return
+	}
+	lcws.Fork2(ctx,
+		func(ctx *lcws.Ctx) { forkTree(ctx, depth-1) },
+		func(ctx *lcws.Ctx) { forkTree(ctx, depth-2) },
+	)
 }
 
 // runTrace executes a traced fork-join workload and writes the flight

@@ -1,0 +1,175 @@
+// Server: the persistent executor as the compute pool behind a stdlib
+// net/http server. One resident scheduler is created at startup; every
+// request handler submits a fork-join job to it from its own goroutine
+// (Submit is safe from any goroutine), so concurrent requests share the
+// worker pool instead of spawning goroutines per request. Handlers use
+// SubmitCtx with the request context: a client that disconnects cancels
+// its job at the next task boundary or Poll checkpoint, and the pool
+// stays healthy for everyone else.
+//
+//	go run ./examples/server                 # serve on :8080
+//	curl 'localhost:8080/fib?n=30'
+//	curl 'localhost:8080/sum?n=50000000'
+//	curl 'localhost:8080/stats'
+//
+//	go run ./examples/server -demo           # self-drive a few requests and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lcws"
+	"lcws/parlay"
+)
+
+// fib is the classic fork-heavy scheduler stress test.
+func fib(ctx *lcws.Ctx, n int) int {
+	if n < 2 {
+		return n
+	}
+	var a, b int
+	lcws.Fork2(ctx,
+		func(ctx *lcws.Ctx) { a = fib(ctx, n-1) },
+		func(ctx *lcws.Ctx) { b = fib(ctx, n-2) },
+	)
+	return a + b
+}
+
+// server wraps the resident pool shared by all handlers.
+type server struct {
+	sched *lcws.Scheduler
+}
+
+// handleFib computes fib(n) as one job. The request context rides along:
+// if the client goes away mid-computation the job unwinds and the
+// handler reports the cancellation instead of finishing dead work.
+func (sv *server) handleFib(w http.ResponseWriter, r *http.Request) {
+	n, err := intParam(r, "n", 30)
+	if err != nil || n < 0 || n > 40 {
+		http.Error(w, "n must be an integer in [0,40]", http.StatusBadRequest)
+		return
+	}
+	var result int
+	start := time.Now()
+	j := sv.sched.SubmitCtx(r.Context(), func(ctx *lcws.Ctx) {
+		result = fib(ctx, n)
+	})
+	if err := j.Wait(); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	st := j.Stats()
+	fmt.Fprintf(w, "fib(%d) = %d  (%d tasks, %v, wall %v)\n",
+		n, result, st.Tasks, st.Duration.Round(time.Microsecond),
+		time.Since(start).Round(time.Microsecond))
+}
+
+// handleSum sums the first n squares with the parlay toolkit — a
+// data-parallel job shape, to show jobs need not be irregular trees.
+func (sv *server) handleSum(w http.ResponseWriter, r *http.Request) {
+	n, err := intParam(r, "n", 10_000_000)
+	if err != nil || n < 1 || n > 1_000_000_000 {
+		http.Error(w, "n must be an integer in [1,1e9]", http.StatusBadRequest)
+		return
+	}
+	var sum uint64
+	j := sv.sched.SubmitCtx(r.Context(), func(ctx *lcws.Ctx) {
+		xs := parlay.Tabulate(ctx, n, func(i int) uint64 {
+			return uint64(i) * uint64(i)
+		})
+		sum = parlay.Sum(ctx, xs)
+	})
+	if err := j.Wait(); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	st := j.Stats()
+	fmt.Fprintf(w, "sum of first %d squares = %d  (%d tasks, %v)\n",
+		n, sum, st.Tasks, st.Duration.Round(time.Microsecond))
+}
+
+// handleStats reports the pool's cumulative scheduler statistics.
+func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := sv.sched.Stats()
+	fmt.Fprintf(w, "workers            %d\n", sv.sched.Workers())
+	fmt.Fprintf(w, "jobs submitted     %d\n", st.JobsSubmitted)
+	fmt.Fprintf(w, "jobs completed     %d\n", st.JobsCompleted)
+	fmt.Fprintf(w, "jobs failed        %d\n", st.JobsFailed)
+	fmt.Fprintf(w, "tasks executed     %d\n", st.TasksExecuted)
+	fmt.Fprintf(w, "steal successes    %d\n", st.StealSuccesses)
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "resident pool size")
+	policy := flag.String("policy", "Signal", "WS, User, Signal, Cons, Half or Lace")
+	demo := flag.Bool("demo", false, "serve on a random port, issue a few requests against ourselves, and exit")
+	flag.Parse()
+
+	pol, err := lcws.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One pool for the process lifetime. Start is optional (the first
+	// Submit would spawn the workers lazily); doing it here moves the
+	// spawn cost out of the first request.
+	sched := lcws.New(lcws.WithWorkers(*workers), lcws.WithPolicy(pol))
+	sched.Start()
+	defer sched.Close()
+
+	sv := &server{sched: sched}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fib", sv.handleFib)
+	mux.HandleFunc("/sum", sv.handleSum)
+	mux.HandleFunc("/stats", sv.handleStats)
+
+	if *demo {
+		runDemo(mux)
+		return
+	}
+
+	log.Printf("serving on %s (policy %v, %d workers)", *addr, pol, sched.Workers())
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// runDemo binds an ephemeral port and plays client against our own
+// handlers, so the example is runnable (and CI-smokeable) without an
+// external curl.
+func runDemo(mux *http.ServeMux) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	base := "http://" + ln.Addr().String()
+	for _, path := range []string{
+		"/fib?n=25", "/fib?n=28", "/sum?n=5000000", "/stats",
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("GET %-16s -> %s", path, body)
+	}
+}

@@ -19,7 +19,10 @@
 // contract one level down: it is mutated without synchronization on
 // every fork and recycle, so any read or write of w.freelist must
 // likewise happen on the enclosing Worker method's own receiver and
-// outside function literals, and its address must never be taken.
+// outside function literals, and its address must never be taken. The
+// worker's job context (the curJob and curShard fields, cached by
+// setJob and read on every push and task boundary) is plain owner-only
+// data of exactly the same class and is held to the same rule.
 //
 // The flight recorder (the rec field, internal/trace.Recorder) splits
 // the same way as the deque: its recording methods write the owner-side
@@ -45,16 +48,27 @@ import (
 	"lcws/internal/analysis"
 )
 
-// workerPkg/workerType identify the guarded struct; dequeField,
-// freelistField and recField its owner-only fields:
+// workerPkg/workerType identify the guarded struct; dequeField and
+// recField its method-bearing owner-only fields:
 // lcws/internal/core.Worker.
 const (
-	workerPkg     = "lcws/internal/core"
-	workerType    = "Worker"
-	dequeField    = "dq"
-	freelistField = "freelist"
-	recField      = "rec"
+	workerPkg  = "lcws/internal/core"
+	workerType = "Worker"
+	dequeField = "dq"
+	recField   = "rec"
 )
+
+// plainOwnerFields are Worker fields that are plain unsynchronized
+// data touched on the hot path: the task freelist (popped/pushed on
+// every fork and recycle) and the cached job context (swapped at task
+// boundaries, read on every push). Every read or write must be on the
+// enclosing Worker method's own receiver, outside function literals,
+// and the address must never be taken.
+var plainOwnerFields = map[string]bool{
+	"freelist": true,
+	"curJob":   true,
+	"curShard": true,
+}
 
 // ownerOnly holds the deque methods that must run on the owner's
 // goroutine; thiefSafe holds the ones any thread may call. Every method
@@ -100,6 +114,7 @@ var recOwnerOnly = map[string]bool{
 	"ParkEnd":       true,
 	"DequeEmpty":    true,
 	"Repair":        true,
+	"JobSwitch":     true, // job-context marker written at setJob, owner ring
 	"Tail":          true, // owner-side plain reads (panic reports)
 	"ResetRun":      true,
 }
@@ -120,7 +135,8 @@ var Analyzer = &analysis.Analyzer{
 		"w.dq.PushBottom/PopBottom/PopPublicBottom/Expose/UnexposeAll appear only with w " +
 		"the receiver of the enclosing Worker method, not inside function literals, and " +
 		"that the dq field is never aliased into a variable or argument. The task " +
-		"freelist field carries the same owner-only contract for plain reads and writes, " +
+		"freelist and the cached job context (curJob, curShard) carry the same " +
+		"owner-only contract for plain reads and writes, " +
 		"and the flight-recorder field (rec) splits its methods the same way: recording " +
 		"methods are owner-only, the freeze-protocol readers (Snapshot/Hist/ResetHists) " +
 		"are thief-safe, and nil comparisons — the disabled-tracing fast path — are " +
@@ -134,16 +150,16 @@ func run(pass *analysis.Pass) error {
 		if !ok {
 			return true
 		}
-		switch sel.Sel.Name {
-		case dequeField:
+		switch name := sel.Sel.Name; {
+		case name == dequeField:
 			if isWorkerField(fieldObject(pass, sel), dequeField) {
 				checkDequeUse(pass, sel, stack)
 			}
-		case freelistField:
-			if isWorkerField(fieldObject(pass, sel), freelistField) {
-				checkFreelistUse(pass, sel, stack)
+		case plainOwnerFields[name]:
+			if isWorkerField(fieldObject(pass, sel), name) {
+				checkPlainFieldUse(pass, sel, stack, name)
 			}
-		case recField:
+		case name == recField:
 			if isWorkerField(fieldObject(pass, sel), recField) {
 				checkRecUse(pass, sel, stack)
 			}
@@ -267,14 +283,15 @@ func checkDequeUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node)
 	}
 }
 
-// checkFreelistUse validates one appearance of the freelist field. The
-// freelist is plain data popped and pushed on every fork without any
-// synchronization, so the rules are stricter than the deque's: every
-// read or write — not just method calls — must be on the enclosing
-// Worker method's own receiver, outside function literals, and the
-// field's address must never be taken (an alias would let another
-// goroutine reach the list head).
-func checkFreelistUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+// checkPlainFieldUse validates one appearance of a plain owner-only
+// data field (freelist, curJob, curShard). These are popped, pushed
+// and swapped on the hot path without any synchronization, so the
+// rules are stricter than the deque's: every read or write — not just
+// method calls — must be on the enclosing Worker method's own
+// receiver, outside function literals, and the field's address must
+// never be taken (an alias would let another goroutine reach the
+// owner's state).
+func checkPlainFieldUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node, field string) {
 	if len(stack) == 0 {
 		return
 	}
@@ -282,23 +299,23 @@ func checkFreelistUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.No
 		return
 	}
 	if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND && u.X == sel {
-		pass.Reportf(sel.Pos(), "the freelist field must not have its address taken: owner-only access is checked per use site")
+		pass.Reportf(sel.Pos(), "the %s field must not have its address taken: owner-only access is checked per use site", field)
 		return
 	}
 
 	fd := analysis.EnclosingFuncDecl(stack)
 	recvObj := workerRecv(pass, fd)
 	if recvObj == nil {
-		pass.Reportf(sel.Pos(), "owner-only field freelist accessed outside a Worker method")
+		pass.Reportf(sel.Pos(), "owner-only field %s accessed outside a Worker method", field)
 		return
 	}
 	id, ok := sel.X.(*ast.Ident)
 	if !ok || pass.TypesInfo.Uses[id] != recvObj {
-		pass.Reportf(sel.Pos(), "owner-only field freelist accessed on %s, which is not the owning receiver %s", exprString(sel.X), recvObj.Name())
+		pass.Reportf(sel.Pos(), "owner-only field %s accessed on %s, which is not the owning receiver %s", field, exprString(sel.X), recvObj.Name())
 		return
 	}
 	if inFuncLit(stack, fd) {
-		pass.Reportf(sel.Pos(), "owner-only field freelist accessed inside a function literal; closures may escape the owner's goroutine")
+		pass.Reportf(sel.Pos(), "owner-only field %s accessed inside a function literal; closures may escape the owner's goroutine", field)
 	}
 }
 

@@ -30,17 +30,23 @@ type Recorder struct{}
 
 func (r *Recorder) Fork()                               {}
 func (r *Recorder) TaskEnd()                            {}
+func (r *Recorder) JobSwitch(id uint32)                 {}
 func (r *Recorder) Tail(n int) []int                    { return nil }
 func (r *Recorder) Snapshot(worker int) ([]int, uint64) { return nil, 0 }
 func (r *Recorder) Hist(which int) int                  { return 0 }
 func (r *Recorder) ResetHists()                         {}
 func (r *Recorder) Mystery()                            {}
 
+type Job struct{ id uint64 }
+type jobShard struct{ created, completed uint64 }
+
 type Worker struct {
 	id       int
 	dq       taskDeque
 	freelist *Task
 	rec      *Recorder
+	curJob   *Job
+	curShard *jobShard
 }
 
 func NewWorker(dq taskDeque) *Worker {
@@ -134,6 +140,43 @@ func (w *Worker) badFreelistAddr() **Task {
 func badFreelistFree(w *Worker, t *Task) {
 	t.next = w.freelist // want `owner-only field freelist accessed outside a Worker method`
 	w.freelist = t      // want `owner-only field freelist accessed outside a Worker method`
+}
+
+func (w *Worker) setJob(j *Job, sh *jobShard) { // ok: owner-local job-context switch
+	w.curJob = j
+	w.curShard = sh
+	if w.rec != nil {
+		w.rec.JobSwitch(0) // ok: owner-path recording on the receiver
+	}
+}
+
+func (w *Worker) pushTag() *Job { // ok: owner-local reads on the receiver
+	if sh := w.curShard; sh != nil {
+		sh.created++
+	}
+	return w.curJob
+}
+
+func (w *Worker) badJobVictim(v *Worker) *Job {
+	return v.curJob // want `owner-only field curJob accessed on v, which is not the owning receiver w`
+}
+
+func (w *Worker) badShardClosure() func() {
+	return func() {
+		w.curShard = nil // want `owner-only field curShard accessed inside a function literal`
+	}
+}
+
+func (w *Worker) badJobAddr() **Job {
+	return &w.curJob // want `curJob field must not have its address taken`
+}
+
+func badJobFreeFunction(w *Worker) {
+	w.curShard = nil // want `owner-only field curShard accessed outside a Worker method`
+}
+
+func (w *Worker) badRecJobVictim(v *Worker) {
+	v.rec.JobSwitch(1) // want `owner-only recorder method JobSwitch called on v, which is not the owning receiver w`
 }
 
 func (w *Worker) traceFork() {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 
 	"lcws/internal/counters"
 	"lcws/internal/deque"
+	"lcws/internal/injector"
 	"lcws/internal/trace"
 )
 
@@ -73,9 +75,19 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Scheduler is a pool of P workers executing fork-join computations under
-// one of the paper's scheduling policies. A Scheduler may be reused for
-// any number of sequential Run calls; Run must not be called concurrently.
+// Scheduler is a persistent pool of P resident workers executing
+// fork-join jobs under one of the paper's scheduling policies. The
+// worker goroutines are spawned once — lazily on the first submission,
+// or eagerly via Start — and live until Close: between jobs they park
+// on the idle parking lot (costing no CPU), and repeated Run/Submit
+// calls pay no goroutine spawn or teardown. This matches the paper's
+// model of persistent processors that exist across computations.
+//
+// Jobs enter through an MPMC injector queue (Submit/SubmitCtx/Run) and
+// any number may run concurrently over the same pool; each Job carries
+// its own completion, error, and task accounting, and a panic or
+// cancellation in one job drains that job's tasks without affecting
+// the others (see Job).
 //
 // Workers live in one contiguous, cache-line-padded slab (see workerSlot)
 // rather than as individually heap-allocated objects: victim selection
@@ -83,38 +95,72 @@ func (o Options) withDefaults() Options {
 // workers — and no thief-written notification word and owner-hot field —
 // share a cache line.
 type Scheduler struct {
-	opts     Options
-	workers  []workerSlot
-	ctrs     *counters.Set
-	finished atomic.Bool
-	running  atomic.Bool
-	wg       sync.WaitGroup // helper-goroutine barrier, reused so Run stays allocation-free
+	opts    Options
+	workers []workerSlot
+	ctrs    *counters.Set
+	wg      sync.WaitGroup // resident-worker barrier for Close
 
-	// parkWords is the idle-worker bitset of the StealBatch parking lot
-	// (bit id set = worker id is parked); nil unless StealBatch is on.
-	// Parkers set their bit with a seq-cst RMW *before* re-checking for
-	// work; producers publish work *before* scanning the bitset — the
-	// Dekker-style ordering that makes a lost wakeup impossible (see
-	// Worker.park).
+	// inj is the MPMC submission queue: Submit pushes *Job records from
+	// arbitrary goroutines; resident workers pop them in their top-level
+	// loop. Owner deque paths are untouched by submission.
+	inj       injector.Queue[*Job]
+	startOnce sync.Once   // spawns the resident workers exactly once
+	closed    atomic.Bool // set by Close; workers exit once drained
+
+	// activeJobs counts submitted-but-unsettled jobs. Workers use it to
+	// decide between the in-job stealing loop (activeJobs > 0) and the
+	// between-jobs idle phase; together with closed and inj.Empty it
+	// forms the worker-exit condition. Submit increments it *before*
+	// checking closed, so a submission that observed the scheduler open
+	// keeps every worker alive until the job settles (the seq-cst total
+	// order over this counter and closed makes the exit check safe).
+	activeJobs atomic.Int64
+
+	// busy counts workers currently inside their busy phase (where they
+	// write per-worker counters without synchronization). Job.Wait
+	// spins until it reaches zero after the pool goes idle, which
+	// restores the seed's guarantee that Stats/Counters reads after a
+	// Run are exact and race-free. See quiesce.
+	busy atomic.Int64
+
+	jobSeq        atomic.Uint64 // job id allocator (ids start at 1)
+	jobsSubmitted atomic.Uint64
+	jobsCompleted atomic.Uint64
+	jobsFailed    atomic.Uint64
+
+	// parkWords is the idle-worker bitset of the parking lot (bit id
+	// set = worker id is parked). Parkers set their bit with a seq-cst
+	// RMW *before* re-checking for work; producers publish work *before*
+	// scanning the bitset — the Dekker-style ordering that makes a lost
+	// wakeup impossible (see Worker.park). The in-job parking lot is
+	// used only in StealBatch mode, but every worker also parks here
+	// between jobs (deepPark), so the bitset always exists.
 	parkWords []atomic.Uint64
 
 	// traceEpoch is the zero point of all trace timestamps; set once in
 	// NewScheduler when tracing is enabled.
 	traceEpoch time.Time
 
-	panicOnce sync.Once
-	panicked  atomic.Bool
-	panicVal  any
+	// Per-job spans for the Chrome export, recorded at job settlement
+	// on traced schedulers only (bounded; see maxJobSpans).
+	spanMu   sync.Mutex
+	jobSpans []trace.JobSpan
 }
+
+// maxJobSpans bounds the per-scheduler job-span log of a traced
+// scheduler; beyond it the oldest spans are dropped, mirroring the
+// flight-recorder rings' drop-oldest behavior.
+const maxJobSpans = 4096
 
 // worker returns worker i of the slab.
 func (s *Scheduler) worker(i int) *Worker { return &s.workers[i].w }
 
-// TaskPanic is the value Run re-throws when a task function panics: the
-// original panic value wrapped with the id of the worker that was
-// executing the task and, when tracing is on, that worker's most recent
-// flight-recorder events — so the crash report says where the panic
-// happened and what the scheduler was doing just before.
+// TaskPanic is the value Run re-throws — and Job.Err wraps — when a
+// task function panics: the original panic value wrapped with the id of
+// the worker that was executing the task and, when tracing is on, that
+// worker's most recent flight-recorder events — so the crash report
+// says where the panic happened and what the scheduler was doing just
+// before.
 type TaskPanic struct {
 	// WorkerID is the worker whose goroutine the panicking task ran on.
 	WorkerID int
@@ -150,16 +196,8 @@ func (p *TaskPanic) Unwrap() error {
 	return nil
 }
 
-// recordPanic stores the first task panic of a Run, wrapped with the
-// reporting worker's id and trace tail; Run re-throws it.
-func (s *Scheduler) recordPanic(id int, v any, tail []trace.Event) {
-	s.panicOnce.Do(func() {
-		s.panicVal = &TaskPanic{WorkerID: id, Value: v, Tail: tail}
-		s.panicked.Store(true)
-	})
-}
-
-// NewScheduler returns a scheduler with the given options.
+// NewScheduler returns a scheduler with the given options. No worker
+// goroutines exist until the first submission (or Start).
 func NewScheduler(opts Options) *Scheduler {
 	opts = opts.withDefaults()
 	if int(opts.Policy) >= NumPolicies {
@@ -173,10 +211,8 @@ func NewScheduler(opts Options) *Scheduler {
 	if opts.Trace != nil {
 		s.traceEpoch = time.Now() //lcws:presync constructor: worker goroutines have not started
 	}
-	if opts.StealBatch {
-		//lcws:presync constructor: worker goroutines have not started
-		s.parkWords = make([]atomic.Uint64, (opts.Workers+63)/64)
-	}
+	//lcws:presync constructor: worker goroutines have not started
+	s.parkWords = make([]atomic.Uint64, (opts.Workers+63)/64)
 	for i := range s.workers {
 		var dq taskDeque
 		switch {
@@ -193,6 +229,153 @@ func NewScheduler(opts Options) *Scheduler {
 		s.workers[i].w.init(i, s, dq, opts)
 	}
 	return s
+}
+
+// Start spawns the resident worker goroutines if they are not running
+// yet. Submissions start them on demand, so calling Start is optional;
+// it exists for callers that want the spawn cost out of the first
+// request's latency.
+func (s *Scheduler) Start() { s.ensureStarted() }
+
+// ensureStarted spawns the P resident workers exactly once.
+func (s *Scheduler) ensureStarted() {
+	s.startOnce.Do(func() {
+		for i := range s.workers {
+			w := s.worker(i)
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				if s.opts.Trace != nil {
+					// Label the worker's profiler samples; pprof.Do
+					// allocates, so the wrap is traced-only.
+					pprof.Do(context.Background(), s.workerLabels(w.id, "resident"), func(context.Context) {
+						w.residentLoop()
+					})
+				} else {
+					w.residentLoop()
+				}
+			}()
+		}
+	})
+}
+
+// Close shuts the executor down: no further submissions are accepted
+// (they settle immediately with ErrSchedulerClosed), in-flight and
+// already-queued jobs run to completion, and the resident workers then
+// exit. Close blocks until every worker has exited; it is idempotent
+// and safe to call concurrently with submissions from other
+// goroutines. After Close, counter and trace reads are exact.
+func (s *Scheduler) Close() error {
+	if !s.closed.Swap(true) {
+		s.wakeAll()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Closed reports whether Close has been called.
+func (s *Scheduler) Closed() bool { return s.closed.Load() }
+
+// Submit enqueues a fork-join job rooted at root and returns
+// immediately; it is safe to call from any goroutine, including
+// concurrently with other submissions and with Close. Multiple
+// submitted jobs run concurrently over the same worker pool. Wait on
+// the returned Job for completion and inspect its Err and Stats.
+func (s *Scheduler) Submit(root func(*Worker)) *Job {
+	return s.submit(nil, root)
+}
+
+// SubmitCtx is Submit with cancellation: if ctx is cancelled before
+// the job finishes, the job's remaining tasks are drained without
+// being executed, running tasks are unwound at their next Poll
+// checkpoint or task boundary (the same hooks that deliver the
+// emulated steal signals), and Job.Err returns the context's error.
+// Cancelling a job never affects other jobs on the pool.
+func (s *Scheduler) SubmitCtx(ctx context.Context, root func(*Worker)) *Job {
+	return s.submit(ctx, root)
+}
+
+func (s *Scheduler) submit(ctx context.Context, root func(*Worker)) *Job {
+	j := &Job{
+		id:    s.jobSeq.Add(1),
+		sched: s,
+		done:  make(chan struct{}),
+		start: time.Now(),
+	}
+	j.root.prepareFn(root)
+	j.root.job = j //lcws:presync job constructor: published to workers only via the injector's lock
+	s.jobsSubmitted.Add(1)
+	// Order matters: the increment must precede the closed check. If we
+	// observe closed == false here, the increment is before Close's
+	// store in the seq-cst total order, so any worker that later loads
+	// closed == true also loads activeJobs >= 1 and keeps running until
+	// this job settles — a submission that won the race cannot strand.
+	s.activeJobs.Add(1)
+	if s.closed.Load() {
+		j.fail(ErrSchedulerClosed)
+		j.settle()
+		return j
+	}
+	j.shards = make([]jobShard, len(s.workers)) //lcws:presync job constructor: published to workers only via the injector's lock
+	s.ensureStarted()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			j.fail(err)
+			j.settle()
+			return j
+		}
+		if ctx.Done() != nil {
+			j.stop = context.AfterFunc(ctx, func() { //lcws:presync written before inj.Push publishes the job; settle runs after a worker's locked pop (or on this goroutine)
+				j.fail(context.Cause(ctx))
+				// Wake parked workers so a cancelled-but-unstarted job is
+				// drained (and settled) promptly even on an idle pool.
+				s.wakeAll()
+			})
+		}
+	}
+	s.inj.Push(j)
+	// Publish-then-scan half of the Dekker handshake with deepPark.
+	s.wakeAll()
+	return j
+}
+
+// Run executes root to completion on the resident pool and returns
+// when root and every task it transitively forked have finished: it is
+// Submit + Wait. If a task panics, Run re-throws the panic wrapped as
+// *TaskPanic — and unlike the one-shot scheduler this poisons nothing:
+// the job's orphaned tasks are drained and the pool stays healthy for
+// further Runs. Run may be called concurrently from several
+// goroutines; the jobs share the pool.
+func (s *Scheduler) Run(root func(*Worker)) {
+	j := s.Submit(root)
+	if err := j.Wait(); err != nil {
+		if tp, ok := err.(*TaskPanic); ok {
+			panic(tp)
+		}
+		panic(err)
+	}
+}
+
+// RunCtx is Run with cancellation and an error return instead of a
+// panic: it waits for the job and returns Job.Err (a *TaskPanic if a
+// task panicked, ctx's error if cancelled, nil on success).
+func (s *Scheduler) RunCtx(ctx context.Context, root func(*Worker)) error {
+	return s.SubmitCtx(ctx, root).Wait()
+}
+
+// quiesce spins until no worker is inside its busy phase, provided the
+// pool is idle (no active jobs). Workers leave the busy phase promptly
+// once activeJobs hits zero — the longest they can lag is one capped
+// idle-backoff sleep or insurance-timer park (≤1ms). The busy
+// counter's release/acquire pair makes every counter and trace write
+// of the finished jobs visible to the caller, restoring the seed
+// scheduler's "Stats after Run are exact" guarantee for the resident
+// pool. With other jobs still active, quiesce returns immediately and
+// concurrent Stats reads stay approximate, as documented.
+func (s *Scheduler) quiesce() {
+	for s.activeJobs.Load() == 0 && s.busy.Load() != 0 {
+		runtime.Gosched()
+	}
 }
 
 // setParked marks worker id parked in the parking-lot bitset.
@@ -249,9 +432,9 @@ func (s *Scheduler) wakeOne(c *counters.Worker) {
 	}
 }
 
-// wakeAll unparks every parked worker; Run calls it when the computation
-// finishes so parked helpers exit promptly instead of on their insurance
-// timers.
+// wakeAll unparks every parked worker. Submissions, job settlement,
+// cancellation, and Close call it so the pool re-evaluates its state
+// promptly instead of on insurance timers.
 func (s *Scheduler) wakeAll() {
 	for wi := range s.parkWords {
 		word := s.parkWords[wi].Swap(0)
@@ -274,8 +457,9 @@ func (s *Scheduler) Workers() int { return len(s.workers) }
 func (s *Scheduler) Policy() Policy { return s.opts.Policy }
 
 // Counters returns the aggregated instrumentation counters accumulated by
-// all Run calls since the last ResetCounters. It is exact only while no
-// Run is in progress.
+// all jobs since the last ResetCounters. It is exact after Job.Wait on
+// an otherwise-idle scheduler (see quiesce) and approximate while jobs
+// are running.
 func (s *Scheduler) Counters() counters.Snapshot { return s.ctrs.Snapshot() }
 
 // WorkerCounters returns worker id's own counter snapshot.
@@ -295,13 +479,36 @@ func (s *Scheduler) ResetCounters() { s.ctrs.Reset() }
 // recorder (Options.Trace non-nil).
 func (s *Scheduler) Tracing() bool { return s.opts.Trace != nil }
 
+// recordJobSpan logs a settled job for the Chrome export (traced
+// schedulers only; bounded to maxJobSpans, dropping oldest).
+func (s *Scheduler) recordJobSpan(j *Job, failed bool) {
+	if s.opts.Trace == nil {
+		return
+	}
+	span := trace.JobSpan{
+		ID:     j.id,
+		Start:  j.start.Sub(s.traceEpoch).Nanoseconds(),
+		End:    time.Since(s.traceEpoch).Nanoseconds(),
+		Failed: failed,
+	}
+	s.spanMu.Lock()
+	if len(s.jobSpans) >= maxJobSpans {
+		s.jobSpans = append(s.jobSpans[:0], s.jobSpans[1:]...)
+	}
+	s.jobSpans = append(s.jobSpans, span)
+	s.spanMu.Unlock()
+}
+
 // TraceSnapshot decodes every worker's flight-recorder ring into one
 // merged, time-sorted event stream plus the aggregated latency
-// histograms. It is safe to call at any time, including concurrently
-// with a running Run: each ring is frozen for the instant it is read
-// (its owner drops — and counts — events that land in that window), so
-// the snapshot is race-free without stopping the world. On a scheduler
-// built without Options.Trace it returns an empty Trace.
+// histograms and the settled jobs' spans. It is safe to call at any
+// time, including concurrently with running jobs: each ring is frozen
+// for the instant it is read (its owner drops — and counts — events
+// that land in that window), so the snapshot is race-free without
+// stopping the world. Events carry the id of the job their worker was
+// executing (0 between jobs, or when the tagging job-switch event has
+// aged out of the ring). On a scheduler built without Options.Trace it
+// returns an empty Trace.
 func (s *Scheduler) TraceSnapshot() trace.Trace {
 	t := trace.Trace{Policy: s.opts.Policy.String(), Workers: len(s.workers)}
 	if s.opts.Trace == nil {
@@ -309,94 +516,36 @@ func (s *Scheduler) TraceSnapshot() trace.Trace {
 	}
 	for i := range s.workers {
 		events, dropped := s.worker(i).rec.Snapshot(i)
+		// Walk this worker's events in ring order, carrying the job id
+		// forward from each job-switch marker.
+		cur := uint64(0)
+		for k := range events {
+			if events[k].Type == trace.EvJobSwitch {
+				cur = uint64(events[k].Arg)
+			}
+			events[k].Job = cur
+		}
 		t.Events = append(t.Events, events...)
 		t.Dropped += dropped
 		for l := 0; l < trace.NumLatencies; l++ {
 			t.Latencies[l] = t.Latencies[l].Add(s.worker(i).rec.Hist(l))
 		}
 	}
+	s.spanMu.Lock()
+	t.Jobs = append(t.Jobs, s.jobSpans...)
+	s.spanMu.Unlock()
 	sort.SliceStable(t.Events, func(a, b int) bool { return t.Events[a].Ts < t.Events[b].Ts })
 	return t
 }
 
 // workerLabels builds the pprof label set attributing a worker's CPU
 // samples to the scheduling policy, the worker id, and its phase
-// ("root" for the caller's goroutine running the root task, "helper"
-// for the stealing helpers). Applied only when tracing is on.
+// ("resident" for the pool's long-lived workers). Applied only when
+// tracing is on.
 func (s *Scheduler) workerLabels(id int, phase string) pprof.LabelSet {
 	return pprof.Labels(
 		"lcws_policy", s.opts.Policy.String(),
 		"lcws_worker", strconv.Itoa(id),
 		"lcws_phase", phase,
 	)
-}
-
-// labeledHelp runs a helper worker's loop under its pprof labels.
-func (s *Scheduler) labeledHelp(w *Worker) {
-	pprof.Do(context.Background(), s.workerLabels(w.id, "helper"), func(context.Context) {
-		w.helpUntil(nil, 0)
-	})
-}
-
-// Run executes root to completion on the pool and returns when root and
-// every task it transitively forked have finished. Worker 0 executes root;
-// the remaining workers start stealing immediately.
-func (s *Scheduler) Run(root func(*Worker)) {
-	if s.running.Swap(true) {
-		panic("core: concurrent Run calls on the same Scheduler")
-	}
-	defer s.running.Store(false)
-
-	s.finished.Store(false)
-	for i := range s.workers {
-		s.workers[i].w.resetForRun()
-	}
-
-	for i := 1; i < len(s.workers); i++ {
-		w := s.worker(i)
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			if s.opts.Trace != nil {
-				s.labeledHelp(w)
-			} else {
-				w.helpUntil(nil, 0)
-			}
-		}()
-	}
-
-	// The caller's goroutine acts as worker 0 for the duration of the
-	// Run, so allocating the root task from its freelist is owner-local.
-	w0 := s.worker(0)
-	rootTask := w0.newTask()
-	rootTask.prepareFn(root)
-	if s.opts.Trace != nil {
-		// Label the root's profiler samples like the helpers'; pprof.Do
-		// allocates, so the wrap is traced-only and Run stays
-		// allocation-free when tracing is off.
-		pprof.Do(context.Background(), s.workerLabels(0, "root"), func(context.Context) {
-			w0.runTask(rootTask)
-		})
-	} else {
-		w0.runTask(rootTask)
-	}
-	s.finished.Store(true)
-	if s.opts.StealBatch {
-		s.wakeAll()
-	}
-	s.wg.Wait()
-	w0.freeTask(rootTask)
-
-	if s.panicked.Load() {
-		// A task panicked: its fork subtree was abandoned, so deques may
-		// legitimately hold orphaned tasks. Report the original panic to
-		// the caller; the scheduler must not be reused afterwards.
-		panic(s.panicVal)
-	}
-	for i := range s.workers {
-		w := s.worker(i)
-		if !w.dq.IsEmpty() {
-			panic(fmt.Sprintf("core: worker %d deque non-empty after Run (scheduler invariant violated)", w.id))
-		}
-	}
 }

@@ -209,24 +209,29 @@ func TestCountersPolicyModel(t *testing.T) {
 	}
 }
 
-func TestConcurrentRunPanics(t *testing.T) {
+func TestConcurrentRunsShareThePool(t *testing.T) {
+	// The resident executor accepts overlapping Runs from multiple
+	// goroutines: both jobs complete over the same pool (the one-shot
+	// scheduler used to panic here).
 	s := newTestScheduler(WS, 2)
 	inRun := make(chan struct{})
 	release := make(chan struct{})
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		s.Run(func(w *Worker) {
 			close(inRun)
 			<-release
 		})
 	}()
 	<-inRun
-	defer close(release)
-	defer func() {
-		if recover() == nil {
-			t.Error("concurrent Run did not panic")
-		}
-	}()
-	s.Run(func(w *Worker) {})
+	var got int
+	s.Run(func(w *Worker) { got = fib(w, 10) })
+	if got != 55 {
+		t.Errorf("overlapping Run: fib(10) = %d, want 55", got)
+	}
+	close(release)
+	<-done
 }
 
 func TestParsePolicy(t *testing.T) {

@@ -58,6 +58,16 @@ type Stats struct {
 	// TraceDrops counts flight-recorder events lost to ring wrap-around
 	// or snapshot freeze windows; always zero when tracing is off.
 	TraceDrops uint64
+	// TasksDiscarded counts orphaned tasks drained unexecuted because
+	// their job failed or was cancelled; zero while every job succeeds.
+	TasksDiscarded uint64
+
+	// Executor-level job accounting (scheduler atomics, not per-worker
+	// counters): jobs submitted / settled successfully / settled failed
+	// since the scheduler's creation or the last ResetStats.
+	JobsSubmitted uint64
+	JobsCompleted uint64
+	JobsFailed    uint64
 
 	// The derived latency histograms, populated only on schedulers built
 	// with tracing (zero-valued otherwise). Like the counters they are
@@ -96,6 +106,7 @@ func statsFromSnapshot(sn counters.Snapshot) Stats {
 		WakeupsSent:      sn.Get(counters.WakeupsSent),
 		ParkCount:        sn.Get(counters.ParkCount),
 		TraceDrops:       sn.Get(counters.TraceDrop),
+		TasksDiscarded:   sn.Get(counters.TaskDiscarded),
 	}
 }
 
@@ -105,6 +116,9 @@ func statsFromSnapshot(sn counters.Snapshot) Stats {
 // counters are owner-written without synchronization).
 func (s *Scheduler) Stats() Stats {
 	st := statsFromSnapshot(s.ctrs.Snapshot())
+	st.JobsSubmitted = s.jobsSubmitted.Load()
+	st.JobsCompleted = s.jobsCompleted.Load()
+	st.JobsFailed = s.jobsFailed.Load()
 	if s.opts.Trace != nil {
 		for i := range s.workers {
 			st.StealToHit = st.StealToHit.Add(s.worker(i).rec.Hist(trace.LatStealToHit))
@@ -120,6 +134,9 @@ func (s *Scheduler) Stats() Stats {
 // (the flight-recorder rings are untouched; they age out on their own).
 func (s *Scheduler) ResetStats() {
 	s.ctrs.Reset()
+	s.jobsSubmitted.Store(0)
+	s.jobsCompleted.Store(0)
+	s.jobsFailed.Store(0)
 	if s.opts.Trace != nil {
 		for i := range s.workers {
 			s.worker(i).rec.ResetHists()
@@ -155,6 +172,10 @@ func (st Stats) Sub(prev Stats) Stats {
 		WakeupsSent:      clampSub(st.WakeupsSent, prev.WakeupsSent),
 		ParkCount:        clampSub(st.ParkCount, prev.ParkCount),
 		TraceDrops:       clampSub(st.TraceDrops, prev.TraceDrops),
+		TasksDiscarded:   clampSub(st.TasksDiscarded, prev.TasksDiscarded),
+		JobsSubmitted:    clampSub(st.JobsSubmitted, prev.JobsSubmitted),
+		JobsCompleted:    clampSub(st.JobsCompleted, prev.JobsCompleted),
+		JobsFailed:       clampSub(st.JobsFailed, prev.JobsFailed),
 		StealToHit:       st.StealToHit.Sub(prev.StealToHit),
 		FlagToExposure:   st.FlagToExposure.Sub(prev.FlagToExposure),
 		SignalToHandle:   st.SignalToHandle.Sub(prev.SignalToHandle),

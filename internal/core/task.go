@@ -45,6 +45,12 @@ type Task struct {
 	// detect completion of a stolen task.
 	doneSeq atomic.Uint32
 
+	// job tags the task with the Job it belongs to (nil for tasks driven
+	// directly in tests without a job). Written by the pushing worker
+	// before the deque publishes the task, so any thief that obtains the
+	// task observes the tag; aborted-job drains filter on it.
+	job *Job
+
 	// Recycling state, touched only by the forking (owner) worker.
 	seq      uint32 // generation stamp, incremented on every freeTask
 	recycled bool   // set while the task sits on a freelist
@@ -97,6 +103,7 @@ func (t *Task) recycle(head *Task) {
 	t.seq++
 	t.fn = nil
 	t.body = nil
+	t.job = nil
 	t.next = head
 }
 

@@ -73,11 +73,24 @@ type Worker struct {
 	batch      bool  // cached Options.StealBatch
 	sticky     int32 // last successful victim id (-1 = none); batch mode only
 
-	// StealBatch-mode state. parkSem is the worker's parking semaphore:
-	// a waker that claims this worker's bit in Scheduler.parkWords posts
-	// one token here. parkTimer is the missed-wakeup insurance timer
-	// (lazily allocated on first park). stealBuf receives batched steals
-	// (owner-only after the claim; see stealFromBatched).
+	// Job context, owner-only: curJob is the job of the task currently
+	// executing on this worker (nil between tasks and for untagged test
+	// tasks), curShard its per-worker accounting shard. runTask saves
+	// and restores them around each task, so a worker helping one job's
+	// join while executing another job's stolen task accounts each task
+	// to its own job. taskDepth counts nested runTask frames; the
+	// abort-unwind sentinel fires only at depth > 0 (see Checkpoint).
+	curJob    *Job
+	curShard  *jobShard
+	taskDepth int32
+
+	// parkSem is the worker's parking semaphore: a waker that claims
+	// this worker's bit in Scheduler.parkWords posts one token here.
+	// Used by the in-job parking lot (StealBatch mode) and by every
+	// worker's between-jobs deep park. parkTimer is the missed-wakeup
+	// insurance timer (lazily allocated on first park). stealBuf
+	// receives batched steals (owner-only after the claim; see
+	// stealFromBatched).
 	parkSem   chan struct{}
 	parkTimer *time.Timer
 	stealBuf  [stealBatchSize]*Task
@@ -112,20 +125,17 @@ func (w *Worker) init(id int, s *Scheduler, dq taskDeque, opts Options) {
 	w.yieldEvery = opts.YieldEvery
 	w.batch = opts.StealBatch
 	w.sticky = -1
-	if opts.StealBatch {
-		w.parkSem = make(chan struct{}, 1)
-	}
+	w.parkSem = make(chan struct{}, 1)
 	if opts.Trace != nil {
 		w.rec = trace.NewRecorder(*opts.Trace, s.traceEpoch, w.ctr)
 	}
 }
 
-// resetForRun clears per-run scheduling state. It runs at the top of
-// Scheduler.Run, before the worker goroutines of that Run are started.
-// Everything a Run mutates must be reset here — pollCount and sinceYield
-// included, so the poll phase and yield cadence of one Run cannot leak
-// into the next (leaked phase made signal-handling latency differ
-// between identical seeded runs).
+// resetForRun clears per-run scheduling state. The resident executor
+// resets the deterministic subset (poll phase, yield cadence, idle
+// ladder) in startJob on the worker that picks a job up; this full
+// variant also clears the notification words and is used by tests that
+// drive workers directly on an unstarted scheduler.
 func (w *Worker) resetForRun() {
 	w.targeted.Store(false)
 	w.pending.Store(false)
@@ -184,7 +194,21 @@ func (w *Worker) Poll() {
 // it. It is the emulated signal-delivery point; the handler (the deque's
 // Expose) runs on this worker's goroutine, mirroring a POSIX handler
 // running on the victim's thread.
+//
+// Checkpoint is also where an aborted job (task panic elsewhere in the
+// job, or context cancellation) unwinds its running tasks: inside a
+// task of an aborted job it throws the internal errJobAborted sentinel,
+// which the enclosing runTask boundary swallows after the usual
+// completion bookkeeping. The depth guard keeps the sentinel out of
+// the resident worker loop itself, and the curJob check means a worker
+// nested into a *different*, healthy job's task is not unwound — only
+// the aborted job's own frames are.
 func (w *Worker) Checkpoint() {
+	if w.taskDepth > 0 {
+		if j := w.curJob; j != nil && j.aborted.Load() {
+			panic(errJobAborted)
+		}
+	}
 	if w.pending.Load() {
 		w.pending.Store(false)
 		w.ctr.Inc(counters.SignalHandled)
@@ -222,16 +246,38 @@ func (w *Worker) runLeaf(lo, hi int, body func(*Worker, int)) {
 	}
 }
 
+// setJob switches this worker's job context to j (nil = none),
+// recaching the accounting shard and recording the switch in the
+// flight recorder. Owner-only.
+func (w *Worker) setJob(j *Job) {
+	w.curJob = j
+	w.curShard = w.shardOf(j)
+	if w.rec != nil {
+		w.rec.JobSwitch(uint32(jobID(j)))
+	}
+}
+
 // runTask executes t — a plain function task or a range task — and marks
 // it done. With Options.YieldEvery set, the worker periodically yields
 // the OS thread so that on oversubscribed hosts thieves interleave with
 // busy workers at task granularity.
 //
-// A panic in the task function is captured into the scheduler (the first
-// one wins) and re-thrown by Run after the computation drains; the task
-// still counts as done so joins waiting on it cannot hang. runTask never
-// frees t: recycling is the forking worker's job, at its join point.
+// runTask is a job boundary: if t belongs to a different job than the
+// one this worker is currently in (a stolen task picked up while
+// helping another job's join, or a top-level task from the resident
+// loop), the worker's job context is switched for the task's duration
+// and restored after. It is also the job-failure firewall: a panic in
+// the task function fails t's job and is swallowed here — the worker
+// goroutine survives, and only the job's own tasks unwind. The task
+// still counts as done so joins waiting on it cannot hang. runTask
+// never frees t: recycling is the forking worker's job, at its join
+// point.
 func (w *Worker) runTask(t *Task) {
+	prevJob := w.curJob
+	if t.job != prevJob {
+		w.setJob(t.job)
+	}
+	w.taskDepth++
 	if w.rec != nil {
 		if t.fn != nil {
 			w.rec.TaskBegin(0)
@@ -239,7 +285,7 @@ func (w *Worker) runTask(t *Task) {
 			w.rec.TaskBegin(1)
 		}
 	}
-	defer w.taskDone(t)
+	defer w.taskDone(t, prevJob)
 	if t.fn != nil {
 		t.fn(w)
 	} else {
@@ -254,21 +300,50 @@ func (w *Worker) runTask(t *Task) {
 	}
 }
 
-// taskDone is runTask's deferred epilogue: capture a task panic (with
-// this worker's id and recent trace history), close the task's trace
-// span, and mark the task complete. It is a named Worker method rather
+// taskDone is runTask's deferred epilogue: dispose of a task panic,
+// close the task's trace span, account and mark the task complete, and
+// restore the enclosing job context. It is a named Worker method rather
 // than a closure so its owner-only accesses (rec, freelist-class state)
 // verifiably run on the owner's goroutine; recover works here because
 // taskDone is itself the deferred function.
-func (w *Worker) taskDone(t *Task) {
-	if r := recover(); r != nil {
-		w.sched.recordPanic(w.id, r, w.traceTail())
+//
+// Panic disposition: the errJobAborted sentinel thrown by a Checkpoint
+// of an aborted job stops unwinding here — this is the task boundary it
+// was unwinding to. A real panic fails t's job (first failure wins) and
+// is likewise swallowed: the pool stays healthy, the job's remaining
+// tasks are drained by job-id filtering, and the job's waiter receives
+// the panic wrapped as *TaskPanic via Job.Err (Run re-throws it). Only
+// a panic in an untagged task (unit tests driving workers directly) is
+// re-thrown to the caller. In every case the completion stamp is
+// stored, so joins waiting on the task cannot hang.
+func (w *Worker) taskDone(t *Task, prevJob *Job) {
+	// Capture the job tag before the completion stamp: the stamp is
+	// this worker's last permitted access to t — the forking worker's
+	// join may observe it and recycle t immediately.
+	j := t.job
+	var rethrow any
+	if r := recover(); r != nil && r != errJobAborted { //nolint:errorlint // sentinel identity
+		if j != nil {
+			j.fail(&TaskPanic{WorkerID: w.id, Value: r, Tail: w.traceTail()})
+		} else {
+			rethrow = r
+		}
 	}
 	if w.rec != nil {
 		w.rec.TaskEnd()
 	}
+	if sh := w.curShard; sh != nil {
+		sh.completed++
+	}
 	t.complete()
 	w.ctr.Inc(counters.TaskExecuted)
+	w.taskDepth--
+	if j != prevJob {
+		w.setJob(prevJob)
+	}
+	if rethrow != nil {
+		panic(rethrow)
+	}
 }
 
 // runInline executes a forked task that its own join popped back
@@ -301,11 +376,30 @@ func (w *Worker) runInline(t *Task) {
 
 // inlineDone is runInline's deferred epilogue; unlike taskDone it skips
 // the completion stamp (see runInline) and the trace span close.
+//
+// Inline tasks always run inside their forker's spine, in the same job,
+// so a panic here cannot stop at this boundary: after failing the job
+// and accounting the task, unwinding continues as the errJobAborted
+// sentinel up to the nearest runTask frame (whose taskDone swallows
+// it). Resuming the forker's code would be pointless — its job is now
+// aborted and its next Checkpoint would unwind it anyway. A panic in an
+// untagged task (unit tests driving workers directly) re-throws the
+// original value to the caller.
 func (w *Worker) inlineDone() {
-	if r := recover(); r != nil {
-		w.sched.recordPanic(w.id, r, w.traceTail())
+	r := recover()
+	if r != nil && r != errJobAborted { //nolint:errorlint // sentinel identity
+		if j := w.curJob; j != nil {
+			j.fail(&TaskPanic{WorkerID: w.id, Value: r, Tail: w.traceTail()})
+			r = errJobAborted
+		}
+	}
+	if sh := w.curShard; sh != nil {
+		sh.completed++
 	}
 	w.ctr.Inc(counters.TaskExecuted)
+	if r != nil {
+		panic(r)
+	}
 }
 
 // panicTailEvents is how many trailing flight-recorder events a task
@@ -334,7 +428,24 @@ func (w *Worker) traceFork() {
 	}
 }
 
-// push appends a task to this worker's deque, applying the policy's
+// push appends a freshly forked task to this worker's deque: it tags
+// the task with the worker's current job (so thieves — and the orphan
+// drain — know which job it belongs to), accounts it to the job's
+// per-worker shard, and hands off to pushNoTag. The tag is written
+// before the deque's publication protocol makes the task visible to
+// thieves, so t.job is immutable-after-publish.
+func (w *Worker) push(t *Task) {
+	t.job = w.curJob //lcws:presync written before the deque's release publication makes t visible to thieves
+	if sh := w.curShard; sh != nil {
+		sh.created++
+	}
+	w.pushNoTag(t)
+}
+
+// pushNoTag appends a task to this worker's deque without touching its
+// job tag or accounting — used by push (which tags first) and by the
+// batched-steal remnant landing, where the tasks keep the job tag and
+// created-count of their original forker. It applies the policy's
 // push-side flag maintenance (§4: in the signal-based schedulers the
 // targeted flag is reset when the owner pushes new work, so thieves may
 // notify again). The reset is a single unconditional store: the flag
@@ -342,7 +453,7 @@ func (w *Worker) traceFork() {
 // does not otherwise touch, so the store costs at most one exclusive
 // line acquisition — while the former load-test-store pair put an extra
 // load and a mispredictable branch on every fork.
-func (w *Worker) push(t *Task) {
+func (w *Worker) pushNoTag(t *Task) {
 	// Batch mode: a push onto an empty deque is the event that turns an
 	// idle pool busy again, so it wakes one parked thief. (For the WS
 	// baseline the pushed task is immediately stealable; for the split
@@ -419,7 +530,25 @@ func (w *Worker) popLocal() *Task {
 // stamp turns into an immediate panic. After the join the task is
 // returned to this worker's freelist.
 func (w *Worker) join(rt *Task, want uint32) {
-	if t := w.popLocal(); t != nil {
+	for {
+		t := w.popLocal()
+		if t == nil {
+			// rt was stolen (or exposed and then stolen); work on other
+			// tasks until the thief finishes it.
+			w.helpUntil(rt, want)
+			break
+		}
+		if j := t.job; j != nil && j.aborted.Load() {
+			// An orphan of an aborted job — possibly rt itself, or a
+			// task left above it by an unwound nested frame. Drain it
+			// (the discard stamps completion, so if it was rt the join
+			// is satisfied) and keep looking.
+			w.discard(t)
+			if t == rt {
+				break
+			}
+			continue
+		}
 		if t != rt {
 			// LIFO discipline guarantees rt is the bottom-most task
 			// *this worker forked*: every task forked after rt was
@@ -434,13 +563,10 @@ func (w *Worker) join(rt *Task, want uint32) {
 			}
 			w.runTask(t)
 			w.helpUntil(rt, want)
-		} else {
-			w.runInline(t)
+			break
 		}
-	} else {
-		// rt was stolen (or exposed and then stolen); work on other
-		// tasks until the thief finishes it.
-		w.helpUntil(rt, want)
+		w.runInline(t)
+		break
 	}
 	if rt.seq+1 != want {
 		panic("core: forked task was recycled while its join was in flight (generation stamp mismatch)")
@@ -536,7 +662,9 @@ func (w *Worker) stealFromBatched(v *Worker, vid int) *Task {
 		}
 		t := w.stealBuf[0]
 		for i := 1; i < nTasks; i++ {
-			w.push(w.stealBuf[i])
+			// Remnants keep their original job tag and accounting; only
+			// their deque changes hands.
+			w.pushNoTag(w.stealBuf[i])
 			w.stealBuf[i] = nil
 		}
 		w.stealBuf[0] = nil
@@ -695,7 +823,7 @@ func (w *Worker) park() {
 	default:
 	}
 	w.sched.setParked(w.id)
-	if w.sched.finished.Load() || w.pending.Load() || w.anyPublicWork() {
+	if w.sched.closed.Load() || w.pending.Load() || w.anyPublicWork() {
 		w.sched.clearParked(w.id)
 		return
 	}
@@ -740,25 +868,28 @@ func (w *Worker) anyPublicWork() bool {
 	return false
 }
 
-// next implements Listing 1's get_task generalized over the stop
-// condition: with join == nil it serves the top-level worker loop and
-// stops when the computation finishes; with join != nil it serves a
-// fork's join point and stops when the awaited task's completion stamp
-// reaches want. It returns nil exactly when the stop condition became
-// true. Threading the awaited task instead of a stop closure keeps the
-// fork join path allocation-free (a captured predicate would
-// heap-allocate per fork).
+// next implements Listing 1's get_task for a fork's join point: it
+// serves scheduler work until the awaited task's completion stamp
+// reaches want, returning nil exactly when it has. Tasks of aborted
+// jobs are drained here (discarded, never returned), so a helping
+// worker cannot be handed a dead job's work. Threading the awaited
+// task instead of a stop closure keeps the fork join path
+// allocation-free (a captured predicate would heap-allocate per fork).
+// The top-level resident loop has its own acquisition loop (busyPhase)
+// — it additionally polls the injector, which join helping must not
+// (picking up a whole new job inside a join would reset the poll phase
+// and nest arbitrarily deep work under the waiter).
 func (w *Worker) next(join *Task, want uint32) *Task {
 	for {
-		if join != nil {
-			if join.isDone(want) {
-				return nil
-			}
-		} else if w.sched.finished.Load() {
+		if join.isDone(want) {
 			return nil
 		}
 		w.Checkpoint()
 		if t := w.popLocal(); t != nil {
+			if j := t.job; j != nil && j.aborted.Load() {
+				w.discard(t)
+				continue
+			}
 			w.idleSpins = 0
 			w.idleSleep = 0
 			if w.rec != nil {
@@ -776,11 +907,17 @@ func (w *Worker) next(join *Task, want uint32) *Task {
 			w.targeted.Store(false)
 		}
 		if t := w.stealOnce(); t != nil {
+			if j := t.job; j != nil && j.aborted.Load() {
+				w.discard(t)
+				continue
+			}
 			w.idleSpins = 0
 			w.idleSleep = 0
 			return t
 		}
-		w.idleBackoff(join == nil)
+		// Joins never park: the awaited completion stamp is a plain
+		// store with no wakeup event attached.
+		w.idleBackoff(false)
 	}
 }
 
@@ -797,4 +934,199 @@ func (w *Worker) helpUntil(join *Task, want uint32) {
 		}
 		w.runTask(t)
 	}
+}
+
+// residentLoop is a resident worker's top-level state machine: it
+// alternates between the counter-free idle phase (no jobs anywhere;
+// deep-parked on the parking lot) and the busy phase (the paper's
+// work-stealing loop, active while jobs are in flight). It returns —
+// ending the worker goroutine — only when the scheduler is closed and
+// fully drained.
+func (w *Worker) residentLoop() {
+	for {
+		if w.idlePhase() {
+			return
+		}
+		w.busyPhase()
+	}
+}
+
+// deepParkInsurance is the between-jobs park timeout. Every state
+// change that can end the idle phase (Submit, settle, cancellation,
+// Close) wakes the pool explicitly, so this timer is pure insurance;
+// it is much longer than the in-job cap because there is no steal
+// latency to bound between jobs.
+const deepParkInsurance = 100 * time.Millisecond
+
+// idlePhase holds the worker between jobs. It returns true when the
+// worker must exit (scheduler closed and drained), false when work may
+// exist again (a job was submitted or is still active). The phase is
+// deliberately free of counter and trace writes: an idle executor
+// mutates no instrumentation, so Stats taken between jobs are stable
+// and the per-policy counting models see only in-job events.
+func (w *Worker) idlePhase() bool {
+	s := w.sched
+	spins := 0
+	for {
+		if s.closed.Load() {
+			// The closed load precedes the activeJobs load: a Submit
+			// that observed the scheduler open incremented activeJobs
+			// before our closed load (seq-cst total order), so we
+			// cannot miss its job here and exit early.
+			return s.activeJobs.Load() == 0 && s.inj.Empty()
+		}
+		if s.activeJobs.Load() > 0 || !s.inj.Empty() {
+			return false
+		}
+		spins++
+		switch {
+		case spins <= idleSpinIters:
+			// Spin: the next job is often right behind the last.
+		case spins <= idleSpinIters+idleYieldIters:
+			runtime.Gosched()
+		default:
+			w.deepPark()
+		}
+	}
+}
+
+// deepPark blocks an idle worker on its parking semaphore until a
+// state change wakes it (or the insurance timer fires). Same Dekker
+// ordering as the in-job park: the parker sets its bit (seq-cst RMW)
+// and re-checks the wake conditions; producers (Submit's inj.Push,
+// settle, Close) publish their state change and then wakeAll. One side
+// must observe the other, so a submission cannot sleep through a fully
+// parked pool. Unlike park, deepPark records no counters or trace
+// events — between-jobs idleness belongs to no job's profile.
+func (w *Worker) deepPark() {
+	s := w.sched
+	// Drop a stale token from a wake that raced a previous timeout.
+	select {
+	case <-w.parkSem:
+	default:
+	}
+	s.setParked(w.id)
+	if s.closed.Load() || s.activeJobs.Load() > 0 || !s.inj.Empty() {
+		s.clearParked(w.id)
+		return
+	}
+	if w.parkTimer == nil {
+		w.parkTimer = time.NewTimer(deepParkInsurance)
+	} else {
+		w.parkTimer.Reset(deepParkInsurance)
+	}
+	select {
+	case <-w.parkSem:
+	case <-w.parkTimer.C:
+	}
+	if !w.parkTimer.Stop() {
+		select {
+		case <-w.parkTimer.C:
+		default:
+		}
+	}
+	s.clearParked(w.id)
+}
+
+// busyPhase is the in-job work loop: the seed scheduler's helper loop
+// extended with injector pickup and orphan draining. The worker stays
+// here while any job is active (or its own deque holds tasks),
+// executing local work, starting queued jobs, and stealing; it leaves
+// — after draining its deque — once the pool has no active jobs. The
+// enclosing busy counter is what Job.Wait's quiesce spins on: its
+// release/acquire pair publishes this worker's counter and trace
+// writes to post-Wait readers.
+func (w *Worker) busyPhase() {
+	s := w.sched
+	s.busy.Add(1)
+	for {
+		// The exit check runs before Checkpoint: a worker that slips
+		// into the busy phase just after the last job settled must
+		// leave without touching counters — Checkpoint may handle a
+		// signal left pending by the settled job, and that counter
+		// write would be unordered with a waiter's post-Wait reads.
+		if s.activeJobs.Load() == 0 && w.dq.IsEmpty() {
+			break
+		}
+		w.Checkpoint()
+		// The IsEmpty pre-check keeps the between-work iterations
+		// counter-free: popLocal on a definitely-empty deque would
+		// still account fences for some policies, perturbing the
+		// per-policy counting models with idle-loop noise.
+		if !w.dq.IsEmpty() {
+			if t := w.popLocal(); t != nil {
+				if j := t.job; j != nil && j.aborted.Load() {
+					w.discard(t)
+					continue
+				}
+				w.idleSpins = 0
+				w.idleSleep = 0
+				if w.rec != nil {
+					w.rec.LocalWork()
+				}
+				w.runTask(t)
+				continue
+			}
+		}
+		if j, ok := s.inj.TryPop(); ok {
+			w.idleSpins = 0
+			w.idleSleep = 0
+			w.startJob(j)
+			continue
+		}
+		if s.activeJobs.Load() == 0 {
+			// Either orphans of failed jobs remain (loop back to drain
+			// them through the popLocal/discard path above) or the
+			// deque is empty and the top-of-loop check exits.
+			continue
+		}
+		if w.rec != nil && w.idleSpins == 0 {
+			// First fruitless local pop of this idle episode.
+			w.rec.DequeEmpty()
+		}
+		if w.policy.flagBased() {
+			// Listing 1 line 17: nothing local to expose; clear the
+			// notification before entering the stealing phase.
+			w.targeted.Store(false)
+		}
+		if t := w.stealOnce(); t != nil {
+			if j := t.job; j != nil && j.aborted.Load() {
+				w.discard(t)
+				continue
+			}
+			w.idleSpins = 0
+			w.idleSleep = 0
+			w.runTask(t)
+			continue
+		}
+		w.idleBackoff(true)
+	}
+	s.busy.Add(-1)
+}
+
+// startJob begins executing a job popped from the injector: this
+// worker runs the job's root task (and, transitively, everything the
+// job forks that is not stolen), then settles the job — by the
+// fork-join structure, the root's return implies every task the job
+// created has completed. The poll phase, yield cadence, and idle
+// ladder are reset first so a job's signal-delivery timing is a
+// deterministic function of the job itself, not of whatever the worker
+// did before (the seed scheduler made the same guarantee via
+// resetForRun).
+func (w *Worker) startJob(j *Job) {
+	if j.aborted.Load() {
+		// Cancelled (or failed) before any worker picked it up: drain
+		// the root, which also settles the job.
+		w.discard(&j.root) //lcws:presync address-of only; this worker owns the job after the locked injector pop
+		return
+	}
+	w.pollCount = 0
+	w.sinceYield = 0
+	w.idleSpins = 0
+	w.idleSleep = 0
+	if sh := w.shardOf(j); sh != nil {
+		sh.created++ // the root task counts toward the job's accounting
+	}
+	w.runTask(&j.root) //lcws:presync address-of only; this worker owns the job after the locked injector pop
+	j.settle()
 }

@@ -77,6 +77,11 @@ const (
 	// or to a concurrent snapshot's freeze window. Zero when tracing is
 	// off or the per-worker ring never filled.
 	TraceDrop
+	// TaskDiscarded counts orphaned tasks drained and dropped (not
+	// executed) because their job had already failed or been cancelled;
+	// each discard still stores the task's completion stamp so in-flight
+	// joins of the dead job cannot hang. Zero while every job succeeds.
+	TaskDiscarded
 
 	numEvents
 )
@@ -104,6 +109,7 @@ var eventNames = [...]string{
 	WakeupsSent:      "wakeups_sent",
 	ParkCount:        "park_count",
 	TraceDrop:        "trace_drops",
+	TaskDiscarded:    "tasks_discarded",
 }
 
 // String returns the snake_case name of the event.

@@ -1,0 +1,87 @@
+// Package injector provides the MPMC submission queue that carries
+// externally submitted jobs into the resident worker pool.
+//
+// The queue is deliberately boring: a mutex-protected growable ring.
+// Submission is an off-hot-path operation (once per job, not once per
+// task), so the deque-style lock-free machinery in internal/deque
+// would buy nothing and cost a second verification surface. What the
+// executor does need from the queue is a cheap, *atomic* emptiness
+// probe that idle workers can poll without taking the lock and —
+// crucially — that participates in the parking lot's Dekker-style
+// no-lost-wakeup protocol: a submitter publishes (Push updates the
+// atomic length under the lock) and then scans the park bitset, while
+// a parking worker sets its park bit and then re-checks Empty. One of
+// the two must observe the other.
+package injector
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is an unbounded multi-producer multi-consumer FIFO.
+// The zero value is ready to use.
+type Queue[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	head int // index of the oldest element
+	n    int // number of elements
+	size atomic.Int64
+}
+
+const minCap = 8
+
+// Push appends v to the tail. Safe from any goroutine.
+func (q *Queue[T]) Push(v T) {
+	q.mu.Lock()
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	q.size.Store(int64(q.n))
+	q.mu.Unlock()
+}
+
+// TryPop removes and returns the oldest element, or (zero, false) when
+// the queue is empty. The empty fast path is a single atomic load so
+// busy workers can poll the injector without contending on the lock.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if q.size.Load() == 0 {
+		return zero, false
+	}
+	q.mu.Lock()
+	if q.n == 0 {
+		q.mu.Unlock()
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release the reference for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.size.Store(int64(q.n))
+	q.mu.Unlock()
+	return v, true
+}
+
+// Len reports the number of queued elements.
+func (q *Queue[T]) Len() int { return int(q.size.Load()) }
+
+// Empty reports whether the queue is empty. It is a single atomic
+// load, ordered after Push's length publication, so it is safe to use
+// in the park/submit Dekker handshake.
+func (q *Queue[T]) Empty() bool { return q.size.Load() == 0 }
+
+// grow doubles the ring, called with q.mu held and the ring full.
+func (q *Queue[T]) grow() {
+	newCap := len(q.buf) * 2
+	if newCap < minCap {
+		newCap = minCap
+	}
+	nb := make([]T, newCap)
+	m := copy(nb, q.buf[q.head:])
+	copy(nb[m:], q.buf[:q.head])
+	q.buf = nb
+	q.head = 0
+}

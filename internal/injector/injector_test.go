@@ -1,0 +1,162 @@
+package injector
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if got := q.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100", got)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.TryPop()
+		if !ok {
+			t.Fatalf("TryPop empty at %d", i)
+		}
+		if v != i {
+			t.Fatalf("TryPop = %d, want %d (FIFO violated)", v, i)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on drained queue returned ok")
+	}
+	if !q.Empty() {
+		t.Fatal("drained queue not Empty")
+	}
+}
+
+func TestGrowthPreservesOrderAcrossWrap(t *testing.T) {
+	var q Queue[int]
+	next := 0   // next value to push
+	expect := 0 // next value we expect to pop
+	// Interleave pushes and pops so head walks around the ring, then
+	// force growth while head is in the middle.
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 6; i++ {
+			q.Push(next)
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.TryPop()
+			if !ok || v != expect {
+				t.Fatalf("round %d: pop = %d,%v, want %d", round, v, ok, expect)
+			}
+			expect++
+		}
+	}
+	for !q.Empty() {
+		v, ok := q.TryPop()
+		if !ok || v != expect {
+			t.Fatalf("drain: pop = %d,%v, want %d", v, ok, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d values, pushed %d", expect, next)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const (
+		producers = 8
+		consumers = 8
+		perProd   = 2000
+	)
+	var q Queue[int]
+	var wg sync.WaitGroup
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				q.Push(p*perProd + i)
+			}
+		}(p)
+	}
+
+	seen := make([]bool, producers*perProd)
+	var mu sync.Mutex
+	var consumed sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			for {
+				v, ok := q.TryPop()
+				if !ok {
+					select {
+					case <-done:
+						if q.Empty() {
+							return
+						}
+					default:
+					}
+					continue
+				}
+				mu.Lock()
+				if seen[v] {
+					mu.Unlock()
+					t.Errorf("value %d popped twice", v)
+					return
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(done)
+	consumed.Wait()
+
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d lost", v)
+		}
+	}
+}
+
+func TestPerProducerOrderPreserved(t *testing.T) {
+	// With a single consumer, each producer's values must come out in
+	// that producer's push order (MPMC FIFO per producer).
+	const producers = 4
+	const perProd = 1000
+	var q Queue[[2]int] // {producer, seq}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				q.Push([2]int{p, i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	for !q.Empty() {
+		v, ok := q.TryPop()
+		if !ok {
+			break
+		}
+		if v[1] != last[v[0]]+1 {
+			t.Fatalf("producer %d: got seq %d after %d", v[0], v[1], last[v[0]])
+		}
+		last[v[0]] = v[1]
+	}
+	for p, l := range last {
+		if l != perProd-1 {
+			t.Fatalf("producer %d: drained through seq %d, want %d", p, l, perProd-1)
+		}
+	}
+}

@@ -22,6 +22,9 @@ type Trace struct {
 	// Latencies are the four derived histograms (Lat* indices),
 	// aggregated across workers.
 	Latencies [NumLatencies]Histogram `json:"latencies"`
+	// Jobs holds the submission-to-settlement spans of jobs settled
+	// while tracing (bounded; oldest dropped first when full).
+	Jobs []JobSpan `json:"jobs,omitempty"`
 }
 
 // Hist returns the aggregated histogram for latency index which.
@@ -36,6 +39,8 @@ type chromeEvent struct {
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	ID    string         `json:"id,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -76,6 +81,8 @@ func instantName(e Event) (string, map[string]any) {
 		return "deque.empty", nil
 	case EvRepair:
 		return "repair", map[string]any{"reclaimed": e.Arg}
+	case EvJobSwitch:
+		return "job.switch", map[string]any{"job": e.Arg}
 	default:
 		return e.Type.String(), nil
 	}
@@ -84,11 +91,13 @@ func instantName(e Event) (string, map[string]any) {
 // WriteChrome writes the trace in Chrome trace_event JSON (object
 // form), loadable by Perfetto and chrome://tracing. Task-run and park
 // episodes become duration ("B"/"E") spans, everything else
-// thread-scoped instants; the aggregated latency histograms, policy and
-// drop count ride in "otherData". Unbalanced spans — a snapshot can
-// open a span whose end fell outside the ring, or cut off a still-open
-// one — are repaired: orphan ends are dropped, dangling begins closed
-// at the trace's last timestamp.
+// thread-scoped instants; each job's submission-to-settlement interval
+// becomes an async ("b"/"e") span so overlapping jobs render as
+// separate tracks; the aggregated latency histograms, policy and drop
+// count ride in "otherData". Unbalanced spans — a snapshot can open a
+// span whose end fell outside the ring, or cut off a still-open one —
+// are repaired: orphan ends are dropped, dangling begins closed at the
+// trace's last timestamp.
 func WriteChrome(w io.Writer, t *Trace) error {
 	var lastTs int64
 	for _, e := range t.Events {
@@ -98,7 +107,7 @@ func WriteChrome(w io.Writer, t *Trace) error {
 	}
 
 	out := chromeFile{
-		TraceEvents:     make([]chromeEvent, 0, len(t.Events)+2*t.Workers+2),
+		TraceEvents:     make([]chromeEvent, 0, len(t.Events)+2*t.Workers+2*len(t.Jobs)+2),
 		DisplayTimeUnit: "ns",
 		OtherData: map[string]any{
 			"policy":  t.Policy,
@@ -142,9 +151,14 @@ func WriteChrome(w io.Writer, t *Trace) error {
 			if e.Type == EvPark && e.Arg == 1 {
 				name = "park.sema"
 			}
+			var args map[string]any
+			if e.Job != 0 {
+				args = map[string]any{"job": e.Job}
+			}
 			stacks[e.Worker] = append(stacks[e.Worker], open{name})
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{
 				Name: name, Ph: "B", Ts: toMicros(e.Ts), Pid: chromePid, Tid: e.Worker,
+				Args: args,
 			})
 		case EvTaskEnd, EvUnpark:
 			st := stacks[e.Worker]
@@ -158,11 +172,35 @@ func WriteChrome(w io.Writer, t *Trace) error {
 			})
 		default:
 			name, args := instantName(e)
+			if e.Job != 0 && e.Type != EvJobSwitch {
+				if args == nil {
+					args = map[string]any{}
+				}
+				args["job"] = e.Job
+			}
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{
 				Name: name, Ph: "i", Ts: toMicros(e.Ts), Pid: chromePid, Tid: e.Worker,
 				Scope: "t", Args: args,
 			})
 		}
+	}
+	// Per-job async spans: one "b"/"e" pair per settled job, keyed by the
+	// job id so overlapping jobs get distinct tracks in the viewer.
+	for _, js := range t.Jobs {
+		name := fmt.Sprintf("job %d", js.ID)
+		id := fmt.Sprintf("0x%x", js.ID)
+		args := map[string]any{"id": js.ID}
+		if js.Failed {
+			args["failed"] = true
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name, Ph: "b", Ts: toMicros(js.Start), Pid: chromePid, Tid: 0,
+			Cat: "job", ID: id, Args: args,
+		})
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name, Ph: "e", Ts: toMicros(js.End), Pid: chromePid, Tid: 0,
+			Cat: "job", ID: id,
+		})
 	}
 	// Close dangling spans at the trace's end so viewers render them.
 	for tid, st := range stacks {

@@ -81,6 +81,11 @@ const (
 	// EvRepair records an UnexposeAll reclaim; Arg is the number of
 	// tasks pulled back from the public part.
 	EvRepair
+	// EvJobSwitch records the worker switching job context; Arg is the
+	// new job id (0 = none). Events after a switch belong to that job
+	// until the next switch; TraceSnapshot uses these markers to fill
+	// the Job field of every event in between.
+	EvJobSwitch
 
 	numEventTypes
 )
@@ -103,6 +108,7 @@ var eventTypeNames = [NumEventTypes]string{
 	EvUnpark:       "unpark",
 	EvDequeEmpty:   "deque.empty",
 	EvRepair:       "repair",
+	EvJobSwitch:    "job.switch",
 }
 
 // String returns the dotted lowercase name of the event type.
@@ -126,6 +132,20 @@ type Event struct {
 	// constants).
 	Arg  uint32 `json:"arg"`
 	Arg2 uint32 `json:"arg2,omitempty"`
+	// Job is the id of the job the worker was serving when the event was
+	// recorded (0 = none). It is not stored in the ring slot; snapshots
+	// derive it from the surrounding EvJobSwitch markers.
+	Job uint64 `json:"job,omitempty"`
+}
+
+// JobSpan is the submission-to-settlement interval of one job, for the
+// Chrome export's per-job async spans. Start/End are trace times
+// (nanoseconds since the scheduler's epoch).
+type JobSpan struct {
+	ID     uint64 `json:"id"`
+	Start  int64  `json:"start"`
+	End    int64  `json:"end"`
+	Failed bool   `json:"failed,omitempty"`
 }
 
 // Config configures the flight recorder of a scheduler.
@@ -360,6 +380,10 @@ func (r *Recorder) DequeEmpty() { r.record(EvDequeEmpty, 0, 0) }
 
 // Repair records an UnexposeAll reclaim of n tasks.
 func (r *Recorder) Repair(n int) { r.record(EvRepair, uint32(n), 0) }
+
+// JobSwitch records the worker switching to job id (0 = leaving job
+// context). Owner-only, like every recording method.
+func (r *Recorder) JobSwitch(id uint32) { r.record(EvJobSwitch, id, 0) }
 
 // Hist returns a copy of latency histogram which (a Lat* index).
 func (r *Recorder) Hist(which int) Histogram { return r.hists[which].snapshot() }

@@ -21,6 +21,27 @@
 // discussion of the signal emulation). Every scheduler records the
 // synchronization operations its C++ reference implementation would
 // execute; Stats exposes them for profiling (the paper's Figures 3 and 8).
+//
+// # Persistent executor
+//
+// A Scheduler is a long-lived executor: its workers are spawned once
+// (lazily on first use, or eagerly via Start), stay resident parked on
+// per-worker semaphores between jobs, and exit only on Close. Run is
+// "submit and wait"; Submit enqueues a job from any goroutine and
+// returns a *Job handle to Wait on, so many goroutines can serve
+// concurrent jobs over one pool:
+//
+//	s := lcws.New(lcws.WithWorkers(8))
+//	defer s.Close()
+//	j := s.Submit(func(ctx *lcws.Ctx) { /* root task */ })
+//	// ... other work, other Submits ...
+//	if err := j.Wait(); err != nil { /* job failed */ }
+//
+// Jobs are isolated: a panicking task fails only its own job (Wait
+// returns a *TaskPanic-wrapped error; the pool stays healthy), and
+// SubmitCtx/RunCtx observe context cancellation at task boundaries and
+// Poll checkpoints. See DESIGN.md §10 for the executor's lifecycle
+// state machine and cost model.
 package lcws
 
 import (
@@ -35,8 +56,28 @@ import (
 // must be called only from the task function that received it.
 type Ctx = core.Worker
 
-// Scheduler is a reusable pool of workers; see New.
+// Scheduler is a persistent pool of resident workers; see New and the
+// package comment's "Persistent executor" section. Submit/SubmitCtx
+// enqueue jobs from any goroutine, Run is submit-and-wait, Start spawns
+// the workers eagerly, Close shuts the pool down.
 type Scheduler = core.Scheduler
+
+// Job is the handle of one submitted fork-join computation: Wait (or
+// the Done channel) for completion, then inspect Err and Stats.
+type Job = core.Job
+
+// JobStats is the per-job task accounting and duration, exact even when
+// jobs overlap on the pool (unlike the scheduler-wide Stats deltas).
+type JobStats = core.JobStats
+
+// Errors surfaced through Job.Err and RunCtx.
+var (
+	// ErrSchedulerClosed is returned by jobs submitted after Close.
+	ErrSchedulerClosed = core.ErrSchedulerClosed
+	// ErrJobInvariant wraps a post-job scheduler accounting violation (a
+	// scheduler bug surfaced as a per-job error rather than a panic).
+	ErrJobInvariant = core.ErrJobInvariant
+)
 
 // Policy selects the scheduling algorithm.
 type Policy = core.Policy

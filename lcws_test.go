@@ -79,8 +79,10 @@ func TestStatsUnstolenFraction(t *testing.T) {
 func TestCtxAccessors(t *testing.T) {
 	s := lcws.New(lcws.WithWorkers(2), lcws.WithPolicy(lcws.ConsLCWS))
 	s.Run(func(ctx *lcws.Ctx) {
-		if ctx.ID() != 0 {
-			t.Errorf("root runs on worker %d, want 0", ctx.ID())
+		// Under the persistent executor any resident worker may pick the
+		// job up from the injector; the id is only guaranteed in range.
+		if id := ctx.ID(); id < 0 || id >= 2 {
+			t.Errorf("root runs on worker %d, want 0 or 1", id)
 		}
 		if ctx.Workers() != 2 {
 			t.Errorf("ctx.Workers() = %d", ctx.Workers())
