@@ -5,7 +5,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: verify build test race vet fuzz-smoke stress lcwsvet bench-fork bench-steal bench-exec submit-stress trace-smoke clean
+.PHONY: verify build test race vet census race-matrix fuzz-smoke stress lcwsvet bench-fork bench-steal bench-exec submit-stress trace-smoke clean
 
 verify: build test race vet fuzz-smoke stress submit-stress trace-smoke
 
@@ -26,6 +26,19 @@ lcwsvet:
 
 vet: lcwsvet
 	$(GO) vet -vettool=$(BIN)/lcwsvet ./...
+
+# Regenerate ANALYSIS.json, the committed concurrency-manifest census
+# (per-field access counts by declared class). CI re-runs this and
+# fails on a diff, so discipline drift must land as a reviewed change.
+census: lcwsvet
+	$(BIN)/lcwsvet -report ANALYSIS.json ./...
+
+# Race-detector smoke of the scheduler core and injector at the two
+# interesting parallelism extremes: P=2 maximizes owner/thief
+# interleaving on one victim, P=8 exercises the multi-victim paths.
+race-matrix:
+	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/core ./internal/injector
+	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/core ./internal/injector
 
 # 10-second fuzz smoke of the split deque's sequential-model fuzzer;
 # regressions in the deque invariants surface here fast.

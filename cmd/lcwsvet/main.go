@@ -1,27 +1,34 @@
 // Command lcwsvet is the repo's concurrency linter: a vet tool bundling
-// the owneronly, atomicfield and syncaccount analyzers (see
-// internal/analysis). It runs in two modes:
+// the owneronly, atomicfield, syncaccount, fieldclass, presync and
+// noalloc analyzers (see internal/analysis). It runs in two modes:
 //
 //	go vet -vettool=$(command -v lcwsvet) ./...
 //
 // drives it through cmd/go's unitchecker protocol (one vet.cfg per
 // build unit, including test variants), and
 //
-//	lcwsvet [packages]
+//	lcwsvet [-report file.json] [packages]
 //
 // runs it standalone over module packages loaded from source (defaults
 // to ./...; test files are not loaded in this mode — use go vet for
-// full coverage).
+// full coverage). With -report, the standalone mode also writes the
+// concurrency-manifest field-access census (see ANALYSIS.json at the
+// repo root) after running the analyzers; CI regenerates the census
+// and diffs it so discipline drift shows up in review.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
 
 	"lcws/internal/analysis"
 	"lcws/internal/analysis/atomicfield"
+	"lcws/internal/analysis/fieldclass"
+	"lcws/internal/analysis/noalloc"
 	"lcws/internal/analysis/owneronly"
+	"lcws/internal/analysis/presync"
 	"lcws/internal/analysis/syncaccount"
 )
 
@@ -29,6 +36,9 @@ var analyzers = []*analysis.Analyzer{
 	owneronly.Analyzer,
 	atomicfield.Analyzer,
 	syncaccount.Analyzer,
+	fieldclass.Analyzer,
+	presync.Analyzer,
+	noalloc.Analyzer,
 }
 
 func main() {
@@ -56,7 +66,20 @@ func main() {
 		return
 	}
 
-	patterns := args
+	reportPath := ""
+	var patterns []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-report" {
+			if i+1 >= len(args) {
+				fmt.Fprintf(os.Stderr, "lcwsvet: -report requires a file argument\n")
+				os.Exit(1)
+			}
+			i++
+			reportPath = args[i]
+			continue
+		}
+		patterns = append(patterns, args[i])
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -78,13 +101,30 @@ func main() {
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
 	}
+	if reportPath != "" {
+		if err := writeCensus(reportPath, loader, pkgs); err != nil {
+			fmt.Fprintf(os.Stderr, "lcwsvet: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if len(diags) > 0 {
 		os.Exit(2)
 	}
 }
 
+// writeCensus emits the concurrency-manifest field-access census as
+// deterministic, diff-friendly JSON.
+func writeCensus(path string, loader *analysis.Loader, pkgs []*analysis.Package) error {
+	census := fieldclass.BuildCensus(loader.Fset, pkgs)
+	data, err := json.MarshalIndent(census, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: lcwsvet [packages]   (standalone, source mode)\n")
+	fmt.Fprintf(os.Stderr, "usage: lcwsvet [-report file.json] [packages]   (standalone, source mode)\n")
 	fmt.Fprintf(os.Stderr, "       go vet -vettool=$(command -v lcwsvet) ./...\n\nanalyzers:\n")
 	for _, a := range analyzers {
 		doc, _, _ := strings.Cut(a.Doc, "\n")

@@ -1,0 +1,83 @@
+// publish.go seeds the PR-5 executor shapes: Job publication edges,
+// per-worker jobShard accounting, and the injector's ring (an
+// atomic-length mutex ring), so the analyzer's behavior on the
+// persistent-executor patterns is pinned by tests.
+package core
+
+import "sync/atomic"
+
+// Job mirrors the executor's job descriptor: atomic control words next
+// to plain fields that are published to workers by a submit-time
+// happens-before edge.
+type Job struct {
+	aborted atomic.Bool
+	drained atomic.Uint64
+	root    func()
+	shards  []jobShard
+}
+
+// jobShard is atomic-free by design (fork-join transitive ordering
+// justifies its plain words), so atomicfield does not audit it; the
+// fieldclass manifest carries its discipline instead.
+type jobShard struct {
+	created   uint64
+	completed uint64
+}
+
+func (j *Job) fail() {
+	j.aborted.Store(true)
+	j.root = nil // ok: Job's own method writing its own plain field
+}
+
+// badPublish writes the job payload outside Job's methods with no
+// declared edge: exactly the bug class the submit path must not grow.
+func badPublish(j *Job, fn func()) {
+	j.root = fn // want `plain field Job.root written outside Job's methods`
+}
+
+// okPublish is the real submit shape: the plain payload stores carry a
+// presync annotation because the atomic length publication in the
+// injector (and ultimately the park-bitset scan) orders them.
+func okPublish(j *Job, fn func(), nworkers int) {
+	//lcws:presync submit path: published to workers by the injector push edge
+	j.root = fn
+	//lcws:presync submit path: published to workers by the injector push edge
+	j.shards = make([]jobShard, nworkers)
+}
+
+// okShardAccount models the worker-side accounting: jobShard carries no
+// atomics, so its plain words are not audited here (the done-channel
+// close edge at settlement is what makes the cross-shard read safe).
+func okShardAccount(j *Job, id int) {
+	j.shards[id].created++
+	j.shards[id].completed++
+}
+
+// injRing mirrors the injector queue: a mutex-guarded ring (the mutex
+// is elided here) whose length is mirrored into an atomic word for the
+// lock-free emptiness probe.
+type injRing struct {
+	size atomic.Int64
+	buf  []func()
+	head int
+	n    int
+}
+
+func (q *injRing) push(fn func()) {
+	q.buf[(q.head+q.n)%len(q.buf)] = fn
+	q.n++
+	q.size.Store(int64(q.n)) // ok: length mirror via atomic store
+}
+
+func badRingTouch(q *injRing) {
+	q.head = 0 // want `plain field injRing.head written outside injRing's methods`
+}
+
+func badRingLen(q *injRing) int64 {
+	return q.size.Load() + int64(q.n) // ok read of n; next line is the violation
+}
+
+func badRingSize(q *injRing) {
+	q.size.Add(1)           // ok: atomic method
+	q.size = atomic.Int64{} // want `atomic field injRing.size must be accessed only through its sync/atomic methods`
+}

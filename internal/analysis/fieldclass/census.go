@@ -1,0 +1,153 @@
+package fieldclass
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"lcws/internal/analysis"
+)
+
+// The census is lcwsvet's machine-readable view of the concurrency
+// manifests: every manifested field with its declared class and its
+// static access-site counts. CI regenerates ANALYSIS.json and diffs it,
+// so a PR that adds shared state, changes a field's discipline, or
+// grows the number of unsynchronized access sites shows up as a
+// reviewable hunk rather than a silent drift.
+
+// CensusField is one manifested field.
+type CensusField struct {
+	Name  string `json:"name"`
+	Class string `json:"class"`
+	// Sites counts every static access (selector) of the field in
+	// non-test code; PlainWrites counts the subset that are plain
+	// writes (assignment, ++/--, address-taken). Atomic fields show
+	// zero plain writes by construction.
+	Sites       int `json:"sites"`
+	PlainWrites int `json:"plain_writes"`
+}
+
+// CensusStruct is one manifest-bearing struct.
+type CensusStruct struct {
+	Package string        `json:"package"`
+	Type    string        `json:"type"`
+	Fields  []CensusField `json:"fields"`
+}
+
+// CensusTotals summarizes the whole census.
+type CensusTotals struct {
+	Structs     int            `json:"structs"`
+	Fields      int            `json:"fields"`
+	Sites       int            `json:"sites"`
+	PlainWrites int            `json:"plain_writes"`
+	ByClass     map[string]int `json:"fields_by_class"`
+}
+
+// Census is the root of ANALYSIS.json.
+type Census struct {
+	Schema  int            `json:"schema"`
+	Structs []CensusStruct `json:"structs"`
+	Totals  CensusTotals   `json:"totals"`
+}
+
+// BuildCensus builds the field-access census over the audited packages
+// in pkgs. Output is deterministic: structs sort by (package, type),
+// fields keep declaration order.
+func BuildCensus(fset *token.FileSet, pkgs []*analysis.Package) Census {
+	census := Census{
+		Schema: 1,
+		Totals: CensusTotals{ByClass: map[string]int{}},
+	}
+	for _, pkg := range pkgs {
+		if !auditedPackages[normalizePath(pkg.Path)] {
+			continue
+		}
+		census.Structs = append(census.Structs, censusPackage(fset, pkg)...)
+	}
+	sort.Slice(census.Structs, func(i, j int) bool {
+		a, b := census.Structs[i], census.Structs[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Type < b.Type
+	})
+	for _, s := range census.Structs {
+		census.Totals.Structs++
+		for _, f := range s.Fields {
+			census.Totals.Fields++
+			census.Totals.Sites += f.Sites
+			census.Totals.PlainWrites += f.PlainWrites
+			census.Totals.ByClass[f.Class]++
+		}
+	}
+	return census
+}
+
+// censusPackage builds the census entries for one package.
+func censusPackage(fset *token.FileSet, pkg *analysis.Package) []CensusStruct {
+	var files []*ast.File
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	structs := collectStructs(files)
+
+	type counter struct{ sites, writes int }
+	counts := map[fieldKey]*counter{}
+	index := map[fieldKey]*CensusField{}
+	var out []CensusStruct
+	for _, sd := range structs {
+		if !sd.bearing {
+			continue
+		}
+		cs := CensusStruct{Package: normalizePath(pkg.Path), Type: sd.name}
+		for _, f := range sd.fields {
+			if !f.annotated || !f.clsOK {
+				continue
+			}
+			cs.Fields = append(cs.Fields, CensusField{Name: f.name, Class: f.cls.String()})
+			counts[fieldKey{sd.name, f.name}] = &counter{}
+		}
+		if len(cs.Fields) > 0 {
+			out = append(out, cs)
+			for i := range out[len(out)-1].Fields {
+				f := &out[len(out)-1].Fields[i]
+				index[fieldKey{sd.name, f.Name}] = f
+			}
+		}
+	}
+
+	analysis.InspectWithStack(files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pkg.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		owner := analysis.NamedOf(s.Recv())
+		if owner == nil || owner.Obj().Pkg() != pkg.Types {
+			return true
+		}
+		c, ok := counts[fieldKey{owner.Obj().Name(), sel.Sel.Name}]
+		if !ok {
+			return true
+		}
+		c.sites++
+		if len(stack) > 0 && isWrite(stack[len(stack)-1], sel) {
+			c.writes++
+		}
+		return true
+	})
+	for key, c := range counts {
+		f := index[key]
+		f.Sites = c.sites
+		f.PlainWrites = c.writes
+	}
+	return out
+}

@@ -1,0 +1,604 @@
+// Package fieldclass enforces declared concurrency manifests on the
+// scheduler's hot structs.
+//
+// A struct opts in by carrying a //lcws:manifest marker in its doc
+// comment (the core scheduler structs are *required* to carry one; see
+// requiredManifests). Every field of a manifest-bearing struct must
+// then declare its synchronization discipline with a //lcws:field
+// comment:
+//
+//	//lcws:field atomic        — internally synchronized (sync/atomic
+//	                             value, sync.Mutex/Once/WaitGroup, or a
+//	                             type with its own locking): the field
+//	                             may be touched only through its
+//	                             methods, never read, written, or
+//	                             aliased as a plain value.
+//	//lcws:field owner         — plain owner-only state: every access
+//	                             must be on the receiver of an enclosing
+//	                             method of the declaring type, outside
+//	                             function literals (the owneronly
+//	                             receiver-context rule). The variant
+//	                             owner(T) relaxes the receiver-identity
+//	                             requirement to "inside a method of T or
+//	                             of the declaring type", for fields the
+//	                             owning T manipulates through locals
+//	                             (e.g. the task freelist links).
+//	//lcws:field thief-shared  — shared by protocol: the field is part
+//	                             of a documented cross-goroutine
+//	                             handshake (publication before release,
+//	                             freeze protocol, fork-join transitive
+//	                             happens-before) that per-site syntax
+//	                             cannot check. Declared, censused, and
+//	                             left to the race detector + the other
+//	                             analyzers.
+//	//lcws:field guarded(g)    — protected by the sibling field g: the
+//	                             enclosing function must lexically
+//	                             acquire g (g.Lock / g.RLock / g.Do)
+//	                             before the access, or declare that its
+//	                             caller holds g with //lcws:locked g in
+//	                             its doc comment.
+//	//lcws:field immutable     — written only during construction
+//	                             (functions named New*/new*, methods
+//	                             named init); read-only afterwards. For
+//	                             slices and pointers the *field value*
+//	                             is immutable; what it points at is
+//	                             governed by its own discipline.
+//
+// A //lcws:presync comment on (or directly above) an access line
+// exempts that site — the presync analyzer then independently verifies
+// the annotation's happens-before claim, so the escape hatch is itself
+// machine-checked.
+//
+// Unannotated fields on manifest-bearing structs are reported: future
+// PRs cannot add shared state without declaring how it is synchronized.
+package fieldclass
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lcws/internal/analysis"
+)
+
+// Annotation markers. ManifestMarker goes in the struct's doc comment,
+// FieldMarker on each field, LockedMarker on a function whose caller
+// holds the named guard.
+const (
+	ManifestMarker = "//lcws:manifest"
+	FieldMarker    = "//lcws:field"
+	LockedMarker   = "//lcws:locked"
+	presyncMarker  = "//lcws:presync"
+)
+
+// auditedPackages limits the analyzer to the concurrency core, like
+// atomicfield. Workloads and harnesses use ordinary Go idioms.
+var auditedPackages = map[string]bool{
+	"lcws/internal/core":     true,
+	"lcws/internal/deque":    true,
+	"lcws/internal/injector": true,
+	"lcws/internal/trace":    true,
+}
+
+// requiredManifests lists structs that must carry a manifest when they
+// exist in their package: removing the //lcws:manifest marker from a
+// hot struct is itself a finding, so the contract cannot silently rot.
+var requiredManifests = map[string]map[string]bool{
+	"lcws/internal/core": {
+		"Worker": true, "workerSlot": true, "Scheduler": true,
+		"Job": true, "jobShard": true, "Task": true,
+	},
+	"lcws/internal/deque":    {"SplitDeque": true, "ChaseLev": true},
+	"lcws/internal/injector": {"Queue": true},
+	"lcws/internal/trace": {
+		"Recorder": true, "ring": true, "slot": true, "atomicHist": true,
+	},
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fieldclass",
+	Doc: "check field accesses against declared concurrency manifests\n\n" +
+		"Every field of a manifest-bearing struct declares its synchronization discipline " +
+		"(//lcws:field atomic | owner | thief-shared | guarded(mu) | immutable); the " +
+		"analyzer classifies every read/write site in the package and reports accesses " +
+		"that violate the declared class, plus any field that has no declaration at all. " +
+		"The paper removes synchronization from the hot path, so each plain access is " +
+		"load-bearing: the manifest records, and this analyzer enforces, its justification.",
+	Run: run,
+}
+
+// class is one parsed //lcws:field declaration.
+type class struct {
+	kind string // atomic | owner | thief-shared | guarded | immutable
+	arg  string // guard field for guarded, owning type for owner(T)
+}
+
+func (c class) String() string {
+	if c.arg != "" {
+		return c.kind + "(" + c.arg + ")"
+	}
+	return c.kind
+}
+
+// fieldDecl is one struct field as declared in source.
+type fieldDecl struct {
+	name      string
+	pos       token.Pos
+	annotated bool
+	rawClass  string // annotation text after the marker, pre-parse
+	cls       class
+	clsOK     bool
+}
+
+// structDecl is one struct type with its manifest state.
+type structDecl struct {
+	name    string
+	pos     token.Pos
+	bearing bool // has //lcws:manifest or >= 1 annotated field
+	fields  []fieldDecl
+}
+
+func run(pass *analysis.Pass) error {
+	if !auditedPackages[normalizePath(pass.Pkg.Path())] {
+		return nil
+	}
+	files := nonTestFiles(pass)
+	structs := collectStructs(files)
+
+	required := requiredManifests[normalizePath(pass.Pkg.Path())]
+	classOf := map[fieldKey]class{}
+	for _, sd := range structs {
+		if required[sd.name] && !sd.bearing {
+			pass.Reportf(sd.pos, "struct %s must carry a %s concurrency manifest", sd.name, ManifestMarker)
+			continue
+		}
+		if !sd.bearing {
+			continue
+		}
+		for _, f := range sd.fields {
+			switch {
+			case !f.annotated:
+				pass.Reportf(f.pos, "field %s.%s has no %s class; every field of a manifest-bearing struct must declare its concurrency discipline", sd.name, f.name, FieldMarker)
+			case !f.clsOK:
+				pass.Reportf(f.pos, "unknown %s class %q (want atomic | owner | owner(T) | thief-shared | guarded(g) | immutable)", FieldMarker, f.rawClass)
+			default:
+				classOf[fieldKey{sd.name, f.name}] = f.cls
+			}
+		}
+	}
+
+	analysis.InspectWithStack(files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		owner := analysis.NamedOf(s.Recv())
+		if owner == nil || owner.Obj().Pkg() != pass.Pkg {
+			return true
+		}
+		cls, ok := classOf[fieldKey{owner.Obj().Name(), sel.Sel.Name}]
+		if !ok {
+			return true
+		}
+		checkSite(pass, sel, owner.Obj().Name(), cls, stack)
+		return true
+	})
+	return nil
+}
+
+// fieldKey names a field of a package-local struct. The package is
+// implicit: manifests are collected per pass, and every manifested
+// field is unexported, so all access sites are in-package.
+type fieldKey struct {
+	typ, field string
+}
+
+// checkSite validates one field access against its declared class.
+func checkSite(pass *analysis.Pass, sel *ast.SelectorExpr, typ string, cls class, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	if analysis.IsOffsetofArg(pass.TypesInfo, stack) {
+		return
+	}
+	if hasLineComment(pass, sel.Pos(), presyncMarker) {
+		// The presync analyzer verifies the claimed happens-before edge.
+		return
+	}
+	field := sel.Sel.Name
+	parent := stack[len(stack)-1]
+	switch cls.kind {
+	case "thief-shared":
+		// Declared racy-by-protocol: censused, not site-checked.
+	case "atomic":
+		if m, ok := parent.(*ast.SelectorExpr); ok && m.X == sel {
+			return
+		}
+		pass.Reportf(sel.Pos(), "field %s.%s is declared %s atomic: access it only through its methods", typ, field, FieldMarker)
+	case "immutable":
+		if !isWrite(parent, sel) {
+			return
+		}
+		if inConstructor(stack) {
+			return
+		}
+		pass.Reportf(sel.Pos(), "field %s.%s is declared %s immutable but is written outside construction (New*/init)", typ, field, FieldMarker)
+	case "owner":
+		checkOwnerSite(pass, sel, typ, cls, stack)
+	case "guarded":
+		fd := analysis.EnclosingFuncDecl(stack)
+		if fd == nil {
+			pass.Reportf(sel.Pos(), "field %s.%s is declared %s guarded(%s) but is accessed outside any function", typ, field, FieldMarker, cls.arg)
+			return
+		}
+		if hasLockedAnnotation(fd, cls.arg) {
+			return
+		}
+		if guardHeldBefore(fd, cls.arg, sel.Pos()) {
+			return
+		}
+		pass.Reportf(sel.Pos(), "field %s.%s is declared %s guarded(%s) but %s is not acquired before this access (and %s does not declare %s %s)", typ, field, FieldMarker, cls.arg, cls.arg, fd.Name.Name, LockedMarker, cls.arg)
+	}
+}
+
+// checkOwnerSite applies the owner-context rule. Bare `owner` demands
+// the owneronly receiver-identity shape: the access is on the receiver
+// of an enclosing method of the declaring type, outside function
+// literals. `owner(T)` relaxes identity to containment — the access
+// merely has to sit inside a method of T (or of the declaring type),
+// outside function literals — for fields the owner reaches through
+// locals, like freelist links walked as t.next.
+func checkOwnerSite(pass *analysis.Pass, sel *ast.SelectorExpr, typ string, cls class, stack []ast.Node) {
+	field := sel.Sel.Name
+	fd := analysis.EnclosingFuncDecl(stack)
+	if fd == nil {
+		pass.Reportf(sel.Pos(), "owner field %s.%s accessed outside any method of %s", typ, field, typ)
+		return
+	}
+	if cls.arg != "" {
+		rt := recvTypeName(pass, fd)
+		if rt != cls.arg && rt != typ {
+			pass.Reportf(sel.Pos(), "owner field %s.%s accessed outside the methods of its owner %s", typ, field, cls.arg)
+			return
+		}
+		if inFuncLit(stack, fd) {
+			pass.Reportf(sel.Pos(), "owner field %s.%s accessed inside a function literal; closures may escape the owner's goroutine", typ, field)
+		}
+		return
+	}
+	recvObj := recvObjOf(pass, fd, typ)
+	if recvObj == nil {
+		pass.Reportf(sel.Pos(), "owner field %s.%s accessed outside a %s method", typ, field, typ)
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != recvObj {
+		pass.Reportf(sel.Pos(), "owner field %s.%s accessed on an expression that is not the owning receiver %s", typ, field, recvObj.Name())
+		return
+	}
+	if inFuncLit(stack, fd) {
+		pass.Reportf(sel.Pos(), "owner field %s.%s accessed inside a function literal; closures may escape the owner's goroutine", typ, field)
+	}
+}
+
+// isWrite reports whether sel is written (assignment target, inc/dec,
+// or address-taken) given its direct parent.
+func isWrite(parent ast.Node, sel *ast.SelectorExpr) bool {
+	switch parent := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if lhs == sel {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return parent.X == sel
+	case *ast.UnaryExpr:
+		return parent.Op == token.AND && parent.X == sel
+	}
+	return false
+}
+
+// inConstructor reports whether the enclosing function is construction
+// context: a function named New*/new*, or a method named init (the
+// worker pool builds its workers in place via Worker.init before their
+// goroutines start).
+func inConstructor(stack []ast.Node) bool {
+	fd := analysis.EnclosingFuncDecl(stack)
+	if fd == nil {
+		return false
+	}
+	name := fd.Name.Name
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") || name == "init"
+}
+
+// recvObjOf returns the receiver object of fd when fd is a method of
+// the named type, else nil.
+func recvObjOf(pass *analysis.Pass, fd *ast.FuncDecl, typ string) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	recvObj := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+	if recvObj == nil {
+		return nil
+	}
+	if n := analysis.NamedOf(recvObj.Type()); n == nil || n.Obj().Name() != typ {
+		return nil
+	}
+	return recvObj
+}
+
+// recvTypeName returns the name of fd's receiver type, or "".
+func recvTypeName(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	if rt := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type); rt != nil {
+		if n := analysis.NamedOf(rt); n != nil {
+			return n.Obj().Name()
+		}
+	}
+	return ""
+}
+
+// inFuncLit reports whether the stack crosses a function literal
+// between fd and the inspected node.
+func inFuncLit(stack []ast.Node, fd *ast.FuncDecl) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == fd {
+			return false
+		}
+		if _, ok := stack[i].(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// hasLockedAnnotation reports whether fd's doc comment declares
+// "//lcws:locked <guard>": the function's contract is that its caller
+// holds the guard (e.g. Queue.grow, called only with mu held).
+func hasLockedAnnotation(fd *ast.FuncDecl, guard string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, LockedMarker)
+		if !ok {
+			continue
+		}
+		if fields := strings.Fields(rest); len(fields) > 0 && fields[0] == guard {
+			return true
+		}
+	}
+	return false
+}
+
+// guardHeldBefore reports whether fd's body lexically acquires the
+// guard field (guard.Lock / guard.RLock / guard.Do) at a position
+// before pos. The check is flow-insensitive on purpose: an early
+// return between Lock and the access is the caller's bug to find with
+// the race detector; what this catches is accesses with no acquisition
+// on any path, which is the way such code is actually miswritten.
+func guardHeldBefore(fd *ast.FuncDecl, guard string, pos token.Pos) bool {
+	held := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() > pos {
+			return true
+		}
+		m, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch m.Sel.Name {
+		case "Lock", "RLock", "Do":
+		default:
+			return true
+		}
+		if g, ok := m.X.(*ast.SelectorExpr); ok && g.Sel.Name == guard {
+			held = true
+			return false
+		}
+		return true
+	})
+	return held
+}
+
+// hasLineComment reports whether a comment starting with marker sits on
+// pos's line or the line directly above it.
+func hasLineComment(pass *analysis.Pass, pos token.Pos, marker string) bool {
+	p := pass.Fset.Position(pos)
+	for _, f := range pass.Files {
+		if pass.Fset.Position(f.Pos()).Filename != p.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, marker) {
+					continue
+				}
+				cl := pass.Fset.Position(c.Pos()).Line
+				if cl == p.Line || cl == p.Line-1 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// nonTestFiles filters pass.Files to the non-test compilation unit;
+// tests construct schedulers in ad-hoc ways the manifest rules would
+// misfire on, and the race detector covers them dynamically.
+func nonTestFiles(pass *analysis.Pass) []*ast.File {
+	var out []*ast.File
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// collectStructs walks the files and returns every struct type
+// declaration with its manifest annotations parsed.
+func collectStructs(files []*ast.File) []*structDecl {
+	var out []*structDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				sd := &structDecl{name: ts.Name.Name, pos: ts.Name.Pos()}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				sd.bearing = groupHasMarker(doc, ManifestMarker)
+				for _, fld := range st.Fields.List {
+					parseField(sd, fld)
+				}
+				out = append(out, sd)
+			}
+		}
+	}
+	return out
+}
+
+// parseField appends fld's named fields (skipping blank padding) to sd,
+// with the //lcws:field annotation parsed from the field's doc or
+// trailing comment. An annotated field makes the struct
+// manifest-bearing even without the struct-level marker.
+func parseField(sd *structDecl, fld *ast.Field) {
+	raw, annotated := fieldAnnotation(fld)
+	var cls class
+	clsOK := false
+	if annotated {
+		cls, clsOK = parseClass(raw)
+		sd.bearing = true
+	}
+	add := func(name string, pos token.Pos) {
+		if name == "_" || name == "" {
+			return
+		}
+		sd.fields = append(sd.fields, fieldDecl{
+			name: name, pos: pos, annotated: annotated,
+			rawClass: raw, cls: cls, clsOK: clsOK,
+		})
+	}
+	if len(fld.Names) == 0 {
+		add(embeddedName(fld.Type), fld.Pos())
+		return
+	}
+	for _, n := range fld.Names {
+		add(n.Name, n.Pos())
+	}
+}
+
+// fieldAnnotation extracts the text after //lcws:field from the
+// field's doc or line comment.
+func fieldAnnotation(fld *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, FieldMarker); ok {
+				return strings.TrimSpace(rest), true
+			}
+		}
+	}
+	return "", false
+}
+
+// parseClass parses the first token of a //lcws:field annotation.
+// Anything after the class token is free-form rationale.
+func parseClass(raw string) (class, bool) {
+	fields := strings.Fields(raw)
+	if len(fields) == 0 {
+		return class{}, false
+	}
+	tok := fields[0]
+	kind, arg := tok, ""
+	if i := strings.IndexByte(tok, '('); i >= 0 {
+		if !strings.HasSuffix(tok, ")") {
+			return class{}, false
+		}
+		kind, arg = tok[:i], tok[i+1:len(tok)-1]
+	}
+	switch kind {
+	case "atomic", "thief-shared", "immutable":
+		if arg != "" {
+			return class{}, false
+		}
+	case "owner":
+		// arg optional: owner or owner(T)
+	case "guarded":
+		if arg == "" {
+			return class{}, false
+		}
+	default:
+		return class{}, false
+	}
+	return class{kind: kind, arg: arg}, true
+}
+
+// groupHasMarker reports whether any comment line in cg starts with
+// marker.
+func groupHasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// embeddedName derives the field name of an embedded type expression.
+func embeddedName(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.StarExpr:
+		return embeddedName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	case *ast.IndexExpr:
+		return embeddedName(t.X)
+	case *ast.IndexListExpr:
+		return embeddedName(t.X)
+	}
+	return ""
+}
+
+// normalizePath strips cmd/go's test-variant suffix ("pkg [pkg.test]")
+// so the audited-package check also applies to test builds under go vet.
+func normalizePath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -1,0 +1,13 @@
+package fieldclass_test
+
+import (
+	"testing"
+
+	"lcws/internal/analysis/analysistest"
+	"lcws/internal/analysis/fieldclass"
+)
+
+func TestFieldClass(t *testing.T) {
+	analysistest.Run(t, "testdata", fieldclass.Analyzer,
+		"lcws/internal/core", "lcws/internal/injector")
+}

@@ -1,0 +1,104 @@
+// Package core is a seeded-violation stand-in for lcws/internal/core:
+// each hot struct carries a concurrency manifest and the functions
+// below exercise one good and one bad access per field class.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Task models the published task frame. next is freelist linkage that
+// the owning worker walks through locals, hence owner(Worker).
+//
+//lcws:manifest
+type Task struct {
+	fn   func(*Worker) //lcws:field thief-shared — published before the release edge
+	next *Task         //lcws:field owner(Worker)
+	done atomic.Uint64 //lcws:field atomic
+}
+
+// Worker models the per-worker hot struct.
+//
+//lcws:manifest
+type Worker struct {
+	pending    atomic.Uint32 //lcws:field atomic
+	id         int           //lcws:field immutable
+	sinceYield int           //lcws:field owner
+	freelist   *Task         //lcws:field owner
+	_          [8]byte       // padding: blank fields need no class
+	unclassed  int           // want `field Worker.unclassed has no //lcws:field class`
+	//lcws:field sometimes
+	weird int // want `unknown //lcws:field class "sometimes"`
+}
+
+// Job models the per-job control block.
+//
+//lcws:manifest
+type Job struct {
+	errOnce sync.Once     //lcws:field atomic
+	failErr error         //lcws:field guarded(errOnce)
+	done    chan struct{} //lcws:field immutable
+}
+
+// jobShard is on the required-manifest list but carries no manifest.
+type jobShard struct { // want `struct jobShard must carry a //lcws:manifest concurrency manifest`
+	created uint64
+}
+
+func NewWorker(id int) *Worker {
+	w := &Worker{}
+	w.id = id // ok: construction context
+	return w
+}
+
+func (w *Worker) run() {
+	w.sinceYield++       // ok: owner access on the receiver
+	w.pending.Store(1)   // ok: atomic method
+	_ = w.pending.Load() // ok
+	n := w.pending       // want `field Worker.pending is declared //lcws:field atomic: access it only through its methods`
+	_ = n
+	w.id = 7 // want `field Worker.id is declared //lcws:field immutable but is written outside construction`
+	go func() {
+		w.sinceYield++ // want `owner field Worker.sinceYield accessed inside a function literal`
+	}()
+}
+
+func (w *Worker) steal(v *Worker) {
+	v.sinceYield = 0 // want `owner field Worker.sinceYield accessed on an expression that is not the owning receiver w`
+}
+
+func drain(w *Worker) {
+	w.freelist = nil // want `owner field Worker.freelist accessed outside a Worker method`
+}
+
+func bootstrap(w *Worker) {
+	w.id = 1 //lcws:presync pool construction, before worker goroutines exist
+}
+
+// newTask pops the freelist; walking t.next through a local is the
+// owner(Worker) allowance.
+func (w *Worker) newTask() *Task {
+	t := w.freelist
+	if t != nil {
+		w.freelist = t.next // ok: owner(Worker) inside a Worker method
+		t.next = nil        // ok
+	}
+	return t
+}
+
+func poach(t *Task) {
+	t.next = nil // want `owner field Task.next accessed outside the methods of its owner Worker`
+}
+
+func (j *Job) fail(err error) {
+	j.errOnce.Do(func() {
+		j.failErr = err // ok: errOnce acquired by the enclosing Do
+	})
+}
+
+func (j *Job) peek() error {
+	return j.failErr // want `field Job.failErr is declared //lcws:field guarded\(errOnce\) but errOnce is not acquired`
+}
+
+var _ = jobShard{}

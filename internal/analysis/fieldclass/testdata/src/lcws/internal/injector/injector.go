@@ -1,0 +1,45 @@
+// Package injector is a seeded-violation stand-in for the submission
+// ring: a mutex-guarded ring buffer with an atomic emptiness probe.
+package injector
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Queue models the MPMC submission ring.
+//
+//lcws:manifest
+type Queue struct {
+	mu   sync.Mutex   //lcws:field atomic
+	buf  []int        //lcws:field guarded(mu)
+	head int          //lcws:field guarded(mu)
+	n    int          //lcws:field guarded(mu)
+	size atomic.Int64 //lcws:field atomic
+}
+
+func (q *Queue) Push(v int) {
+	q.mu.Lock()
+	if q.n == len(q.buf) { // ok: mu acquired above
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	q.size.Store(int64(q.n))
+	q.mu.Unlock()
+}
+
+// grow doubles the ring; called only with the lock held.
+//
+//lcws:locked mu
+func (q *Queue) grow() {
+	nb := make([]int, 2*len(q.buf)+8)
+	copy(nb, q.buf[q.head:]) // ok: caller holds mu per //lcws:locked
+	q.buf = nb
+	q.head = 0
+}
+
+// peek reads the ring without the lock: seeded violation.
+func (q *Queue) peek() int {
+	return q.buf[q.head] // want `field Queue.buf is declared //lcws:field guarded\(mu\) but mu is not acquired` `field Queue.head is declared //lcws:field guarded\(mu\) but mu is not acquired`
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -10,6 +11,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -281,6 +283,9 @@ func (l *Loader) load(path string) (*Package, error) {
 		if strings.HasSuffix(name, "_test.go") && !l.IncludeTests {
 			continue
 		}
+		if !matchesBuildContext(dir, name) {
+			continue
+		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -290,6 +295,9 @@ func (l *Loader) load(path string) (*Package, error) {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
+		}
+		if isGeneratedFile(f) {
+			continue
 		}
 		// Keep only the primary (non _test-suffixed) package; external
 		// test packages would need their own unit.
@@ -324,6 +332,47 @@ func (l *Loader) load(path string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// matchesBuildContext reports whether the default build context would
+// include dir/name in a build: it evaluates //go:build (and legacy
+// +build) constraints and GOOS/GOARCH filename suffixes. A file pair
+// like race_test_guard.go (//go:build race) and race_test_guard_off.go
+// (//go:build !race) would otherwise both be loaded, redeclaring the
+// same symbols; the analyzers run without the race build tag, so the
+// off variant wins, matching a plain `go build`.
+func matchesBuildContext(dir, name string) bool {
+	ctxt := build.Default
+	ok, err := ctxt.MatchFile(dir, name)
+	if err != nil {
+		// Unreadable files surface as parse errors later; don't mask
+		// the real error here.
+		return true
+	}
+	return ok
+}
+
+// generatedRx matches the conventional generated-file marker
+// (https://go.dev/s/generatedcode): it must be a line of its own,
+// before the package clause.
+var generatedRx = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
+
+// isGeneratedFile reports whether f carries the standard generated-code
+// marker before its package clause. Generated files are excluded from
+// analysis: their access patterns are the generator's responsibility,
+// and annotation findings in them are not actionable by hand.
+func isGeneratedFile(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if generatedRx.MatchString(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Run applies analyzers to the packages and returns all diagnostics in

@@ -1,0 +1,279 @@
+// Package noalloc turns the runtime AllocsPerRun gates into static,
+// line-precise ones.
+//
+// A function annotated //lcws:noalloc in its doc comment declares that
+// its body stays off the heap — the contract of the scheduler's fast
+// paths (push/pop/steal, fork, recycle, trace record), whose whole
+// point per the paper is that the owner's common case costs a handful
+// of plain loads and stores. The analyzer flags every
+// allocation-introducing construct in such a body:
+//
+//   - composite literals and the make/new builtins;
+//   - function literals (closure environments allocate);
+//   - append (growth allocates);
+//   - conversions to interface types, explicit or implicit at a call's
+//     arguments (boxing allocates);
+//   - string concatenation, string<->[]byte/[]rune conversions, map
+//     writes;
+//   - go statements (a new goroutine is anything but allocation-free);
+//   - fmt calls (variadic boxing + internal buffers).
+//
+// Two escapes keep the gate precise rather than performative:
+// constructs inside a panic(...) argument are exempt — a panicking
+// fast path is already off the fast path — and a //lcws:allocok
+// comment on (or directly above) a line exempts that line, for
+// documented cold paths like the freelist-miss &Task{} fallback.
+//
+// The static gate is deliberately stricter than the dynamic one:
+// escape analysis might prove some flagged construct stack-allocatable
+// today, but the gate pins the property the benchmarks rely on instead
+// of the optimizer's current mood.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lcws/internal/analysis"
+)
+
+// Annotation marks a function whose body must not allocate; AllocOK
+// marks an audited line as a documented cold-path exception.
+const (
+	Annotation = "//lcws:noalloc"
+	AllocOK    = "//lcws:allocok"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc: "check that functions annotated " + Annotation + " contain no allocation-introducing constructs\n\n" +
+		"The scheduler's fast paths promise a handful of plain loads and stores; this " +
+		"analyzer statically flags composite literals, closures, make/new/append, " +
+		"interface boxing, string/map operations and go statements inside them. " +
+		"panic(...) arguments are exempt (terminal path), and " + AllocOK + " exempts a " +
+		"documented cold-path line.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !groupHasMarker(fd.Doc, Annotation) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkBody walks one annotated function body.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isPanicCall(pass, call) {
+			// The whole argument tree is terminal-path.
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(pass, fd, n.Pos(), "function literal allocates its closure environment")
+			return false
+		case *ast.CompositeLit:
+			report(pass, fd, n.Pos(), "composite literal may allocate")
+			return false
+		case *ast.GoStmt:
+			report(pass, fd, n.Pos(), "go statement allocates a goroutine")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypesInfo.TypeOf(n)) {
+				report(pass, fd, n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if _, isMap := typeUnder(pass.TypesInfo.TypeOf(ix.X)).(*types.Map); isMap {
+						report(pass, fd, ix.Pos(), "map assignment may allocate")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, fd, n)
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating builtins, conversions that box, fmt
+// calls, and implicit interface conversions at arguments.
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	// Builtins.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				report(pass, fd, call.Pos(), b.Name()+" allocates")
+			case "append":
+				report(pass, fd, call.Pos(), "append may grow and allocate")
+			}
+			return
+		}
+	}
+	// Explicit conversions: T(x).
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := pass.TypesInfo.TypeOf(call)
+		from := pass.TypesInfo.TypeOf(call.Args[0])
+		if isInterface(to) && from != nil && !isInterface(from) {
+			report(pass, fd, call.Pos(), "conversion to interface type boxes its operand")
+		}
+		if allocatingStringConversion(to, from) {
+			report(pass, fd, call.Pos(), "string/byte-slice conversion copies and allocates")
+		}
+		return
+	}
+	// fmt calls: variadic boxing plus internal buffers.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				report(pass, fd, call.Pos(), "fmt call allocates")
+				return
+			}
+		}
+	}
+	// Implicit interface conversions at arguments.
+	sig, ok := typeUnder(pass.TypesInfo.TypeOf(call.Fun)).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !isInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || isInterface(at) {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		report(pass, fd, arg.Pos(), "argument is implicitly converted to an interface and may box")
+	}
+}
+
+// report emits a diagnostic unless the line carries (or follows) an
+// //lcws:allocok exemption.
+func report(pass *analysis.Pass, fd *ast.FuncDecl, pos token.Pos, msg string) {
+	if hasLineComment(pass, pos, AllocOK) {
+		return
+	}
+	pass.Reportf(pos, "%s function %s: %s", Annotation, fd.Name.Name, msg)
+}
+
+// isPanicCall reports whether call invokes the panic builtin.
+func isPanicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func isString(t types.Type) bool {
+	b, ok := typeUnder(t).(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := typeUnder(t).(*types.Interface)
+	return ok
+}
+
+// allocatingStringConversion reports string<->[]byte / []rune
+// conversions, which copy.
+func allocatingStringConversion(to, from types.Type) bool {
+	return (isString(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isString(from))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := typeUnder(t).(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+func typeUnder(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return analysis.Deref(t).Underlying()
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// groupHasMarker reports whether any comment line in cg starts with
+// marker.
+func groupHasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasLineComment reports whether a comment starting with marker sits
+// on pos's line or the line directly above it.
+func hasLineComment(pass *analysis.Pass, pos token.Pos, marker string) bool {
+	p := pass.Fset.Position(pos)
+	for _, f := range pass.Files {
+		if pass.Fset.Position(f.Pos()).Filename != p.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, marker) {
+					continue
+				}
+				cl := pass.Fset.Position(c.Pos()).Line
+				if cl == p.Line || cl == p.Line-1 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"lcws/internal/analysis/analysistest"
+	"lcws/internal/analysis/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "lcws/internal/deque")
+}

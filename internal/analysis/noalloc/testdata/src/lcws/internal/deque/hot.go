@@ -1,0 +1,69 @@
+// Package deque is a stand-in exercising the noalloc analyzer on the
+// shape of the scheduler's fast paths.
+package deque
+
+import "fmt"
+
+type Task struct{ next *Task }
+
+type SplitDeque struct {
+	buf      []*Task
+	bot      int
+	freelist *Task
+	m        map[int]int
+}
+
+// PushBottom is the owner's push fast path: plain stores only; the
+// overflow panic is terminal and exempt, fmt and all.
+//
+//lcws:noalloc
+func (d *SplitDeque) PushBottom(t *Task) {
+	if d.bot == len(d.buf) {
+		panic(fmt.Sprintf("deque: overflow at %d", d.bot)) // ok: panic path
+	}
+	d.buf[d.bot] = t
+	d.bot++
+}
+
+// newTask pops the freelist, falling back to the heap on a miss; the
+// fallback is a documented cold path.
+//
+//lcws:noalloc
+func (d *SplitDeque) newTask() *Task {
+	if t := d.freelist; t != nil {
+		d.freelist = t.next
+		t.next = nil
+		return t
+	}
+	//lcws:allocok cold path: freelist miss falls back to the heap
+	return &Task{}
+}
+
+// bad aggregates one seeded violation per flagged construct.
+//
+//lcws:noalloc
+func (d *SplitDeque) bad(t *Task, s string) {
+	d.buf = append(d.buf, t) // want `append may grow and allocate`
+	x := &Task{}             // want `composite literal may allocate`
+	_ = x
+	f := func() {} // want `function literal allocates its closure environment`
+	_ = f
+	b := make([]int, 4) // want `make allocates`
+	_ = b
+	i := any(t) // want `conversion to interface type boxes its operand`
+	_ = i
+	d.m[1] = 2    // want `map assignment may allocate`
+	s2 := s + "x" // want `string concatenation allocates`
+	_ = s2
+	bs := []byte(s) // want `string/byte-slice conversion copies and allocates`
+	_ = bs
+	go d.PushBottom(t) // want `go statement allocates a goroutine`
+	sink(t)            // want `argument is implicitly converted to an interface and may box`
+}
+
+// grow is unannotated: allocation is its job, no findings.
+func (d *SplitDeque) grow() {
+	d.buf = append(d.buf, nil)
+}
+
+func sink(v any) {}

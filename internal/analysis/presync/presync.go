@@ -1,0 +1,312 @@
+// Package presync verifies //lcws:presync annotations.
+//
+// The annotation is the escape hatch the other analyzers honor: it
+// marks a plain access whose safety rests on a happens-before edge the
+// per-site syntax cannot see. PR 1 introduced it as a trusted comment;
+// this analyzer makes it a checked claim. An annotation is justified
+// when one of the following holds:
+//
+//   - it sits in a _test.go file (tests run the scheduler
+//     single-goroutine or behind their own synchronization, and the
+//     race detector covers them dynamically);
+//   - the enclosing function is construction context — a function
+//     named New*/new* or a method named init — which runs before the
+//     structure is shared;
+//   - the annotated statement is at package level (package
+//     initialization happens-before main);
+//   - a release edge follows the annotated statement in the enclosing
+//     function: an atomic Store/Swap/CompareAndSwap/Add, a mutex
+//     Lock/Unlock, Once.Do, a WaitGroup operation, a go statement, a
+//     channel send or close — directly, or transitively through a call
+//     to a same-package function whose body contains such an edge.
+//     This is the publication pattern of the paper: plain-write the
+//     payload, then release; the edge orders the write for whoever
+//     acquires.
+//
+// Function-literal bodies are not scanned for edges: a closure's
+// execution time is unknown (it may run on another goroutine or after
+// the owner moved on), so an edge inside one proves nothing about the
+// annotated write. The enclosing call can still be the edge itself
+// (Once.Do, go).
+//
+// Anything else is reported as stale: either the code lost its edge in
+// a refactor, or the annotation was wrong to begin with. A comment
+// with no statement on its own or the following line is reported as
+// dangling.
+package presync
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lcws/internal/analysis"
+)
+
+// Annotation is the marker this analyzer verifies.
+const Annotation = "//lcws:presync"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "presync",
+	Doc: "verify that every " + Annotation + " annotation is justified\n\n" +
+		"An annotated plain write must be followed, within its enclosing function, by a " +
+		"release edge (atomic store/CAS, mutex op, Once.Do, WaitGroup op, go statement, " +
+		"channel send/close — directly or through a same-package call), or sit in a " +
+		"constructor or test context. Stale annotations mean the happens-before argument " +
+		"rotted out from under the comment.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:     pass,
+		decls:    map[types.Object]*ast.FuncDecl{},
+		memo:     map[*ast.FuncDecl]bool{},
+		visiting: map[*ast.FuncDecl]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					c.decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(fname, "_test.go") {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				if strings.HasPrefix(cm.Text, Annotation) {
+					c.checkAnnotation(f, cm)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	decls    map[types.Object]*ast.FuncDecl // same-package function declarations
+	memo     map[*ast.FuncDecl]bool         // body contains a release edge
+	visiting map[*ast.FuncDecl]bool
+}
+
+// checkAnnotation validates one //lcws:presync comment in f.
+func (c *checker) checkAnnotation(f *ast.File, cm *ast.Comment) {
+	line := c.pass.Fset.Position(cm.Pos()).Line
+	stmt, fd := c.findTarget(f, line)
+	if stmt == nil {
+		if c.atPackageLevel(f, line) {
+			return // package initialization happens-before main
+		}
+		c.pass.Reportf(cm.Pos(), "dangling %s: no statement begins on this or the next line", Annotation)
+		return
+	}
+	if fd == nil {
+		return // package-level initializer
+	}
+	if isConstructor(fd) {
+		return
+	}
+	if c.releaseAfter(fd, stmt.Pos()) {
+		return
+	}
+	c.pass.Reportf(stmt.Pos(), "stale %s: no release edge (atomic store/CAS, mutex op, Once.Do, WaitGroup op, go, channel send/close) follows the annotated statement in %s", Annotation, fd.Name.Name)
+}
+
+// findTarget locates the annotated statement: the innermost statement
+// starting on the comment's line (trailing form), else on the next
+// line (annotation-above form), plus its enclosing function.
+func (c *checker) findTarget(f *ast.File, line int) (ast.Stmt, *ast.FuncDecl) {
+	var onLine, onNext ast.Stmt
+	var fdOnLine, fdOnNext *ast.FuncDecl
+	analysis.InspectWithStack([]*ast.File{f}, func(n ast.Node, stack []ast.Node) bool {
+		stmt, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		switch c.pass.Fset.Position(n.Pos()).Line {
+		case line:
+			if onLine == nil || stmt.Pos() > onLine.Pos() {
+				onLine, fdOnLine = stmt, analysis.EnclosingFuncDecl(stack)
+			}
+		case line + 1:
+			if onNext == nil || stmt.Pos() > onNext.Pos() {
+				onNext, fdOnNext = stmt, analysis.EnclosingFuncDecl(stack)
+			}
+		}
+		return true
+	})
+	if onLine != nil {
+		return onLine, fdOnLine
+	}
+	return onNext, fdOnNext
+}
+
+// atPackageLevel reports whether a package-level declaration (var,
+// const, type) begins on the comment's line or the next: package
+// initialization happens-before anything concurrent.
+func (c *checker) atPackageLevel(f *ast.File, line int) bool {
+	for _, decl := range f.Decls {
+		if _, ok := decl.(*ast.GenDecl); !ok {
+			continue
+		}
+		dl := c.pass.Fset.Position(decl.Pos()).Line
+		end := c.pass.Fset.Position(decl.End()).Line
+		if line >= dl-1 && line <= end {
+			return true
+		}
+	}
+	return false
+}
+
+// isConstructor reports whether fd is construction context: a function
+// named New*/new*, or a method named init (the pool builds workers in
+// place via Worker.init before their goroutines start).
+func isConstructor(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") || name == "init"
+}
+
+// releaseAfter reports whether fd's body contains a release edge at or
+// after pos, outside function literals.
+func (c *checker) releaseAfter(fd *ast.FuncDecl, pos token.Pos) bool {
+	if fd.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if n.Pos() >= pos {
+				found = true
+			}
+		case *ast.GoStmt:
+			if n.Pos() >= pos {
+				found = true
+			}
+		case *ast.CallExpr:
+			if n.Pos() >= pos && c.isReleaseCall(n) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasEdge reports whether fd's body contains a release edge anywhere
+// (used for transitive calls), memoized. Recursion through call cycles
+// conservatively yields false for the in-progress frame.
+func (c *checker) hasEdge(fd *ast.FuncDecl) bool {
+	if v, ok := c.memo[fd]; ok {
+		return v
+	}
+	if c.visiting[fd] || fd.Body == nil {
+		return false
+	}
+	c.visiting[fd] = true
+	defer delete(c.visiting, fd)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			found = true
+		case *ast.GoStmt:
+			found = true
+		case *ast.CallExpr:
+			if c.isReleaseCall(n) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	c.memo[fd] = found
+	return found
+}
+
+// atomicReleaseMethods are the sync/atomic methods that publish.
+var atomicReleaseMethods = map[string]bool{
+	"Store": true, "Swap": true, "CompareAndSwap": true,
+	"Add": true, "Or": true, "And": true,
+}
+
+// syncReleaseMethods maps sync types to their edge-forming methods.
+var syncReleaseMethods = map[string]map[string]bool{
+	"Mutex":     {"Lock": true, "Unlock": true, "TryLock": true},
+	"RWMutex":   {"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true, "TryLock": true, "TryRLock": true},
+	"Once":      {"Do": true},
+	"WaitGroup": {"Add": true, "Done": true, "Wait": true},
+}
+
+// isReleaseCall reports whether call forms a release edge: a builtin
+// close, a sync/atomic or sync-package synchronization method, or a
+// call to a same-package function whose body (transitively) contains
+// an edge.
+func (c *checker) isReleaseCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "close" {
+			if _, ok := c.pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+				return true
+			}
+		}
+		return c.calleeHasEdge(fun)
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if s, ok := c.pass.TypesInfo.Selections[fun]; ok && s.Kind() == types.MethodVal {
+			recv := analysis.Deref(s.Recv())
+			if analysis.IsAtomicType(recv) && atomicReleaseMethods[name] {
+				return true
+			}
+			if n := analysis.NamedOf(recv); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" {
+				if methods, ok := syncReleaseMethods[n.Obj().Name()]; ok && methods[name] {
+					return true
+				}
+			}
+			return c.calleeHasEdge(fun.Sel)
+		}
+		// Package-qualified call: sync/atomic free functions
+		// (atomic.StoreUint64 and friends) publish; same-package
+		// qualified calls cannot occur.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "sync/atomic" {
+				for _, prefix := range []string{"Store", "Swap", "CompareAndSwap", "Add", "Or", "And"} {
+					if strings.HasPrefix(name, prefix) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// calleeHasEdge resolves id to a same-package function declaration and
+// reports whether its body transitively contains a release edge.
+func (c *checker) calleeHasEdge(id *ast.Ident) bool {
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	fd, ok := c.decls[obj]
+	return ok && c.hasEdge(fd)
+}

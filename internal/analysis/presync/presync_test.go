@@ -1,0 +1,38 @@
+package presync_test
+
+import (
+	"strings"
+	"testing"
+
+	"lcws/internal/analysis"
+	"lcws/internal/analysis/analysistest"
+	"lcws/internal/analysis/presync"
+)
+
+func TestPresync(t *testing.T) {
+	analysistest.Run(t, "testdata", presync.Analyzer, "lcws/internal/core")
+}
+
+// TestDangling loads the dangling-comment package directly: the
+// dangling diagnostic lands on the comment's own line, which cannot
+// also hold a // want pattern.
+func TestDangling(t *testing.T) {
+	loader, err := analysis.NewOverlayLoader("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("lcws/internal/dangling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{presync.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "dangling //lcws:presync") {
+		t.Fatalf("got %q, want a dangling-annotation diagnostic", diags[0].Message)
+	}
+}

@@ -1,0 +1,109 @@
+// Package core is a stand-in exercising the presync analyzer on the
+// Job publication shapes of the executor: a plain write to shared
+// state annotated //lcws:presync must be followed by a release edge,
+// or sit in construction context.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Task is the published frame; job is plain state set before release.
+type Task struct {
+	job *Job
+}
+
+// Job is the per-job control block.
+type Job struct {
+	root       Task
+	shards     []uint64
+	settleOnce sync.Once
+	done       chan struct{}
+}
+
+// Scheduler models the submit path.
+type Scheduler struct {
+	wake    atomic.Uint64
+	pending atomic.Int64
+	mu      sync.Mutex
+	jobs    []*Job
+}
+
+// NewJob is construction context: annotations inside it need no edge.
+func NewJob() *Job {
+	j := &Job{done: make(chan struct{})}
+	j.root.job = j //lcws:presync constructor, not yet shared
+	return j
+}
+
+// submit publishes the job with a direct atomic edge.
+func (s *Scheduler) submit(j *Job) {
+	j.root.job = j //lcws:presync ordered by the pending.Add below
+	j.shards = make([]uint64, 4)
+	//lcws:presync the annotation-above form is also honored
+	j.root.job = j
+	s.pending.Add(1)
+}
+
+// submitIndirect publishes through a same-package call that contains
+// the edge (wakeAll's atomic swap), the transitive case.
+func (s *Scheduler) submitIndirect(j *Job) {
+	j.root.job = j //lcws:presync ordered by wakeAll's park-word swap
+	s.wakeAll()
+}
+
+func (s *Scheduler) wakeAll() {
+	s.wake.Store(0)
+}
+
+// submitLocked publishes under a mutex.
+func (s *Scheduler) submitLocked(j *Job) {
+	j.root.job = j //lcws:presync ordered by the unlock below
+	s.mu.Lock()
+	s.jobs = append(s.jobs, j)
+	s.mu.Unlock()
+}
+
+// settle closes the done channel after the annotated write.
+func (j *Job) settle() {
+	//lcws:presync ordered by the close below
+	j.shards = nil
+	close(j.done)
+}
+
+// spawn hands the job to a goroutine; the go statement is the edge.
+func (s *Scheduler) spawn(j *Job) {
+	j.root.job = j //lcws:presync ordered by the go statement
+	go j.settle()
+}
+
+// leak has no release edge after the annotated write: the claimed
+// happens-before justification is stale.
+func (s *Scheduler) leak(j *Job) {
+	s.pending.Add(1) // an edge BEFORE the write does not publish it
+	//lcws:presync nothing below releases this
+	j.root.job = j // want `stale //lcws:presync: no release edge .* follows the annotated statement in leak`
+}
+
+// closureEdge's only edge is inside a function literal that merely
+// gets assigned; a closure's execution time is unknown, so it proves
+// nothing.
+func (s *Scheduler) closureEdge(j *Job) {
+	//lcws:presync edge hidden in a closure does not count
+	j.root.job = j // want `stale //lcws:presync: no release edge .* follows the annotated statement in closureEdge`
+	f := func() { s.pending.Add(1) }
+	_ = f
+}
+
+// helper without any edge keeps the transitive search honest.
+func (s *Scheduler) noEdgeHelper(j *Job) {
+	j.shards = nil
+}
+
+// submitThroughDeadEnd calls only edge-free helpers.
+func (s *Scheduler) submitThroughDeadEnd(j *Job) {
+	//lcws:presync helper contains no release edge
+	j.root.job = j // want `stale //lcws:presync: no release edge .* follows the annotated statement in submitThroughDeadEnd`
+	s.noEdgeHelper(j)
+}

@@ -1,0 +1,10 @@
+// Package dangling holds a //lcws:presync comment attached to no
+// statement; it is loaded directly (not via analysistest) because the
+// dangling comment occupies the whole line a want pattern would need.
+package dangling
+
+func f() int {
+	x := 1
+	return x
+	//lcws:presync attached to nothing
+}

@@ -12,6 +12,8 @@ package core
 // the worker's own deque — which is exactly where LCWS saves its fences.
 // The task descriptor itself comes from the worker's freelist, so the
 // steady-state fast path allocates nothing.
+//
+//lcws:noalloc
 func Fork2(w *Worker, left, right func(*Worker)) {
 	rt := w.newTask()
 	want := rt.prepareFn(right)
@@ -83,6 +85,8 @@ func ParFor(w *Worker, lo, hi, grain int, body func(w *Worker, i int)) {
 // joins. Stolen range tasks re-enter through runTask, which calls back
 // into forkRange on the thief, so splitting continues wherever the range
 // ends up executing.
+//
+//lcws:noalloc
 func (w *Worker) forkRange(lo, hi, grain int, body func(*Worker, int)) {
 	if hi-lo <= grain {
 		w.runLeaf(lo, hi, body)

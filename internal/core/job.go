@@ -34,9 +34,11 @@ var errJobAborted = errors.New("lcws: job aborted (internal unwind sentinel)")
 // discarded. Each shard is owner-written, unsynchronized; the sums are
 // read only at job finalization, after every worker has left the job
 // (see Job.settle for why that read is race-free on the healthy path).
+//
+//lcws:manifest
 type jobShard struct {
-	created   uint64
-	completed uint64
+	created   uint64 //lcws:field thief-shared — owner-written; read at settlement under fork-join transitive happens-before
+	completed uint64 //lcws:field thief-shared — same settlement protocol as created
 	_         [48]byte
 }
 
@@ -56,40 +58,42 @@ type JobStats struct {
 // Wait for it with Wait (or the Done channel), then inspect Err and
 // Stats. A Job is settled exactly once; all accessors are safe from
 // any goroutine after Wait/Done.
+//
+//lcws:manifest
 type Job struct {
-	id    uint64
-	sched *Scheduler
+	id    uint64     //lcws:field immutable
+	sched *Scheduler //lcws:field immutable
 
 	// root is the job's root task, embedded rather than drawn from a
 	// worker freelist: the submitting goroutine is no worker, and the
 	// drain path must never recycle it into a freelist either.
-	root Task
+	root Task //lcws:field thief-shared — the Task manifest and the publication presyncs govern it
 
 	// aborted flips once when the job fails (task panic, cancellation);
 	// workers then discard the job's remaining tasks instead of running
 	// them, and Poll checkpoints unwind out of its running tasks.
-	aborted atomic.Bool
+	aborted atomic.Bool //lcws:field atomic
 
 	// firstErr records the job's first failure cause; settle reads it.
-	errOnce sync.Once
-	failErr error
+	errOnce sync.Once //lcws:field atomic
+	failErr error     //lcws:field guarded(errOnce)
 
 	// drained counts tasks of this job discarded unexecuted.
-	drained atomic.Uint64
+	drained atomic.Uint64 //lcws:field atomic
 
-	done       chan struct{}
-	settleOnce sync.Once
-	err        error
-	stats      JobStats
+	done       chan struct{} //lcws:field immutable — closed exactly once by settle
+	settleOnce sync.Once     //lcws:field atomic
+	err        error         //lcws:field thief-shared — written in settle, read after Done's close edge
+	stats      JobStats      //lcws:field thief-shared — same done-channel protocol as err
 
 	// shards is the per-worker task accounting, indexed by worker id.
-	shards []jobShard
+	shards []jobShard //lcws:field thief-shared — set at submit (presync), shard words owner-written
 
 	// stop detaches the context watcher (context.AfterFunc); nil when
 	// the job was submitted without a context.
-	stop func() bool
+	stop func() bool //lcws:field guarded(settleOnce)
 
-	start time.Time
+	start time.Time //lcws:field immutable
 }
 
 // fail records cause as the job's failure and flips it to aborted.

@@ -94,18 +94,20 @@ func (o Options) withDefaults() Options {
 // then walks a single allocation, and the padding guarantees no two
 // workers — and no thief-written notification word and owner-hot field —
 // share a cache line.
+//
+//lcws:manifest
 type Scheduler struct {
-	opts    Options
-	workers []workerSlot
-	ctrs    *counters.Set
-	wg      sync.WaitGroup // resident-worker barrier for Close
+	opts    Options        //lcws:field immutable
+	workers []workerSlot   //lcws:field immutable
+	ctrs    *counters.Set  //lcws:field immutable
+	wg      sync.WaitGroup //lcws:field atomic — resident-worker barrier for Close
 
 	// inj is the MPMC submission queue: Submit pushes *Job records from
 	// arbitrary goroutines; resident workers pop them in their top-level
 	// loop. Owner deque paths are untouched by submission.
-	inj       injector.Queue[*Job]
-	startOnce sync.Once   // spawns the resident workers exactly once
-	closed    atomic.Bool // set by Close; workers exit once drained
+	inj       injector.Queue[*Job] //lcws:field atomic — internally mutex+atomic synchronized
+	startOnce sync.Once            //lcws:field atomic — spawns the resident workers exactly once
+	closed    atomic.Bool          //lcws:field atomic — set by Close; workers exit once drained
 
 	// activeJobs counts submitted-but-unsettled jobs. Workers use it to
 	// decide between the in-job stealing loop (activeJobs > 0) and the
@@ -114,19 +116,19 @@ type Scheduler struct {
 	// checking closed, so a submission that observed the scheduler open
 	// keeps every worker alive until the job settles (the seq-cst total
 	// order over this counter and closed makes the exit check safe).
-	activeJobs atomic.Int64
+	activeJobs atomic.Int64 //lcws:field atomic
 
 	// busy counts workers currently inside their busy phase (where they
 	// write per-worker counters without synchronization). Job.Wait
 	// spins until it reaches zero after the pool goes idle, which
 	// restores the seed's guarantee that Stats/Counters reads after a
 	// Run are exact and race-free. See quiesce.
-	busy atomic.Int64
+	busy atomic.Int64 //lcws:field atomic
 
-	jobSeq        atomic.Uint64 // job id allocator (ids start at 1)
-	jobsSubmitted atomic.Uint64
-	jobsCompleted atomic.Uint64
-	jobsFailed    atomic.Uint64
+	jobSeq        atomic.Uint64 //lcws:field atomic — job id allocator (ids start at 1)
+	jobsSubmitted atomic.Uint64 //lcws:field atomic
+	jobsCompleted atomic.Uint64 //lcws:field atomic
+	jobsFailed    atomic.Uint64 //lcws:field atomic
 
 	// parkWords is the idle-worker bitset of the parking lot (bit id
 	// set = worker id is parked). Parkers set their bit with a seq-cst
@@ -135,16 +137,16 @@ type Scheduler struct {
 	// wakeup impossible (see Worker.park). The in-job parking lot is
 	// used only in StealBatch mode, but every worker also parks here
 	// between jobs (deepPark), so the bitset always exists.
-	parkWords []atomic.Uint64
+	parkWords []atomic.Uint64 //lcws:field immutable — slice set in NewScheduler; elements are atomic words
 
 	// traceEpoch is the zero point of all trace timestamps; set once in
 	// NewScheduler when tracing is enabled.
-	traceEpoch time.Time
+	traceEpoch time.Time //lcws:field immutable
 
 	// Per-job spans for the Chrome export, recorded at job settlement
 	// on traced schedulers only (bounded; see maxJobSpans).
-	spanMu   sync.Mutex
-	jobSpans []trace.JobSpan
+	spanMu   sync.Mutex      //lcws:field atomic
+	jobSpans []trace.JobSpan //lcws:field guarded(spanMu)
 }
 
 // maxJobSpans bounds the per-scheduler job-span log of a traced

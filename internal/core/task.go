@@ -32,34 +32,51 @@ import (
 // be observed stale. The join additionally asserts that seq itself is
 // unchanged, turning any discipline violation (the task freed behind an
 // in-flight join's back) into an immediate panic.
+//
+//lcws:manifest
 type Task struct {
 	// fn is the function of a plain task; nil marks a range task.
+	//
+	//lcws:field thief-shared — written pre-publication (prepareFn presync), read by the executor
 	fn func(*Worker)
 
 	// Range-task payload, valid when fn == nil.
-	body          func(*Worker, int)
+	//
+	//lcws:field thief-shared — written pre-publication, read by the executor
+	body func(*Worker, int)
+	//lcws:field thief-shared — written pre-publication, read by the executor
 	lo, hi, grain int
 
 	// doneSeq is stored (last) by the executing worker when the task
 	// completes, with the value seq+1; the forking worker polls it to
 	// detect completion of a stolen task.
+	//
+	//lcws:field atomic
 	doneSeq atomic.Uint32
 
 	// job tags the task with the Job it belongs to (nil for tasks driven
 	// directly in tests without a job). Written by the pushing worker
 	// before the deque publishes the task, so any thief that obtains the
 	// task observes the tag; aborted-job drains filter on it.
+	//
+	//lcws:field thief-shared — written pre-publication, read by drains
 	job *Job
 
 	// Recycling state, touched only by the forking (owner) worker.
-	seq      uint32 // generation stamp, incremented on every freeTask
-	recycled bool   // set while the task sits on a freelist
-	next     *Task  // freelist link
+	//
+	//lcws:field thief-shared — generation stamp: owner-written, executor reads it for the doneSeq store
+	seq uint32
+	//lcws:field owner(Worker)
+	recycled bool // set while the task sits on a freelist
+	//lcws:field owner(Worker)
+	next *Task // freelist link
 }
 
 // complete marks t done: the executing worker stores the completion
 // stamp the forking worker's join is waiting for. It must be the
 // executor's final access to t.
+//
+//lcws:noalloc
 func (t *Task) complete() { t.doneSeq.Store(t.seq + 1) }
 
 // isDone reports whether the incarnation of t stamped want (= seq+1 at
@@ -74,6 +91,8 @@ func (t *Task) isDone(want uint32) bool {
 // its join must wait for. The owner calls it between newTask and push;
 // the deque's publication protocol orders the write before any thief's
 // read.
+//
+//lcws:noalloc
 func (t *Task) prepareFn(fn func(*Worker)) uint32 {
 	t.fn = fn
 	return t.seq + 1
@@ -83,6 +102,8 @@ func (t *Task) prepareFn(fn func(*Worker)) uint32 {
 // grain, returning the completion stamp like prepareFn. fn is already
 // nil on a task fresh from newTask, which is what marks t as a range
 // task.
+//
+//lcws:noalloc
 func (t *Task) prepareRange(lo, hi, grain int, body func(*Worker, int)) uint32 {
 	t.body, t.lo, t.hi, t.grain = body, lo, hi, grain
 	return t.seq + 1
@@ -90,6 +111,8 @@ func (t *Task) prepareRange(lo, hi, grain int, body func(*Worker, int)) uint32 {
 
 // reuse detaches t from the freelist linkage when it is popped for
 // reallocation.
+//
+//lcws:noalloc
 func (t *Task) reuse() {
 	t.next = nil
 	t.recycled = false
@@ -98,6 +121,8 @@ func (t *Task) reuse() {
 // recycle resets t's payload, advances its generation stamp, and links
 // it in front of the freelist node head. Called only by freeTask on the
 // owning worker.
+//
+//lcws:noalloc
 func (t *Task) recycle(head *Task) {
 	t.recycled = true
 	t.seq++
@@ -113,9 +138,12 @@ func (t *Task) recycle(head *Task) {
 // which the fork path allocates nothing). Owner-only: must be called on
 // the worker's own goroutine. No atomic reset is needed — completion is
 // generation-stamped, see Task.
+//
+//lcws:noalloc
 func (w *Worker) newTask() *Task {
 	t := w.freelist
 	if t == nil {
+		//lcws:allocok cold path: the freelist warms up to the live-fork high-water mark
 		return &Task{}
 	}
 	w.freelist = t.next
@@ -128,6 +156,8 @@ func (w *Worker) newTask() *Task {
 // once its join observed completion — at that point no thief holds a
 // live reference (the doneSeq store is a thief's final access). Double
 // frees panic via the recycled flag.
+//
+//lcws:noalloc
 func (w *Worker) freeTask(t *Task) {
 	if t.recycled {
 		panic("core: double free of a scheduler task (recycling discipline violated)")

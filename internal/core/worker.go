@@ -28,17 +28,19 @@ const cacheLineSize = 64
 // Workers are allocated contiguously in the scheduler's slab (see
 // workerSlot), each slot padded to a cache-line multiple plus a trailing
 // guard line, so neighbouring workers never share a line either.
+//
+//lcws:manifest
 type Worker struct {
 	// targeted is the per-processor flag of Listings 1 and 3: it records
 	// that a thief targeted this worker for stealing. In USLCWS it is the
 	// notification itself; in the signal-based schedulers it only
 	// suppresses redundant signals.
-	targeted atomic.Bool
+	targeted atomic.Bool //lcws:field atomic
 
 	// pending is the emulated in-flight signal: a thief stores true
 	// ("pthread_kill"), and this worker's goroutine runs the exposure
 	// handler at its next poll point.
-	pending atomic.Bool
+	pending atomic.Bool //lcws:field atomic
 
 	_ [6]byte // align the trace stamps below to 8 bytes
 
@@ -49,29 +51,31 @@ type Worker struct {
 	// Swap(0)s them when it exposes/handles and observes the deltas into
 	// its latency histograms. They are thief-written like the two flags
 	// above, hence on this line rather than with the owner-hot state.
-	reqTs     atomic.Int64
-	sigSendTs atomic.Int64
+	reqTs     atomic.Int64 //lcws:field atomic
+	sigSendTs atomic.Int64 //lcws:field atomic
 
 	_ [cacheLineSize - 2*unsafe.Sizeof(atomic.Bool{}) - 6 - 2*unsafe.Sizeof(atomic.Int64{})]byte
 
 	// Owner-hot state: written only by this worker's own goroutine (or
-	// by scheduler setup code before that goroutine exists).
-	sched      *Scheduler
-	dq         taskDeque
-	ctr        *counters.Worker
-	rand       *rng.Xoshiro256
-	freelist   *Task           // owner-only recycled tasks; see newTask/freeTask
-	rec        *trace.Recorder // owner-only flight recorder; nil = tracing off
-	id         int
-	sinceYield int           // tasks executed since the last cooperative yield
-	yieldEvery int           // cached Options.YieldEvery (0 = never)
-	idleSleep  time.Duration // current idle-backoff sleep (0 = not sleeping yet)
-	pollCount  uint32        // Poll() call counter for the cheap fast path
-	pollEvery  uint32        // Poll calls between pending-signal checks
-	idleSpins  uint32        // consecutive failed work-search iterations
-	policy     Policy
-	batch      bool  // cached Options.StealBatch
-	sticky     int32 // last successful victim id (-1 = none); batch mode only
+	// by scheduler setup code before that goroutine exists). The
+	// immutable fields are set once in Worker.init; the owner fields
+	// mutate on the hot path under the receiver-context rule.
+	sched      *Scheduler       //lcws:field immutable
+	dq         taskDeque        //lcws:field immutable — owner/thief method split enforced by owneronly
+	ctr        *counters.Worker //lcws:field immutable
+	rand       *rng.Xoshiro256  //lcws:field immutable
+	freelist   *Task            //lcws:field owner — recycled tasks; see newTask/freeTask
+	rec        *trace.Recorder  //lcws:field immutable — owner/thief method split enforced by owneronly; nil = tracing off
+	id         int              //lcws:field immutable
+	sinceYield int              //lcws:field owner — tasks executed since the last cooperative yield
+	yieldEvery int              //lcws:field immutable — cached Options.YieldEvery (0 = never)
+	idleSleep  time.Duration    //lcws:field owner — current idle-backoff sleep (0 = not sleeping yet)
+	pollCount  uint32           //lcws:field owner — Poll() call counter for the cheap fast path
+	pollEvery  uint32           //lcws:field immutable — Poll calls between pending-signal checks
+	idleSpins  uint32           //lcws:field owner — consecutive failed work-search iterations
+	policy     Policy           //lcws:field immutable
+	batch      bool             //lcws:field immutable — cached Options.StealBatch
+	sticky     int32            //lcws:field owner — last successful victim id (-1 = none); batch mode only
 
 	// Job context, owner-only: curJob is the job of the task currently
 	// executing on this worker (nil between tasks and for untagged test
@@ -80,9 +84,9 @@ type Worker struct {
 	// join while executing another job's stolen task accounts each task
 	// to its own job. taskDepth counts nested runTask frames; the
 	// abort-unwind sentinel fires only at depth > 0 (see Checkpoint).
-	curJob    *Job
-	curShard  *jobShard
-	taskDepth int32
+	curJob    *Job      //lcws:field owner
+	curShard  *jobShard //lcws:field owner
+	taskDepth int32     //lcws:field owner
 
 	// parkSem is the worker's parking semaphore: a waker that claims
 	// this worker's bit in Scheduler.parkWords posts one token here.
@@ -91,9 +95,9 @@ type Worker struct {
 	// insurance timer (lazily allocated on first park). stealBuf
 	// receives batched steals (owner-only after the claim; see
 	// stealFromBatched).
-	parkSem   chan struct{}
-	parkTimer *time.Timer
-	stealBuf  [stealBatchSize]*Task
+	parkSem   chan struct{}         //lcws:field immutable — channel ops are internally synchronized
+	parkTimer *time.Timer           //lcws:field owner
+	stealBuf  [stealBatchSize]*Task //lcws:field owner
 }
 
 // stealBatchSize caps how many tasks one batched steal can claim. Eight
@@ -105,8 +109,10 @@ const stealBatchSize = 8
 // guard line, so adjacent slots in the scheduler's contiguous slab never
 // place two workers' live fields on one line even when the Go allocator
 // hands back a slab base that is not itself line-aligned.
+//
+//lcws:manifest
 type workerSlot struct {
-	w Worker
+	w Worker //lcws:field thief-shared — the Worker's own manifest governs each field
 	_ [workerSlotPad]byte
 }
 
@@ -434,6 +440,8 @@ func (w *Worker) traceFork() {
 // per-worker shard, and hands off to pushNoTag. The tag is written
 // before the deque's publication protocol makes the task visible to
 // thieves, so t.job is immutable-after-publish.
+//
+//lcws:noalloc
 func (w *Worker) push(t *Task) {
 	t.job = w.curJob //lcws:presync written before the deque's release publication makes t visible to thieves
 	if sh := w.curShard; sh != nil {
@@ -453,6 +461,8 @@ func (w *Worker) push(t *Task) {
 // does not otherwise touch, so the store costs at most one exclusive
 // line acquisition — while the former load-test-store pair put an extra
 // load and a mispredictable branch on every fork.
+//
+//lcws:noalloc
 func (w *Worker) pushNoTag(t *Task) {
 	// Batch mode: a push onto an empty deque is the event that turns an
 	// idle pool busy again, so it wakes one parked thief. (For the WS
@@ -472,6 +482,8 @@ func (w *Worker) pushNoTag(t *Task) {
 
 // popLocal is the local half of Listing 1's get_task: first the private
 // part (with USLCWS's task-boundary exposure check), then the public part.
+//
+//lcws:noalloc
 func (w *Worker) popLocal() *Task {
 	if t := w.dq.PopBottom(w.ctr); t != nil {
 		if w.policy.flagBased() && w.targeted.Load() {

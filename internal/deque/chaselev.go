@@ -17,13 +17,15 @@ import (
 // The buffer is circular with a fixed capacity; like the split deque it
 // panics on overflow rather than growing (Parlay's deque is likewise a
 // fixed-size array).
+//
+//lcws:manifest
 type ChaseLev[T any] struct {
-	top     atomic.Int64  // stock mode: next index to steal from
-	bot     atomic.Int64  // next index to push at
-	age     atomic.Uint64 // batch mode: packed (tag, top); unused in stock mode
-	mask    int64
-	batched bool
-	buf     []atomic.Pointer[T]
+	top     atomic.Int64        //lcws:field atomic — stock mode: next index to steal from
+	bot     atomic.Int64        //lcws:field atomic — next index to push at
+	age     atomic.Uint64       //lcws:field atomic — batch mode: packed (tag, top); unused in stock mode
+	mask    int64               //lcws:field immutable
+	batched bool                //lcws:field immutable
+	buf     []atomic.Pointer[T] //lcws:field immutable — slice header set in the constructor; slots are atomic
 }
 
 // NewChaseLev returns a ChaseLev deque whose capacity is the smallest
@@ -91,6 +93,8 @@ func (d *ChaseLev[T]) Capacity() int { return len(d.buf) }
 // PushBottom appends t at the bottom. Per the counting model a WS push
 // costs one fence (the release ordering on bot that makes the new task
 // visible to thieves). It panics when the buffer is full.
+//
+//lcws:noalloc
 func (d *ChaseLev[T]) PushBottom(t *T, c *counters.Worker) {
 	b := d.bot.Load()
 	if b-d.topIndex() > d.mask {
@@ -105,6 +109,8 @@ func (d *ChaseLev[T]) PushBottom(t *T, c *counters.Worker) {
 // PopBottom removes and returns the bottom-most task, or nil when the
 // deque is empty. Per the counting model it always costs one fence and an
 // additional CAS when racing thieves for the last element.
+//
+//lcws:noalloc
 func (d *ChaseLev[T]) PopBottom(c *counters.Worker) *T {
 	if d.batched {
 		return d.popBottomBatch(c)
@@ -136,6 +142,8 @@ func (d *ChaseLev[T]) PopBottom(c *counters.Worker) *T {
 // usual store-load fence, but the claim itself is a tag-bump CAS on the
 // age word (WSBatchPopCAS) on every pop, not just for the last element —
 // see NewChaseLevBatch for why batched steals require this.
+//
+//lcws:noalloc
 func (d *ChaseLev[T]) popBottomBatch(c *counters.Worker) *T {
 	b := d.bot.Load() - 1
 	d.bot.Store(b)
@@ -162,6 +170,8 @@ func (d *ChaseLev[T]) popBottomBatch(c *counters.Worker) *T {
 // attempt costs one fence, plus one CAS when the deque was non-empty and
 // the head CAS was reached. It never returns PrivateWork: the fully
 // concurrent deque has no private part.
+//
+//lcws:noalloc
 func (d *ChaseLev[T]) PopTop(c *counters.Worker) (*T, StealResult) {
 	if d.batched {
 		var buf [1]*T
@@ -193,6 +203,8 @@ func (d *ChaseLev[T]) PopTop(c *counters.Worker) (*T, StealResult) {
 // can race the owner's fence-only pop (see NewChaseLevBatch).
 // Accounting per attempt matches the stock steal: one fence, plus one
 // CAS when the deque was non-empty.
+//
+//lcws:noalloc
 func (d *ChaseLev[T]) PopTopN(buf []*T, c *counters.Worker) (int, StealResult) {
 	if len(buf) == 0 {
 		panic("deque: PopTopN requires a non-empty batch buffer")

@@ -22,12 +22,14 @@ import (
 // distinguish Empty from PrivateWork, and reads publicBot to find the split
 // point); Go atomics are seq-cst, which subsumes the fences. The fence and
 // CAS accounting below records what the C++ implementation would execute.
+//
+//lcws:manifest
 type SplitDeque[T any] struct {
-	bot       atomic.Uint64 // index of the empty slot below the bottom-most task
-	publicBot atomic.Uint64 // index below the bottom-most public task
-	age       atomic.Uint64 // packed (top, tag)
-	raceFix   bool          // use the §4 signal-safe pop_bottom
-	deq       []atomic.Pointer[T]
+	bot       atomic.Uint64       //lcws:field atomic — index of the empty slot below the bottom-most task
+	publicBot atomic.Uint64       //lcws:field atomic — index below the bottom-most public task
+	age       atomic.Uint64       //lcws:field atomic — packed (top, tag)
+	raceFix   bool                //lcws:field immutable — use the §4 signal-safe pop_bottom
+	deq       []atomic.Pointer[T] //lcws:field immutable — slice header set in NewSplit; slots are atomic
 }
 
 // NewSplit returns a SplitDeque with the given capacity (DefaultCapacity
@@ -48,6 +50,8 @@ func (d *SplitDeque[T]) Capacity() int { return len(d.deq) }
 // PushBottom appends t to the private part. Per the counting model it
 // executes no synchronization operations (paper Lemma 1).
 // It panics if the backing array is exhausted; see DefaultCapacity.
+//
+//lcws:noalloc
 func (d *SplitDeque[T]) PushBottom(t *T, c *counters.Worker) {
 	b := d.bot.Load()
 	if int(b) == len(d.deq) {
@@ -68,6 +72,8 @@ func (d *SplitDeque[T]) PushBottom(t *T, c *counters.Worker) {
 // just become public. When the variant returns nil it leaves bot one below
 // publicBot; the subsequent PopPublicBottom call (the only legal next deque
 // operation in the scheduler loop) repairs bot on every path.
+//
+//lcws:noalloc
 func (d *SplitDeque[T]) PopBottom(c *counters.Worker) *T {
 	if d.raceFix {
 		b := d.bot.Load()
@@ -101,6 +107,8 @@ func (d *SplitDeque[T]) PopBottom(c *counters.Worker) *T {
 // one fence on the common path (line 12), a second fence on the emptying
 // path (line 27), and one CAS attempt when racing thieves for the last
 // element.
+//
+//lcws:noalloc
 func (d *SplitDeque[T]) PopPublicBottom(c *counters.Worker) *T {
 	pb := d.publicBot.Load()
 	if pb == 0 {
@@ -152,6 +160,8 @@ func (d *SplitDeque[T]) PopPublicBottom(c *counters.Worker) *T {
 // PRIVATE_WORK", which contradicts the prose ("if only the public part is
 // empty it returns PRIVATE_WORK"); public_bot < bot is precisely the
 // private-part-non-empty condition, so we implement the prose semantics.
+//
+//lcws:noalloc
 func (d *SplitDeque[T]) PopTop(c *counters.Worker) (*T, StealResult) {
 	oldAge := d.age.Load()
 	top, tag := unpackAge(oldAge)
@@ -188,6 +198,8 @@ func (d *SplitDeque[T]) PopTop(c *counters.Worker) (*T, StealResult) {
 // succeed and re-claim owner-consumed tasks. UnexposeAll instead bumps
 // the ABA tag before any reclaimed slot is reused, so a successful batch
 // CAS proves every claimed slot was untouched since it was read.
+//
+//lcws:noalloc
 func (d *SplitDeque[T]) PopTopHalf(buf []*T, c *counters.Worker) (int, StealResult) {
 	if len(buf) == 0 {
 		panic("deque: PopTopHalf requires a non-empty batch buffer")
@@ -226,6 +238,8 @@ func (d *SplitDeque[T]) HasPublicWork() bool { return d.PublicSize() > 0 }
 // footnote 3 of the paper, exposure itself performs no synchronization
 // operations; its cost materialises later as the fences of
 // PopPublicBottom when exposed tasks are not stolen.
+//
+//lcws:noalloc
 func (d *SplitDeque[T]) Expose(mode ExposeMode, c *counters.Worker) int {
 	pb := d.publicBot.Load()
 	b := d.bot.Load()
@@ -275,6 +289,8 @@ func (d *SplitDeque[T]) Expose(mode ExposeMode, c *counters.Worker) int {
 // tag is bumped with a CAS so that any thief still holding the old age
 // fails its steal; if instead a thief advances top first, the owner's CAS
 // fails and it retries against the new top.
+//
+//lcws:noalloc
 func (d *SplitDeque[T]) UnexposeAll(c *counters.Worker) int {
 	for {
 		pb := d.publicBot.Load()

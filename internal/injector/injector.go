@@ -21,12 +21,14 @@ import (
 
 // Queue is an unbounded multi-producer multi-consumer FIFO.
 // The zero value is ready to use.
+//
+//lcws:manifest
 type Queue[T any] struct {
-	mu   sync.Mutex
-	buf  []T
-	head int // index of the oldest element
-	n    int // number of elements
-	size atomic.Int64
+	mu   sync.Mutex   //lcws:field atomic
+	buf  []T          //lcws:field guarded(mu)
+	head int          //lcws:field guarded(mu) — index of the oldest element
+	n    int          //lcws:field guarded(mu) — number of elements
+	size atomic.Int64 //lcws:field atomic
 }
 
 const minCap = 8
@@ -74,6 +76,8 @@ func (q *Queue[T]) Len() int { return int(q.size.Load()) }
 func (q *Queue[T]) Empty() bool { return q.size.Load() == 0 }
 
 // grow doubles the ring, called with q.mu held and the ring full.
+//
+//lcws:locked mu
 func (q *Queue[T]) grow() {
 	newCap := len(q.buf) * 2
 	if newCap < minCap {

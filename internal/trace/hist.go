@@ -201,15 +201,19 @@ func (h Histogram) String() string {
 // updates are plain load + atomic store pairs — no RMW instructions —
 // and cross-field consistency (count vs sum) is only guaranteed after
 // the run quiesces, the same contract as the counters.
+//
+//lcws:manifest
 type atomicHist struct {
-	count   atomic.Uint64
-	sum     atomic.Uint64
-	min     atomic.Uint64
-	max     atomic.Uint64
-	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64              //lcws:field atomic
+	sum     atomic.Uint64              //lcws:field atomic
+	min     atomic.Uint64              //lcws:field atomic
+	max     atomic.Uint64              //lcws:field atomic
+	buckets [HistBuckets]atomic.Uint64 //lcws:field thief-shared — element ops are atomic; the array word itself is never written
 }
 
 // observe records one sample; owner-only.
+//
+//lcws:noalloc
 func (h *atomicHist) observe(ns int64) {
 	v := uint64(0)
 	if ns > 0 {

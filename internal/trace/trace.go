@@ -177,9 +177,11 @@ func (c Config) normalized() Config {
 
 // slot is one ring entry: a timestamp and a packed meta word
 // (type in bits 56–63, arg2 in bits 32–55, arg in bits 0–31).
+//
+//lcws:manifest
 type slot struct {
-	ts   int64
-	meta uint64
+	ts   int64  //lcws:field thief-shared — owner plain-writes, published by the ring's wcur store
+	meta uint64 //lcws:field thief-shared — same wcur publication protocol as ts
 }
 
 func packMeta(typ EventType, arg uint32, arg2 uint32) uint64 {
@@ -197,20 +199,29 @@ func unpack(ts int64, meta uint64, worker int) Event {
 }
 
 // ring is the owner-write event buffer of one worker.
+//
+//lcws:manifest
 type ring struct {
-	buf  []slot
-	mask uint64
+	buf  []slot //lcws:field immutable — slice header set in NewRecorder; slots follow the slot manifest
+	mask uint64 //lcws:field immutable
 	// wcur is the next event index. The owner publishes it with an
 	// atomic store after the slot's plain stores; a reader that loads
 	// wcur therefore observes every event below it fully written.
+	//
+	//lcws:field atomic
 	wcur atomic.Uint64
 	// frozen gates the owner out of the ring while a snapshot reads it;
 	// events arriving during the window are dropped and counted in
 	// lostFrozen.
-	frozen     atomic.Bool
+	//
+	//lcws:field atomic
+	frozen atomic.Bool
+	//lcws:field atomic
 	lostFrozen atomic.Uint64
 	// snapMu serializes concurrent snapshots (readers only; the owner
 	// never takes it).
+	//
+	//lcws:field atomic
 	snapMu sync.Mutex
 }
 
@@ -218,15 +229,19 @@ type ring struct {
 // the online latency histograms, and the scratch state the latency
 // derivations need. All methods except Snapshot are owner-only — they
 // must be called from the owning worker's goroutine.
+//
+//lcws:manifest
 type Recorder struct {
-	ring  ring
-	epoch time.Time
-	ctr   *counters.Worker
+	ring  ring             //lcws:field thief-shared — the ring's own manifest governs each word
+	epoch time.Time        //lcws:field immutable
+	ctr   *counters.Worker //lcws:field immutable
 
-	hists [NumLatencies]atomicHist
+	hists [NumLatencies]atomicHist //lcws:field thief-shared — the atomicHist manifest governs each word
 
 	// searchStart is the trace time at which the current steal search
 	// began (0 = not searching); it anchors the steal-to-hit histogram.
+	//
+	//lcws:field owner
 	searchStart int64
 }
 
@@ -251,6 +266,8 @@ func (r *Recorder) Now() int64 { return int64(time.Since(r.epoch)) }
 // path: one plain load, two plain stores, one atomic cursor store. An
 // event that overwrites a live slot (ring wrapped) or arrives while a
 // snapshot has the ring frozen is accounted as a drop.
+//
+//lcws:noalloc
 func (r *Recorder) recordAt(ts int64, typ EventType, arg uint32, arg2 uint32) {
 	rg := &r.ring
 	if rg.frozen.Load() {
@@ -270,6 +287,8 @@ func (r *Recorder) recordAt(ts int64, typ EventType, arg uint32, arg2 uint32) {
 }
 
 // record appends one event stamped with the current trace time.
+//
+//lcws:noalloc
 func (r *Recorder) record(typ EventType, arg uint32, arg2 uint32) {
 	r.recordAt(r.Now(), typ, arg, arg2)
 }
