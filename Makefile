@@ -5,7 +5,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: verify build test race vet census race-matrix fuzz-smoke stress lcwsvet bench-fork bench-steal bench-exec submit-stress trace-smoke clean
+.PHONY: verify build test race vet census race-matrix fuzz-smoke stress lcwsvet bench-fork bench-steal bench-exec bench-mem submit-stress trace-smoke clean
 
 verify: build test race vet fuzz-smoke stress submit-stress trace-smoke
 
@@ -67,6 +67,14 @@ bench-steal:
 # README and DESIGN.md §10).
 bench-exec:
 	$(GO) run ./cmd/lcwsbench -execbench -execjson BENCH_exec.json
+
+# Memory benchmarks: regenerates BENCH_mem.json measuring steady-state
+# HeapInuse across the mixed-width job stream (the flat-memory claim of
+# the bounded freelists and recycle shards) plus the deque growth/spill
+# engagement runs (see README and DESIGN.md §12). The flatness gate
+# itself is TestMemFlatAcrossJobs in internal/perf.
+bench-mem:
+	$(GO) run ./cmd/lcwsbench -membench -memjson BENCH_mem.json
 
 # Concurrent-submission soak under the race detector: many submitter
 # goroutines, overlapping jobs, panics and cancellations over one

@@ -6,8 +6,9 @@
 // It also runs the microbenchmarks of internal/perf and emits them as
 // machine-readable documents the allocation/benchmark regression gates
 // compare against: the fork-overhead benchmarks as BENCH_fork.json, the
-// steal-latency ping-pong as BENCH_steal.json, and the executor
-// lifecycle (resident pool vs spawn-per-run) as BENCH_exec.json.
+// steal-latency ping-pong as BENCH_steal.json, the executor lifecycle
+// (resident pool vs spawn-per-run) as BENCH_exec.json, and the
+// steady-state memory measurements as BENCH_mem.json.
 //
 // The -jobs mode exercises the persistent executor as a job server:
 // -submitters goroutines submit -jobs fork-join jobs over one resident
@@ -21,6 +22,7 @@
 //	lcwsbench -forkbench -forkjson BENCH_fork.json
 //	lcwsbench -stealbench -stealjson BENCH_steal.json
 //	lcwsbench -execbench -execjson BENCH_exec.json
+//	lcwsbench -membench -memjson BENCH_mem.json
 //	lcwsbench -jobs 64 -submitters 8
 package main
 
@@ -77,6 +79,11 @@ func main() {
 		execrounds = flag.Int("execrounds", perf.ExecDefaultRounds, "timed Run calls per executor-benchmark repetition")
 		execreps   = flag.Int("execreps", perf.DefaultReps, "executor-benchmark repetitions (minimum is reported)")
 
+		membench = flag.Bool("membench", false, "run the memory benchmarks: steady-state HeapInuse across mixed-width jobs plus deque growth/spill engagement (internal/perf)")
+		memjson  = flag.String("memjson", "", "write the memory benchmark report as JSON to this file (default stdout)")
+		memwarm  = flag.Int("memwarm", perf.MemJobsWarm, "jobs before the warm HeapInuse reference")
+		memtotal = flag.Int("memtotal", perf.MemJobsTotal, "total jobs in the steady-state stream")
+
 		jobs       = flag.Int("jobs", 0, "submit this many concurrent fork-join jobs over one resident pool and emit per-job stats as JSON")
 		submitters = flag.Int("submitters", 4, "submitting goroutines for the -jobs mode")
 		jobpolicy  = flag.String("jobpolicy", lcws.SignalLCWS.String(), "scheduling policy for the -jobs pool")
@@ -90,7 +97,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi || *forkbench || *stealbench || *execbench || *jobs > 0 || *traceOut != "") {
+	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi || *forkbench || *stealbench || *execbench || *membench || *jobs > 0 || *traceOut != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -120,13 +127,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *membench {
+		if err := runMemBench(*memwarm, *memtotal, *memjson); err != nil {
+			fmt.Fprintln(os.Stderr, "lcwsbench:", err)
+			os.Exit(1)
+		}
+	}
 	if *jobs > 0 {
 		if err := runJobs(*jobs, *submitters, *jobpolicy, *jobworkers, *seed, *jobsjson); err != nil {
 			fmt.Fprintln(os.Stderr, "lcwsbench:", err)
 			os.Exit(1)
 		}
 	}
-	if (*forkbench || *stealbench || *execbench || *jobs > 0 || *traceOut != "") &&
+	if (*forkbench || *stealbench || *execbench || *membench || *jobs > 0 || *traceOut != "") &&
 		!(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi) {
 		return
 	}
@@ -289,6 +302,38 @@ func runExecBench(rounds, reps int, path string) error {
 		}
 		fmt.Fprintf(os.Stderr, "exec/%-8s resident %9.0f ns/run (allocs=%.1f) vs spawn-per-run %9.0f ns/run: %.2fx\n",
 			r.Policy, r.NsPerRun, r.AllocsPerRun, sp.NsPerRun, speedup)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// runMemBench measures steady-state memory across the mixed-width job
+// stream and the deep-fork growth/spill engagement runs, and writes the
+// BENCH_mem.json document to path (stdout when empty), with a short
+// text summary and the flatness verdicts on stderr.
+func runMemBench(jobsWarm, jobsTotal int, path string) error {
+	rep := perf.NewMemReport(jobsWarm, jobsTotal)
+	for _, r := range rep.Steady {
+		verdict := "flat"
+		if !perf.MemFlat(r.HeapInuseWarm, r.HeapInuseFinal) {
+			verdict = "NOT FLAT"
+		}
+		fmt.Fprintf(os.Stderr, "mem/%-8s steady HeapInuse %8d -> %8d (%.3fx, %s)  returns=%d refills=%d\n",
+			r.Policy, r.HeapInuseWarm, r.HeapInuseFinal, r.GrowthRatio, verdict,
+			r.FreelistReturns, r.FreelistRefills)
+	}
+	for _, r := range rep.DeepFork {
+		fmt.Fprintf(os.Stderr, "mem/%-8s deepfork depth=%d cap=%d/%d: grows=%d spilled=%d tasks=%d\n",
+			r.Policy, r.Depth, r.DequeCapacity, r.MaxDequeCapacity,
+			r.DequeGrows, r.TasksSpilled, r.TasksExecuted)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

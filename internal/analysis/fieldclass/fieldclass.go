@@ -87,9 +87,12 @@ var auditedPackages = map[string]bool{
 var requiredManifests = map[string]map[string]bool{
 	"lcws/internal/core": {
 		"Worker": true, "workerSlot": true, "Scheduler": true,
-		"Job": true, "jobShard": true, "Task": true,
+		"Job": true, "jobShard": true, "Task": true, "recycleShard": true,
 	},
-	"lcws/internal/deque":    {"SplitDeque": true, "ChaseLev": true},
+	"lcws/internal/deque": {
+		"SplitDeque": true, "ChaseLev": true,
+		"splitBuf": true, "clBuf": true,
+	},
 	"lcws/internal/injector": {"Queue": true},
 	"lcws/internal/trace": {
 		"Recorder": true, "ring": true, "slot": true, "atomicHist": true,

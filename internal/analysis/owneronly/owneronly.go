@@ -1,8 +1,10 @@
 // Package owneronly verifies the central usage contract of the LCWS
 // worker's owner-only state.
 //
-// The split deque's owner-side operations (PushBottom, PopBottom,
-// PopPublicBottom, Expose, UnexposeAll) are synchronization-free and
+// The split deque's owner-side operations (PushBottom, TryPushBottom,
+// SpillOldest, PopBottom, PopPublicBottom, Expose, UnexposeAll) are
+// synchronization-free (growth and spilling publish their results with
+// single release stores but are still single-writer protocols) and
 // therefore only safe when invoked by the deque's single owner. In this
 // codebase the owner is the Worker whose dq field holds the deque, so
 // every owner-only call must have the shape w.dq.Method(...) where w is
@@ -15,14 +17,17 @@
 // are thief-safe, and HasPublicWork is the racy read the parking lot's
 // pre-park and wake checks run against arbitrary victims.
 //
-// The per-worker task freelist (the freelist field) carries the same
-// contract one level down: it is mutated without synchronization on
-// every fork and recycle, so any read or write of w.freelist must
-// likewise happen on the enclosing Worker method's own receiver and
-// outside function literals, and its address must never be taken. The
-// worker's job context (the curJob and curShard fields, cached by
-// setJob and read on every push and task boundary) is plain owner-only
-// data of exactly the same class and is held to the same rule.
+// The per-worker task freelist (the freelist and freelistLen fields)
+// carries the same contract one level down: it is mutated without
+// synchronization on every fork and recycle, so any read or write of
+// w.freelist must likewise happen on the enclosing Worker method's own
+// receiver and outside function literals, and its address must never
+// be taken. The worker's job context (the curJob and curShard fields,
+// cached by setJob and read on every push and task boundary), its
+// overflow list (overflowHead, overflowTail, spilled — filled by
+// spillForPush, drained only by the owner), and the spill scratch
+// buffer (spillBuf) are plain owner-only data of exactly the same
+// class and are held to the same rule.
 //
 // The flight recorder (the rec field, internal/trace.Recorder) splits
 // the same way as the deque: its recording methods write the owner-side
@@ -38,12 +43,18 @@
 // unsafe.Offsetof(w.dq) and friends are exempt everywhere: Offsetof
 // queries the struct layout without evaluating its operand, which is how
 // the layout regression tests pin the cache-line contract.
+//
+// Test files are exempt, as in syncaccount and fieldclass: tests drive
+// workers through hand-built states on the test goroutine (often on an
+// unstarted scheduler where no owner goroutine exists yet), and the
+// race detector covers them dynamically.
 package owneronly
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"lcws/internal/analysis"
 )
@@ -65,9 +76,14 @@ const (
 // enclosing Worker method's own receiver, outside function literals,
 // and the address must never be taken.
 var plainOwnerFields = map[string]bool{
-	"freelist": true,
-	"curJob":   true,
-	"curShard": true,
+	"freelist":     true,
+	"freelistLen":  true,
+	"curJob":       true,
+	"curShard":     true,
+	"overflowHead": true,
+	"overflowTail": true,
+	"spilled":      true,
+	"spillBuf":     true,
 }
 
 // ownerOnly holds the deque methods that must run on the owner's
@@ -77,6 +93,8 @@ var plainOwnerFields = map[string]bool{
 // interface forces a conscious concurrency decision here.
 var ownerOnly = map[string]bool{
 	"PushBottom":      true,
+	"TryPushBottom":   true, // growth-aware push: owner-side array doubling
+	"SpillOldest":     true, // overflow spill: owner-side window truncation
 	"PopBottom":       true,
 	"PopPublicBottom": true,
 	"Expose":          true,
@@ -92,6 +110,8 @@ var thiefSafe = map[string]bool{
 	"IsEmpty":       true,
 	"PrivateSize":   true,
 	"PublicSize":    true,
+	"Capacity":      true, // atomic load of the published array generation
+	"MaxCapacity":   true, // immutable growth ceiling
 }
 
 // recOwnerOnly holds the flight recorder's owner-path methods: they
@@ -114,6 +134,8 @@ var recOwnerOnly = map[string]bool{
 	"ParkEnd":       true,
 	"DequeEmpty":    true,
 	"Repair":        true,
+	"Grow":          true, // deque growth marker, owner ring
+	"Spill":         true, // overflow-spill marker, owner ring
 	"JobSwitch":     true, // job-context marker written at setJob, owner ring
 	"Tail":          true, // owner-side plain reads (panic reports)
 	"ResetRun":      true,
@@ -135,7 +157,8 @@ var Analyzer = &analysis.Analyzer{
 		"w.dq.PushBottom/PopBottom/PopPublicBottom/Expose/UnexposeAll appear only with w " +
 		"the receiver of the enclosing Worker method, not inside function literals, and " +
 		"that the dq field is never aliased into a variable or argument. The task " +
-		"freelist and the cached job context (curJob, curShard) carry the same " +
+		"freelist, the cached job context (curJob, curShard), and the overflow-spill " +
+		"state (overflowHead, overflowTail, spilled, spillBuf) carry the same " +
 		"owner-only contract for plain reads and writes, " +
 		"and the flight-recorder field (rec) splits its methods the same way: recording " +
 		"methods are owner-only, the freeze-protocol readers (Snapshot/Hist/ResetHists) " +
@@ -145,7 +168,14 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	analysis.InspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	analysis.InspectWithStack(files, func(n ast.Node, stack []ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return true

@@ -10,10 +10,11 @@
 //     the attempt means aborted races are counted too, matching the
 //     model's "CAS attempts" semantics.
 //  2. Each deque method accounts exactly the event classes the counting
-//     model assigns it: e.g. SplitDeque.PushBottom/PopBottom/Expose
-//     must account neither Fence nor CAS (Lemma 1), while
-//     PopPublicBottom must account both (Lemma 2), and
-//     ChaseLev.PushBottom must account a Fence.
+//     model assigns it: e.g. SplitDeque.TryPushBottom/PopBottom/Expose
+//     must account neither Fence nor CAS (Lemma 1 — array growth
+//     publishes with a plain pointer store), while PopPublicBottom must
+//     account both (Lemma 2), and ChaseLev.TryPushBottom must account
+//     a Fence.
 //
 // Test files are exempt: tests drive the deques through hand-built
 // states and deliberately bypass the accounting contract.
@@ -43,7 +44,12 @@ type rule struct {
 // Methods not listed are only subject to the CAS-ordering rule.
 var rules = map[string]map[string]rule{
 	"SplitDeque": {
-		"PushBottom":      {forbidFence: true, forbidCAS: true}, // Lemma 1
+		"PushBottom":    {forbidFence: true, forbidCAS: true}, // Lemma 1 (delegates to TryPushBottom)
+		"TryPushBottom": {forbidFence: true, forbidCAS: true}, // Lemma 1: growth publishes with a plain store
+		// SpillOldest reclaims via UnexposeAll (accounted there) and then
+		// orders its age store against the publicBot store with one fence;
+		// no thief CAS can target the bumped tag, so no CAS is spent.
+		"SpillOldest":     {mustFence: true, forbidCAS: true},
 		"PopBottom":       {forbidFence: true, forbidCAS: true}, // Lemma 1
 		"Expose":          {forbidFence: true, forbidCAS: true}, // footnote 3
 		"PopPublicBottom": {mustFence: true, mustCAS: true},     // Lemma 2
@@ -52,8 +58,13 @@ var rules = map[string]map[string]rule{
 		"UnexposeAll":     {mustFence: true, mustCAS: true},     // Lace reclaim
 	},
 	"ChaseLev": {
-		"PushBottom": {mustFence: true, forbidCAS: true},
-		"PopBottom":  {mustFence: true, mustCAS: true},
+		// PushBottom delegates to TryPushBottom, which accounts the WS
+		// push fence (release ordering on bot); growth itself publishes
+		// with a plain pointer store and costs nothing extra.
+		"TryPushBottom": {mustFence: true, forbidCAS: true},
+		// SpillOldest is owner self-steal through PopTop: the fences and
+		// CAS are accounted inside PopTop per call, not lexically here.
+		"PopBottom": {mustFence: true, mustCAS: true},
 		// popBottomBatch is the batch-mode owner pop PopBottom delegates
 		// to: the usual store-load fence plus a tag-bump CAS on every pop
 		// (WSBatchPopCAS), not just for the last element.

@@ -26,9 +26,22 @@ type Options struct {
 	// Policy selects the scheduler algorithm. The zero value is the WS
 	// baseline.
 	Policy Policy
-	// DequeCapacity sets the per-worker deque capacity
-	// (deque.DefaultCapacity when non-positive).
+	// DequeCapacity sets the per-worker deque's INITIAL capacity
+	// (deque.DefaultCapacity when non-positive). Deques grow by doubling
+	// when a spawn tree outgrows it, up to MaxDequeCapacity.
 	DequeCapacity int
+	// MaxDequeCapacity caps per-worker deque growth
+	// (deque.DefaultMaxCapacity when non-positive; never below the
+	// initial capacity). Past the cap the owner spills its oldest tasks
+	// to an unbounded overflow list instead of growing further, so
+	// arbitrarily wide spawn trees run in bounded deque memory.
+	MaxDequeCapacity int
+	// FreelistBound caps each worker's task freelist
+	// (defaultFreelistBound when non-positive). Tasks freed past the
+	// bound are recycled through the scheduler's global shard pool or
+	// released to the GC, keeping steady-state memory flat across jobs
+	// of wildly different widths.
+	FreelistBound int
 	// Seed seeds the workers' victim-selection PRNGs; runs with equal
 	// options and deterministic workloads make identical scheduling
 	// decisions up to goroutine interleaving.
@@ -71,6 +84,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PollEvery <= 0 {
 		o.PollEvery = defaultPollEvery
+	}
+	if o.FreelistBound <= 0 {
+		o.FreelistBound = defaultFreelistBound
 	}
 	return o
 }
@@ -138,6 +154,12 @@ type Scheduler struct {
 	// used only in StealBatch mode, but every worker also parks here
 	// between jobs (deepPark), so the bitset always exists.
 	parkWords []atomic.Uint64 //lcws:field immutable — slice set in NewScheduler; elements are atomic words
+
+	// recycle is the global task-recycling pool: one padded shard per
+	// worker. Workers donate freelist overflow to their own shard and
+	// refill from any shard on an allocation miss; each shard is
+	// internally synchronized by its mutex (see recycleShard).
+	recycle []recycleShard //lcws:field immutable — slice set in NewScheduler; shards are mutex-guarded
 
 	// traceEpoch is the zero point of all trace timestamps; set once in
 	// NewScheduler when tracing is enabled.
@@ -215,6 +237,8 @@ func NewScheduler(opts Options) *Scheduler {
 	}
 	//lcws:presync constructor: worker goroutines have not started
 	s.parkWords = make([]atomic.Uint64, (opts.Workers+63)/64)
+	//lcws:presync constructor: worker goroutines have not started
+	s.recycle = make([]recycleShard, opts.Workers)
 	for i := range s.workers {
 		var dq taskDeque
 		switch {
@@ -222,11 +246,11 @@ func NewScheduler(opts Options) *Scheduler {
 			// The split deque supports PopTopHalf as-is; batch mode only
 			// changes the owner discipline (reclaim via UnexposeAll, see
 			// Worker.popLocal).
-			dq = deque.NewSplit[Task](opts.DequeCapacity, opts.Policy.raceFixPop())
+			dq = deque.NewSplitMax[Task](opts.DequeCapacity, opts.MaxDequeCapacity, opts.Policy.raceFixPop())
 		case opts.StealBatch:
-			dq = chaseLevDeque{deque.NewChaseLevBatch[Task](opts.DequeCapacity)}
+			dq = chaseLevDeque{deque.NewChaseLevBatchMax[Task](opts.DequeCapacity, opts.MaxDequeCapacity)}
 		default:
-			dq = chaseLevDeque{deque.NewChaseLev[Task](opts.DequeCapacity)}
+			dq = chaseLevDeque{deque.NewChaseLevMax[Task](opts.DequeCapacity, opts.MaxDequeCapacity)}
 		}
 		s.workers[i].w.init(i, s, dq, opts)
 	}

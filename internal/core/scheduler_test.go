@@ -447,16 +447,24 @@ func TestWorkerCountersPerWorker(t *testing.T) {
 }
 
 func TestSmallDequeCapacityOverflows(t *testing.T) {
-	// A deque smaller than the recursion depth must overflow with the
-	// documented panic rather than corrupt state.
-	s := NewScheduler(Options{Workers: 1, Policy: SignalLCWS, DequeCapacity: 8})
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("deep recursion on a tiny deque did not panic")
-		}
-	}()
-	s.Run(func(w *Worker) { fib(w, 20) })
+	// A deque smaller than the recursion depth no longer panics: it
+	// doubles up to MaxDequeCapacity and then spills its oldest tasks to
+	// the overflow list, so the job completes — with the growth and
+	// spill visible in the stats.
+	s := NewScheduler(Options{Workers: 1, Policy: SignalLCWS, DequeCapacity: 4, MaxDequeCapacity: 8})
+	defer s.Close()
+	var got int
+	s.Run(func(w *Worker) { got = fib(w, 20) })
+	if want := 6765; got != want {
+		t.Errorf("fib(20) = %d through growth and spilling, want %d", got, want)
+	}
+	st := s.Stats()
+	if st.DequeGrows == 0 {
+		t.Errorf("deep recursion on a 4-slot deque recorded no growth")
+	}
+	if st.TasksSpilled == 0 {
+		t.Errorf("recursion past the 8-slot maximum capacity recorded no spills")
+	}
 }
 
 func TestOptionsDefaults(t *testing.T) {

@@ -61,6 +61,19 @@ type Stats struct {
 	// TasksDiscarded counts orphaned tasks drained unexecuted because
 	// their job failed or was cancelled; zero while every job succeeds.
 	TasksDiscarded uint64
+	// DequeGrows counts deque array doublings (one per published
+	// generation); zero while no live window outgrew the initial
+	// capacity.
+	DequeGrows uint64
+	// TasksSpilled counts tasks moved from a deque at its maximum
+	// capacity onto the owner's overflow list.
+	TasksSpilled uint64
+	// FreelistRefills counts recycled tasks adopted from the global
+	// recycle shards on freelist misses.
+	FreelistRefills uint64
+	// FreelistReturns counts tasks evicted from over-full per-worker
+	// freelists (donated to the recycle shards or released to the GC).
+	FreelistReturns uint64
 
 	// Executor-level job accounting (scheduler atomics, not per-worker
 	// counters): jobs submitted / settled successfully / settled failed
@@ -107,6 +120,10 @@ func statsFromSnapshot(sn counters.Snapshot) Stats {
 		ParkCount:        sn.Get(counters.ParkCount),
 		TraceDrops:       sn.Get(counters.TraceDrop),
 		TasksDiscarded:   sn.Get(counters.TaskDiscarded),
+		DequeGrows:       sn.Get(counters.DequeGrow),
+		TasksSpilled:     sn.Get(counters.TaskSpilled),
+		FreelistRefills:  sn.Get(counters.FreelistRefill),
+		FreelistReturns:  sn.Get(counters.FreelistReturn),
 	}
 }
 
@@ -173,6 +190,10 @@ func (st Stats) Sub(prev Stats) Stats {
 		ParkCount:        clampSub(st.ParkCount, prev.ParkCount),
 		TraceDrops:       clampSub(st.TraceDrops, prev.TraceDrops),
 		TasksDiscarded:   clampSub(st.TasksDiscarded, prev.TasksDiscarded),
+		DequeGrows:       clampSub(st.DequeGrows, prev.DequeGrows),
+		TasksSpilled:     clampSub(st.TasksSpilled, prev.TasksSpilled),
+		FreelistRefills:  clampSub(st.FreelistRefills, prev.FreelistRefills),
+		FreelistReturns:  clampSub(st.FreelistReturns, prev.FreelistReturns),
 		JobsSubmitted:    clampSub(st.JobsSubmitted, prev.JobsSubmitted),
 		JobsCompleted:    clampSub(st.JobsCompleted, prev.JobsCompleted),
 		JobsFailed:       clampSub(st.JobsFailed, prev.JobsFailed),

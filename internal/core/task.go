@@ -1,7 +1,9 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"lcws/internal/counters"
 	"lcws/internal/deque"
@@ -69,7 +71,7 @@ type Task struct {
 	//lcws:field owner(Worker)
 	recycled bool // set while the task sits on a freelist
 	//lcws:field owner(Worker)
-	next *Task // freelist link
+	next *Task // freelist / overflow-list / recycle-shard link
 }
 
 // complete marks t done: the executing worker stores the completion
@@ -118,6 +120,17 @@ func (t *Task) reuse() {
 	t.recycled = false
 }
 
+// link points t's list link at next; unlink clears it. The overflow and
+// recycle-shard chains are threaded through these instead of writing
+// t.next in place so every plain write to the link stays inside Task's
+// own methods (the atomicfield discipline), mirroring reuse/recycle.
+//
+//lcws:noalloc
+func (t *Task) link(next *Task) { t.next = next }
+
+//lcws:noalloc
+func (t *Task) unlink() { t.next = nil }
+
 // recycle resets t's payload, advances its generation stamp, and links
 // it in front of the freelist node head. Called only by freeTask on the
 // owning worker.
@@ -132,30 +145,49 @@ func (t *Task) recycle(head *Task) {
 	t.next = head
 }
 
-// newTask returns a task from the worker's freelist, falling back to a
-// heap allocation only while the freelist is cold (it warms up to the
-// maximum number of simultaneously live forks of this worker, after
-// which the fork path allocates nothing). Owner-only: must be called on
-// the worker's own goroutine. No atomic reset is needed — completion is
+// newTask returns a task from the worker's freelist, falling back to
+// the global recycle shards and finally to a heap allocation only while
+// the freelist is cold (it warms up to the live-fork high-water mark of
+// this worker, bounded by freelistBound, after which the fork path
+// allocates nothing). Owner-only: must be called on the worker's own
+// goroutine. No atomic reset is needed — completion is
 // generation-stamped, see Task.
 //
 //lcws:noalloc
 func (w *Worker) newTask() *Task {
 	t := w.freelist
 	if t == nil {
-		//lcws:allocok cold path: the freelist warms up to the live-fork high-water mark
-		return &Task{}
+		// Cold path: refill from the recycle shards or heap-allocate.
+		return w.newTaskSlow()
 	}
 	w.freelist = t.next
+	w.freelistLen--
 	t.reuse()
 	return t
+}
+
+// newTaskSlow is newTask's freelist-miss path: refill a batch from the
+// global recycle shards, or heap-allocate while the whole pool is cold.
+func (w *Worker) newTaskSlow() *Task {
+	if w.refillFreelist() {
+		t := w.freelist
+		w.freelist = t.next
+		w.freelistLen--
+		t.reuse()
+		return t
+	}
+	return &Task{}
 }
 
 // freeTask returns t to the worker's freelist and advances its
 // generation. Only the worker that allocated t may free it, and only
 // once its join observed completion — at that point no thief holds a
 // live reference (the doneSeq store is a thief's final access). Double
-// frees panic via the recycled flag.
+// frees panic via the recycled flag. The freelist is bounded: past
+// freelistBound the cold half is donated to the worker's global recycle
+// shard (or released to the GC when the shard is full), so a worker
+// that once ran a very wide job does not pin that high-water mark of
+// tasks forever.
 //
 //lcws:noalloc
 func (w *Worker) freeTask(t *Task) {
@@ -164,6 +196,116 @@ func (w *Worker) freeTask(t *Task) {
 	}
 	t.recycle(w.freelist)
 	w.freelist = t
+	w.freelistLen++
+	if w.freelistLen > w.freelistBound {
+		w.donateFreelist()
+	}
+}
+
+// defaultFreelistBound caps each worker's task freelist
+// (Options.FreelistBound when non-positive). 4096 tasks ≈ 512 KiB per
+// worker of retained recycling capital — deep enough that steady
+// fork-join spines never miss, small enough that a one-off very wide
+// job does not pin its high-water mark of Tasks for the pool's
+// lifetime.
+const defaultFreelistBound = 4096
+
+// refillBatch is how many tasks one refillFreelist call moves from a
+// recycle shard onto the caller's freelist: large enough to amortize
+// the shard lock over many forks, small enough not to strip a shard
+// bare for the other workers.
+const refillBatch = 32
+
+// recycleShard is one slot of the scheduler's global task-recycling
+// pool: a mutex-guarded chain of recycled Tasks. Each worker donates
+// freelist overflow to its OWN shard (so donors never contend with each
+// other) and refills from any shard on a freelist miss; both are cold
+// paths, entered at most once per freelistBound/2 frees or once per
+// refillBatch allocations. The trailing pad keeps neighbouring shards
+// off each other's cache lines — shards sit in one contiguous slice and
+// the mutex word would otherwise false-share between a donor and a
+// refiller.
+//
+//lcws:manifest
+type recycleShard struct {
+	mu   sync.Mutex //lcws:field atomic — internally synchronized
+	head *Task      //lcws:field guarded(mu)
+	n    int        //lcws:field guarded(mu)
+	_    [recycleShardPad]byte
+}
+
+const recycleShardSize = unsafe.Sizeof(sync.Mutex{}) + unsafe.Sizeof((*Task)(nil)) + unsafe.Sizeof(int(0))
+const recycleShardPad = (cacheLineSize - recycleShardSize%cacheLineSize) % cacheLineSize
+
+// donateFreelist moves the cold (oldest) half of this worker's freelist
+// to its global recycle shard, keeping the hot half local. If the shard
+// already holds 2×freelistBound tasks the chain is dropped for the GC
+// instead — the pool-wide retained-task population stays bounded by
+// 3×freelistBound×P no matter how wide past jobs were. Owner-only; the
+// shard chain is spliced under the shard mutex. Cold path of freeTask.
+func (w *Worker) donateFreelist() {
+	keep := w.freelistBound / 2
+	if keep < 1 {
+		keep = 1
+	}
+	cut := w.freelist
+	for i := 1; i < keep; i++ {
+		cut = cut.next
+	}
+	chain := cut.next
+	cut.unlink()
+	n := w.freelistLen - keep
+	w.freelistLen = keep
+	if chain == nil {
+		return
+	}
+	w.ctr.Add(counters.FreelistReturn, uint64(n))
+	sh := &w.sched.recycle[w.id]
+	sh.mu.Lock()
+	if sh.n >= 2*w.freelistBound {
+		sh.mu.Unlock()
+		return // shard full: release the chain to the GC
+	}
+	tail := chain
+	for tail.next != nil {
+		tail = tail.next
+	}
+	tail.link(sh.head)
+	sh.head = chain
+	sh.n += n
+	sh.mu.Unlock()
+}
+
+// refillFreelist moves up to refillBatch recycled tasks from the global
+// recycle shards onto this worker's freelist, scanning round-robin from
+// the worker's own shard. It reports whether any task was obtained.
+// Owner-only; cold path of newTask.
+func (w *Worker) refillFreelist() bool {
+	shards := w.sched.recycle
+	for i := 0; i < len(shards); i++ {
+		sh := &shards[(w.id+i)%len(shards)]
+		sh.mu.Lock()
+		head := sh.head
+		if head == nil {
+			sh.mu.Unlock()
+			continue
+		}
+		tail := head
+		n := 1
+		for n < refillBatch && tail.next != nil {
+			tail = tail.next
+			n++
+		}
+		sh.head = tail.next
+		sh.n -= n
+		sh.mu.Unlock()
+		tail.unlink()
+		w.freelist = head
+		w.freelistLen = n
+		w.ctr.Add(counters.FreelistRefill, uint64(n))
+		return true
+	}
+	return false
 }
 
 // taskDeque abstracts over the two deque types so a single worker loop
@@ -172,6 +314,15 @@ func (w *Worker) freeTask(t *Task) {
 // no-op.
 type taskDeque interface {
 	PushBottom(*Task, *counters.Worker)
+	// TryPushBottom pushes like PushBottom, growing the array as needed,
+	// but returns false instead of panicking when the deque is at its
+	// maximum capacity; the worker then spills via SpillOldest.
+	TryPushBottom(*Task, *counters.Worker) bool
+	// SpillOldest removes up to len(out) of the OLDEST tasks (the
+	// steal-side end) into out, returning how many were taken. Owner-only.
+	SpillOldest([]*Task, *counters.Worker) int
+	// Capacity is the current (grown) task-array capacity in slots.
+	Capacity() int
 	PopBottom(*counters.Worker) *Task
 	PopPublicBottom(*counters.Worker) *Task
 	PopTop(*counters.Worker) (*Task, deque.StealResult)

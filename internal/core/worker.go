@@ -60,22 +60,35 @@ type Worker struct {
 	// by scheduler setup code before that goroutine exists). The
 	// immutable fields are set once in Worker.init; the owner fields
 	// mutate on the hot path under the receiver-context rule.
-	sched      *Scheduler       //lcws:field immutable
-	dq         taskDeque        //lcws:field immutable — owner/thief method split enforced by owneronly
-	ctr        *counters.Worker //lcws:field immutable
-	rand       *rng.Xoshiro256  //lcws:field immutable
-	freelist   *Task            //lcws:field owner — recycled tasks; see newTask/freeTask
-	rec        *trace.Recorder  //lcws:field immutable — owner/thief method split enforced by owneronly; nil = tracing off
-	id         int              //lcws:field immutable
-	sinceYield int              //lcws:field owner — tasks executed since the last cooperative yield
-	yieldEvery int              //lcws:field immutable — cached Options.YieldEvery (0 = never)
-	idleSleep  time.Duration    //lcws:field owner — current idle-backoff sleep (0 = not sleeping yet)
-	pollCount  uint32           //lcws:field owner — Poll() call counter for the cheap fast path
-	pollEvery  uint32           //lcws:field immutable — Poll calls between pending-signal checks
-	idleSpins  uint32           //lcws:field owner — consecutive failed work-search iterations
-	policy     Policy           //lcws:field immutable
-	batch      bool             //lcws:field immutable — cached Options.StealBatch
-	sticky     int32            //lcws:field owner — last successful victim id (-1 = none); batch mode only
+	sched         *Scheduler       //lcws:field immutable
+	dq            taskDeque        //lcws:field immutable — owner/thief method split enforced by owneronly
+	ctr           *counters.Worker //lcws:field immutable
+	rand          *rng.Xoshiro256  //lcws:field immutable
+	freelist      *Task            //lcws:field owner — recycled tasks; see newTask/freeTask
+	freelistLen   int              //lcws:field owner — length of freelist; bounded by freelistBound
+	rec           *trace.Recorder  //lcws:field immutable — owner/thief method split enforced by owneronly; nil = tracing off
+	id            int              //lcws:field immutable
+	sinceYield    int              //lcws:field owner — tasks executed since the last cooperative yield
+	yieldEvery    int              //lcws:field immutable — cached Options.YieldEvery (0 = never)
+	idleSleep     time.Duration    //lcws:field owner — current idle-backoff sleep (0 = not sleeping yet)
+	pollCount     uint32           //lcws:field owner — Poll() call counter for the cheap fast path
+	pollEvery     uint32           //lcws:field immutable — Poll calls between pending-signal checks
+	idleSpins     uint32           //lcws:field owner — consecutive failed work-search iterations
+	policy        Policy           //lcws:field immutable
+	batch         bool             //lcws:field immutable — cached Options.StealBatch
+	sticky        int32            //lcws:field owner — last successful victim id (-1 = none); batch mode only
+	freelistBound int              //lcws:field immutable — cached Options.FreelistBound
+
+	// Overflow-spill state: when the deque hits Options.MaxDequeCapacity,
+	// the owner moves its oldest tasks onto this unbounded private FIFO
+	// (linked through Task.next) and drains it back in next/busyPhase.
+	// spilled, once set, relaxes the join's LIFO assertion — a spilled
+	// sibling comes back through the overflow drain instead of popLocal.
+	// spillBuf is the lazily-allocated SpillOldest scratch buffer.
+	overflowHead *Task   //lcws:field owner
+	overflowTail *Task   //lcws:field owner
+	spilled      bool    //lcws:field owner
+	spillBuf     []*Task //lcws:field owner
 
 	// Job context, owner-only: curJob is the job of the task currently
 	// executing on this worker (nil between tasks and for untagged test
@@ -131,6 +144,7 @@ func (w *Worker) init(id int, s *Scheduler, dq taskDeque, opts Options) {
 	w.yieldEvery = opts.YieldEvery
 	w.batch = opts.StealBatch
 	w.sticky = -1
+	w.freelistBound = opts.FreelistBound
 	w.parkSem = make(chan struct{}, 1)
 	if opts.Trace != nil {
 		w.rec = trace.NewRecorder(*opts.Trace, s.traceEpoch, w.ctr)
@@ -471,12 +485,113 @@ func (w *Worker) pushNoTag(t *Task) {
 	// exposure chain — without this wake, a fully parked pool would only
 	// learn about new work from insurance timers.)
 	wake := w.batch && w.dq.IsEmpty()
-	w.dq.PushBottom(t, w.ctr)
+	var grows uint64
+	if w.rec != nil {
+		grows = w.ctr.Get(counters.DequeGrow)
+	}
+	if !w.dq.TryPushBottom(t, w.ctr) {
+		// At Options.MaxDequeCapacity: spill the oldest tasks to the
+		// overflow list and retry.
+		w.spillForPush(t)
+	}
+	if w.rec != nil && w.ctr.Get(counters.DequeGrow) != grows {
+		w.rec.Grow(w.dq.Capacity())
+	}
 	if w.policy.SignalBased() {
 		w.targeted.Store(false)
 	}
 	if wake {
 		w.sched.wakeOne(w.ctr)
+	}
+}
+
+// spillBatchSize is SpillOldest's scratch-buffer length: one spill
+// episode moves up to this many of the deque's oldest tasks to the
+// overflow list (half a KiB of pointers, allocated lazily on the first
+// spill of a worker's lifetime).
+const spillBatchSize = 64
+
+// spillForPush makes room for t in a deque at its maximum capacity:
+// the OLDEST tasks (the steal-side end — the ones a thief would have
+// taken first) move to the worker's unbounded overflow FIFO, then the
+// push is retried. Cold path of pushNoTag; a spawn tree must outgrow
+// Options.MaxDequeCapacity to ever reach it.
+func (w *Worker) spillForPush(t *Task) {
+	if w.spillBuf == nil {
+		w.spillBuf = make([]*Task, spillBatchSize)
+	}
+	for {
+		k := w.dq.SpillOldest(w.spillBuf, w.ctr)
+		if k == 0 {
+			// A full deque always has tasks to spill; reaching this
+			// means the capacity accounting is broken.
+			panic("core: deque at maximum capacity but SpillOldest found nothing")
+		}
+		for i := 0; i < k; i++ {
+			w.enqueueOverflow(w.spillBuf[i])
+			w.spillBuf[i] = nil
+		}
+		w.spilled = true
+		w.ctr.Add(counters.TaskSpilled, uint64(k))
+		if w.rec != nil {
+			w.rec.Spill(k)
+		}
+		if w.dq.TryPushBottom(t, w.ctr) {
+			return
+		}
+	}
+}
+
+// enqueueOverflow appends t to the worker's overflow FIFO. The list is
+// linked through Task.next, which is unused while a task is live and
+// off the deque; the owner exclusively holds spilled tasks (SpillOldest
+// invalidated any in-flight steal claims before handing them over).
+//
+//lcws:noalloc
+func (w *Worker) enqueueOverflow(t *Task) {
+	t.unlink()
+	if w.overflowTail == nil {
+		w.overflowHead = t
+	} else {
+		w.overflowTail.link(t)
+	}
+	w.overflowTail = t
+}
+
+// popOverflow removes and returns the oldest spilled task (nil when the
+// overflow list is empty). Oldest-first drain preserves the deque's
+// steal-side order: spilled tasks run in the order thieves would have
+// taken them.
+//
+//lcws:noalloc
+func (w *Worker) popOverflow() *Task {
+	t := w.overflowHead
+	if t == nil {
+		return nil
+	}
+	w.overflowHead = t.next
+	if w.overflowHead == nil {
+		w.overflowTail = nil
+	}
+	t.unlink()
+	return t
+}
+
+// nextOverflow is the overflow drain used by the work-search loops:
+// popOverflow plus the aborted-job filter every other task source
+// applies. It returns the next runnable spilled task, discarding dead
+// jobs' tasks along the way, or nil once the overflow list is empty.
+func (w *Worker) nextOverflow() *Task {
+	for {
+		t := w.popOverflow()
+		if t == nil {
+			return nil
+		}
+		if j := t.job; j != nil && j.aborted.Load() {
+			w.discard(t)
+			continue
+		}
+		return t
 	}
 }
 
@@ -567,10 +682,15 @@ func (w *Worker) join(rt *Task, want uint32) {
 			// joined before this join ran. In batch mode the deque can
 			// additionally hold steal-batch remnants, pushed before the
 			// stolen task that forked rt ran, hence below rt — so
-			// popping one here proves rt itself was stolen. Execute the
-			// remnant as ordinary help (completion stamp and all: its
-			// forker joins on it), then wait for rt.
-			if !w.batch {
+			// popping one here proves rt itself was stolen. A worker
+			// that has ever spilled gets the same relaxation: rt may
+			// sit on the overflow list (spilling takes the OLDEST
+			// tasks, and rt is older than everything its sibling's
+			// subtree forked), with other tasks still in the deque.
+			// Execute the popped task as ordinary help (completion
+			// stamp and all: its forker joins on it), then wait for rt
+			// — helpUntil's drain runs rt itself if it was spilled.
+			if !w.batch && !w.spilled {
 				panic("core: fork-join LIFO violation (bottom of deque is not the forked sibling)")
 			}
 			w.runTask(t)
@@ -909,6 +1029,14 @@ func (w *Worker) next(join *Task, want uint32) *Task {
 			}
 			return t
 		}
+		// The deque is drained; run spilled tasks before stealing. rt
+		// itself may be here — a spilled sibling is executed (and its
+		// completion stamped) through this drain.
+		if t := w.nextOverflow(); t != nil {
+			w.idleSpins = 0
+			w.idleSleep = 0
+			return t
+		}
 		if w.rec != nil && w.idleSpins == 0 {
 			// First fruitless local pop of this idle episode.
 			w.rec.DequeEmpty()
@@ -1057,7 +1185,7 @@ func (w *Worker) busyPhase() {
 		// leave without touching counters — Checkpoint may handle a
 		// signal left pending by the settled job, and that counter
 		// write would be unordered with a waiter's post-Wait reads.
-		if s.activeJobs.Load() == 0 && w.dq.IsEmpty() {
+		if s.activeJobs.Load() == 0 && w.dq.IsEmpty() && w.overflowHead == nil {
 			break
 		}
 		w.Checkpoint()
@@ -1079,6 +1207,16 @@ func (w *Worker) busyPhase() {
 				w.runTask(t)
 				continue
 			}
+		}
+		// The deque is drained; run spilled tasks before picking up new
+		// jobs or stealing (they also gate the exit check above, so a
+		// worker never parks — or leaves the busy phase — holding
+		// spilled work).
+		if t := w.nextOverflow(); t != nil {
+			w.idleSpins = 0
+			w.idleSleep = 0
+			w.runTask(t)
+			continue
 		}
 		if j, ok := s.inj.TryPop(); ok {
 			w.idleSpins = 0

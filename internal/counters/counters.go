@@ -82,6 +82,23 @@ const (
 	// each discard still stores the task's completion stamp so in-flight
 	// joins of the dead job cannot hang. Zero while every job succeeds.
 	TaskDiscarded
+	// DequeGrow counts owner-side deque array doublings (one per
+	// published generation, not per task copied). Zero while the live
+	// window never outgrows the initial capacity.
+	DequeGrow
+	// TaskSpilled counts tasks the owner moved from a deque at its
+	// maximum capacity onto its unbounded overflow list (per task).
+	// Zero unless a spawn tree outgrew Options.MaxDequeCapacity.
+	TaskSpilled
+	// FreelistRefill counts recycled tasks adopted from the global
+	// recycle shards into a worker's freelist on an allocation miss
+	// (per task, not per batched refill).
+	FreelistRefill
+	// FreelistReturn counts recycled tasks a worker donated from its
+	// over-full freelist to its global recycle shard (per task; tasks
+	// dropped for GC because the shard was also full are included —
+	// they left the freelist either way).
+	FreelistReturn
 
 	numEvents
 )
@@ -110,6 +127,10 @@ var eventNames = [...]string{
 	ParkCount:        "park_count",
 	TraceDrop:        "trace_drops",
 	TaskDiscarded:    "tasks_discarded",
+	DequeGrow:        "deque_grows",
+	TaskSpilled:      "tasks_spilled",
+	FreelistRefill:   "freelist_refills",
+	FreelistReturn:   "freelist_returns",
 }
 
 // String returns the snake_case name of the event.

@@ -7,6 +7,16 @@ import (
 	"lcws/internal/counters"
 )
 
+// clBuf is one backing-array generation of a ChaseLev deque; see splitBuf
+// for the generation protocol (owner-side copy at unchanged absolute
+// indices, single atomic publish, superseded generations never written).
+//
+//lcws:manifest
+type clBuf[T any] struct {
+	slots []atomic.Pointer[T] //lcws:field immutable — set before the generation is published; slots are atomic
+	mask  int64               //lcws:field immutable — len(slots)-1; len(slots) is a power of two
+}
+
 // ChaseLev is a fully concurrent Chase-Lev/ABP style work-stealing deque,
 // standing in for Parlay's stock Work Stealing deque (the paper's
 // baseline). Every task in it can be taken by any processor at any time,
@@ -14,32 +24,57 @@ import (
 // (Attiya et al., "Laws of Order") and a CAS when racing for the last
 // element.
 //
-// The buffer is circular with a fixed capacity; like the split deque it
-// panics on overflow rather than growing (Parlay's deque is likewise a
-// fixed-size array).
+// The buffer is circular; indices are absolute and monotonic, so the
+// capacity bounds the live window bot - top. Like the split deque the
+// array grows by owner-side doubling up to the maximum capacity — this is
+// exactly the dynamic circular array of Chase & Lev's original paper:
+// growth preserves absolute indices and touches neither top nor the age
+// word, so a thief that raced onto the old generation either validates
+// its claim with its usual CAS (the slot content for a live index is
+// identical in both generations) or fails it because top moved. At the
+// ceiling TryPushBottom reports failure and the scheduler core spills.
 //
 //lcws:manifest
 type ChaseLev[T any] struct {
-	top     atomic.Int64        //lcws:field atomic — stock mode: next index to steal from
-	bot     atomic.Int64        //lcws:field atomic — next index to push at
-	age     atomic.Uint64       //lcws:field atomic — batch mode: packed (tag, top); unused in stock mode
-	mask    int64               //lcws:field immutable
-	batched bool                //lcws:field immutable
-	buf     []atomic.Pointer[T] //lcws:field immutable — slice header set in the constructor; slots are atomic
+	top     atomic.Int64  //lcws:field atomic — stock mode: next index to steal from
+	bot     atomic.Int64  //lcws:field atomic — next index to push at
+	age     atomic.Uint64 //lcws:field atomic — batch mode: packed (tag, top); unused in stock mode
+	batched bool          //lcws:field immutable
+	maxCap  int64         //lcws:field immutable — growth ceiling; TryPushBottom fails beyond it
+
+	// buf is the current array generation; grow publishes a doubled one.
+	// Thieves load it after their top/age load; see splitBuf.
+	buf atomic.Pointer[clBuf[T]] //lcws:field atomic
+
+	// ownerSlots/ownerMask cache the current generation for the owner's
+	// push/pop paths (see SplitDeque: only owner-side grow replaces the
+	// generation, so the cache is coherent for the owner; thieves must
+	// load buf).
+	ownerSlots []atomic.Pointer[T] //lcws:field owner — same backing array buf points at
+	ownerMask  int64               //lcws:field owner — copy of the current generation's mask
 }
 
-// NewChaseLev returns a ChaseLev deque whose capacity is the smallest
-// power of two >= capacity (DefaultCapacity if capacity <= 0).
+// NewChaseLev returns a ChaseLev deque whose initial capacity is the
+// smallest power of two >= capacity (DefaultCapacity if capacity <= 0),
+// with the default growth ceiling.
 func NewChaseLev[T any](capacity int) *ChaseLev[T] {
-	capacity = normalizeCapacity(capacity)
-	size := 1
-	for size < capacity {
-		size <<= 1
-	}
-	return &ChaseLev[T]{
-		mask: int64(size - 1),
-		buf:  make([]atomic.Pointer[T], size),
-	}
+	return NewChaseLevMax[T](capacity, 0)
+}
+
+// NewChaseLevMax is NewChaseLev with an explicit growth ceiling
+// (DefaultMaxCapacity if <= 0; rounded up to a power of two and floored
+// at the initial capacity).
+func NewChaseLevMax[T any](capacity, maxCapacity int) *ChaseLev[T] {
+	n := uint64(normalizeCapacity(capacity))
+	d := &ChaseLev[T]{maxCap: int64(normalizeMaxCapacity(maxCapacity, n))}
+	bb := &clBuf[T]{slots: make([]atomic.Pointer[T], n), mask: int64(n) - 1}
+	//lcws:presync constructor: the deque has not been published yet
+	d.buf.Store(bb)
+	//lcws:presync constructor: the deque has not been published yet
+	d.ownerSlots = bb.slots
+	//lcws:presync constructor: the deque has not been published yet
+	d.ownerMask = bb.mask
+	return d
 }
 
 // NewChaseLevBatch returns a ChaseLev deque that supports multi-task
@@ -57,7 +92,13 @@ func NewChaseLev[T any](capacity int) *ChaseLev[T] {
 // pops with no intervening steal, the same vanishing-probability class
 // as the split deque's 32-bit tag.
 func NewChaseLevBatch[T any](capacity int) *ChaseLev[T] {
-	d := NewChaseLev[T](capacity)
+	return NewChaseLevBatchMax[T](capacity, 0)
+}
+
+// NewChaseLevBatchMax is NewChaseLevBatch with an explicit growth
+// ceiling.
+func NewChaseLevBatchMax[T any](capacity, maxCapacity int) *ChaseLev[T] {
+	d := NewChaseLevMax[T](capacity, maxCapacity)
 	//lcws:presync constructor: the deque has not been published yet
 	d.batched = true
 	return d
@@ -87,23 +128,96 @@ func (d *ChaseLev[T]) topIndex() int64 {
 	return d.top.Load()
 }
 
-// Capacity returns the size of the backing circular buffer.
-func (d *ChaseLev[T]) Capacity() int { return len(d.buf) }
+// Capacity returns the current size of the backing circular buffer.
+func (d *ChaseLev[T]) Capacity() int { return len(d.buf.Load().slots) }
 
-// PushBottom appends t at the bottom. Per the counting model a WS push
-// costs one fence (the release ordering on bot that makes the new task
-// visible to thieves). It panics when the buffer is full.
+// MaxCapacity returns the growth ceiling.
+func (d *ChaseLev[T]) MaxCapacity() int { return int(d.maxCap) }
+
+// PushBottom appends t at the bottom, growing the array if the live
+// window is full. Per the counting model a WS push costs one fence (the
+// release ordering on bot that makes the new task visible to thieves).
+// It panics when the deque is full at its maximum capacity; schedulers
+// use TryPushBottom and spill instead.
 //
 //lcws:noalloc
 func (d *ChaseLev[T]) PushBottom(t *T, c *counters.Worker) {
-	b := d.bot.Load()
-	if b-d.topIndex() > d.mask {
-		panic(fmt.Sprintf("deque: chase-lev deque overflow (capacity %d); construct the scheduler with a larger deque capacity", len(d.buf)))
+	if !d.TryPushBottom(t, c) {
+		panic(fmt.Sprintf("deque: chase-lev deque at its maximum capacity (%d live tasks); spill via SpillOldest or raise Options.MaxDequeCapacity", d.maxCap))
 	}
-	d.buf[b&d.mask].Store(t)
+}
+
+// TryPushBottom is PushBottom that reports failure instead of panicking
+// when the deque is full at its maximum capacity. Owner-only.
+//
+//lcws:noalloc
+func (d *ChaseLev[T]) TryPushBottom(t *T, c *counters.Worker) bool {
+	b := d.bot.Load()
+	if top := d.topIndex(); b-top > d.ownerMask {
+		if 2*(d.ownerMask+1) > d.maxCap {
+			return false
+		}
+		d.grow(top, b, c)
+	}
+	d.ownerSlots[b&d.ownerMask].Store(t)
 	d.bot.Store(b + 1)
 	c.Inc(counters.TaskPushed)
 	c.Add(counters.Fence, counters.WSPushFences)
+	return true
+}
+
+// grow publishes a doubled array generation preserving absolute indices
+// (Chase & Lev's dynamic circular array): every live slot in [top, b) is
+// copied to the same absolute index under the new mask, then the
+// generation is published with one atomic pointer store. Neither top nor
+// the age word is touched, so an in-flight steal validates against
+// either generation — the content of a live absolute index is identical
+// in both, the old generation is never written again, and any slot whose
+// content could differ has had top move past it, failing the thief's
+// CAS. (A thief advancing top during the copy merely makes some copied
+// slots dead.) Owner-only; the owner cache is refreshed before the
+// publish (same goroutine for the owner, thieves only ever see buf).
+// The allocation is why growth lives outside the //lcws:noalloc push
+// path.
+func (d *ChaseLev[T]) grow(top, b int64, c *counters.Worker) {
+	size := 2 * (d.ownerMask + 1)
+	nb := &clBuf[T]{slots: make([]atomic.Pointer[T], size), mask: size - 1}
+	for i := top; i < b; i++ {
+		nb.slots[i&nb.mask].Store(d.ownerSlots[i&d.ownerMask].Load())
+	}
+	d.ownerSlots = nb.slots
+	d.ownerMask = nb.mask
+	d.buf.Store(nb)
+	c.Inc(counters.DequeGrow)
+}
+
+// SpillOldest removes up to len(out) of the deque's oldest tasks,
+// writing them into out oldest-first, and returns how many were removed.
+// Owner-only by convention (the scheduler calls it when TryPushBottom
+// fails at the maximum capacity), but implemented as owner self-steal
+// through the thief-safe PopTop path, so it is trivially correct against
+// concurrent thieves: an Abort means a thief took the task instead,
+// which is progress too. The self-steals execute PopTop's fence/CAS
+// accounting; spilling is an off-model emergency path, so runs that
+// spill deviate from the paper's exact WS counting identities (runs
+// that never hit the capacity ceiling are unaffected).
+//
+//lcws:noalloc
+func (d *ChaseLev[T]) SpillOldest(out []*T, c *counters.Worker) int {
+	n := 0
+	for n < len(out) {
+		t, res := d.PopTop(c)
+		switch res {
+		case Stolen:
+			out[n] = t
+			n++
+		case Abort:
+			continue
+		default:
+			return n
+		}
+	}
+	return n
 }
 
 // PopBottom removes and returns the bottom-most task, or nil when the
@@ -124,7 +238,7 @@ func (d *ChaseLev[T]) PopBottom(c *counters.Worker) *T {
 		d.bot.Store(t)
 		return nil
 	}
-	task := d.buf[b&d.mask].Load()
+	task := d.ownerSlots[b&d.ownerMask].Load()
 	if t < b {
 		// More than one element: no race possible.
 		return task
@@ -157,7 +271,7 @@ func (d *ChaseLev[T]) popBottomBatch(c *counters.Worker) *T {
 			d.bot.Store(t)
 			return nil
 		}
-		task := d.buf[b&d.mask].Load()
+		task := d.ownerSlots[b&d.ownerMask].Load()
 		c.Add(counters.CAS, counters.WSBatchPopCAS)
 		if d.age.CompareAndSwap(a, packBatchAge(t, tag+1)) {
 			return task
@@ -187,7 +301,8 @@ func (d *ChaseLev[T]) PopTop(c *counters.Worker) (*T, StealResult) {
 	if t >= b {
 		return nil, Empty
 	}
-	task := d.buf[t&d.mask].Load()
+	bb := d.buf.Load() // after the top load; see clBuf
+	task := bb.slots[t&bb.mask].Load()
 	c.Add(counters.CAS, counters.WSStealCAS)
 	if d.top.CompareAndSwap(t, t+1) {
 		return task, Stolen
@@ -229,8 +344,9 @@ func (d *ChaseLev[T]) PopTopN(buf []*T, c *counters.Worker) (int, StealResult) {
 	if n > int64(len(buf)) {
 		n = int64(len(buf))
 	}
+	bb := d.buf.Load() // after the age load; see clBuf
 	for i := int64(0); i < n; i++ {
-		buf[i] = d.buf[(t+i)&d.mask].Load()
+		buf[i] = bb.slots[(t+i)&bb.mask].Load()
 	}
 	c.Add(counters.CAS, counters.WSStealCAS)
 	if d.age.CompareAndSwap(a, packBatchAge(t+n, tag)) {

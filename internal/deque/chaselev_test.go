@@ -126,11 +126,13 @@ func TestChaseLevCircularWraparound(t *testing.T) {
 }
 
 func TestChaseLevOverflowPanics(t *testing.T) {
-	d := NewChaseLev[int](4)
+	// With maxCapacity == capacity the deque cannot grow, so PushBottom
+	// beyond the window must panic (TryPushBottom is the graceful path).
+	d := NewChaseLevMax[int](4, 4)
 	c := newCtr()
 	defer func() {
 		if recover() == nil {
-			t.Error("push beyond capacity did not panic")
+			t.Error("push beyond the maximum capacity did not panic")
 		}
 	}()
 	for i := 0; i < 10; i++ {

@@ -96,16 +96,49 @@ func unpackAge(a uint64) (top, tag uint32) {
 	return uint32(a), uint32(a >> 32)
 }
 
-// DefaultCapacity is the per-deque task array size used when a
-// non-positive capacity is requested. Like the paper's fixed-size array,
-// the deque does not grow; indices reset to zero whenever the deque fully
-// empties, so the capacity bounds live tasks plus steals since the last
-// time the deque was empty.
+// DefaultCapacity is the *initial* per-deque task array size used when a
+// non-positive capacity is requested. Unlike the paper's fixed-size
+// array, both deques grow geometrically (owner-side doubling, published
+// with a single atomic store) up to their maximum capacity, so the
+// initial capacity only sets the first allocation — capacity bounds the
+// momentary live window (bot - top), and the window may exceed any past
+// capacity without panicking as long as it stays under the maximum.
 const DefaultCapacity = 1 << 16
 
+// DefaultMaxCapacity is the growth ceiling used when a non-positive
+// maximum capacity is requested. At the ceiling TryPushBottom reports
+// failure instead of growing, and the scheduler core spills the oldest
+// tasks to an unbounded per-worker overflow list (see internal/core), so
+// pathological spawn depths degrade gracefully instead of panicking.
+const DefaultMaxCapacity = 1 << 22
+
+// normalizeCapacity rounds a requested capacity up to a power of two
+// (DefaultCapacity when non-positive) so both deques can use mask
+// indexing into their circular buffers.
 func normalizeCapacity(capacity int) int {
 	if capacity <= 0 {
 		return DefaultCapacity
 	}
-	return capacity
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return size
+}
+
+// normalizeMaxCapacity rounds the growth ceiling up to a power of two
+// (DefaultMaxCapacity when non-positive) and floors it at the initial
+// capacity, so a deque is never constructed already beyond its ceiling.
+func normalizeMaxCapacity(maxCapacity int, initial uint64) uint64 {
+	m := uint64(DefaultMaxCapacity)
+	if maxCapacity > 0 {
+		m = 1
+		for m < uint64(maxCapacity) {
+			m <<= 1
+		}
+	}
+	if m < initial {
+		m = initial
+	}
+	return m
 }

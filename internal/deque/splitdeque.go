@@ -7,6 +7,19 @@ import (
 	"lcws/internal/counters"
 )
 
+// splitBuf is one backing-array generation of a SplitDeque. Growth
+// allocates a doubled splitBuf, copies the live window slot-for-slot at
+// the same absolute indices, and publishes the new generation with a
+// single atomic pointer store. A superseded generation is never written
+// again, so a thief that raced onto the old array still reads the
+// correct task for any absolute index its age CAS can validate.
+//
+//lcws:manifest
+type splitBuf[T any] struct {
+	slots []atomic.Pointer[T] //lcws:field immutable — set before the generation is published; slots are atomic
+	mask  uint64              //lcws:field immutable — len(slots)-1; len(slots) is a power of two
+}
+
 // SplitDeque is the LCWS split deque of Listing 2. The task array is split
 // at publicBot into a public part [top, publicBot) that thieves may steal
 // from, and a private part [publicBot, bot) that only the owner touches.
@@ -15,6 +28,18 @@ import (
 // empties through PopPublicBottom):
 //
 //	top <= publicBot <= bot   (top from the age word)
+//
+// Indices are absolute and the backing array is circular (mask indexing),
+// so the capacity bounds the live *window* bot - top, not the absolute
+// position. The array grows by owner-side doubling up to the maximum
+// capacity; at the ceiling TryPushBottom reports failure and the caller
+// spills (see SpillOldest). Growth preserves absolute indices and touches
+// neither the age word nor publicBot — re-verified exhaustively by the
+// Grow op model in internal/verify, together with a negative model
+// showing why a compacting grow that rewrites indices is unsound.
+// (Between two empty-resets the deque supports 2^32 absolute positions,
+// the width of top in the age word; bot only outruns that after four
+// billion pushes without the deque ever draining.)
 //
 // In the C++ reference, bot and publicBot are plain unsigned ints and the
 // algorithm's correctness rests on two explicit seq-cst fences. In Go both
@@ -25,41 +50,190 @@ import (
 //
 //lcws:manifest
 type SplitDeque[T any] struct {
-	bot       atomic.Uint64       //lcws:field atomic — index of the empty slot below the bottom-most task
-	publicBot atomic.Uint64       //lcws:field atomic — index below the bottom-most public task
-	age       atomic.Uint64       //lcws:field atomic — packed (top, tag)
-	raceFix   bool                //lcws:field immutable — use the §4 signal-safe pop_bottom
-	deq       []atomic.Pointer[T] //lcws:field immutable — slice header set in NewSplit; slots are atomic
+	bot       atomic.Uint64 //lcws:field atomic — index of the empty slot below the bottom-most task
+	publicBot atomic.Uint64 //lcws:field atomic — index below the bottom-most public task
+	age       atomic.Uint64 //lcws:field atomic — packed (top, tag)
+	raceFix   bool          //lcws:field immutable — use the §4 signal-safe pop_bottom
+	maxCap    uint64        //lcws:field immutable — growth ceiling; TryPushBottom fails beyond it
+	cachedTop uint64        //lcws:field owner — lower bound of top for the push window check; refreshed from age only when the window looks full
+
+	// buf is the current array generation; grow publishes a doubled one.
+	// Readers load it *after* loading the age word: the slot content for
+	// a live absolute index is identical in every generation that was
+	// current since that age value, so either load order validates.
+	buf atomic.Pointer[splitBuf[T]] //lcws:field atomic
+
+	// ownerSlots/ownerMask cache the current generation for the owner's
+	// push/pop paths, so the per-fork fast path keeps the single-load
+	// slot access it had before deques grew (no atomic pointer chase).
+	// Only grow (owner-side) replaces the generation, so the cache is
+	// trivially coherent for the owner; thieves must go through buf.
+	ownerSlots []atomic.Pointer[T] //lcws:field owner — same backing array buf points at
+	ownerMask  uint64              //lcws:field owner — copy of the current generation's mask
 }
 
-// NewSplit returns a SplitDeque with the given capacity (DefaultCapacity
-// if capacity <= 0). raceFix selects the §4 pop_bottom variant that is
-// safe against an exposure request landing in the middle of pop_bottom;
-// the Conservative Exposure policy (§4.1.1) instead keeps the original
-// pop_bottom and avoids the race by never exposing the bottom-most task.
+// NewSplit returns a SplitDeque with the given initial capacity
+// (DefaultCapacity if capacity <= 0, rounded up to a power of two) and
+// the default growth ceiling. raceFix selects the §4 pop_bottom variant
+// that is safe against an exposure request landing in the middle of
+// pop_bottom; the Conservative Exposure policy (§4.1.1) instead keeps the
+// original pop_bottom and avoids the race by never exposing the
+// bottom-most task.
 func NewSplit[T any](capacity int, raceFix bool) *SplitDeque[T] {
-	return &SplitDeque[T]{
-		raceFix: raceFix,
-		deq:     make([]atomic.Pointer[T], normalizeCapacity(capacity)),
-	}
+	return NewSplitMax[T](capacity, 0, raceFix)
 }
 
-// Capacity returns the size of the backing task array.
-func (d *SplitDeque[T]) Capacity() int { return len(d.deq) }
+// NewSplitMax is NewSplit with an explicit growth ceiling: the deque
+// doubles its array on demand while the live window fits under
+// maxCapacity (DefaultMaxCapacity if <= 0; rounded up to a power of two
+// and floored at the initial capacity). At the ceiling TryPushBottom
+// returns false instead of growing.
+func NewSplitMax[T any](capacity, maxCapacity int, raceFix bool) *SplitDeque[T] {
+	n := uint64(normalizeCapacity(capacity))
+	d := &SplitDeque[T]{
+		raceFix: raceFix,
+		maxCap:  normalizeMaxCapacity(maxCapacity, n),
+	}
+	bb := &splitBuf[T]{slots: make([]atomic.Pointer[T], n), mask: n - 1}
+	//lcws:presync constructor: the deque has not been published yet
+	d.buf.Store(bb)
+	//lcws:presync constructor: the deque has not been published yet
+	d.ownerSlots = bb.slots
+	//lcws:presync constructor: the deque has not been published yet
+	d.ownerMask = bb.mask
+	return d
+}
 
-// PushBottom appends t to the private part. Per the counting model it
-// executes no synchronization operations (paper Lemma 1).
-// It panics if the backing array is exhausted; see DefaultCapacity.
+// Capacity returns the current size of the backing task array.
+func (d *SplitDeque[T]) Capacity() int { return len(d.buf.Load().slots) }
+
+// MaxCapacity returns the growth ceiling.
+func (d *SplitDeque[T]) MaxCapacity() int { return int(d.maxCap) }
+
+// loadSlot reads the task at absolute index i from the current array
+// generation. Thief-path only: callers must load the age word first
+// (see buf); owner paths use ownerSlot and skip the pointer load.
+//
+//lcws:noalloc
+func (d *SplitDeque[T]) loadSlot(i uint64) *T {
+	bb := d.buf.Load()
+	return bb.slots[i&bb.mask].Load()
+}
+
+// ownerSlot is loadSlot for the owner's pop paths, reading through the
+// owner-cached generation.
+//
+//lcws:noalloc
+func (d *SplitDeque[T]) ownerSlot(i uint64) *T { return d.ownerSlots[i&d.ownerMask].Load() }
+
+// PushBottom appends t to the private part, growing the array if the
+// live window is full. Per the counting model it executes no
+// synchronization operations (paper Lemma 1); the owner-cached top bound
+// keeps even the fullness check off the shared age word except when the
+// window genuinely looks full. It panics when the deque is at its
+// maximum capacity; schedulers use TryPushBottom and spill instead.
 //
 //lcws:noalloc
 func (d *SplitDeque[T]) PushBottom(t *T, c *counters.Worker) {
-	b := d.bot.Load()
-	if int(b) == len(d.deq) {
-		panic(fmt.Sprintf("deque: split deque overflow (capacity %d); construct the scheduler with a larger deque capacity", len(d.deq)))
+	if !d.TryPushBottom(t, c) {
+		panic(fmt.Sprintf("deque: split deque at its maximum capacity (%d live tasks); spill via SpillOldest or raise Options.MaxDequeCapacity", d.maxCap))
 	}
-	d.deq[b].Store(t)
+}
+
+// TryPushBottom is PushBottom that reports failure instead of panicking
+// when the deque is full at its maximum capacity. Owner-only.
+//
+//lcws:noalloc
+func (d *SplitDeque[T]) TryPushBottom(t *T, c *counters.Worker) bool {
+	b := d.bot.Load()
+	if b-d.cachedTop > d.ownerMask {
+		// The window looks full against the cached top bound; refresh the
+		// bound from the age word (cold: at most once per capacity's
+		// worth of pushes) and grow only if the window is genuinely full.
+		top, _ := unpackAge(d.age.Load())
+		d.cachedTop = uint64(top)
+		if b-d.cachedTop > d.ownerMask {
+			if 2*(d.ownerMask+1) > d.maxCap {
+				return false
+			}
+			d.grow(d.cachedTop, b, c)
+		}
+	}
+	d.ownerSlots[b&d.ownerMask].Store(t)
 	d.bot.Store(b + 1)
 	c.Inc(counters.TaskPushed)
+	return true
+}
+
+// grow publishes a doubled array generation preserving absolute indices:
+// every live slot in [top, b) is copied to the same absolute index under
+// the new mask, then the generation is published with one atomic pointer
+// store. No index moves and neither the age word nor publicBot is
+// touched — the content of a live absolute index is the same in both
+// generations, and the old one is never written again, so a thief's
+// steal CAS validates regardless of which generation its slot read hit.
+// (A thief advancing top during the copy merely makes some copied slots
+// dead; copying them is harmless.) Owner-only; called by TryPushBottom
+// with the window genuinely full. The owner cache is refreshed before
+// the publish; the order is irrelevant (same goroutine for the owner,
+// and thieves only ever see buf). The allocation is why growth lives
+// outside the //lcws:noalloc push path.
+func (d *SplitDeque[T]) grow(top, b uint64, c *counters.Worker) {
+	size := 2 * (d.ownerMask + 1)
+	nb := &splitBuf[T]{slots: make([]atomic.Pointer[T], size), mask: size - 1}
+	for i := top; i < b; i++ {
+		nb.slots[i&nb.mask].Store(d.ownerSlots[i&d.ownerMask].Load())
+	}
+	d.ownerSlots = nb.slots
+	d.ownerMask = nb.mask
+	d.buf.Store(nb)
+	c.Inc(counters.DequeGrow)
+}
+
+// SpillOldest removes up to len(out) of the deque's oldest tasks,
+// writing them into out oldest-first, and returns how many were removed.
+// Owner-only; the scheduler calls it when TryPushBottom fails at the
+// maximum capacity, parking the extracted tasks on an overflow list.
+//
+// The protocol reclaims the public part first (UnexposeAll, which bumps
+// the ABA tag), so no thief holds a validatable claim on any slot; the
+// owner then reads the oldest k tasks and advances top past them with a
+// plain tag-bumping age store. Between the age store and the publicBot
+// store a thief can observe the transient top > publicBot, which every
+// thief path treats as "nothing public" — the extracted slots are never
+// observable as stealable.
+//
+//lcws:noalloc
+func (d *SplitDeque[T]) SpillOldest(out []*T, c *counters.Worker) int {
+	if len(out) == 0 {
+		return 0
+	}
+	d.UnexposeAll(c)
+	a := d.age.Load()
+	top, tag := unpackAge(a)
+	b := d.bot.Load()
+	n := b - uint64(top) // the whole deque is private after UnexposeAll
+	if n == 0 {
+		return 0
+	}
+	k := uint64(len(out))
+	if k > n {
+		k = n
+	}
+	for i := uint64(0); i < k; i++ {
+		out[i] = d.ownerSlot(uint64(top) + i)
+	}
+	// No thief CAS can target the current age value: after UnexposeAll
+	// publicBot == top, and a thief only CASes when it read
+	// publicBot > top — so any in-flight CAS holds a stale (pre-bump)
+	// age and must fail. A plain store therefore cannot lose a race; the
+	// extra tag bump invalidates the new value too, for symmetry with
+	// every other owner-side reclaim.
+	d.age.Store(packAge(top+uint32(k), tag+1))
+	d.publicBot.Store(uint64(top) + k)
+	d.cachedTop = uint64(top) + k
+	c.Inc(counters.Fence) // ordering of the age store against the publicBot store
+	return int(k)
 }
 
 // PopBottom removes and returns the bottom-most private task, or nil when
@@ -87,7 +261,7 @@ func (d *SplitDeque[T]) PopBottom(c *counters.Worker) *T {
 		if b < d.publicBot.Load() {
 			return nil
 		}
-		return d.deq[b].Load()
+		return d.ownerSlot(b)
 	}
 	b := d.bot.Load()
 	if b == d.publicBot.Load() {
@@ -95,7 +269,7 @@ func (d *SplitDeque[T]) PopBottom(c *counters.Worker) *T {
 	}
 	b--
 	d.bot.Store(b)
-	return d.deq[b].Load()
+	return d.ownerSlot(b)
 }
 
 // PopPublicBottom removes and returns the bottom-most public task, or nil
@@ -121,7 +295,7 @@ func (d *SplitDeque[T]) PopPublicBottom(c *counters.Worker) *T {
 	pb--
 	d.publicBot.Store(pb)
 	c.Add(counters.Fence, counters.LCWSPopPublicFences) // line 12 fence
-	task := d.deq[pb].Load()
+	task := d.ownerSlot(pb)
 	oldAge := d.age.Load()
 	top, tag := unpackAge(oldAge)
 	if pb > uint64(top) {
@@ -136,6 +310,7 @@ func (d *SplitDeque[T]) PopPublicBottom(c *counters.Worker) *T {
 	newAge := packAge(0, tag+1)
 	localBot := pb
 	d.publicBot.Store(0)
+	d.cachedTop = 0 // top resets with the age store/CAS below
 	won := false
 	if localBot == uint64(top) {
 		c.Add(counters.CAS, counters.LCWSPopPublicRaceCAS)
@@ -167,7 +342,7 @@ func (d *SplitDeque[T]) PopTop(c *counters.Worker) (*T, StealResult) {
 	top, tag := unpackAge(oldAge)
 	pb := d.publicBot.Load()
 	if pb > uint64(top) {
-		task := d.deq[top].Load()
+		task := d.loadSlot(uint64(top))
 		c.Add(counters.CAS, counters.LCWSStealCAS)
 		if d.age.CompareAndSwap(oldAge, packAge(top+1, tag)) {
 			return task, Stolen
@@ -212,8 +387,9 @@ func (d *SplitDeque[T]) PopTopHalf(buf []*T, c *counters.Worker) (int, StealResu
 		if n > uint64(len(buf)) {
 			n = uint64(len(buf))
 		}
+		bb := d.buf.Load() // after the age load; see buf
 		for i := uint64(0); i < n; i++ {
-			buf[i] = d.deq[uint64(top)+i].Load()
+			buf[i] = bb.slots[(uint64(top)+i)&bb.mask].Load()
 		}
 		c.Add(counters.CAS, counters.LCWSStealCAS)
 		if d.age.CompareAndSwap(oldAge, packAge(top+uint32(n), tag)) {
@@ -277,8 +453,11 @@ func (d *SplitDeque[T]) Expose(mode ExposeMode, c *counters.Worker) int {
 }
 
 // UnexposeAll transfers every unstolen public task back to the private
-// part and returns how many were reclaimed. Only the owner may call it,
-// and only when the private part is empty (after PopBottom returned nil).
+// part and returns how many were reclaimed. Only the owner may call it.
+// Unlike PopPublicBottom it is also legal with a non-empty private part
+// (SpillOldest relies on this): the bot repairs below are conditional on
+// bot actually sitting below publicBot — the §4 race-fix decrement —
+// so a live private part is never truncated.
 //
 // This is the operation that distinguishes Lace (van Dijk & van de Pol)
 // from LCWS: LCWS never un-exposes — its owner drains leftover public
@@ -295,16 +474,17 @@ func (d *SplitDeque[T]) UnexposeAll(c *counters.Worker) int {
 	for {
 		pb := d.publicBot.Load()
 		if pb == 0 {
-			if d.raceFix {
-				d.bot.Store(0)
-			}
+			// Nothing was ever exposed (or the deque reset). There is no
+			// race-fix decrement to repair: bot < publicBot cannot hold
+			// at publicBot == 0, so bot is left alone (it may hold a
+			// non-empty private part when called from SpillOldest).
 			return 0
 		}
 		oldAge := d.age.Load()
 		top, tag := unpackAge(oldAge)
 		if pb <= uint64(top) {
 			// Everything public was stolen; nothing to reclaim.
-			if d.raceFix {
+			if d.raceFix && d.bot.Load() < pb {
 				d.bot.Store(pb) // repair after a failed race-fix PopBottom
 			}
 			return 0
@@ -313,9 +493,12 @@ func (d *SplitDeque[T]) UnexposeAll(c *counters.Worker) int {
 		c.Inc(counters.Fence) // ordering of the store against the CAS below
 		c.Inc(counters.CAS)
 		if d.age.CompareAndSwap(oldAge, packAge(top, tag+1)) {
-			// [top, pb) is now private; restore bot above it (a no-op
-			// unless a failed race-fix PopBottom decremented it).
-			d.bot.Store(pb)
+			// [top, pb) is now private; restore bot above it only if a
+			// failed race-fix PopBottom decremented it (a non-empty
+			// private part keeps bot > pb and must not be truncated).
+			if d.bot.Load() < pb {
+				d.bot.Store(pb)
+			}
 			n := pb - uint64(top)
 			c.Add(counters.ExposedNotStolen, n)
 			return int(n)

@@ -266,12 +266,14 @@ func TestSplitHasTwoTasks(t *testing.T) {
 }
 
 func TestSplitOverflowPanics(t *testing.T) {
-	d := NewSplit[int](4, false)
+	// With maxCapacity == capacity the deque cannot grow, so PushBottom
+	// beyond the window must panic (TryPushBottom is the graceful path).
+	d := NewSplitMax[int](4, 4, false)
 	c := newCtr()
 	push(t, d, c, 1, 2, 3, 4)
 	defer func() {
 		if recover() == nil {
-			t.Error("push beyond capacity did not panic")
+			t.Error("push beyond the maximum capacity did not panic")
 		}
 	}()
 	push(t, d, c, 5)

@@ -1,0 +1,265 @@
+package perf
+
+import (
+	"runtime"
+
+	"lcws"
+)
+
+// Memory benchmark: is steady-state heap usage flat across jobs of
+// wildly different widths, and do the growth/spill/recycling paths
+// actually engage under pressure?
+//
+// The growable deques, overflow spilling and bounded freelists (see
+// DESIGN.md §12) promise two things this file measures:
+//
+//  1. Flat steady state. A resident pool that has served one very wide
+//     job must not pin that job's high-water mark of tasks forever:
+//     the bounded freelists shed their cold halves into the global
+//     recycle shards, the shards are capped, and everything past the
+//     caps is released to the GC. MeasureMemSteady runs a long stream
+//     of narrow jobs with a ~32k-live-task deep job mixed in every
+//     MemWideEvery-th submission and compares the post-GC HeapInuse
+//     early in the stream against the end of it.
+//
+//  2. Engaged machinery. MeasureMemDeepFork drives a deep linear fork
+//     spine through deliberately tiny deques so that array growth AND
+//     overflow spilling both fire; the gate asserts the counters are
+//     non-zero, so the flat-memory result above cannot be trivially
+//     green because the limits were never reached.
+
+// Memory benchmark dimensions. Changing them invalidates comparisons
+// across revisions.
+const (
+	// MemWorkers is the pool size the steady-state stream runs on.
+	MemWorkers = 4
+	// MemJobsWarm is the number of jobs after which the warm HeapInuse
+	// reference is taken; MemJobsTotal is the full stream length.
+	MemJobsWarm  = 100
+	MemJobsTotal = 10000
+	// MemNarrowWidth is the ParFor width of the common narrow job;
+	// every MemWideEvery-th job is a linear fork spine of MemWideDepth
+	// levels instead. The spine holds ~MemWideDepth tasks LIVE at once
+	// (a wide ParFor would not: fork-join frees at each join, so its
+	// live set is only logarithmic in the width), driving each worker's
+	// freelist far past the default bound and forcing donations.
+	MemNarrowWidth = 64
+	MemWideDepth   = 32768
+	MemWideEvery   = 97
+	// MemFlatRatio is the regression gate: HeapInuse after MemJobsTotal
+	// jobs must stay within this factor of the warm reference, OR
+	// within MemFlatSlack bytes of it. The absolute arm absorbs
+	// allocator span-layout drift (HeapInuse counts whole spans, and
+	// the periodic churn re-scatters retained tasks across them by a
+	// few MB either way); a genuine per-job leak compounds over the
+	// 10k-job stream and clears both arms easily.
+	MemFlatRatio = 1.25
+	MemFlatSlack = 4 << 20
+
+	// Deep-fork configuration: a MemDeepDepth-level linear fork spine
+	// through deques starting at MemDeepDequeCap slots and capped at
+	// MemDeepMaxCap, so both growth (MemDeepDequeCap -> MemDeepMaxCap)
+	// and spilling (depth >> MemDeepMaxCap) must occur.
+	MemDeepWorkers  = 2
+	MemDeepDepth    = 8192
+	MemDeepDequeCap = 64
+	MemDeepMaxCap   = 512
+)
+
+// MemResult is one memory measurement.
+type MemResult struct {
+	// Bench is "mem-steady" or "mem-deepfork".
+	Bench string `json:"bench"`
+	// Policy is the scheduling policy's figure label.
+	Policy string `json:"policy"`
+	// Workers is the pool size P.
+	Workers int `json:"workers"`
+	// JobsWarm/JobsTotal (steady) or Depth (deepfork) record the
+	// workload shape.
+	JobsWarm  int `json:"jobs_warm,omitempty"`
+	JobsTotal int `json:"jobs_total,omitempty"`
+	Depth     int `json:"depth,omitempty"`
+	// DequeCapacity/MaxDequeCapacity record the deque configuration of
+	// the deep-fork run (zero on the steady run: defaults).
+	DequeCapacity    int `json:"deque_capacity,omitempty"`
+	MaxDequeCapacity int `json:"max_deque_capacity,omitempty"`
+	// HeapInuseWarm and HeapInuseFinal are post-GC runtime.MemStats
+	// HeapInuse readings after JobsWarm and JobsTotal jobs; GrowthRatio
+	// is their quotient (the flatness gate compares it to MemFlatRatio).
+	HeapInuseWarm  uint64  `json:"heap_inuse_warm,omitempty"`
+	HeapInuseFinal uint64  `json:"heap_inuse_final,omitempty"`
+	GrowthRatio    float64 `json:"growth_ratio,omitempty"`
+	// The memory-discipline counters accumulated over the run.
+	DequeGrows      uint64 `json:"deque_grows"`
+	TasksSpilled    uint64 `json:"tasks_spilled"`
+	FreelistRefills uint64 `json:"freelist_refills"`
+	FreelistReturns uint64 `json:"freelist_returns"`
+	TasksExecuted   uint64 `json:"tasks_executed"`
+}
+
+// heapInuse returns HeapInuse after a forced collection, so the reading
+// reflects retained memory (freelists, shards, rings) rather than
+// garbage awaiting the next GC cycle.
+func heapInuse() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}
+
+// MemFlat reports whether a final HeapInuse reading passes the flatness
+// gate against its warm reference.
+func MemFlat(warm, final uint64) bool {
+	return float64(final) <= float64(warm)*MemFlatRatio || final-warm <= MemFlatSlack
+}
+
+// MeasureMemSteady runs the mixed-width job stream on a resident pool
+// and returns the warm/final HeapInuse readings plus the recycling
+// counters. Defaults apply when jobsWarm/jobsTotal are non-positive.
+func MeasureMemSteady(pol lcws.Policy, workers, jobsWarm, jobsTotal int) MemResult {
+	if workers <= 0 {
+		workers = MemWorkers
+	}
+	if jobsWarm <= 0 {
+		jobsWarm = MemJobsWarm
+	}
+	if jobsTotal <= jobsWarm {
+		jobsTotal = MemJobsTotal
+	}
+	s := lcws.New(lcws.WithWorkers(workers), lcws.WithPolicy(pol))
+	defer s.Close()
+	s.Start()
+	// Saturate the pool's bounded retention first: serve 2P concurrent
+	// deep jobs so every worker runs at least one spine and its
+	// freelist, recycle shard and grown deque reach their caps before
+	// the warm reference is taken. (Spilled/recycled tasks are freed by
+	// the worker that allocated them, so only workers that RUN a spine
+	// retain its capital.) The gate then checks that the caps hold
+	// across the stream, not how fast the pool approaches them.
+	handles := make([]*lcws.Job, 0, 2*workers)
+	for i := 0; i < 2*workers; i++ {
+		handles = append(handles, s.Submit(func(ctx *lcws.Ctx) { memSpine(ctx, MemWideDepth) }))
+	}
+	for _, j := range handles {
+		if err := j.Wait(); err != nil {
+			panic(err)
+		}
+	}
+	runJob := func(i int) {
+		if i%MemWideEvery == MemWideEvery-1 {
+			s.Run(func(ctx *lcws.Ctx) { memSpine(ctx, MemWideDepth) })
+			return
+		}
+		s.Run(func(ctx *lcws.Ctx) { lcws.ParFor(ctx, 0, MemNarrowWidth, 1, noopBody) })
+	}
+	// Churn through a couple of full wide/narrow cycles before the warm
+	// reading: the retained-task population is already at its caps, but
+	// the heap-span layout the periodic stream settles into (which is
+	// what HeapInuse measures) takes a few cycles to stabilize.
+	for i := 0; i < 2*MemWideEvery; i++ {
+		runJob(i)
+	}
+	for i := 0; i < jobsWarm; i++ {
+		runJob(i)
+	}
+	warm := heapInuse()
+	for i := jobsWarm; i < jobsTotal; i++ {
+		runJob(i)
+	}
+	final := heapInuse()
+	st := s.Stats()
+	res := MemResult{
+		Bench:          "mem-steady",
+		Policy:         pol.String(),
+		Workers:        workers,
+		JobsWarm:       jobsWarm,
+		JobsTotal:      jobsTotal,
+		HeapInuseWarm:  warm,
+		HeapInuseFinal: final,
+
+		DequeGrows:      st.DequeGrows,
+		TasksSpilled:    st.TasksSpilled,
+		FreelistRefills: st.FreelistRefills,
+		FreelistReturns: st.FreelistReturns,
+		TasksExecuted:   st.TasksExecuted,
+	}
+	if warm > 0 {
+		res.GrowthRatio = float64(final) / float64(warm)
+	}
+	return res
+}
+
+// memSpine is the deep-fork workload: a linear spine that pushes one
+// sibling per level and recurses inline, so a single worker's deque
+// accumulates up to depth live tasks — far past MemDeepMaxCap.
+func memSpine(ctx *lcws.Ctx, depth int) {
+	if depth <= 0 {
+		return
+	}
+	lcws.Fork2(ctx,
+		func(ctx *lcws.Ctx) { memSpine(ctx, depth-1) },
+		func(*lcws.Ctx) {},
+	)
+}
+
+// MeasureMemDeepFork drives the deep spine through tiny capped deques
+// and returns the growth/spill counters the gate asserts on.
+func MeasureMemDeepFork(pol lcws.Policy) MemResult {
+	s := lcws.New(
+		lcws.WithWorkers(MemDeepWorkers),
+		lcws.WithPolicy(pol),
+		lcws.WithDequeCapacity(MemDeepDequeCap),
+		lcws.WithMaxDequeCapacity(MemDeepMaxCap),
+	)
+	defer s.Close()
+	s.Run(func(ctx *lcws.Ctx) { memSpine(ctx, MemDeepDepth) })
+	st := s.Stats()
+	return MemResult{
+		Bench:            "mem-deepfork",
+		Policy:           pol.String(),
+		Workers:          MemDeepWorkers,
+		Depth:            MemDeepDepth,
+		DequeCapacity:    MemDeepDequeCap,
+		MaxDequeCapacity: MemDeepMaxCap,
+
+		DequeGrows:      st.DequeGrows,
+		TasksSpilled:    st.TasksSpilled,
+		FreelistRefills: st.FreelistRefills,
+		FreelistReturns: st.FreelistReturns,
+		TasksExecuted:   st.TasksExecuted,
+	}
+}
+
+// MemReport is the machine-readable document written to BENCH_mem.json
+// by cmd/lcwsbench -membench.
+type MemReport struct {
+	// Schema identifies the document layout.
+	Schema string `json:"schema"`
+	// GoVersion and GOMAXPROCS describe the measuring environment.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Steady holds the mixed-width stream per measured policy; DeepFork
+	// the growth/spill engagement runs. WS (Chase-Lev deques) and
+	// Signal (split deques) cover both deque implementations.
+	Steady   []MemResult `json:"steady"`
+	DeepFork []MemResult `json:"deep_fork"`
+}
+
+// memPolicies are the policies the memory benchmarks measure: one per
+// deque implementation.
+var memPolicies = []lcws.Policy{lcws.WS, lcws.SignalLCWS}
+
+// NewMemReport measures the steady-state stream and the deep-fork
+// engagement run for WS and Signal.
+func NewMemReport(jobsWarm, jobsTotal int) MemReport {
+	rep := MemReport{
+		Schema:     "lcws-membench/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, pol := range memPolicies {
+		rep.Steady = append(rep.Steady, MeasureMemSteady(pol, MemWorkers, jobsWarm, jobsTotal))
+		rep.DeepFork = append(rep.DeepFork, MeasureMemDeepFork(pol))
+	}
+	return rep
+}

@@ -1,0 +1,65 @@
+package perf
+
+import (
+	"testing"
+
+	"lcws"
+)
+
+// TestMemFlatAcrossJobs is the flat-memory regression gate: after
+// MemJobsTotal mixed-width jobs (narrow with a ~32k-task job every
+// MemWideEvery-th submission), post-GC HeapInuse must stay within
+// MemFlatRatio of the reading after MemJobsWarm jobs. Without the
+// bounded freelists and capped recycle shards, every worker would pin
+// the wide jobs' high-water mark of tasks and the final reading would
+// sit far above the warm one.
+func TestMemFlatAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory gate runs the full job stream; skipped in -short")
+	}
+	if RaceEnabled {
+		t.Skip("race instrumentation multiplies heap usage; the flatness gate is meaningless under -race")
+	}
+	for _, pol := range memPolicies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			res := MeasureMemSteady(pol, MemWorkers, MemJobsWarm, MemJobsTotal)
+			t.Logf("%s: HeapInuse warm=%d final=%d ratio=%.3f (returns=%d refills=%d tasks=%d)",
+				pol, res.HeapInuseWarm, res.HeapInuseFinal, res.GrowthRatio,
+				res.FreelistReturns, res.FreelistRefills, res.TasksExecuted)
+			if !MemFlat(res.HeapInuseWarm, res.HeapInuseFinal) {
+				t.Errorf("HeapInuse grew from %d to %d (ratio %.3f): exceeds the %.2fx flatness gate",
+					res.HeapInuseWarm, res.HeapInuseFinal, res.GrowthRatio, float64(MemFlatRatio))
+			}
+			// The wide jobs must actually exercise the recycling
+			// machinery, or the flatness result is vacuous.
+			if res.FreelistReturns == 0 {
+				t.Error("no freelist returns recorded: the wide jobs never overflowed the freelist bound")
+			}
+		})
+	}
+}
+
+// TestDeepForkGrowthAndSpill pins that the deep-fork configuration
+// engages both memory-pressure mechanisms: the tiny deques must grow to
+// their cap and then spill, under both deque implementations.
+func TestDeepForkGrowthAndSpill(t *testing.T) {
+	for _, pol := range []lcws.Policy{lcws.WS, lcws.SignalLCWS} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			res := MeasureMemDeepFork(pol)
+			t.Logf("%s: grows=%d spilled=%d tasks=%d", pol, res.DequeGrows, res.TasksSpilled, res.TasksExecuted)
+			if res.DequeGrows == 0 {
+				t.Errorf("no deque growth recorded on a %d-slot initial capacity under a depth-%d spine",
+					MemDeepDequeCap, MemDeepDepth)
+			}
+			if res.TasksSpilled == 0 {
+				t.Errorf("no spills recorded past the %d-slot maximum capacity under a depth-%d spine",
+					MemDeepMaxCap, MemDeepDepth)
+			}
+			if want := uint64(MemDeepDepth); res.TasksExecuted < want {
+				t.Errorf("executed %d tasks, want at least %d: spilled tasks were lost", res.TasksExecuted, want)
+			}
+		})
+	}
+}

@@ -81,6 +81,10 @@ func instantName(e Event) (string, map[string]any) {
 		return "deque.empty", nil
 	case EvRepair:
 		return "repair", map[string]any{"reclaimed": e.Arg}
+	case EvGrow:
+		return "deque.grow", map[string]any{"capacity": e.Arg}
+	case EvSpill:
+		return "spill", map[string]any{"spilled": e.Arg}
 	case EvJobSwitch:
 		return "job.switch", map[string]any{"job": e.Arg}
 	default:

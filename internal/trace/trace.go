@@ -86,6 +86,13 @@ const (
 	// until the next switch; TraceSnapshot uses these markers to fill
 	// the Job field of every event in between.
 	EvJobSwitch
+	// EvGrow records the owner doubling its deque's task array; Arg is
+	// the new capacity in slots.
+	EvGrow
+	// EvSpill records the owner spilling tasks past its deque's maximum
+	// capacity to the per-worker overflow list; Arg is the number of
+	// tasks spilled.
+	EvSpill
 
 	numEventTypes
 )
@@ -109,6 +116,8 @@ var eventTypeNames = [NumEventTypes]string{
 	EvDequeEmpty:   "deque.empty",
 	EvRepair:       "repair",
 	EvJobSwitch:    "job.switch",
+	EvGrow:         "deque.grow",
+	EvSpill:        "spill",
 }
 
 // String returns the dotted lowercase name of the event type.
@@ -399,6 +408,12 @@ func (r *Recorder) DequeEmpty() { r.record(EvDequeEmpty, 0, 0) }
 
 // Repair records an UnexposeAll reclaim of n tasks.
 func (r *Recorder) Repair(n int) { r.record(EvRepair, uint32(n), 0) }
+
+// Grow records a deque growth to a new capacity of n slots.
+func (r *Recorder) Grow(n int) { r.record(EvGrow, uint32(n), 0) }
+
+// Spill records n tasks spilled to the worker's overflow list.
+func (r *Recorder) Spill(n int) { r.record(EvSpill, uint32(n), 0) }
 
 // JobSwitch records the worker switching to job id (0 = leaving job
 // context). Owner-only, like every recording method.

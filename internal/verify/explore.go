@@ -31,7 +31,7 @@ func Check(sc Scenario) Report {
 		if rep.Truncated || len(rep.Violations) >= maxViolations {
 			return
 		}
-		key := s.key(sc.Capacity)
+		key := s.key()
 		if _, ok := seen[key]; ok {
 			return
 		}
@@ -109,13 +109,20 @@ func normalize(sc Scenario) Scenario {
 	if sc.SignalBudget < 0 || sc.SignalBudget > 255 {
 		panic("verify: signal budget out of range")
 	}
+	grows := 0
 	for _, op := range sc.Owner {
 		switch op.Kind {
 		case OpPushBottom, OpPopBottom, OpPopPublicBottom, OpUpdatePublicBottom, OpDrain,
 			OpUnexposeAll, OpDrainBatch:
+		case OpGrow, OpGrowNaive:
+			grows++
 		default:
 			panic(fmt.Sprintf("verify: op %v is not a valid owner op", op))
 		}
+	}
+	if final := sc.Capacity << grows; final > maxSlots {
+		panic(fmt.Sprintf("verify: scenario %q grows capacity %d to %d, beyond the modelled maximum %d",
+			sc.Name, sc.Capacity, final, maxSlots))
 	}
 	return sc
 }

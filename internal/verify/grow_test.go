@@ -1,0 +1,219 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"lcws/internal/deque"
+)
+
+// TestGrowSafeUnderStealStorm is the growth tentpole positive result for
+// the base LCWS policy (race-fix pop_bottom, single steals): an owner
+// that grows the array mid-stream — with exposure signals deliverable at
+// every micro-step boundary, including between growth's age load and its
+// publish — and then pushes past the original capacity can neither
+// duplicate nor lose a task against concurrent thieves.
+func TestGrowSafeUnderStealStorm(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:     "grow-racefix-steal-storm",
+		RaceFix:  true,
+		Capacity: 2,
+		Owner: []Op{
+			Push(1), Push(2),
+			Grow(),           // capacity 2 -> 4 while task 1 may be public
+			Push(3), Push(4), // past the original capacity
+			Drain(),
+		},
+		Thieves:       2,
+		StealAttempts: 2,
+		Expose:        deque.ExposeOne,
+		AutoSignal:    true,
+		SignalBudget:  2,
+		RequireDrain:  true,
+	})
+}
+
+// TestGrowSafeConservativePolicy re-checks growth under the §4.1.1
+// Conservative Exposure policy with the ORIGINAL pop_bottom — the other
+// verified owner configuration. Growth must not reintroduce the race the
+// conservative policy avoids.
+func TestGrowSafeConservativePolicy(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:     "grow-conservative-original-pop",
+		RaceFix:  false,
+		Capacity: 2,
+		Owner: []Op{
+			Push(1), Push(2),
+			Grow(),
+			Push(3),
+			Drain(),
+		},
+		Thieves:       1,
+		StealAttempts: 3,
+		Expose:        deque.ExposeConservative,
+		AutoSignal:    true,
+		SignalBudget:  2,
+		RequireDrain:  true,
+	})
+}
+
+// TestGrowSafeUnderBatchedSteals extends the growth result to the batch
+// mode: PopTopHalf thieves (multi-slot claims under one CAS) racing a
+// growth publish and the batch owner discipline (DrainBatch, reclaim via
+// UnexposeAll).
+func TestGrowSafeUnderBatchedSteals(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:     "grow-stealhalf-batch-drain",
+		RaceFix:  true,
+		Capacity: 2,
+		Owner: []Op{
+			Push(1), Push(2),
+			Grow(),
+			Push(3), Push(4),
+			DrainBatch(),
+		},
+		Thieves:       2,
+		StealAttempts: 2,
+		StealHalf:     true,
+		BatchBuf:      4,
+		Expose:        deque.ExposeHalf,
+		AutoSignal:    true,
+		SignalBudget:  2,
+		RequireDrain:  true,
+	})
+}
+
+// TestGrowMidDrainExposure delivers the exposure signal with growth
+// sandwiched between pops: the §4 race window (signal mid pop_bottom)
+// must stay closed across a generation change.
+func TestGrowMidDrainExposure(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:     "grow-mid-pop-exposure",
+		RaceFix:  true,
+		Capacity: 2,
+		Owner: []Op{
+			Push(1), Push(2), Pop(),
+			Grow(),
+			Push(3), Push(4),
+			Drain(),
+		},
+		Thieves:       1,
+		StealAttempts: 2,
+		Expose:        deque.ExposeOne,
+		InitialSignal: true,
+		SignalBudget:  1,
+		RequireDrain:  true,
+	})
+}
+
+// TestGrowNaiveDuplicatesTasks is the negative result that justifies the
+// index-preserving protocol: a compacting growth that rebases indices
+// without bumping the ABA tag lets a thief holding a pre-growth age
+// snapshot (same top, same tag) pass its CAS against a slot whose
+// content the compaction rewrote — returning an already-consumed task a
+// second time. The model checker must find the duplicate.
+//
+// Concretely: thief A steals task 1 (top 0 -> 1); thief B has read
+// age=(0,tag) and slot[0]=task1 but stalls before its CAS; the owner
+// pushes task 2 and grow_naive compacts it down to index 0 with
+// age=(0,tag) — thief B's stale CAS now succeeds and returns task 1
+// again.
+func TestGrowNaiveDuplicatesTasks(t *testing.T) {
+	r := Check(Scenario{
+		Name:     "grow-naive-duplicates",
+		RaceFix:  true,
+		Capacity: 2,
+		Owner: []Op{
+			Push(1),
+			UpdatePublicBottom(), // expose task 1
+			Push(2),
+			GrowNaive(), // compacts task 2 to index 0 without a tag bump
+		},
+		Thieves:       2,
+		StealAttempts: 1,
+		Expose:        deque.ExposeOne,
+	})
+	logReport(t, r)
+	if r.Truncated {
+		t.Fatalf("exploration truncated at %d states", r.States)
+	}
+	var dup *Violation
+	for i := range r.Violations {
+		if r.Violations[i].Kind == DuplicateTask {
+			dup = &r.Violations[i]
+			break
+		}
+	}
+	if dup == nil {
+		t.Fatalf("model checker failed to show naive growth duplicates tasks; found %v", r.Violations)
+	}
+	trace := strings.Join(dup.Trace, "\n")
+	if !strings.Contains(trace, "grow_naive") {
+		t.Errorf("counterexample does not involve grow_naive:\n%s", trace)
+	}
+	t.Logf("counterexample (%d steps):\n  %s", len(dup.Trace), strings.Join(dup.Trace, "\n  "))
+}
+
+// TestGrowSoundWhereNaiveIsNot is the control for the negative test: the
+// index-preserving Grow in the exact same scenario is clean — the only
+// difference between the two runs is the growth protocol.
+func TestGrowSoundWhereNaiveIsNot(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:     "grow-sound-control",
+		RaceFix:  true,
+		Capacity: 2,
+		Owner: []Op{
+			Push(1),
+			UpdatePublicBottom(),
+			Push(2),
+			Grow(),
+			Drain(),
+		},
+		Thieves:       2,
+		StealAttempts: 2,
+		Expose:        deque.ExposeOne,
+		RequireDrain:  true,
+	})
+}
+
+// TestUnexposeAllWithLivePrivatePart model-checks the precondition
+// SpillOldest relies on: UnexposeAll called while the private part is
+// NON-empty (previously only legal after pop_bottom returned nil) must
+// reclaim the public part without truncating or duplicating the private
+// tasks — this is what the conditional bot repairs guarantee.
+func TestUnexposeAllWithLivePrivatePart(t *testing.T) {
+	for _, raceFix := range []bool{false, true} {
+		name := "unexpose-live-private-original"
+		if raceFix {
+			name = "unexpose-live-private-racefix"
+		}
+		mustClean(t, Scenario{
+			Name:     name,
+			RaceFix:  raceFix,
+			Capacity: 4,
+			Owner: []Op{
+				Push(1), Push(2), Push(3),
+				UpdatePublicBottom(), // exposes task 1
+				UnexposeAll(),        // tasks 2,3 still private — must survive
+				Drain(),
+			},
+			Thieves:       2,
+			StealAttempts: 2,
+			Expose:        deque.ExposeOne,
+			RequireDrain:  true,
+		})
+	}
+}
+
+// TestGrowOpStrings pins the rendering of the new ops as they appear in
+// counterexample traces.
+func TestGrowOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{
+		Grow():      "grow",
+		GrowNaive(): "grow_naive",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("op %v String = %q, want %q", op.Kind, got, want)
+		}
+	}
+}

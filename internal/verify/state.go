@@ -37,6 +37,7 @@ type state struct {
 	bot        uint64
 	publicBot  uint64
 	age        uint64 // packed (tag<<32 | top), as in deque.packAge
+	cap        uint16 // current task-array capacity; OpGrow doubles it
 	slots      [maxSlots]uint8
 	th         [maxThreads]thread
 	nthreads   uint8
@@ -53,6 +54,7 @@ func packAge(top, tag uint32) uint64 { return uint64(tag)<<32 | uint64(top) }
 // initialState builds the start state of a scenario.
 func initialState(sc *Scenario) state {
 	var s state
+	s.cap = uint16(sc.Capacity)
 	s.nthreads = uint8(1 + sc.Thieves)
 	s.sigPending = sc.InitialSignal
 	s.sigBudget = uint8(sc.SignalBudget)
@@ -140,8 +142,13 @@ func (s *state) recordReturn(id uint8) *Violation {
 // distinguished by the properties we check).
 const threadKeyLen = 1 + 1 + 1 + 1 + 4*8
 
-func (s *state) key(capacity int) string {
-	buf := make([]byte, 0, 8*3+capacity+6+threadKeyLen*int(s.nthreads)+8)
+func (s *state) key() string {
+	// The whole maxSlots array is encoded (not just the initial
+	// capacity): after an OpGrow, slots beyond the scenario's starting
+	// capacity hold live tasks. The mutable capacity itself is part of
+	// the state — two schedules that differ only in whether growth has
+	// been published are distinct.
+	buf := make([]byte, 0, 8*3+maxSlots+8+threadKeyLen*int(s.nthreads)+8)
 	var w [8]byte
 	binary.LittleEndian.PutUint64(w[:], s.bot)
 	buf = append(buf, w[:]...)
@@ -149,12 +156,12 @@ func (s *state) key(capacity int) string {
 	buf = append(buf, w[:]...)
 	binary.LittleEndian.PutUint64(w[:], s.age)
 	buf = append(buf, w[:]...)
-	buf = append(buf, s.slots[:capacity]...)
+	buf = append(buf, s.slots[:]...)
 	flags := byte(0)
 	if s.sigPending {
 		flags = 1
 	}
-	buf = append(buf, flags, s.sigBudget,
+	buf = append(buf, flags, s.sigBudget, byte(s.cap), byte(s.cap>>8),
 		byte(s.pushed), byte(s.pushed>>8), byte(s.returned), byte(s.returned>>8))
 
 	encTh := func(t *thread) [threadKeyLen]byte {

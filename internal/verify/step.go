@@ -54,6 +54,10 @@ func (s *state) step(sc *Scenario, tid int, deliver bool) (string, *Violation) {
 			return s.updatePublicStep(sc, t)
 		case OpUnexposeAll:
 			return s.unexposeStep(sc, t)
+		case OpGrow:
+			return s.growStep(sc, t)
+		case OpGrowNaive:
+			return s.growNaiveStep(sc, t)
 		default:
 			panic(fmt.Sprintf("verify: owner cannot run op %v", op))
 		}
@@ -126,8 +130,13 @@ func (s *state) pushStep(sc *Scenario, t *thread, id uint8) (string, *Violation)
 	switch t.phase {
 	case 0:
 		t.r1 = s.bot
-		if t.r1 >= uint64(sc.Capacity) {
-			panic(fmt.Sprintf("verify: scenario %q overflows capacity %d", sc.Name, sc.Capacity))
+		// The implementation's window check is bot - top <= mask; the
+		// model conservatively assumes top == 0 (the worst case over
+		// all interleavings) so that a scenario either fits in every
+		// schedule or is rejected deterministically. Scripts push past
+		// the current capacity by inserting an explicit Grow op first.
+		if t.r1 >= uint64(s.cap) {
+			panic(fmt.Sprintf("verify: scenario %q overflows capacity %d without a Grow op", sc.Name, s.cap))
 		}
 		t.phase = 1
 		return fmt.Sprintf("owner: push(%d) load bot=%d", id, t.r1), nil
@@ -505,24 +514,25 @@ func (s *state) popTopHalfStep(sc *Scenario, t *thread, tid int) (string, *Viola
 // r2 = oldAge. The retry path after a lost CAS re-enters the pb load at
 // phase 8 (not phase 0) so that a mid-retry state is never mistaken for
 // an operation boundary by the quiescence check.
+//
+// The bot repairs are conditional on bot < pb — an actual race-fix
+// pre-decrement — mirroring the implementation: SpillOldest calls
+// UnexposeAll with a NON-empty private part (bot > publicBot), which an
+// unconditional bot store would truncate, losing tasks. bot is
+// owner-written only, so the conditional's load folds into the store.
+// (At publicBot == 0 there is nothing to repair at all: the race-fix
+// pop_bottom returns before its decrement when bot is 0, so bot <
+// publicBot cannot hold there.)
 func (s *state) unexposeStep(sc *Scenario, t *thread) (string, *Violation) {
 	switch t.phase {
 	case 0, 8:
 		t.r1 = s.publicBot
 		if t.r1 == 0 {
-			if sc.RaceFix {
-				t.phase = 1 // repair bot in a separate store
-				return "owner: unexpose_all load publicBot=0", nil
-			}
 			t.completeOwner(sc, false)
 			return "owner: unexpose_all load publicBot=0 -> 0", nil
 		}
 		t.phase = 2
 		return fmt.Sprintf("owner: unexpose_all load publicBot=%d", t.r1), nil
-	case 1:
-		s.bot = 0
-		t.completeOwner(sc, false)
-		return "owner: unexpose_all store bot=0 (repair) -> 0", nil
 	case 2:
 		t.r2 = s.age
 		top, _ := unpackAge(t.r2)
@@ -537,10 +547,13 @@ func (s *state) unexposeStep(sc *Scenario, t *thread) (string, *Violation) {
 		t.phase = 4
 		return fmt.Sprintf("owner: unexpose_all load age (top=%d)", top), nil
 	case 3:
-		s.bot = t.r1
 		pb := t.r1
 		t.completeOwner(sc, false)
-		return fmt.Sprintf("owner: unexpose_all store bot=%d (repair) -> 0", pb), nil
+		if s.bot < pb {
+			s.bot = pb
+			return fmt.Sprintf("owner: unexpose_all store bot=%d (repair) -> 0", pb), nil
+		}
+		return "owner: unexpose_all load bot (no repair needed) -> 0", nil
 	case 4:
 		top, _ := unpackAge(t.r2)
 		s.publicBot = uint64(top)
@@ -557,14 +570,104 @@ func (s *state) unexposeStep(sc *Scenario, t *thread) (string, *Violation) {
 		return "owner: unexpose_all CAS age failed (thief advanced top)", nil
 	case 6:
 		top, _ := unpackAge(t.r2)
-		s.bot = t.r1
 		n := t.r1 - uint64(top)
 		pb := t.r1
 		t.completeOwner(sc, true)
-		return fmt.Sprintf("owner: unexpose_all store bot=%d -> reclaimed %d", pb, n), nil
+		if s.bot < pb {
+			s.bot = pb
+			return fmt.Sprintf("owner: unexpose_all store bot=%d -> reclaimed %d", pb, n), nil
+		}
+		return fmt.Sprintf("owner: unexpose_all load bot (no repair, private part live) -> reclaimed %d", n), nil
 	default: // 7: lost the CAS, restore the split and retry
 		s.publicBot = t.r1
 		t.phase = 8
 		return fmt.Sprintf("owner: unexpose_all store publicBot=%d (restore, retry)", t.r1), nil
+	}
+}
+
+// growStep: the index-preserving growth of TryPushBottom (splitdeque.go
+// grow): load the age word (the refreshed fullness check that decided to
+// grow, and the copy's lower bound), then publish the doubled generation
+// with a single store. The model indexes the task array absolutely, so
+// the re-masked copy — which keeps every live task at its absolute index
+// — is a no-op on the modelled slots, and the publish changes only the
+// capacity bound of the push window check. That no other modelled word
+// changes IS the protocol's soundness claim: a published generation
+// differs from its predecessor in no index, tag, or live slot content
+// a thief can observe, so every steal interleaving explored here is
+// identical to one without the growth. Registers: r1 = oldAge.
+func (s *state) growStep(sc *Scenario, t *thread) (string, *Violation) {
+	switch t.phase {
+	case 0:
+		t.r1 = s.age
+		t.phase = 1
+		top, _ := unpackAge(t.r1)
+		return fmt.Sprintf("owner: grow load age (top=%d)", top), nil
+	default:
+		if 2*int(s.cap) > maxSlots {
+			panic(fmt.Sprintf("verify: scenario %q grows beyond the modelled maximum %d", sc.Name, maxSlots))
+		}
+		s.cap *= 2
+		t.completeOwner(sc, false)
+		return fmt.Sprintf("owner: grow publish capacity=%d (live slots at unchanged indices)", s.cap), nil
+	}
+}
+
+// growNaiveStep: the deliberately unsound compacting growth (negative
+// tests only). It moves the live window [top, bot) down to [0, bot-top)
+// inside the published buffer, then rebases publicBot and bot with plain
+// stores and rewrites the age word to (0, tag) WITHOUT bumping the tag.
+// The flaw: a thief that read the pre-growth age (0-based top, same tag)
+// and a pre-growth slot can still pass its CAS after the compaction
+// moved a DIFFERENT task under that index — returning a stale task a
+// second time. Registers: r1 = oldAge.
+func (s *state) growNaiveStep(sc *Scenario, t *thread) (string, *Violation) {
+	switch t.phase {
+	case 0:
+		t.r1 = s.age
+		t.phase = 1
+		top, _ := unpackAge(t.r1)
+		return fmt.Sprintf("owner: grow_naive load age (top=%d)", top), nil
+	case 1:
+		// Compact and publish in one store: the copied contents travel
+		// with the new buffer pointer, exactly as in an implementation
+		// that compacts while copying into the doubled array.
+		if 2*int(s.cap) > maxSlots {
+			panic(fmt.Sprintf("verify: scenario %q grows beyond the modelled maximum %d", sc.Name, maxSlots))
+		}
+		top, _ := unpackAge(t.r1)
+		n := uint64(0)
+		if s.bot > uint64(top) {
+			n = s.bot - uint64(top)
+		}
+		for i := uint64(0); i < n; i++ {
+			s.slots[i] = s.slots[uint64(top)+i]
+		}
+		s.cap *= 2
+		t.phase = 2
+		return fmt.Sprintf("owner: grow_naive publish capacity=%d (compacted %d tasks to index 0)", s.cap, n), nil
+	case 2:
+		top, _ := unpackAge(t.r1)
+		if s.publicBot > uint64(top) {
+			s.publicBot -= uint64(top)
+		} else {
+			s.publicBot = 0
+		}
+		t.phase = 3
+		return fmt.Sprintf("owner: grow_naive store publicBot=%d (rebased)", s.publicBot), nil
+	case 3:
+		top, _ := unpackAge(t.r1)
+		if s.bot > uint64(top) {
+			s.bot -= uint64(top)
+		} else {
+			s.bot = 0
+		}
+		t.phase = 4
+		return fmt.Sprintf("owner: grow_naive store bot=%d (rebased)", s.bot), nil
+	default:
+		_, tag := unpackAge(t.r1)
+		s.age = packAge(0, tag) // the bug: no tag bump
+		t.completeOwner(sc, false)
+		return "owner: grow_naive store age=(top 0, SAME tag)", nil
 	}
 }

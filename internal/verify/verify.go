@@ -73,7 +73,9 @@ type Scenario struct {
 	// RaceFix selects the §4 signal-safe PopBottom variant, exactly as
 	// deque.NewSplit's raceFix parameter does.
 	RaceFix bool
-	// Capacity is the number of task slots (default 8, max 16).
+	// Capacity is the initial number of task slots (default 8, max 16).
+	// Grow ops in the owner script double it; the initial capacity times
+	// 2^(number of grow ops) must stay within the modelled maximum 16.
 	Capacity int
 	// Owner is the owner thread's operation script.
 	Owner []Op
@@ -144,6 +146,21 @@ const (
 	// nil, then UnexposeAll, repeating until the reclaim finds nothing —
 	// PopPublicBottom is never called (the batch owner discipline).
 	OpDrainBatch
+	// OpGrow doubles the task-array capacity the way TryPushBottom's
+	// grow does: load the age word, then publish a doubled generation
+	// whose live slots sit at unchanged absolute indices, in a single
+	// store that touches neither the age word nor publicBot. The model
+	// indexes slots absolutely, so the re-masked copy is a no-op on the
+	// modelled array and the publish changes only the capacity bound of
+	// the push window check — which is precisely the protocol's
+	// soundness claim, checked here against every steal interleaving.
+	OpGrow
+	// OpGrowNaive is the deliberately unsound compacting growth used by
+	// the negative tests: it moves live tasks down to index 0, rebases
+	// publicBot and bot, and rewrites the age word to (0, tag) WITHOUT
+	// bumping the tag. A thief holding a pre-growth age snapshot then
+	// passes its CAS against a slot whose content was rewritten.
+	OpGrowNaive
 )
 
 // Op is one scripted operation.
@@ -179,6 +196,14 @@ func UnexposeAll() Op { return Op{Kind: OpUnexposeAll} }
 // UnexposeAll loop, never PopPublicBottom).
 func DrainBatch() Op { return Op{Kind: OpDrainBatch} }
 
+// Grow returns an index-preserving capacity-doubling op (the growth
+// protocol of TryPushBottom).
+func Grow() Op { return Op{Kind: OpGrow} }
+
+// GrowNaive returns the unsound compacting growth op used by negative
+// tests (rebases indices without bumping the ABA tag).
+func GrowNaive() Op { return Op{Kind: OpGrowNaive} }
+
 // String returns a compact rendering of the op.
 func (o Op) String() string {
 	switch o.Kind {
@@ -198,6 +223,10 @@ func (o Op) String() string {
 		return "unexpose_all"
 	case OpDrainBatch:
 		return "drain_batch"
+	case OpGrow:
+		return "grow"
+	case OpGrowNaive:
+		return "grow_naive"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o.Kind))
 	}

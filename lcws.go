@@ -122,9 +122,22 @@ func WithWorkers(p int) Option { return func(o *core.Options) { o.Workers = p } 
 // WithPolicy sets the scheduling policy (default WS).
 func WithPolicy(p Policy) Option { return func(o *core.Options) { o.Policy = p } }
 
-// WithDequeCapacity sets the per-worker deque capacity; the deques are
-// fixed-size arrays as in the paper and panic on overflow.
+// WithDequeCapacity sets the per-worker deque's initial capacity. The
+// deques grow by doubling when a spawn tree outgrows them, up to the
+// WithMaxDequeCapacity cap.
 func WithDequeCapacity(n int) Option { return func(o *core.Options) { o.DequeCapacity = n } }
+
+// WithMaxDequeCapacity caps per-worker deque growth (never below the
+// initial capacity). Past the cap the owner spills its oldest tasks to
+// an unbounded overflow list instead of growing further, so arbitrarily
+// wide spawn trees run in bounded deque memory.
+func WithMaxDequeCapacity(n int) Option { return func(o *core.Options) { o.MaxDequeCapacity = n } }
+
+// WithFreelistBound caps each worker's task freelist. Tasks freed past
+// the bound are recycled through the scheduler's global shard pool or
+// released to the GC, keeping steady-state memory flat across jobs of
+// wildly different widths.
+func WithFreelistBound(n int) Option { return func(o *core.Options) { o.FreelistBound = n } }
 
 // WithSeed seeds the workers' victim-selection PRNGs for reproducible
 // scheduling decisions.
