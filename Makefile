@@ -39,6 +39,7 @@ census: lcwsvet
 race-matrix:
 	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/core ./internal/injector
 	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/core ./internal/injector
+	GOMAXPROCS=4 $(GO) test -race -count=2 -run 'TestMultFree' ./internal/core
 
 # 10-second fuzz smoke of the split deque's sequential-model fuzzer;
 # regressions in the deque invariants surface here fast.
@@ -80,7 +81,7 @@ bench-mem:
 # goroutines, overlapping jobs, panics and cancellations over one
 # resident pool.
 submit-stress:
-	$(GO) test -race -run 'TestConcurrentSubmitters|TestCloseRacesInFlightSubmissions|TestPanicFailsOnlyItsJob|TestPerJobStatsExactUnderOverlap|TestCancelMidJob' -count=2 ./internal/core
+	$(GO) test -race -run 'TestConcurrentSubmitters|TestCloseRacesInFlightSubmissions|TestPanicFailsOnlyItsJob|TestPerJobStatsExactUnderOverlap|TestCancelMidJob|TestMultFreeParForShadowStress' -count=2 ./internal/core
 
 # Flight-recorder smoke: run a traced oversubscribed workload, export
 # its Chrome trace (TRACE_OUT, default trace.json) and validate the

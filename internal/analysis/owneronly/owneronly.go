@@ -99,12 +99,16 @@ var ownerOnly = map[string]bool{
 	"PopPublicBottom": true,
 	"Expose":          true,
 	"UnexposeAll":     true,
+	"PushIndex":       true, // MultFree recycling stamp: plain read of the owner-local bottom
+	"NeverExposed":    true, // MultFree recycling gate: owner-local exposure high-water mark
 }
 
 var thiefSafe = map[string]bool{
-	"PopTop":        true,
-	"PopTopHalf":    true, // batched steal: single CAS claims the run
-	"PopTopN":       true, // Chase-Lev batched steal
+	"PopTop":             true,
+	"PopTopHalf":         true, // batched steal: single CAS claims the run
+	"PopTopN":            true, // Chase-Lev batched steal
+	"TakeTopRelaxed":     true, // MultFree relaxed claim: per-thief RelClaim cursor, no CAS
+	"TakeTopHalfRelaxed": true, // MultFree batched relaxed claim
 	"HasTwoTasks":   true,
 	"HasPublicWork": true, // parking-lot pre-park / wake re-check
 	"IsEmpty":       true,
@@ -137,6 +141,7 @@ var recOwnerOnly = map[string]bool{
 	"Grow":          true, // deque growth marker, owner ring
 	"Spill":         true, // overflow-spill marker, owner ring
 	"JobSwitch":     true, // job-context marker written at setJob, owner ring
+	"Duplicate":     true, // MultFree lost-arbitration marker: the loser records into its OWN ring
 	"Tail":          true, // owner-side plain reads (panic reports)
 	"ResetRun":      true,
 }

@@ -95,6 +95,13 @@ func (w *Worker) forkRange(lo, hi, grain int, body func(*Worker, int)) {
 	mid := lo + (hi-lo)/2
 	rt := w.newTask()
 	want := rt.prepareRange(mid, hi, grain, body)
+	if w.relaxed {
+		// MultFree: re-arm the execution-claim word to this incarnation
+		// before publication (the descriptor may be a recycled function
+		// task carrying a stale claim value, which would otherwise make
+		// every claimExec CAS fail and the task unrunnable).
+		rt.rearmExec()
+	}
 	w.push(rt)
 	w.traceFork()
 	w.forkRange(lo, mid, grain, body)

@@ -209,6 +209,13 @@ func (j *Job) settle() {
 // normal single-owner discipline; orphans whose joins were unwound are
 // left to the garbage collector.
 func (w *Worker) discard(t *Task) {
+	if w.relaxed && t.fn == nil && !w.claimExec(t) {
+		// MultFree: another claimant of this range task won the
+		// execution arbitration — it either ran the task or is
+		// discarding it itself, and will account the completion. Our
+		// copy is a duplicate (already counted by claimExec).
+		return
+	}
 	j := t.job
 	if j != nil {
 		j.drained.Add(1)

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"lcws/internal/counters"
+)
+
+// Scheduler-level tests for the MultFree relaxed-stealing policy: the
+// policy table and parsing, the counting model, the exactly-once
+// execution guarantee under duplicated relaxed claims (the shadow-array
+// stress, which the CI race matrix runs under -race), and the flow of
+// the relaxed counters through Stats.
+
+func TestPoliciesParseRoundTrip(t *testing.T) {
+	// Every policy's figure label must round-trip through ParsePolicy,
+	// case-insensitively — flag values like "multfree" select the
+	// policy its Stats and BENCH documents report.
+	for _, p := range Policies {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", p.String(), got, err, p)
+		}
+	}
+	for _, in := range []string{"MultFree", "multfree", "MULTFREE"} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != MultFree {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want MultFree", in, got, err)
+		}
+	}
+}
+
+func TestMultFreePredicates(t *testing.T) {
+	if !MultFree.SplitDeque() {
+		t.Error("MultFree must use the split deque")
+	}
+	if !MultFree.SignalBased() {
+		t.Error("MultFree keeps Signal's notification machinery")
+	}
+	if !MultFree.raceFixPop() {
+		t.Error("MultFree must use the race-fixed pop_bottom")
+	}
+	if !MultFree.relaxedSteal() {
+		t.Error("MultFree must enable the relaxed steal path")
+	}
+	for _, p := range Policies {
+		if p != MultFree && p.relaxedSteal() {
+			t.Errorf("%v claims the relaxed steal path; only MultFree may", p)
+		}
+	}
+}
+
+func TestMultFreeSingleWorkerSyncFree(t *testing.T) {
+	// With no thieves every operation is owner-local: like the LCWS
+	// family, MultFree must pay zero fences and zero CAS, and the
+	// relaxed machinery must stay cold.
+	s := newTestScheduler(MultFree, 1)
+	var got int
+	s.Run(func(w *Worker) { got = fib(w, 12) })
+	if got != 144 {
+		t.Fatalf("fib(12) = %d, want 144", got)
+	}
+	sn := s.Counters()
+	if f, cas := sn.Get(counters.Fence), sn.Get(counters.CAS); f != 0 || cas != 0 {
+		t.Errorf("MultFree with 1 worker cost (%d fences, %d CAS), want (0, 0)", f, cas)
+	}
+	if r := sn.Get(counters.RelaxedSteal); r != 0 {
+		t.Errorf("%d relaxed steals with no thieves, want 0", r)
+	}
+	if d := sn.Get(counters.TaskDuplicated); d != 0 {
+		t.Errorf("%d duplicates with no thieves, want 0", d)
+	}
+}
+
+func TestMultFreeFork2NeverDuplicates(t *testing.T) {
+	// Fork2 closures are non-idempotent: thieves may take them only
+	// through the exclusive CAS fallback, so a pure fork-join workload
+	// must finish with exact arithmetic and zero absorbed duplicates.
+	s := newTestScheduler(MultFree, 4)
+	var got int
+	s.Run(func(w *Worker) { got = fib(w, 20) })
+	if got != 6765 {
+		t.Fatalf("fib(20) = %d, want 6765", got)
+	}
+	if d := s.Stats().TasksDuplicated; d != 0 {
+		t.Errorf("closure-only workload absorbed %d duplicates, want 0", d)
+	}
+}
+
+// TestMultFreeParForShadowStress is the exactly-once stress of the
+// acceptance criteria: a fine-grained ParFor over a million elements
+// under MultFree, with a plain (non-atomic) shadow array. Relaxed
+// claims may hand the same range task to several workers, but the
+// execution-claim arbitration (Task.execSeq) lets exactly one claimant
+// run it — so every element is incremented exactly once, the plain
+// increments are race-free (the CI race matrix runs this under -race,
+// where a double execution would be reported as a data race as well as
+// a count mismatch), and absorbed duplicates stay within the
+// model-checked bound of thieves x relaxed steals.
+func TestMultFreeParForShadowStress(t *testing.T) {
+	const workers = 4
+	n := 1_000_000
+	if testing.Short() || raceEnabled {
+		n = 1 << 17 // the race detector makes the full million ~10x slower
+	}
+	s := newTestScheduler(MultFree, workers)
+	shadow := make([]int32, n)
+	s.Run(func(w *Worker) {
+		ParFor(w, 0, n, 64, func(w *Worker, i int) {
+			shadow[i]++
+			if i%2048 == 0 {
+				// Let thief goroutines run on ovesubscribed hosts so the
+				// relaxed steal path actually sees traffic.
+				runtime.Gosched()
+			}
+		})
+	})
+	bad := 0
+	for i, v := range shadow {
+		if v != 1 {
+			if bad < 5 {
+				t.Errorf("shadow[%d] = %d, want 1 (exactly-once execution)", i, v)
+			}
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%d of %d elements not executed exactly once", bad, n)
+	}
+	st := s.Stats()
+	t.Logf("stress: %d tasks, %d relaxed steals, %d duplicates absorbed",
+		st.TasksExecuted, st.RelaxedSteals, st.TasksDuplicated)
+	if bound := uint64(workers-1) * st.RelaxedSteals; st.TasksDuplicated > bound {
+		t.Errorf("%d duplicates exceed thieves x relaxed-steals = %d", st.TasksDuplicated, bound)
+	}
+	if runtime.GOMAXPROCS(0) >= 2 && st.RelaxedSteals == 0 {
+		t.Error("no relaxed steals on a multi-CPU host; the relaxed path was never exercised")
+	}
+}
+
+func TestMultFreeStatsSubCarriesRelaxedCounters(t *testing.T) {
+	a := Stats{RelaxedSteals: 7, TasksDuplicated: 3}
+	b := Stats{RelaxedSteals: 2, TasksDuplicated: 1}
+	d := a.Sub(b)
+	if d.RelaxedSteals != 5 || d.TasksDuplicated != 2 {
+		t.Errorf("Sub = (%d relaxed, %d duplicated), want (5, 2)", d.RelaxedSteals, d.TasksDuplicated)
+	}
+	z := a.Sub(a)
+	if z.RelaxedSteals != 0 || z.TasksDuplicated != 0 {
+		t.Errorf("self-Sub not zero: %+v", z)
+	}
+	// Clamped, not underflowed, when the baseline ran further.
+	u := b.Sub(a)
+	if u.RelaxedSteals != 0 || u.TasksDuplicated != 0 {
+		t.Errorf("clamped Sub = (%d, %d), want (0, 0)", u.RelaxedSteals, u.TasksDuplicated)
+	}
+}

@@ -57,6 +57,20 @@ const (
 	// work remains, the owner reclaims the whole public part in one
 	// synchronized step instead of draining it task by task.
 	LaceWS
+	// MultFree is the relaxed split-deque policy of Castañeda & Piña
+	// (arXiv 2008.04424) grafted onto the signal-based scheduler: thieves
+	// claim tasks with plain read/write operations — no CAS, no fence on
+	// the steal side — at the cost of bounded multiplicity (a task may
+	// rarely be taken more than once, at most once per thief). Only tasks
+	// the scheduler knows are idempotent take the relaxed path (ParFor
+	// range bodies); Fork2 closures fall back to the exclusive CAS steal
+	// and are never duplicated. Duplicate executions are absorbed by a
+	// generation-stamp arbitration so completion and join accounting stay
+	// exact; the owner reclaims leftover public work exclusively through
+	// the tag-bumping UnexposeAll (like Lace), which together with the
+	// owner-side cursor repair keeps the multiplicity bound
+	// (model-checked in internal/verify).
+	MultFree
 
 	numPolicies
 )
@@ -65,8 +79,9 @@ const (
 const NumPolicies = int(numPolicies)
 
 // Policies lists every policy in presentation order (baseline first,
-// the paper's four LCWS variants, then the Lace comparator).
-var Policies = [NumPolicies]Policy{WS, USLCWS, SignalLCWS, ConsLCWS, HalfLCWS, LaceWS}
+// the paper's four LCWS variants, the Lace comparator, then the relaxed
+// MultFree extension).
+var Policies = [NumPolicies]Policy{WS, USLCWS, SignalLCWS, ConsLCWS, HalfLCWS, LaceWS, MultFree}
 
 // LCWSPolicies lists the four LCWS-based policies the paper evaluates
 // against the WS baseline, in the order used by Figures 5 and 6
@@ -80,6 +95,7 @@ var policyNames = [NumPolicies]string{
 	ConsLCWS:   "Cons",
 	HalfLCWS:   "Half",
 	LaceWS:     "Lace",
+	MultFree:   "MultFree",
 }
 
 // String returns the short name used in the paper's figures
@@ -112,15 +128,22 @@ func (p Policy) SplitDeque() bool { return p != WS }
 
 // SignalBased reports whether thieves notify victims through the emulated
 // signal mechanism (handled at checkpoints) rather than the task-boundary
-// targeted flag.
+// targeted flag. MultFree keeps Signal's notification machinery so the
+// steal-path relaxation is the only variable between the two.
 func (p Policy) SignalBased() bool {
-	return p == SignalLCWS || p == ConsLCWS || p == HalfLCWS
+	return p == SignalLCWS || p == ConsLCWS || p == HalfLCWS || p == MultFree
 }
 
 // raceFixPop reports whether the split deque must use the §4 signal-safe
 // pop_bottom. The Conservative variant avoids the race by construction and
 // keeps the original pop_bottom; USLCWS never exposes mid-task.
-func (p Policy) raceFixPop() bool { return p == SignalLCWS || p == HalfLCWS }
+func (p Policy) raceFixPop() bool { return p == SignalLCWS || p == HalfLCWS || p == MultFree }
+
+// relaxedSteal reports whether thieves may claim idempotent tasks through
+// the fence- and CAS-free relaxed path (TakeTopRelaxed) with bounded
+// multiplicity, and the owner reclaims public work exclusively through
+// UnexposeAll.
+func (p Policy) relaxedSteal() bool { return p == MultFree }
 
 // exposeMode returns the work-exposure policy of the scheduler's handler.
 func (p Policy) exposeMode() deque.ExposeMode {

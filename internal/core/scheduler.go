@@ -242,6 +242,11 @@ func NewScheduler(opts Options) *Scheduler {
 	for i := range s.workers {
 		var dq taskDeque
 		switch {
+		case opts.Policy.relaxedSteal():
+			// MultFree: the split deque with the relaxed claim cursor
+			// enabled (and the owner-side repair folded into its
+			// public-boundary operations).
+			dq = deque.NewSplitRelaxed[Task](opts.DequeCapacity, opts.MaxDequeCapacity, opts.Policy.raceFixPop())
 		case opts.Policy.SplitDeque():
 			// The split deque supports PopTopHalf as-is; batch mode only
 			// changes the owner discipline (reclaim via UnexposeAll, see

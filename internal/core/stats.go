@@ -74,6 +74,14 @@ type Stats struct {
 	// FreelistReturns counts tasks evicted from over-full per-worker
 	// freelists (donated to the recycle shards or released to the GC).
 	FreelistReturns uint64
+	// RelaxedSteals counts tasks claimed through the MultFree relaxed
+	// (fence- and CAS-free) steal path; zero outside MultFree.
+	RelaxedSteals uint64
+	// TasksDuplicated counts duplicate task executions absorbed by the
+	// MultFree generation-stamp arbitration (the bounded-multiplicity
+	// cost); completion accounting excludes them, so TasksExecuted stays
+	// exact. Zero outside MultFree.
+	TasksDuplicated uint64
 
 	// Executor-level job accounting (scheduler atomics, not per-worker
 	// counters): jobs submitted / settled successfully / settled failed
@@ -124,6 +132,8 @@ func statsFromSnapshot(sn counters.Snapshot) Stats {
 		TasksSpilled:     sn.Get(counters.TaskSpilled),
 		FreelistRefills:  sn.Get(counters.FreelistRefill),
 		FreelistReturns:  sn.Get(counters.FreelistReturn),
+		RelaxedSteals:    sn.Get(counters.RelaxedSteal),
+		TasksDuplicated:  sn.Get(counters.TaskDuplicated),
 	}
 }
 
@@ -194,6 +204,8 @@ func (st Stats) Sub(prev Stats) Stats {
 		TasksSpilled:     clampSub(st.TasksSpilled, prev.TasksSpilled),
 		FreelistRefills:  clampSub(st.FreelistRefills, prev.FreelistRefills),
 		FreelistReturns:  clampSub(st.FreelistReturns, prev.FreelistReturns),
+		RelaxedSteals:    clampSub(st.RelaxedSteals, prev.RelaxedSteals),
+		TasksDuplicated:  clampSub(st.TasksDuplicated, prev.TasksDuplicated),
 		JobsSubmitted:    clampSub(st.JobsSubmitted, prev.JobsSubmitted),
 		JobsCompleted:    clampSub(st.JobsCompleted, prev.JobsCompleted),
 		JobsFailed:       clampSub(st.JobsFailed, prev.JobsFailed),

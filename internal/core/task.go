@@ -64,10 +64,22 @@ type Task struct {
 	//lcws:field thief-shared — written pre-publication, read by drains
 	job *Job
 
+	// execSeq is the MultFree execution-claim word: under the relaxed
+	// policy a task may be obtained by more than one claimant (bounded
+	// multiplicity), so every relaxed-eligible execution first CASes
+	// execSeq from seq to seq+1 and only the winner runs the task. The
+	// owner re-arms it to seq (pre-publication) when it forks a range
+	// task under MultFree; untouched by every other policy.
+	//
+	//lcws:field atomic
+	execSeq atomic.Uint32
+
 	// Recycling state, touched only by the forking (owner) worker.
 	//
 	//lcws:field thief-shared — generation stamp: owner-written, executor reads it for the doneSeq store
 	seq uint32
+	//lcws:field owner(Worker) — absolute deque index at publication (MultFree recycling gate)
+	pushIdx uint64
 	//lcws:field owner(Worker)
 	recycled bool // set while the task sits on a freelist
 	//lcws:field owner(Worker)
@@ -109,6 +121,38 @@ func (t *Task) prepareFn(fn func(*Worker)) uint32 {
 func (t *Task) prepareRange(lo, hi, grain int, body func(*Worker, int)) uint32 {
 	t.body, t.lo, t.hi, t.grain = body, lo, hi, grain
 	return t.seq + 1
+}
+
+// rearmExec aligns t's execution-claim word with its current generation
+// so claimExec's CAS from seq has exactly one winner for this
+// incarnation. The forking worker calls it before publication under
+// MultFree (see forkRange); ordered before any claimant's CAS by the
+// deque's publication protocol.
+//
+//lcws:noalloc
+func (t *Task) rearmExec() { t.execSeq.Store(t.seq) }
+
+// claimExec arbitrates a MultFree execution claim on the range task t:
+// the CAS from seq to seq+1 admits exactly one executor per incarnation,
+// so a duplicate obtained through the relaxed steal path (or through the
+// owner reclaiming a task whose claim it could not yet see) is absorbed
+// here instead of double-counting completion. The plain seq read is safe
+// because range tasks are never recycled under MultFree (see freeTask),
+// so seq is frozen after publication. Counted per the model's
+// MultFreeExecCAS.
+//
+//lcws:noalloc
+func (w *Worker) claimExec(t *Task) bool {
+	s := t.seq
+	w.ctr.Add(counters.CAS, counters.MultFreeExecCAS)
+	if t.execSeq.CompareAndSwap(s, s+1) {
+		return true
+	}
+	w.ctr.Inc(counters.TaskDuplicated)
+	if w.rec != nil {
+		w.rec.Duplicate()
+	}
+	return false
 }
 
 // reuse detaches t from the freelist linkage when it is popped for
@@ -193,6 +237,18 @@ func (w *Worker) newTaskSlow() *Task {
 func (w *Worker) freeTask(t *Task) {
 	if t.recycled {
 		panic("core: double free of a scheduler task (recycling discipline violated)")
+	}
+	if w.relaxed && t.fn == nil && !w.dq.NeverExposed(t.pushIdx) {
+		// MultFree: a range task that was ever exposed may still be
+		// referenced by a stale relaxed claimant (a thief that loaded
+		// the slot but has not yet lost the execution arbitration).
+		// Re-arming the descriptor would race that claimant's reads, so
+		// once-exposed range tasks are never recycled — the GC reclaims
+		// them when the last claimant drops its reference. Never-exposed
+		// range tasks (the no-steal common case) and function tasks
+		// (CAS-stolen exclusively) recycle as usual, which is what keeps
+		// the steady-state fork path allocation-free under MultFree too.
+		return
 	}
 	t.recycle(w.freelist)
 	w.freelist = t
@@ -327,6 +383,20 @@ type taskDeque interface {
 	PopPublicBottom(*counters.Worker) *Task
 	PopTop(*counters.Worker) (*Task, deque.StealResult)
 	PopTopHalf([]*Task, *counters.Worker) (int, deque.StealResult)
+	// TakeTopRelaxed is the MultFree fence- and CAS-free steal: plain
+	// read/write claim of the top task when the predicate reports it
+	// idempotent, exclusive-CAS fallback otherwise. TakeTopHalfRelaxed
+	// is its batched (steal-half) composition. Only the split deque
+	// implements them; the WS baseline never relaxes.
+	TakeTopRelaxed(*deque.RelClaim, func(*Task) bool, *counters.Worker) (*Task, deque.StealResult)
+	TakeTopHalfRelaxed([]*Task, *deque.RelClaim, func(*Task) bool, *counters.Worker) (int, deque.StealResult)
+	// PushIndex and NeverExposed support the MultFree recycling gate:
+	// the owner stamps each forked task with the index it is pushed at
+	// and, at free time, recycles it only if that index was never inside
+	// the public window (otherwise a stale relaxed claimant may still
+	// hold the descriptor and it is left to the GC). Owner-only.
+	PushIndex() uint64
+	NeverExposed(idx uint64) bool
 	Expose(deque.ExposeMode, *counters.Worker) int
 	UnexposeAll(*counters.Worker) int
 	HasTwoTasks() bool
@@ -350,6 +420,18 @@ func (d chaseLevDeque) HasTwoTasks() bool { return d.Size() >= 2 }
 func (d chaseLevDeque) PopTopHalf(buf []*Task, c *counters.Worker) (int, deque.StealResult) {
 	return d.PopTopN(buf, c)
 }
+
+func (d chaseLevDeque) TakeTopRelaxed(*deque.RelClaim, func(*Task) bool, *counters.Worker) (*Task, deque.StealResult) {
+	return nil, deque.Empty
+}
+
+func (d chaseLevDeque) TakeTopHalfRelaxed([]*Task, *deque.RelClaim, func(*Task) bool, *counters.Worker) (int, deque.StealResult) {
+	return 0, deque.Empty
+}
+
+func (d chaseLevDeque) PushIndex() uint64 { return 0 }
+
+func (d chaseLevDeque) NeverExposed(uint64) bool { return true }
 
 var (
 	_ taskDeque = chaseLevDeque{}

@@ -76,6 +76,7 @@ type Worker struct {
 	idleSpins     uint32           //lcws:field owner — consecutive failed work-search iterations
 	policy        Policy           //lcws:field immutable
 	batch         bool             //lcws:field immutable — cached Options.StealBatch
+	relaxed       bool             //lcws:field immutable — cached Policy.relaxedSteal (MultFree)
 	sticky        int32            //lcws:field owner — last successful victim id (-1 = none); batch mode only
 	freelistBound int              //lcws:field immutable — cached Options.FreelistBound
 
@@ -111,6 +112,13 @@ type Worker struct {
 	parkSem   chan struct{}         //lcws:field immutable — channel ops are internally synchronized
 	parkTimer *time.Timer           //lcws:field owner
 	stealBuf  [stealBatchSize]*Task //lcws:field owner
+
+	// relClaims is this worker's per-victim relaxed-claim memory
+	// (MultFree only, indexed by victim id): the monotone high-water
+	// marks that bound how often this thief can return any one task to
+	// at most once. Thief-private — only this worker's goroutine touches
+	// its own slice.
+	relClaims []deque.RelClaim //lcws:field owner
 }
 
 // stealBatchSize caps how many tasks one batched steal can claim. Eight
@@ -143,6 +151,10 @@ func (w *Worker) init(id int, s *Scheduler, dq taskDeque, opts Options) {
 	w.pollEvery = uint32(opts.PollEvery)
 	w.yieldEvery = opts.YieldEvery
 	w.batch = opts.StealBatch
+	w.relaxed = opts.Policy.relaxedSteal()
+	if w.relaxed {
+		w.relClaims = make([]deque.RelClaim, opts.Workers)
+	}
 	w.sticky = -1
 	w.freelistBound = opts.FreelistBound
 	w.parkSem = make(chan struct{}, 1)
@@ -293,6 +305,13 @@ func (w *Worker) setJob(j *Job) {
 // never frees t: recycling is the forking worker's job, at its join
 // point.
 func (w *Worker) runTask(t *Task) {
+	if w.relaxed && t.fn == nil && !w.claimExec(t) {
+		// MultFree: another claimant of this range task won the
+		// execution arbitration (bounded multiplicity); it will run and
+		// complete the task, so this duplicate is dropped without any
+		// completion or shard accounting.
+		return
+	}
 	prevJob := w.curJob
 	if t.job != prevJob {
 		w.setJob(t.job)
@@ -458,6 +477,14 @@ func (w *Worker) traceFork() {
 //lcws:noalloc
 func (w *Worker) push(t *Task) {
 	t.job = w.curJob //lcws:presync written before the deque's release publication makes t visible to thieves
+	if w.relaxed {
+		// Stamp the landing index for the MultFree recycling gate (see
+		// freeTask). Batch remnants keep their original forker's stamp —
+		// they land through pushNoTag — which is correct: a remnant was
+		// necessarily exposed at its origin, and the stamped origin index
+		// is below that deque's exposure high-water mark.
+		t.pushIdx = w.dq.PushIndex() //lcws:presync written before the deque's release publication makes t visible to thieves
+	}
 	if sh := w.curShard; sh != nil {
 		sh.created++
 	}
@@ -615,7 +642,7 @@ func (w *Worker) popLocal() *Task {
 		}
 		return t
 	}
-	if w.policy == LaceWS || w.batch {
+	if w.policy == LaceWS || w.batch || w.relaxed {
 		// Lace: reclaim the public part wholesale instead of draining it
 		// through pop_public_bottom. Batch mode mandates the same owner
 		// discipline for every split-deque policy: PopPublicBottom's
@@ -623,6 +650,12 @@ func (w *Worker) popLocal() *Task {
 		// word, which is unsound against an in-flight PopTopHalf (a
 		// stalled thief's CAS could re-claim an owner-consumed slot);
 		// UnexposeAll's tag-bump CAS invalidates such claims first.
+		// MultFree mandates it for a stronger reason: PopPublicBottom's
+		// emptying path resets the deque's absolute indices, and the
+		// relaxed thieves' monotone claim memory is only sound while an
+		// exposed absolute index is never reused (UnexposeAll reclaims
+		// are tag-bumped, so reclaimed indices re-expose under a new
+		// tag, which the claim protocol treats as fresh).
 		if n := w.dq.UnexposeAll(w.ctr); n > 0 {
 			if w.rec != nil {
 				w.rec.Repair(n)
@@ -697,6 +730,24 @@ func (w *Worker) join(rt *Task, want uint32) {
 			w.helpUntil(rt, want)
 			break
 		}
+		if w.relaxed && t.fn == nil && !w.dq.NeverExposed(t.pushIdx) {
+			// MultFree: rt was exposed at some point, so a relaxed thief
+			// whose plain-write claim the repair could not yet see may
+			// hold it too (rt is own-forked — t == rt — so its pushIdx
+			// stamp is in this deque's index domain and the exposure
+			// check is exact). The execution arbitration decides: if
+			// this worker wins, rt runs inline as usual; if a thief won,
+			// it is executing rt right now, so help until its completion
+			// stamp lands. (claimExec already accounted the duplicate on
+			// the losing side.) Never-exposed siblings — the no-steal
+			// common case — skip the arbitration entirely: no claimant
+			// can exist, so the join path stays CAS-free, preserving the
+			// Figure-3 property for MultFree's fork-join fast path.
+			if !w.claimExec(t) {
+				w.helpUntil(rt, want)
+				break
+			}
+		}
 		w.runInline(t)
 		break
 	}
@@ -741,6 +792,9 @@ func (w *Worker) stealOnce() *Task {
 	if w.rec != nil {
 		w.rec.StealAttempt(vid)
 	}
+	if w.relaxed {
+		return w.stealFromRelaxed(v, vid)
+	}
 	if w.batch {
 		return w.stealFromBatched(v, vid)
 	}
@@ -756,6 +810,72 @@ func (w *Worker) stealOnce() *Task {
 			// allow new notifications to it.
 			v.targeted.Store(false)
 		}
+		return t
+	case deque.PrivateWork:
+		w.ctr.Inc(counters.StealPrivate)
+		w.notify(v)
+	case deque.Abort:
+		w.ctr.Inc(counters.StealAbort)
+	case deque.Empty:
+		w.ctr.Inc(counters.StealEmpty)
+	}
+	return nil
+}
+
+// taskIsIdempotent is the MultFree eligibility predicate the relaxed
+// steal path hands to the deque: only range tasks (fn == nil) — whose
+// bodies the ParFor contract requires to tolerate re-execution — may be
+// claimed without exclusion. A package-level function value allocates
+// nothing at the call site, keeping the steal path noalloc.
+func taskIsIdempotent(t *Task) bool { return t.fn == nil }
+
+// stealFromRelaxed is the MultFree steal attempt against victim v:
+// idempotent (range) tasks are claimed with plain read/write operations
+// through the thief's per-victim monotone claim memory — no fence, no
+// CAS — at the cost of bounded multiplicity; a non-idempotent task at
+// the top falls back to the exclusive CAS claim inside TakeTopRelaxed.
+// With StealBatch the relaxed claim composes with steal-half: one cursor
+// store claims up to half of the victim's public prefix, and the remnant
+// lands in this worker's private part exactly as in stealFromBatched.
+func (w *Worker) stealFromRelaxed(v *Worker, vid int) *Task {
+	cl := &w.relClaims[vid]
+	if w.batch {
+		nTasks, res := v.dq.TakeTopHalfRelaxed(w.stealBuf[:], cl, taskIsIdempotent, w.ctr)
+		switch res {
+		case deque.Stolen:
+			w.ctr.Inc(counters.StealSuccess)
+			w.ctr.Add(counters.StealBatchTasks, uint64(nTasks))
+			if w.rec != nil {
+				w.rec.StealHit(vid, nTasks)
+			}
+			w.sticky = int32(vid)
+			v.targeted.Store(false) // §4: work left the victim's public part
+			t := w.stealBuf[0]
+			for i := 1; i < nTasks; i++ {
+				w.pushNoTag(w.stealBuf[i])
+				w.stealBuf[i] = nil
+			}
+			w.stealBuf[0] = nil
+			return t
+		case deque.PrivateWork:
+			w.ctr.Inc(counters.StealPrivate)
+			w.notify(v)
+		case deque.Abort:
+			w.ctr.Inc(counters.StealAbort)
+		case deque.Empty:
+			w.sticky = -1
+			w.ctr.Inc(counters.StealEmpty)
+		}
+		return nil
+	}
+	t, res := v.dq.TakeTopRelaxed(cl, taskIsIdempotent, w.ctr)
+	switch res {
+	case deque.Stolen:
+		w.ctr.Inc(counters.StealSuccess)
+		if w.rec != nil {
+			w.rec.StealHit(vid, 1)
+		}
+		v.targeted.Store(false) // §4: a task left the victim's public part
 		return t
 	case deque.PrivateWork:
 		w.ctr.Inc(counters.StealPrivate)
@@ -835,7 +955,7 @@ func (w *Worker) notify(v *Worker) {
 	case USLCWS, LaceWS:
 		w.traceExposeReq(v)
 		v.targeted.Store(true)
-	case SignalLCWS, HalfLCWS:
+	case SignalLCWS, HalfLCWS, MultFree:
 		if v.targeted.CompareAndSwap(false, true) {
 			w.traceSignalSend(v)
 			v.pending.Store(true)

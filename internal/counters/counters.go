@@ -99,6 +99,16 @@ const (
 	// dropped for GC because the shard was also full are included —
 	// they left the freelist either way).
 	FreelistReturn
+	// RelaxedSteal counts tasks claimed through the MultFree relaxed
+	// (fence- and CAS-free) steal path, per task: TakeTopRelaxed adds 1,
+	// a relaxed batch claim adds its batch size. Zero outside MultFree.
+	RelaxedSteal
+	// TaskDuplicated counts task executions absorbed as duplicates under
+	// MultFree's bounded multiplicity: a claimant that lost the
+	// generation-stamp arbitration (or found the task already completed)
+	// counts here instead of TaskExecuted, so completion accounting
+	// stays exact. Zero outside MultFree.
+	TaskDuplicated
 
 	numEvents
 )
@@ -131,6 +141,8 @@ var eventNames = [...]string{
 	TaskSpilled:      "tasks_spilled",
 	FreelistRefill:   "freelist_refills",
 	FreelistReturn:   "freelist_returns",
+	RelaxedSteal:     "relaxed_steals",
+	TaskDuplicated:   "tasks_duplicated",
 }
 
 // String returns the snake_case name of the event.

@@ -82,3 +82,36 @@ const (
 	// WS pop_bottom.
 	WSBatchPopCAS = 1
 )
+
+// MultFree extension (the relaxed policy of Castañeda & Piña,
+// arXiv 2008.04424, adapted to the split deque). The steal side is fully
+// read/write — a relaxed claim is one plain load of the cursor plus one
+// plain store, so a successful TakeTopRelaxed costs no fence and no CAS.
+// What the policy pays instead (the Rito & Paulino trade-off): the owner
+// folds honored claims into top with one CAS at each public-boundary
+// operation (Expose/UnexposeAll, only when there is something to fold),
+// thieves that hit a non-idempotent task fall back to the exclusive
+// LCWSStealCAS claim, and every relaxed-eligible task execution performs
+// one generation-stamp arbitration CAS so bounded multiplicity cannot
+// double-count completions:
+//
+//	take_top_relaxed     : 0 fences + 0 CAS (plain read/write claim)
+//	                       — falls back to LCWSStealCAS for tasks the
+//	                       scheduler cannot prove idempotent
+//	repair (owner fold)  : 1 CAS per fold attempt (MultFreeRepairCAS);
+//	                       nothing when the cursor is stale or behind top
+//	execute (range task) : 1 CAS per execution-claim arbitration
+//	                       (MultFreeExecCAS), on the executor, not the
+//	                       steal path
+const (
+	// MultFreeStealFences is the fence cost of a relaxed steal: none.
+	MultFreeStealFences = 0
+	// MultFreeStealCAS is the CAS cost of a relaxed steal: none.
+	MultFreeStealCAS = 0
+	// MultFreeRepairCAS is the CAS cost of an owner-side cursor fold
+	// (repairRelaxed) that found an honored claim to fold.
+	MultFreeRepairCAS = 1
+	// MultFreeExecCAS is the CAS cost of the execution-claim arbitration
+	// each relaxed-eligible task pays once per claimant under MultFree.
+	MultFreeExecCAS = 1
+)

@@ -88,6 +88,20 @@ func (m ExposeMode) String() string {
 	}
 }
 
+// RelClaim is a thief's private claim memory for one victim under the
+// relaxed (MultFree) steal protocol. It records one past the highest
+// absolute deque index this thief has ever claimed from that victim;
+// because a relaxed deque never resets or reuses an exposed absolute
+// index, keeping the memory monotone guarantees the thief returns each
+// task at most once, which caps a task's total multiplicity at the
+// number of thieves. The zero value is ready to use. Single-writer: only
+// the owning thief reads or writes it.
+//
+//lcws:manifest
+type RelClaim struct {
+	next uint64 //lcws:field owner(SplitDeque) — one past the highest index claimed; advanced by the thief through the deque's relaxed claim methods
+}
+
 // age packs the top index (low 32 bits) and the ABA tag (high 32 bits)
 // into the single word that PopTop CASes.
 func packAge(top, tag uint32) uint64 { return uint64(tag)<<32 | uint64(top) }

@@ -1,0 +1,285 @@
+package deque
+
+import (
+	"testing"
+
+	"lcws/internal/counters"
+)
+
+// Tests for the MultFree relaxed claim protocol: TakeTopRelaxed /
+// TakeTopHalfRelaxed, the owner-side repair fold, and the recycling
+// gate. These cover what is sequentially reachable through the public
+// API — the claim arithmetic, the pinned fallback, the monotone claim
+// memory, and the fence/CAS accounting against the MultFree counting
+// model (internal/counters/model.go). The concurrency properties (the
+// multiplicity bound under arbitrary interleavings, the necessity of
+// the repair fold) are proved exhaustively in internal/verify and
+// exercised under -race by the scheduler-level stress tests.
+
+func newRelaxed(t *testing.T) *SplitDeque[int] {
+	t.Helper()
+	return NewSplitRelaxed[int](16, 64, true)
+}
+
+// exposeAll publishes the entire private part.
+func exposeAll(d *SplitDeque[int], c *counters.Worker) {
+	for d.PrivateSize() > 0 {
+		d.Expose(ExposeHalf, c)
+	}
+}
+
+func alwaysIdempotent(*int) bool { return true }
+
+func neverIdempotent(*int) bool { return false }
+
+func TestRelaxedStealDrainsOldestFirst(t *testing.T) {
+	d := newRelaxed(t)
+	owner, thief := newCtr(), newCtr()
+	push(t, d, owner, 1, 2, 3, 4)
+	exposeAll(d, owner)
+	var cl RelClaim
+	for want := 1; want <= 4; want++ {
+		got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, thief)
+		if res != Stolen || got == nil || *got != want {
+			t.Fatalf("relaxed steal %d = %v, %v; want %d, stolen", want, got, res, want)
+		}
+	}
+	if _, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, thief); res != Empty {
+		t.Fatalf("steal from drained deque = %v, want empty", res)
+	}
+}
+
+func TestRelaxedStealAccounting(t *testing.T) {
+	// Model: a relaxed claim costs MultFreeStealFences fences and
+	// MultFreeStealCAS CAS (both zero) and counts one relaxed steal per
+	// task; the owner's reclaim pays MultFreeRepairCAS for the cursor
+	// fold on top of its usual cost (here the all-stolen path, which
+	// pays nothing further).
+	d := newRelaxed(t)
+	owner, thief := newCtr(), newCtr()
+	push(t, d, owner, 1, 2, 3, 4)
+	exposeAll(d, owner)
+	var cl RelClaim
+	for i := 0; i < 4; i++ {
+		if _, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, thief); res != Stolen {
+			t.Fatalf("steal %d = %v, want stolen", i, res)
+		}
+	}
+	if f, cas := syncOf(thief); f != 4*counters.MultFreeStealFences || cas != 4*counters.MultFreeStealCAS {
+		t.Errorf("4 relaxed steals cost (%d fences, %d CAS), want (0, 0)", f, cas)
+	}
+	if got := thief.Get(counters.RelaxedSteal); got != 4 {
+		t.Errorf("relaxed_steals = %d, want 4", got)
+	}
+	of, ocas := syncOf(owner)
+	if of != 0 || ocas != 0 {
+		t.Fatalf("owner pre-reclaim sync (%d, %d), want (0, 0)", of, ocas)
+	}
+	if n := d.UnexposeAll(owner); n != 0 {
+		t.Errorf("UnexposeAll reclaimed %d claimed tasks, want 0", n)
+	}
+	if f, cas := syncOf(owner); f != 0 || cas != counters.MultFreeRepairCAS {
+		t.Errorf("reclaim after full drain cost (%d fences, %d CAS), want (0, %d)",
+			f, cas, counters.MultFreeRepairCAS)
+	}
+}
+
+func TestRelaxedPinnedFallbackCAS(t *testing.T) {
+	// A non-idempotent task at the authoritative top is claimed through
+	// the exclusive CAS (priced like any LCWS steal); above top the
+	// thief must abort rather than claim it without exclusion.
+	d := newRelaxed(t)
+	owner, thief := newCtr(), newCtr()
+	push(t, d, owner, 1, 2)
+	exposeAll(d, owner)
+	var cl RelClaim
+	got, res := d.TakeTopRelaxed(&cl, neverIdempotent, thief)
+	if res != Stolen || got == nil || *got != 1 {
+		t.Fatalf("pinned steal at top = %v, %v; want 1, stolen", got, res)
+	}
+	if f, cas := syncOf(thief); f != 0 || cas != counters.LCWSStealCAS {
+		t.Errorf("pinned steal cost (%d fences, %d CAS), want (0, %d)", f, cas, counters.LCWSStealCAS)
+	}
+	if got := thief.Get(counters.RelaxedSteal); got != 0 {
+		t.Errorf("pinned steal counted %d relaxed steals, want 0", got)
+	}
+	// Make the thief's claim run ahead of top: one relaxed claim bumps
+	// cl past the authoritative top, so a subsequent non-idempotent
+	// claim is above top and must abort.
+	d2 := newRelaxed(t)
+	owner2, thief2 := newCtr(), newCtr()
+	push(t, d2, owner2, 1, 2)
+	exposeAll(d2, owner2)
+	var cl2 RelClaim
+	if _, res := d2.TakeTopRelaxed(&cl2, alwaysIdempotent, thief2); res != Stolen {
+		t.Fatalf("relaxed warm-up steal = %v, want stolen", res)
+	}
+	if _, res := d2.TakeTopRelaxed(&cl2, neverIdempotent, thief2); res != Abort {
+		t.Errorf("pinned claim above top = %v, want abort", res)
+	}
+}
+
+func TestRelaxedBatchClaim(t *testing.T) {
+	// One cursor store claims up to half of the public part (capped at
+	// the buffer), oldest-first, with zero fences and CAS.
+	d := newRelaxed(t)
+	owner, thief := newCtr(), newCtr()
+	push(t, d, owner, 1, 2, 3, 4, 5, 6, 7, 8)
+	exposeAll(d, owner)
+	buf := make([]*int, 4)
+	var cl RelClaim
+	n, res := d.TakeTopHalfRelaxed(buf, &cl, alwaysIdempotent, thief)
+	if res != Stolen || n != 4 {
+		t.Fatalf("batched relaxed claim = %d, %v; want 4, stolen", n, res)
+	}
+	for i := 0; i < n; i++ {
+		if *buf[i] != i+1 {
+			t.Errorf("batch[%d] = %d, want %d (oldest first)", i, *buf[i], i+1)
+		}
+	}
+	if f, cas := syncOf(thief); f != 0 || cas != 0 {
+		t.Errorf("batched relaxed claim cost (%d fences, %d CAS), want (0, 0)", f, cas)
+	}
+	if got := thief.Get(counters.RelaxedSteal); got != 4 {
+		t.Errorf("relaxed_steals = %d, want 4 (one per claimed task)", got)
+	}
+}
+
+func TestRelaxedBatchStopsAtPinned(t *testing.T) {
+	// The batch must not claim past a non-idempotent task: claiming it
+	// with a plain store would allow duplication of a task that cannot
+	// tolerate it.
+	d := newRelaxed(t)
+	owner, thief := newCtr(), newCtr()
+	vals := push(t, d, owner, 1, 2, 3, 4, 5, 6, 7, 8)
+	pinned := vals[2] // third-oldest task is non-idempotent
+	idem := func(p *int) bool { return p != pinned }
+	exposeAll(d, owner)
+	buf := make([]*int, 8)
+	var cl RelClaim
+	n, res := d.TakeTopHalfRelaxed(buf, &cl, idem, thief)
+	if res != Stolen || n != 2 {
+		t.Fatalf("batch into pinned task = %d, %v; want 2, stolen", n, res)
+	}
+	if *buf[0] != 1 || *buf[1] != 2 {
+		t.Errorf("batch claimed (%d, %d), want (1, 2)", *buf[0], *buf[1])
+	}
+	// The pinned task is now at the thief's claim == top? No: top is
+	// still 0 (no repair ran), the claim is 2, so a retry falls back to
+	// the exclusive path only at top — it must abort instead.
+	n, res = d.TakeTopHalfRelaxed(buf, &cl, idem, thief)
+	if res != Abort || n != 0 {
+		t.Errorf("batch at pinned non-top claim = %d, %v; want 0, abort", n, res)
+	}
+}
+
+func TestRelaxedUnexposeReclaimsOnlyUnclaimed(t *testing.T) {
+	// The repair fold runs before the reclaim, so claimed tasks are
+	// consumed and only the unclaimed suffix returns to the private
+	// part, where the owner pops it LIFO.
+	d := newRelaxed(t)
+	owner, thief := newCtr(), newCtr()
+	push(t, d, owner, 1, 2, 3)
+	exposeAll(d, owner)
+	var cl RelClaim
+	if got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, thief); res != Stolen || *got != 1 {
+		t.Fatalf("relaxed steal = %v, %v; want 1, stolen", got, res)
+	}
+	if n := d.UnexposeAll(owner); n != 2 {
+		t.Fatalf("UnexposeAll reclaimed %d, want 2 (the unclaimed tasks)", n)
+	}
+	for _, want := range []int{3, 2} {
+		got := d.PopBottom(owner)
+		if got == nil || *got != want {
+			t.Fatalf("PopBottom after reclaim = %v, want %d", got, want)
+		}
+	}
+	if got := d.PopBottom(owner); got != nil {
+		t.Fatalf("deque should be empty, popped %d", *got)
+	}
+}
+
+func TestRelaxedStaleCursorIgnoredAcrossEpochs(t *testing.T) {
+	// After an owner reclaim bumps the tag, the old cursor is stale: a
+	// later exposure must offer work from the authoritative top, not
+	// from the dead cursor, and a fresh thief must receive the new task.
+	d := newRelaxed(t)
+	owner, thief := newCtr(), newCtr()
+	push(t, d, owner, 1)
+	exposeAll(d, owner)
+	var cl RelClaim
+	if got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, thief); res != Stolen || *got != 1 {
+		t.Fatalf("epoch-1 steal = %v, %v; want 1, stolen", got, res)
+	}
+	d.UnexposeAll(owner) // folds the claim; cursor is now stale-tagged
+	push(t, d, owner, 2)
+	exposeAll(d, owner)
+	var fresh RelClaim
+	got, res := d.TakeTopRelaxed(&fresh, alwaysIdempotent, thief)
+	if res != Stolen || got == nil || *got != 2 {
+		t.Fatalf("epoch-2 steal = %v, %v; want 2, stolen", got, res)
+	}
+}
+
+func TestRelaxedClaimMemoryIsMonotone(t *testing.T) {
+	// A thief's claim memory never re-claims an index it already
+	// returned, even when the owner re-exposes the same absolute index
+	// range... which a relaxed deque never does: indices only grow. The
+	// observable contract is that repeated drains see strictly newer
+	// tasks.
+	d := newRelaxed(t)
+	owner, thief := newCtr(), newCtr()
+	var cl RelClaim
+	seen := map[int]int{}
+	for epoch := 0; epoch < 3; epoch++ {
+		push(t, d, owner, 10*epoch+1, 10*epoch+2)
+		exposeAll(d, owner)
+		for {
+			got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, thief)
+			if res != Stolen {
+				break
+			}
+			seen[*got]++
+		}
+		d.UnexposeAll(owner)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("thief saw %d distinct tasks, want 6: %v", len(seen), seen)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Errorf("task %d returned %d times in a sequential drain, want 1", v, n)
+		}
+	}
+}
+
+func TestRelaxedRecyclingGate(t *testing.T) {
+	// PushIndex/NeverExposed: an index that stayed private through its
+	// whole life may be recycled; any index the high-water mark of
+	// exposure has passed may not (a straggler's stale read could still
+	// observe the slot).
+	d := newRelaxed(t)
+	owner := newCtr()
+	v := 1
+	idx := d.PushIndex()
+	d.PushBottom(&v, owner)
+	if !d.NeverExposed(idx) {
+		t.Fatalf("private-only index %d reported as exposed", idx)
+	}
+	if d.PopBottom(owner) == nil {
+		t.Fatal("pop of private task failed")
+	}
+	if !d.NeverExposed(idx) {
+		t.Errorf("index %d never exposed but gate rejects recycling", idx)
+	}
+	idx2 := d.PushIndex()
+	d.PushBottom(&v, owner)
+	exposeAll(d, owner)
+	if d.NeverExposed(idx2) {
+		t.Errorf("exposed index %d still reported never-exposed", idx2)
+	}
+	d.UnexposeAll(owner)
+	if d.NeverExposed(idx2) {
+		t.Errorf("reclaimed index %d must stay unrecyclable (stale thief reads)", idx2)
+	}
+}

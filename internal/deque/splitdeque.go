@@ -54,8 +54,23 @@ type SplitDeque[T any] struct {
 	publicBot atomic.Uint64 //lcws:field atomic — index below the bottom-most public task
 	age       atomic.Uint64 //lcws:field atomic — packed (top, tag)
 	raceFix   bool          //lcws:field immutable — use the §4 signal-safe pop_bottom
+	relaxed   bool          //lcws:field immutable — enable the MultFree relaxed-claim lane (TakeTopRelaxed + owner repair)
 	maxCap    uint64        //lcws:field immutable — growth ceiling; TryPushBottom fails beyond it
 	cachedTop uint64        //lcws:field owner — lower bound of top for the push window check; refreshed from age only when the window looks full
+	maxPub    uint64        //lcws:field owner — high-water mark of publicBot (relaxed only): indices below it may have been observed by a relaxed thief
+
+	// relNext is the relaxed-claim cursor of the MultFree steal protocol
+	// (Castañeda & Piña, arXiv 2008.04424): packed (idx, tag) like age.
+	// Thieves advance it with plain stores — no CAS, no fence on the
+	// steal side — so it may transiently rewind (a stalled thief's store
+	// landing late) or carry a stale tag (a store landing after an owner
+	// reclaim bumped the tag). Every reader therefore treats it as a hint:
+	// it is honored only when its tag matches the current age tag, and
+	// only as a max against the authoritative top and the thief's own
+	// monotone claim memory (RelClaim). The owner's repairRelaxed folds an
+	// honored cursor into top, which is what keeps multiplicity bounded
+	// across expose/unexpose epochs (see internal/verify).
+	relNext atomic.Uint64 //lcws:field atomic
 
 	// buf is the current array generation; grow publishes a doubled one.
 	// Readers load it *after* loading the age word: the slot content for
@@ -89,9 +104,23 @@ func NewSplit[T any](capacity int, raceFix bool) *SplitDeque[T] {
 // and floored at the initial capacity). At the ceiling TryPushBottom
 // returns false instead of growing.
 func NewSplitMax[T any](capacity, maxCapacity int, raceFix bool) *SplitDeque[T] {
+	return newSplit[T](capacity, maxCapacity, raceFix, false)
+}
+
+// NewSplitRelaxed is NewSplitMax with the MultFree relaxed-claim lane
+// enabled: thieves may steal through TakeTopRelaxed (plain read/write
+// claims, bounded multiplicity) and the owner-side boundary operations
+// (Expose, UnexposeAll) run the repairRelaxed cursor fold. The CAS steal
+// path (PopTop, PopTopHalf) remains available for non-idempotent tasks.
+func NewSplitRelaxed[T any](capacity, maxCapacity int, raceFix bool) *SplitDeque[T] {
+	return newSplit[T](capacity, maxCapacity, raceFix, true)
+}
+
+func newSplit[T any](capacity, maxCapacity int, raceFix, relaxed bool) *SplitDeque[T] {
 	n := uint64(normalizeCapacity(capacity))
 	d := &SplitDeque[T]{
 		raceFix: raceFix,
+		relaxed: relaxed,
 		maxCap:  normalizeMaxCapacity(maxCapacity, n),
 	}
 	bb := &splitBuf[T]{slots: make([]atomic.Pointer[T], n), mask: n - 1}
@@ -403,6 +432,156 @@ func (d *SplitDeque[T]) PopTopHalf(buf []*T, c *counters.Worker) (int, StealResu
 	return 0, Empty
 }
 
+// TakeTopRelaxed attempts to steal the top-most unclaimed public task
+// with the MultFree relaxed-claim protocol: the claim is a plain store to
+// the relNext cursor — per the counting model the steal side executes no
+// fence and no CAS (the fully read/write steal of Castañeda & Piña). The
+// price is bounded multiplicity: because the claim is not atomic with its
+// validation, a task may be returned by more than one thief (at most once
+// per thief; internal/verify proves the bound exhaustively for the
+// modeled configurations). cl is this thief's private, monotone claim
+// memory for this victim: it guarantees the thief never returns the same
+// claim index twice, which — together with the owner repair and the fact
+// that a relaxed deque never reuses an exposed absolute index (the owner
+// reclaims exclusively through tag-bumping operations and the deque never
+// resets its indices) — is what bounds a task's multiplicity by the
+// number of thieves.
+//
+// idempotent gates eligibility per task: when the claimed slot fails the
+// predicate (a non-idempotent Fork2 closure), the thief falls back to the
+// exclusive CAS claim of PopTop — possible only when the claim is the
+// authoritative top — so non-idempotent tasks are never duplicated.
+//
+//lcws:noalloc
+func (d *SplitDeque[T]) TakeTopRelaxed(cl *RelClaim, idempotent func(*T) bool, c *counters.Worker) (*T, StealResult) {
+	oldAge := d.age.Load()
+	top, tag := unpackAge(oldAge)
+	claim := uint64(top)
+	if rIdx, rTag := unpackAge(d.relNext.Load()); rTag == tag && uint64(rIdx) > claim {
+		claim = uint64(rIdx)
+	}
+	if cl.next > claim {
+		claim = cl.next
+	}
+	pb := d.publicBot.Load()
+	if claim >= pb {
+		if pb < d.bot.Load() {
+			return nil, PrivateWork
+		}
+		return nil, Empty
+	}
+	task := d.loadSlot(claim)
+	if !idempotent(task) {
+		// Exclusive claim required; only the real top can be CASed.
+		if claim != uint64(top) {
+			return nil, Abort
+		}
+		c.Add(counters.CAS, counters.LCWSStealCAS)
+		if d.age.CompareAndSwap(oldAge, packAge(top+1, tag)) {
+			cl.next = claim + 1
+			return task, Stolen
+		}
+		return nil, Abort
+	}
+	// The relaxed claim: one plain store, accounted at
+	// MultFreeStealFences/MultFreeStealCAS (both zero). A store that lands
+	// after an owner reclaim carries a stale tag and is ignored by every
+	// reader, so it cannot corrupt the cursor; this thief still returns
+	// the task it read, which is exactly the bounded-multiplicity window.
+	d.relNext.Store(packAge(uint32(claim)+1, tag))
+	cl.next = claim + 1
+	c.Inc(counters.RelaxedSteal)
+	return task, Stolen
+}
+
+// TakeTopHalfRelaxed is the batched composition of TakeTopRelaxed with
+// PopTopHalf (WithStealBatch): it claims up to half of the unclaimed
+// public part with a single plain cursor store, writing the claimed tasks
+// into buf oldest-first and returning how many were claimed. The batch
+// stops at the first task that fails the idempotent predicate; if the
+// very first task fails it, the thief falls back to the exclusive batch
+// CAS of PopTopHalf when the claim is the authoritative top. Multiplicity
+// is bounded exactly as for TakeTopRelaxed — the batch rides on one
+// cursor advance, and cl keeps the thief's claims monotone.
+//
+//lcws:noalloc
+func (d *SplitDeque[T]) TakeTopHalfRelaxed(buf []*T, cl *RelClaim, idempotent func(*T) bool, c *counters.Worker) (int, StealResult) {
+	if len(buf) == 0 {
+		panic("deque: TakeTopHalfRelaxed requires a non-empty batch buffer")
+	}
+	oldAge := d.age.Load()
+	top, tag := unpackAge(oldAge)
+	claim := uint64(top)
+	if rIdx, rTag := unpackAge(d.relNext.Load()); rTag == tag && uint64(rIdx) > claim {
+		claim = uint64(rIdx)
+	}
+	if cl.next > claim {
+		claim = cl.next
+	}
+	pb := d.publicBot.Load()
+	if claim >= pb {
+		if pb < d.bot.Load() {
+			return 0, PrivateWork
+		}
+		return 0, Empty
+	}
+	n := (pb - claim + 1) / 2 // round(avail/2), at least 1
+	if n > uint64(len(buf)) {
+		n = uint64(len(buf))
+	}
+	bb := d.buf.Load() // after the age load; see buf
+	k := uint64(0)
+	for k < n {
+		t := bb.slots[(claim+k)&bb.mask].Load()
+		if !idempotent(t) {
+			break
+		}
+		buf[k] = t
+		k++
+	}
+	if k == 0 {
+		// The oldest unclaimed task is non-idempotent: take the exclusive
+		// batch path when the claim is the real top, otherwise leave it
+		// for a CAS thief or the owner.
+		if claim != uint64(top) {
+			return 0, Abort
+		}
+		return d.PopTopHalf(buf, c)
+	}
+	d.relNext.Store(packAge(uint32(claim+k), tag))
+	cl.next = claim + k
+	c.Add(counters.RelaxedSteal, k)
+	return int(k), Stolen
+}
+
+// repairRelaxed is the owner-side repair of the MultFree protocol
+// ("put/take-back" in Castañeda & Piña's terms): it folds an honored
+// relaxed-claim cursor into the authoritative top with a tag-preserving
+// CAS, so that relaxed-claimed tasks are recognized as consumed before
+// the owner reclaims or re-exposes public work. Without this fold a
+// reclaim would return claimed tasks to the private part and a later
+// Expose would offer them to thieves again, growing multiplicity with
+// every expose/unexpose epoch — the negative model in internal/verify
+// shows exactly that unbounded counterexample. The CAS races concurrent
+// exclusive (fn-task) steals; on failure the fold retries against the
+// advanced top. Stale-tagged or rewound cursors are simply not honored.
+//
+//lcws:noalloc
+func (d *SplitDeque[T]) repairRelaxed(c *counters.Worker) {
+	for {
+		oldAge := d.age.Load()
+		top, tag := unpackAge(oldAge)
+		rIdx, rTag := unpackAge(d.relNext.Load())
+		if rTag != tag || rIdx <= top {
+			return
+		}
+		c.Add(counters.CAS, counters.MultFreeRepairCAS)
+		if d.age.CompareAndSwap(oldAge, packAge(rIdx, tag)) {
+			return
+		}
+	}
+}
+
 // HasPublicWork reports whether the public part (racily) holds at least
 // one stealable task. Thieves use it in the parking lot's pre-park check.
 func (d *SplitDeque[T]) HasPublicWork() bool { return d.PublicSize() > 0 }
@@ -417,6 +596,9 @@ func (d *SplitDeque[T]) HasPublicWork() bool { return d.PublicSize() > 0 }
 //
 //lcws:noalloc
 func (d *SplitDeque[T]) Expose(mode ExposeMode, c *counters.Worker) int {
+	if d.relaxed {
+		d.repairRelaxed(c)
+	}
 	pb := d.publicBot.Load()
 	b := d.bot.Load()
 	if b < pb {
@@ -448,9 +630,32 @@ func (d *SplitDeque[T]) Expose(mode ExposeMode, c *counters.Worker) int {
 		return 0
 	}
 	d.publicBot.Store(pb + n)
+	if d.relaxed && pb+n > d.maxPub {
+		// Record the exposure high-water mark: any task at an absolute
+		// index below it may have been loaded by a relaxed thief whose
+		// claim is still in flight, so NeverExposed must say false for it
+		// forever (the owner core gates task recycling on this).
+		d.maxPub = pb + n
+	}
 	c.Add(counters.Exposure, n)
 	return int(n)
 }
+
+// PushIndex returns the absolute index the next PushBottom will occupy.
+// Owner-only; the MultFree core stamps it on each forked task so the
+// recycling gate (NeverExposed) can be checked when the task is freed.
+//
+//lcws:noalloc
+func (d *SplitDeque[T]) PushIndex() uint64 { return d.bot.Load() }
+
+// NeverExposed reports whether absolute index idx has never been inside
+// the public window of this (relaxed) deque. Owner-only. Conservative
+// under index reuse: an index once exposed reports false forever, even
+// for a later task that never went public — the cost is a GC-dropped
+// descriptor, never an unsound recycle.
+//
+//lcws:noalloc
+func (d *SplitDeque[T]) NeverExposed(idx uint64) bool { return idx >= d.maxPub }
 
 // UnexposeAll transfers every unstolen public task back to the private
 // part and returns how many were reclaimed. Only the owner may call it.
@@ -471,6 +676,11 @@ func (d *SplitDeque[T]) Expose(mode ExposeMode, c *counters.Worker) int {
 //
 //lcws:noalloc
 func (d *SplitDeque[T]) UnexposeAll(c *counters.Worker) int {
+	if d.relaxed {
+		// Fold honored relaxed claims into top first, so claimed tasks are
+		// treated as consumed and never reclaimed into the private part.
+		d.repairRelaxed(c)
+	}
 	for {
 		pb := d.publicBot.Load()
 		if pb == 0 {
@@ -522,13 +732,22 @@ func (d *SplitDeque[T]) PrivateSize() int {
 }
 
 // PublicSize returns the number of stealable tasks in the public part.
+// On a relaxed deque it discounts tasks already claimed through the
+// cursor (when the cursor's tag is current), so parked thieves and the
+// notify predicates do not chase work that has already been taken.
 func (d *SplitDeque[T]) PublicSize() int {
-	top, _ := unpackAge(d.age.Load())
+	top, tag := unpackAge(d.age.Load())
+	eff := uint64(top)
+	if d.relaxed {
+		if rIdx, rTag := unpackAge(d.relNext.Load()); rTag == tag && uint64(rIdx) > eff {
+			eff = uint64(rIdx)
+		}
+	}
 	pb := d.publicBot.Load()
-	if pb < uint64(top) {
+	if pb < eff {
 		return 0
 	}
-	return int(pb - uint64(top))
+	return int(pb - eff)
 }
 
 // HasTwoTasks reports whether the deque holds at least two tasks

@@ -23,34 +23,43 @@ package perf
 //     run, kept for human comparison in BENCH_fork.json; gates do not
 //     use it because raw nanoseconds do not transfer across hosts or
 //     load conditions.
+// MultFree postdates the freelist work, so it has no measured
+// pre-optimization commit; its entries inherit Signal's baseline, which
+// is the correct counterfactual — MultFree's no-steal fork path is
+// Signal's plus the recycling-stamp store, and the relaxed machinery is
+// steal-side only.
 var baselineNormPerFork = map[string]float64{
-	"spawn-tree/WS":     302.1,
-	"spawn-tree/USLCWS": 299.4,
-	"spawn-tree/Signal": 297.8,
-	"spawn-tree/Cons":   305.6,
-	"spawn-tree/Half":   306.9,
-	"spawn-tree/Lace":   298.4,
-	"pfor-sum/WS":       3659.8,
-	"pfor-sum/USLCWS":   3566.6,
-	"pfor-sum/Signal":   3662.2,
-	"pfor-sum/Cons":     3652.3,
-	"pfor-sum/Half":     3729.1,
-	"pfor-sum/Lace":     3712.6,
+	"spawn-tree/WS":       302.1,
+	"spawn-tree/USLCWS":   299.4,
+	"spawn-tree/Signal":   297.8,
+	"spawn-tree/Cons":     305.6,
+	"spawn-tree/Half":     306.9,
+	"spawn-tree/Lace":     298.4,
+	"spawn-tree/MultFree": 297.8,
+	"pfor-sum/WS":         3659.8,
+	"pfor-sum/USLCWS":     3566.6,
+	"pfor-sum/Signal":     3662.2,
+	"pfor-sum/Cons":       3652.3,
+	"pfor-sum/Half":       3729.1,
+	"pfor-sum/Lace":       3712.6,
+	"pfor-sum/MultFree":   3662.2,
 }
 
 var baselineNsPerFork = map[string]float64{
-	"spawn-tree/WS":     131.8,
-	"spawn-tree/USLCWS": 124.7,
-	"spawn-tree/Signal": 124.0,
-	"spawn-tree/Cons":   124.0,
-	"spawn-tree/Half":   126.1,
-	"spawn-tree/Lace":   124.7,
-	"pfor-sum/WS":       1635.4,
-	"pfor-sum/USLCWS":   1568.4,
-	"pfor-sum/Signal":   1617.4,
-	"pfor-sum/Cons":     1556.8,
-	"pfor-sum/Half":     1562.5,
-	"pfor-sum/Lace":     1620.9,
+	"spawn-tree/WS":       131.8,
+	"spawn-tree/USLCWS":   124.7,
+	"spawn-tree/Signal":   124.0,
+	"spawn-tree/Cons":     124.0,
+	"spawn-tree/Half":     126.1,
+	"spawn-tree/Lace":     124.7,
+	"spawn-tree/MultFree": 124.0,
+	"pfor-sum/WS":         1635.4,
+	"pfor-sum/USLCWS":     1568.4,
+	"pfor-sum/Signal":     1617.4,
+	"pfor-sum/Cons":       1556.8,
+	"pfor-sum/Half":       1562.5,
+	"pfor-sum/Lace":       1620.9,
+	"pfor-sum/MultFree":   1617.4,
 }
 
 // BaselineReferenceNsPerOp is the calibration kernel's cost on the quiet

@@ -35,6 +35,8 @@ import (
 	"time"
 
 	"lcws"
+	"lcws/internal/counters"
+	"lcws/internal/deque"
 )
 
 // Steal-benchmark dimensions; like the forkbench constants they are part
@@ -184,6 +186,255 @@ func MeasureStealLatency(pol lcws.Policy, batch bool, bursts, reps int) StealMod
 	return res
 }
 
+// ---- Relaxed (MultFree) steal-path operation cost ----
+//
+// The second steal-side quantity under test is the cost of the steal
+// path itself: what a thief pays per claimed task when draining a
+// fine-grained ParFor's range-task burst. The harness is a burst-drain
+// ping-pong over one relaxed split deque: the owner publishes a burst,
+// the thief drains it through one of the four steal operations, the
+// owner reclaims (UnexposeAll, the MultFree owner discipline) and
+// republishes; only the drain loop is timed. All paths run back-to-back
+// in the same process over the same deque, so the gate ratio cancels
+// machine speed, and a single-threaded drive keeps the measurement
+// reproducible on one-CPU CI hosts where the latency gates above must
+// skip.
+//
+// The four measured cells:
+//
+//	cas            PopTop             SignalLCWS's per-task exclusive claim
+//	cas-batch      PopTopHalf         the WithStealBatch compose of the same
+//	relaxed        TakeTopRelaxed     MultFree's single relaxed claim
+//	relaxed-batch  TakeTopHalfRelaxed MultFree's WithStealBatch compose
+//
+// The gate compares each policy's fine-grained ParFor steal
+// configuration: MultFree composed with the steal batch (relaxed-batch,
+// the configuration the policy ships for throughput work — one plain
+// cursor store claims up to stealBatchSize tasks with no CAS validation
+// window) against SignalLCWS's standard exclusive claim (cas). The
+// single-claim cells are reported alongside for transparency: in Go on
+// x86 an atomic store compiles to XCHG — itself a full barrier costing
+// nearly a CAS — so the single relaxed claim is time-parity with the
+// exclusive one (the C++ counting model's fence/CAS elimination, which
+// the counters here do show, does not translate to single-op wall time
+// in Go). The family's wall-time win is the abort-free batch
+// amortization the relaxed cursor makes safe; its contention win (no
+// CAS retries) needs real parallelism and shows in the counting model
+// instead.
+
+// Relaxed steal-op benchmark dimensions.
+const (
+	// DefaultStealOpRounds is the number of publish/drain rounds per
+	// repetition.
+	DefaultStealOpRounds = 128
+	// DefaultStealOpBurst is the number of tasks per published burst.
+	DefaultStealOpBurst = 256
+	// DefaultStealOpReps is the number of repetitions the minimum is
+	// taken over.
+	DefaultStealOpReps = 5
+	// StealOpBatch is the batch-cell claim cap, matching the core
+	// scheduler's stealBatchSize.
+	StealOpBatch = 8
+)
+
+// RelaxedStealSpeedupGate is the minimum per-steal speedup MultFree's
+// ParFor steal path (the batched relaxed claim) must show over
+// SignalLCWS's (the exclusive claim) on the burst-drain harness — the
+// acceptance gate of stealbench_test.go and of CI's bench-smoke job.
+const RelaxedStealSpeedupGate = 1.15
+
+// StealOpResult is one steal-path measurement of the burst-drain
+// harness.
+type StealOpResult struct {
+	// Path is "cas", "cas-batch", "relaxed" or "relaxed-batch" (see the
+	// cell table above).
+	Path string `json:"path"`
+	// NsPerSteal is the best repetition's mean nanoseconds per claimed
+	// task over the drain loops.
+	NsPerSteal float64 `json:"ns_per_steal"`
+	// Steals is the number of tasks claimed per repetition.
+	Steals uint64 `json:"steals"`
+	// Ops is the number of steal operations the drain needed per
+	// repetition (Steals/Ops is the realized batch amortization).
+	Ops uint64 `json:"ops"`
+	// CAS, Fences and RelaxedSteals are the thief's counters accumulated
+	// over all repetitions: they prove which synchronization the drain
+	// actually paid (the relaxed cells must show zero CAS and fences).
+	CAS           uint64 `json:"cas"`
+	Fences        uint64 `json:"fences"`
+	RelaxedSteals uint64 `json:"relaxed_steals"`
+	// Rounds, Burst and Reps record the methodology parameters.
+	Rounds int `json:"rounds"`
+	Burst  int `json:"burst"`
+	Reps   int `json:"reps"`
+}
+
+// MeasureStealOpCost runs the burst-drain harness over one steal path:
+// relaxed selects the MultFree claim, batch > 1 selects the batched
+// (WithStealBatch) compose with that claim cap. Zero rounds/burst/reps
+// select the defaults.
+func MeasureStealOpCost(relaxed bool, batch, rounds, burst, reps int) StealOpResult {
+	if rounds <= 0 {
+		rounds = DefaultStealOpRounds
+	}
+	if burst <= 0 {
+		burst = DefaultStealOpBurst
+	}
+	if reps <= 0 {
+		reps = DefaultStealOpReps
+	}
+	path := "cas"
+	if relaxed {
+		path = "relaxed"
+	}
+	if batch > 1 {
+		path += "-batch"
+	}
+	res := StealOpResult{Path: path, Rounds: rounds, Burst: burst, Reps: reps}
+
+	d := deque.NewSplitRelaxed[int](1024, 1<<20, true)
+	payload := make([]int, burst)
+	var buf []*int
+	if batch > 1 {
+		buf = make([]*int, batch)
+	}
+	var ownerC, thiefC counters.Worker
+	var cl deque.RelClaim
+	idem := func(*int) bool { return true }
+	var sink *int
+	first := true
+	for rep := 0; rep < reps; rep++ {
+		var elapsed time.Duration
+		var steals, ops uint64
+		for r := 0; r < rounds; r++ {
+			for i := range payload {
+				d.PushBottom(&payload[i], &ownerC)
+			}
+			for d.PrivateSize() > 0 {
+				d.Expose(deque.ExposeHalf, &ownerC)
+			}
+			start := time.Now()
+			switch {
+			case relaxed && batch > 1:
+				for {
+					n, sr := d.TakeTopHalfRelaxed(buf, &cl, idem, &thiefC)
+					if sr != deque.Stolen {
+						break
+					}
+					sink = buf[n-1]
+					steals += uint64(n)
+					ops++
+				}
+			case relaxed:
+				for {
+					t, sr := d.TakeTopRelaxed(&cl, idem, &thiefC)
+					if sr != deque.Stolen {
+						break
+					}
+					sink = t
+					steals++
+					ops++
+				}
+			case batch > 1:
+				for {
+					n, sr := d.PopTopHalf(buf, &thiefC)
+					if sr != deque.Stolen {
+						break
+					}
+					sink = buf[n-1]
+					steals += uint64(n)
+					ops++
+				}
+			default:
+				for {
+					t, sr := d.PopTop(&thiefC)
+					if sr != deque.Stolen {
+						break
+					}
+					sink = t
+					steals++
+					ops++
+				}
+			}
+			elapsed += time.Since(start)
+			d.UnexposeAll(&ownerC)
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(steals)
+		if first || ns < res.NsPerSteal {
+			first = false
+			res.NsPerSteal = ns
+			res.Steals = steals
+			res.Ops = ops
+		}
+	}
+	_ = sink
+	res.CAS = thiefC.Get(counters.CAS)
+	res.Fences = thiefC.Get(counters.Fence)
+	res.RelaxedSteals = thiefC.Get(counters.RelaxedSteal)
+	return res
+}
+
+// RelaxedRunResult is a scheduler-level MultFree run of a fine-grained
+// ParFor, recording the relaxed-steal traffic and the duplicate
+// executions the generation-stamp arbitration absorbed. The duplicate
+// rate is bounded by the model-checked multiplicity bound: each relaxed
+// steal window can hand at most one extra copy per thief to the
+// arbitration, so duplicates never exceed thieves x relaxed steals.
+type RelaxedRunResult struct {
+	// Workers is the scheduler size; Thieves = Workers-1.
+	Workers int `json:"workers"`
+	// Elements and Rounds size the ParFor workload (grain 1).
+	Elements int `json:"elements"`
+	Rounds   int `json:"rounds"`
+	// RelaxedSteals and TasksDuplicated are the run's scheduler stats.
+	RelaxedSteals   uint64 `json:"relaxed_steals"`
+	TasksDuplicated uint64 `json:"tasks_duplicated"`
+	// DuplicateRate is TasksDuplicated per relaxed steal (0 when no
+	// relaxed steal happened); the gate bound is Workers-1.
+	DuplicateRate float64 `json:"duplicate_rate"`
+	// SumOK reports that every ParFor element was executed exactly once
+	// per round despite the duplicated claims (the claimed-sum check).
+	SumOK bool `json:"sum_ok"`
+}
+
+// MeasureRelaxedDuplicateRate runs rounds of a grain-1 ParFor over elems
+// elements under MultFree and returns the run's relaxed-steal and
+// duplicate accounting. Zero workers/elems/rounds select 2 workers,
+// 1<<15 elements, 4 rounds.
+func MeasureRelaxedDuplicateRate(workers, elems, rounds int) RelaxedRunResult {
+	if workers <= 0 {
+		workers = 2
+	}
+	if elems <= 0 {
+		elems = 1 << 15
+	}
+	if rounds <= 0 {
+		rounds = 4
+	}
+	s := lcws.New(lcws.WithWorkers(workers), lcws.WithPolicy(lcws.MultFree), lcws.WithSeed(1))
+	var sum atomic.Int64
+	s.Run(func(ctx *lcws.Ctx) {
+		for r := 0; r < rounds; r++ {
+			lcws.ParFor(ctx, 0, elems, 1, func(_ *lcws.Ctx, i int) {
+				sum.Add(int64(i))
+			})
+		}
+	})
+	st := s.Stats()
+	res := RelaxedRunResult{
+		Workers:         workers,
+		Elements:        elems,
+		Rounds:          rounds,
+		RelaxedSteals:   st.RelaxedSteals,
+		TasksDuplicated: st.TasksDuplicated,
+		SumOK:           sum.Load() == int64(rounds)*int64(elems)*int64(elems-1)/2,
+	}
+	if res.RelaxedSteals > 0 {
+		res.DuplicateRate = float64(res.TasksDuplicated) / float64(res.RelaxedSteals)
+	}
+	return res
+}
+
 // StealReport is the machine-readable document written to
 // BENCH_steal.json.
 type StealReport struct {
@@ -198,14 +449,25 @@ type StealReport struct {
 	// batch-park mean latency — the ratio the regression gate compares
 	// against StealLatencySpeedupGate.
 	SpeedupFirstSteal float64 `json:"speedup_first_steal"`
+	// SpeedupRelaxedSteal is the CAS path's per-steal cost over the
+	// relaxed path's on the burst-drain harness — the ratio the
+	// regression gate compares against RelaxedStealSpeedupGate.
+	SpeedupRelaxedSteal float64 `json:"speedup_relaxed_steal"`
 	// Results holds every policy × mode measurement.
 	Results []StealModeResult `json:"results"`
+	// StealOps holds the per-path steal-operation cost measurements.
+	StealOps []StealOpResult `json:"steal_ops"`
+	// RelaxedRun is the scheduler-level MultFree duplicate accounting.
+	RelaxedRun RelaxedRunResult `json:"relaxed_run"`
 }
 
-// NewStealReport measures the ping-pong for the WS and SignalLCWS
-// policies in both idle modes. WS isolates the parking-lot effect (no
-// exposure step); SignalLCWS measures the full post-exposure path
-// (notify, handler, expose, wake).
+// NewStealReport measures the ping-pong for the WS, SignalLCWS and
+// MultFree policies in both idle modes, the steal-operation cost of the
+// CAS and relaxed claim paths, and the scheduler-level MultFree
+// duplicate accounting. WS isolates the parking-lot effect (no exposure
+// step); SignalLCWS measures the full post-exposure path (notify,
+// handler, expose, wake); MultFree adds the relaxed claim on top of the
+// same signal protocol.
 func NewStealReport(bursts, reps int) StealReport {
 	rep := StealReport{
 		Schema:     "lcws-stealbench/v1",
@@ -214,7 +476,7 @@ func NewStealReport(bursts, reps int) StealReport {
 		QuiesceNs:  StealQuiesce.Nanoseconds(),
 	}
 	var wsLadder, wsPark float64
-	for _, pol := range []lcws.Policy{lcws.WS, lcws.SignalLCWS} {
+	for _, pol := range []lcws.Policy{lcws.WS, lcws.SignalLCWS, lcws.MultFree} {
 		for _, batch := range []bool{false, true} {
 			r := MeasureStealLatency(pol, batch, bursts, reps)
 			if pol == lcws.WS {
@@ -230,5 +492,14 @@ func NewStealReport(bursts, reps int) StealReport {
 	if wsPark > 0 {
 		rep.SpeedupFirstSteal = wsLadder / wsPark
 	}
+	cas := MeasureStealOpCost(false, 0, 0, 0, 0)
+	casBatch := MeasureStealOpCost(false, StealOpBatch, 0, 0, 0)
+	rel := MeasureStealOpCost(true, 0, 0, 0, 0)
+	relBatch := MeasureStealOpCost(true, StealOpBatch, 0, 0, 0)
+	rep.StealOps = []StealOpResult{cas, casBatch, rel, relBatch}
+	if relBatch.NsPerSteal > 0 {
+		rep.SpeedupRelaxedSteal = cas.NsPerSteal / relBatch.NsPerSteal
+	}
+	rep.RelaxedRun = MeasureRelaxedDuplicateRate(0, 0, 0)
 	return rep
 }

@@ -88,6 +88,86 @@ func TestStealPathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestRelaxedStealOpSpeedup is the MultFree performance gate: on the
+// fine-grained burst-drain harness, MultFree's ParFor steal path (the
+// batched relaxed claim — one plain cursor store per up to
+// StealOpBatch tasks, no CAS validation window) must be at least
+// RelaxedStealSpeedupGate times cheaper per stolen task than
+// SignalLCWS's exclusive claim. Unlike the latency gates above the
+// harness is single-threaded by design — it measures the steal path's
+// instruction cost, not wake latency — so it runs on one-CPU hosts too.
+func TestRelaxedStealOpSpeedup(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("timing is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("steal-op measurement needs its full rounds")
+	}
+	cas := MeasureStealOpCost(false, 0, 0, 0, 0)
+	rel := MeasureStealOpCost(true, StealOpBatch, 0, 0, 0)
+	if cas.Steals == 0 || rel.Steals == 0 || rel.NsPerSteal <= 0 {
+		t.Fatalf("degenerate measurement: cas=%+v relaxed=%+v", cas, rel)
+	}
+	want := uint64(cas.Rounds * cas.Burst)
+	if cas.Steals != want || rel.Steals != want {
+		t.Fatalf("drain incomplete: cas stole %d, relaxed-batch stole %d, want %d per repetition",
+			cas.Steals, rel.Steals, want)
+	}
+	speedup := cas.NsPerSteal / rel.NsPerSteal
+	t.Logf("per-steal cost: cas %.1fns, relaxed-batch %.1fns over %d ops (%.2fx)",
+		cas.NsPerSteal, rel.NsPerSteal, rel.Ops, speedup)
+	if speedup < RelaxedStealSpeedupGate {
+		t.Errorf("MultFree steal %.1fns/task is only %.2fx cheaper than Signal's %.1fns, want >= %.2fx",
+			rel.NsPerSteal, speedup, cas.NsPerSteal, RelaxedStealSpeedupGate)
+	}
+}
+
+// TestRelaxedStealOpFenceFree checks the harness measures what it
+// claims: both relaxed drains must pay zero CAS and zero fences (every
+// claim through the cursor store, counted per task as relaxed steals),
+// and the CAS drains must pay one CAS per claim operation with no
+// relaxed claims. Counter profiles need no timing validity, so this
+// runs everywhere.
+func TestRelaxedStealOpFenceFree(t *testing.T) {
+	for _, batch := range []int{0, StealOpBatch} {
+		rel := MeasureStealOpCost(true, batch, 8, 64, 1)
+		if rel.CAS != 0 || rel.Fences != 0 {
+			t.Errorf("%s: drain paid synchronization: cas=%d fences=%d, want 0/0", rel.Path, rel.CAS, rel.Fences)
+		}
+		if rel.RelaxedSteals != rel.Steals {
+			t.Errorf("%s: claimed %d tasks but counted %d relaxed steals", rel.Path, rel.Steals, rel.RelaxedSteals)
+		}
+		cas := MeasureStealOpCost(false, batch, 8, 64, 1)
+		if cas.CAS < cas.Ops {
+			t.Errorf("%s: counted %d CAS for %d claim ops, want >= one per op", cas.Path, cas.CAS, cas.Ops)
+		}
+		if cas.RelaxedSteals != 0 {
+			t.Errorf("%s: counted %d relaxed steals, want 0", cas.Path, cas.RelaxedSteals)
+		}
+	}
+}
+
+// TestRelaxedDuplicateRateBounded is the scheduler-level MultFree gate:
+// a fine-grained ParFor's absorbed duplicates must stay within the
+// model-checked multiplicity bound — at most thieves (= workers-1)
+// duplicates per relaxed steal window — and the claimed-sum check must
+// prove every element still executed exactly once per round.
+func TestRelaxedDuplicateRateBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("duplicate-rate run needs its full workload")
+	}
+	r := MeasureRelaxedDuplicateRate(0, 0, 0)
+	t.Logf("MultFree run: %d relaxed steals, %d duplicates absorbed (rate %.4f, bound %d)",
+		r.RelaxedSteals, r.TasksDuplicated, r.DuplicateRate, r.Workers-1)
+	if !r.SumOK {
+		t.Errorf("ParFor sum wrong under MultFree: duplicates were not absorbed before execution")
+	}
+	if bound := uint64(r.Workers-1) * r.RelaxedSteals; r.TasksDuplicated > bound {
+		t.Errorf("%d duplicates exceed the multiplicity bound thieves x relaxed-steals = %d",
+			r.TasksDuplicated, bound)
+	}
+}
+
 // TestStealBenchExercisesParkingLot checks the measurement measures what
 // it claims: in batch mode the bursts must be served through the parking
 // lot (parks and wakeups observed), and in the baseline the parking-lot

@@ -93,6 +93,10 @@ const (
 	// capacity to the per-worker overflow list; Arg is the number of
 	// tasks spilled.
 	EvSpill
+	// EvDuplicate records a duplicate execution claim absorbed by the
+	// MultFree generation-stamp arbitration: the recording worker held a
+	// relaxed-obtained task another claimant already won.
+	EvDuplicate
 
 	numEventTypes
 )
@@ -118,6 +122,7 @@ var eventTypeNames = [NumEventTypes]string{
 	EvJobSwitch:    "job.switch",
 	EvGrow:         "deque.grow",
 	EvSpill:        "spill",
+	EvDuplicate:    "duplicate",
 }
 
 // String returns the dotted lowercase name of the event type.
@@ -414,6 +419,9 @@ func (r *Recorder) Grow(n int) { r.record(EvGrow, uint32(n), 0) }
 
 // Spill records n tasks spilled to the worker's overflow list.
 func (r *Recorder) Spill(n int) { r.record(EvSpill, uint32(n), 0) }
+
+// Duplicate records an absorbed duplicate execution claim (MultFree).
+func (r *Recorder) Duplicate() { r.record(EvDuplicate, 0, 0) }
 
 // JobSwitch records the worker switching to job id (0 = leaving job
 // context). Owner-only, like every recording method.

@@ -40,6 +40,11 @@ func Check(sc Scenario) Report {
 			return
 		}
 		seen[key] = struct{}{}
+		for rc := s.retCounts; rc != 0; rc >>= 4 {
+			if m := int(rc & 0xf); m > rep.MaxMultiplicity {
+				rep.MaxMultiplicity = m
+			}
+		}
 		if v := s.checkState(&sc); v != nil {
 			record(v)
 			return
@@ -49,6 +54,11 @@ func Check(sc Scenario) Report {
 		}
 		for tid := 0; tid < int(s.nthreads); tid++ {
 			if s.threadDone(&sc, tid) {
+				continue
+			}
+			// The AtomicClaims synchronous adversary: whole-attempt thief
+			// steps are schedulable only at owner operation boundaries.
+			if sc.AtomicClaims && tid > 0 && (s.th[0].phase != 0 || s.th[0].hphase != 0) {
 				continue
 			}
 			// The emulated signal can be delivered to the owner at any
@@ -109,11 +119,24 @@ func normalize(sc Scenario) Scenario {
 	if sc.SignalBudget < 0 || sc.SignalBudget > 255 {
 		panic("verify: signal budget out of range")
 	}
+	if sc.Relaxed {
+		if !sc.RaceFix {
+			panic("verify: relaxed scenarios require RaceFix (MultFree implies the §4 pop_bottom)")
+		}
+		if sc.StealHalf {
+			panic("verify: relaxed scenarios model the single-claim protocol; the batched variant rides on the same cursor store (see deque.TakeTopHalfRelaxed)")
+		}
+	} else if sc.RelaxedNoRepair || sc.RelaxedNoClaimMemory || sc.AtomicClaims || sc.Pinned != 0 {
+		panic("verify: relaxed knobs (NoRepair/NoClaimMemory/AtomicClaims/Pinned) require Relaxed")
+	}
 	grows := 0
 	for _, op := range sc.Owner {
 		switch op.Kind {
-		case OpPushBottom, OpPopBottom, OpPopPublicBottom, OpUpdatePublicBottom, OpDrain,
-			OpUnexposeAll, OpDrainBatch:
+		case OpPopPublicBottom, OpDrain:
+			if sc.Relaxed {
+				panic(fmt.Sprintf("verify: op %v violates the MultFree owner discipline (UnexposeAll-only reclaim; PopPublicBottom's emptying path resets absolute indices and would break the monotone claim memory)", op))
+			}
+		case OpPushBottom, OpPopBottom, OpUpdatePublicBottom, OpUnexposeAll, OpDrainBatch:
 		case OpGrow, OpGrowNaive:
 			grows++
 		default:

@@ -1,0 +1,238 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"lcws/internal/deque"
+)
+
+// These tests are the MultFree half of the model checker's CI duty: the
+// exhaustive multiplicity-bound proof for the relaxed (fence- and
+// CAS-free) claim protocol of deque.TakeTopRelaxed, the exactly-once
+// proof for pinned (non-idempotent) tasks, and the negative result that
+// justifies the owner-side repairRelaxed fold.
+//
+// The division of labour the tests establish:
+//
+//   - The per-thief monotone claim memory (deque.RelClaim) carries the
+//     worst-case bound: every task is returned at most Thieves+1 times
+//     under the UNRESTRICTED adversary — even with the repair ablated.
+//   - The owner repair fold carries exactly-once delivery for claims
+//     that have landed: under the synchronous adversary (AtomicClaims)
+//     it alone keeps even stateless thieves exactly-once, and ablating
+//     it lets every unexpose/re-expose epoch re-offer claimed work —
+//     multiplicity then grows with the number of epochs, which is the
+//     unbounded counterexample truncated to the model's bounds.
+
+// TestRelaxedDrainSingleThief is the basic positive result: a relaxed
+// thief racing the batch-discipline owner over two tasks never loses a
+// task, never exceeds the multiplicity bound, and the drain terminates
+// with consistent indices.
+func TestRelaxedDrainSingleThief(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:          "relaxed-drain-single-thief",
+		RaceFix:       true,
+		Relaxed:       true,
+		Owner:         []Op{Push(1), Push(2), UpdatePublicBottom(), DrainBatch()},
+		Thieves:       1,
+		StealAttempts: 2,
+		Expose:        deque.ExposeOne,
+		RequireDrain:  true,
+	})
+}
+
+// TestRelaxedInFlightDuplicateIsBounded pins down the protocol's
+// honest price: a relaxed claim suspended between its slot read and its
+// cursor store is invisible to the owner's repair fold, so the owner
+// can reclaim and re-execute the claimed task — the absorbed duplicate
+// the scheduler's generation-stamp arbitration pays for. The bound is
+// tight: the explorer must REACH multiplicity 2 (duplicates genuinely
+// occur) and must never exceed Thieves+1 = 2.
+func TestRelaxedInFlightDuplicateIsBounded(t *testing.T) {
+	r := mustClean(t, Scenario{
+		Name:          "relaxed-inflight-duplicate-bounded",
+		RaceFix:       true,
+		Relaxed:       true,
+		Owner:         []Op{Push(1), UpdatePublicBottom(), DrainBatch()},
+		Thieves:       1,
+		StealAttempts: 2,
+		Expose:        deque.ExposeOne,
+		RequireDrain:  true,
+	})
+	if r.MaxMultiplicity != 2 {
+		t.Errorf("MaxMultiplicity = %d, want 2: the in-flight claim window must make the owner "+
+			"re-execute the claimed task in some schedule (bound tightness)", r.MaxMultiplicity)
+	}
+}
+
+// TestRelaxedSignalProtocolTwoThieves runs the full signal regime —
+// thieves notify on PRIVATE_WORK, the handler's Expose (with its repair
+// fold) fires at every possible owner micro-step boundary — with two
+// relaxed thieves over three tasks.
+func TestRelaxedSignalProtocolTwoThieves(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:          "relaxed-signal-two-thieves",
+		RaceFix:       true,
+		Relaxed:       true,
+		Owner:         []Op{Push(1), Push(2), Push(3), DrainBatch()},
+		Thieves:       2,
+		StealAttempts: 2,
+		Expose:        deque.ExposeHalf,
+		AutoSignal:    true,
+		SignalBudget:  2,
+		RequireDrain:  true,
+	})
+}
+
+// TestRelaxedPinnedNeverDuplicated checks the idempotence gate: pinned
+// tasks (the model's Fork2-closure stand-ins) must be returned exactly
+// once in every schedule. Relaxed thieves may take them only through
+// the exclusive CAS fallback, and only when the claim is the
+// authoritative top; the recordReturn oracle keeps the exactly-once
+// rule for them even though the surrounding scenario is relaxed.
+func TestRelaxedPinnedNeverDuplicated(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:          "relaxed-pinned-exactly-once",
+		RaceFix:       true,
+		Relaxed:       true,
+		Pinned:        Pin(1),
+		Owner:         []Op{Push(1), Push(2), UpdatePublicBottom(), UpdatePublicBottom(), DrainBatch()},
+		Thieves:       2,
+		StealAttempts: 2,
+		Expose:        deque.ExposeOne,
+		RequireDrain:  true,
+	})
+}
+
+// TestRelaxedClaimMemoryCarriesTheBound is the completeness half of the
+// protocol's correctness argument: under the UNRESTRICTED adversary
+// (claims suspended at any micro-step) and with the owner repair
+// ABLATED, the per-thief monotone claim memory alone still enforces
+// the Thieves+1 bound across three expose/unexpose epochs — the thief
+// never re-claims an index it already returned, because a relaxed
+// deque's absolute indices never reset.
+func TestRelaxedClaimMemoryCarriesTheBound(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:            "relaxed-claim-memory-carries-bound",
+		RaceFix:         true,
+		Relaxed:         true,
+		RelaxedNoRepair: true,
+		Owner: []Op{
+			Push(1),
+			UpdatePublicBottom(), UnexposeAll(),
+			UpdatePublicBottom(), UnexposeAll(),
+			UpdatePublicBottom(),
+			DrainBatch(),
+		},
+		Thieves:       1,
+		StealAttempts: 3,
+		Expose:        deque.ExposeOne,
+		RequireDrain:  true,
+	})
+}
+
+// TestRelaxedRepairExactlyOnceForStatelessThieves isolates what the
+// repair fold contributes. The adversary is synchronous (AtomicClaims:
+// every claim lands before the owner's next operation) and the thieves
+// are STATELESS (no claim memory — the model of "a fresh thief every
+// epoch", which is how multiplicity would grow without bound in a
+// system with unboundedly many thieves). With the repair fold on, every
+// landed claim is folded into top before the owner reclaims or
+// re-exposes, so even this adversary gets exactly-once delivery:
+// MaxMultiplicity must be exactly 1.
+func TestRelaxedRepairExactlyOnceForStatelessThieves(t *testing.T) {
+	r := mustClean(t, Scenario{
+		Name:                 "relaxed-repair-exactly-once-stateless",
+		RaceFix:              true,
+		Relaxed:              true,
+		RelaxedNoClaimMemory: true,
+		AtomicClaims:         true,
+		Owner: []Op{
+			Push(1),
+			UpdatePublicBottom(), UnexposeAll(),
+			UpdatePublicBottom(), UnexposeAll(),
+			UpdatePublicBottom(),
+			DrainBatch(),
+		},
+		Thieves:       1,
+		StealAttempts: 3,
+		Expose:        deque.ExposeOne,
+		RequireDrain:  true,
+	})
+	if r.MaxMultiplicity != 1 {
+		t.Errorf("MaxMultiplicity = %d, want 1: with the repair fold every landed claim is "+
+			"folded into top and never re-offered", r.MaxMultiplicity)
+	}
+}
+
+// TestRelaxedNoRepairBreaksTheBound is the negative result the owner
+// repair exists for: the SAME scenario as the test above with only the
+// repair ablated. Each UnexposeAll now reclaims the already-claimed
+// task (the stale-tagged cursor is ignored, top never advances past the
+// claim), each re-exposure offers it again, and a fresh (stateless)
+// claim per epoch drives the task's multiplicity past Thieves+1. The
+// checker must exhibit the counterexample, and its trace must show the
+// reclaim/re-expose epochs with repeated relaxed claims of one task.
+func TestRelaxedNoRepairBreaksTheBound(t *testing.T) {
+	r := Check(Scenario{
+		Name:                 "relaxed-no-repair-breaks-bound",
+		RaceFix:              true,
+		Relaxed:              true,
+		RelaxedNoRepair:      true,
+		RelaxedNoClaimMemory: true,
+		AtomicClaims:         true,
+		Owner: []Op{
+			Push(1),
+			UpdatePublicBottom(), UnexposeAll(),
+			UpdatePublicBottom(), UnexposeAll(),
+			UpdatePublicBottom(),
+			DrainBatch(),
+		},
+		Thieves:       1,
+		StealAttempts: 3,
+		Expose:        deque.ExposeOne,
+		RequireDrain:  true,
+	})
+	logReport(t, r)
+	if r.Truncated {
+		t.Fatalf("exploration truncated at %d states", r.States)
+	}
+	var mult *Violation
+	for i := range r.Violations {
+		if r.Violations[i].Kind == MultiplicityExceeded {
+			mult = &r.Violations[i]
+			break
+		}
+	}
+	if mult == nil {
+		t.Fatalf("model checker failed to show the bound breaks without the owner repair; found %v", r.Violations)
+	}
+	trace := strings.Join(mult.Trace, "\n")
+	if !strings.Contains(trace, "unexpose_all") {
+		t.Errorf("counterexample does not route through the un-repaired reclaim:\n%s", trace)
+	}
+	if n := strings.Count(trace, "RELAXED-STOLEN task 1"); n < 2 {
+		t.Errorf("counterexample shows %d relaxed claims of task 1, want >= 2 (one per re-expose epoch):\n%s", n, trace)
+	}
+	t.Logf("counterexample (%d steps):\n  %s", len(mult.Trace), strings.Join(mult.Trace, "\n  "))
+}
+
+// TestRelaxedLostTaskOracleLive keeps the no-lost-task oracle honest in
+// relaxed mode: an undrained relaxed scenario must be reported.
+func TestRelaxedLostTaskOracleLive(t *testing.T) {
+	r := Check(Scenario{
+		Name:          "relaxed-undrained",
+		RaceFix:       true,
+		Relaxed:       true,
+		Owner:         []Op{Push(1), UpdatePublicBottom()},
+		Thieves:       1,
+		StealAttempts: 1,
+		Expose:        deque.ExposeOne,
+		RequireDrain:  true,
+	})
+	logReport(t, r)
+	if kinds(r)[LostTask] == 0 {
+		t.Fatalf("expected a lost-task violation, got %v", r.Violations)
+	}
+}

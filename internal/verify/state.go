@@ -26,9 +26,14 @@ type thread struct {
 	// the batched PopTopHalf, whose slot-read loop needs a count and a
 	// cursor on top of the age/publicBot/ids registers.
 	r1, r2, r3, r4 uint64
-	// signal-handler frame (owner only)
+	// cl is the thief's private monotone claim memory (deque.RelClaim)
+	// for relaxed scenarios. Unlike the registers it survives operation
+	// boundaries: it is per-thief persistent state, not per-op scratch.
+	cl uint64
+	// signal-handler frame (owner only). h2 exists for the relaxed
+	// repair fold the handler's Expose runs before exposing.
 	hphase uint8
-	h1     uint64
+	h1, h2 uint64
 }
 
 // state is one node of the explored transition system. It is a value
@@ -45,6 +50,16 @@ type state struct {
 	sigBudget  uint8
 	pushed     uint16 // bitmask of pushed task ids
 	returned   uint16 // bitmask of returned task ids
+	// relNext is the relaxed-claim cursor, packed (tag<<32 | idx) like
+	// the age word, mirroring deque.SplitDeque.relNext (relaxed
+	// scenarios only; stays 0 otherwise).
+	relNext uint64
+	// retCounts packs a 4-bit return count per task id (nibble id holds
+	// how many times task id was returned). Relaxed scenarios return
+	// idempotent tasks more than once by design; the bitmask above
+	// detects first returns (lost-task oracle) while the counts carry
+	// the multiplicity-bound oracle.
+	retCounts uint64
 }
 
 func unpackAge(a uint64) (top, tag uint32) { return uint32(a), uint32(a >> 32) }
@@ -124,15 +139,35 @@ func (s *state) checkState(sc *Scenario) *Violation {
 	return nil
 }
 
-// recordReturn accounts a task id returned to some thread, detecting
-// duplicate returns.
-func (s *state) recordReturn(id uint8) *Violation {
+// recordReturn accounts a task id returned to some thread. In the
+// exclusive protocols any second return is a DuplicateTask violation.
+// In relaxed scenarios idempotent tasks may be returned more than once
+// by design; the oracle instead enforces the MultFree multiplicity
+// bound — at most Thieves+1 returns per task (each thief's monotone
+// claim memory admits one return per thief, plus at most one absorbed
+// owner re-execution from the fence-free claim window) — and keeps the
+// exactly-once rule for pinned (non-idempotent) tasks.
+func (s *state) recordReturn(sc *Scenario, id uint8) *Violation {
 	bit := uint16(1) << id
-	if s.returned&bit != 0 {
-		return &Violation{Kind: DuplicateTask,
-			Detail: fmt.Sprintf("task %d returned twice", id)}
-	}
+	shift := 4 * uint(id)
+	cnt := (s.retCounts>>shift)&0xf + 1
+	s.retCounts = s.retCounts&^(0xf<<shift) | cnt<<shift
 	s.returned |= bit
+	if !sc.Relaxed {
+		if cnt > 1 {
+			return &Violation{Kind: DuplicateTask,
+				Detail: fmt.Sprintf("task %d returned twice", id)}
+		}
+		return nil
+	}
+	if sc.Pinned&bit != 0 && cnt > 1 {
+		return &Violation{Kind: DuplicateTask,
+			Detail: fmt.Sprintf("non-idempotent task %d returned twice", id)}
+	}
+	if bound := uint64(sc.Thieves) + 1; cnt > bound {
+		return &Violation{Kind: MultiplicityExceeded,
+			Detail: fmt.Sprintf("task %d returned %d times, bound is thieves+1 = %d", id, cnt, bound)}
+	}
 	return nil
 }
 
@@ -140,7 +175,7 @@ func (s *state) recordReturn(id uint8) *Violation {
 // Identical thief threads are sorted, which quotients the search by
 // thief symmetry (thieves run identical programs and are never
 // distinguished by the properties we check).
-const threadKeyLen = 1 + 1 + 1 + 1 + 4*8
+const threadKeyLen = 1 + 1 + 1 + 1 + 5*8
 
 func (s *state) key() string {
 	// The whole maxSlots array is encoded (not just the initial
@@ -148,13 +183,17 @@ func (s *state) key() string {
 	// capacity hold live tasks. The mutable capacity itself is part of
 	// the state — two schedules that differ only in whether growth has
 	// been published are distinct.
-	buf := make([]byte, 0, 8*3+maxSlots+8+threadKeyLen*int(s.nthreads)+8)
+	buf := make([]byte, 0, 8*5+maxSlots+8+threadKeyLen*int(s.nthreads)+16)
 	var w [8]byte
 	binary.LittleEndian.PutUint64(w[:], s.bot)
 	buf = append(buf, w[:]...)
 	binary.LittleEndian.PutUint64(w[:], s.publicBot)
 	buf = append(buf, w[:]...)
 	binary.LittleEndian.PutUint64(w[:], s.age)
+	buf = append(buf, w[:]...)
+	binary.LittleEndian.PutUint64(w[:], s.relNext)
+	buf = append(buf, w[:]...)
+	binary.LittleEndian.PutUint64(w[:], s.retCounts)
 	buf = append(buf, w[:]...)
 	buf = append(buf, s.slots[:]...)
 	flags := byte(0)
@@ -171,11 +210,14 @@ func (s *state) key() string {
 		binary.LittleEndian.PutUint64(tb[12:], t.r2)
 		binary.LittleEndian.PutUint64(tb[20:], t.r3)
 		binary.LittleEndian.PutUint64(tb[28:], t.r4)
+		binary.LittleEndian.PutUint64(tb[36:], t.cl)
 		return tb
 	}
 	owner := encTh(&s.th[0])
 	buf = append(buf, owner[:]...)
 	binary.LittleEndian.PutUint64(w[:], s.th[0].h1)
+	buf = append(buf, w[:]...)
+	binary.LittleEndian.PutUint64(w[:], s.th[0].h2)
 	buf = append(buf, w[:]...)
 
 	nth := int(s.nthreads) - 1

@@ -20,6 +20,10 @@ func (s *state) step(sc *Scenario, tid int, deliver bool) (string, *Violation) {
 	t := &s.th[tid]
 	if deliver {
 		t.hphase = 1
+		if relaxedRepairOn(sc) {
+			// The handler's Expose runs the repairRelaxed fold first.
+			t.hphase = 4
+		}
 		s.sigPending = false
 		s.sigBudget--
 		return "owner: <exposure signal delivered>", nil
@@ -62,11 +66,19 @@ func (s *state) step(sc *Scenario, tid int, deliver bool) (string, *Violation) {
 			panic(fmt.Sprintf("verify: owner cannot run op %v", op))
 		}
 	}
+	if sc.Relaxed {
+		return s.relaxedTakeStep(sc, t, tid)
+	}
 	if sc.StealHalf {
 		return s.popTopHalfStep(sc, t, tid)
 	}
 	return s.popTopStep(sc, t, tid)
 }
+
+// relaxedRepairOn reports whether the owner's expose/reclaim ops run
+// the repairRelaxed cursor fold (the MultFree owner discipline, unless
+// a negative scenario ablates it).
+func relaxedRepairOn(sc *Scenario) bool { return sc.Relaxed && !sc.RelaxedNoRepair }
 
 // completeOwner finishes the owner's current op. returnedTask reports
 // whether the op returned a task — or, for UnexposeAll, reclaimed at
@@ -194,7 +206,7 @@ func (s *state) popBottomStep(sc *Scenario, t *thread) (string, *Violation) {
 				return "owner: pop_bottom load slot", &Violation{Kind: SlotCorruption,
 					Detail: fmt.Sprintf("pop_bottom read empty slot %d", idx)}
 			}
-			v := s.recordReturn(id)
+			v := s.recordReturn(sc, id)
 			t.completeOwner(sc, true)
 			return fmt.Sprintf("owner: pop_bottom load slot[%d] -> task %d", idx, id), v
 		}
@@ -225,7 +237,7 @@ func (s *state) popBottomStep(sc *Scenario, t *thread) (string, *Violation) {
 			return "owner: pop_bottom load slot", &Violation{Kind: SlotCorruption,
 				Detail: fmt.Sprintf("pop_bottom read empty slot %d", idx)}
 		}
-		v := s.recordReturn(id)
+		v := s.recordReturn(sc, id)
 		t.completeOwner(sc, true)
 		return fmt.Sprintf("owner: pop_bottom load slot[%d] -> task %d", idx, id), v
 	}
@@ -277,7 +289,7 @@ func (s *state) popPublicStep(sc *Scenario, t *thread) (string, *Violation) {
 			return "owner: pop_public_bottom store bot", &Violation{Kind: SlotCorruption,
 				Detail: fmt.Sprintf("pop_public_bottom read empty slot %d", idx)}
 		}
-		v := s.recordReturn(id)
+		v := s.recordReturn(sc, id)
 		t.completeOwner(sc, true)
 		return fmt.Sprintf("owner: pop_public_bottom store bot=%d -> task %d", idx, id), v
 	case 6:
@@ -304,7 +316,7 @@ func (s *state) popPublicStep(sc *Scenario, t *thread) (string, *Violation) {
 				return "owner: pop_public_bottom CAS age", &Violation{Kind: SlotCorruption,
 					Detail: fmt.Sprintf("pop_public_bottom read empty slot %d", t.r1-1)}
 			}
-			v := s.recordReturn(id)
+			v := s.recordReturn(sc, id)
 			t.completeOwner(sc, true)
 			return fmt.Sprintf("owner: pop_public_bottom CAS age ok -> task %d", id), v
 		}
@@ -323,10 +335,42 @@ func (s *state) popPublicStep(sc *Scenario, t *thread) (string, *Violation) {
 // r1 = pb, r2 = b.
 func (s *state) updatePublicStep(sc *Scenario, t *thread) (string, *Violation) {
 	switch t.phase {
-	case 0:
+	case 0, 13:
+		if t.phase == 0 && relaxedRepairOn(sc) {
+			// MultFree: deque.Expose runs repairRelaxed before exposing.
+			t.r1 = s.age
+			t.phase = 10
+			top, _ := unpackAge(t.r1)
+			return fmt.Sprintf("owner: update_public_bottom repair load age (top=%d)", top), nil
+		}
 		t.r1 = s.publicBot
 		t.phase = 1
 		return fmt.Sprintf("owner: update_public_bottom load publicBot=%d", t.r1), nil
+	case 10:
+		t.r2 = s.relNext
+		top, tag := unpackAge(t.r1)
+		rIdx, rTag := unpackAge(t.r2)
+		if rTag != tag || rIdx <= top {
+			t.phase = 13 // cursor not honored: proceed to the exposure
+			return fmt.Sprintf("owner: update_public_bottom repair load relNext (idx=%d tag=%d, not honored)", rIdx, rTag), nil
+		}
+		t.phase = 11
+		return fmt.Sprintf("owner: update_public_bottom repair load relNext (idx=%d, honored)", rIdx), nil
+	case 11:
+		_, tag := unpackAge(t.r1)
+		rIdx, _ := unpackAge(t.r2)
+		if s.age == t.r1 {
+			s.age = packAge(rIdx, tag)
+			t.phase = 13
+			return fmt.Sprintf("owner: update_public_bottom repair CAS age ok (top=%d)", rIdx), nil
+		}
+		t.phase = 12
+		return "owner: update_public_bottom repair CAS age failed (retry)", nil
+	case 12:
+		t.r1 = s.age
+		t.phase = 10
+		top, _ := unpackAge(t.r1)
+		return fmt.Sprintf("owner: update_public_bottom repair load age (top=%d, retry)", top), nil
 	case 1:
 		t.r2 = s.bot
 		if t.r2 < t.r1 {
@@ -353,6 +397,31 @@ func (s *state) updatePublicStep(sc *Scenario, t *thread) (string, *Violation) {
 // h1 holds pb, then pb+n once the store is committed to.
 func (s *state) handlerStep(sc *Scenario, t *thread) (string, *Violation) {
 	switch t.hphase {
+	case 4: // relaxed repair fold (deque.Expose head), handler frame
+		t.h1 = s.age
+		t.hphase = 5
+		top, _ := unpackAge(t.h1)
+		return fmt.Sprintf("owner(sig): expose repair load age (top=%d)", top), nil
+	case 5:
+		t.h2 = s.relNext
+		top, tag := unpackAge(t.h1)
+		rIdx, rTag := unpackAge(t.h2)
+		if rTag != tag || rIdx <= top {
+			t.hphase, t.h2 = 1, 0 // cursor not honored: proceed to the exposure
+			return fmt.Sprintf("owner(sig): expose repair load relNext (idx=%d tag=%d, not honored)", rIdx, rTag), nil
+		}
+		t.hphase = 6
+		return fmt.Sprintf("owner(sig): expose repair load relNext (idx=%d, honored)", rIdx), nil
+	case 6:
+		_, tag := unpackAge(t.h1)
+		rIdx, _ := unpackAge(t.h2)
+		if s.age == t.h1 {
+			s.age = packAge(rIdx, tag)
+			t.hphase, t.h2 = 1, 0
+			return fmt.Sprintf("owner(sig): expose repair CAS age ok (top=%d)", rIdx), nil
+		}
+		t.hphase = 4
+		return "owner(sig): expose repair CAS age failed (retry)", nil
 	case 1:
 		t.h1 = s.publicBot
 		t.hphase = 2
@@ -360,12 +429,12 @@ func (s *state) handlerStep(sc *Scenario, t *thread) (string, *Violation) {
 	case 2:
 		b := s.bot
 		if b < t.h1 {
-			t.hphase, t.h1 = 0, 0
+			t.hphase, t.h1, t.h2 = 0, 0, 0
 			return fmt.Sprintf("owner(sig): update_public_bottom load bot=%d -> no-op (mid pop_bottom)", b), nil
 		}
 		n := exposeCount(sc.Expose, b-t.h1)
 		if n == 0 {
-			t.hphase, t.h1 = 0, 0
+			t.hphase, t.h1, t.h2 = 0, 0, 0
 			return fmt.Sprintf("owner(sig): update_public_bottom load bot=%d -> no-op (policy)", b), nil
 		}
 		t.h1 += n
@@ -373,7 +442,7 @@ func (s *state) handlerStep(sc *Scenario, t *thread) (string, *Violation) {
 		return fmt.Sprintf("owner(sig): update_public_bottom load bot=%d (will expose %d)", b, n), nil
 	default:
 		s.publicBot = t.h1
-		t.hphase, t.h1 = 0, 0
+		t.hphase, t.h1, t.h2 = 0, 0, 0
 		return fmt.Sprintf("owner(sig): update_public_bottom store publicBot=%d", s.publicBot), nil
 	}
 }
@@ -411,7 +480,7 @@ func (s *state) popTopStep(sc *Scenario, t *thread, tid int) (string, *Violation
 				return who + ": pop_top CAS age", &Violation{Kind: SlotCorruption,
 					Detail: fmt.Sprintf("pop_top read empty slot %d", top)}
 			}
-			v := s.recordReturn(id)
+			v := s.recordReturn(sc, id)
 			t.complete()
 			return fmt.Sprintf("%s: pop_top CAS age ok -> STOLEN task %d", who, id), v
 		}
@@ -485,7 +554,7 @@ func (s *state) popTopHalfStep(sc *Scenario, t *thread, tid int) (string, *Viola
 					return who + ": pop_top_half CAS age", &Violation{Kind: SlotCorruption,
 						Detail: fmt.Sprintf("pop_top_half read empty slot %d", uint64(top)+i)}
 				}
-				if v := s.recordReturn(id); v != nil {
+				if v := s.recordReturn(sc, id); v != nil {
 					t.complete()
 					return fmt.Sprintf("%s: pop_top_half CAS age ok -> STOLEN %d tasks", who, n), v
 				}
@@ -526,6 +595,14 @@ func (s *state) popTopHalfStep(sc *Scenario, t *thread, tid int) (string, *Viola
 func (s *state) unexposeStep(sc *Scenario, t *thread) (string, *Violation) {
 	switch t.phase {
 	case 0, 8:
+		if t.phase == 0 && relaxedRepairOn(sc) {
+			// MultFree: fold honored relaxed claims into top before
+			// reclaiming (deque.UnexposeAll runs repairRelaxed first).
+			t.r1 = s.age
+			t.phase = 10
+			top, _ := unpackAge(t.r1)
+			return fmt.Sprintf("owner: unexpose_all repair load age (top=%d)", top), nil
+		}
 		t.r1 = s.publicBot
 		if t.r1 == 0 {
 			t.completeOwner(sc, false)
@@ -533,6 +610,31 @@ func (s *state) unexposeStep(sc *Scenario, t *thread) (string, *Violation) {
 		}
 		t.phase = 2
 		return fmt.Sprintf("owner: unexpose_all load publicBot=%d", t.r1), nil
+	case 10:
+		t.r2 = s.relNext
+		top, tag := unpackAge(t.r1)
+		rIdx, rTag := unpackAge(t.r2)
+		if rTag != tag || rIdx <= top {
+			t.phase = 8 // cursor not honored: proceed to the reclaim
+			return fmt.Sprintf("owner: unexpose_all repair load relNext (idx=%d tag=%d, not honored)", rIdx, rTag), nil
+		}
+		t.phase = 11
+		return fmt.Sprintf("owner: unexpose_all repair load relNext (idx=%d, honored)", rIdx), nil
+	case 11:
+		_, tag := unpackAge(t.r1)
+		rIdx, _ := unpackAge(t.r2)
+		if s.age == t.r1 {
+			s.age = packAge(rIdx, tag)
+			t.phase = 8
+			return fmt.Sprintf("owner: unexpose_all repair CAS age ok (top=%d)", rIdx), nil
+		}
+		t.phase = 12
+		return "owner: unexpose_all repair CAS age failed (retry)", nil
+	case 12:
+		t.r1 = s.age
+		t.phase = 10
+		top, _ := unpackAge(t.r1)
+		return fmt.Sprintf("owner: unexpose_all repair load age (top=%d, retry)", top), nil
 	case 2:
 		t.r2 = s.age
 		top, _ := unpackAge(t.r2)
@@ -670,4 +772,169 @@ func (s *state) growNaiveStep(sc *Scenario, t *thread) (string, *Violation) {
 		t.completeOwner(sc, false)
 		return "owner: grow_naive store age=(top 0, SAME tag)", nil
 	}
+}
+
+// relaxedTakeStep: a thief's TakeTopRelaxed attempt (the MultFree
+// fence- and CAS-free claim protocol of splitdeque.go). Registers:
+// r1 = oldAge, r2 = pb, r3 = claim index, r4 = task id; t.cl is the
+// thief's persistent monotone claim memory (deque.RelClaim), which —
+// unlike the registers — survives attempt boundaries.
+//
+// The claim is max(top, tag-honored relNext cursor, cl); after
+// validating claim < publicBot and reading the slot, an idempotent task
+// is committed with a plain cursor store (no fence, no CAS), while a
+// pinned task falls back to the exclusive age CAS, legal only when the
+// claim is the authoritative top. Under Scenario.AtomicClaims the slot
+// read and cursor store fuse into one micro-step — the landed-claim
+// adversary under which the owner repair alone carries the bound.
+func (s *state) relaxedTakeStep(sc *Scenario, t *thread, tid int) (string, *Violation) {
+	who := fmt.Sprintf("thief%d", tid)
+	commit := func(id uint8) *Violation {
+		_, tag := unpackAge(t.r1)
+		s.relNext = packAge(uint32(t.r3)+1, tag)
+		if !sc.RelaxedNoClaimMemory {
+			t.cl = t.r3 + 1
+		}
+		v := s.recordReturn(sc, id)
+		t.complete()
+		return v
+	}
+	switch t.phase {
+	case 0:
+		if sc.AtomicClaims {
+			return s.relaxedTakeAtomic(sc, t, who)
+		}
+		t.r1 = s.age
+		t.phase = 1
+		top, _ := unpackAge(t.r1)
+		return fmt.Sprintf("%s: take_top_relaxed load age (top=%d)", who, top), nil
+	case 1:
+		top, tag := unpackAge(t.r1)
+		claim := uint64(top)
+		rIdx, rTag := unpackAge(s.relNext)
+		if rTag == tag && uint64(rIdx) > claim {
+			claim = uint64(rIdx)
+		}
+		if !sc.RelaxedNoClaimMemory && t.cl > claim {
+			claim = t.cl
+		}
+		t.r3 = claim
+		t.phase = 2
+		return fmt.Sprintf("%s: take_top_relaxed load relNext -> claim=%d", who, claim), nil
+	case 2:
+		t.r2 = s.publicBot
+		if t.r3 >= t.r2 {
+			t.phase = 5
+		} else {
+			t.phase = 3
+		}
+		return fmt.Sprintf("%s: take_top_relaxed load publicBot=%d", who, t.r2), nil
+	case 3:
+		id := s.slots[t.r3]
+		if id == 0 {
+			return who + ": take_top_relaxed load slot", &Violation{Kind: SlotCorruption,
+				Detail: fmt.Sprintf("take_top_relaxed read empty slot %d", t.r3)}
+		}
+		t.r4 = uint64(id)
+		if sc.Pinned&(1<<uint(id)) != 0 {
+			top, _ := unpackAge(t.r1)
+			if t.r3 != uint64(top) {
+				// Exclusive claim impossible off the authoritative top:
+				// leave the task for a CAS thief or the owner.
+				t.complete()
+				return fmt.Sprintf("%s: take_top_relaxed load slot[%d] -> task %d pinned, claim != top -> ABORT", who, t.r3, id), nil
+			}
+			t.phase = 6
+			return fmt.Sprintf("%s: take_top_relaxed load slot[%d] -> task %d (pinned, exclusive fallback)", who, t.r3, id), nil
+		}
+		t.phase = 4
+		return fmt.Sprintf("%s: take_top_relaxed load slot[%d] -> task %d", who, t.r3, id), nil
+	case 4:
+		id := uint8(t.r4)
+		claim := t.r3
+		v := commit(id)
+		return fmt.Sprintf("%s: take_top_relaxed store relNext=%d -> RELAXED-STOLEN task %d", who, claim+1, id), v
+	case 5:
+		b := s.bot
+		pb := t.r2
+		t.complete()
+		if pb < b {
+			if sc.AutoSignal {
+				s.sigPending = true
+			}
+			return fmt.Sprintf("%s: take_top_relaxed load bot=%d -> PRIVATE_WORK (notify owner)", who, b), nil
+		}
+		return fmt.Sprintf("%s: take_top_relaxed load bot=%d -> EMPTY", who, b), nil
+	default: // 6: exclusive CAS for a pinned task sitting at top
+		top, tag := unpackAge(t.r1)
+		id := uint8(t.r4)
+		if s.age == t.r1 {
+			s.age = packAge(top+1, tag)
+			if !sc.RelaxedNoClaimMemory {
+				t.cl = t.r3 + 1
+			}
+			v := s.recordReturn(sc, id)
+			t.complete()
+			return fmt.Sprintf("%s: take_top_relaxed CAS age ok -> STOLEN pinned task %d", who, id), v
+		}
+		t.complete()
+		return who + ": take_top_relaxed CAS age failed -> ABORT", nil
+	}
+}
+
+// relaxedTakeAtomic runs one ENTIRE TakeTopRelaxed attempt as a single
+// step — the Scenario.AtomicClaims synchronous adversary, scheduled
+// only at owner operation boundaries (explore.go enforces the
+// scheduling restriction). Every read is fresh and the cursor store is
+// visible before the owner's next operation, so the only duplication
+// mechanism left is the owner RE-OFFERING claimed work: with the repair
+// fold this never happens (exactly-once even for stateless thieves);
+// with RelaxedNoRepair each unexpose/re-expose epoch re-offers the
+// claimed task — the negative counterexample.
+func (s *state) relaxedTakeAtomic(sc *Scenario, t *thread, who string) (string, *Violation) {
+	top, tag := unpackAge(s.age)
+	claim := uint64(top)
+	if rIdx, rTag := unpackAge(s.relNext); rTag == tag && uint64(rIdx) > claim {
+		claim = uint64(rIdx)
+	}
+	if !sc.RelaxedNoClaimMemory && t.cl > claim {
+		claim = t.cl
+	}
+	if claim >= s.publicBot {
+		empty := s.publicBot >= s.bot
+		t.complete()
+		if !empty {
+			if sc.AutoSignal {
+				s.sigPending = true
+			}
+			return fmt.Sprintf("%s: take_top_relaxed (atomic) -> PRIVATE_WORK (notify owner)", who), nil
+		}
+		return fmt.Sprintf("%s: take_top_relaxed (atomic) -> EMPTY", who), nil
+	}
+	id := s.slots[claim]
+	if id == 0 {
+		return who + ": take_top_relaxed (atomic) load slot", &Violation{Kind: SlotCorruption,
+			Detail: fmt.Sprintf("take_top_relaxed read empty slot %d", claim)}
+	}
+	if sc.Pinned&(1<<uint(id)) != 0 {
+		if claim != uint64(top) {
+			t.complete()
+			return fmt.Sprintf("%s: take_top_relaxed (atomic) task %d pinned, claim != top -> ABORT", who, id), nil
+		}
+		// The exclusive CAS cannot fail inside an atomic attempt.
+		s.age = packAge(top+1, tag)
+		if !sc.RelaxedNoClaimMemory {
+			t.cl = claim + 1
+		}
+		v := s.recordReturn(sc, id)
+		t.complete()
+		return fmt.Sprintf("%s: take_top_relaxed (atomic) CAS age -> STOLEN pinned task %d", who, id), v
+	}
+	s.relNext = packAge(uint32(claim)+1, tag)
+	if !sc.RelaxedNoClaimMemory {
+		t.cl = claim + 1
+	}
+	v := s.recordReturn(sc, id)
+	t.complete()
+	return fmt.Sprintf("%s: take_top_relaxed (atomic) claim slot[%d] -> RELAXED-STOLEN task %d", who, claim, id), v
 }

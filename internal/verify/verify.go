@@ -27,6 +27,25 @@
 // plain-take of indices above top leaves the age word untouched and a
 // stalled thief's batch CAS still succeeds.
 //
+// The MultFree relaxed-claim protocol (Scenario.Relaxed) is modelled at
+// the same granularity: thieves claim idempotent tasks with a plain
+// store to the relNext cursor (no fence, no CAS on the steal side),
+// falling back to the exclusive age CAS for pinned (non-idempotent)
+// tasks, and the owner's expose/reclaim ops run the repairRelaxed
+// cursor fold first. The duplicate-return oracle becomes a
+// multiplicity-bound oracle: idempotent tasks may be returned up to
+// Thieves+1 times (once per thief — enforced by each thief's private
+// monotone claim memory, which never re-claims an index because a
+// relaxed deque's absolute indices never reset — plus at most one owner
+// re-execution absorbed upstream by the scheduler's generation-stamp
+// arbitration), while pinned tasks keep the exactly-once rule. Two
+// ablation knobs carry the negative results: RelaxedNoRepair disables
+// the owner fold and RelaxedNoClaimMemory makes thieves stateless
+// cursor readers (the "fresh thief per epoch" adversary); with the
+// repair ablated, every unexpose/re-expose epoch re-offers
+// already-claimed tasks and the checker exhibits multiplicity beyond
+// the bound — the counterexample that justifies the owner-side repair.
+//
 // Exploration is a stateful depth-first search: states are canonicalized
 // (identical thief threads are sorted, making the search symmetric in
 // thief identity) and memoized, and deterministic local computation is
@@ -111,6 +130,49 @@ type Scenario struct {
 	// MaxStates aborts exploration (Report.Truncated) after this many
 	// distinct states; 0 means DefaultMaxStates.
 	MaxStates int
+
+	// Relaxed makes the thieves run TakeTopRelaxed attempts — the
+	// MultFree fence- and CAS-free claim protocol: claim = max(top,
+	// tag-honored relNext cursor, the thief's private monotone memory),
+	// validate against publicBot, read the slot, commit with a plain
+	// cursor store. The duplicate-return oracle switches from
+	// exactly-once to the multiplicity bound (see MultiplicityExceeded),
+	// and the owner ops that expose or reclaim run the repairRelaxed
+	// cursor fold first, exactly as deque.Expose/UnexposeAll do.
+	// Relaxed scenarios must use RaceFix (MultFree implies the §4 pop)
+	// and the batch owner discipline: OpDrain and OpPopPublicBottom are
+	// rejected, mirroring the scheduler, whose MultFree owner reclaims
+	// exclusively through tag-bumping UnexposeAll so that absolute deque
+	// indices never reset (the monotone claim memory depends on it).
+	Relaxed bool
+	// Pinned is a bitmask of task ids the idempotence predicate rejects
+	// (fn-task stand-ins): relaxed thieves fall back to the exclusive
+	// CAS claim for them — legal only when the claim is the
+	// authoritative top — and the oracle keeps the exactly-once rule
+	// for them even in relaxed scenarios.
+	Pinned uint16
+	// RelaxedNoRepair ablates the owner-side repairRelaxed fold
+	// (negative tests): reclaims and exposures no longer advance top
+	// past honored claims, so every unexpose/re-expose epoch offers
+	// already-claimed tasks again.
+	RelaxedNoRepair bool
+	// RelaxedNoClaimMemory ablates the thieves' private monotone claim
+	// memory (negative tests): thieves become stateless cursor readers,
+	// the model of "a fresh thief per epoch" — the adversary against
+	// which the repair fold alone must carry the bound.
+	RelaxedNoClaimMemory bool
+	// AtomicClaims restricts the adversary to synchronous thieves: each
+	// relaxed steal attempt executes as ONE atomic step, scheduled only
+	// at owner operation boundaries ("landed claims" — every claim is
+	// fully visible before the owner's next op). Under this adversary
+	// the repair fold alone guarantees exactly-once delivery even for
+	// stateless thieves (RelaxedNoClaimMemory), which isolates exactly
+	// what the repair contributes; ablating the repair under the same
+	// adversary breaks the bound — the package's negative result
+	// justifying the owner-side repair. The unrestricted adversary's
+	// residue (claims suspended across owner reclaims) is what the
+	// per-thief claim memory bounds at Thieves+1.
+	AtomicClaims bool
 }
 
 // DefaultMaxStates bounds exploration when Scenario.MaxStates is zero.
@@ -175,6 +237,19 @@ func Push(id int) Op {
 		panic(fmt.Sprintf("verify: task id %d out of range [1,%d]", id, maxTaskID))
 	}
 	return Op{Kind: OpPushBottom, Arg: uint8(id)}
+}
+
+// Pin packs task ids into a Scenario.Pinned bitmask (tasks the
+// idempotence predicate rejects — the model's fn-task stand-ins).
+func Pin(ids ...int) uint16 {
+	var m uint16
+	for _, id := range ids {
+		if id <= 0 || id > maxTaskID {
+			panic(fmt.Sprintf("verify: task id %d out of range [1,%d]", id, maxTaskID))
+		}
+		m |= 1 << uint(id)
+	}
+	return m
 }
 
 // Pop returns a PopBottom op.
@@ -247,6 +322,11 @@ const (
 	// SlotCorruption means an operation observed an empty slot where the
 	// algorithm guarantees a task.
 	SlotCorruption
+	// MultiplicityExceeded means a relaxed scenario returned one task
+	// more than Thieves+1 times — the MultFree bound (one return per
+	// thief via the monotone claim memory, plus at most one absorbed
+	// owner re-execution from the fence-free claim window).
+	MultiplicityExceeded
 )
 
 // String names the violation kind.
@@ -260,6 +340,8 @@ func (k ViolationKind) String() string {
 		return "index-invariant"
 	case SlotCorruption:
 		return "slot-corruption"
+	case MultiplicityExceeded:
+		return "multiplicity-exceeded"
 	default:
 		return fmt.Sprintf("violation(%d)", uint8(k))
 	}
@@ -285,6 +367,11 @@ type Report struct {
 	States      int // distinct canonical states visited
 	Transitions int // micro-steps executed
 	Violations  []Violation
+	// MaxMultiplicity is the largest per-task return count observed in
+	// any violation-free reachable state. Relaxed positive tests use it
+	// to show the multiplicity bound is tight: duplicates genuinely
+	// occur (MaxMultiplicity > 1) yet never exceed Thieves+1.
+	MaxMultiplicity int
 	// Truncated is set when MaxStates stopped the search early; absence
 	// of violations is then inconclusive.
 	Truncated bool

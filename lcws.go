@@ -100,6 +100,11 @@ const (
 	// deques with task-boundary exposure requests, half exposure, and
 	// wholesale un-exposing of unstolen public work.
 	LaceWS = core.LaceWS
+	// MultFree is the relaxed split-deque policy: fence- and CAS-free
+	// stealing of idempotent (range) tasks with bounded multiplicity;
+	// duplicate executions are absorbed by a generation-stamp
+	// arbitration, and Fork2 closures keep the exclusive CAS steal.
+	MultFree = core.MultFree
 )
 
 // Policies lists every policy in presentation order (WS first).

@@ -102,8 +102,8 @@ func TestCtxAccessors(t *testing.T) {
 }
 
 func TestPoliciesListsAreConsistent(t *testing.T) {
-	if len(lcws.Policies) != 6 {
-		t.Errorf("Policies has %d entries, want 6 (WS, four LCWS variants, Lace)", len(lcws.Policies))
+	if len(lcws.Policies) != 7 {
+		t.Errorf("Policies has %d entries, want 7 (WS, four LCWS variants, Lace, MultFree)", len(lcws.Policies))
 	}
 	if lcws.Policies[0] != lcws.WS {
 		t.Error("Policies must start with the WS baseline")
@@ -115,5 +115,17 @@ func TestPoliciesListsAreConsistent(t *testing.T) {
 		if p == lcws.WS {
 			t.Error("LCWSPolicies must not contain the baseline")
 		}
+		if p == lcws.MultFree {
+			t.Error("LCWSPolicies must not contain MultFree (not one of the paper's schedulers)")
+		}
+	}
+	seen := false
+	for _, p := range lcws.Policies {
+		if p == lcws.MultFree {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("Policies must include MultFree")
 	}
 }
