@@ -99,7 +99,7 @@ var ownerOnly = map[string]bool{
 	"PopPublicBottom": true,
 	"Expose":          true,
 	"UnexposeAll":     true,
-	"PushIndex":       true, // MultFree recycling stamp: plain read of the owner-local bottom
+	"PushStamp":       true, // MultFree recycling stamp: epoch + owner-local bottom index
 	"NeverExposed":    true, // MultFree recycling gate: owner-local exposure high-water mark
 }
 

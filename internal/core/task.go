@@ -74,12 +74,22 @@ type Task struct {
 	//lcws:field atomic
 	execSeq atomic.Uint32
 
+	// pushStamp is the deque push stamp — packed (index epoch, absolute
+	// index), see deque.PushStamp — written by the forking worker before
+	// publication under MultFree. Relaxed thieves re-read it to validate
+	// their fence-free slot loads (the slot may have been overwritten by
+	// an aliased push, so a stale claimant can hold a pointer to a task
+	// the owner has since recycled and re-stamped — hence atomic), and
+	// the owner checks it against the exposure high-water mark at free
+	// time (the recycling gate, see freeTask).
+	//
+	//lcws:field atomic
+	pushStamp atomic.Uint64
+
 	// Recycling state, touched only by the forking (owner) worker.
 	//
 	//lcws:field thief-shared — generation stamp: owner-written, executor reads it for the doneSeq store
 	seq uint32
-	//lcws:field owner(Worker) — absolute deque index at publication (MultFree recycling gate)
-	pushIdx uint64
 	//lcws:field owner(Worker)
 	recycled bool // set while the task sits on a freelist
 	//lcws:field owner(Worker)
@@ -137,8 +147,12 @@ func (t *Task) rearmExec() { t.execSeq.Store(t.seq) }
 // so a duplicate obtained through the relaxed steal path (or through the
 // owner reclaiming a task whose claim it could not yet see) is absorbed
 // here instead of double-counting completion. The plain seq read is safe
-// because range tasks are never recycled under MultFree (see freeTask),
-// so seq is frozen after publication. Counted per the model's
+// because no claimant can hold a never-exposed descriptor — the relaxed
+// lane's stamp validation rejects slot reads that alias onto private
+// tasks, and the recycling gate (freeTask) never recycles a range task
+// that was ever exposed — so for every task that reaches a claimant, seq
+// is frozen after publication. (Never-exposed range tasks DO recycle;
+// they just never reach this function.) Counted per the model's
 // MultFreeExecCAS.
 //
 //lcws:noalloc
@@ -238,7 +252,7 @@ func (w *Worker) freeTask(t *Task) {
 	if t.recycled {
 		panic("core: double free of a scheduler task (recycling discipline violated)")
 	}
-	if w.relaxed && t.fn == nil && !w.dq.NeverExposed(t.pushIdx) {
+	if w.relaxed && t.fn == nil && !w.dq.NeverExposed(t.pushStamp.Load()) {
 		// MultFree: a range task that was ever exposed may still be
 		// referenced by a stale relaxed claimant (a thief that loaded
 		// the slot but has not yet lost the execution arbitration).
@@ -385,18 +399,22 @@ type taskDeque interface {
 	PopTopHalf([]*Task, *counters.Worker) (int, deque.StealResult)
 	// TakeTopRelaxed is the MultFree fence- and CAS-free steal: plain
 	// read/write claim of the top task when the predicate reports it
-	// idempotent, exclusive-CAS fallback otherwise. TakeTopHalfRelaxed
-	// is its batched (steal-half) composition. Only the split deque
-	// implements them; the WS baseline never relaxes.
-	TakeTopRelaxed(*deque.RelClaim, func(*Task) bool, *counters.Worker) (*Task, deque.StealResult)
-	TakeTopHalfRelaxed([]*Task, *deque.RelClaim, func(*Task) bool, *counters.Worker) (int, deque.StealResult)
-	// PushIndex and NeverExposed support the MultFree recycling gate:
-	// the owner stamps each forked task with the index it is pushed at
-	// and, at free time, recycles it only if that index was never inside
-	// the public window (otherwise a stale relaxed claimant may still
-	// hold the descriptor and it is left to the GC). Owner-only.
-	PushIndex() uint64
-	NeverExposed(idx uint64) bool
+	// idempotent, exclusive-CAS fallback otherwise. The second callback
+	// returns the task's push stamp (an atomic read of Task.pushStamp),
+	// which the relaxed lane re-validates after every slot load.
+	// TakeTopHalfRelaxed is its batched (steal-half) composition. Only
+	// the split deque implements them; the WS baseline never relaxes.
+	TakeTopRelaxed(*deque.RelClaim, func(*Task) bool, func(*Task) uint64, *counters.Worker) (*Task, deque.StealResult)
+	TakeTopHalfRelaxed([]*Task, *deque.RelClaim, func(*Task) bool, func(*Task) uint64, *counters.Worker) (int, deque.StealResult)
+	// PushStamp and NeverExposed support the MultFree stamp validation
+	// and recycling gate: the owner stamps each forked task with the
+	// (epoch, index) it is pushed at, relaxed thieves validate slot reads
+	// against it, and at free time the owner recycles the task only if
+	// its stamp was never inside the public window (otherwise a stale
+	// relaxed claimant may still hold the descriptor and it is left to
+	// the GC). Owner-only.
+	PushStamp() uint64
+	NeverExposed(stamp uint64) bool
 	Expose(deque.ExposeMode, *counters.Worker) int
 	UnexposeAll(*counters.Worker) int
 	HasTwoTasks() bool
@@ -421,15 +439,15 @@ func (d chaseLevDeque) PopTopHalf(buf []*Task, c *counters.Worker) (int, deque.S
 	return d.PopTopN(buf, c)
 }
 
-func (d chaseLevDeque) TakeTopRelaxed(*deque.RelClaim, func(*Task) bool, *counters.Worker) (*Task, deque.StealResult) {
+func (d chaseLevDeque) TakeTopRelaxed(*deque.RelClaim, func(*Task) bool, func(*Task) uint64, *counters.Worker) (*Task, deque.StealResult) {
 	return nil, deque.Empty
 }
 
-func (d chaseLevDeque) TakeTopHalfRelaxed([]*Task, *deque.RelClaim, func(*Task) bool, *counters.Worker) (int, deque.StealResult) {
+func (d chaseLevDeque) TakeTopHalfRelaxed([]*Task, *deque.RelClaim, func(*Task) bool, func(*Task) uint64, *counters.Worker) (int, deque.StealResult) {
 	return 0, deque.Empty
 }
 
-func (d chaseLevDeque) PushIndex() uint64 { return 0 }
+func (d chaseLevDeque) PushStamp() uint64 { return 0 }
 
 func (d chaseLevDeque) NeverExposed(uint64) bool { return true }
 

@@ -478,12 +478,14 @@ func (w *Worker) traceFork() {
 func (w *Worker) push(t *Task) {
 	t.job = w.curJob //lcws:presync written before the deque's release publication makes t visible to thieves
 	if w.relaxed {
-		// Stamp the landing index for the MultFree recycling gate (see
-		// freeTask). Batch remnants keep their original forker's stamp —
-		// they land through pushNoTag — which is correct: a remnant was
-		// necessarily exposed at its origin, and the stamped origin index
-		// is below that deque's exposure high-water mark.
-		t.pushIdx = w.dq.PushIndex() //lcws:presync written before the deque's release publication makes t visible to thieves
+		// Stamp the landing (epoch, index) for the MultFree relaxed lane:
+		// thieves validate their fence-free slot reads against it, and
+		// the recycling gate (freeTask) checks it against the exposure
+		// high-water mark. Batch remnants do NOT come through here — the
+		// remnant landing loop (stealFromRelaxed) restamps them in the
+		// receiver's index domain with the sticky exposed bit set before
+		// calling pushNoTag.
+		t.pushStamp.Store(w.dq.PushStamp()) //lcws:presync written before the deque's release publication makes t visible to thieves
 	}
 	if sh := w.curShard; sh != nil {
 		sh.created++
@@ -651,11 +653,13 @@ func (w *Worker) popLocal() *Task {
 		// stalled thief's CAS could re-claim an owner-consumed slot);
 		// UnexposeAll's tag-bump CAS invalidates such claims first.
 		// MultFree mandates it for a stronger reason: PopPublicBottom's
-		// emptying path resets the deque's absolute indices, and the
-		// relaxed thieves' monotone claim memory is only sound while an
-		// exposed absolute index is never reused (UnexposeAll reclaims
-		// are tag-bumped, so reclaimed indices re-expose under a new
-		// tag, which the claim protocol treats as fresh).
+		// emptying path resets the deque's absolute indices WITHOUT
+		// changing the index epoch, and the relaxed thieves' monotone
+		// claim memory is only sound while an exposed absolute index is
+		// never reused within an epoch (UnexposeAll reclaims are
+		// tag-bumped, so reclaimed indices re-expose under a new tag,
+		// which the claim protocol treats as fresh; the deque's own
+		// epoch-advancing reset — resetIndices — re-arms the memories).
 		if n := w.dq.UnexposeAll(w.ctr); n > 0 {
 			if w.rec != nil {
 				w.rec.Repair(n)
@@ -730,10 +734,10 @@ func (w *Worker) join(rt *Task, want uint32) {
 			w.helpUntil(rt, want)
 			break
 		}
-		if w.relaxed && t.fn == nil && !w.dq.NeverExposed(t.pushIdx) {
+		if w.relaxed && t.fn == nil && !w.dq.NeverExposed(t.pushStamp.Load()) {
 			// MultFree: rt was exposed at some point, so a relaxed thief
 			// whose plain-write claim the repair could not yet see may
-			// hold it too (rt is own-forked — t == rt — so its pushIdx
+			// hold it too (rt is own-forked — t == rt — so its push
 			// stamp is in this deque's index domain and the exposure
 			// check is exact). The execution arbitration decides: if
 			// this worker wins, rt runs inline as usual; if a thief won,
@@ -829,6 +833,13 @@ func (w *Worker) stealOnce() *Task {
 // nothing at the call site, keeping the steal path noalloc.
 func taskIsIdempotent(t *Task) bool { return t.fn == nil }
 
+// taskPushStamp is the stamp accessor the relaxed steal path hands to
+// the deque for its post-read validation (see deque.TakeTopRelaxed).
+// Atomic: the pointer the thief validates may be stale and reference a
+// descriptor its owner has recycled and re-stamped. A package-level
+// function value, like taskIsIdempotent, to keep the steal path noalloc.
+func taskPushStamp(t *Task) uint64 { return t.pushStamp.Load() }
+
 // stealFromRelaxed is the MultFree steal attempt against victim v:
 // idempotent (range) tasks are claimed with plain read/write operations
 // through the thief's per-victim monotone claim memory — no fence, no
@@ -840,7 +851,7 @@ func taskIsIdempotent(t *Task) bool { return t.fn == nil }
 func (w *Worker) stealFromRelaxed(v *Worker, vid int) *Task {
 	cl := &w.relClaims[vid]
 	if w.batch {
-		nTasks, res := v.dq.TakeTopHalfRelaxed(w.stealBuf[:], cl, taskIsIdempotent, w.ctr)
+		nTasks, res := v.dq.TakeTopHalfRelaxed(w.stealBuf[:], cl, taskIsIdempotent, taskPushStamp, w.ctr)
 		switch res {
 		case deque.Stolen:
 			w.ctr.Inc(counters.StealSuccess)
@@ -852,6 +863,19 @@ func (w *Worker) stealFromRelaxed(v *Worker, vid int) *Task {
 			v.targeted.Store(false) // §4: work left the victim's public part
 			t := w.stealBuf[0]
 			for i := 1; i < nTasks; i++ {
+				// Restamp the remnant in THIS deque's index domain before
+				// it lands here, with the sticky exposed bit: thieves of
+				// this deque must be able to validate their slot reads
+				// against the local (epoch, index), while the origin
+				// forker's recycling gate must keep seeing "was exposed"
+				// (a remnant was necessarily public at its origin) — the
+				// sticky bit makes NeverExposed false regardless of what
+				// the receiver-domain index would say about the origin
+				// deque. Safe to store plainly-before-publication: the
+				// remnant is exclusively ours between the batch claim and
+				// pushNoTag; stale origin-side claimants read the atomic
+				// stamp and fail their validation either way.
+				w.stealBuf[i].pushStamp.Store(w.dq.PushStamp() | deque.StampExposed)
 				w.pushNoTag(w.stealBuf[i])
 				w.stealBuf[i] = nil
 			}
@@ -868,7 +892,7 @@ func (w *Worker) stealFromRelaxed(v *Worker, vid int) *Task {
 		}
 		return nil
 	}
-	t, res := v.dq.TakeTopRelaxed(cl, taskIsIdempotent, w.ctr)
+	t, res := v.dq.TakeTopRelaxed(cl, taskIsIdempotent, taskPushStamp, w.ctr)
 	switch res {
 	case deque.Stolen:
 		w.ctr.Inc(counters.StealSuccess)

@@ -90,16 +90,21 @@ func (m ExposeMode) String() string {
 
 // RelClaim is a thief's private claim memory for one victim under the
 // relaxed (MultFree) steal protocol. It records one past the highest
-// absolute deque index this thief has ever claimed from that victim;
-// because a relaxed deque never resets or reuses an exposed absolute
-// index, keeping the memory monotone guarantees the thief returns each
-// task at most once, which caps a task's total multiplicity at the
-// number of thieves. The zero value is ready to use. Single-writer: only
-// the owning thief reads or writes it.
+// absolute deque index this thief has ever claimed from that victim,
+// together with the victim's index epoch the memory belongs to: within
+// one epoch a relaxed deque never resets or reuses an exposed absolute
+// index, so keeping the memory monotone guarantees the thief returns
+// each index at most once, which caps a task's multiplicity at the
+// number of thieves per epoch. When the victim resets its indices (a
+// rare maintenance operation before the 32-bit top could wrap — see
+// SplitDeque's index-reset notes), the epoch moves on and the memory is
+// re-armed from zero on the thief's next claim. The zero value is ready
+// to use. Single-writer: only the owning thief reads or writes it.
 //
 //lcws:manifest
 type RelClaim struct {
-	next uint64 //lcws:field owner(SplitDeque) — one past the highest index claimed; advanced by the thief through the deque's relaxed claim methods
+	epoch uint64 //lcws:field owner(SplitDeque) — the victim's index epoch this memory is valid for
+	next  uint64 //lcws:field owner(SplitDeque) — one past the highest index claimed; advanced by the thief through the deque's relaxed claim methods
 }
 
 // age packs the top index (low 32 bits) and the ABA tag (high 32 bits)
@@ -108,6 +113,38 @@ func packAge(top, tag uint32) uint64 { return uint64(tag)<<32 | uint64(top) }
 
 func unpackAge(a uint64) (top, tag uint32) {
 	return uint32(a), uint32(a >> 32)
+}
+
+// Push-stamp layout. The owner stamps every task it pushes onto a
+// relaxed deque with PushStamp(): the absolute push index in the low 32
+// bits and the deque's index epoch in bits 32..62. A relaxed thief
+// re-reads the stamp from the task it loaded and honors the claim only
+// when the stamp matches the (epoch, index) it claimed — the post-read
+// validation that makes the fence-free slot read safe against the
+// backing array's circularity: if the live window slid a full capacity
+// past a stalled thief, the slot holds the task pushed at claim+k*cap,
+// whose stamp cannot match. The exclusive CAS paths need no stamp (the
+// age CAS itself invalidates stale reads).
+//
+// StampExposed is the sticky high bit: a steal-batch remnant landing in
+// a new deque is restamped in the receiver's index domain with the bit
+// set, so the origin forker's recycling gate (NeverExposed) keeps
+// reporting "was exposed" even though the receiver-domain index says
+// nothing about the origin deque.
+const (
+	// StampExposed marks a task ever-exposed regardless of its index
+	// (set on cross-deque restamps of steal-batch remnants).
+	StampExposed uint64 = 1 << 63
+
+	stampEpochShift        = 32
+	stampEpochMask  uint64 = (1<<31 - 1) << stampEpochShift
+	stampIdxMask    uint64 = 1<<32 - 1
+)
+
+// makeStamp packs an index epoch and an absolute push index into a
+// stamp (without the StampExposed bit).
+func makeStamp(epoch, idx uint64) uint64 {
+	return epoch<<stampEpochShift&stampEpochMask | idx&stampIdxMask
 }
 
 // DefaultCapacity is the *initial* per-deque task array size used when a

@@ -7,14 +7,18 @@ import (
 )
 
 // Tests for the MultFree relaxed claim protocol: TakeTopRelaxed /
-// TakeTopHalfRelaxed, the owner-side repair fold, and the recycling
-// gate. These cover what is sequentially reachable through the public
-// API — the claim arithmetic, the pinned fallback, the monotone claim
-// memory, and the fence/CAS accounting against the MultFree counting
-// model (internal/counters/model.go). The concurrency properties (the
-// multiplicity bound under arbitrary interleavings, the necessity of
-// the repair fold) are proved exhaustively in internal/verify and
-// exercised under -race by the scheduler-level stress tests.
+// TakeTopHalfRelaxed, the owner-side repair fold, the post-read stamp
+// validation, the index reset, and the recycling gate. These cover what
+// is sequentially reachable through the public API — the claim
+// arithmetic, the pinned fallback, the monotone claim memory, and the
+// fence/CAS accounting against the MultFree counting model
+// (internal/counters/model.go) — plus white-box corruptions of the slot
+// array standing in for the stale reads only an adversarial scheduler
+// can produce. The concurrency properties (the multiplicity bound under
+// arbitrary interleavings, the necessity of the repair fold, the
+// stale-read hazard of a circularly aliased slot) are proved
+// exhaustively in internal/verify and exercised under -race by the
+// scheduler-level stress tests.
 
 func newRelaxed(t *testing.T) *SplitDeque[int] {
 	t.Helper()
@@ -32,19 +36,43 @@ func alwaysIdempotent(*int) bool { return true }
 
 func neverIdempotent(*int) bool { return false }
 
+// stamps is the test-side stand-in for core.Task's pushStamp field: a
+// side table from element to the stamp the owner minted at push time.
+// Sequential tests only, so a plain map suffices where the scheduler
+// needs an atomic field.
+type stamps map[*int]uint64
+
+func (s stamps) of(p *int) uint64 { return s[p] }
+
+// pushStamped is splitdeque_test.go's push helper plus the owner-side
+// stamping the MultFree core performs before every relaxed push.
+func pushStamped(t *testing.T, d *SplitDeque[int], s stamps, c *counters.Worker, vals ...int) []*int {
+	t.Helper()
+	out := make([]*int, len(vals))
+	for i, v := range vals {
+		p := new(int)
+		*p = v
+		s[p] = d.PushStamp()
+		d.PushBottom(p, c)
+		out[i] = p
+	}
+	return out
+}
+
 func TestRelaxedStealDrainsOldestFirst(t *testing.T) {
 	d := newRelaxed(t)
 	owner, thief := newCtr(), newCtr()
-	push(t, d, owner, 1, 2, 3, 4)
+	st := stamps{}
+	pushStamped(t, d, st, owner, 1, 2, 3, 4)
 	exposeAll(d, owner)
 	var cl RelClaim
 	for want := 1; want <= 4; want++ {
-		got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, thief)
+		got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, st.of, thief)
 		if res != Stolen || got == nil || *got != want {
 			t.Fatalf("relaxed steal %d = %v, %v; want %d, stolen", want, got, res, want)
 		}
 	}
-	if _, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, thief); res != Empty {
+	if _, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, st.of, thief); res != Empty {
 		t.Fatalf("steal from drained deque = %v, want empty", res)
 	}
 }
@@ -57,11 +85,12 @@ func TestRelaxedStealAccounting(t *testing.T) {
 	// pays nothing further).
 	d := newRelaxed(t)
 	owner, thief := newCtr(), newCtr()
-	push(t, d, owner, 1, 2, 3, 4)
+	st := stamps{}
+	pushStamped(t, d, st, owner, 1, 2, 3, 4)
 	exposeAll(d, owner)
 	var cl RelClaim
 	for i := 0; i < 4; i++ {
-		if _, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, thief); res != Stolen {
+		if _, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, st.of, thief); res != Stolen {
 			t.Fatalf("steal %d = %v, want stolen", i, res)
 		}
 	}
@@ -90,10 +119,11 @@ func TestRelaxedPinnedFallbackCAS(t *testing.T) {
 	// thief must abort rather than claim it without exclusion.
 	d := newRelaxed(t)
 	owner, thief := newCtr(), newCtr()
-	push(t, d, owner, 1, 2)
+	st := stamps{}
+	pushStamped(t, d, st, owner, 1, 2)
 	exposeAll(d, owner)
 	var cl RelClaim
-	got, res := d.TakeTopRelaxed(&cl, neverIdempotent, thief)
+	got, res := d.TakeTopRelaxed(&cl, neverIdempotent, st.of, thief)
 	if res != Stolen || got == nil || *got != 1 {
 		t.Fatalf("pinned steal at top = %v, %v; want 1, stolen", got, res)
 	}
@@ -108,13 +138,14 @@ func TestRelaxedPinnedFallbackCAS(t *testing.T) {
 	// claim is above top and must abort.
 	d2 := newRelaxed(t)
 	owner2, thief2 := newCtr(), newCtr()
-	push(t, d2, owner2, 1, 2)
+	st2 := stamps{}
+	pushStamped(t, d2, st2, owner2, 1, 2)
 	exposeAll(d2, owner2)
 	var cl2 RelClaim
-	if _, res := d2.TakeTopRelaxed(&cl2, alwaysIdempotent, thief2); res != Stolen {
+	if _, res := d2.TakeTopRelaxed(&cl2, alwaysIdempotent, st2.of, thief2); res != Stolen {
 		t.Fatalf("relaxed warm-up steal = %v, want stolen", res)
 	}
-	if _, res := d2.TakeTopRelaxed(&cl2, neverIdempotent, thief2); res != Abort {
+	if _, res := d2.TakeTopRelaxed(&cl2, neverIdempotent, st2.of, thief2); res != Abort {
 		t.Errorf("pinned claim above top = %v, want abort", res)
 	}
 }
@@ -124,11 +155,12 @@ func TestRelaxedBatchClaim(t *testing.T) {
 	// the buffer), oldest-first, with zero fences and CAS.
 	d := newRelaxed(t)
 	owner, thief := newCtr(), newCtr()
-	push(t, d, owner, 1, 2, 3, 4, 5, 6, 7, 8)
+	st := stamps{}
+	pushStamped(t, d, st, owner, 1, 2, 3, 4, 5, 6, 7, 8)
 	exposeAll(d, owner)
 	buf := make([]*int, 4)
 	var cl RelClaim
-	n, res := d.TakeTopHalfRelaxed(buf, &cl, alwaysIdempotent, thief)
+	n, res := d.TakeTopHalfRelaxed(buf, &cl, alwaysIdempotent, st.of, thief)
 	if res != Stolen || n != 4 {
 		t.Fatalf("batched relaxed claim = %d, %v; want 4, stolen", n, res)
 	}
@@ -151,13 +183,14 @@ func TestRelaxedBatchStopsAtPinned(t *testing.T) {
 	// tolerate it.
 	d := newRelaxed(t)
 	owner, thief := newCtr(), newCtr()
-	vals := push(t, d, owner, 1, 2, 3, 4, 5, 6, 7, 8)
+	st := stamps{}
+	vals := pushStamped(t, d, st, owner, 1, 2, 3, 4, 5, 6, 7, 8)
 	pinned := vals[2] // third-oldest task is non-idempotent
 	idem := func(p *int) bool { return p != pinned }
 	exposeAll(d, owner)
 	buf := make([]*int, 8)
 	var cl RelClaim
-	n, res := d.TakeTopHalfRelaxed(buf, &cl, idem, thief)
+	n, res := d.TakeTopHalfRelaxed(buf, &cl, idem, st.of, thief)
 	if res != Stolen || n != 2 {
 		t.Fatalf("batch into pinned task = %d, %v; want 2, stolen", n, res)
 	}
@@ -167,7 +200,7 @@ func TestRelaxedBatchStopsAtPinned(t *testing.T) {
 	// The pinned task is now at the thief's claim == top? No: top is
 	// still 0 (no repair ran), the claim is 2, so a retry falls back to
 	// the exclusive path only at top — it must abort instead.
-	n, res = d.TakeTopHalfRelaxed(buf, &cl, idem, thief)
+	n, res = d.TakeTopHalfRelaxed(buf, &cl, idem, st.of, thief)
 	if res != Abort || n != 0 {
 		t.Errorf("batch at pinned non-top claim = %d, %v; want 0, abort", n, res)
 	}
@@ -179,10 +212,11 @@ func TestRelaxedUnexposeReclaimsOnlyUnclaimed(t *testing.T) {
 	// part, where the owner pops it LIFO.
 	d := newRelaxed(t)
 	owner, thief := newCtr(), newCtr()
-	push(t, d, owner, 1, 2, 3)
+	st := stamps{}
+	pushStamped(t, d, st, owner, 1, 2, 3)
 	exposeAll(d, owner)
 	var cl RelClaim
-	if got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, thief); res != Stolen || *got != 1 {
+	if got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, st.of, thief); res != Stolen || *got != 1 {
 		t.Fatalf("relaxed steal = %v, %v; want 1, stolen", got, res)
 	}
 	if n := d.UnexposeAll(owner); n != 2 {
@@ -205,17 +239,18 @@ func TestRelaxedStaleCursorIgnoredAcrossEpochs(t *testing.T) {
 	// from the dead cursor, and a fresh thief must receive the new task.
 	d := newRelaxed(t)
 	owner, thief := newCtr(), newCtr()
-	push(t, d, owner, 1)
+	st := stamps{}
+	pushStamped(t, d, st, owner, 1)
 	exposeAll(d, owner)
 	var cl RelClaim
-	if got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, thief); res != Stolen || *got != 1 {
+	if got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, st.of, thief); res != Stolen || *got != 1 {
 		t.Fatalf("epoch-1 steal = %v, %v; want 1, stolen", got, res)
 	}
 	d.UnexposeAll(owner) // folds the claim; cursor is now stale-tagged
-	push(t, d, owner, 2)
+	pushStamped(t, d, st, owner, 2)
 	exposeAll(d, owner)
 	var fresh RelClaim
-	got, res := d.TakeTopRelaxed(&fresh, alwaysIdempotent, thief)
+	got, res := d.TakeTopRelaxed(&fresh, alwaysIdempotent, st.of, thief)
 	if res != Stolen || got == nil || *got != 2 {
 		t.Fatalf("epoch-2 steal = %v, %v; want 2, stolen", got, res)
 	}
@@ -224,18 +259,19 @@ func TestRelaxedStaleCursorIgnoredAcrossEpochs(t *testing.T) {
 func TestRelaxedClaimMemoryIsMonotone(t *testing.T) {
 	// A thief's claim memory never re-claims an index it already
 	// returned, even when the owner re-exposes the same absolute index
-	// range... which a relaxed deque never does: indices only grow. The
-	// observable contract is that repeated drains see strictly newer
-	// tasks.
+	// range... which a relaxed deque never does within an epoch: indices
+	// only grow. The observable contract is that repeated drains see
+	// strictly newer tasks.
 	d := newRelaxed(t)
 	owner, thief := newCtr(), newCtr()
+	st := stamps{}
 	var cl RelClaim
 	seen := map[int]int{}
-	for epoch := 0; epoch < 3; epoch++ {
-		push(t, d, owner, 10*epoch+1, 10*epoch+2)
+	for round := 0; round < 3; round++ {
+		pushStamped(t, d, st, owner, 10*round+1, 10*round+2)
 		exposeAll(d, owner)
 		for {
-			got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, thief)
+			got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, st.of, thief)
 			if res != Stolen {
 				break
 			}
@@ -253,33 +289,232 @@ func TestRelaxedClaimMemoryIsMonotone(t *testing.T) {
 	}
 }
 
+func TestRelaxedStaleSlotReadAborts(t *testing.T) {
+	// The post-read validation: a slot whose content does not carry the
+	// claimed (epoch, index) stamp must never be honored by the plain
+	// relaxed claim. Concurrently this happens when the victim's live
+	// window slides a full capacity past a stalled thief and the claimed
+	// slot aliases to a younger (possibly never-exposed, recyclable)
+	// task; sequentially we corrupt the slot by hand. At the
+	// authoritative top the thief may settle the race with the exclusive
+	// CAS — CAS success proves the slot was not overwritten, so here
+	// (where it WAS overwritten but the age word is untouched) the CAS
+	// legitimately claims the slot's current occupant. Above top there
+	// is no CAS to lean on and the claim must abort.
+	d := newRelaxed(t)
+	owner, thief := newCtr(), newCtr()
+	st := stamps{}
+	vals := pushStamped(t, d, st, owner, 1, 2, 3)
+	exposeAll(d, owner)
+	var cl RelClaim
+	if got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, st.of, thief); res != Stolen || *got != 1 {
+		t.Fatalf("warm-up steal = %v, %v; want 1, stolen", got, res)
+	}
+	// Corrupt the slot of the thief's next claim (index 1, above the
+	// untouched top 0) with a task stamped for another index.
+	d.ownerSlots[1&d.ownerMask].Store(vals[2])
+	if _, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, st.of, thief); res != Abort {
+		t.Fatalf("mis-stamped slot above top = %v, want abort", res)
+	}
+	if got := thief.Get(counters.RelaxedSteal); got != 1 {
+		t.Errorf("relaxed_steals = %d after aborted validation, want 1 (the warm-up only)", got)
+	}
+	// A nil slot (readable below a grown generation's copy window, or
+	// mid-reset) aborts even at the authoritative top: there is nothing
+	// to validate or CAS over.
+	d2 := newRelaxed(t)
+	owner2, thief2 := newCtr(), newCtr()
+	st2 := stamps{}
+	pushStamped(t, d2, st2, owner2, 1)
+	exposeAll(d2, owner2)
+	d2.ownerSlots[0].Store(nil)
+	var cl2 RelClaim
+	if _, res := d2.TakeTopRelaxed(&cl2, alwaysIdempotent, st2.of, thief2); res != Abort {
+		t.Fatalf("nil slot at top = %v, want abort", res)
+	}
+}
+
+func TestRelaxedStaleSlotReadFallsBackToCASAtTop(t *testing.T) {
+	// At claim == top a stamp mismatch downgrades to the exclusive CAS
+	// instead of aborting: CAS success proves the age word never moved,
+	// which retroactively validates the read — and it is also how tasks
+	// rebased by an index reset (old-epoch stamps) get consumed. Here
+	// the slot legitimately holds a differently-stamped task, so the
+	// thief must claim it exclusively, pay the CAS, and not count a
+	// relaxed steal.
+	d := newRelaxed(t)
+	owner, thief := newCtr(), newCtr()
+	st := stamps{}
+	vals := pushStamped(t, d, st, owner, 1, 2)
+	exposeAll(d, owner)
+	d.ownerSlots[0].Store(vals[1]) // slot 0 now carries the stamp of index 1
+	var cl RelClaim
+	got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, st.of, thief)
+	if res != Stolen || got != vals[1] {
+		t.Fatalf("mis-stamped slot at top = %v, %v; want occupant via CAS, stolen", got, res)
+	}
+	if f, cas := syncOf(thief); f != 0 || cas != counters.LCWSStealCAS {
+		t.Errorf("validation fallback cost (%d fences, %d CAS), want (0, %d)", f, cas, counters.LCWSStealCAS)
+	}
+	if got := thief.Get(counters.RelaxedSteal); got != 0 {
+		t.Errorf("validation fallback counted %d relaxed steals, want 0", got)
+	}
+}
+
+func TestRelaxedBatchTruncatesAtStaleSlot(t *testing.T) {
+	// The batched claim validates every slot and truncates at the first
+	// mismatch, claiming only the validated prefix.
+	d := newRelaxed(t)
+	owner, thief := newCtr(), newCtr()
+	st := stamps{}
+	vals := pushStamped(t, d, st, owner, 1, 2, 3, 4, 5, 6, 7, 8)
+	exposeAll(d, owner)
+	d.ownerSlots[2&d.ownerMask].Store(vals[7]) // index 2 mis-stamped
+	buf := make([]*int, 8)
+	var cl RelClaim
+	n, res := d.TakeTopHalfRelaxed(buf, &cl, alwaysIdempotent, st.of, thief)
+	if res != Stolen || n != 2 {
+		t.Fatalf("batch into mis-stamped slot = %d, %v; want 2, stolen", n, res)
+	}
+	if *buf[0] != 1 || *buf[1] != 2 {
+		t.Errorf("batch claimed (%d, %d), want (1, 2)", *buf[0], *buf[1])
+	}
+}
+
+func TestRelaxedIndexReset(t *testing.T) {
+	// Lowering the reset threshold, a long-lived relaxed deque must
+	// rebase its indices through Expose: the epoch advances, the live
+	// window lands at index zero in a fresh generation, stale claim
+	// memories re-arm, and no task is lost or double-returned across the
+	// reset (rebased tasks keep their old-epoch stamps and are consumed
+	// through the CAS fallback).
+	old := relaxedResetThreshold
+	relaxedResetThreshold = 8
+	defer func() { relaxedResetThreshold = old }()
+
+	d := newRelaxed(t)
+	owner, thief := newCtr(), newCtr()
+	st := stamps{}
+	var cl RelClaim
+	seen := map[int]int{}
+	next := 1
+	for round := 0; round < 12; round++ {
+		pushStamped(t, d, st, owner, next, next+1)
+		next += 2
+		exposeAll(d, owner)
+		for {
+			got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, st.of, thief)
+			if res != Stolen {
+				if res != Empty {
+					t.Fatalf("round %d: sequential drain ended with %v, want empty", round, res)
+				}
+				break
+			}
+			seen[*got]++
+		}
+	}
+	if d.epoch.Load() == 0 {
+		t.Fatal("top crossed the lowered threshold but no index reset happened")
+	}
+	if top, _ := unpackAge(d.age.Load()); top >= uint32(next) {
+		t.Errorf("post-reset top = %d, want rebased below the %d tasks ever pushed", top, next)
+	}
+	if len(seen) != next-1 {
+		t.Fatalf("thief saw %d distinct tasks, want %d", len(seen), next-1)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Errorf("task %d returned %d times across the reset, want 1", v, n)
+		}
+	}
+}
+
+func TestRelaxedIndexResetRebasesLiveWindow(t *testing.T) {
+	// A reset with unconsumed tasks must carry them into the rebased
+	// window: the owner still pops every one of them, and a thief with a
+	// pre-reset claim memory re-arms instead of claiming dead indices.
+	old := relaxedResetThreshold
+	relaxedResetThreshold = 8
+	defer func() { relaxedResetThreshold = old }()
+
+	d := newRelaxed(t)
+	owner, thief := newCtr(), newCtr()
+	st := stamps{}
+	var cl RelClaim
+	// Advance top to the threshold by cycling claimed work, folding the
+	// cursor through UnexposeAll (which repairs but never resets), so
+	// the reset itself is staged to fire at the next Expose.
+	for i := uint32(0); i < relaxedResetThreshold; i++ {
+		pushStamped(t, d, st, owner, int(i))
+		exposeAll(d, owner)
+		if _, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, st.of, thief); res != Stolen {
+			t.Fatalf("cycle steal %d = %v, want stolen", i, res)
+		}
+		d.UnexposeAll(owner)
+	}
+	if top, _ := unpackAge(d.age.Load()); top < relaxedResetThreshold {
+		t.Fatalf("staging left top = %d, want >= %d", top, relaxedResetThreshold)
+	}
+	// Push live tasks, then trigger the reset via Expose.
+	pushStamped(t, d, st, owner, 101, 102, 103)
+	preEpoch := d.epoch.Load()
+	exposeAll(d, owner)
+	if d.epoch.Load() == preEpoch {
+		t.Fatal("Expose above the threshold did not reset the indices")
+	}
+	if top, _ := unpackAge(d.age.Load()); top != 0 {
+		t.Errorf("post-reset top = %d, want 0", top)
+	}
+	// The stale claim memory re-arms on its next use; the rebased tasks
+	// carry old-epoch stamps, so they are consumed via the CAS fallback
+	// in index order.
+	for _, want := range []int{101, 102, 103} {
+		got, res := d.TakeTopRelaxed(&cl, alwaysIdempotent, st.of, thief)
+		if res != Stolen || got == nil || *got != want {
+			t.Fatalf("post-reset steal = %v, %v; want %d, stolen", got, res, want)
+		}
+	}
+	if !d.IsEmpty() {
+		t.Error("deque should be empty after draining the rebased window")
+	}
+}
+
 func TestRelaxedRecyclingGate(t *testing.T) {
-	// PushIndex/NeverExposed: an index that stayed private through its
-	// whole life may be recycled; any index the high-water mark of
+	// PushStamp/NeverExposed: a task whose stamp stayed private through
+	// its whole life may be recycled; any stamp the high-water mark of
 	// exposure has passed may not (a straggler's stale read could still
-	// observe the slot).
+	// observe the slot). Stamps from another index epoch and stamps
+	// carrying the sticky StampExposed bit (cross-deque batch-remnant
+	// restamps) are conservatively unrecyclable too.
 	d := newRelaxed(t)
 	owner := newCtr()
 	v := 1
-	idx := d.PushIndex()
+	stamp := d.PushStamp()
 	d.PushBottom(&v, owner)
-	if !d.NeverExposed(idx) {
-		t.Fatalf("private-only index %d reported as exposed", idx)
+	if !d.NeverExposed(stamp) {
+		t.Fatalf("private-only stamp %#x reported as exposed", stamp)
 	}
 	if d.PopBottom(owner) == nil {
 		t.Fatal("pop of private task failed")
 	}
-	if !d.NeverExposed(idx) {
-		t.Errorf("index %d never exposed but gate rejects recycling", idx)
+	if !d.NeverExposed(stamp) {
+		t.Errorf("stamp %#x never exposed but gate rejects recycling", stamp)
 	}
-	idx2 := d.PushIndex()
+	stamp2 := d.PushStamp()
 	d.PushBottom(&v, owner)
 	exposeAll(d, owner)
-	if d.NeverExposed(idx2) {
-		t.Errorf("exposed index %d still reported never-exposed", idx2)
+	if d.NeverExposed(stamp2) {
+		t.Errorf("exposed stamp %#x still reported never-exposed", stamp2)
 	}
 	d.UnexposeAll(owner)
-	if d.NeverExposed(idx2) {
-		t.Errorf("reclaimed index %d must stay unrecyclable (stale thief reads)", idx2)
+	if d.NeverExposed(stamp2) {
+		t.Errorf("reclaimed stamp %#x must stay unrecyclable (stale thief reads)", stamp2)
+	}
+	if d.NeverExposed(stamp | StampExposed) {
+		t.Error("sticky StampExposed bit must make any stamp unrecyclable")
+	}
+	otherEpoch := makeStamp(d.epoch.Load()+1, 1<<20)
+	if d.NeverExposed(otherEpoch) {
+		t.Error("stamp from another index epoch must be unrecyclable")
 	}
 }

@@ -24,8 +24,9 @@ type splitBuf[T any] struct {
 // at publicBot into a public part [top, publicBot) that thieves may steal
 // from, and a private part [publicBot, bot) that only the owner touches.
 //
-// Index invariants (all indices only reset to zero when the deque fully
-// empties through PopPublicBottom):
+// Index invariants (indices only reset to zero when the deque fully
+// empties through PopPublicBottom, or — on a relaxed deque — through the
+// owner's explicit index reset, see resetIndices):
 //
 //	top <= publicBot <= bot   (top from the age word)
 //
@@ -37,9 +38,24 @@ type splitBuf[T any] struct {
 // neither the age word nor publicBot — re-verified exhaustively by the
 // Grow op model in internal/verify, together with a negative model
 // showing why a compacting grow that rewrites indices is unsound.
-// (Between two empty-resets the deque supports 2^32 absolute positions,
-// the width of top in the age word; bot only outruns that after four
-// billion pushes without the deque ever draining.)
+//
+// Index width: top lives in 32 bits of the age word. A non-relaxed deque
+// resets all indices to zero whenever it fully empties through
+// PopPublicBottom, so top only outruns 2^32 after four billion steals
+// without the deque ever draining. A RELAXED deque never takes that
+// reset (its owner reclaims exclusively through tag-bumping UnexposeAll,
+// which the monotone claim memory depends on), so instead it performs an
+// explicit index reset: when Expose finds top at or above
+// relaxedResetThreshold (2^31 — far below the wrap, and indices stay
+// under threshold+maxCap between Expose calls because only Expose
+// advances publicBot), the owner rebases the live window to index zero
+// in a FRESH array generation, bumps the ABA tag, and advances the index
+// epoch (see resetIndices). Thieves detect the epoch change and re-arm
+// their claim memories; stamps from the old epoch fail the relaxed
+// claim's validation, so stale claims straddling a reset fall back to
+// the exclusive CAS or abort. The multiplicity bound of the relaxed
+// protocol is therefore per-epoch: at most thieves+1 returns of one task
+// within an epoch (an epoch spans at least 2^31 consumed tasks).
 //
 // In the C++ reference, bot and publicBot are plain unsigned ints and the
 // algorithm's correctness rests on two explicit seq-cst fences. In Go both
@@ -58,6 +74,14 @@ type SplitDeque[T any] struct {
 	maxCap    uint64        //lcws:field immutable — growth ceiling; TryPushBottom fails beyond it
 	cachedTop uint64        //lcws:field owner — lower bound of top for the push window check; refreshed from age only when the window looks full
 	maxPub    uint64        //lcws:field owner — high-water mark of publicBot (relaxed only): indices below it may have been observed by a relaxed thief
+
+	// epoch counts the index resets of a relaxed deque (see resetIndices).
+	// It only ever increments, and always as the LAST store of a reset, so
+	// a thief that observes the new epoch is guaranteed to also observe
+	// the fully rebased index state. Push stamps and thief claim memories
+	// carry the epoch they were minted in; a stamp or claim from another
+	// epoch is never honored by the relaxed lane.
+	epoch atomic.Uint64 //lcws:field atomic
 
 	// relNext is the relaxed-claim cursor of the MultFree steal protocol
 	// (Castañeda & Piña, arXiv 2008.04424): packed (idx, tag) like age.
@@ -442,10 +466,24 @@ func (d *SplitDeque[T]) PopTopHalf(buf []*T, c *counters.Worker) (int, StealResu
 // modeled configurations). cl is this thief's private, monotone claim
 // memory for this victim: it guarantees the thief never returns the same
 // claim index twice, which — together with the owner repair and the fact
-// that a relaxed deque never reuses an exposed absolute index (the owner
-// reclaims exclusively through tag-bumping operations and the deque never
-// resets its indices) — is what bounds a task's multiplicity by the
-// number of thieves.
+// that a relaxed deque never reuses an exposed absolute index within an
+// epoch (the owner reclaims exclusively through tag-bumping operations,
+// and the rare index reset moves to a fresh epoch whose stale claims are
+// rejected by the stamp validation) — is what bounds a task's
+// multiplicity by the number of thieves per epoch.
+//
+// stampOf must return the push stamp the owner wrote into the task
+// (PushStamp at fork time; the read must be atomic, because stale slot
+// pointers may reference descriptors the owner has recycled). The stamp
+// is the relaxed lane's post-read validation: the claim is honored only
+// when the loaded task was pushed at exactly the (epoch, index) claimed.
+// Without it a thief that stalls between its publicBot load and the slot
+// load while the victim's live window slides a full capacity would read
+// the task pushed at claim+capacity — a private, possibly never-exposed
+// task, unprotected by the owner's join arbitration — out of the slot
+// the indices alias to (the backing array is circular). The exclusive
+// CAS paths need no stamp: any such slide advances top past the claim
+// (the window bound forces it) or bumps the tag, failing the CAS.
 //
 // idempotent gates eligibility per task: when the claimed slot fails the
 // predicate (a non-idempotent Fork2 closure), the thief falls back to the
@@ -453,7 +491,16 @@ func (d *SplitDeque[T]) PopTopHalf(buf []*T, c *counters.Worker) (int, StealResu
 // authoritative top — so non-idempotent tasks are never duplicated.
 //
 //lcws:noalloc
-func (d *SplitDeque[T]) TakeTopRelaxed(cl *RelClaim, idempotent func(*T) bool, c *counters.Worker) (*T, StealResult) {
+func (d *SplitDeque[T]) TakeTopRelaxed(cl *RelClaim, idempotent func(*T) bool, stampOf func(*T) uint64, c *counters.Worker) (*T, StealResult) {
+	epoch := d.epoch.Load()
+	if cl.epoch != epoch {
+		// The victim reset its indices since this memory was armed, so
+		// its claims are about dead coordinates. Re-arm from zero: safe,
+		// because the stamp validation below rejects every slot whose
+		// content predates the epoch this claim was computed in.
+		cl.epoch = epoch
+		cl.next = 0
+	}
 	oldAge := d.age.Load()
 	top, tag := unpackAge(oldAge)
 	claim := uint64(top)
@@ -471,6 +518,31 @@ func (d *SplitDeque[T]) TakeTopRelaxed(cl *RelClaim, idempotent func(*T) bool, c
 		return nil, Empty
 	}
 	task := d.loadSlot(claim)
+	if task == nil {
+		// A read below a grown generation's copy window, or mid-reset:
+		// nothing claimable here.
+		return nil, Abort
+	}
+	if stampOf(task)&^StampExposed != makeStamp(epoch, claim) {
+		// The slot does not hold the task pushed at the claimed
+		// (epoch, index): the read raced a window slide onto an aliased
+		// slot, an index reset, or a re-push. Only the exclusive CAS can
+		// settle such a race, and only at the authoritative top: CAS
+		// success proves the age word — top and tag — never moved since
+		// oldAge, which retroactively validates the slot read (any
+		// overwrite of the claimed slot requires advancing top past the
+		// claim or bumping the tag). This is also how tasks rebased by an
+		// index reset, which keep their old-epoch stamps, get consumed.
+		if claim != uint64(top) {
+			return nil, Abort
+		}
+		c.Add(counters.CAS, counters.LCWSStealCAS)
+		if d.age.CompareAndSwap(oldAge, packAge(top+1, tag)) {
+			cl.next = claim + 1
+			return task, Stolen
+		}
+		return nil, Abort
+	}
 	if !idempotent(task) {
 		// Exclusive claim required; only the real top can be CASed.
 		if claim != uint64(top) {
@@ -498,16 +570,26 @@ func (d *SplitDeque[T]) TakeTopRelaxed(cl *RelClaim, idempotent func(*T) bool, c
 // PopTopHalf (WithStealBatch): it claims up to half of the unclaimed
 // public part with a single plain cursor store, writing the claimed tasks
 // into buf oldest-first and returning how many were claimed. The batch
-// stops at the first task that fails the idempotent predicate; if the
-// very first task fails it, the thief falls back to the exclusive batch
-// CAS of PopTopHalf when the claim is the authoritative top. Multiplicity
-// is bounded exactly as for TakeTopRelaxed — the batch rides on one
-// cursor advance, and cl keeps the thief's claims monotone.
+// stops at the first task that fails the per-slot stamp validation (see
+// TakeTopRelaxed) or the idempotent predicate; if the very first task
+// fails either, the thief falls back to the exclusive batch CAS of
+// PopTopHalf when the claim is the authoritative top — PopTopHalf
+// re-reads its slots under its own age load, and its CAS retroactively
+// validates every batched read (overwriting any claimed slot requires
+// advancing top past it or bumping the tag). Multiplicity is bounded
+// exactly as for TakeTopRelaxed — the batch rides on one cursor advance,
+// and cl keeps the thief's claims monotone.
 //
 //lcws:noalloc
-func (d *SplitDeque[T]) TakeTopHalfRelaxed(buf []*T, cl *RelClaim, idempotent func(*T) bool, c *counters.Worker) (int, StealResult) {
+func (d *SplitDeque[T]) TakeTopHalfRelaxed(buf []*T, cl *RelClaim, idempotent func(*T) bool, stampOf func(*T) uint64, c *counters.Worker) (int, StealResult) {
 	if len(buf) == 0 {
 		panic("deque: TakeTopHalfRelaxed requires a non-empty batch buffer")
+	}
+	epoch := d.epoch.Load()
+	if cl.epoch != epoch {
+		// See TakeTopRelaxed: the memory belongs to a dead epoch.
+		cl.epoch = epoch
+		cl.next = 0
 	}
 	oldAge := d.age.Load()
 	top, tag := unpackAge(oldAge)
@@ -533,6 +615,11 @@ func (d *SplitDeque[T]) TakeTopHalfRelaxed(buf []*T, cl *RelClaim, idempotent fu
 	k := uint64(0)
 	for k < n {
 		t := bb.slots[(claim+k)&bb.mask].Load()
+		if t == nil || stampOf(t)&^StampExposed != makeStamp(epoch, claim+k) {
+			// Stale, aliased or mid-reset read (see TakeTopRelaxed):
+			// truncate the batch at the last validated slot.
+			break
+		}
 		if !idempotent(t) {
 			break
 		}
@@ -540,9 +627,10 @@ func (d *SplitDeque[T]) TakeTopHalfRelaxed(buf []*T, cl *RelClaim, idempotent fu
 		k++
 	}
 	if k == 0 {
-		// The oldest unclaimed task is non-idempotent: take the exclusive
-		// batch path when the claim is the real top, otherwise leave it
-		// for a CAS thief or the owner.
+		// The oldest unclaimed task is non-idempotent or its slot read
+		// failed validation: take the exclusive batch path when the claim
+		// is the real top (the batch CAS settles both cases), otherwise
+		// leave it for a CAS thief or the owner.
 		if claim != uint64(top) {
 			return 0, Abort
 		}
@@ -598,6 +686,12 @@ func (d *SplitDeque[T]) HasPublicWork() bool { return d.PublicSize() > 0 }
 func (d *SplitDeque[T]) Expose(mode ExposeMode, c *counters.Worker) int {
 	if d.relaxed {
 		d.repairRelaxed(c)
+		if top, _ := unpackAge(d.age.Load()); top >= relaxedResetThreshold {
+			// Rebase the indices long before the 32-bit top could wrap.
+			// The allocation is why the reset lives outside this
+			// //lcws:noalloc boundary path, mirroring grow.
+			d.resetIndices(c)
+		}
 	}
 	pb := d.publicBot.Load()
 	b := d.bot.Load()
@@ -641,21 +735,107 @@ func (d *SplitDeque[T]) Expose(mode ExposeMode, c *counters.Worker) int {
 	return int(n)
 }
 
-// PushIndex returns the absolute index the next PushBottom will occupy.
-// Owner-only; the MultFree core stamps it on each forked task so the
-// recycling gate (NeverExposed) can be checked when the task is freed.
-//
-//lcws:noalloc
-func (d *SplitDeque[T]) PushIndex() uint64 { return d.bot.Load() }
+// relaxedResetThreshold is the top index at which Expose triggers a
+// relaxed deque's index reset (resetIndices). 2^31 makes resets
+// vanishingly rare — one per two billion consumed tasks — while leaving
+// the 32-bit top field a full 2^31 of headroom: between the check and
+// the next Expose, top can only advance to publicBot, and publicBot only
+// advances in Expose, so indices stay below threshold + the window bound
+// (maxCap, itself necessarily < 2^31 for the age word's arithmetic). A
+// package variable so tests can lower it and exercise the reset without
+// two billion pushes.
+var relaxedResetThreshold uint32 = 1 << 31
 
-// NeverExposed reports whether absolute index idx has never been inside
-// the public window of this (relaxed) deque. Owner-only. Conservative
-// under index reuse: an index once exposed reports false forever, even
-// for a later task that never went public — the cost is a GC-dropped
-// descriptor, never an unsound recycle.
+// resetIndices rebases a relaxed deque's live window to absolute index
+// zero and advances the index epoch. A non-relaxed deque resets its
+// indices whenever it fully empties (PopPublicBottom), but a relaxed
+// deque never takes that path — the monotone claim memories forbid it —
+// so without this operation its indices would grow without bound and the
+// 32-bit top in the age word would wrap after 2^32 cumulative advances,
+// silently diverging from the uint64 bot/publicBot/RelClaim.next.
+// Owner-only; called by Expose when top crosses relaxedResetThreshold.
+//
+// The sequence, in an order each step depends on:
+//
+//  1. UnexposeAll — reclaims the public part and bumps the ABA tag, so
+//     no in-flight exclusive CAS can land on the rewritten age word and
+//     no relaxed cursor store survives as honored (the repair inside
+//     UnexposeAll folds live claims into top first; after the bump every
+//     late cursor store is tag-mismatched and ignored by all readers).
+//  2. Copy the live window [top, b) into a FRESH same-size generation at
+//     [0, b-top) and publish it. A fresh generation, not an in-place
+//     move: the source and destination ranges overlap in mask space, and
+//     a superseded generation is never written again — the invariant
+//     every stale reader relies on.
+//  3. Rewrite bot, publicBot, age and relNext to rebased coordinates.
+//     A thief reading a mix of old and new values sees either "nothing
+//     public" (publicBot ends at zero, and nothing is exposed until this
+//     Expose call proceeds) or a stamp-mismatched slot; both abort.
+//  4. epoch advance LAST. The epoch is what re-arms thief claim
+//     memories; a thief that observes the new epoch therefore observes
+//     every rebased store above (Go atomics are seq-cst). Rebased tasks
+//     keep their original old-epoch stamps, so relaxed claims on them
+//     fail validation and they are consumed through the exclusive CAS
+//     fallback or the owner's own pops — never duplicated across the
+//     reset.
+//
+// The allocation is why the reset lives outside the //lcws:noalloc
+// Expose path, exactly like grow under TryPushBottom.
+func (d *SplitDeque[T]) resetIndices(c *counters.Worker) {
+	d.UnexposeAll(c)
+	top, tag := unpackAge(d.age.Load())
+	b := d.bot.Load()
+	n := b - uint64(top) // the whole deque is private after UnexposeAll
+	size := d.ownerMask + 1
+	nb := &splitBuf[T]{slots: make([]atomic.Pointer[T], size), mask: size - 1}
+	for i := uint64(0); i < n; i++ {
+		nb.slots[i&nb.mask].Store(d.ownerSlot(uint64(top) + i))
+	}
+	d.ownerSlots = nb.slots
+	d.ownerMask = nb.mask
+	d.buf.Store(nb)
+	d.bot.Store(n)
+	d.publicBot.Store(0)
+	d.age.Store(packAge(0, tag+1))
+	d.relNext.Store(packAge(0, tag+1))
+	d.cachedTop = 0
+	d.maxPub = 0
+	d.epoch.Add(1)
+	c.Inc(counters.Fence) // ordering of the rebased stores against the epoch advance
+}
+
+// PushStamp returns the stamp — the packed (index epoch, absolute index)
+// of makeStamp — that the next PushBottom will occupy. Owner-only; the
+// MultFree core writes it into each forked task before pushing, so
+// relaxed thieves can validate their fence-free slot reads against it
+// (TakeTopRelaxed) and the recycling gate (NeverExposed) can be checked
+// when the task is freed.
 //
 //lcws:noalloc
-func (d *SplitDeque[T]) NeverExposed(idx uint64) bool { return idx >= d.maxPub }
+func (d *SplitDeque[T]) PushStamp() uint64 {
+	return makeStamp(d.epoch.Load(), d.bot.Load())
+}
+
+// NeverExposed reports whether the task carrying stamp has never been
+// inside the public window of this (relaxed) deque. Owner-only.
+// Conservative on three fronts, each trading a GC-dropped descriptor for
+// soundness, never the reverse: a stamp with the sticky StampExposed bit
+// (a cross-deque restamp of a steal-batch remnant) reports false
+// forever; a stamp minted in a previous index epoch reports false (its
+// index means nothing in the current epoch, and a thief claim from
+// before the reset may still be in flight on it); and an index once
+// exposed reports false even for a later task reusing it privately.
+//
+//lcws:noalloc
+func (d *SplitDeque[T]) NeverExposed(stamp uint64) bool {
+	if stamp&StampExposed != 0 {
+		return false
+	}
+	if stamp&stampEpochMask != d.epoch.Load()<<stampEpochShift&stampEpochMask {
+		return false
+	}
+	return stamp&stampIdxMask >= d.maxPub
+}
 
 // UnexposeAll transfers every unstolen public task back to the private
 // part and returns how many were reclaimed. Only the owner may call it.

@@ -292,22 +292,29 @@ func MeasureStealOpCost(relaxed bool, batch, rounds, burst, reps int) StealOpRes
 	}
 	res := StealOpResult{Path: path, Rounds: rounds, Burst: burst, Reps: reps}
 
-	d := deque.NewSplitRelaxed[int](1024, 1<<20, true)
-	payload := make([]int, burst)
-	var buf []*int
+	// The element carries its own push stamp, mirroring core.Task: the
+	// relaxed claim paths re-validate every slot read against it.
+	type stealOpTask struct {
+		stamp atomic.Uint64
+	}
+	d := deque.NewSplitRelaxed[stealOpTask](1024, 1<<20, true)
+	payload := make([]stealOpTask, burst)
+	var buf []*stealOpTask
 	if batch > 1 {
-		buf = make([]*int, batch)
+		buf = make([]*stealOpTask, batch)
 	}
 	var ownerC, thiefC counters.Worker
 	var cl deque.RelClaim
-	idem := func(*int) bool { return true }
-	var sink *int
+	idem := func(*stealOpTask) bool { return true }
+	stampOf := func(t *stealOpTask) uint64 { return t.stamp.Load() }
+	var sink *stealOpTask
 	first := true
 	for rep := 0; rep < reps; rep++ {
 		var elapsed time.Duration
 		var steals, ops uint64
 		for r := 0; r < rounds; r++ {
 			for i := range payload {
+				payload[i].stamp.Store(d.PushStamp())
 				d.PushBottom(&payload[i], &ownerC)
 			}
 			for d.PrivateSize() > 0 {
@@ -317,7 +324,7 @@ func MeasureStealOpCost(relaxed bool, batch, rounds, burst, reps int) StealOpRes
 			switch {
 			case relaxed && batch > 1:
 				for {
-					n, sr := d.TakeTopHalfRelaxed(buf, &cl, idem, &thiefC)
+					n, sr := d.TakeTopHalfRelaxed(buf, &cl, idem, stampOf, &thiefC)
 					if sr != deque.Stolen {
 						break
 					}
@@ -327,7 +334,7 @@ func MeasureStealOpCost(relaxed bool, batch, rounds, burst, reps int) StealOpRes
 				}
 			case relaxed:
 				for {
-					t, sr := d.TakeTopRelaxed(&cl, idem, &thiefC)
+					t, sr := d.TakeTopRelaxed(&cl, idem, stampOf, &thiefC)
 					if sr != deque.Stolen {
 						break
 					}

@@ -129,6 +129,9 @@ func normalize(sc Scenario) Scenario {
 	} else if sc.RelaxedNoRepair || sc.RelaxedNoClaimMemory || sc.AtomicClaims || sc.Pinned != 0 {
 		panic("verify: relaxed knobs (NoRepair/NoClaimMemory/AtomicClaims/Pinned) require Relaxed")
 	}
+	if sc.RelaxedNoStampCheck && (!sc.Relaxed || !sc.Circular) {
+		panic("verify: RelaxedNoStampCheck ablates the stamp validation of the relaxed claim path on the circular array model; it requires both Relaxed and Circular")
+	}
 	grows := 0
 	for _, op := range sc.Owner {
 		switch op.Kind {
@@ -137,7 +140,12 @@ func normalize(sc Scenario) Scenario {
 				panic(fmt.Sprintf("verify: op %v violates the MultFree owner discipline (UnexposeAll-only reclaim; PopPublicBottom's emptying path resets absolute indices and would break the monotone claim memory)", op))
 			}
 		case OpPushBottom, OpPopBottom, OpUpdatePublicBottom, OpUnexposeAll, OpDrainBatch:
-		case OpGrow, OpGrowNaive:
+		case OpGrowNaive:
+			if sc.Circular {
+				panic("verify: GrowNaive is the compacting negative on the absolute-index model and cannot be combined with Circular")
+			}
+			grows++
+		case OpGrow:
 			grows++
 		default:
 			panic(fmt.Sprintf("verify: op %v is not a valid owner op", op))

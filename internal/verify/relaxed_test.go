@@ -218,6 +218,132 @@ func TestRelaxedNoRepairBreaksTheBound(t *testing.T) {
 	t.Logf("counterexample (%d steps):\n  %s", len(mult.Trace), strings.Join(mult.Trace, "\n  "))
 }
 
+// circularAliasScenario is the mask-aliasing hazard distilled to the
+// smallest circular model that exhibits it: capacity 2, and an owner
+// script whose claims are folded into top by the interleaved exposures,
+// so the live window can slide a full capacity before push(3) — which
+// then lands on the physical slot of absolute index 0. A thief that
+// loaded its claim=0 and publicBot before stalling wakes up over a slot
+// that now holds task 3, a task the owner never exposed at that index.
+// With the stamp validation on, every such schedule aborts (or falls
+// back to the retroactively-validating exclusive CAS at the
+// authoritative top); the RelaxedNoStampCheck ablation instead commits
+// the aliased read and the StaleSlotRead oracle exhibits it.
+func circularAliasScenario(name string) Scenario {
+	return Scenario{
+		Name:     name,
+		RaceFix:  true,
+		Relaxed:  true,
+		Circular: true,
+		Capacity: 2,
+		Owner: []Op{
+			Push(1), UpdatePublicBottom(), UpdatePublicBottom(),
+			Push(2), UpdatePublicBottom(), UpdatePublicBottom(),
+			Push(3), DrainBatch(),
+		},
+		Thieves:       2,
+		StealAttempts: 2,
+		Expose:        deque.ExposeOne,
+		RequireDrain:  true,
+	}
+}
+
+// TestCircularRelaxedStampValidationClean is the positive result the
+// reviewer's mask-aliasing counterexample demands: on the circular
+// array model — where a push one capacity ahead physically overwrites a
+// dead slot — the relaxed claim path with stamp validation never
+// returns an aliased task, never loses a task, and keeps the
+// multiplicity bound, across every interleaving (including the
+// schedules where the full window forces a mid-push grow+rehash).
+func TestCircularRelaxedStampValidationClean(t *testing.T) {
+	r := mustClean(t, circularAliasScenario("circular-relaxed-stamp-clean"))
+	if r.States == 0 {
+		t.Fatal("no states explored")
+	}
+}
+
+// TestCircularNoStampCheckStaleSlotRead is the matching negative: the
+// SAME scenario with the stamp validation ablated must exhibit a
+// relaxed commit of an aliased slot read — the thief stalled between
+// its publicBot check and its slot read returns the task pushed a full
+// capacity later. This is the double-execute / use-after-recycle
+// hazard upstream: the returned task's descriptor was never exposed at
+// the claimed index, so the scheduler-side recycling gate would have
+// been bypassed without the stamp.
+func TestCircularNoStampCheckStaleSlotRead(t *testing.T) {
+	sc := circularAliasScenario("circular-no-stamp-check-stale-read")
+	sc.RelaxedNoStampCheck = true
+	r := Check(sc)
+	logReport(t, r)
+	if r.Truncated {
+		t.Fatalf("exploration truncated at %d states", r.States)
+	}
+	var stale *Violation
+	for i := range r.Violations {
+		if r.Violations[i].Kind == StaleSlotRead {
+			stale = &r.Violations[i]
+			break
+		}
+	}
+	if stale == nil {
+		t.Fatalf("model checker failed to exhibit the aliased slot read without the stamp check; found %v", r.Violations)
+	}
+	trace := strings.Join(stale.Trace, "\n")
+	if !strings.Contains(trace, "STALE task 3") {
+		t.Errorf("counterexample does not commit the aliasing push's task:\n%s", trace)
+	}
+	t.Logf("counterexample (%d steps):\n  %s", len(stale.Trace), strings.Join(stale.Trace, "\n  "))
+}
+
+// TestCircularExclusiveStealsClean checks the claim the review's
+// analysis rests on — "the exclusive PopTop path is immune because its
+// age CAS invalidates stale reads": the same sliding-window script on
+// the circular model with plain CAS thieves and the Listing 1 drain is
+// clean with no stamp machinery at all. Overwriting a claimed slot
+// requires advancing top past the claim, so an unchanged age word
+// proves the slot read was fresh.
+func TestCircularExclusiveStealsClean(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:     "circular-exclusive-steals-clean",
+		RaceFix:  true,
+		Circular: true,
+		Capacity: 2,
+		Owner: []Op{
+			Push(1), UpdatePublicBottom(), UpdatePublicBottom(),
+			Push(2), UpdatePublicBottom(), UpdatePublicBottom(),
+			Push(3), Drain(),
+		},
+		Thieves:       2,
+		StealAttempts: 2,
+		Expose:        deque.ExposeOne,
+		RequireDrain:  true,
+	})
+}
+
+// TestCircularGrowRehashClean drives the explicit growth op on the
+// circular model, where — unlike the absolute-index model — the
+// doubled generation's re-masked copy IS observable: the live window
+// is rehashed into the new physical layout in the publishing step, and
+// relaxed thieves holding pre-growth claims must still never return an
+// aliased or lost task.
+func TestCircularGrowRehashClean(t *testing.T) {
+	mustClean(t, Scenario{
+		Name:     "circular-grow-rehash-clean",
+		RaceFix:  true,
+		Relaxed:  true,
+		Circular: true,
+		Capacity: 2,
+		Owner: []Op{
+			Push(1), Push(2), UpdatePublicBottom(), Grow(),
+			Push(3), UpdatePublicBottom(), DrainBatch(),
+		},
+		Thieves:       1,
+		StealAttempts: 2,
+		Expose:        deque.ExposeOne,
+		RequireDrain:  true,
+	})
+}
+
 // TestRelaxedLostTaskOracleLive keeps the no-lost-task oracle honest in
 // relaxed mode: an undrained relaxed scenario must be reported.
 func TestRelaxedLostTaskOracleLive(t *testing.T) {

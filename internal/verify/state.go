@@ -60,6 +60,43 @@ type state struct {
 	// detects first returns (lost-task oracle) while the counts carry
 	// the multiplicity-bound oracle.
 	retCounts uint64
+	// taskIdx records, per task id, the absolute index the task was
+	// pushed at — the model of the descriptor's push stamp
+	// (core.Task.pushStamp): it is written in the same micro-step as the
+	// slot store (the stamp travels inside the descriptor, so a slot
+	// read observes the pair atomically) and is immutable afterwards
+	// (the model pushes every id at most once and never resets
+	// indices). Circular scenarios validate it on the relaxed claim
+	// path; it stays zero otherwise.
+	taskIdx [maxTaskID + 1]uint8
+}
+
+// phys maps an absolute deque index to the physical slot it occupies:
+// the identity on the absolute-index model, index mod capacity on the
+// circular model — where a push one full capacity ahead of a dead
+// index physically overwrites its slot (mask aliasing).
+func (s *state) phys(sc *Scenario, idx uint64) uint64 {
+	if sc.Circular {
+		return idx % uint64(s.cap)
+	}
+	return idx
+}
+
+// rehash re-lays the live window [top, bot) out for a doubled capacity
+// (Circular growth): the grown generation holds every live task at its
+// absolute index re-masked by the new capacity, and dead physical
+// slots start empty. The model has a single array, so the superseded
+// generation's contents are dropped; a thief holding a stale claim
+// then reads an empty slot where the implementation would read the old
+// generation's stale task — either way the stamp validation's verdict
+// is an abort, so the interleavings explored are the same.
+func (s *state) rehash(top uint64, newCap uint16) {
+	var ns [maxSlots]uint8
+	for i := top; i < s.bot; i++ {
+		ns[i%uint64(newCap)] = s.slots[i%uint64(s.cap)]
+	}
+	s.slots = ns
+	s.cap = newCap
 }
 
 func unpackAge(a uint64) (top, tag uint32) { return uint32(a), uint32(a >> 32) }
@@ -196,6 +233,7 @@ func (s *state) key() string {
 	binary.LittleEndian.PutUint64(w[:], s.retCounts)
 	buf = append(buf, w[:]...)
 	buf = append(buf, s.slots[:]...)
+	buf = append(buf, s.taskIdx[:]...)
 	flags := byte(0)
 	if s.sigPending {
 		flags = 1

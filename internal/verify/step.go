@@ -142,20 +142,39 @@ func (s *state) pushStep(sc *Scenario, t *thread, id uint8) (string, *Violation)
 	switch t.phase {
 	case 0:
 		t.r1 = s.bot
-		// The implementation's window check is bot - top <= mask; the
-		// model conservatively assumes top == 0 (the worst case over
-		// all interleavings) so that a scenario either fits in every
-		// schedule or is rejected deterministically. Scripts push past
-		// the current capacity by inserting an explicit Grow op first.
-		if t.r1 >= uint64(s.cap) {
+		if sc.Circular {
+			// The circular model runs the implementation's actual window
+			// check, bot - top >= capacity against a fresh top, and grows
+			// when the window is full, exactly as TryPushBottom does: the
+			// doubled generation is published in this same micro-step
+			// (the publish is the growth's single thief-visible write;
+			// the top load feeding the copy bound folds into it).
+			if top, _ := unpackAge(s.age); t.r1-uint64(top) >= uint64(s.cap) {
+				if 2*int(s.cap) > maxSlots {
+					panic(fmt.Sprintf("verify: scenario %q grows beyond the modelled maximum %d", sc.Name, maxSlots))
+				}
+				s.rehash(uint64(top), 2*s.cap)
+				t.phase = 1
+				return fmt.Sprintf("owner: push(%d) load bot=%d (window full: grow publish capacity=%d)", id, t.r1, s.cap), nil
+			}
+		} else if t.r1 >= uint64(s.cap) {
+			// The absolute-index model's window check conservatively
+			// assumes top == 0 (the worst case over all interleavings) so
+			// that a scenario either fits in every schedule or is
+			// rejected deterministically. Scripts push past the initial
+			// capacity by inserting an explicit Grow op first.
 			panic(fmt.Sprintf("verify: scenario %q overflows capacity %d without a Grow op", sc.Name, s.cap))
 		}
 		t.phase = 1
 		return fmt.Sprintf("owner: push(%d) load bot=%d", id, t.r1), nil
 	case 1:
-		s.slots[t.r1] = id
+		// The push stamp is stored into the descriptor before the slot
+		// publish and is read atomically with it, so the pair is one
+		// micro-step (taskIdx is per-task, immutable once written).
+		s.slots[s.phys(sc, t.r1)] = id
+		s.taskIdx[id] = uint8(t.r1)
 		t.phase = 2
-		return fmt.Sprintf("owner: push(%d) store slot[%d]", id, t.r1), nil
+		return fmt.Sprintf("owner: push(%d) store slot[%d]", id, s.phys(sc, t.r1)), nil
 	default:
 		s.bot = t.r1 + 1
 		bit := uint16(1) << id
@@ -201,7 +220,7 @@ func (s *state) popBottomStep(sc *Scenario, t *thread) (string, *Violation) {
 			return fmt.Sprintf("owner: pop_bottom load publicBot=%d", t.r2), nil
 		default:
 			idx := t.r1 - 1
-			id := s.slots[idx]
+			id := s.slots[s.phys(sc, idx)]
 			if id == 0 {
 				return "owner: pop_bottom load slot", &Violation{Kind: SlotCorruption,
 					Detail: fmt.Sprintf("pop_bottom read empty slot %d", idx)}
@@ -232,7 +251,7 @@ func (s *state) popBottomStep(sc *Scenario, t *thread) (string, *Violation) {
 		return fmt.Sprintf("owner: pop_bottom store bot=%d", t.r1-1), nil
 	default:
 		idx := t.r1 - 1
-		id := s.slots[idx]
+		id := s.slots[s.phys(sc, idx)]
 		if id == 0 {
 			return "owner: pop_bottom load slot", &Violation{Kind: SlotCorruption,
 				Detail: fmt.Sprintf("pop_bottom read empty slot %d", idx)}
@@ -268,7 +287,7 @@ func (s *state) popPublicStep(sc *Scenario, t *thread) (string, *Violation) {
 		t.phase = 3
 		return fmt.Sprintf("owner: pop_public_bottom store publicBot=%d", t.r1-1), nil
 	case 3:
-		t.r3 = uint64(s.slots[t.r1-1])
+		t.r3 = uint64(s.slots[s.phys(sc, t.r1-1)])
 		t.phase = 4
 		return fmt.Sprintf("owner: pop_public_bottom load slot[%d] -> task %d", t.r1-1, t.r3), nil
 	case 4:
@@ -468,7 +487,7 @@ func (s *state) popTopStep(sc *Scenario, t *thread, tid int) (string, *Violation
 		return fmt.Sprintf("%s: pop_top load publicBot=%d", who, t.r2), nil
 	case 2:
 		top, _ := unpackAge(t.r1)
-		t.r3 = uint64(s.slots[top])
+		t.r3 = uint64(s.slots[s.phys(sc, uint64(top))])
 		t.phase = 3
 		return fmt.Sprintf("%s: pop_top load slot[%d] -> task %d", who, top, t.r3), nil
 	case 3:
@@ -535,7 +554,7 @@ func (s *state) popTopHalfStep(sc *Scenario, t *thread, tid int) (string, *Viola
 		n := t.r4 & 0xff
 		i := t.r4 >> 8
 		idx := uint64(top) + i
-		id := s.slots[idx]
+		id := s.slots[s.phys(sc, idx)]
 		t.r3 |= uint64(id) << (4 * i)
 		i++
 		t.r4 = n | i<<8
@@ -709,6 +728,16 @@ func (s *state) growStep(sc *Scenario, t *thread) (string, *Violation) {
 		if 2*int(s.cap) > maxSlots {
 			panic(fmt.Sprintf("verify: scenario %q grows beyond the modelled maximum %d", sc.Name, maxSlots))
 		}
+		if sc.Circular {
+			// The circular model's physical layout depends on the
+			// capacity, so the doubled generation's copy IS observable:
+			// rehash the live window into the new masking, dropping the
+			// superseded generation (see rehash).
+			top, _ := unpackAge(t.r1)
+			s.rehash(uint64(top), 2*s.cap)
+			t.completeOwner(sc, false)
+			return fmt.Sprintf("owner: grow publish capacity=%d (live window rehashed)", s.cap), nil
+		}
 		s.cap *= 2
 		t.completeOwner(sc, false)
 		return fmt.Sprintf("owner: grow publish capacity=%d (live slots at unchanged indices)", s.cap), nil
@@ -784,9 +813,13 @@ func (s *state) growNaiveStep(sc *Scenario, t *thread) (string, *Violation) {
 // validating claim < publicBot and reading the slot, an idempotent task
 // is committed with a plain cursor store (no fence, no CAS), while a
 // pinned task falls back to the exclusive age CAS, legal only when the
-// claim is the authoritative top. Under Scenario.AtomicClaims the slot
-// read and cursor store fuse into one micro-step — the landed-claim
-// adversary under which the owner repair alone carries the bound.
+// claim is the authoritative top. On the circular model the slot read
+// is validated against the task's push stamp first — a mismatch means
+// the slot aliased under the thief's feet, and the claim aborts (or
+// falls back to the same exclusive CAS when it sits at the
+// authoritative top). Under Scenario.AtomicClaims the slot read and
+// cursor store fuse into one micro-step — the landed-claim adversary
+// under which the owner repair alone carries the bound.
 func (s *state) relaxedTakeStep(sc *Scenario, t *thread, tid int) (string, *Violation) {
 	who := fmt.Sprintf("thief%d", tid)
 	commit := func(id uint8) *Violation {
@@ -830,12 +863,38 @@ func (s *state) relaxedTakeStep(sc *Scenario, t *thread, tid int) (string, *Viol
 		}
 		return fmt.Sprintf("%s: take_top_relaxed load publicBot=%d", who, t.r2), nil
 	case 3:
-		id := s.slots[t.r3]
+		id := s.slots[s.phys(sc, t.r3)]
 		if id == 0 {
+			if sc.Circular {
+				// A dead physical slot zeroed by a generation publish: the
+				// implementation would read the superseded generation's
+				// stale task here and the stamp check would reject it, so
+				// the nil read aborts on the same schedules (kept even
+				// under the ablation — the model cannot fabricate the
+				// dropped generation's content).
+				t.complete()
+				return fmt.Sprintf("%s: take_top_relaxed load slot[%d] -> empty (superseded slot) -> ABORT", who, t.r3), nil
+			}
 			return who + ": take_top_relaxed load slot", &Violation{Kind: SlotCorruption,
 				Detail: fmt.Sprintf("take_top_relaxed read empty slot %d", t.r3)}
 		}
 		t.r4 = uint64(id)
+		if sc.Circular && !sc.RelaxedNoStampCheck && uint64(s.taskIdx[id]) != t.r3 {
+			// Stamp validation (deque.TakeTopRelaxed): the task read from
+			// the slot was pushed at a different absolute index — the
+			// slot aliased. At the authoritative top the exclusive age
+			// CAS retroactively validates the read (overwriting the
+			// claimed slot requires moving top past the claim first, so
+			// an unchanged age word proves the read was not stale);
+			// anywhere else the claim aborts.
+			top, _ := unpackAge(t.r1)
+			if t.r3 != uint64(top) {
+				t.complete()
+				return fmt.Sprintf("%s: take_top_relaxed load slot[%d] -> task %d stamp=%d mismatch -> ABORT", who, t.r3, id, s.taskIdx[id]), nil
+			}
+			t.phase = 6
+			return fmt.Sprintf("%s: take_top_relaxed load slot[%d] -> task %d stamp=%d mismatch at top (exclusive fallback)", who, t.r3, id, s.taskIdx[id]), nil
+		}
 		if sc.Pinned&(1<<uint(id)) != 0 {
 			top, _ := unpackAge(t.r1)
 			if t.r3 != uint64(top) {
@@ -852,6 +911,15 @@ func (s *state) relaxedTakeStep(sc *Scenario, t *thread, tid int) (string, *Viol
 	case 4:
 		id := uint8(t.r4)
 		claim := t.r3
+		if sc.Circular && uint64(s.taskIdx[id]) != claim {
+			// The StaleSlotRead oracle: a relaxed commit of a task whose
+			// push stamp does not match the claim index returned an
+			// aliased — possibly never-exposed — task. Only the
+			// RelaxedNoStampCheck ablation reaches this commit.
+			return fmt.Sprintf("%s: take_top_relaxed store relNext=%d -> STALE task %d", who, claim+1, id),
+				&Violation{Kind: StaleSlotRead,
+					Detail: fmt.Sprintf("relaxed claim %d returned task %d pushed at index %d (aliased slot %d)", claim, id, s.taskIdx[id], s.phys(sc, claim))}
+		}
 		v := commit(id)
 		return fmt.Sprintf("%s: take_top_relaxed store relNext=%d -> RELAXED-STOLEN task %d", who, claim+1, id), v
 	case 5:
@@ -865,7 +933,7 @@ func (s *state) relaxedTakeStep(sc *Scenario, t *thread, tid int) (string, *Viol
 			return fmt.Sprintf("%s: take_top_relaxed load bot=%d -> PRIVATE_WORK (notify owner)", who, b), nil
 		}
 		return fmt.Sprintf("%s: take_top_relaxed load bot=%d -> EMPTY", who, b), nil
-	default: // 6: exclusive CAS for a pinned task sitting at top
+	default: // 6: exclusive CAS fallback (pinned task, or stamp mismatch) at top
 		top, tag := unpackAge(t.r1)
 		id := uint8(t.r4)
 		if s.age == t.r1 {
@@ -875,7 +943,7 @@ func (s *state) relaxedTakeStep(sc *Scenario, t *thread, tid int) (string, *Viol
 			}
 			v := s.recordReturn(sc, id)
 			t.complete()
-			return fmt.Sprintf("%s: take_top_relaxed CAS age ok -> STOLEN pinned task %d", who, id), v
+			return fmt.Sprintf("%s: take_top_relaxed CAS age ok -> STOLEN task %d (exclusive)", who, id), v
 		}
 		t.complete()
 		return who + ": take_top_relaxed CAS age failed -> ABORT", nil
@@ -911,10 +979,17 @@ func (s *state) relaxedTakeAtomic(sc *Scenario, t *thread, who string) (string, 
 		}
 		return fmt.Sprintf("%s: take_top_relaxed (atomic) -> EMPTY", who), nil
 	}
-	id := s.slots[claim]
+	id := s.slots[s.phys(sc, claim)]
 	if id == 0 {
 		return who + ": take_top_relaxed (atomic) load slot", &Violation{Kind: SlotCorruption,
 			Detail: fmt.Sprintf("take_top_relaxed read empty slot %d", claim)}
+	}
+	if sc.Circular && uint64(s.taskIdx[id]) != claim {
+		// An atomic attempt reads everything fresh, so its claim is in
+		// the live window and the slot cannot have aliased; a mismatch
+		// here is a model bug, surfaced as the stale-read violation.
+		return who + ": take_top_relaxed (atomic) load slot", &Violation{Kind: StaleSlotRead,
+			Detail: fmt.Sprintf("atomic relaxed claim %d read task %d pushed at index %d", claim, id, s.taskIdx[id])}
 	}
 	if sc.Pinned&(1<<uint(id)) != 0 {
 		if claim != uint64(top) {

@@ -46,6 +46,28 @@
 // already-claimed tasks and the checker exhibits multiplicity beyond
 // the bound — the counterexample that justifies the owner-side repair.
 //
+// The backing array's circularity (Scenario.Circular) is modelled on
+// demand: slot accesses index the task array modulo the current
+// capacity instead of absolutely, so a push whose absolute index is one
+// capacity ahead of a dead index physically overwrites that slot —
+// the mask-aliasing hazard of a real circular buffer. Each task carries
+// the absolute index it was pushed at (the model of the descriptor's
+// push stamp, which travels WITH the task and is read atomically with
+// it), and the relaxed claim path validates the stamp of the task it
+// read against its claim index, aborting on mismatch exactly as
+// deque.TakeTopRelaxed does — unless the claim is the authoritative
+// top, where the exclusive age CAS retroactively validates the read.
+// The RelaxedNoStampCheck ablation removes the validation and the
+// StaleSlotRead oracle then exhibits the counterexample: a thief
+// stalled between its publicBot check and its slot read returns a
+// task the owner pushed a full capacity later — a private, never
+// exposed task. Growth under Circular rehashes the live window into
+// the doubled physical layout in the publishing step (the model has a
+// single array, so a superseded generation's contents are dropped;
+// a stale read of a dead slot surfaces as an empty read and aborts,
+// which is the same decision the stamp check forces in the
+// implementation).
+//
 // Exploration is a stateful depth-first search: states are canonicalized
 // (identical thief threads are sorted, making the search symmetric in
 // thief identity) and memoized, and deterministic local computation is
@@ -161,6 +183,22 @@ type Scenario struct {
 	// the model of "a fresh thief per epoch" — the adversary against
 	// which the repair fold alone must carry the bound.
 	RelaxedNoClaimMemory bool
+	// Circular switches the modelled task array from absolute to
+	// physical (index mod capacity) slot addressing, the layout of the
+	// implementation's circular backing array: a push at absolute index
+	// i overwrites the slot of absolute index i-capacity, so stale
+	// thieves can observe mask aliasing. Pushes check their window
+	// against the current top and grow (doubling with a rehash of the
+	// live window) when it is full, as TryPushBottom does; the relaxed
+	// claim path validates the push stamp of the task it read against
+	// the claim index (see deque.TakeTopRelaxed) and the StaleSlotRead
+	// oracle rejects any relaxed return whose stamp does not match.
+	Circular bool
+	// RelaxedNoStampCheck ablates the relaxed path's stamp validation
+	// (negative tests; requires Circular): thieves commit whatever task
+	// their slot read returned, and the StaleSlotRead oracle exhibits
+	// the aliased read the validation exists to stop.
+	RelaxedNoStampCheck bool
 	// AtomicClaims restricts the adversary to synchronous thieves: each
 	// relaxed steal attempt executes as ONE atomic step, scheduled only
 	// at owner operation boundaries ("landed claims" — every claim is
@@ -327,6 +365,13 @@ const (
 	// thief via the monotone claim memory, plus at most one absorbed
 	// owner re-execution from the fence-free claim window).
 	MultiplicityExceeded
+	// StaleSlotRead means a relaxed claim committed a task whose push
+	// stamp does not match the claim index (Circular scenarios): the
+	// thief's slot read aliased onto a task pushed a whole capacity
+	// later — possibly a private, never-exposed task. The stamp
+	// validation of deque.TakeTopRelaxed exists to turn exactly this
+	// into an abort; only the RelaxedNoStampCheck ablation reaches it.
+	StaleSlotRead
 )
 
 // String names the violation kind.
@@ -342,6 +387,8 @@ func (k ViolationKind) String() string {
 		return "slot-corruption"
 	case MultiplicityExceeded:
 		return "multiplicity-exceeded"
+	case StaleSlotRead:
+		return "stale-slot-read"
 	default:
 		return fmt.Sprintf("violation(%d)", uint8(k))
 	}
