@@ -5,7 +5,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: verify build test race vet census race-matrix fuzz-smoke stress lcwsvet bench-fork bench-steal bench-exec bench-mem submit-stress trace-smoke clean
+.PHONY: verify build test race vet census race-matrix fuzz-smoke stress lcwsvet bench-fork bench-steal bench-exec bench-mem bench-qos submit-stress trace-smoke clean
 
 verify: build test race vet fuzz-smoke stress submit-stress trace-smoke
 
@@ -76,6 +76,16 @@ bench-exec:
 # itself is TestMemFlatAcrossJobs in internal/perf.
 bench-mem:
 	$(GO) run ./cmd/lcwsbench -membench -memjson BENCH_mem.json
+
+# Multi-tenant QoS benchmarks: regenerates BENCH_qos.json measuring the
+# weighted-fair injector's pickup shares over a pre-stacked backlog and
+# the High class's pickup latency under a saturating Low flood, with an
+# all-Normal control showing the backlog latency QoS removes (see
+# README). The fairness and starvation gates themselves are
+# TestQoSWeightedSharesConverge and TestQoSHighNotStarvedUnderLowFlood
+# in internal/perf.
+bench-qos:
+	$(GO) run ./cmd/lcwsbench -qosbench -qosjson BENCH_qos.json
 
 # Concurrent-submission soak under the race detector: many submitter
 # goroutines, overlapping jobs, panics and cancellations over one

@@ -7,8 +7,10 @@
 // machine-readable documents the allocation/benchmark regression gates
 // compare against: the fork-overhead benchmarks as BENCH_fork.json, the
 // steal-latency ping-pong as BENCH_steal.json, the executor lifecycle
-// (resident pool vs spawn-per-run) as BENCH_exec.json, and the
-// steady-state memory measurements as BENCH_mem.json.
+// (resident pool vs spawn-per-run) as BENCH_exec.json, the
+// steady-state memory measurements as BENCH_mem.json, and the
+// multi-tenant QoS measurements (weighted-fair pickup shares and
+// starvation latency under a saturating flood) as BENCH_qos.json.
 //
 // The -jobs mode exercises the persistent executor as a job server:
 // -submitters goroutines submit -jobs fork-join jobs over one resident
@@ -23,6 +25,7 @@
 //	lcwsbench -stealbench -stealjson BENCH_steal.json
 //	lcwsbench -execbench -execjson BENCH_exec.json
 //	lcwsbench -membench -memjson BENCH_mem.json
+//	lcwsbench -qosbench -qosjson BENCH_qos.json
 //	lcwsbench -jobs 64 -submitters 8
 package main
 
@@ -36,6 +39,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lcws"
 	"lcws/fig"
@@ -84,6 +88,10 @@ func main() {
 		memwarm  = flag.Int("memwarm", perf.MemJobsWarm, "jobs before the warm HeapInuse reference")
 		memtotal = flag.Int("memtotal", perf.MemJobsTotal, "total jobs in the steady-state stream")
 
+		qosbench  = flag.Bool("qosbench", false, "run the multi-tenant QoS benchmarks: weighted-fair pickup shares plus High-under-Low-flood starvation latency (internal/perf)")
+		qosjson   = flag.String("qosjson", "", "write the QoS benchmark report as JSON to this file (default stdout)")
+		qoswindow = flag.Duration("qoswindow", 0, "QoS measurement window per scenario (0 = default 1s)")
+
 		jobs       = flag.Int("jobs", 0, "submit this many concurrent fork-join jobs over one resident pool and emit per-job stats as JSON")
 		submitters = flag.Int("submitters", 4, "submitting goroutines for the -jobs mode")
 		jobpolicy  = flag.String("jobpolicy", lcws.SignalLCWS.String(), "scheduling policy for the -jobs pool")
@@ -97,7 +105,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi || *forkbench || *stealbench || *execbench || *membench || *jobs > 0 || *traceOut != "") {
+	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi || *forkbench || *stealbench || *execbench || *membench || *qosbench || *jobs > 0 || *traceOut != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -133,13 +141,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *qosbench {
+		if err := runQoSBench(*qoswindow, *qosjson); err != nil {
+			fmt.Fprintln(os.Stderr, "lcwsbench:", err)
+			os.Exit(1)
+		}
+	}
 	if *jobs > 0 {
 		if err := runJobs(*jobs, *submitters, *jobpolicy, *jobworkers, *seed, *jobsjson); err != nil {
 			fmt.Fprintln(os.Stderr, "lcwsbench:", err)
 			os.Exit(1)
 		}
 	}
-	if (*forkbench || *stealbench || *execbench || *membench || *jobs > 0 || *traceOut != "") &&
+	if (*forkbench || *stealbench || *execbench || *membench || *qosbench || *jobs > 0 || *traceOut != "") &&
 		!(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi) {
 		return
 	}
@@ -334,6 +348,55 @@ func runMemBench(jobsWarm, jobsTotal int, path string) error {
 		fmt.Fprintf(os.Stderr, "mem/%-8s deepfork depth=%d cap=%d/%d: grows=%d spilled=%d tasks=%d\n",
 			r.Policy, r.Depth, r.DequeCapacity, r.MaxDequeCapacity,
 			r.DequeGrows, r.TasksSpilled, r.TasksExecuted)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// runQoSBench measures the multi-tenant QoS scenarios (weighted-fair
+// pickup shares, High-trickle-under-Low-flood starvation, and the
+// all-Normal control) and writes the BENCH_qos.json document to path
+// (stdout when empty), with a short text summary and the gate verdicts
+// on stderr.
+func runQoSBench(window time.Duration, path string) error {
+	rep := perf.NewQoSReport(window)
+	for _, r := range rep.Fairness {
+		verdict := "fair"
+		if !perf.QoSFair(r) {
+			verdict = "NOT FAIR"
+		}
+		fmt.Fprintf(os.Stderr, "qos/%-8s fairness backlog=%d prefix=%d max_skew=%.3f (%s) yields=%d\n",
+			r.Policy, r.Backlog, r.Prefix, r.MaxSkew, verdict, r.JobYields)
+		for _, cs := range r.Classes {
+			fmt.Fprintf(os.Stderr, "  %-6s w=%d completed=%4d share=%.3f ideal=%.3f wait mean=%s p99=%s\n",
+				cs.Class, cs.Weight, cs.Completed, cs.Share, cs.IdealShare,
+				time.Duration(cs.WaitMeanNs).Round(time.Microsecond),
+				time.Duration(cs.WaitP99Ns).Round(time.Microsecond))
+		}
+	}
+	for i, r := range rep.Starvation {
+		verdict := "bounded"
+		if r.TrickleWaitP99Ns > r.BoundNs {
+			verdict = "NOT BOUNDED"
+		}
+		fmt.Fprintf(os.Stderr, "qos/%-8s starvation flood=%d trickle=%d high p99=%s bound=%s (%s)\n",
+			r.Policy, r.FloodCompleted, r.TrickleCompleted,
+			time.Duration(r.TrickleWaitP99Ns).Round(time.Microsecond),
+			time.Duration(r.BoundNs).Round(time.Microsecond), verdict)
+		if i < len(rep.Control) {
+			c := rep.Control[i]
+			fmt.Fprintf(os.Stderr, "qos/%-8s control    flood=%d trickle=%d normal p99=%s (FIFO-shaped baseline)\n",
+				c.Policy, c.FloodCompleted, c.TrickleCompleted,
+				time.Duration(c.TrickleWaitP99Ns).Round(time.Microsecond))
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -2,20 +2,29 @@
 // net/http server. One resident scheduler is created at startup; every
 // request handler submits a fork-join job to it from its own goroutine
 // (Submit is safe from any goroutine), so concurrent requests share the
-// worker pool instead of spawning goroutines per request. Handlers use
-// SubmitCtx with the request context: a client that disconnects cancels
+// worker pool instead of spawning goroutines per request. Handlers pass
+// the request context via WithJobCtx: a client that disconnects cancels
 // its job at the next task boundary or Poll checkpoint, and the pool
 // stays healthy for everyone else.
 //
+// The pool is multi-tenant: a ?class=high|normal|low query parameter
+// maps each request onto a QoS class, so interactive requests keep
+// bounded pickup latency while batch requests soak the leftover
+// capacity. The low class is capacity-bounded with fail-fast
+// admission — when the batch queue is full the handler sheds load with
+// 429 instead of letting the backlog grow without bound.
+//
 //	go run ./examples/server                 # serve on :8080
 //	curl 'localhost:8080/fib?n=30'
-//	curl 'localhost:8080/sum?n=50000000'
+//	curl 'localhost:8080/fib?n=30&class=low'
+//	curl 'localhost:8080/sum?n=50000000&class=high'
 //	curl 'localhost:8080/stats'
 //
 //	go run ./examples/server -demo           # self-drive a few requests and exit
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +56,32 @@ type server struct {
 	sched *lcws.Scheduler
 }
 
+// submitOpts maps a request onto its submission options: the request
+// context for cancellation, the ?class= QoS class (default normal),
+// and fail-fast admission so a full class queue sheds load instead of
+// stalling the handler goroutine.
+func submitOpts(r *http.Request) ([]lcws.SubmitOpt, error) {
+	opts := []lcws.SubmitOpt{lcws.WithJobCtx(r.Context()), lcws.WithAdmission(lcws.AdmitFail)}
+	if v := r.URL.Query().Get("class"); v != "" {
+		c, ok := lcws.ParseJobClass(v)
+		if !ok {
+			return nil, fmt.Errorf("unknown class %q (want high, normal or low)", v)
+		}
+		opts = append(opts, lcws.WithJobPriority(c))
+	}
+	return opts, nil
+}
+
+// fail maps a job error onto an HTTP status: 429 for shed load, 503
+// for everything else (cancellation, panic isolation, shutdown).
+func fail(w http.ResponseWriter, err error) {
+	if errors.Is(err, lcws.ErrQueueFull) {
+		http.Error(w, "batch queue full, retry later", http.StatusTooManyRequests)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusServiceUnavailable)
+}
+
 // handleFib computes fib(n) as one job. The request context rides along:
 // if the client goes away mid-computation the job unwinds and the
 // handler reports the cancellation instead of finishing dead work.
@@ -56,18 +91,23 @@ func (sv *server) handleFib(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "n must be an integer in [0,40]", http.StatusBadRequest)
 		return
 	}
+	opts, err := submitOpts(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	var result int
 	start := time.Now()
-	j := sv.sched.SubmitCtx(r.Context(), func(ctx *lcws.Ctx) {
+	j := sv.sched.Submit(func(ctx *lcws.Ctx) {
 		result = fib(ctx, n)
-	})
+	}, opts...)
 	if err := j.Wait(); err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		fail(w, err)
 		return
 	}
 	st := j.Stats()
-	fmt.Fprintf(w, "fib(%d) = %d  (%d tasks, %v, wall %v)\n",
-		n, result, st.Tasks, st.Duration.Round(time.Microsecond),
+	fmt.Fprintf(w, "fib(%d) = %d  (class %v, %d tasks, %v, wall %v)\n",
+		n, result, j.Class(), st.Tasks, st.Duration.Round(time.Microsecond),
 		time.Since(start).Round(time.Microsecond))
 }
 
@@ -79,23 +119,29 @@ func (sv *server) handleSum(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "n must be an integer in [1,1e9]", http.StatusBadRequest)
 		return
 	}
+	opts, err := submitOpts(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	var sum uint64
-	j := sv.sched.SubmitCtx(r.Context(), func(ctx *lcws.Ctx) {
+	j := sv.sched.Submit(func(ctx *lcws.Ctx) {
 		xs := parlay.Tabulate(ctx, n, func(i int) uint64 {
 			return uint64(i) * uint64(i)
 		})
 		sum = parlay.Sum(ctx, xs)
-	})
+	}, opts...)
 	if err := j.Wait(); err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		fail(w, err)
 		return
 	}
 	st := j.Stats()
-	fmt.Fprintf(w, "sum of first %d squares = %d  (%d tasks, %v)\n",
-		n, sum, st.Tasks, st.Duration.Round(time.Microsecond))
+	fmt.Fprintf(w, "sum of first %d squares = %d  (class %v, %d tasks, %v)\n",
+		n, sum, j.Class(), st.Tasks, st.Duration.Round(time.Microsecond))
 }
 
-// handleStats reports the pool's cumulative scheduler statistics.
+// handleStats reports the pool's cumulative scheduler statistics,
+// including the per-class QoS accounting.
 func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := sv.sched.Stats()
 	fmt.Fprintf(w, "workers            %d\n", sv.sched.Workers())
@@ -104,6 +150,26 @@ func (sv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "jobs failed        %d\n", st.JobsFailed)
 	fmt.Fprintf(w, "tasks executed     %d\n", st.TasksExecuted)
 	fmt.Fprintf(w, "steal successes    %d\n", st.StealSuccesses)
+	fmt.Fprintf(w, "enqueued high      %d\n", st.JobsEnqueuedHigh)
+	fmt.Fprintf(w, "enqueued normal    %d\n", st.JobsEnqueuedNormal)
+	fmt.Fprintf(w, "enqueued low       %d\n", st.JobsEnqueuedLow)
+	fmt.Fprintf(w, "admission rejects  %d\n", st.AdmissionRejects)
+	fmt.Fprintf(w, "job yields         %d\n", st.JobYields)
+	for _, c := range []lcws.JobClass{lcws.High, lcws.Normal, lcws.Low} {
+		h := st.InjectorWaitHigh
+		switch c {
+		case lcws.Normal:
+			h = st.InjectorWaitNormal
+		case lcws.Low:
+			h = st.InjectorWaitLow
+		}
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "pickup wait %-6v mean %v  p99 %v\n", c,
+			time.Duration(h.Mean()).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.99)).Round(time.Microsecond))
+	}
 }
 
 func intParam(r *http.Request, name string, def int) (int, error) {
@@ -118,6 +184,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 4, "resident pool size")
 	policy := flag.String("policy", "Signal", "WS, User, Signal, Cons, Half or Lace")
+	lowCap := flag.Int("lowcap", 64, "low-class queue capacity (0 = unbounded)")
 	demo := flag.Bool("demo", false, "serve on a random port, issue a few requests against ourselves, and exit")
 	flag.Parse()
 
@@ -128,8 +195,14 @@ func main() {
 
 	// One pool for the process lifetime. Start is optional (the first
 	// Submit would spawn the workers lazily); doing it here moves the
-	// spawn cost out of the first request.
-	sched := lcws.New(lcws.WithWorkers(*workers), lcws.WithPolicy(pol))
+	// spawn cost out of the first request. Batch (low-class) traffic is
+	// admission-bounded so a flood of background requests turns into
+	// 429s, not an unbounded queue.
+	sched := lcws.New(
+		lcws.WithWorkers(*workers),
+		lcws.WithPolicy(pol),
+		lcws.WithClassCapacity(lcws.Low, *lowCap),
+	)
 	sched.Start()
 	defer sched.Close()
 
@@ -162,7 +235,7 @@ func runDemo(mux *http.ServeMux) {
 
 	base := "http://" + ln.Addr().String()
 	for _, path := range []string{
-		"/fib?n=25", "/fib?n=28", "/sum?n=5000000", "/stats",
+		"/fib?n=25", "/fib?n=28&class=high", "/sum?n=5000000&class=low", "/stats",
 	} {
 		resp, err := http.Get(base + path)
 		if err != nil {
@@ -170,6 +243,6 @@ func runDemo(mux *http.ServeMux) {
 		}
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		fmt.Printf("GET %-16s -> %s", path, body)
+		fmt.Printf("GET %-24s -> %s", path, body)
 	}
 }

@@ -93,7 +93,7 @@ var requiredManifests = map[string]map[string]bool{
 		"SplitDeque": true, "ChaseLev": true,
 		"splitBuf": true, "clBuf": true,
 	},
-	"lcws/internal/injector": {"Queue": true},
+	"lcws/internal/injector": {"Queue": true, "QoS": true, "classShard": true},
 	"lcws/internal/trace": {
 		"Recorder": true, "ring": true, "slot": true, "atomicHist": true,
 	},

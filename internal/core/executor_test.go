@@ -363,12 +363,12 @@ func TestCancellationUnwindsAtPoll(t *testing.T) {
 		var once sync.Once
 		errCh := make(chan error, 1)
 		go func() {
-			errCh <- s.RunCtx(ctx, func(w *Worker) {
+			errCh <- s.Submit(func(w *Worker) {
 				for {
 					once.Do(func() { close(entered) })
 					w.Poll()
 				}
-			})
+			}, WithJobCtx(ctx)).Wait()
 		}()
 		<-entered
 		cancel()
@@ -389,14 +389,14 @@ func TestCancelMidJob(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	entered := make(chan struct{})
 	var once sync.Once
-	j := s.SubmitCtx(ctx, func(w *Worker) {
+	j := s.Submit(func(w *Worker) {
 		ParFor(w, 0, 1<<20, 1, func(w *Worker, i int) {
 			once.Do(func() { close(entered) })
 			for k := 0; k < 100; k++ {
 				w.Poll()
 			}
 		})
-	})
+	}, WithJobCtx(ctx))
 	<-entered
 	cancel()
 	if err := j.Wait(); !errors.Is(err, context.Canceled) {
@@ -417,7 +417,7 @@ func TestCancelBeforePickupDiscardsRoot(t *testing.T) {
 	defer s.Close()
 	for i := 0; i < 50; i++ {
 		ctx, cancel := context.WithCancel(context.Background())
-		j := s.SubmitCtx(ctx, func(w *Worker) {})
+		j := s.Submit(func(w *Worker) {}, WithJobCtx(ctx))
 		cancel()
 		err := j.Wait()
 		if err != nil && !errors.Is(err, context.Canceled) {

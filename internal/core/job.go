@@ -10,10 +10,14 @@ import (
 	"lcws/internal/counters"
 )
 
-// Errors surfaced through Job.Err / RunCtx.
+// Errors surfaced through Job.Err / Run.
 var (
 	// ErrSchedulerClosed is returned for jobs submitted after Close.
 	ErrSchedulerClosed = errors.New("lcws: scheduler closed")
+	// ErrQueueFull is returned for jobs submitted with AdmitFail whose
+	// class admission queue (Options.ClassCapacity) was at capacity;
+	// the job never entered the queue.
+	ErrQueueFull = errors.New("lcws: submission queue full")
 	// ErrJobInvariant wraps a post-job scheduler invariant violation
 	// (e.g. a healthy job that left tasks behind). It indicates a
 	// scheduler bug, not a user error; it is an error rather than a
@@ -49,12 +53,15 @@ type JobStats struct {
 	// Discarded is how many of those were drained unexecuted because
 	// the job failed or was cancelled.
 	Discarded uint64
-	// Duration is the wall-clock time from submission to settlement.
+	// Duration is the wall-clock time from submission to settlement
+	// (queueing included).
 	Duration time.Duration
+	// Class is the job's priority class.
+	Class JobClass
 }
 
 // Job is a unit of submission to a Scheduler: one root task plus
-// everything it transitively forks. Obtain one from Submit/SubmitCtx;
+// everything it transitively forks. Obtain one from Submit;
 // Wait for it with Wait (or the Done channel), then inspect Err and
 // Stats. A Job is settled exactly once; all accessors are safe from
 // any goroutine after Wait/Done.
@@ -94,7 +101,21 @@ type Job struct {
 	stop func() bool //lcws:field guarded(settleOnce)
 
 	start time.Time //lcws:field immutable
+
+	// QoS placement: the job's priority class and within-class weight,
+	// fixed at submission; enqueued is stamped just before the injector
+	// push and read by the picking worker for the class's injector-wait
+	// histogram.
+	class    JobClass  //lcws:field immutable
+	weight   int       //lcws:field immutable
+	enqueued time.Time //lcws:field thief-shared — written before inj.Push publishes the job; read by the picking worker after the locked pop
 }
+
+// Class returns the job's priority class.
+func (j *Job) Class() JobClass { return j.class }
+
+// Weight returns the job's within-class weight.
+func (j *Job) Weight() int { return j.weight }
 
 // fail records cause as the job's failure and flips it to aborted.
 // First caller wins; safe from any goroutine.
@@ -156,7 +177,7 @@ func (j *Job) settle() {
 	j.settleOnce.Do(func() {
 		j.errOnce.Do(func() {}) // acquire failErr (memory-model Do edge)
 		err := j.failErr
-		st := JobStats{Duration: time.Since(j.start)}
+		st := JobStats{Duration: time.Since(j.start), Class: j.class}
 		if err == nil {
 			var created, completed uint64
 			for i := range j.shards {

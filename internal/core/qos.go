@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+
+	"lcws/internal/injector"
+)
+
+// JobClass is a job's priority class. Classes split injector pickups
+// weighted-fair (see Options.ClassWeights): a more urgent class with
+// queued jobs is preferred in proportion to its weight but cannot
+// starve the others, and a queued job of a strictly more urgent class
+// is additionally picked up at the Poll checkpoints of a running
+// less-urgent job when the weighted-fair order would serve it next —
+// the same checkpoint machinery that delivers the emulated steal
+// signals doubles as the job-level preemption point, so a long Low job
+// cedes its worker to a High arrival at the next checkpoint instead of
+// at its own completion.
+type JobClass uint8
+
+const (
+	// High is the most urgent class.
+	High JobClass = iota
+	// Normal is the default class of Submit.
+	Normal
+	// Low is the least urgent class.
+	Low
+)
+
+// NumJobClasses is the number of priority classes.
+const NumJobClasses = 3
+
+// The core job classes map one-to-one onto the injector's class
+// indices; a mismatch is a compile error.
+var _ = [1]struct{}{}[NumJobClasses-injector.NumClasses]
+
+var jobClassNames = [NumJobClasses]string{"High", "Normal", "Low"}
+
+// String returns "High", "Normal" or "Low".
+func (c JobClass) String() string {
+	if int(c) >= NumJobClasses {
+		return "Invalid"
+	}
+	return jobClassNames[c]
+}
+
+// ParseJobClass converts a class name ("high", "normal", "low",
+// case-insensitive) into a JobClass.
+func ParseJobClass(name string) (JobClass, bool) {
+	for i, n := range jobClassNames {
+		if len(name) == len(n) && equalFold(name, n) {
+			return JobClass(i), true
+		}
+	}
+	return Normal, false
+}
+
+// equalFold is a dependency-free ASCII strings.EqualFold.
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// AdmitMode selects what Submit does when the job's class admission
+// queue (Options.ClassCapacity) is at capacity.
+type AdmitMode uint8
+
+const (
+	// AdmitBlock (the default) blocks the submitting goroutine until a
+	// queued job of the class is picked up (freeing a slot), the job's
+	// context is cancelled, or the scheduler closes.
+	AdmitBlock AdmitMode = iota
+	// AdmitFail rejects the job immediately: it settles with
+	// ErrQueueFull without ever entering the queue.
+	AdmitFail
+)
+
+// submitConfig is the folded result of a Submit call's options.
+type submitConfig struct {
+	ctx    context.Context
+	class  JobClass
+	weight int
+	admit  AdmitMode
+}
+
+// SubmitOpt configures one submission (Scheduler.Submit, Run).
+type SubmitOpt func(*submitConfig)
+
+// WithJobPriority sets the job's priority class (default Normal).
+// Out-of-range values are clamped to Low.
+func WithJobPriority(c JobClass) SubmitOpt {
+	return func(cfg *submitConfig) { cfg.class = c }
+}
+
+// WithJobWeight sets the job's weight within its class (default 1,
+// values < 1 are treated as 1): when several backlogged tenants share
+// a class, jobs submitted with equal weight form one FIFO flow, and
+// distinct weights split the class's pickups in proportion to their
+// weights.
+func WithJobWeight(w int) SubmitOpt {
+	return func(cfg *submitConfig) { cfg.weight = w }
+}
+
+// WithJobCtx attaches a cancellation context: if ctx is cancelled
+// before the job finishes, the job's remaining tasks are drained
+// without being executed, running tasks are unwound at their next Poll
+// checkpoint or task boundary (the same hooks that deliver the
+// emulated steal signals), and Job.Err returns the context's error.
+// Cancelling a job never affects other jobs on the pool. A submission
+// blocked on admission (AdmitBlock against a full class) is also
+// released by the cancellation.
+func WithJobCtx(ctx context.Context) SubmitOpt {
+	return func(cfg *submitConfig) { cfg.ctx = ctx }
+}
+
+// WithAdmission sets the admission mode (default AdmitBlock); it only
+// matters for classes bounded with Options.ClassCapacity.
+func WithAdmission(m AdmitMode) SubmitOpt {
+	return func(cfg *submitConfig) { cfg.admit = m }
+}

@@ -76,7 +76,24 @@ type Options struct {
 	// recorder and every hook is a single nil check, preserving the
 	// fork fast path's zero-allocation and ns/fork properties.
 	Trace *trace.Config
+	// ClassWeights sets the weighted-fair split of injector pickups
+	// between job classes (indexed by JobClass) when several classes
+	// have queued jobs: a backlogged class receives pickups in
+	// proportion to its weight, so urgency is a share, not a strict
+	// priority, and no class can starve another. Non-positive entries
+	// take the defaults (High 16, Normal 4, Low 1).
+	ClassWeights [NumJobClasses]int
+	// ClassCapacity bounds how many submitted-but-unstarted jobs each
+	// class may queue (0 = unbounded, the default). At capacity, Submit
+	// either blocks until a slot frees or fails fast with ErrQueueFull,
+	// per the submission's AdmitMode.
+	ClassCapacity [NumJobClasses]int
 }
+
+// defaultClassWeights is the pickup split used for zero ClassWeights
+// entries: strongly prefer urgent classes while still guaranteeing the
+// least urgent a 1/21 share under full backlog.
+var defaultClassWeights = [NumJobClasses]int{16, 4, 1}
 
 func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
@@ -87,6 +104,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FreelistBound <= 0 {
 		o.FreelistBound = defaultFreelistBound
+	}
+	for c := range o.ClassWeights {
+		if o.ClassWeights[c] <= 0 {
+			o.ClassWeights[c] = defaultClassWeights[c]
+		}
+		if o.ClassCapacity[c] < 0 {
+			o.ClassCapacity[c] = 0
+		}
 	}
 	return o
 }
@@ -118,12 +143,21 @@ type Scheduler struct {
 	ctrs    *counters.Set  //lcws:field immutable
 	wg      sync.WaitGroup //lcws:field atomic — resident-worker barrier for Close
 
-	// inj is the MPMC submission queue: Submit pushes *Job records from
-	// arbitrary goroutines; resident workers pop them in their top-level
-	// loop. Owner deque paths are untouched by submission.
-	inj       injector.Queue[*Job] //lcws:field atomic — internally mutex+atomic synchronized
-	startOnce sync.Once            //lcws:field atomic — spawns the resident workers exactly once
-	closed    atomic.Bool          //lcws:field atomic — set by Close; workers exit once drained
+	// inj is the class-aware MPMC submission queue: Submit pushes *Job
+	// records from arbitrary goroutines; resident workers pop them —
+	// in the weighted-fair stride order — in their top-level loop and
+	// at the checkpoint-yield preemption point. Owner deque paths are
+	// untouched by submission. Its aggregate size word keeps the
+	// parking lot's Dekker emptiness probe a single atomic load, as
+	// with the plain FIFO it replaced.
+	inj       *injector.QoS[*Job] //lcws:field immutable — internally mutex+atomic synchronized
+	startOnce sync.Once           //lcws:field atomic — spawns the resident workers exactly once
+	closed    atomic.Bool         //lcws:field atomic — set by Close; workers exit once drained
+
+	// closedCh is closed (exactly once, by the Close call that wins the
+	// closed.Swap) to release submitters blocked on admission with
+	// ErrSchedulerClosed.
+	closedCh chan struct{} //lcws:field immutable — channel close is internally synchronized
 
 	// activeJobs counts submitted-but-unsettled jobs. Workers use it to
 	// decide between the in-job stealing loop (activeJobs > 0) and the
@@ -145,6 +179,19 @@ type Scheduler struct {
 	jobsSubmitted atomic.Uint64 //lcws:field atomic
 	jobsCompleted atomic.Uint64 //lcws:field atomic
 	jobsFailed    atomic.Uint64 //lcws:field atomic
+
+	// Per-class QoS accounting: jobs enqueued per class and admissions
+	// rejected with ErrQueueFull (AdmitFail against a full class).
+	jobsEnqueued     [NumJobClasses]atomic.Uint64 //lcws:field thief-shared — element ops are atomic; the array word itself is never written
+	admissionRejects atomic.Uint64                //lcws:field atomic
+
+	// Per-class injector-wait histograms: queue-to-pickup latency,
+	// observed by the picking worker at startJob. Unlike the trace
+	// histograms these are always on — pickup is a per-job (not
+	// per-task) event, so a mutex-guarded observe costs nothing that
+	// matters and the QoS latency story does not require tracing.
+	waitMu   sync.Mutex                     //lcws:field atomic
+	waitHist [NumJobClasses]trace.Histogram //lcws:field guarded(waitMu)
 
 	// parkWords is the idle-worker bitset of the parking lot (bit id
 	// set = worker id is parked). Parkers set their bit with a seq-cst
@@ -228,9 +275,11 @@ func NewScheduler(opts Options) *Scheduler {
 		panic(fmt.Sprintf("core: unknown policy %d", opts.Policy))
 	}
 	s := &Scheduler{
-		opts:    opts,
-		workers: make([]workerSlot, opts.Workers),
-		ctrs:    counters.NewSet(opts.Workers),
+		opts:     opts,
+		workers:  make([]workerSlot, opts.Workers),
+		ctrs:     counters.NewSet(opts.Workers),
+		inj:      injector.NewQoS[*Job](opts.ClassWeights, opts.ClassCapacity),
+		closedCh: make(chan struct{}),
 	}
 	if opts.Trace != nil {
 		s.traceEpoch = time.Now() //lcws:presync constructor: worker goroutines have not started
@@ -298,6 +347,9 @@ func (s *Scheduler) ensureStarted() {
 // goroutines. After Close, counter and trace reads are exact.
 func (s *Scheduler) Close() error {
 	if !s.closed.Swap(true) {
+		// Release submitters blocked on admission (they settle their
+		// jobs with ErrSchedulerClosed) before waking the workers.
+		close(s.closedCh)
 		s.wakeAll()
 	}
 	s.wg.Wait()
@@ -307,31 +359,54 @@ func (s *Scheduler) Close() error {
 // Closed reports whether Close has been called.
 func (s *Scheduler) Closed() bool { return s.closed.Load() }
 
-// Submit enqueues a fork-join job rooted at root and returns
-// immediately; it is safe to call from any goroutine, including
-// concurrently with other submissions and with Close. Multiple
-// submitted jobs run concurrently over the same worker pool. Wait on
-// the returned Job for completion and inspect its Err and Stats.
-func (s *Scheduler) Submit(root func(*Worker)) *Job {
-	return s.submit(nil, root)
+// Submit enqueues a fork-join job rooted at root and returns — in the
+// default unbounded-admission configuration — immediately; it is safe
+// to call from any goroutine, including concurrently with other
+// submissions and with Close. Multiple submitted jobs run concurrently
+// over the same worker pool. Wait on the returned Job for completion
+// and inspect its Err and Stats.
+//
+// The queue behind Submit is not a single FIFO: jobs enter per-class
+// weighted-fair queues (see JobClass, Options.ClassWeights) and
+// workers pick them up in stride order, so tenants submitting with
+// different priorities or weights share the pool proportionally
+// instead of first-come-first-served. Options configure one
+// submission: WithJobPriority and WithJobWeight place the job in the
+// QoS order, WithJobCtx attaches cancellation, and WithAdmission
+// selects blocking vs fail-fast behavior against a class capacity
+// (Options.ClassCapacity). With no options a submission is a
+// Normal-class, weight-1, block-on-admission job — equivalent to the
+// old single-FIFO behavior when every submitter does the same.
+func (s *Scheduler) Submit(root func(*Worker), opts ...SubmitOpt) *Job {
+	cfg := submitConfig{class: Normal, weight: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return s.submit(root, cfg)
 }
 
-// SubmitCtx is Submit with cancellation: if ctx is cancelled before
-// the job finishes, the job's remaining tasks are drained without
-// being executed, running tasks are unwound at their next Poll
-// checkpoint or task boundary (the same hooks that deliver the
-// emulated steal signals), and Job.Err returns the context's error.
-// Cancelling a job never affects other jobs on the pool.
+// SubmitCtx is Submit with cancellation.
+//
+// Deprecated: use Submit with WithJobCtx, which composes with the
+// other submission options.
 func (s *Scheduler) SubmitCtx(ctx context.Context, root func(*Worker)) *Job {
-	return s.submit(ctx, root)
+	return s.Submit(root, WithJobCtx(ctx))
 }
 
-func (s *Scheduler) submit(ctx context.Context, root func(*Worker)) *Job {
+func (s *Scheduler) submit(root func(*Worker), cfg submitConfig) *Job {
+	if cfg.class > Low {
+		cfg.class = Low
+	}
+	if cfg.weight < 1 {
+		cfg.weight = 1
+	}
 	j := &Job{
-		id:    s.jobSeq.Add(1),
-		sched: s,
-		done:  make(chan struct{}),
-		start: time.Now(),
+		id:     s.jobSeq.Add(1),
+		sched:  s,
+		done:   make(chan struct{}),
+		start:  time.Now(),
+		class:  cfg.class,
+		weight: cfg.weight,
 	}
 	j.root.prepareFn(root)
 	j.root.job = j //lcws:presync job constructor: published to workers only via the injector's lock
@@ -349,6 +424,7 @@ func (s *Scheduler) submit(ctx context.Context, root func(*Worker)) *Job {
 	}
 	j.shards = make([]jobShard, len(s.workers)) //lcws:presync job constructor: published to workers only via the injector's lock
 	s.ensureStarted()
+	ctx := cfg.ctx
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			j.fail(err)
@@ -364,21 +440,70 @@ func (s *Scheduler) submit(ctx context.Context, root func(*Worker)) *Job {
 			})
 		}
 	}
-	s.inj.Push(j)
+	// Bounded admission: each queued-but-unstarted job of a bounded
+	// class holds one slot, released by the pickup that dequeues it.
+	// Blocking here with activeJobs already incremented cannot idle the
+	// pool against us: a full class queue means plenty of queued jobs,
+	// and every pickup that works the backlog off frees a slot.
+	if !s.inj.TryAcquire(int(cfg.class)) {
+		if cfg.admit == AdmitFail {
+			s.admissionRejects.Add(1)
+			j.fail(ErrQueueFull)
+			j.settle()
+			return j
+		}
+		var cancelled <-chan struct{} // nil (blocks forever) without a ctx
+		if ctx != nil {
+			cancelled = ctx.Done()
+		}
+		select {
+		case <-s.inj.SlotChan(int(cfg.class)):
+		case <-cancelled:
+			j.fail(context.Cause(ctx))
+			j.settle()
+			return j
+		case <-s.closedCh:
+			j.fail(ErrSchedulerClosed)
+			j.settle()
+			return j
+		}
+	}
+	s.jobsEnqueued[cfg.class].Add(1)
+	j.enqueued = time.Now() //lcws:presync written before inj.Push publishes the job to the picking worker
+	s.inj.Push(j, int(cfg.class), cfg.weight)
 	// Publish-then-scan half of the Dekker handshake with deepPark.
 	s.wakeAll()
 	return j
 }
 
+// observeInjectorWait records a picked-up job's queue-to-pickup
+// latency in its class's wait histogram.
+func (s *Scheduler) observeInjectorWait(j *Job) {
+	d := time.Since(j.enqueued).Nanoseconds()
+	s.waitMu.Lock()
+	s.waitHist[j.class].Observe(d)
+	s.waitMu.Unlock()
+}
+
+// InjectorWait returns class c's queue-to-pickup latency histogram.
+// Unlike the trace histograms it is populated on every scheduler.
+func (s *Scheduler) InjectorWait(c JobClass) trace.Histogram {
+	s.waitMu.Lock()
+	h := s.waitHist[c]
+	s.waitMu.Unlock()
+	return h
+}
+
 // Run executes root to completion on the resident pool and returns
 // when root and every task it transitively forked have finished: it is
-// Submit + Wait. If a task panics, Run re-throws the panic wrapped as
-// *TaskPanic — and unlike the one-shot scheduler this poisons nothing:
-// the job's orphaned tasks are drained and the pool stays healthy for
-// further Runs. Run may be called concurrently from several
-// goroutines; the jobs share the pool.
-func (s *Scheduler) Run(root func(*Worker)) {
-	j := s.Submit(root)
+// Submit + Wait, and accepts the same submission options. If a task
+// panics, Run re-throws the panic wrapped as *TaskPanic — and unlike
+// the one-shot scheduler this poisons nothing: the job's orphaned
+// tasks are drained and the pool stays healthy for further Runs. Run
+// may be called concurrently from several goroutines; the jobs share
+// the pool.
+func (s *Scheduler) Run(root func(*Worker), opts ...SubmitOpt) {
+	j := s.Submit(root, opts...)
 	if err := j.Wait(); err != nil {
 		if tp, ok := err.(*TaskPanic); ok {
 			panic(tp)
@@ -390,8 +515,11 @@ func (s *Scheduler) Run(root func(*Worker)) {
 // RunCtx is Run with cancellation and an error return instead of a
 // panic: it waits for the job and returns Job.Err (a *TaskPanic if a
 // task panicked, ctx's error if cancelled, nil on success).
+//
+// Deprecated: use Submit with WithJobCtx and Wait on the returned Job,
+// which composes with the other submission options.
 func (s *Scheduler) RunCtx(ctx context.Context, root func(*Worker)) error {
-	return s.SubmitCtx(ctx, root).Wait()
+	return s.Submit(root, WithJobCtx(ctx)).Wait()
 }
 
 // quiesce spins until no worker is inside its busy phase, provided the
@@ -521,6 +649,7 @@ func (s *Scheduler) recordJobSpan(j *Job, failed bool) {
 		Start:  j.start.Sub(s.traceEpoch).Nanoseconds(),
 		End:    time.Since(s.traceEpoch).Nanoseconds(),
 		Failed: failed,
+		Class:  uint8(j.class),
 	}
 	s.spanMu.Lock()
 	if len(s.jobSpans) >= maxJobSpans {

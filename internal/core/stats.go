@@ -90,6 +90,17 @@ type Stats struct {
 	JobsCompleted uint64
 	JobsFailed    uint64
 
+	// Multi-tenant QoS accounting. JobsEnqueued counts jobs that
+	// entered the injector, per class; AdmissionRejects counts
+	// submissions refused with ErrQueueFull (AdmitFail against a class
+	// at its ClassCapacity); JobYields counts queued jobs picked up at
+	// a checkpoint of a running less-urgent job (the preemption point).
+	JobsEnqueuedHigh   uint64
+	JobsEnqueuedNormal uint64
+	JobsEnqueuedLow    uint64
+	AdmissionRejects   uint64
+	JobYields          uint64
+
 	// The derived latency histograms, populated only on schedulers built
 	// with tracing (zero-valued otherwise). Like the counters they are
 	// exact only while no Run is in progress.
@@ -105,6 +116,15 @@ type Stats struct {
 	SignalToHandle trace.Histogram
 	// ParkDuration is the length of workers' idle-blocking episodes.
 	ParkDuration trace.Histogram
+
+	// The per-class injector-wait histograms: queue-to-pickup latency
+	// of each job, by class. Unlike the trace histograms above they are
+	// populated on every scheduler (pickup is a per-job event, off the
+	// task hot path), so the QoS fairness and starvation bounds can be
+	// stated without tracing.
+	InjectorWaitHigh   trace.Histogram
+	InjectorWaitNormal trace.Histogram
+	InjectorWaitLow    trace.Histogram
 }
 
 func statsFromSnapshot(sn counters.Snapshot) Stats {
@@ -134,6 +154,7 @@ func statsFromSnapshot(sn counters.Snapshot) Stats {
 		FreelistReturns:  sn.Get(counters.FreelistReturn),
 		RelaxedSteals:    sn.Get(counters.RelaxedSteal),
 		TasksDuplicated:  sn.Get(counters.TaskDuplicated),
+		JobYields:        sn.Get(counters.JobYield),
 	}
 }
 
@@ -146,6 +167,13 @@ func (s *Scheduler) Stats() Stats {
 	st.JobsSubmitted = s.jobsSubmitted.Load()
 	st.JobsCompleted = s.jobsCompleted.Load()
 	st.JobsFailed = s.jobsFailed.Load()
+	st.JobsEnqueuedHigh = s.jobsEnqueued[High].Load()
+	st.JobsEnqueuedNormal = s.jobsEnqueued[Normal].Load()
+	st.JobsEnqueuedLow = s.jobsEnqueued[Low].Load()
+	st.AdmissionRejects = s.admissionRejects.Load()
+	st.InjectorWaitHigh = s.InjectorWait(High)
+	st.InjectorWaitNormal = s.InjectorWait(Normal)
+	st.InjectorWaitLow = s.InjectorWait(Low)
 	if s.opts.Trace != nil {
 		for i := range s.workers {
 			st.StealToHit = st.StealToHit.Add(s.worker(i).rec.Hist(trace.LatStealToHit))
@@ -164,6 +192,13 @@ func (s *Scheduler) ResetStats() {
 	s.jobsSubmitted.Store(0)
 	s.jobsCompleted.Store(0)
 	s.jobsFailed.Store(0)
+	for c := range s.jobsEnqueued {
+		s.jobsEnqueued[c].Store(0)
+	}
+	s.admissionRejects.Store(0)
+	s.waitMu.Lock()
+	s.waitHist = [NumJobClasses]trace.Histogram{}
+	s.waitMu.Unlock()
 	if s.opts.Trace != nil {
 		for i := range s.workers {
 			s.worker(i).rec.ResetHists()
@@ -209,10 +244,21 @@ func (st Stats) Sub(prev Stats) Stats {
 		JobsSubmitted:    clampSub(st.JobsSubmitted, prev.JobsSubmitted),
 		JobsCompleted:    clampSub(st.JobsCompleted, prev.JobsCompleted),
 		JobsFailed:       clampSub(st.JobsFailed, prev.JobsFailed),
-		StealToHit:       st.StealToHit.Sub(prev.StealToHit),
-		FlagToExposure:   st.FlagToExposure.Sub(prev.FlagToExposure),
-		SignalToHandle:   st.SignalToHandle.Sub(prev.SignalToHandle),
-		ParkDuration:     st.ParkDuration.Sub(prev.ParkDuration),
+
+		JobsEnqueuedHigh:   clampSub(st.JobsEnqueuedHigh, prev.JobsEnqueuedHigh),
+		JobsEnqueuedNormal: clampSub(st.JobsEnqueuedNormal, prev.JobsEnqueuedNormal),
+		JobsEnqueuedLow:    clampSub(st.JobsEnqueuedLow, prev.JobsEnqueuedLow),
+		AdmissionRejects:   clampSub(st.AdmissionRejects, prev.AdmissionRejects),
+		JobYields:          clampSub(st.JobYields, prev.JobYields),
+
+		StealToHit:     st.StealToHit.Sub(prev.StealToHit),
+		FlagToExposure: st.FlagToExposure.Sub(prev.FlagToExposure),
+		SignalToHandle: st.SignalToHandle.Sub(prev.SignalToHandle),
+		ParkDuration:   st.ParkDuration.Sub(prev.ParkDuration),
+
+		InjectorWaitHigh:   st.InjectorWaitHigh.Sub(prev.InjectorWaitHigh),
+		InjectorWaitNormal: st.InjectorWaitNormal.Sub(prev.InjectorWaitNormal),
+		InjectorWaitLow:    st.InjectorWaitLow.Sub(prev.InjectorWaitLow),
 	}
 }
 

@@ -253,6 +253,37 @@ func (w *Worker) Checkpoint() {
 			w.sched.wakeOne(w.ctr)
 		}
 	}
+	// QoS preemption point: a worker inside a Normal- or Low-class job
+	// cedes to a queued job of a strictly more urgent class — but only
+	// when the weighted-fair stride order would serve that class next
+	// anyway (TryPopAbove re-checks), so yielding bounds the urgent
+	// class's pickup latency by the checkpoint interval instead of the
+	// running job's length without granting it more than its share.
+	// The probe is one atomic load, and jobs of the most urgent class
+	// skip even that.
+	if j := w.curJob; j != nil && j.class != High && w.sched.inj.ReadyAbove(int(j.class)) {
+		w.yieldToUrgent(int(j.class))
+	}
+}
+
+// yieldToUrgent runs one queued job of a class strictly more urgent
+// than class below — if the stride order agrees it is that class's
+// turn — nested inside the current task, then resumes the interrupted
+// job. runTask's job-context switching handles the nesting (the same
+// machinery that lets a worker help another job's join); the poll and
+// yield cadences are saved around the nested job so the interrupted
+// job's signal-delivery timing resumes where it left off. Nesting is
+// bounded by the class count: the nested job's own checkpoints can
+// only yield to classes more urgent still.
+func (w *Worker) yieldToUrgent(below int) {
+	j, ok := w.sched.inj.TryPopAbove(below)
+	if !ok {
+		return
+	}
+	w.ctr.Inc(counters.JobYield)
+	savedPoll, savedSince := w.pollCount, w.sinceYield
+	w.startJob(j)
+	w.pollCount, w.sinceYield = savedPoll, savedSince
 }
 
 // runLeaf executes body for every index of a ParFor leaf range with the
@@ -1154,7 +1185,11 @@ func (w *Worker) anyPublicWork() bool {
 // The top-level resident loop has its own acquisition loop (busyPhase)
 // — it additionally polls the injector, which join helping must not
 // (picking up a whole new job inside a join would reset the poll phase
-// and nest arbitrarily deep work under the waiter).
+// and nest arbitrarily deep work under the waiter). The one deliberate
+// exception is the QoS preemption point inside Checkpoint: a queued
+// job of a strictly more urgent class whose stride turn has come runs
+// nested here too — that nesting is bounded by the class count and its
+// latency cost to the waiter is the point of the priority system.
 func (w *Worker) next(join *Task, want uint32) *Task {
 	for {
 		if join.isDone(want) {
@@ -1408,6 +1443,10 @@ func (w *Worker) busyPhase() {
 // did before (the seed scheduler made the same guarantee via
 // resetForRun).
 func (w *Worker) startJob(j *Job) {
+	// Queue-to-pickup latency, per class: the QoS fairness bound is
+	// stated over this histogram, so it is recorded on every pickup
+	// (injector-pop and checkpoint-yield alike), tracing or not.
+	w.sched.observeInjectorWait(j)
 	if j.aborted.Load() {
 		// Cancelled (or failed) before any worker picked it up: drain
 		// the root, which also settles the job.

@@ -109,6 +109,11 @@ const (
 	// counts here instead of TaskExecuted, so completion accounting
 	// stays exact. Zero outside MultFree.
 	TaskDuplicated
+	// JobYield counts queued jobs picked up at a Poll checkpoint of a
+	// running less-urgent job — the QoS preemption point — rather than
+	// in the worker's top-level loop. Zero while every submission uses
+	// one class.
+	JobYield
 
 	numEvents
 )
@@ -143,6 +148,7 @@ var eventNames = [...]string{
 	FreelistReturn:   "freelist_returns",
 	RelaxedSteal:     "relaxed_steals",
 	TaskDuplicated:   "tasks_duplicated",
+	JobYield:         "job_yields",
 }
 
 // String returns the snake_case name of the event.

@@ -1,17 +1,23 @@
-// Package injector provides the MPMC submission queue that carries
+// Package injector provides the MPMC submission queues that carry
 // externally submitted jobs into the resident worker pool.
 //
-// The queue is deliberately boring: a mutex-protected growable ring.
+// Two queues live here. Queue is the original deliberately boring
+// mutex-protected growable FIFO ring. QoS is the class-aware queue the
+// scheduler actually uses since the multi-tenant work: NumClasses
+// mutex-sharded per-class queues with stride (weighted-fair) pickup
+// between and within classes, plus per-class bounded admission.
 // Submission is an off-hot-path operation (once per job, not once per
 // task), so the deque-style lock-free machinery in internal/deque
-// would buy nothing and cost a second verification surface. What the
-// executor does need from the queue is a cheap, *atomic* emptiness
-// probe that idle workers can poll without taking the lock and —
-// crucially — that participates in the parking lot's Dekker-style
+// would buy nothing and cost a second verification surface.
+//
+// What the executor needs from either queue is a cheap, *atomic*
+// emptiness probe that idle workers can poll without taking a lock and
+// — crucially — that participates in the parking lot's Dekker-style
 // no-lost-wakeup protocol: a submitter publishes (Push updates the
-// atomic length under the lock) and then scans the park bitset, while
-// a parking worker sets its park bit and then re-checks Empty. One of
-// the two must observe the other.
+// aggregate atomic length under a shard lock) and then scans the park
+// bitset, while a parking worker sets its park bit and then re-checks
+// Empty. One of the two must observe the other, regardless of which
+// class shard the job landed in.
 package injector
 
 import (

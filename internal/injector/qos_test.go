@@ -1,0 +1,192 @@
+package injector
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// drain pops everything and returns the payloads in pickup order.
+func drain(t *testing.T, q *QoS[int]) []int {
+	t.Helper()
+	var out []int
+	for {
+		v, ok := q.TryPop()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatalf("queue not empty after drain: Len=%d", q.Len())
+	}
+	return out
+}
+
+func TestQoSFIFOWithinOneFlow(t *testing.T) {
+	q := NewQoS[int]([NumClasses]int{}, [NumClasses]int{})
+	for i := 0; i < 10; i++ {
+		q.Push(i, 1, 1)
+	}
+	got := drain(t, q)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("pop %d = %d, want %d (single flow must stay FIFO)", i, v, i)
+		}
+	}
+}
+
+func TestQoSClassWeightsSplitPickups(t *testing.T) {
+	// Classes weighted 4:2:1; 70 items per class, all backlogged up
+	// front. The stride order is deterministic: any prefix of pickups
+	// splits ~4:2:1 between the classes.
+	q := NewQoS[int]([NumClasses]int{4, 2, 1}, [NumClasses]int{})
+	const per = 70
+	for i := 0; i < per; i++ {
+		for c := 0; c < NumClasses; c++ {
+			q.Push(c, c, 1)
+		}
+	}
+	counts := [NumClasses]int{}
+	const prefix = 70 // 70 pickups = 40 + 20 + 10 at exact proportionality
+	for i := 0; i < prefix; i++ {
+		v, ok := q.TryPop()
+		if !ok {
+			t.Fatalf("pop %d: queue empty early", i)
+		}
+		counts[v]++
+	}
+	want := [NumClasses]float64{4.0 / 7, 2.0 / 7, 1.0 / 7}
+	for c := 0; c < NumClasses; c++ {
+		share := float64(counts[c]) / prefix
+		if share < want[c]/1.3 || share > want[c]*1.3 {
+			t.Errorf("class %d share %.3f (count %d), want %.3f within 1.3x", c, share, counts[c], want[c])
+		}
+	}
+}
+
+func TestQoSJobWeightsSplitWithinClass(t *testing.T) {
+	// One class, three flows at weights 1:2:4, backlogged bursts. The
+	// per-flow virtual-finish chaining must interleave the bursts in
+	// weight proportion, not serve the first burst wholesale.
+	q := NewQoS[int]([NumClasses]int{}, [NumClasses]int{})
+	for i := 0; i < 20; i++ {
+		q.Push(1, 1, 1)
+	}
+	for i := 0; i < 40; i++ {
+		q.Push(2, 1, 2)
+	}
+	for i := 0; i < 80; i++ {
+		q.Push(4, 1, 4)
+	}
+	counts := map[int]int{}
+	const prefix = 70 // = 10 + 20 + 40 at exact proportionality
+	for i := 0; i < prefix; i++ {
+		v, ok := q.TryPop()
+		if !ok {
+			t.Fatalf("pop %d: queue empty early", i)
+		}
+		counts[v]++
+	}
+	for _, w := range []int{1, 2, 4} {
+		share := float64(counts[w]) / prefix
+		want := float64(w) / 7
+		if share < want/1.3 || share > want*1.3 {
+			t.Errorf("weight %d share %.3f (count %d), want %.3f within 1.3x", w, share, counts[w], want)
+		}
+	}
+}
+
+func TestQoSTryPopAboveOnlyOnUrgentTurn(t *testing.T) {
+	q := NewQoS[int]([NumClasses]int{4, 2, 1}, [NumClasses]int{})
+	if _, ok := q.TryPopAbove(2); ok {
+		t.Fatal("TryPopAbove on empty queue returned an item")
+	}
+	q.Push(2, 2, 1) // a Low item: nothing above Low
+	if _, ok := q.TryPopAbove(2); ok {
+		t.Fatal("TryPopAbove(Low) must not pop a Low item")
+	}
+	q.Push(0, 0, 1) // a High item arrives: its caught-up pass ties and wins
+	v, ok := q.TryPopAbove(2)
+	if !ok || v != 0 {
+		t.Fatalf("TryPopAbove(Low) = (%d, %v), want the High item", v, ok)
+	}
+	if q.ReadyAbove(2) || q.Len() != 1 {
+		t.Fatalf("expected only the Low item to remain, Len=%d ReadyAbove=%v", q.Len(), q.ReadyAbove(2))
+	}
+	// With only Low queued again, a High-turn yield is impossible.
+	if _, ok := q.TryPopAbove(2); ok {
+		t.Fatal("TryPopAbove(Low) popped with no higher class queued")
+	}
+}
+
+func TestQoSAdmissionSlots(t *testing.T) {
+	q := NewQoS[int]([NumClasses]int{}, [NumClasses]int{0, 2, 0})
+	if !q.TryAcquire(0) {
+		t.Fatal("unbounded class refused admission")
+	}
+	if !q.TryAcquire(1) || !q.TryAcquire(1) {
+		t.Fatal("bounded class refused admission below capacity")
+	}
+	q.Push(10, 1, 1)
+	q.Push(11, 1, 1)
+	if q.TryAcquire(1) {
+		t.Fatal("bounded class admitted past capacity")
+	}
+	if q.SlotChan(1) == nil {
+		t.Fatal("bounded class has no slot channel")
+	}
+	if q.SlotChan(0) != nil {
+		t.Fatal("unbounded class has a slot channel")
+	}
+	if _, ok := q.TryPop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if !q.TryAcquire(1) {
+		t.Fatal("pop did not release the admission slot")
+	}
+	q.Release(1)
+	if !q.TryAcquire(1) {
+		t.Fatal("Release did not return the slot")
+	}
+	q.Release(1)
+}
+
+func TestQoSConcurrentPushPop(t *testing.T) {
+	q := NewQoS[int]([NumClasses]int{4, 2, 1}, [NumClasses]int{})
+	const producers, perProducer = 4, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(p, (p+i)%NumClasses, 1+i%4)
+			}
+		}(p)
+	}
+	var popped atomic.Int64
+	var cwg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for popped.Load() < producers*perProducer {
+				if _, ok := q.TryPop(); ok {
+					popped.Add(1)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+	if got := popped.Load(); got != producers*perProducer {
+		t.Fatalf("popped %d items, want %d", got, producers*perProducer)
+	}
+	if !q.Empty() {
+		t.Fatalf("queue not empty after concurrent drain")
+	}
+}

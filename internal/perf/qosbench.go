@@ -1,0 +1,398 @@
+package perf
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcws"
+)
+
+// QoS benchmark: does the weighted-fair injector deliver the shares it
+// promises, and does checkpoint preemption keep High-priority pickup
+// latency bounded under a saturating Low-priority flood?
+//
+// Two scenarios, both on a deliberately small pool so the injector —
+// not raw capacity — decides who runs:
+//
+//  1. Fairness. A deep identical-cost backlog is stacked per class
+//     (High, Normal, Low) while the workers sit parked on gate jobs,
+//     over a pool configured with 4:2:1 class weights; the gate is
+//     then released and the classes' counts over a bounded prefix of
+//     completions measure the injector's pickup shares directly. The
+//     prefix is sized so no class can drain before it ends: every
+//     measured pickup chose among all three classes, making the
+//     shares a property of the stride order alone. (A closed-loop
+//     tenant population cannot measure this on a small host — tenant
+//     resubmission latency lets the preferentially-served class run
+//     dry, and the skipped turns flow downhill and flatten the
+//     observed shares even though every pickup honoured the weights.)
+//     The gate requires each class's share within QoSFairSkew of its
+//     weight share.
+//
+//  2. Starvation. QoSStarveTenants closed-loop Low tenants saturate
+//     the pool while a single sequential High tenant trickles jobs in.
+//     The gate bounds the High class's p99 queue-to-pickup latency
+//     (Scheduler.InjectorWait) relative to the measured Low service
+//     time: FIFO pickup would make the High job wait behind the whole
+//     Low backlog (~QoSStarveTenants/P service times), while
+//     weighted-fair pickup plus the Poll-checkpoint yield gets it onto
+//     a worker in at most about one checkpoint interval. A same-shape
+//     control run with every tenant in the Normal class shows the
+//     backlog latency the QoS machinery removes.
+
+// QoS benchmark dimensions. Changing them invalidates comparisons
+// across revisions.
+const (
+	// QoSWorkers is the pool size; demand always exceeds it.
+	QoSWorkers = 2
+	// QoSFairBacklogPerMs sizes the fairness scenario's per-class
+	// backlog: one job per millisecond of requested window, floored at
+	// QoSFairMinBacklog.
+	QoSFairBacklogPerMs = 1
+	QoSFairMinBacklog   = 64
+	// QoSJobIters is the per-job spin length (each iteration calls
+	// Poll, so jobs are preemptible at the default checkpoint cadence).
+	QoSJobIters = 20_000
+	// QoSStarveTenants is the Low-class flood's multiprogramming level.
+	QoSStarveTenants = 16
+	// QoSStarveLowIters makes flood jobs several times longer than the
+	// fairness jobs, so backlog wait (the thing FIFO would impose)
+	// dwarfs per-job overheads.
+	QoSStarveLowIters = 100_000
+	// QoSFairSkew is the fairness gate: each class's completion share
+	// must lie within this factor of its configured weight share.
+	QoSFairSkew = 1.3
+	// QoSStarveFactor and QoSStarveSlackNs bound the High class's p99
+	// pickup wait in the starvation scenario: p99 <= Factor * measured
+	// mean Low service time + Slack. The Low backlog is
+	// QoSStarveTenants deep, so FIFO pickup (wait ~ Tenants/P service
+	// times ~ 8x) fails this bound by a wide margin, while the
+	// checkpoint yield passes it even on a noisy CI host.
+	QoSStarveFactor  = 2.0
+	QoSStarveSlackNs = 5_000_000
+)
+
+// qosClasses lists the classes in weight order, with the 4:2:1 weight
+// configuration the fairness scenario runs under.
+var (
+	qosClasses     = []lcws.JobClass{lcws.High, lcws.Normal, lcws.Low}
+	qosFairWeights = [lcws.NumJobClasses]int{4, 2, 1}
+)
+
+// qosSink defeats dead-code elimination of the spin kernel.
+var qosSink atomic.Uint64
+
+// qosSpin is the fixed-cost, checkpoint-preemptible job body.
+func qosSpin(ctx *lcws.Ctx, iters int) {
+	x := uint64(1)
+	for i := 0; i < iters; i++ {
+		x = x*2862933555777941757 + 3037000493
+		ctx.Poll()
+	}
+	qosSink.Store(x)
+}
+
+// QoSClassStat is one class's accounting over a measurement window.
+type QoSClassStat struct {
+	Class string `json:"class"`
+	// Weight is the class's configured share weight.
+	Weight int `json:"weight"`
+	// Completed counts jobs of the class completed within the window;
+	// Share is its fraction of all completions, IdealShare the
+	// weight-proportional target.
+	Completed  int     `json:"completed"`
+	Share      float64 `json:"share"`
+	IdealShare float64 `json:"ideal_share"`
+	// WaitMeanNs and WaitP99Ns summarize the class's queue-to-pickup
+	// latency histogram.
+	WaitMeanNs float64 `json:"wait_mean_ns"`
+	WaitP99Ns  uint64  `json:"wait_p99_ns"`
+}
+
+// QoSFairnessResult is the fairness scenario's measurement.
+type QoSFairnessResult struct {
+	Bench   string `json:"bench"`
+	Policy  string `json:"policy"`
+	Workers int    `json:"workers"`
+	// Backlog is the per-class job count stacked behind the gate;
+	// Prefix is how many completions the shares were measured over
+	// (sized so the heaviest class cannot drain inside it).
+	Backlog  int            `json:"backlog_per_class"`
+	Prefix   int            `json:"measured_prefix"`
+	WindowNs int64          `json:"window_ns"`
+	Classes  []QoSClassStat `json:"classes"`
+	// MaxSkew is the worst ratio between a class's actual and ideal
+	// share (always >= 1); the gate compares it to QoSFairSkew.
+	MaxSkew float64 `json:"max_skew"`
+	// JobYields counts checkpoint pickups over the run.
+	JobYields uint64 `json:"job_yields"`
+}
+
+// QoSStarvationResult is one flood-plus-trickle measurement.
+type QoSStarvationResult struct {
+	Bench    string `json:"bench"`
+	Policy   string `json:"policy"`
+	Workers  int    `json:"workers"`
+	Tenants  int    `json:"flood_tenants"`
+	WindowNs int64  `json:"window_ns"`
+	// Classed records whether the trickle ran as High against a Low
+	// flood (the QoS path) or everything ran Normal (the FIFO-shaped
+	// control).
+	Classed bool `json:"classed"`
+	// FloodCompleted and TrickleCompleted count jobs per role.
+	FloodCompleted   int `json:"flood_completed"`
+	TrickleCompleted int `json:"trickle_completed"`
+	// FloodServiceMeanNs is the measured mean flood-job service time —
+	// the unit the trickle's wait bound is expressed in.
+	FloodServiceMeanNs float64 `json:"flood_service_mean_ns"`
+	// TrickleWaitMeanNs/P99Ns summarize the trickle class's
+	// queue-to-pickup latency; BoundNs is the gate's derived bound
+	// (meaningful only on the classed run).
+	TrickleWaitMeanNs float64 `json:"trickle_wait_mean_ns"`
+	TrickleWaitP99Ns  uint64  `json:"trickle_wait_p99_ns"`
+	BoundNs           uint64  `json:"bound_ns,omitempty"`
+	JobYields         uint64  `json:"job_yields"`
+}
+
+// qosHist picks class c's wait histogram out of st.
+func qosHist(st lcws.Stats, c lcws.JobClass) lcws.Histogram {
+	switch c {
+	case lcws.High:
+		return st.InjectorWaitHigh
+	case lcws.Normal:
+		return st.InjectorWaitNormal
+	default:
+		return st.InjectorWaitLow
+	}
+}
+
+// MeasureQoSFairness measures the injector's weighted pickup shares
+// under sustained contention. With the workers parked on gate jobs it
+// stacks a deep identical-cost backlog per class (sized from window),
+// releases the gate, and attributes the first Prefix completions to
+// their classes. Checkpoint yields run nested jobs through the same
+// counters, so the shares account for preemptive pickups too.
+func MeasureQoSFairness(pol lcws.Policy, window time.Duration) QoSFairnessResult {
+	backlog := int(window/time.Millisecond) * QoSFairBacklogPerMs
+	if backlog < QoSFairMinBacklog {
+		backlog = QoSFairMinBacklog
+	}
+	weightSum, maxWeight := 0, 0
+	for _, c := range qosClasses {
+		weightSum += qosFairWeights[c]
+		if qosFairWeights[c] > maxWeight {
+			maxWeight = qosFairWeights[c]
+		}
+	}
+	// The heaviest class drains first, after about backlog*weightSum/
+	// maxWeight total pickups; stop counting a few jobs shy of that so
+	// every measured pickup chose among all three classes.
+	prefix := (backlog - 4) * weightSum / maxWeight
+
+	opts := []lcws.Option{lcws.WithWorkers(QoSWorkers), lcws.WithPolicy(pol)}
+	for _, c := range qosClasses {
+		opts = append(opts, lcws.WithClassWeight(c, qosFairWeights[c]))
+	}
+	s := lcws.New(opts...)
+	defer s.Close()
+	s.Start()
+
+	// Park every worker on a gate job so the backlog stacks up with no
+	// consumption racing the submission loop; ready confirms each gate
+	// is actually occupying its worker before we start stacking.
+	gate := make(chan struct{})
+	ready := make(chan struct{}, QoSWorkers)
+	gates := make([]*lcws.Job, 0, QoSWorkers)
+	for i := 0; i < QoSWorkers; i++ {
+		gates = append(gates, s.Submit(func(ctx *lcws.Ctx) {
+			ready <- struct{}{}
+			<-gate
+		}, lcws.WithJobPriority(lcws.High)))
+	}
+	for i := 0; i < QoSWorkers; i++ {
+		<-ready
+	}
+
+	var total atomic.Int64
+	var counted [lcws.NumJobClasses]atomic.Int64
+	jobs := make([]*lcws.Job, 0, 3*backlog)
+	for i := 0; i < backlog; i++ {
+		for _, c := range qosClasses {
+			c := c
+			jobs = append(jobs, s.Submit(func(ctx *lcws.Ctx) {
+				qosSpin(ctx, QoSJobIters)
+				if total.Add(1) <= int64(prefix) {
+					counted[c].Add(1)
+				}
+			}, lcws.WithJobPriority(c)))
+		}
+	}
+	close(gate)
+	for _, j := range gates {
+		j.Wait()
+	}
+	for _, j := range jobs {
+		j.Wait()
+	}
+
+	st := s.Stats()
+	res := QoSFairnessResult{
+		Bench:     "qos-fairness",
+		Policy:    pol.String(),
+		Workers:   QoSWorkers,
+		Backlog:   backlog,
+		Prefix:    prefix,
+		WindowNs:  window.Nanoseconds(),
+		JobYields: st.JobYields,
+		MaxSkew:   1,
+	}
+	for _, c := range qosClasses {
+		n := int(counted[c].Load())
+		h := qosHist(st, c)
+		cs := QoSClassStat{
+			Class:      c.String(),
+			Weight:     qosFairWeights[c],
+			Completed:  n,
+			IdealShare: float64(qosFairWeights[c]) / float64(weightSum),
+			WaitMeanNs: h.Mean(),
+			WaitP99Ns:  h.Quantile(0.99),
+		}
+		if prefix > 0 {
+			cs.Share = float64(n) / float64(prefix)
+		}
+		if cs.Share > 0 && cs.IdealShare > 0 {
+			skew := cs.Share / cs.IdealShare
+			if skew < 1 {
+				skew = 1 / skew
+			}
+			if skew > res.MaxSkew {
+				res.MaxSkew = skew
+			}
+		} else {
+			res.MaxSkew = 1e9 // a silent class is maximally unfair
+		}
+		res.Classes = append(res.Classes, cs)
+	}
+	return res
+}
+
+// MeasureQoSStarvation runs the Low-flood / High-trickle scenario
+// (classed == true) or its all-Normal control (classed == false).
+func MeasureQoSStarvation(pol lcws.Policy, window time.Duration, classed bool) QoSStarvationResult {
+	s := lcws.New(lcws.WithWorkers(QoSWorkers), lcws.WithPolicy(pol))
+	defer s.Close()
+	s.Start()
+
+	floodClass, trickleClass := lcws.Normal, lcws.Normal
+	if classed {
+		floodClass, trickleClass = lcws.Low, lcws.High
+	}
+
+	var floodDone, trickleDone atomic.Int64
+	var floodServiceNs atomic.Int64
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for t := 0; t < QoSStarveTenants; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				j := s.Submit(func(ctx *lcws.Ctx) { qosSpin(ctx, QoSStarveLowIters) },
+					lcws.WithJobPriority(floodClass))
+				if j.Wait() == nil {
+					floodServiceNs.Add(j.Stats().Duration.Nanoseconds())
+					floodDone.Add(1)
+				}
+			}
+		}()
+	}
+	// The trickle: one sequential submitter, at most one job in flight,
+	// so its demand is far below its weight share and every pickup
+	// latency it sees is pure queueing, not its own backlog.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			s.Run(func(ctx *lcws.Ctx) { qosSpin(ctx, QoSJobIters) },
+				lcws.WithJobPriority(trickleClass))
+			trickleDone.Add(1)
+		}
+	}()
+	wg.Wait()
+
+	st := s.Stats()
+	res := QoSStarvationResult{
+		Bench:            "qos-starvation",
+		Policy:           pol.String(),
+		Workers:          QoSWorkers,
+		Tenants:          QoSStarveTenants,
+		WindowNs:         window.Nanoseconds(),
+		Classed:          classed,
+		FloodCompleted:   int(floodDone.Load()),
+		TrickleCompleted: int(trickleDone.Load()),
+		JobYields:        st.JobYields,
+	}
+	if n := floodDone.Load(); n > 0 {
+		res.FloodServiceMeanNs = float64(floodServiceNs.Load()) / float64(n)
+	}
+	// On the control run flood and trickle share one class, so the
+	// trickle's waits are buried in the class histogram; report it
+	// anyway — the flood dominates it, which is exactly the point.
+	h := qosHist(st, trickleClass)
+	res.TrickleWaitMeanNs = h.Mean()
+	res.TrickleWaitP99Ns = h.Quantile(0.99)
+	if classed {
+		res.BoundNs = QoSStarveBound(res.FloodServiceMeanNs)
+	}
+	return res
+}
+
+// QoSStarveBound derives the starvation gate's p99 pickup-wait bound
+// from the measured mean flood service time.
+func QoSStarveBound(floodServiceMeanNs float64) uint64 {
+	return uint64(QoSStarveFactor*floodServiceMeanNs) + QoSStarveSlackNs
+}
+
+// QoSFair reports whether a fairness measurement passes the skew gate.
+func QoSFair(res QoSFairnessResult) bool { return res.MaxSkew <= QoSFairSkew }
+
+// QoSReport is the machine-readable document written to BENCH_qos.json
+// by cmd/lcwsbench -qosbench.
+type QoSReport struct {
+	// Schema identifies the document layout.
+	Schema string `json:"schema"`
+	// GoVersion and GOMAXPROCS describe the measuring environment.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Fairness holds the weighted-share scenario per measured policy;
+	// Starvation the classed flood-plus-trickle runs; Control the
+	// all-Normal baseline showing the backlog latency QoS removes.
+	Fairness   []QoSFairnessResult   `json:"fairness"`
+	Starvation []QoSStarvationResult `json:"starvation"`
+	Control    []QoSStarvationResult `json:"control"`
+}
+
+// qosPolicies are the policies the QoS benchmarks measure: one per
+// deque implementation, as in the memory benchmarks.
+var qosPolicies = []lcws.Policy{lcws.WS, lcws.SignalLCWS}
+
+// NewQoSReport measures fairness, starvation and the control for WS
+// and Signal. Defaults apply when window is non-positive.
+func NewQoSReport(window time.Duration) QoSReport {
+	if window <= 0 {
+		window = time.Second
+	}
+	rep := QoSReport{
+		Schema:     "lcws-qosbench/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, pol := range qosPolicies {
+		rep.Fairness = append(rep.Fairness, MeasureQoSFairness(pol, window))
+		rep.Starvation = append(rep.Starvation, MeasureQoSStarvation(pol, window, true))
+		rep.Control = append(rep.Control, MeasureQoSStarvation(pol, window, false))
+	}
+	return rep
+}

@@ -1,0 +1,104 @@
+package perf
+
+import (
+	"testing"
+	"time"
+
+	"lcws"
+)
+
+// qosGateWindow keeps the CI gates fast; the lcwsbench report uses a
+// longer window for tighter numbers.
+const qosGateWindow = 400 * time.Millisecond
+
+// TestQoSWeightedSharesConverge is the fairness regression gate: with
+// a deep identical-cost backlog per class and class weights 4:2:1, the
+// pickup shares over the measured completion prefix must fall within
+// QoSFairSkew of the ideal 4/7 : 2/7 : 1/7 split.
+func TestQoSWeightedSharesConverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fairness gate needs a measurement window; skipped in -short")
+	}
+	if RaceEnabled {
+		t.Skip("race instrumentation distorts service times; the share gate is meaningless under -race")
+	}
+	for _, pol := range qosPolicies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			res := MeasureQoSFairness(pol, qosGateWindow)
+			for _, cs := range res.Classes {
+				t.Logf("%s: %s completed=%d share=%.3f ideal=%.3f wait p99=%v",
+					pol, cs.Class, cs.Completed, cs.Share, cs.IdealShare,
+					time.Duration(cs.WaitP99Ns))
+			}
+			if !QoSFair(res) {
+				t.Errorf("max share skew %.3f exceeds the %.2fx fairness gate", res.MaxSkew, QoSFairSkew)
+			}
+		})
+	}
+}
+
+// TestQoSHighNotStarvedUnderLowFlood is the starvation regression gate:
+// a High trickle against a QoSStarveTenants-deep Low flood must see p99
+// queue-to-pickup latency within QoSStarveBound — roughly one flood-job
+// service time, where FIFO pickup would cost the whole backlog.
+func TestQoSHighNotStarvedUnderLowFlood(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starvation gate needs a measurement window; skipped in -short")
+	}
+	if RaceEnabled {
+		t.Skip("race instrumentation distorts service times; the latency gate is meaningless under -race")
+	}
+	for _, pol := range qosPolicies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			res := MeasureQoSStarvation(pol, qosGateWindow, true)
+			t.Logf("%s: flood=%d trickle=%d lowService=%v highWait mean=%v p99=%v bound=%v yields=%d",
+				pol, res.FloodCompleted, res.TrickleCompleted,
+				time.Duration(res.FloodServiceMeanNs), time.Duration(res.TrickleWaitMeanNs),
+				time.Duration(res.TrickleWaitP99Ns), time.Duration(res.BoundNs), res.JobYields)
+			if res.TrickleCompleted == 0 {
+				t.Fatal("the High trickle completed no jobs: starved outright")
+			}
+			if res.TrickleWaitP99Ns > res.BoundNs {
+				t.Errorf("High p99 pickup wait %v exceeds bound %v (mean Low service %v)",
+					time.Duration(res.TrickleWaitP99Ns), time.Duration(res.BoundNs),
+					time.Duration(res.FloodServiceMeanNs))
+			}
+		})
+	}
+}
+
+// TestQoSSingleClassMatchesFIFOThroughput pins the acceptance criterion
+// that single-class submission pays nothing measurable for the QoS
+// machinery: a Normal-only closed-loop stream completes within a few
+// percent of the same stream on a weight-skewed pool (the weights are
+// irrelevant when only one class submits — the stride order degenerates
+// to FIFO), and the QoS counters stay quiet.
+func TestQoSSingleClassMatchesFIFOThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a measurement window; skipped in -short")
+	}
+	s := lcws.New(lcws.WithWorkers(QoSWorkers), lcws.WithPolicy(lcws.SignalLCWS))
+	defer s.Close()
+	done := 0
+	deadline := time.Now().Add(qosGateWindow / 2)
+	for time.Now().Before(deadline) {
+		s.Run(func(ctx *lcws.Ctx) { qosSpin(ctx, QoSJobIters) })
+		done++
+	}
+	st := s.Stats()
+	if st.JobYields != 0 {
+		t.Errorf("JobYields = %d on a single-class stream, want 0", st.JobYields)
+	}
+	if st.AdmissionRejects != 0 {
+		t.Errorf("AdmissionRejects = %d with unbounded classes, want 0", st.AdmissionRejects)
+	}
+	if st.JobsEnqueuedNormal == 0 || st.JobsEnqueuedHigh != 0 || st.JobsEnqueuedLow != 0 {
+		t.Errorf("per-class enqueue counts %d/%d/%d, want all-Normal",
+			st.JobsEnqueuedHigh, st.JobsEnqueuedNormal, st.JobsEnqueuedLow)
+	}
+	if done == 0 {
+		t.Fatal("no jobs completed")
+	}
+}

@@ -193,7 +193,7 @@ func WriteChrome(w io.Writer, t *Trace) error {
 	for _, js := range t.Jobs {
 		name := fmt.Sprintf("job %d", js.ID)
 		id := fmt.Sprintf("0x%x", js.ID)
-		args := map[string]any{"id": js.ID}
+		args := map[string]any{"id": js.ID, "class": js.Class}
 		if js.Failed {
 			args["failed"] = true
 		}

@@ -160,6 +160,10 @@ type JobSpan struct {
 	Start  int64  `json:"start"`
 	End    int64  `json:"end"`
 	Failed bool   `json:"failed,omitempty"`
+	// Class is the job's QoS priority class index (0 = most urgent),
+	// mirroring core.JobClass; rendered in the Chrome export's span
+	// args so a starved tenant is visible in the viewer.
+	Class uint8 `json:"class,omitempty"`
 }
 
 // Config configures the flight recorder of a scheduler.

@@ -39,12 +39,47 @@
 //
 // Jobs are isolated: a panicking task fails only its own job (Wait
 // returns a *TaskPanic-wrapped error; the pool stays healthy), and
-// SubmitCtx/RunCtx observe context cancellation at task boundaries and
-// Poll checkpoints. See DESIGN.md §10 for the executor's lifecycle
-// state machine and cost model.
+// jobs submitted with WithJobCtx observe context cancellation at task
+// boundaries and Poll checkpoints. See DESIGN.md §10 for the
+// executor's lifecycle state machine and cost model.
+//
+// # Multi-tenant QoS
+//
+// Submissions are not a single FIFO line. Each job carries a priority
+// class (High, Normal, Low — WithJobPriority) and an integer weight
+// (WithJobWeight), and idle workers pick queued jobs up in
+// weighted-fair (stride) order: classes share pickups in proportion to
+// their configured weights (WithClassWeight, default 16:4:1), and jobs
+// within a class in proportion to their job weights, FIFO among equals.
+// Workers running a less-urgent job also poll for more-urgent queued
+// jobs at Poll checkpoints and run them to completion inline when the
+// weighted-fair order grants them the next turn, so a High submission's
+// pickup latency under a saturating Low backlog is bounded by the
+// checkpoint interval rather than by queue depth. Per-class queue
+// capacities (WithClassCapacity) bound admission: a full class either
+// fails the submission fast with ErrQueueFull (AdmitFail) or blocks the
+// submitter until space frees (AdmitBlock, the default when a capacity
+// is set) — pick with WithAdmission.
+//
+// # Errors
+//
+// Job.Err (and Wait) report exactly one of:
+//
+//   - ErrSchedulerClosed — submitted after Close, or still queued when
+//     Close ran.
+//   - ErrQueueFull — rejected by AdmitFail bounded admission.
+//   - a *TaskPanic-wrapped error — a task function panicked.
+//   - the job context's cancellation cause (context.Canceled,
+//     context.DeadlineExceeded, or a context.WithCancelCause cause) for
+//     jobs submitted with WithJobCtx.
+//   - ErrJobInvariant — scheduler accounting self-check failed (a bug
+//     in lcws, not in the caller).
+//
+// All are matchable with errors.Is/errors.As.
 package lcws
 
 import (
+	"context"
 	"io"
 
 	"lcws/internal/core"
@@ -57,8 +92,9 @@ import (
 type Ctx = core.Worker
 
 // Scheduler is a persistent pool of resident workers; see New and the
-// package comment's "Persistent executor" section. Submit/SubmitCtx
-// enqueue jobs from any goroutine, Run is submit-and-wait, Start spawns
+// package comment's "Persistent executor" section. Submit enqueues a
+// job from any goroutine (with per-job SubmitOpts for class, weight,
+// context and admission mode), Run is submit-and-wait, Start spawns
 // the workers eagerly, Close shuts the pool down.
 type Scheduler = core.Scheduler
 
@@ -70,14 +106,70 @@ type Job = core.Job
 // jobs overlap on the pool (unlike the scheduler-wide Stats deltas).
 type JobStats = core.JobStats
 
-// Errors surfaced through Job.Err and RunCtx.
+// Errors surfaced through Job.Err; see the package comment's "Errors"
+// section for the full taxonomy.
 var (
 	// ErrSchedulerClosed is returned by jobs submitted after Close.
 	ErrSchedulerClosed = core.ErrSchedulerClosed
+	// ErrQueueFull is returned by submissions rejected by bounded
+	// admission (WithClassCapacity + WithAdmission(AdmitFail)).
+	ErrQueueFull = core.ErrQueueFull
 	// ErrJobInvariant wraps a post-job scheduler accounting violation (a
 	// scheduler bug surfaced as a per-job error rather than a panic).
 	ErrJobInvariant = core.ErrJobInvariant
 )
+
+// JobClass is a submission's priority class; see the package comment's
+// "Multi-tenant QoS" section.
+type JobClass = core.JobClass
+
+// The priority classes, most urgent first.
+const (
+	// High is for latency-sensitive jobs.
+	High = core.High
+	// Normal is the default class of Submit and Run.
+	Normal = core.Normal
+	// Low is for batch/background jobs.
+	Low = core.Low
+)
+
+// NumJobClasses is the number of priority classes.
+const NumJobClasses = core.NumJobClasses
+
+// ParseJobClass converts a class name ("high", "normal", "low",
+// case-insensitive) into a JobClass.
+func ParseJobClass(name string) (JobClass, bool) { return core.ParseJobClass(name) }
+
+// AdmitMode selects what a submission does when its class queue is at
+// its WithClassCapacity bound.
+type AdmitMode = core.AdmitMode
+
+const (
+	// AdmitBlock blocks the submitter until space frees, the job's
+	// context is cancelled, or the scheduler closes (the default).
+	AdmitBlock = core.AdmitBlock
+	// AdmitFail fails the submission immediately with ErrQueueFull.
+	AdmitFail = core.AdmitFail
+)
+
+// SubmitOpt configures one submission (Submit or Run).
+type SubmitOpt = core.SubmitOpt
+
+// WithJobPriority sets the submission's priority class (default Normal).
+func WithJobPriority(c JobClass) SubmitOpt { return core.WithJobPriority(c) }
+
+// WithJobWeight sets the submission's weight within its class (default
+// 1; values below 1 are clamped to 1). Jobs of one class share pickups
+// in proportion to their weights.
+func WithJobWeight(w int) SubmitOpt { return core.WithJobWeight(w) }
+
+// WithJobCtx attaches a context: the job fails with the context's
+// cancellation cause, observed at task boundaries and Poll checkpoints.
+func WithJobCtx(ctx context.Context) SubmitOpt { return core.WithJobCtx(ctx) }
+
+// WithAdmission sets the submission's behavior at a full class queue
+// (default AdmitBlock). Irrelevant while the class is uncapped.
+func WithAdmission(m AdmitMode) SubmitOpt { return core.WithAdmission(m) }
 
 // Policy selects the scheduling algorithm.
 type Policy = core.Policy
@@ -143,6 +235,22 @@ func WithMaxDequeCapacity(n int) Option { return func(o *core.Options) { o.MaxDe
 // released to the GC, keeping steady-state memory flat across jobs of
 // wildly different widths.
 func WithFreelistBound(n int) Option { return func(o *core.Options) { o.FreelistBound = n } }
+
+// WithClassWeight sets priority class c's share weight in the
+// weighted-fair injector (default High:16, Normal:4, Low:1; values
+// below 1 are clamped to 1). Classes receive job pickups in proportion
+// to their weights while all have queued jobs.
+func WithClassWeight(c JobClass, w int) Option {
+	return func(o *core.Options) { o.ClassWeights[c] = w }
+}
+
+// WithClassCapacity bounds priority class c's submission queue to n
+// queued (not yet picked up) jobs; 0, the default, leaves the class
+// unbounded. Submissions to a full class block or fail per their
+// WithAdmission mode.
+func WithClassCapacity(c JobClass, n int) Option {
+	return func(o *core.Options) { o.ClassCapacity[c] = n }
+}
 
 // WithSeed seeds the workers' victim-selection PRNGs for reproducible
 // scheduling decisions.
