@@ -5,7 +5,7 @@
 GO ?= go
 BIN := $(CURDIR)/bin
 
-.PHONY: verify build test race vet census race-matrix fuzz-smoke stress lcwsvet bench-fork bench-steal bench-exec bench-mem bench-qos submit-stress trace-smoke clean
+.PHONY: verify build test race vet census race-matrix fuzz-smoke stress lcwsvet bench-fork bench-steal bench-exec bench-mem bench-qos bench-elastic submit-stress trace-smoke clean
 
 verify: build test race vet fuzz-smoke stress submit-stress trace-smoke
 
@@ -86,6 +86,13 @@ bench-mem:
 # in internal/perf.
 bench-qos:
 	$(GO) run ./cmd/lcwsbench -qosbench -qosjson BENCH_qos.json
+
+# Elastic-pool lifecycle benchmark: regenerates BENCH_elastic.json
+# walking each policy's pool through demand growth, retire-on-idle, the
+# idle CPU-cost window, and regrowth over recycled slots (see README).
+# The lifecycle gate itself is TestElasticLifecycle in internal/perf.
+bench-elastic:
+	$(GO) run ./cmd/lcwsbench -elasticbench -elasticjson BENCH_elastic.json
 
 # Concurrent-submission soak under the race detector: many submitter
 # goroutines, overlapping jobs, panics and cancellations over one

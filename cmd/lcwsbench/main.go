@@ -26,6 +26,7 @@
 //	lcwsbench -execbench -execjson BENCH_exec.json
 //	lcwsbench -membench -memjson BENCH_mem.json
 //	lcwsbench -qosbench -qosjson BENCH_qos.json
+//	lcwsbench -elasticbench -elasticjson BENCH_elastic.json
 //	lcwsbench -jobs 64 -submitters 8
 package main
 
@@ -92,6 +93,10 @@ func main() {
 		qosjson   = flag.String("qosjson", "", "write the QoS benchmark report as JSON to this file (default stdout)")
 		qoswindow = flag.Duration("qoswindow", 0, "QoS measurement window per scenario (0 = default 1s)")
 
+		elasticbench  = flag.Bool("elasticbench", false, "run the elastic-pool lifecycle benchmark: demand growth, retire-on-idle, idle CPU cost, and regrow throughput (internal/perf)")
+		elasticjson   = flag.String("elasticjson", "", "write the elastic benchmark report as JSON to this file (default stdout)")
+		elasticwindow = flag.Duration("elasticwindow", 0, "elastic retire-settle and idle quiet window (0 = default 2s)")
+
 		jobs       = flag.Int("jobs", 0, "submit this many concurrent fork-join jobs over one resident pool and emit per-job stats as JSON")
 		submitters = flag.Int("submitters", 4, "submitting goroutines for the -jobs mode")
 		jobpolicy  = flag.String("jobpolicy", lcws.SignalLCWS.String(), "scheduling policy for the -jobs pool")
@@ -105,7 +110,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi || *forkbench || *stealbench || *execbench || *membench || *qosbench || *jobs > 0 || *traceOut != "") {
+	if !(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi || *forkbench || *stealbench || *execbench || *membench || *qosbench || *elasticbench || *jobs > 0 || *traceOut != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -147,13 +152,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *elasticbench {
+		if err := runElasticBench(*elasticwindow, *elasticjson); err != nil {
+			fmt.Fprintln(os.Stderr, "lcwsbench:", err)
+			os.Exit(1)
+		}
+	}
 	if *jobs > 0 {
 		if err := runJobs(*jobs, *submitters, *jobpolicy, *jobworkers, *seed, *jobsjson); err != nil {
 			fmt.Fprintln(os.Stderr, "lcwsbench:", err)
 			os.Exit(1)
 		}
 	}
-	if (*forkbench || *stealbench || *execbench || *membench || *qosbench || *jobs > 0 || *traceOut != "") &&
+	if (*forkbench || *stealbench || *execbench || *membench || *qosbench || *elasticbench || *jobs > 0 || *traceOut != "") &&
 		!(*all || *table1 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 || *fig8 || *stats || *lace || *multi) {
 		return
 	}
@@ -397,6 +408,44 @@ func runQoSBench(window time.Duration, path string) error {
 				c.Policy, c.FloodCompleted, c.TrickleCompleted,
 				time.Duration(c.TrickleWaitP99Ns).Round(time.Microsecond))
 		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// runElasticBench walks each policy's pool through the elastic
+// lifecycle (demand growth, retire-on-idle, idle CPU cost, regrow) and
+// writes the BENCH_elastic.json document to path (stdout when empty),
+// with a short text summary and the gate verdicts on stderr.
+func runElasticBench(window time.Duration, path string) error {
+	rep := perf.NewElasticReport(window)
+	for _, r := range rep.Results {
+		verdict := func(ok bool, name string) string {
+			if ok {
+				return name
+			}
+			return "NOT " + name
+		}
+		fmt.Fprintf(os.Stderr, "elastic/%-8s %d->%d peak=%d grows=%d retired_idle=%d settle=%s (%s, %s)\n",
+			r.Policy, r.Resident, r.MaxWorkers, r.PeakWorkers, r.BurstPoolGrows,
+			r.WorkersRetiredIdle, time.Duration(r.RetireSettleNs).Round(time.Millisecond),
+			verdict(perf.ElasticGrew(r), "grew"), verdict(perf.ElasticRetired(r), "retired"))
+		idleCPU := "unavailable"
+		if r.IdleCPUNs >= 0 {
+			idleCPU = fmt.Sprintf("%.4f of a core", r.IdleCPUFrac)
+		}
+		fmt.Fprintf(os.Stderr, "elastic/%-8s idle cpu=%s over %s (%s) regrow=%.2fx baseline (%s)\n",
+			r.Policy, idleCPU, time.Duration(r.IdleWindowNs),
+			verdict(perf.ElasticIdleQuiet(r), "quiet"),
+			r.RegrowRatio, verdict(perf.ElasticRegrowRestored(r), "restored"))
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -43,6 +43,18 @@
 //	                             slices and pointers the *field value*
 //	                             is immutable; what it points at is
 //	                             governed by its own discipline.
+//	//lcws:field epoch-guarded — immutable within a worker-set epoch:
+//	                             written during construction and by the
+//	                             elastic pool's retire/regrow path,
+//	                             which runs only after the owning
+//	                             goroutine has exited and the epoch has
+//	                             quiesced (see core.workerSet). Writes
+//	                             outside construction must sit in a
+//	                             function whose doc comment carries the
+//	                             //lcws:epoch-guarded directive — the
+//	                             documented quiescence proof; reads are
+//	                             unrestricted (stale epochs are kept
+//	                             valid by the reclamation protocol).
 //
 // A //lcws:presync comment on (or directly above) an access line
 // exempts that site — the presync analyzer then independently verifies
@@ -70,6 +82,12 @@ const (
 	FieldMarker    = "//lcws:field"
 	LockedMarker   = "//lcws:locked"
 	presyncMarker  = "//lcws:presync"
+	// EpochGuardedMarker, in a function's doc comment, declares that the
+	// function runs only under the epoch-guarded quiescence discipline
+	// (owner goroutine exited, worker-set epoch drained); it licenses
+	// writes to epoch-guarded fields and calls to epoch-guarded methods
+	// (see the owneronly analyzer) inside that function.
+	EpochGuardedMarker = "//lcws:epoch-guarded"
 )
 
 // auditedPackages limits the analyzer to the concurrency core, like
@@ -88,6 +106,7 @@ var requiredManifests = map[string]map[string]bool{
 	"lcws/internal/core": {
 		"Worker": true, "workerSlot": true, "Scheduler": true,
 		"Job": true, "jobShard": true, "Task": true, "recycleShard": true,
+		"workerSet": true,
 	},
 	"lcws/internal/deque": {
 		"SplitDeque": true, "ChaseLev": true,
@@ -103,7 +122,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "fieldclass",
 	Doc: "check field accesses against declared concurrency manifests\n\n" +
 		"Every field of a manifest-bearing struct declares its synchronization discipline " +
-		"(//lcws:field atomic | owner | thief-shared | guarded(mu) | immutable); the " +
+		"(//lcws:field atomic | owner | thief-shared | guarded(mu) | immutable | epoch-guarded); the " +
 		"analyzer classifies every read/write site in the package and reports accesses " +
 		"that violate the declared class, plus any field that has no declaration at all. " +
 		"The paper removes synchronization from the hot path, so each plain access is " +
@@ -164,7 +183,7 @@ func run(pass *analysis.Pass) error {
 			case !f.annotated:
 				pass.Reportf(f.pos, "field %s.%s has no %s class; every field of a manifest-bearing struct must declare its concurrency discipline", sd.name, f.name, FieldMarker)
 			case !f.clsOK:
-				pass.Reportf(f.pos, "unknown %s class %q (want atomic | owner | owner(T) | thief-shared | guarded(g) | immutable)", FieldMarker, f.rawClass)
+				pass.Reportf(f.pos, "unknown %s class %q (want atomic | owner | owner(T) | thief-shared | guarded(g) | immutable | epoch-guarded)", FieldMarker, f.rawClass)
 			default:
 				classOf[fieldKey{sd.name, f.name}] = f.cls
 			}
@@ -231,6 +250,17 @@ func checkSite(pass *analysis.Pass, sel *ast.SelectorExpr, typ string, cls class
 			return
 		}
 		pass.Reportf(sel.Pos(), "field %s.%s is declared %s immutable but is written outside construction (New*/init)", typ, field, FieldMarker)
+	case "epoch-guarded":
+		if !isWrite(parent, sel) {
+			return
+		}
+		if inConstructor(stack) {
+			return
+		}
+		if fd := analysis.EnclosingFuncDecl(stack); fd != nil && groupHasMarker(fd.Doc, EpochGuardedMarker) && !inFuncLit(stack, fd) {
+			return
+		}
+		pass.Reportf(sel.Pos(), "field %s.%s is declared %s epoch-guarded but is written outside construction and outside a function carrying the %s quiescence directive", typ, field, FieldMarker, EpochGuardedMarker)
 	case "owner":
 		checkOwnerSite(pass, sel, typ, cls, stack)
 	case "guarded":
@@ -403,7 +433,11 @@ func guardHeldBefore(fd *ast.FuncDecl, guard string, pos token.Pos) bool {
 			return true
 		}
 		switch m.Sel.Name {
-		case "Lock", "RLock", "Do":
+		case "Lock", "RLock", "Do", "TryLock":
+			// TryLock counts as an acquisition site like Lock: using the
+			// guarded field without checking TryLock's result is, like an
+			// early return between Lock and use, a flow bug left to the
+			// race detector.
 		default:
 			return true
 		}
@@ -550,7 +584,7 @@ func parseClass(raw string) (class, bool) {
 		kind, arg = tok[:i], tok[i+1:len(tok)-1]
 	}
 	switch kind {
-	case "atomic", "thief-shared", "immutable":
+	case "atomic", "thief-shared", "immutable", "epoch-guarded":
 		if arg != "" {
 			return class{}, false
 		}

@@ -26,6 +26,7 @@ type Worker struct {
 	id         int           //lcws:field immutable
 	sinceYield int           //lcws:field owner
 	freelist   *Task         //lcws:field owner
+	ring       []int         //lcws:field epoch-guarded — swapped only on quiesced epochs
 	_          [8]byte       // padding: blank fields need no class
 	unclassed  int           // want `field Worker.unclassed has no //lcws:field class`
 	//lcws:field sometimes
@@ -48,7 +49,8 @@ type jobShard struct { // want `struct jobShard must carry a //lcws:manifest con
 
 func NewWorker(id int) *Worker {
 	w := &Worker{}
-	w.id = id // ok: construction context
+	w.id = id               // ok: construction context
+	w.ring = make([]int, 1) // ok: construction context
 	return w
 }
 
@@ -99,6 +101,32 @@ func (j *Job) fail(err error) {
 
 func (j *Job) peek() error {
 	return j.failErr // want `field Job.failErr is declared //lcws:field guarded\(errOnce\) but errOnce is not acquired`
+}
+
+func (w *Worker) peekRing() int {
+	if len(w.ring) == 0 { // ok: epoch-guarded reads are unrestricted
+		return 0
+	}
+	return w.ring[0] // ok
+}
+
+// reclaimRing mimics the elastic pool's reclamation path: the directive
+// below is the documented quiescence proof that licenses the write.
+//
+//lcws:epoch-guarded — quiescence proved by the caller (test stand-in)
+func reclaimRing(w *Worker) {
+	w.ring = nil // ok: write licensed by the enclosing directive
+}
+
+func badReclaimRing(w *Worker) {
+	w.ring = nil // want `field Worker.ring is declared //lcws:field epoch-guarded but is written outside construction and outside a function carrying the //lcws:epoch-guarded quiescence directive`
+}
+
+//lcws:epoch-guarded — the directive does not reach into closures
+func badReclaimRingClosure(w *Worker) func() {
+	return func() {
+		w.ring = nil // want `field Worker.ring is declared //lcws:field epoch-guarded but is written outside construction and outside a function carrying the //lcws:epoch-guarded quiescence directive`
+	}
 }
 
 var _ = jobShard{}

@@ -40,6 +40,16 @@
 // anywhere — that is the disabled-tracing fast path — as is the
 // initialization write in Worker.init.
 //
+// The elastic pool adds a third method class on both fields:
+// epoch-guarded operations (deque Teardown; recorder ReleaseRing,
+// EnsureRing) mutate owner-side structures from the resizer's
+// goroutine, which is sound only under the worker-set quiescence
+// discipline — the owning goroutine has exited and no epoch pin can
+// still reach the structure. Such a call must sit in a function whose
+// doc comment carries the //lcws:epoch-guarded directive (the written
+// quiescence proof, shared with the fieldclass analyzer's
+// epoch-guarded field class), outside function literals.
+//
 // unsafe.Offsetof(w.dq) and friends are exempt everywhere: Offsetof
 // queries the struct layout without evaluating its operand, which is how
 // the layout regression tests pin the cache-line contract.
@@ -57,6 +67,7 @@ import (
 	"strings"
 
 	"lcws/internal/analysis"
+	"lcws/internal/analysis/fieldclass"
 )
 
 // workerPkg/workerType identify the guarded struct; dequeField and
@@ -103,19 +114,28 @@ var ownerOnly = map[string]bool{
 	"NeverExposed":    true, // MultFree recycling gate: owner-local exposure high-water mark
 }
 
+// epochGuarded holds the deque methods the elastic pool's resizer may
+// call from outside the owner goroutine, but only under the worker-set
+// quiescence discipline: the call must sit in a function whose doc
+// comment carries the //lcws:epoch-guarded directive (see the package
+// comment and core.workerSet).
+var epochGuarded = map[string]bool{
+	"Teardown": true, // index-preserving array release of a retired slot's deque
+}
+
 var thiefSafe = map[string]bool{
 	"PopTop":             true,
 	"PopTopHalf":         true, // batched steal: single CAS claims the run
 	"PopTopN":            true, // Chase-Lev batched steal
 	"TakeTopRelaxed":     true, // MultFree relaxed claim: per-thief RelClaim cursor, no CAS
 	"TakeTopHalfRelaxed": true, // MultFree batched relaxed claim
-	"HasTwoTasks":   true,
-	"HasPublicWork": true, // parking-lot pre-park / wake re-check
-	"IsEmpty":       true,
-	"PrivateSize":   true,
-	"PublicSize":    true,
-	"Capacity":      true, // atomic load of the published array generation
-	"MaxCapacity":   true, // immutable growth ceiling
+	"HasTwoTasks":        true,
+	"HasPublicWork":      true, // parking-lot pre-park / wake re-check
+	"IsEmpty":            true,
+	"PrivateSize":        true,
+	"PublicSize":         true,
+	"Capacity":           true, // atomic load of the published array generation
+	"MaxCapacity":        true, // immutable growth ceiling
 }
 
 // recOwnerOnly holds the flight recorder's owner-path methods: they
@@ -142,8 +162,18 @@ var recOwnerOnly = map[string]bool{
 	"Spill":         true, // overflow-spill marker, owner ring
 	"JobSwitch":     true, // job-context marker written at setJob, owner ring
 	"Duplicate":     true, // MultFree lost-arbitration marker: the loser records into its OWN ring
+	"Resize":        true, // worker-set adoption marker, recorded by each worker on its own ring
+	"Retire":        true, // retirement marker: the retiring worker's last own-ring event
 	"Tail":          true, // owner-side plain reads (panic reports)
 	"ResetRun":      true,
+}
+
+// recEpochGuarded holds the recorder's epoch-guarded methods: the ring
+// release/restore pair of the elastic pool's retire/regrow path. Same
+// directive rule as the deque's epochGuarded set.
+var recEpochGuarded = map[string]bool{
+	"ReleaseRing": true,
+	"EnsureRing":  true,
 }
 
 var recThiefSafe = map[string]bool{
@@ -282,8 +312,11 @@ func checkDequeUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node)
 	switch {
 	case thiefSafe[name]:
 		return
+	case epochGuarded[name]:
+		checkEpochGuardedCall(pass, method, stack, "deque")
+		return
 	case !ownerOnly[name]:
-		pass.Reportf(method.Sel.Pos(), "deque method %s is not classified as owner-only or thief-safe in the owneronly analyzer", name)
+		pass.Reportf(method.Sel.Pos(), "deque method %s is not classified as owner-only, thief-safe, or epoch-guarded in the owneronly analyzer", name)
 		return
 	}
 
@@ -411,8 +444,11 @@ func checkRecUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) {
 	switch {
 	case recThiefSafe[name]:
 		return
+	case recEpochGuarded[name]:
+		checkEpochGuardedCall(pass, method, stack, "recorder")
+		return
 	case !recOwnerOnly[name]:
-		pass.Reportf(method.Sel.Pos(), "recorder method %s is not classified as owner-only or thief-safe in the owneronly analyzer", name)
+		pass.Reportf(method.Sel.Pos(), "recorder method %s is not classified as owner-only, thief-safe, or epoch-guarded in the owneronly analyzer", name)
 		return
 	}
 
@@ -439,6 +475,46 @@ func checkRecUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) {
 	if inFuncLit(stack, fd) {
 		pass.Reportf(method.Sel.Pos(), "owner-only recorder method %s called inside a function literal; closures may escape the owner's goroutine", name)
 	}
+}
+
+// checkEpochGuardedCall validates a call to an epoch-guarded method
+// (deque Teardown, recorder ReleaseRing/EnsureRing): it must be a
+// direct call from a function whose doc comment carries the
+// //lcws:epoch-guarded directive — the documented quiescence proof —
+// and not from inside a function literal, which could escape the
+// quiescent window.
+func checkEpochGuardedCall(pass *analysis.Pass, method *ast.SelectorExpr, stack []ast.Node, kind string) {
+	name := method.Sel.Name
+	if len(stack) < 2 {
+		pass.Reportf(method.Sel.Pos(), "epoch-guarded %s method %s must be called directly, not bound as a method value", kind, name)
+		return
+	}
+	if call, ok := stack[len(stack)-2].(*ast.CallExpr); !ok || call.Fun != method {
+		pass.Reportf(method.Sel.Pos(), "epoch-guarded %s method %s must be called directly, not bound as a method value", kind, name)
+		return
+	}
+	fd := analysis.EnclosingFuncDecl(stack)
+	if fd == nil || !docHasMarker(fd.Doc, fieldclass.EpochGuardedMarker) {
+		pass.Reportf(method.Sel.Pos(), "epoch-guarded %s method %s called outside a function carrying the %s quiescence directive", kind, name, fieldclass.EpochGuardedMarker)
+		return
+	}
+	if inFuncLit(stack, fd) {
+		pass.Reportf(method.Sel.Pos(), "epoch-guarded %s method %s called inside a function literal; closures may escape the quiescent window", kind, name)
+	}
+}
+
+// docHasMarker reports whether any comment line in cg starts with
+// marker.
+func docHasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(c.Text, marker) {
+			return true
+		}
+	}
+	return false
 }
 
 // exprString renders small expressions for diagnostics.

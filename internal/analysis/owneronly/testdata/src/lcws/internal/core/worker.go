@@ -17,6 +17,7 @@ type taskDeque interface {
 	HasTwoTasks() bool
 	HasPublicWork() bool
 	IsEmpty() bool
+	Teardown()
 	Mystery()
 }
 
@@ -35,6 +36,8 @@ func (r *Recorder) Tail(n int) []int                    { return nil }
 func (r *Recorder) Snapshot(worker int) ([]int, uint64) { return nil, 0 }
 func (r *Recorder) Hist(which int) int                  { return 0 }
 func (r *Recorder) ResetHists()                         {}
+func (r *Recorder) ReleaseRing()                        {}
+func (r *Recorder) EnsureRing()                         {}
 func (r *Recorder) Mystery()                            {}
 
 type Job struct{ id uint64 }
@@ -106,7 +109,7 @@ func (w *Worker) badMethodValue() func() int {
 }
 
 func (w *Worker) unclassified() {
-	w.dq.Mystery() // want `not classified as owner-only or thief-safe`
+	w.dq.Mystery() // want `not classified as owner-only, thief-safe, or epoch-guarded`
 }
 
 func (w *Worker) newTask() *Task { // ok: owner-local freelist pop on the receiver
@@ -210,7 +213,7 @@ func (w *Worker) badRecMethodValue() func() {
 }
 
 func (w *Worker) unclassifiedRec() {
-	w.rec.Mystery() // want `recorder method Mystery is not classified as owner-only or thief-safe`
+	w.rec.Mystery() // want `recorder method Mystery is not classified as owner-only, thief-safe, or epoch-guarded`
 }
 
 type Scheduler struct{ workers []*Worker }
@@ -230,6 +233,28 @@ func (s *Scheduler) goodSnapshotFromScheduler() ([]int, uint64) {
 
 func badRecFreeFunction(w *Worker) {
 	w.rec.TaskEnd() // want `owner-only recorder method TaskEnd called outside a Worker method`
+}
+
+// reclaimSlot mimics the elastic pool's reclamation path: epoch-guarded
+// calls are licensed by the directive below, from any goroutine.
+//
+//lcws:epoch-guarded — quiescence proved by the caller (test stand-in)
+func (s *Scheduler) reclaimSlot(w *Worker) {
+	w.dq.Teardown()     // ok: epoch-guarded call under the directive
+	w.rec.ReleaseRing() // ok: epoch-guarded call under the directive
+	w.rec.EnsureRing()  // ok: epoch-guarded call under the directive
+}
+
+func (s *Scheduler) badReclaimNoDirective(w *Worker) {
+	w.dq.Teardown()     // want `epoch-guarded deque method Teardown called outside a function carrying the //lcws:epoch-guarded quiescence directive`
+	w.rec.ReleaseRing() // want `epoch-guarded recorder method ReleaseRing called outside a function carrying the //lcws:epoch-guarded quiescence directive`
+}
+
+//lcws:epoch-guarded — the directive does not reach into closures
+func (s *Scheduler) badReclaimClosure(w *Worker) func() {
+	return func() {
+		w.dq.Teardown() // want `epoch-guarded deque method Teardown called inside a function literal`
+	}
 }
 
 func badFreeFunction(w *Worker) {

@@ -21,8 +21,18 @@ import (
 // Options configures a Scheduler.
 type Options struct {
 	// Workers is the number of processors (worker goroutines), P in the
-	// paper. Defaults to 1 when non-positive.
+	// paper — the pool's initial live size and its resident target.
+	// Defaults to 1 when non-positive. The pool is elastic: SetWorkers
+	// changes the live size at runtime, and demand can grow it toward
+	// MaxWorkers (see below).
 	Workers int
+	// MaxWorkers caps elastic growth: the worker slab, per-job
+	// accounting shards, and parking bitset are sized to it once at
+	// construction, and SetWorkers/demand growth may raise the live
+	// pool up to it. Defaults to Workers when non-positive (a pool that
+	// never grows by itself, matching the fixed-P behavior of earlier
+	// versions).
+	MaxWorkers int
 	// Policy selects the scheduler algorithm. The zero value is the WS
 	// baseline.
 	Policy Policy
@@ -99,6 +109,9 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = 1
 	}
+	if o.MaxWorkers < o.Workers {
+		o.MaxWorkers = o.Workers
+	}
 	if o.PollEvery <= 0 {
 		o.PollEvery = defaultPollEvery
 	}
@@ -116,13 +129,18 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Scheduler is a persistent pool of P resident workers executing
+// Scheduler is a persistent, elastic pool of resident workers executing
 // fork-join jobs under one of the paper's scheduling policies. The
-// worker goroutines are spawned once — lazily on the first submission,
-// or eagerly via Start — and live until Close: between jobs they park
-// on the idle parking lot (costing no CPU), and repeated Run/Submit
-// calls pay no goroutine spawn or teardown. This matches the paper's
-// model of persistent processors that exist across computations.
+// initial worker goroutines are spawned together — lazily on the first
+// submission, or eagerly via Start — and workers live until Close,
+// SetWorkers shrinks them away, or idle retirement stands them down:
+// between jobs they park on the idle parking lot (costing no CPU), and
+// repeated Run/Submit calls pay no goroutine spawn or teardown. This
+// matches the paper's model of persistent processors that exist across
+// computations, generalized to a live worker count that moves between 1
+// and Options.MaxWorkers (SetWorkers, demand growth, idle retirement)
+// while the paper's fork/steal fast paths stay byte-identical inside a
+// stable worker-set epoch.
 //
 // Jobs enter through an MPMC injector queue (Submit/SubmitCtx/Run) and
 // any number may run concurrently over the same pool; each Job carries
@@ -136,12 +154,50 @@ func (o Options) withDefaults() Options {
 // workers — and no thief-written notification word and owner-hot field —
 // share a cache line.
 //
+// The pool is elastic: the slab is sized Options.MaxWorkers once at
+// construction, and the *live* prefix of it is published as an
+// epoch-numbered workerSet snapshot through the set pointer. SetWorkers
+// (and demand growth / idle retirement) install new snapshots; workers
+// pin the snapshot they work against, and retired slots' resources are
+// reclaimed once no pin can reference them. See workerset.go.
+//
 //lcws:manifest
 type Scheduler struct {
-	opts    Options        //lcws:field immutable
-	workers []workerSlot   //lcws:field immutable
+	opts Options //lcws:field immutable
+	// workers is the full MaxWorkers slab. The slab itself never grows,
+	// shrinks, or moves — which worker ids are live is governed by the
+	// set snapshot, and slots beyond the live prefix are either not yet
+	// initialized (zeroed) or retired awaiting reuse.
+	workers []workerSlot   //lcws:field immutable — liveness governed by set; see workerSet
 	ctrs    *counters.Set  //lcws:field immutable
 	wg      sync.WaitGroup //lcws:field atomic — resident-worker barrier for Close
+
+	// set is the current worker-set epoch: the live prefix of the slab,
+	// published with a release store by the resizer and pinned by
+	// workers on busy-phase entry (see workerset.go for the protocol).
+	set atomic.Pointer[workerSet] //lcws:field atomic
+
+	// resizeMu serializes resizes, reclamation, and worker-goroutine
+	// spawning. Never taken on any per-task path: submit and the idle
+	// phase only TryLock it, and workers only block on it when retiring.
+	resizeMu sync.Mutex //lcws:field atomic — internally synchronized
+	// target is the resident size the pool settles to when idle:
+	// Options.Workers, updated by SetWorkers. Demand growth above it is
+	// undone by idle retirement back down to it.
+	target int //lcws:field guarded(resizeMu)
+	// started records whether the resident goroutines were spawned;
+	// resizes before the first submission only reshape the set.
+	started bool //lcws:field guarded(resizeMu)
+	// graveyard lists retired slots whose resources await epoch-safe
+	// reclamation (see tryReclaimLocked).
+	graveyard []retiree //lcws:field guarded(resizeMu)
+
+	// Elastic-pool accounting (Stats: PoolGrows, WorkersRetired,
+	// Resizes, EpochReclaims).
+	poolGrows      atomic.Uint64 //lcws:field atomic
+	workersRetired atomic.Uint64 //lcws:field atomic
+	resizes        atomic.Uint64 //lcws:field atomic
+	epochReclaims  atomic.Uint64 //lcws:field atomic
 
 	// inj is the class-aware MPMC submission queue: Submit pushes *Job
 	// records from arbitrary goroutines; resident workers pop them —
@@ -223,7 +279,8 @@ type Scheduler struct {
 // flight-recorder rings' drop-oldest behavior.
 const maxJobSpans = 4096
 
-// worker returns worker i of the slab.
+// worker returns worker i of the slab. Valid for every i in
+// [0, MaxWorkers); whether the slot is live is the set's business.
 func (s *Scheduler) worker(i int) *Worker { return &s.workers[i].w }
 
 // TaskPanic is the value Run re-throws — and Job.Err wraps — when a
@@ -276,8 +333,8 @@ func NewScheduler(opts Options) *Scheduler {
 	}
 	s := &Scheduler{
 		opts:     opts,
-		workers:  make([]workerSlot, opts.Workers),
-		ctrs:     counters.NewSet(opts.Workers),
+		workers:  make([]workerSlot, opts.MaxWorkers),
+		ctrs:     counters.NewSet(opts.MaxWorkers),
 		inj:      injector.NewQoS[*Job](opts.ClassWeights, opts.ClassCapacity),
 		closedCh: make(chan struct{}),
 	}
@@ -285,30 +342,42 @@ func NewScheduler(opts Options) *Scheduler {
 		s.traceEpoch = time.Now() //lcws:presync constructor: worker goroutines have not started
 	}
 	//lcws:presync constructor: worker goroutines have not started
-	s.parkWords = make([]atomic.Uint64, (opts.Workers+63)/64)
+	s.target = opts.Workers
 	//lcws:presync constructor: worker goroutines have not started
-	s.recycle = make([]recycleShard, opts.Workers)
-	for i := range s.workers {
-		var dq taskDeque
-		switch {
-		case opts.Policy.relaxedSteal():
-			// MultFree: the split deque with the relaxed claim cursor
-			// enabled (and the owner-side repair folded into its
-			// public-boundary operations).
-			dq = deque.NewSplitRelaxed[Task](opts.DequeCapacity, opts.MaxDequeCapacity, opts.Policy.raceFixPop())
-		case opts.Policy.SplitDeque():
-			// The split deque supports PopTopHalf as-is; batch mode only
-			// changes the owner discipline (reclaim via UnexposeAll, see
-			// Worker.popLocal).
-			dq = deque.NewSplitMax[Task](opts.DequeCapacity, opts.MaxDequeCapacity, opts.Policy.raceFixPop())
-		case opts.StealBatch:
-			dq = chaseLevDeque{deque.NewChaseLevBatchMax[Task](opts.DequeCapacity, opts.MaxDequeCapacity)}
-		default:
-			dq = chaseLevDeque{deque.NewChaseLevMax[Task](opts.DequeCapacity, opts.MaxDequeCapacity)}
-		}
-		s.workers[i].w.init(i, s, dq, opts)
+	s.parkWords = make([]atomic.Uint64, (opts.MaxWorkers+63)/64)
+	//lcws:presync constructor: worker goroutines have not started
+	s.recycle = make([]recycleShard, opts.MaxWorkers)
+	// Only the initial live prefix is built eagerly; slots beyond it
+	// stay zeroed until demand or SetWorkers grows into them
+	// (initSlot), so a large MaxWorkers headroom costs only the slab.
+	s.set.Store(&workerSet{epoch: 1, slots: s.workers[:opts.Workers]})
+	for i := 0; i < opts.Workers; i++ {
+		s.initSlot(i)
+		s.workers[i].w.state.Store(slotLive)
 	}
 	return s
+}
+
+// newTaskDeque builds one worker's deque per the pool's policy; used by
+// NewScheduler for the initial prefix and by initSlot when the pool
+// grows into a fresh slot.
+func newTaskDeque(opts Options) taskDeque {
+	switch {
+	case opts.Policy.relaxedSteal():
+		// MultFree: the split deque with the relaxed claim cursor
+		// enabled (and the owner-side repair folded into its
+		// public-boundary operations).
+		return deque.NewSplitRelaxed[Task](opts.DequeCapacity, opts.MaxDequeCapacity, opts.Policy.raceFixPop())
+	case opts.Policy.SplitDeque():
+		// The split deque supports PopTopHalf as-is; batch mode only
+		// changes the owner discipline (reclaim via UnexposeAll, see
+		// Worker.popLocal).
+		return deque.NewSplitMax[Task](opts.DequeCapacity, opts.MaxDequeCapacity, opts.Policy.raceFixPop())
+	case opts.StealBatch:
+		return chaseLevDeque{deque.NewChaseLevBatchMax[Task](opts.DequeCapacity, opts.MaxDequeCapacity)}
+	default:
+		return chaseLevDeque{deque.NewChaseLevMax[Task](opts.DequeCapacity, opts.MaxDequeCapacity)}
+	}
 }
 
 // Start spawns the resident worker goroutines if they are not running
@@ -317,26 +386,30 @@ func NewScheduler(opts Options) *Scheduler {
 // request's latency.
 func (s *Scheduler) Start() { s.ensureStarted() }
 
-// ensureStarted spawns the P resident workers exactly once.
+// ensureStarted spawns the current live set's resident workers exactly
+// once; workers added by later resizes are spawned by the resize
+// itself.
 func (s *Scheduler) ensureStarted() {
 	s.startOnce.Do(func() {
-		for i := range s.workers {
-			w := s.worker(i)
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				if s.opts.Trace != nil {
-					// Label the worker's profiler samples; pprof.Do
-					// allocates, so the wrap is traced-only.
-					pprof.Do(context.Background(), s.workerLabels(w.id, "resident"), func(context.Context) {
-						w.residentLoop()
-					})
-				} else {
-					w.residentLoop()
-				}
-			}()
+		s.resizeMu.Lock()
+		defer s.resizeMu.Unlock()
+		s.started = true
+		for i := range s.set.Load().slots {
+			s.spawnWorker(s.worker(i))
 		}
 	})
+}
+
+// runResident runs w's resident loop, wrapped in pprof labels when the
+// scheduler traces (pprof.Do allocates, so the wrap is traced-only).
+func (s *Scheduler) runResident(w *Worker) {
+	if s.opts.Trace != nil {
+		pprof.Do(context.Background(), s.workerLabels(w.id, "resident"), func(context.Context) {
+			w.residentLoop()
+		})
+	} else {
+		w.residentLoop()
+	}
 }
 
 // Close shuts the executor down: no further submissions are accepted
@@ -352,6 +425,12 @@ func (s *Scheduler) Close() error {
 		close(s.closedCh)
 		s.wakeAll()
 	}
+	// Resize barrier: a resize that began before the closed flip may
+	// still be spawning workers. Passing through resizeMu here orders
+	// every such wg.Add before the Wait; resizes that start after the
+	// barrier observe closed under the lock and spawn nothing.
+	s.resizeMu.Lock()
+	s.resizeMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	s.wg.Wait()
 	return nil
 }
@@ -422,6 +501,9 @@ func (s *Scheduler) submit(root func(*Worker), cfg submitConfig) *Job {
 		j.settle()
 		return j
 	}
+	// Shards are sized to the MaxWorkers slab, not the live set: a
+	// worker grown into the pool mid-job must find its accounting slot,
+	// and a draining worker still completing tasks keeps its own.
 	j.shards = make([]jobShard, len(s.workers)) //lcws:presync job constructor: published to workers only via the injector's lock
 	s.ensureStarted()
 	ctx := cfg.ctx
@@ -473,6 +555,9 @@ func (s *Scheduler) submit(root func(*Worker), cfg submitConfig) *Job {
 	s.inj.Push(j, int(cfg.class), cfg.weight)
 	// Publish-then-scan half of the Dekker handshake with deepPark.
 	s.wakeAll()
+	// Demand growth: if the whole live pool is busy and this job still
+	// sits in the injector, add a worker (up to MaxWorkers).
+	s.maybeGrow()
 	return j
 }
 
@@ -609,8 +694,13 @@ func (s *Scheduler) wakeAll() {
 	}
 }
 
-// Workers returns the pool size P.
-func (s *Scheduler) Workers() int { return len(s.workers) }
+// Workers returns the pool's current live size — the worker count of
+// the present worker-set epoch. It is NOT fixed at construction: it
+// moves with SetWorkers, demand growth, and idle retirement, between 1
+// and MaxWorkers. Worker ids, by contrast, are stable: a worker keeps
+// its id across resizes, and id-indexed state (WorkerCounters, shards)
+// spans the full [0, MaxWorkers) range.
+func (s *Scheduler) Workers() int { return len(s.set.Load().slots) }
 
 // Policy returns the scheduling policy of the pool.
 func (s *Scheduler) Policy() Policy { return s.opts.Policy }
@@ -669,12 +759,23 @@ func (s *Scheduler) recordJobSpan(j *Job, failed bool) {
 // executing (0 between jobs, or when the tagging job-switch event has
 // aged out of the ring). On a scheduler built without Options.Trace it
 // returns an empty Trace.
+//
+// The snapshot is taken over one worker-set epoch: Workers and the
+// live-worker iteration both come from the same set load, so a resize
+// racing the snapshot yields either the old epoch's view or the new
+// one, never a mix. Slots beyond the live prefix are merged too —
+// retired workers' rings keep their tail events (including the
+// EvRetire that ended them) until reclamation releases the ring, at
+// which point their events leave the snapshot (each epoch flip and
+// retirement is itself recorded, as EvResize/EvRetire, on the ring of
+// the worker it happened to).
 func (s *Scheduler) TraceSnapshot() trace.Trace {
-	t := trace.Trace{Policy: s.opts.Policy.String(), Workers: len(s.workers)}
+	set := s.set.Load()
+	t := trace.Trace{Policy: s.opts.Policy.String(), Workers: len(set.slots)}
 	if s.opts.Trace == nil {
 		return t
 	}
-	for i := range s.workers {
+	for i := range set.slots {
 		events, dropped := s.worker(i).rec.Snapshot(i)
 		// Walk this worker's events in ring order, carrying the job id
 		// forward from each job-switch marker.
@@ -691,6 +792,31 @@ func (s *Scheduler) TraceSnapshot() trace.Trace {
 			t.Latencies[l] = t.Latencies[l].Add(s.worker(i).rec.Hist(l))
 		}
 	}
+	// Slots outside the live set: retired rings that have not been
+	// reclaimed yet. The resize lock orders these reads against
+	// initSlot's plain writes on slots a concurrent grow is building
+	// (slots the grow re-publishes were covered by the loop above at
+	// the loaded epoch, so no ring is merged twice).
+	s.resizeMu.Lock()
+	for i := len(set.slots); i < len(s.workers); i++ {
+		if s.worker(i).rec == nil {
+			continue // slab tail never grown into
+		}
+		events, dropped := s.worker(i).rec.Snapshot(i)
+		cur := uint64(0)
+		for k := range events {
+			if events[k].Type == trace.EvJobSwitch {
+				cur = uint64(events[k].Arg)
+			}
+			events[k].Job = cur
+		}
+		t.Events = append(t.Events, events...)
+		t.Dropped += dropped
+		for l := 0; l < trace.NumLatencies; l++ {
+			t.Latencies[l] = t.Latencies[l].Add(s.worker(i).rec.Hist(l))
+		}
+	}
+	s.resizeMu.Unlock()
 	s.spanMu.Lock()
 	t.Jobs = append(t.Jobs, s.jobSpans...)
 	s.spanMu.Unlock()

@@ -101,6 +101,18 @@ type Stats struct {
 	AdmissionRejects   uint64
 	JobYields          uint64
 
+	// Elastic pool accounting (scheduler atomics). PoolGrows counts
+	// demand-driven grows (injector backlog outran unparked workers);
+	// WorkersRetired counts workers that completed retirement after
+	// being shrunk out of the live set; Resizes counts installed
+	// worker-set snapshots (SetWorkers and elastic triggers alike);
+	// EpochReclaims counts retired slots whose heap resources were
+	// reclaimed after epoch quiescence.
+	PoolGrows      uint64
+	WorkersRetired uint64
+	Resizes        uint64
+	EpochReclaims  uint64
+
 	// The derived latency histograms, populated only on schedulers built
 	// with tracing (zero-valued otherwise). Like the counters they are
 	// exact only while no Run is in progress.
@@ -171,11 +183,20 @@ func (s *Scheduler) Stats() Stats {
 	st.JobsEnqueuedNormal = s.jobsEnqueued[Normal].Load()
 	st.JobsEnqueuedLow = s.jobsEnqueued[Low].Load()
 	st.AdmissionRejects = s.admissionRejects.Load()
+	st.PoolGrows = s.poolGrows.Load()
+	st.WorkersRetired = s.workersRetired.Load()
+	st.Resizes = s.resizes.Load()
+	st.EpochReclaims = s.epochReclaims.Load()
 	st.InjectorWaitHigh = s.InjectorWait(High)
 	st.InjectorWaitNormal = s.InjectorWait(Normal)
 	st.InjectorWaitLow = s.InjectorWait(Low)
 	if s.opts.Trace != nil {
-		for i := range s.workers {
+		// Aggregate over the current snapshot's live slots: the
+		// acquire load orders a grown slot's recorder construction
+		// before our reads, and retired slots (whose hists persist
+		// until regrow) rejoin the sum when re-admitted.
+		set := s.set.Load()
+		for i := range set.slots {
 			st.StealToHit = st.StealToHit.Add(s.worker(i).rec.Hist(trace.LatStealToHit))
 			st.FlagToExposure = st.FlagToExposure.Add(s.worker(i).rec.Hist(trace.LatFlagToExpose))
 			st.SignalToHandle = st.SignalToHandle.Add(s.worker(i).rec.Hist(trace.LatSignalToHandle))
@@ -196,13 +217,25 @@ func (s *Scheduler) ResetStats() {
 		s.jobsEnqueued[c].Store(0)
 	}
 	s.admissionRejects.Store(0)
+	s.poolGrows.Store(0)
+	s.workersRetired.Store(0)
+	s.resizes.Store(0)
+	s.epochReclaims.Store(0)
 	s.waitMu.Lock()
 	s.waitHist = [NumJobClasses]trace.Histogram{}
 	s.waitMu.Unlock()
 	if s.opts.Trace != nil {
+		// Under resizeMu so no slot's recorder is being constructed
+		// concurrently; the full slab is walked (nil recorders are
+		// never-initialized slots) so retired workers' frozen hists
+		// cannot leak back into a later interval on regrow.
+		s.resizeMu.Lock()
 		for i := range s.workers {
-			s.worker(i).rec.ResetHists()
+			if s.worker(i).rec != nil {
+				s.worker(i).rec.ResetHists()
+			}
 		}
+		s.resizeMu.Unlock()
 	}
 }
 
@@ -250,6 +283,11 @@ func (st Stats) Sub(prev Stats) Stats {
 		JobsEnqueuedLow:    clampSub(st.JobsEnqueuedLow, prev.JobsEnqueuedLow),
 		AdmissionRejects:   clampSub(st.AdmissionRejects, prev.AdmissionRejects),
 		JobYields:          clampSub(st.JobYields, prev.JobYields),
+
+		PoolGrows:      clampSub(st.PoolGrows, prev.PoolGrows),
+		WorkersRetired: clampSub(st.WorkersRetired, prev.WorkersRetired),
+		Resizes:        clampSub(st.Resizes, prev.Resizes),
+		EpochReclaims:  clampSub(st.EpochReclaims, prev.EpochReclaims),
 
 		StealToHit:     st.StealToHit.Sub(prev.StealToHit),
 		FlagToExposure: st.FlagToExposure.Sub(prev.FlagToExposure),

@@ -420,6 +420,12 @@ type taskDeque interface {
 	HasTwoTasks() bool
 	HasPublicWork() bool
 	IsEmpty() bool
+	// Teardown releases a grown task array back to the initial capacity,
+	// preserving indices/age/epoch so stale thief state (sticky victims,
+	// MultFree relaxed-claim cursors) stays sound. Epoch-guarded: called
+	// only on an empty deque whose owner goroutine has exited and whose
+	// epoch has quiesced (see core.reclaimSlot).
+	Teardown()
 }
 
 // chaseLevDeque adapts deque.ChaseLev to the taskDeque interface.

@@ -117,8 +117,21 @@ type Worker struct {
 	// (MultFree only, indexed by victim id): the monotone high-water
 	// marks that bound how often this thief can return any one task to
 	// at most once. Thief-private — only this worker's goroutine touches
-	// its own slice.
+	// its own slice. Sized to MaxWorkers: cursors persist across
+	// worker-set epochs (sound because retirement tears deques down
+	// index-preservingly; see deque.SplitDeque.Teardown).
 	relClaims []deque.RelClaim //lcws:field owner
+
+	// Elastic worker-set state (see workerset.go). curSet is the
+	// snapshot this worker's steal path runs against, refreshed by pin;
+	// pinnedEpoch is its published reclamation guard (0 = unpinned);
+	// state is the slot lifecycle word the resizer and this goroutine
+	// arbitrate retirement through. The two atomics are written by the
+	// resizer only on (rare) resizes, so sharing the owner-hot lines
+	// costs nothing on a stable epoch.
+	curSet      *workerSet    //lcws:field owner — cached snapshot; may be stale while unpinned
+	pinnedEpoch atomic.Uint64 //lcws:field atomic
+	state       atomic.Int32  //lcws:field atomic — slotIdle / slotLive / slotDraining
 }
 
 // stealBatchSize caps how many tasks one batched steal can claim. Eight
@@ -153,11 +166,12 @@ func (w *Worker) init(id int, s *Scheduler, dq taskDeque, opts Options) {
 	w.batch = opts.StealBatch
 	w.relaxed = opts.Policy.relaxedSteal()
 	if w.relaxed {
-		w.relClaims = make([]deque.RelClaim, opts.Workers)
+		w.relClaims = make([]deque.RelClaim, opts.MaxWorkers)
 	}
 	w.sticky = -1
 	w.freelistBound = opts.FreelistBound
 	w.parkSem = make(chan struct{}, 1)
+	w.curSet = s.set.Load() // current snapshot; pin refreshes it
 	if opts.Trace != nil {
 		w.rec = trace.NewRecorder(*opts.Trace, s.traceEpoch, w.ctr)
 	}
@@ -193,7 +207,11 @@ func (w *Worker) resetForRun() {
 // ID returns the worker's scheduling identifier in [0, Workers()).
 func (w *Worker) ID() int { return w.id }
 
-// Workers returns the number of workers in this worker's scheduler.
+// Workers returns the scheduler's MaxWorkers bound — the size of the
+// worker-id space. Task code uses it to size per-worker scratch
+// indexed by ID(), and unlike the live worker count (which moves with
+// SetWorkers and elastic growth/retirement) it is fixed for the
+// scheduler's lifetime, so such scratch stays valid across resizes.
 func (w *Worker) Workers() int { return len(w.sched.workers) }
 
 // Policy returns the scheduling policy the pool runs.
@@ -808,12 +826,18 @@ var testHookAfterJoin func(*Worker, *Task)
 // sticky victim runs empty, so steal traffic follows where work actually
 // is instead of re-discovering it by sampling.
 func (w *Worker) stealOnce() *Task {
-	n := len(w.sched.workers)
-	if n == 1 {
+	// Victims come from the pinned worker-set snapshot: inside a stable
+	// epoch this is the one extra pointer load the elastic refactor is
+	// allowed to cost the steal path (curSet is worker-private).
+	n := len(w.curSet.slots)
+	if n == 1 || w.id >= n {
+		// Singleton set, or this worker was shrunk out of the live
+		// prefix mid-phase (it is draining): nothing to steal from /
+		// no valid "everyone but me" victim space.
 		return nil
 	}
 	vid := -1
-	if w.batch && w.sticky >= 0 && int(w.sticky) != w.id {
+	if w.batch && w.sticky >= 0 && int(w.sticky) != w.id && int(w.sticky) < n {
 		vid = int(w.sticky)
 	}
 	if vid < 0 {
@@ -1072,6 +1096,11 @@ const (
 // capped sleep.
 func (w *Worker) idleBackoff(canPark bool) {
 	w.ctr.Inc(counters.IdleIteration)
+	// Idle is the cheap moment to adopt a resize: re-pinning here keeps
+	// a long busy phase from holding an old epoch hostage (blocking
+	// reclamation) and lets this thief see victims a grow just added.
+	// On a stable epoch this is two loads of the same hot pointer.
+	w.pin()
 	w.idleSpins++
 	switch {
 	case w.idleSpins <= idleSpinIters:
@@ -1165,9 +1194,13 @@ func (w *Worker) park() {
 }
 
 // anyPublicWork reports whether any other worker's deque (racily) holds
-// stealable work; park uses it as the pre-park re-check.
+// stealable work; park uses it as the pre-park re-check. It scans the
+// current snapshot's live prefix — draining slots past it are already
+// re-homing their work through the orphan path, and a racy miss is
+// covered by the insurance timer like any other private-work chain.
 func (w *Worker) anyPublicWork() bool {
-	for i := range w.sched.workers {
+	set := w.curSet
+	for i := range set.slots {
 		if i != w.id && w.sched.worker(i).dq.HasPublicWork() {
 			return true
 		}
@@ -1287,6 +1320,16 @@ func (w *Worker) idlePhase() bool {
 	s := w.sched
 	spins := 0
 	for {
+		if w.retiring() {
+			// Shrunk out of the live set with no local work left:
+			// complete retirement and end the goroutine. On CAS failure
+			// the slot was re-admitted by a concurrent grow — resume
+			// normal idling (the loop re-checks everything).
+			if w.tryRetire() {
+				return true
+			}
+			continue
+		}
 		if s.closed.Load() {
 			// The closed load precedes the activeJobs load: a Submit
 			// that observed the scheduler open incremented activeJobs
@@ -1305,6 +1348,12 @@ func (w *Worker) idlePhase() bool {
 			runtime.Gosched()
 		default:
 			w.deepPark()
+			if s.activeJobs.Load() == 0 && s.inj.Empty() && !s.closed.Load() {
+				// The deep park ran its full insurance window (or was
+				// woken spuriously) and the pool is still idle: sustained
+				// idleness, the elastic retire-on-idle trigger.
+				s.maybeRetireIdle()
+			}
 		}
 	}
 }
@@ -1358,6 +1407,13 @@ func (w *Worker) deepPark() {
 func (w *Worker) busyPhase() {
 	s := w.sched
 	s.busy.Add(1)
+	// Pin the worker-set snapshot for the phase: one pointer load (plus
+	// a validation re-load) on entry, zero on the per-fork path. While
+	// pinned, the resizer cannot reclaim any slot of this epoch, so
+	// every victim index this worker derives from curSet stays valid.
+	// idleBackoff re-pins, so long busy phases still adopt new sets and
+	// release old epochs for reclamation.
+	w.pin()
 	for {
 		// The exit check runs before Checkpoint: a worker that slips
 		// into the busy phase just after the last job settled must
@@ -1397,6 +1453,17 @@ func (w *Worker) busyPhase() {
 			w.runTask(t)
 			continue
 		}
+		if w.retiring() {
+			// Shrunk out of the live set: finish draining local work
+			// (loop back for it) but pick up nothing new — no injector
+			// jobs, no steals — so the slot quiesces and idlePhase can
+			// complete retirement. Thieves and the orphan path re-home
+			// whatever this deque still exposes.
+			if w.dq.IsEmpty() {
+				break
+			}
+			continue
+		}
 		if j, ok := s.inj.TryPop(); ok {
 			w.idleSpins = 0
 			w.idleSleep = 0
@@ -1430,6 +1497,7 @@ func (w *Worker) busyPhase() {
 		}
 		w.idleBackoff(true)
 	}
+	w.unpin()
 	s.busy.Add(-1)
 }
 
@@ -1457,6 +1525,7 @@ func (w *Worker) startJob(j *Job) {
 	w.sinceYield = 0
 	w.idleSpins = 0
 	w.idleSleep = 0
+	w.pin() // run the job against the freshest worker-set snapshot
 	if sh := w.shardOf(j); sh != nil {
 		sh.created++ // the root task counts toward the job's accounting
 	}

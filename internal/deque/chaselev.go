@@ -41,6 +41,7 @@ type ChaseLev[T any] struct {
 	age     atomic.Uint64 //lcws:field atomic — batch mode: packed (tag, top); unused in stock mode
 	batched bool          //lcws:field immutable
 	maxCap  int64         //lcws:field immutable — growth ceiling; TryPushBottom fails beyond it
+	initCap int64         //lcws:field immutable — construction-time capacity; Teardown shrinks back to it
 
 	// buf is the current array generation; grow publishes a doubled one.
 	// Thieves load it after their top/age load; see splitBuf.
@@ -66,7 +67,7 @@ func NewChaseLev[T any](capacity int) *ChaseLev[T] {
 // at the initial capacity).
 func NewChaseLevMax[T any](capacity, maxCapacity int) *ChaseLev[T] {
 	n := uint64(normalizeCapacity(capacity))
-	d := &ChaseLev[T]{maxCap: int64(normalizeMaxCapacity(maxCapacity, n))}
+	d := &ChaseLev[T]{maxCap: int64(normalizeMaxCapacity(maxCapacity, n)), initCap: int64(n)}
 	bb := &clBuf[T]{slots: make([]atomic.Pointer[T], n), mask: int64(n) - 1}
 	//lcws:presync constructor: the deque has not been published yet
 	d.buf.Store(bb)
@@ -189,6 +190,28 @@ func (d *ChaseLev[T]) grow(top, b int64, c *counters.Worker) {
 	d.ownerMask = nb.mask
 	d.buf.Store(nb)
 	c.Inc(counters.DequeGrow)
+}
+
+// Teardown releases a grown array generation back to the initial
+// capacity: grow in reverse — a fresh initial-capacity generation is
+// published with one pointer store, no index moves, top/bot/age
+// untouched. The deque is empty (no live slots to copy) and a stale
+// thief's claim CAS fails against the unmoved indices exactly as it
+// would across a grow.
+//
+// Epoch-guarded: the caller (core.reclaimSlot) proves the owner
+// goroutine has exited and the worker-set epoch has quiesced before
+// calling. A no-op when the deque never grew.
+//
+//lcws:epoch-guarded
+func (d *ChaseLev[T]) Teardown() {
+	if int64(len(d.ownerSlots)) <= d.initCap {
+		return
+	}
+	nb := &clBuf[T]{slots: make([]atomic.Pointer[T], d.initCap), mask: d.initCap - 1}
+	d.ownerSlots = nb.slots
+	d.ownerMask = nb.mask
+	d.buf.Store(nb)
 }
 
 // SpillOldest removes up to len(out) of the deque's oldest tasks,

@@ -72,6 +72,7 @@ type SplitDeque[T any] struct {
 	raceFix   bool          //lcws:field immutable — use the §4 signal-safe pop_bottom
 	relaxed   bool          //lcws:field immutable — enable the MultFree relaxed-claim lane (TakeTopRelaxed + owner repair)
 	maxCap    uint64        //lcws:field immutable — growth ceiling; TryPushBottom fails beyond it
+	initCap   uint64        //lcws:field immutable — construction-time capacity; Teardown shrinks back to it
 	cachedTop uint64        //lcws:field owner — lower bound of top for the push window check; refreshed from age only when the window looks full
 	maxPub    uint64        //lcws:field owner — high-water mark of publicBot (relaxed only): indices below it may have been observed by a relaxed thief
 
@@ -146,6 +147,7 @@ func newSplit[T any](capacity, maxCapacity int, raceFix, relaxed bool) *SplitDeq
 		raceFix: raceFix,
 		relaxed: relaxed,
 		maxCap:  normalizeMaxCapacity(maxCapacity, n),
+		initCap: n,
 	}
 	bb := &splitBuf[T]{slots: make([]atomic.Pointer[T], n), mask: n - 1}
 	//lcws:presync constructor: the deque has not been published yet
@@ -241,6 +243,32 @@ func (d *SplitDeque[T]) grow(top, b uint64, c *counters.Worker) {
 	d.ownerMask = nb.mask
 	d.buf.Store(nb)
 	c.Inc(counters.DequeGrow)
+}
+
+// Teardown releases a grown array generation back to the initial
+// capacity — grow in reverse: a fresh initial-capacity generation is
+// published with one pointer store, and no index moves (bot, publicBot,
+// the age word, and the relaxed epoch are all untouched). The deque is
+// empty, so there are no live slots to copy, and any stale thief state
+// minted against the old generation — a sticky victim's cached pointer,
+// a MultFree monotone claim cursor — revalidates against the new
+// generation exactly as it would across a grow: the window is empty, so
+// every claim fails validation harmlessly.
+//
+// Epoch-guarded: the caller (core.reclaimSlot) proves quiescence — the
+// owner goroutine has exited through the retirement CAS and every
+// worker pinned on an epoch that could reach this deque has drained —
+// before calling. A no-op when the deque never grew.
+//
+//lcws:epoch-guarded
+func (d *SplitDeque[T]) Teardown() {
+	if uint64(len(d.ownerSlots)) <= d.initCap {
+		return
+	}
+	nb := &splitBuf[T]{slots: make([]atomic.Pointer[T], d.initCap), mask: d.initCap - 1}
+	d.ownerSlots = nb.slots
+	d.ownerMask = nb.mask
+	d.buf.Store(nb)
 }
 
 // SpillOldest removes up to len(out) of the deque's oldest tasks,

@@ -1,0 +1,46 @@
+package perf
+
+import (
+	"testing"
+	"time"
+)
+
+// elasticGateWindow keeps the CI gates fast; the lcwsbench report uses
+// the 2s default window for tighter numbers. It must still cover the
+// retire-settle wait: ElasticMax-ElasticResident surplus workers retire
+// one ~100ms insurance window apiece.
+const elasticGateWindow = time.Second
+
+// TestElasticLifecycle is the elastic-pool regression gate: one walk
+// per policy through demand growth, retire-on-idle, the idle-cost
+// window, and regrowth, each leg gated.
+func TestElasticLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elastic gates need idle windows; skipped in -short")
+	}
+	if RaceEnabled {
+		t.Skip("race instrumentation distorts CPU fractions and service times; the gates are meaningless under -race")
+	}
+	for _, pol := range elasticPolicies {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			res := MeasureElastic(pol, elasticGateWindow)
+			t.Logf("%s: baseline=%v regrow=%v ratio=%.2f peak=%d grows=%d retired_idle=%d settle=%v idle_cpu_frac=%.4f",
+				pol, time.Duration(res.BaselineNs), time.Duration(res.RegrowNs), res.RegrowRatio,
+				res.PeakWorkers, res.BurstPoolGrows, res.WorkersRetiredIdle,
+				time.Duration(res.RetireSettleNs), res.IdleCPUFrac)
+			if !ElasticGrew(res) {
+				t.Errorf("demand burst did not grow the pool: pool_grows=%d peak=%d", res.BurstPoolGrows, res.PeakWorkers)
+			}
+			if !ElasticRetired(res) {
+				t.Errorf("no worker retired during the idle phase (workers_retired_idle = 0)")
+			}
+			if !ElasticIdleQuiet(res) {
+				t.Errorf("idle pool burned %.4f of a core over the quiet window, want <= %.2f", res.IdleCPUFrac, ElasticIdleCPUFrac)
+			}
+			if !ElasticRegrowRestored(res) {
+				t.Errorf("regrown pool at %.2fx baseline, want <= %.2fx", res.RegrowRatio, ElasticRegrowFactor)
+			}
+		})
+	}
+}

@@ -189,12 +189,27 @@ var referenceData []int64
 // ReferenceN is the element count of one calibration pass.
 const ReferenceN = 1 << 18
 
-// MeasureReference times the calibration kernel — a serial dependent-add
-// reduction over ReferenceN int64s, no scheduler code at all — with the
-// same rounds/reps methodology as the fork benchmarks and returns its
+// MeasureReference times the calibration kernel — a serial reduction
+// over ReferenceN int64s carrying a three-op dependency chain per
+// element (add, shift, xor), no scheduler code at all — with the same
+// rounds/reps methodology as the fork benchmarks and returns its
 // best-repetition mean ns per element. Fork costs divided by this value
 // are in "machine-relative" units that survive uniform slowdowns of a
 // loaded host.
+//
+// The chain is load-bearing: an earlier revision used a bare `acc += v`
+// loop, which runs at one cycle per element — a rate the frontend only
+// sustains when the compiled loop happens to sit well inside the
+// decoded-uop cache. That made the measurement a function of code
+// placement: two structurally identical copies of that loop in one
+// binary, over the same array, read 0.37 vs 0.63 ns/element on the CI
+// container class, so adding unrelated code anywhere in the repo could
+// swing every "machine-relative" number by up to ~70% and flip the
+// speedup gates with the fork path untouched. Three dependent ALU ops
+// per element pin the loop to its data-dependency latency (~3 cycles);
+// at that pace the few loop uops are fetchable from anywhere, and the
+// measurement is stable across binaries. The independent loads stream
+// ahead of the chain, so memory effects stay hidden too.
 func MeasureReference(rounds, reps int) float64 {
 	if rounds <= 0 {
 		rounds = DefaultRounds
@@ -213,6 +228,7 @@ func MeasureReference(rounds, reps int) float64 {
 		var acc int64
 		for _, v := range referenceData {
 			acc += v
+			acc ^= acc >> 13
 		}
 		return acc
 	}

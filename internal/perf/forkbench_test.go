@@ -60,11 +60,11 @@ func TestPForSumSplitAllocs(t *testing.T) {
 
 // TestSpawnTreeSpeedupVsBaseline is the performance gate: the no-steal
 // spawn tree's load-normalized cost per fork must stay at least
-// BaselineSpawnTreeSpeedup times better than the recorded
-// pre-optimization baseline for every policy. Comparing normalized
-// units (ns/fork over the calibration kernel's ns/op, each side measured
-// under its own machine conditions) keeps the gate meaningful on hosts
-// that are uniformly faster, slower, or temporarily loaded.
+// SpawnTreeSpeedupFloor times better than the recorded pre-optimization
+// baseline for every policy. Comparing normalized units (ns/fork over
+// the calibration kernel's ns/op, each side measured under its own
+// machine conditions) keeps the gate meaningful on hosts that are
+// uniformly faster, slower, or temporarily loaded.
 func TestSpawnTreeSpeedupVsBaseline(t *testing.T) {
 	if RaceEnabled {
 		t.Skip("timing is meaningless under the race detector")
@@ -79,12 +79,13 @@ func TestSpawnTreeSpeedupVsBaseline(t *testing.T) {
 		if !ok {
 			t.Fatalf("no recorded baseline for %s", r.Key())
 		}
+		floor := SpawnTreeSpeedupFloor(pol.String())
 		speedup := b / r.NormPerFork
 		t.Logf("%s: %.1f ns/fork (%.1f normalized) vs baseline %.1f normalized (%.2fx)",
 			r.Key(), r.NsPerFork, r.NormPerFork, b, speedup)
-		if speedup < BaselineSpawnTreeSpeedup {
+		if speedup < floor {
 			t.Errorf("%s: normalized %.1f is only %.2fx better than the recorded baseline %.1f, want >= %.1fx",
-				r.Key(), r.NormPerFork, speedup, b, BaselineSpawnTreeSpeedup)
+				r.Key(), r.NormPerFork, speedup, b, floor)
 		}
 	}
 }

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package perf
+
+// processCPUNs reports -1: no rusage on this platform, so the elastic
+// idle-cost gate passes trivially.
+func processCPUNs() int64 { return -1 }

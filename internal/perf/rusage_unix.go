@@ -1,0 +1,18 @@
+//go:build unix
+
+package perf
+
+import "syscall"
+
+// processCPUNs returns the process's cumulative CPU time (user +
+// system) in nanoseconds, or -1 if the platform cannot report it. The
+// elastic benchmark's idle-cost gate is a statement about CPU burned,
+// not about any scheduler counter — deepPark deliberately records
+// nothing — so the harness asks the OS directly.
+func processCPUNs() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return -1
+	}
+	return syscall.TimevalToNsec(ru.Utime) + syscall.TimevalToNsec(ru.Stime)
+}

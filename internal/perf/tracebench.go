@@ -2,6 +2,7 @@ package perf
 
 import (
 	"runtime"
+	"sort"
 
 	"lcws"
 )
@@ -103,22 +104,46 @@ func measureTraceAllocs(pol lcws.Policy, rounds int) (allocsPerEvent, eventsPerR
 // pfor-sum under SignalLCWS (the policy with the richest hook set), and
 // allocations per recorded event on the traced spawn tree. Zero
 // rounds/reps select the defaults.
+//
+// The two sides are measured as adjacent (untraced, traced) pairs and
+// the reported ratio is the MEDIAN pair's: shared containers show
+// multi-second degradation episodes, and with all untraced reps timed
+// before all traced ones a single episode lands on only one side and
+// fakes (or hides) overhead. Pairing keeps the two halves temporally
+// adjacent so an episode tends to hit both or neither, and the median
+// discards the pairs where it straddled the boundary — without the
+// systematic optimism a min would have (the min pair is the one whose
+// noise most favored the traced half).
 func MeasureTraceOverhead(rounds, reps int) TraceOverhead {
-	pol := lcws.SignalLCWS
-	untraced := MeasurePForSum(pol, rounds, reps)
-	traced := tracedPForSum(pol, rounds, reps)
-	out := TraceOverhead{
-		Bench:             "pfor-sum",
-		Policy:            pol.String(),
-		UntracedNorm:      untraced.NormPerFork,
-		TracedNorm:        traced.NormPerFork,
-		NsPerForkUntraced: untraced.NsPerFork,
-		NsPerForkTraced:   traced.NsPerFork,
-		Rounds:            traced.Rounds,
-		Reps:              traced.Reps,
+	if reps <= 0 {
+		reps = DefaultReps
 	}
-	if untraced.NormPerFork > 0 {
-		out.Ratio = traced.NormPerFork / untraced.NormPerFork
+	pol := lcws.SignalLCWS
+	pairs := make([]TraceOverhead, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		untraced := MeasurePForSum(pol, rounds, 1)
+		traced := tracedPForSum(pol, rounds, 1)
+		if untraced.NormPerFork == 0 || traced.NormPerFork == 0 {
+			continue
+		}
+		pairs = append(pairs, TraceOverhead{
+			Bench:             "pfor-sum",
+			Policy:            pol.String(),
+			Ratio:             traced.NormPerFork / untraced.NormPerFork,
+			UntracedNorm:      untraced.NormPerFork,
+			TracedNorm:        traced.NormPerFork,
+			NsPerForkUntraced: untraced.NsPerFork,
+			NsPerForkTraced:   traced.NsPerFork,
+			Rounds:            traced.Rounds,
+			Reps:              reps,
+		})
+	}
+	var out TraceOverhead
+	if len(pairs) > 0 {
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].Ratio < pairs[j].Ratio })
+		out = pairs[len(pairs)/2]
+	} else {
+		out = TraceOverhead{Bench: "pfor-sum", Policy: pol.String()}
 	}
 	out.AllocsPerEvent, out.EventsPerRound = measureTraceAllocs(pol, rounds)
 	return out

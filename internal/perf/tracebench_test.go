@@ -13,7 +13,7 @@ func traceOverhead(t *testing.T) TraceOverhead {
 	if traceOverheadResult != nil {
 		return *traceOverheadResult
 	}
-	r := MeasureTraceOverhead(50, 3)
+	r := MeasureTraceOverhead(50, 5)
 	if r.UntracedNorm == 0 || r.TracedNorm == 0 {
 		t.Fatal("trace-overhead measurement produced no forks")
 	}

@@ -87,6 +87,10 @@ func instantName(e Event) (string, map[string]any) {
 		return "spill", map[string]any{"spilled": e.Arg}
 	case EvJobSwitch:
 		return "job.switch", map[string]any{"job": e.Arg}
+	case EvResize:
+		return "pool.resize", map[string]any{"workers": e.Arg}
+	case EvRetire:
+		return "pool.retire", nil
 	default:
 		return e.Type.String(), nil
 	}

@@ -97,6 +97,14 @@ const (
 	// MultFree generation-stamp arbitration: the recording worker held a
 	// relaxed-obtained task another claimant already won.
 	EvDuplicate
+	// EvResize records the recording worker adopting a new worker-set
+	// snapshot (SetWorkers, demand growth, or idle retirement installed
+	// it); Arg is the new live worker count.
+	EvResize
+	// EvRetire records the recording worker completing retirement: it was
+	// shrunk out of the live set, drained, and is about to tear down its
+	// slot's resources and exit.
+	EvRetire
 
 	numEventTypes
 )
@@ -123,6 +131,8 @@ var eventTypeNames = [NumEventTypes]string{
 	EvGrow:         "deque.grow",
 	EvSpill:        "spill",
 	EvDuplicate:    "duplicate",
+	EvResize:       "pool.resize",
+	EvRetire:       "pool.retire",
 }
 
 // String returns the dotted lowercase name of the event type.
@@ -220,8 +230,12 @@ func unpack(ts int64, meta uint64, worker int) Event {
 //
 //lcws:manifest
 type ring struct {
-	buf  []slot //lcws:field immutable — slice header set in NewRecorder; slots follow the slot manifest
-	mask uint64 //lcws:field immutable
+	// buf/mask are fixed for the life of a worker-set epoch; only the
+	// elastic pool's retire/regrow path (ReleaseRing, EnsureRing)
+	// replaces them, under snapMu with the owner goroutine provably
+	// exited — the epoch-guarded discipline (see core.workerSet).
+	buf  []slot //lcws:field epoch-guarded — slots follow the slot manifest
+	mask uint64 //lcws:field epoch-guarded
 	// wcur is the next event index. The owner publishes it with an
 	// atomic store after the slot's plain stores; a reader that loads
 	// wcur therefore observes every event below it fully written.
@@ -250,9 +264,10 @@ type ring struct {
 //
 //lcws:manifest
 type Recorder struct {
-	ring  ring             //lcws:field thief-shared — the ring's own manifest governs each word
-	epoch time.Time        //lcws:field immutable
-	ctr   *counters.Worker //lcws:field immutable
+	ring      ring             //lcws:field thief-shared — the ring's own manifest governs each word
+	epoch     time.Time        //lcws:field immutable
+	ctr       *counters.Worker //lcws:field immutable
+	capEvents int              //lcws:field immutable — configured ring capacity; EnsureRing restores to it
 
 	hists [NumLatencies]atomicHist //lcws:field thief-shared — the atomicHist manifest governs each word
 
@@ -268,10 +283,59 @@ type Recorder struct {
 // relative to it); ctr receives the TraceDrop counter increments.
 func NewRecorder(cfg Config, epoch time.Time, ctr *counters.Worker) *Recorder {
 	cfg = cfg.normalized()
-	r := &Recorder{epoch: epoch, ctr: ctr}
+	r := &Recorder{epoch: epoch, ctr: ctr, capEvents: cfg.BufPerWorker}
+	//lcws:presync constructor: the recorder has not been published yet
 	r.ring.buf = make([]slot, cfg.BufPerWorker)
+	//lcws:presync constructor: the recorder has not been published yet
 	r.ring.mask = uint64(cfg.BufPerWorker - 1)
 	return r
+}
+
+// ReleaseRing shrinks the event ring to a single slot, releasing the
+// buffer of a retired worker to the GC. The latency histograms are
+// kept — they rejoin the scheduler's aggregates when the slot is
+// re-admitted. The write cursor is reset so a regrown ring (EnsureRing)
+// starts empty instead of decoding capacity-1 garbage slots; snapMu
+// excludes a concurrent Snapshot for the swap.
+//
+// Epoch-guarded: callable only with the owner goroutine exited and the
+// worker-set epoch quiesced (core.reclaimSlot).
+//
+//lcws:epoch-guarded
+func (r *Recorder) ReleaseRing() {
+	rg := &r.ring
+	rg.snapMu.Lock()
+	defer rg.snapMu.Unlock()
+	if len(rg.buf) == 1 {
+		return
+	}
+	// One slot, not zero: Snapshot's lo arithmetic divides by capacity
+	// shape (c >= capacity), so an empty buffer would be a special case
+	// everywhere; a single dead slot costs 16 bytes.
+	rg.buf = make([]slot, 1)
+	rg.mask = 0
+	rg.wcur.Store(0)
+}
+
+// EnsureRing restores a released ring to its configured capacity; a
+// no-op when the ring was never released. Called by the resizer before
+// it re-admits (or first admits) the slot into a published worker set,
+// so the owner goroutine only ever records into a full-size ring.
+//
+// Epoch-guarded: callable only while the slot is outside every
+// published worker set (core.resizeLocked, under resizeMu).
+//
+//lcws:epoch-guarded
+func (r *Recorder) EnsureRing() {
+	rg := &r.ring
+	rg.snapMu.Lock()
+	defer rg.snapMu.Unlock()
+	if len(rg.buf) == r.capEvents {
+		return
+	}
+	rg.buf = make([]slot, r.capEvents)
+	rg.mask = uint64(r.capEvents - 1)
+	rg.wcur.Store(0)
 }
 
 // Cap returns the ring capacity in events.
@@ -426,6 +490,14 @@ func (r *Recorder) Spill(n int) { r.record(EvSpill, uint32(n), 0) }
 
 // Duplicate records an absorbed duplicate execution claim (MultFree).
 func (r *Recorder) Duplicate() { r.record(EvDuplicate, 0, 0) }
+
+// Resize records the worker adopting a worker-set snapshot with n live
+// workers.
+func (r *Recorder) Resize(n int) { r.record(EvResize, uint32(n), 0) }
+
+// Retire records the worker completing its retirement (last event the
+// worker records before its ring is released).
+func (r *Recorder) Retire() { r.record(EvRetire, 0, 0) }
 
 // JobSwitch records the worker switching to job id (0 = leaving job
 // context). Owner-only, like every recording method.

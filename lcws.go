@@ -43,6 +43,19 @@
 // boundaries and Poll checkpoints. See DESIGN.md §10 for the
 // executor's lifecycle state machine and cost model.
 //
+// # Elastic sizing
+//
+// The pool's live worker count is not fixed at construction. It starts
+// at WithWorkers and moves between 1 and WithMaxWorkers (default: the
+// initial count, i.e. a fixed pool): Scheduler.SetWorkers reconfigures
+// it at any time — concurrently with running jobs — the pool grows on
+// demand when queued jobs outrun unparked workers, and deep-parked
+// workers retire under sustained idleness, releasing their deque
+// arrays, freelists and trace rings. The resize machinery lives behind
+// an epoch-guarded worker-set snapshot, so workers inside a stable
+// epoch run the paper's fork/steal fast paths unchanged; see DESIGN.md
+// §15.
+//
 // # Multi-tenant QoS
 //
 // Submissions are not a single FIFO line. Each job carries a priority
@@ -91,11 +104,12 @@ import (
 // must be called only from the task function that received it.
 type Ctx = core.Worker
 
-// Scheduler is a persistent pool of resident workers; see New and the
-// package comment's "Persistent executor" section. Submit enqueues a
-// job from any goroutine (with per-job SubmitOpts for class, weight,
-// context and admission mode), Run is submit-and-wait, Start spawns
-// the workers eagerly, Close shuts the pool down.
+// Scheduler is a persistent, elastic pool of resident workers; see New
+// and the package comment's "Persistent executor" and "Elastic sizing"
+// sections. Submit enqueues a job from any goroutine (with per-job
+// SubmitOpts for class, weight, context and admission mode), Run is
+// submit-and-wait, Start spawns the workers eagerly, SetWorkers resizes
+// the live pool, Close shuts it down.
 type Scheduler = core.Scheduler
 
 // Job is the handle of one submitted fork-join computation: Wait (or
@@ -213,8 +227,17 @@ func ParsePolicy(name string) (Policy, error) { return core.ParsePolicy(name) }
 // Option configures New.
 type Option func(*core.Options)
 
-// WithWorkers sets the number of workers P (default 1).
+// WithWorkers sets the initial number of workers P (default 1).
 func WithWorkers(p int) Option { return func(o *core.Options) { o.Workers = p } }
+
+// WithMaxWorkers sets the pool's growth ceiling: the live worker count
+// may be moved between 1 and n by Scheduler.SetWorkers and by the
+// demand-driven growth trigger (see the package comment's "Elastic
+// sizing" section). It is floored at WithWorkers; the default equals
+// WithWorkers, i.e. a pool that never grows on its own. Per-worker
+// structures indexed by Ctx.ID are sized to n once at construction, so
+// resizes move no memory.
+func WithMaxWorkers(n int) Option { return func(o *core.Options) { o.MaxWorkers = n } }
 
 // WithPolicy sets the scheduling policy (default WS).
 func WithPolicy(p Policy) Option { return func(o *core.Options) { o.Policy = p } }
